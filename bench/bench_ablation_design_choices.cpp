@@ -1,0 +1,80 @@
+/// Design-choice ablations called out in DESIGN.md (not a paper figure):
+///  (a) KL estimator: smoothed histogram vs k-NN — do they rank calibrations
+///      the same way?
+///  (b) Candidate sampler: i.i.d. uniform vs scrambled Halton at equal count.
+///  (c) BNN prior: analytic-KL Gaussian vs Blundell's scale mixture (MC).
+
+#include "atlas/calibrator.hpp"
+#include "bench_util.hpp"
+#include "math/kl.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Design-choice ablations (repo-specific, see DESIGN.md)",
+                "KL estimator agreement; uniform vs Halton candidates; BNN priors");
+
+  env::RealNetwork real;
+  common::ThreadPool pool;
+
+  // --- (a) KL estimator agreement -------------------------------------------
+  {
+    env::Simulator original;
+    env::Simulator calibrated(env::oracle_calibration());
+    auto wl = bench::workload(opts, 30.0);
+    const auto lat_real = real.run(env::SliceConfig{}, wl).latencies_ms;
+    wl.seed = opts.seed + 61;
+    const auto lat_orig = original.run(env::SliceConfig{}, wl).latencies_ms;
+    const auto lat_cal = calibrated.run(env::SliceConfig{}, wl).latencies_ms;
+    common::Table t({"estimator", "KL(real || original)", "KL(real || calibrated)",
+                     "same ordering"});
+    const double h_orig = math::kl_divergence(lat_real, lat_orig);
+    const double h_cal = math::kl_divergence(lat_real, lat_cal);
+    const double k_orig = math::kl_knn_1d(lat_real, lat_orig);
+    const double k_cal = math::kl_knn_1d(lat_real, lat_cal);
+    t.add_row({"smoothed histogram", common::fmt(h_orig, 3), common::fmt(h_cal, 3), "-"});
+    t.add_row({"k-NN (k=5)", common::fmt(k_orig, 3), common::fmt(k_cal, 3),
+               (h_orig > h_cal) == (k_orig > k_cal) ? "yes" : "NO"});
+    std::cout << "(a) KL estimator cross-check:\n";
+    bench::emit(t, opts);
+  }
+
+  // --- (b) candidate sampler -------------------------------------------------
+  {
+    common::Table t({"sampler", "best weighted discrepancy", "best KL"});
+    for (auto sampler : {core::CandidateSampler::kUniform, core::CandidateSampler::kHalton}) {
+      auto o = bench::stage1_options(opts);
+      o.iterations = opts.iters(50, 12);
+      o.sampler = sampler;
+      o.seed = opts.seed + (sampler == core::CandidateSampler::kHalton ? 2 : 1);
+      core::SimCalibrator calibrator(real, o, &pool);
+      const auto result = calibrator.calibrate();
+      t.add_row({sampler == core::CandidateSampler::kHalton ? "scrambled Halton" : "uniform",
+                 common::fmt(result.best_weighted, 3), common::fmt(result.best_kl, 3)});
+    }
+    std::cout << "(b) Thompson-sampling candidate stream:\n";
+    bench::emit(t, opts);
+  }
+
+  // --- (c) BNN prior -----------------------------------------------------------
+  {
+    common::Table t({"prior", "best weighted discrepancy", "final-iteration avg"});
+    for (auto prior : {nn::BnnPrior::kGaussianAnalytic, nn::BnnPrior::kScaleMixtureMc}) {
+      auto o = bench::stage1_options(opts);
+      o.iterations = opts.iters(50, 12);
+      o.bnn.sizes = {7, 48, 48, 1};
+      o.bnn.noise_sigma = 0.1;
+      o.bnn.prior = prior;
+      o.seed = opts.seed + 5;
+      core::SimCalibrator calibrator(real, o, &pool);
+      const auto result = calibrator.calibrate();
+      t.add_row({prior == nn::BnnPrior::kGaussianAnalytic ? "Gaussian (analytic KL)"
+                                                          : "scale mixture (MC)",
+                 common::fmt(result.best_weighted, 3),
+                 common::fmt(result.avg_weighted_per_iter.back(), 3)});
+    }
+    std::cout << "(c) Bayes-by-Backprop complexity-cost formulation:\n";
+    bench::emit(t, opts);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+/// Fig. 2 — End-to-end latency CDF under one slice user, simulator vs system.
+/// The paper reports the system's average latency 25.2% above the simulator's.
+
+#include "bench_util.hpp"
+#include "math/stats.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figure 2: latency CDF under one slice user",
+                "paper Fig. 2 — system mean is +25.2% vs simulator");
+
+  env::Simulator sim;
+  env::RealNetwork real;
+  const auto wl = bench::workload(opts, 60.0, /*traffic=*/1);
+  const auto rs = sim.run(env::SliceConfig{}, wl);
+  const auto rr = real.run(env::SliceConfig{}, wl);
+
+  common::Table t({"latency (ms)", "CDF simulator", "CDF system"});
+  for (double x = 50.0; x <= 500.0; x += 50.0) {
+    t.add_row({common::fmt(x, 0), common::fmt(math::empirical_cdf_at(rs.latencies_ms, x)),
+               common::fmt(math::empirical_cdf_at(rr.latencies_ms, x))});
+  }
+  bench::emit(t, opts);
+
+  const auto ss = rs.latency_summary();
+  const auto sr = rr.latency_summary();
+  common::Table m({"metric", "simulator", "system", "gap"});
+  m.add_row({"mean latency (ms)", common::fmt(ss.mean, 1), common::fmt(sr.mean, 1),
+             common::fmt_pct(sr.mean / ss.mean - 1.0) + " (paper: +25.2%)"});
+  m.add_row({"std (ms)", common::fmt(ss.stddev, 1), common::fmt(sr.stddev, 1), "-"});
+  bench::emit(m, opts);
+  return 0;
+}

@@ -1,0 +1,26 @@
+/// Fig. 3 — End-to-end latency statistics under user traffic 1-4: the
+/// sim-to-real gap (mean and variance) widens as traffic grows.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figure 3: latency vs user traffic",
+                "paper Fig. 3 — gap grows with traffic; system reaches ~800 ms at 4");
+
+  env::Simulator sim;
+  env::RealNetwork real;
+  common::Table t({"user traffic", "sim mean (ms)", "sim std", "system mean (ms)", "system std",
+                   "mean gap"});
+  for (int traffic = 1; traffic <= 4; ++traffic) {
+    auto wl = bench::workload(opts, 60.0, traffic);
+    const auto ss = sim.run(env::SliceConfig{}, wl).latency_summary();
+    const auto sr = real.run(env::SliceConfig{}, wl).latency_summary();
+    t.add_row({std::to_string(traffic), common::fmt(ss.mean, 0), common::fmt(ss.stddev, 0),
+               common::fmt(sr.mean, 0), common::fmt(sr.stddev, 0),
+               common::fmt_pct(sr.mean / ss.mean - 1.0)});
+  }
+  bench::emit(t, opts);
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// Fig. 5 — Footprint of state-of-the-art online learning methods (DLDA and
+/// GP-BO) in the (resource usage, QoE) plane: most explored configurations
+/// miss the QoE requirement of 0.9 — the motivation for safe exploration.
+
+#include "baselines/dlda.hpp"
+#include "baselines/gp_baseline.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figure 5: footprint of DLDA and BO during online learning",
+                "paper Fig. 5 — most explored actions violate the 0.9 QoE requirement");
+
+  env::RealNetwork real;
+  common::ThreadPool pool;
+  const std::size_t iters = opts.iters(40, 12);
+
+  // BO (GP-EI) exploring the real network directly.
+  baselines::GpBaselineOptions bo_opts;
+  bo_opts.iterations = iters;
+  bo_opts.workload = bench::workload(opts, 15.0);
+  bo_opts.seed = opts.seed;
+  const auto bo_trace = baselines::GpBaseline(real, bo_opts).learn();
+
+  // DLDA: offline grid on the (uncalibrated) simulator, then online transfer.
+  env::Simulator sim;
+  baselines::DldaOptions dlda_opts;
+  dlda_opts.grid_per_dim = 3;  // keep the motivation figure light
+  dlda_opts.online_iterations = iters;
+  dlda_opts.workload = bench::workload(opts, 15.0);
+  dlda_opts.seed = opts.seed + 5;
+  baselines::Dlda dlda(sim, dlda_opts, &pool);
+  dlda.train_offline();
+  const auto dlda_trace = dlda.learn_online(real);
+
+  auto summarize = [&](const baselines::OnlineTrace& trace, const std::string& name,
+                       common::Table& t) {
+    std::size_t violations = 0;
+    double usage_sum = 0.0;
+    for (std::size_t i = 0; i < trace.qoe.size(); ++i) {
+      if (trace.qoe[i] < 0.9) ++violations;
+      usage_sum += trace.usage[i];
+    }
+    t.add_row({name, std::to_string(trace.qoe.size()), std::to_string(violations),
+               common::fmt_pct(static_cast<double>(violations) /
+                               static_cast<double>(trace.qoe.size())),
+               common::fmt_pct(usage_sum / static_cast<double>(trace.usage.size()))});
+  };
+
+  common::Table t({"method", "explored actions", "QoE<0.9", "violation rate", "avg usage"});
+  summarize(bo_trace, "BO (GP-EI)", t);
+  summarize(dlda_trace, "DLDA", t);
+  bench::emit(t, opts);
+
+  common::Table scatter({"method", "usage", "qoe"});
+  for (std::size_t i = 0; i < bo_trace.qoe.size(); i += 2) {
+    scatter.add_row({"BO", common::fmt(bo_trace.usage[i]), common::fmt(bo_trace.qoe[i])});
+  }
+  for (std::size_t i = 0; i < dlda_trace.qoe.size(); i += 2) {
+    scatter.add_row({"DLDA", common::fmt(dlda_trace.usage[i]), common::fmt(dlda_trace.qoe[i])});
+  }
+  std::cout << "Footprint scatter (every 2nd point):\n";
+  bench::emit(scatter, opts);
+  return 0;
+}

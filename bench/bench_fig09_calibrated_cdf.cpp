@@ -1,0 +1,38 @@
+/// Fig. 9 — Latency CDF under the best simulation parameters found by each
+/// method: the calibrated simulators hug the system's CDF; the GP-based one
+/// shows a longer tail.
+
+#include "bench_util.hpp"
+#include "math/stats.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figure 9: latency CDF under calibrated simulation parameters",
+                "paper Fig. 9 — ours matches the system CDF; GP has a longer tail");
+
+  env::RealNetwork real;
+  common::ThreadPool pool;
+
+  auto ours_opts = bench::stage1_options(opts);
+  const auto ours = core::SimCalibrator(real, ours_opts, &pool).calibrate();
+  auto gp_opts = bench::stage1_options(opts);
+  gp_opts.surrogate = core::CalibratorSurrogate::kGpEi;
+  const auto gp = core::SimCalibrator(real, gp_opts, &pool).calibrate();
+
+  env::Simulator sim_ours(ours.best_params);
+  env::Simulator sim_gp(gp.best_params);
+  const auto wl = bench::workload(opts, 60.0);
+  const auto lat_real = real.run(env::SliceConfig{}, wl).latencies_ms;
+  const auto lat_ours = sim_ours.run(env::SliceConfig{}, wl).latencies_ms;
+  const auto lat_gp = sim_gp.run(env::SliceConfig{}, wl).latencies_ms;
+
+  common::Table t({"latency (ms)", "CDF simulator-GP", "CDF system", "CDF simulator-ours"});
+  for (double x = 100.0; x <= 600.0; x += 50.0) {
+    t.add_row({common::fmt(x, 0), common::fmt(math::empirical_cdf_at(lat_gp, x)),
+               common::fmt(math::empirical_cdf_at(lat_real, x)),
+               common::fmt(math::empirical_cdf_at(lat_ours, x))});
+  }
+  bench::emit(t, opts);
+  return 0;
+}

@@ -1,0 +1,39 @@
+/// Fig. 10 — Sim-to-real discrepancy under user mobility: discrepancy rises
+/// with the user-eNB distance (the real pathloss exponent has no Table 3
+/// counterpart), worst under random-walk mobility.
+
+#include "bench_util.hpp"
+#include "math/kl.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figure 10: sim-to-real discrepancy under user mobility",
+                "paper Fig. 10 — rises with distance; random walk worst");
+
+  env::RealNetwork real;
+  common::ThreadPool pool;
+  const auto calibration = bench::run_stage1(opts, pool);
+  env::Simulator sim(calibration.best_params);
+
+  common::Table t({"user-BS distance (m)", "sim-to-real discrepancy"});
+  auto measure = [&](double distance, bool random_walk, const std::string& label) {
+    auto wl = bench::workload(opts, 40.0);
+    wl.distance_m = distance;
+    wl.random_walk = random_walk;
+    const auto lat_real = real.run(env::SliceConfig{}, wl).latencies_ms;
+    wl.seed = opts.seed + 31;
+    const auto lat_sim = sim.run(env::SliceConfig{}, wl).latencies_ms;
+    double kl = 10.0;
+    if (!lat_real.empty() && !lat_sim.empty()) {
+      kl = math::kl_divergence(lat_real, lat_sim);
+    }
+    t.add_row({label, common::fmt(kl, 2)});
+  };
+  for (double d : {1.0, 3.0, 5.0, 7.0, 10.0}) {
+    measure(d, false, common::fmt(d, 0));
+  }
+  measure(4.0, true, "random");
+  bench::emit(t, opts);
+  return 0;
+}

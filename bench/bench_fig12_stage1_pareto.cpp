@@ -1,0 +1,30 @@
+/// Fig. 12 — Pareto boundary of the augmented simulator: sweeping the weight
+/// alpha trades sim-to-real discrepancy against parameter distance.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figure 12: Pareto boundary, discrepancy vs parameter distance",
+                "paper Fig. 12 — alpha sweeps the (0.21..0.4) x (0.1..0.3) frontier");
+
+  env::RealNetwork real;
+  common::ThreadPool pool;
+
+  common::Table t({"alpha", "sim-to-real discrepancy", "parameter distance"});
+  for (double alpha : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    auto o = bench::stage1_options(opts);
+    o.alpha = alpha;
+    o.iterations = opts.iters(60, 15);  // sweep is 5 searches; keep each lighter
+    o.seed = opts.seed + static_cast<std::uint64_t>(alpha * 10.0);
+    core::SimCalibrator calibrator(real, o, &pool);
+    const auto result = calibrator.calibrate();
+    t.add_row({common::fmt(alpha, 1), common::fmt(result.best_kl, 3),
+               common::fmt(result.best_distance, 3)});
+  }
+  bench::emit(t, opts);
+  std::cout << "Higher alpha -> smaller parameter distance at higher discrepancy\n"
+               "(the explainability trade-off of paper §4.2).\n";
+  return 0;
+}

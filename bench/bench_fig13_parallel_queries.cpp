@@ -1,0 +1,45 @@
+/// Fig. 13 — Stage-1 searching progress under different numbers of parallel
+/// Thompson-sampling queries: more parallelism converges lower and steadier.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figure 13: stage-1 search with parallel = 1, 2, 4, 8, 16",
+                "paper Fig. 13 — more parallel queries -> lower discrepancy");
+
+  env::RealNetwork real;
+  common::ThreadPool pool;
+
+  const std::vector<std::size_t> parallels{1, 2, 4, 8, 16};
+  std::vector<core::CalibrationResult> results;
+  for (std::size_t p : parallels) {
+    auto o = bench::stage1_options(opts);
+    o.parallel = p;
+    o.iterations = opts.iters(50, 12);
+    o.init_iterations = opts.iters(12, 4);
+    o.seed = opts.seed + p;
+    core::SimCalibrator calibrator(real, o, &pool);
+    results.push_back(calibrator.calibrate());
+  }
+
+  common::Table t({"iteration", "P=1", "P=2", "P=4", "P=8", "P=16"});
+  const std::size_t n = results[0].avg_weighted_per_iter.size();
+  for (std::size_t i = 0; i < n; i += std::max<std::size_t>(1, n / 8)) {
+    std::vector<std::string> row{std::to_string(i)};
+    for (const auto& r : results) {
+      row.push_back(common::fmt(
+          r.avg_weighted_per_iter[std::min(i, r.avg_weighted_per_iter.size() - 1)], 2));
+    }
+    t.add_row(row);
+  }
+  bench::emit(t, opts);
+
+  common::Table best({"parallel", "best weighted discrepancy"});
+  for (std::size_t i = 0; i < parallels.size(); ++i) {
+    best.add_row({std::to_string(parallels[i]), common::fmt(results[i].best_weighted, 3)});
+  }
+  bench::emit(best, opts);
+  return 0;
+}

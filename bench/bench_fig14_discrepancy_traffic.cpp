@@ -1,0 +1,34 @@
+/// Fig. 14 — Discrepancy reduction under different user traffic: parameters
+/// calibrated ONLY at traffic 1 still reduce discrepancy at traffic 2-4
+/// (shared patterns), but unevenly — residual discrepancy remains.
+
+#include "bench_util.hpp"
+#include "math/kl.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figure 14: sim-to-real discrepancy under user traffic, original vs ours",
+                "paper Fig. 14 — reductions of 81/57/44/62% at traffic 1-4");
+
+  env::RealNetwork real;
+  common::ThreadPool pool;
+  const auto calibration = bench::run_stage1(opts, pool);  // calibrated at traffic 1
+  env::Simulator original;
+  env::Simulator calibrated(calibration.best_params);
+
+  common::Table t({"user traffic", "orig. simulator", "ours", "reduction"});
+  for (int traffic = 1; traffic <= 4; ++traffic) {
+    auto wl = bench::workload(opts, 40.0, traffic);
+    const auto lat_real = real.run(env::SliceConfig{}, wl).latencies_ms;
+    wl.seed = opts.seed + 41;
+    const auto lat_orig = original.run(env::SliceConfig{}, wl).latencies_ms;
+    const auto lat_cal = calibrated.run(env::SliceConfig{}, wl).latencies_ms;
+    const double kl_orig = math::kl_divergence(lat_real, lat_orig);
+    const double kl_cal = math::kl_divergence(lat_real, lat_cal);
+    t.add_row({std::to_string(traffic), common::fmt(kl_orig, 2), common::fmt(kl_cal, 2),
+               common::fmt_pct(1.0 - kl_cal / kl_orig)});
+  }
+  bench::emit(t, opts);
+  return 0;
+}

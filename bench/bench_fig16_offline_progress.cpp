@@ -1,0 +1,33 @@
+/// Fig. 16 — Stage-2 training progress: average resource usage falls while
+/// average QoE holds above the requirement; both converge.
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figure 16: offline training progress (avg usage & avg QoE)",
+                "paper Fig. 16 — usage decreases while QoE >= 0.9; both converge");
+
+  env::RealNetwork real;
+  common::ThreadPool pool;
+  const auto calibration = bench::run_stage1(opts, pool);
+  env::Simulator augmented(calibration.best_params);
+
+  core::OfflineTrainer trainer(augmented, bench::stage2_options(opts), &pool);
+  const auto result = trainer.train();
+
+  common::Table t({"iteration", "avg resource usage", "avg QoE", "lambda"});
+  const std::size_t n = result.trace.avg_usage.size();
+  for (std::size_t i = 0; i < n; i += std::max<std::size_t>(1, n / 12)) {
+    t.add_row({std::to_string(i), common::fmt_pct(result.trace.avg_usage[i]),
+               common::fmt(result.trace.avg_qoe[i]), common::fmt(result.trace.lambda[i])});
+  }
+  bench::emit(t, opts);
+
+  common::Table best({"metric", "ours", "paper"});
+  best.add_row({"best policy usage", common::fmt_pct(result.policy.best_usage), "19.81%"});
+  best.add_row({"best policy QoE", common::fmt(result.policy.best_qoe), "0.905"});
+  bench::emit(best, opts);
+  return 0;
+}

@@ -1,0 +1,54 @@
+/// Fig. 19 — Average resource usage under different latency thresholds Y:
+/// ours stays below DLDA everywhere; the gap shrinks as Y loosens (the
+/// 6 UL / 3 DL PRB connectivity floor already satisfies loose SLAs).
+
+#include "baselines/dlda.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figure 19: avg usage vs latency threshold Y",
+                "paper Fig. 19 — ours < DLDA; gap shrinks as Y grows");
+
+  env::Simulator augmented(env::oracle_calibration());
+  common::ThreadPool pool;
+  const auto wl = bench::workload(opts, 15.0);
+
+  baselines::DldaOptions dlda_opts;
+  dlda_opts.grid_per_dim = 4;
+  dlda_opts.workload = wl;
+  dlda_opts.seed = opts.seed + 9;
+  baselines::Dlda dlda(augmented, dlda_opts, &pool);
+  dlda.train_offline();
+
+  common::Table t({"threshold Y (ms)", "ours usage", "ours QoE", "DLDA usage", "DLDA QoE"});
+  for (double y : {300.0, 400.0, 500.0}) {
+    auto o = bench::stage2_options(opts);
+    o.iterations = opts.iters(90, 20);
+    o.sla.latency_threshold_ms = y;
+    core::OfflineTrainer trainer(augmented, o, &pool);
+    const auto result = trainer.train();
+
+    // DLDA's teacher was trained at Y=300 QoE labels; per the paper we
+    // rebuild its dataset per threshold. To stay light, re-select only.
+    baselines::DldaOptions per_y = dlda_opts;
+    per_y.sla.latency_threshold_ms = y;
+    baselines::Dlda dlda_y(augmented, per_y, &pool);
+    dlda_y.train_offline();
+    math::Rng rng(opts.seed + static_cast<std::uint64_t>(y));
+    const auto dlda_config = dlda_y.select_offline(rng);
+
+    auto validate = [&](const env::SliceConfig& c) {
+      auto w = wl;
+      w.seed = opts.seed + 700 + static_cast<std::uint64_t>(y);
+      return augmented.measure_qoe(c, w, y);
+    };
+    t.add_row({common::fmt(y, 0), common::fmt_pct(result.policy.best_usage),
+               common::fmt(validate(result.policy.best_config)),
+               common::fmt_pct(dlda_config.resource_usage()),
+               common::fmt(validate(dlda_config))});
+  }
+  bench::emit(t, opts);
+  return 0;
+}

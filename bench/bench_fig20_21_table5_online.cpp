@@ -1,0 +1,118 @@
+/// Figs. 20-21 + Table 5 — Online learning in the real network: per-iteration
+/// average resource usage and slice QoE for Baseline (GP-EI), VirtualEdge,
+/// DLDA and Ours, plus the average regrets of Eqs. 10-11.
+/// Paper Table 5: usage regret 35.83 / 16.06 / 8.79 / 3.17 %; QoE regret
+/// 0.31 / 0.34 / 0.54 / 0.077; ours uses 20x100 offline queries.
+
+#include "baselines/dlda.hpp"
+#include "baselines/gp_baseline.hpp"
+#include "baselines/virtual_edge.hpp"
+#include "atlas/oracle.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figures 20-21 + Table 5: online learning, all methods",
+                "paper — regrets: Baseline 35.83%/0.31, VirtualEdge 16.06%/0.34, "
+                "DLDA 8.79%/0.54, Ours 3.17%/0.077");
+
+  env::RealNetwork real;
+  common::ThreadPool pool;
+  const auto online_wl = bench::workload(opts, 25.0);
+  const std::size_t online_iters = bench::stage3_options(opts).iterations;
+
+  // ---- Atlas: stages 1 + 2 + 3 ---------------------------------------------
+  const auto calibration = bench::run_stage1(opts, pool);
+  env::Simulator augmented(calibration.best_params);
+  core::OfflineTrainer trainer(augmented, bench::stage2_options(opts), &pool);
+  const auto offline = trainer.train();
+  auto s3 = bench::stage3_options(opts);
+  s3.workload = online_wl;
+  core::OnlineLearner learner(&offline.policy, augmented, real, s3);
+  const auto atlas_run = learner.learn();
+
+  // ---- Baseline: GP-EI directly online --------------------------------------
+  baselines::GpBaselineOptions base_opts;
+  base_opts.iterations = online_iters;
+  base_opts.workload = online_wl;
+  base_opts.seed = opts.seed + 11;
+  const auto base_trace = baselines::GpBaseline(real, base_opts).learn();
+
+  // ---- VirtualEdge ------------------------------------------------------------
+  baselines::VirtualEdgeOptions ve_opts;
+  ve_opts.iterations = online_iters;
+  ve_opts.workload = online_wl;
+  ve_opts.seed = opts.seed + 13;
+  const auto ve_trace = baselines::VirtualEdge(real, ve_opts).learn();
+
+  // ---- DLDA (offline grid on the ORIGINAL simulator, as in the paper) -------
+  env::Simulator original;
+  baselines::DldaOptions dlda_opts;
+  dlda_opts.grid_per_dim = 4;
+  dlda_opts.online_iterations = online_iters;
+  dlda_opts.workload = online_wl;
+  dlda_opts.seed = opts.seed + 17;
+  baselines::Dlda dlda(original, dlda_opts, &pool);
+  dlda.train_offline();
+  const auto dlda_trace = dlda.learn_online(real);
+
+  // ---- phi* for regret accounting --------------------------------------------
+  const auto oracle = core::find_optimal_config(real, s3.sla, online_wl,
+                                                opts.iters(100, 40), opts.seed + 19, &pool);
+
+  // ---- Figs. 20-21: training progress ----------------------------------------
+  auto window_avg = [](const std::vector<double>& v, std::size_t i) {
+    const std::size_t w = 5;
+    const std::size_t lo = i >= w ? i - w : 0;
+    double acc = 0.0;
+    for (std::size_t j = lo; j <= i; ++j) acc += v[j];
+    return acc / static_cast<double>(i - lo + 1);
+  };
+  std::vector<double> atlas_usage;
+  std::vector<double> atlas_qoe;
+  for (const auto& h : atlas_run.history) {
+    atlas_usage.push_back(h.usage);
+    atlas_qoe.push_back(h.qoe_real);
+  }
+  common::Table progress({"iter", "Baseline usage", "VirtualEdge usage", "DLDA usage",
+                          "Ours usage", "Baseline QoE", "VirtualEdge QoE", "DLDA QoE",
+                          "Ours QoE"});
+  for (std::size_t i = 0; i < online_iters; i += std::max<std::size_t>(1, online_iters / 10)) {
+    progress.add_row({std::to_string(i), common::fmt_pct(window_avg(base_trace.usage, i)),
+                      common::fmt_pct(window_avg(ve_trace.usage, i)),
+                      common::fmt_pct(window_avg(dlda_trace.usage, i)),
+                      common::fmt_pct(window_avg(atlas_usage, i)),
+                      common::fmt(window_avg(base_trace.qoe, i)),
+                      common::fmt(window_avg(ve_trace.qoe, i)),
+                      common::fmt(window_avg(dlda_trace.qoe, i)),
+                      common::fmt(window_avg(atlas_qoe, i))});
+  }
+  std::cout << "Training progress, rolling mean of 6 (Figs. 20-21):\n";
+  bench::emit(progress, opts);
+
+  // ---- Table 5: regrets -------------------------------------------------------
+  const auto base_regret = core::compute_regret(base_trace.usage, base_trace.qoe, oracle);
+  const auto ve_regret = core::compute_regret(ve_trace.usage, ve_trace.qoe, oracle);
+  const auto dlda_regret = core::compute_regret(dlda_trace.usage, dlda_trace.qoe, oracle);
+  const auto atlas_regret = core::compute_regret(atlas_run.history, oracle);
+
+  common::Table table5({"method", "avg usage regret (%)", "avg QoE regret", "offline queries",
+                        "paper usage/qoe regret"});
+  auto pct = [](double v) { return atlas::common::fmt(v * 100.0, 2); };
+  table5.add_row({"Baseline", pct(base_regret.avg_usage_regret),
+                  common::fmt(base_regret.avg_qoe_regret, 3), "0", "35.83 / 0.31"});
+  table5.add_row({"VirtualEdge", pct(ve_regret.avg_usage_regret),
+                  common::fmt(ve_regret.avg_qoe_regret, 3), "0", "16.06 / 0.34"});
+  table5.add_row({"DLDA", pct(dlda_regret.avg_usage_regret),
+                  common::fmt(dlda_regret.avg_qoe_regret, 3),
+                  std::to_string(dlda.dataset_size()), "8.79 / 0.54"});
+  table5.add_row({"Ours", pct(atlas_regret.avg_usage_regret),
+                  common::fmt(atlas_regret.avg_qoe_regret, 3),
+                  std::to_string(s3.inner_updates) + "x" + std::to_string(online_iters),
+                  "3.17 / 0.077"});
+  std::cout << "Online learning regrets (Table 5), phi*: usage "
+            << common::fmt_pct(oracle.usage) << " QoE " << common::fmt(oracle.qoe) << ":\n";
+  bench::emit(table5, opts);
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// Fig. 22 — Footprint of Atlas's online stage under different acquisition
+/// functions (PI, EI, GP-UCB, ours/cRGP-UCB): the conservative acquisition
+/// explores lower-usage actions while staying near the QoE requirement.
+
+#include "atlas/oracle.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figure 22: online footprint under acquisition functions",
+                "paper Fig. 22 — ours beats PI/EI; GP-UCB close but uses more resources");
+
+  env::RealNetwork real;
+  common::ThreadPool pool;
+  env::Simulator augmented(env::oracle_calibration());
+  core::OfflineTrainer trainer(augmented, bench::stage2_options(opts), &pool);
+  const auto offline = trainer.train();
+
+  struct Entry {
+    std::string name;
+    bo::AcquisitionKind kind;
+  };
+  const std::vector<Entry> entries{{"PI", bo::AcquisitionKind::kPi},
+                                   {"EI", bo::AcquisitionKind::kEi},
+                                   {"GP-UCB", bo::AcquisitionKind::kGpUcb},
+                                   {"Ours (cRGP-UCB)", bo::AcquisitionKind::kCrgpUcb}};
+
+  common::Table t({"acquisition", "avg usage", "avg QoE", "QoE<0.9 rate", "min usage@QoE>=0.9"});
+  for (const auto& entry : entries) {
+    auto o = bench::stage3_options(opts);
+    o.acquisition = entry.kind;
+    core::OnlineLearner learner(&offline.policy, augmented, real, o);
+    const auto run = learner.learn();
+    double usage = 0.0;
+    double qoe = 0.0;
+    double violations = 0.0;
+    double best_feasible = 1.0;
+    for (const auto& h : run.history) {
+      usage += h.usage / static_cast<double>(run.history.size());
+      qoe += h.qoe_real / static_cast<double>(run.history.size());
+      if (h.qoe_real < 0.9) violations += 1.0 / static_cast<double>(run.history.size());
+      if (h.qoe_real >= 0.9) best_feasible = std::min(best_feasible, h.usage);
+    }
+    t.add_row({entry.name, common::fmt_pct(usage), common::fmt(qoe),
+               common::fmt_pct(violations), common::fmt_pct(best_feasible)});
+  }
+  bench::emit(t, opts);
+  return 0;
+}

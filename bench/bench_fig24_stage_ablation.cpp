@@ -1,0 +1,53 @@
+/// Fig. 24 — Impact of individual Atlas stages: remove stage 1 (train on the
+/// original simulator), stage 2 (no offline policy), or stage 3 (apply the
+/// offline optimum without online learning).
+
+#include "atlas/oracle.hpp"
+#include "atlas/pipeline.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figure 24: pipeline ablation (no stage 1 / 2 / 3)",
+                "paper Fig. 24 — removing any stage hurts usage, QoE, or both");
+
+  env::RealNetwork real;
+  common::ThreadPool pool;
+
+  auto base_options = [&] {
+    core::PipelineOptions po;
+    po.stage1 = bench::stage1_options(opts);
+    po.stage1.iterations = opts.iters(60, 15);
+    po.stage2 = bench::stage2_options(opts);
+    po.stage2.iterations = opts.iters(90, 20);
+    po.stage3 = bench::stage3_options(opts);
+    return po;
+  };
+
+  common::Table t({"pipeline", "avg usage", "avg QoE", "QoE<0.9 rate"});
+  auto run_variant = [&](const std::string& name, bool s1, bool s2, bool s3) {
+    auto po = base_options();
+    po.run_stage1 = s1;
+    po.run_stage2 = s2;
+    po.run_stage3 = s3;
+    core::AtlasPipeline pipeline(real, po, &pool);
+    const auto result = pipeline.run();
+    double usage = 0.0;
+    double qoe = 0.0;
+    double violations = 0.0;
+    const auto& hist = result.online.history;
+    for (const auto& h : hist) {
+      usage += h.usage / static_cast<double>(hist.size());
+      qoe += h.qoe_real / static_cast<double>(hist.size());
+      if (h.qoe_real < 0.9) violations += 1.0 / static_cast<double>(hist.size());
+    }
+    t.add_row({name, common::fmt_pct(usage), common::fmt(qoe), common::fmt_pct(violations)});
+  };
+  run_variant("Ours (all stages)", true, true, true);
+  run_variant("No stage 1", false, true, true);
+  run_variant("No stage 2", true, false, true);
+  run_variant("No stage 3", true, true, false);
+  bench::emit(t, opts);
+  return 0;
+}

@@ -1,0 +1,92 @@
+/// Figs. 25-26 — Online regrets under dynamic user traffic (2-4) with
+/// Y = 500 ms: ours achieves the lowest usage and QoE regret almost
+/// everywhere; DLDA trades QoE for usage at traffic 4.
+
+#include "atlas/oracle.hpp"
+#include "baselines/dlda.hpp"
+#include "baselines/gp_baseline.hpp"
+#include "baselines/virtual_edge.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Figures 25-26: regrets under user traffic 2-4 (Y = 500 ms)",
+                "paper Figs. 25-26 — ours lowest on both axes for almost all traffic");
+
+  env::RealNetwork real;
+  common::ThreadPool pool;
+  app::Sla sla;
+  sla.latency_threshold_ms = 500.0;
+
+  common::Table qoe_t({"user traffic", "Ours", "DLDA", "VirtualEdge", "Baseline"});
+  common::Table usage_t({"user traffic", "Ours", "DLDA", "VirtualEdge", "Baseline"});
+
+  for (int traffic : {2, 3, 4}) {
+    auto wl = bench::workload(opts, 20.0, traffic);
+    const auto oracle = core::find_optimal_config(
+        real, sla, wl, opts.iters(80, 30), opts.seed + static_cast<std::uint64_t>(traffic),
+        &pool);
+
+    // Atlas (oracle-calibrated simulator keeps this sweep tractable; the
+    // full-stage variant is bench_fig20_21).
+    env::Simulator augmented(env::oracle_calibration());
+    auto s2 = bench::stage2_options(opts);
+    s2.iterations = opts.iters(90, 20);
+    s2.sla = sla;
+    s2.workload = wl;
+    core::OfflineTrainer trainer(augmented, s2, &pool);
+    const auto offline = trainer.train();
+    auto s3 = bench::stage3_options(opts);
+    s3.sla = sla;
+    s3.workload = wl;
+    core::OnlineLearner learner(&offline.policy, augmented, real, s3);
+    const auto atlas_regret = core::compute_regret(learner.learn().history, oracle);
+
+    // DLDA.
+    baselines::DldaOptions dlda_opts;
+    dlda_opts.grid_per_dim = 3;
+    dlda_opts.online_iterations = s3.iterations;
+    dlda_opts.sla = sla;
+    dlda_opts.workload = wl;
+    dlda_opts.seed = opts.seed + 31 + static_cast<std::uint64_t>(traffic);
+    env::Simulator original;
+    baselines::Dlda dlda(original, dlda_opts, &pool);
+    dlda.train_offline();
+    const auto dlda_trace = dlda.learn_online(real);
+    const auto dlda_regret = core::compute_regret(dlda_trace.usage, dlda_trace.qoe, oracle);
+
+    // VirtualEdge.
+    baselines::VirtualEdgeOptions ve_opts;
+    ve_opts.iterations = s3.iterations;
+    ve_opts.sla = sla;
+    ve_opts.workload = wl;
+    ve_opts.seed = opts.seed + 41 + static_cast<std::uint64_t>(traffic);
+    const auto ve_trace = baselines::VirtualEdge(real, ve_opts).learn();
+    const auto ve_regret = core::compute_regret(ve_trace.usage, ve_trace.qoe, oracle);
+
+    // Baseline.
+    baselines::GpBaselineOptions base_opts;
+    base_opts.iterations = s3.iterations;
+    base_opts.sla = sla;
+    base_opts.workload = wl;
+    base_opts.seed = opts.seed + 51 + static_cast<std::uint64_t>(traffic);
+    const auto base_trace = baselines::GpBaseline(real, base_opts).learn();
+    const auto base_regret = core::compute_regret(base_trace.usage, base_trace.qoe, oracle);
+
+    qoe_t.add_row({std::to_string(traffic), common::fmt(atlas_regret.avg_qoe_regret, 3),
+                   common::fmt(dlda_regret.avg_qoe_regret, 3),
+                   common::fmt(ve_regret.avg_qoe_regret, 3),
+                   common::fmt(base_regret.avg_qoe_regret, 3)});
+    usage_t.add_row({std::to_string(traffic),
+                     common::fmt(atlas_regret.avg_usage_regret * 100.0, 2),
+                     common::fmt(dlda_regret.avg_usage_regret * 100.0, 2),
+                     common::fmt(ve_regret.avg_usage_regret * 100.0, 2),
+                     common::fmt(base_regret.avg_usage_regret * 100.0, 2)});
+  }
+  std::cout << "Average QoE regret (Fig. 25):\n";
+  bench::emit(qoe_t, opts);
+  std::cout << "Average usage regret %% (Fig. 26):\n";
+  bench::emit(usage_t, opts);
+  return 0;
+}

@@ -1,0 +1,38 @@
+/// Table 1 — Network performance comparison (10 MHz LTE): ping delay, UL/DL
+/// throughput, UL/DL packet error rate, simulator vs real network.
+
+#include <sstream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace atlas;
+  const auto opts = common::bench_options();
+  bench::banner("Table 1: network performance, simulator vs real network",
+                "paper Table 1 — sim: 34 ms / 19.87 / 32.37 Mbps / 4.16e-3 / 2.05e-3; "
+                "real: 34.6 ms / 17.53 / 31.12 Mbps / 9.17e-3 / 5.15e-3");
+
+  const double duration = opts.episode_seconds(40.0) * 1e3;
+  const auto sim = env::measure_network_performance(env::simulator_profile(), duration, opts.seed);
+  const auto real =
+      env::measure_network_performance(env::real_network_profile(), duration, opts.seed);
+
+  auto sci = [](double v) {
+    std::ostringstream ss;
+    ss.precision(2);
+    ss << std::scientific << v;
+    return ss.str();
+  };
+
+  common::Table t({"performance metric", "simulator", "real network", "paper sim", "paper real"});
+  t.add_row({"Average Ping Delay (ms)", common::fmt(sim.ping_ms, 1), common::fmt(real.ping_ms, 1),
+             "34", "34.6"});
+  t.add_row({"UL Throughput (Mbps)", common::fmt(sim.ul_mbps, 2), common::fmt(real.ul_mbps, 2),
+             "19.87", "17.53"});
+  t.add_row({"DL Throughput (Mbps)", common::fmt(sim.dl_mbps, 2), common::fmt(real.dl_mbps, 2),
+             "32.37", "31.12"});
+  t.add_row({"UL Packet Error Rate", sci(sim.ul_per), sci(real.ul_per), "4.16e-03", "9.17e-03"});
+  t.add_row({"DL Packet Error Rate", sci(sim.dl_per), sci(real.dl_per), "2.05e-03", "5.15e-03"});
+  bench::emit(t, opts);
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Multiple tenants, one network: per-slice isolation in action.
+///
+/// Demonstrates the multi-slice episode runner (paper footnote 4 and the
+/// §10 scalability argument): three tenants with different SLAs and traffic
+/// share the carrier; because PRB caps, per-slice meters, and per-slice edge
+/// containers isolate them, each slice's QoE depends only on its own
+/// configuration — which is why one Atlas instance per slice suffices.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "env/multi_slice.hpp"
+
+int main() {
+  using namespace atlas;
+
+  // Tenant A: latency-critical AR offload, small but guaranteed.
+  env::SliceSpec ar;
+  ar.config.bandwidth_ul = 12;
+  ar.config.bandwidth_dl = 6;
+  ar.config.backhaul_mbps = 10;
+  ar.config.cpu_ratio = 0.9;
+  ar.traffic = 1;
+
+  // Tenant B: video analytics, heavier traffic, moderate deadline.
+  env::SliceSpec video;
+  video.config.bandwidth_ul = 24;
+  video.config.bandwidth_dl = 10;
+  video.config.backhaul_mbps = 25;
+  video.config.cpu_ratio = 0.7;
+  video.traffic = 3;
+
+  // Tenant C: best-effort telemetry on leftovers.
+  env::SliceSpec telemetry;
+  telemetry.config.bandwidth_ul = 8;
+  telemetry.config.bandwidth_dl = 4;
+  telemetry.config.backhaul_mbps = 5;
+  telemetry.config.cpu_ratio = 0.25;
+  telemetry.traffic = 2;
+
+  std::cout << "Three slices sharing one real network for 60 s...\n\n";
+  const auto result = env::run_multi_slice_episode(env::real_network_profile(),
+                                                   {ar, video, telemetry}, 60000.0, 11);
+
+  const char* names[] = {"AR offload", "video analytics", "telemetry"};
+  const double thresholds[] = {300.0, 500.0, 800.0};
+  common::Table t({"slice", "usage", "frames", "mean latency (ms)", "p95 (ms)",
+                   "QoE @ own SLA"});
+  const env::SliceSpec* specs[] = {&ar, &video, &telemetry};
+  for (std::size_t s = 0; s < result.per_slice.size(); ++s) {
+    const auto& r = result.per_slice[s];
+    const auto summary = r.latency_summary();
+    const double p95 =
+        r.latencies_ms.empty() ? 0.0 : atlas::math::quantile(r.latencies_ms, 0.95);
+    t.add_row({names[s], common::fmt_pct(specs[s]->config.resource_usage()),
+               std::to_string(r.frames_completed), common::fmt(summary.mean, 0),
+               common::fmt(p95, 0), common::fmt(r.qoe(thresholds[s]))});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nEach slice meets or misses its SLA based on its OWN configuration;\n"
+               "re-run with different per-slice settings and only that slice moves.\n";
+  return 0;
+}

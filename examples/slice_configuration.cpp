@@ -1,0 +1,62 @@
+/// Stage-2 deep dive: train the offline configuration policy for a latency
+/// SLA (Y = 300 ms at 90% availability) and inspect the learned trade-off.
+///
+/// Demonstrates: OfflineTrainer with the adaptive Lagrangian, the learned
+/// QoE surrogate, and how the policy reacts to a different SLA threshold.
+
+#include <iostream>
+
+#include "atlas/offline_trainer.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+int main() {
+  using namespace atlas;
+
+  // Offline training runs in the augmented simulator; here we use the oracle
+  // calibration for brevity (run slice_calibration for the learned one).
+  env::Simulator simulator(env::oracle_calibration());
+  common::ThreadPool pool;
+
+  core::OfflineOptions options;
+  options.iterations = 80;
+  options.init_iterations = 20;
+  options.parallel = 4;
+  options.candidates = 1200;
+  options.workload.duration_ms = 12000.0;
+  options.seed = 31;
+
+  std::cout << "Offline training: minimize resource usage s.t. QoE >= "
+            << options.sla.availability << " at Y = " << options.sla.latency_threshold_ms
+            << " ms\n\n";
+  core::OfflineTrainer trainer(simulator, options, &pool);
+  const auto result = trainer.train();
+
+  const auto& best = result.policy.best_config;
+  common::Table config({"knob", "value", "range"});
+  config.add_row({"bandwidth_ul (PRBs)", common::fmt(best.bandwidth_ul, 1), "[0, 50]"});
+  config.add_row({"bandwidth_dl (PRBs)", common::fmt(best.bandwidth_dl, 1), "[0, 50]"});
+  config.add_row({"mcs_offset_ul", common::fmt(best.mcs_offset_ul, 1), "[0, 10]"});
+  config.add_row({"mcs_offset_dl", common::fmt(best.mcs_offset_dl, 1), "[0, 10]"});
+  config.add_row({"backhaul (Mbps)", common::fmt(best.backhaul_mbps, 1), "[0, 100]"});
+  config.add_row({"cpu_ratio", common::fmt(best.cpu_ratio, 2), "[0, 1]"});
+  std::cout << "Best offline configuration (usage " << common::fmt_pct(result.policy.best_usage)
+            << ", QoE " << common::fmt(result.policy.best_qoe) << "):\n";
+  config.print(std::cout);
+
+  std::cout << "\nTraining progress:\n";
+  common::Table progress({"iteration", "avg usage", "avg QoE", "lambda"});
+  for (std::size_t i = 0; i < result.trace.avg_usage.size(); i += 10) {
+    progress.add_row({std::to_string(i), common::fmt_pct(result.trace.avg_usage[i]),
+                      common::fmt(result.trace.avg_qoe[i]), common::fmt(result.trace.lambda[i])});
+  }
+  progress.print(std::cout);
+
+  // The policy generalizes over configurations: probe its QoE estimates.
+  env::SliceConfig probe = best;
+  probe.cpu_ratio = best.cpu_ratio * 0.5;
+  std::cout << "\nPolicy QoE estimate at the optimum: "
+            << common::fmt(result.policy.predict_qoe(best))
+            << "; with half the CPU: " << common::fmt(result.policy.predict_qoe(probe)) << "\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "app/frame_app.hpp"
+
+#include <stdexcept>
+
+namespace atlas::app {
+
+double AppTrafficModel::sample_frame_bits(atlas::math::Rng& rng) const {
+  return rng.truncated_normal(frame_kbits_mean, frame_kbits_std, frame_kbits_min,
+                              frame_kbits_max) *
+         1e3;
+}
+
+double AppTrafficModel::sample_loading_ms(atlas::math::Rng& rng) const {
+  double ms = loading_base_ms;
+  if (loading_jitter_ms > 0.0) ms += rng.uniform(0.0, loading_jitter_ms);
+  return ms;
+}
+
+FrameApp::FrameApp(AppTrafficModel model, int window, atlas::math::Rng& rng)
+    : model_(model), window_(window), rng_(rng) {
+  if (window_ < 1) throw std::invalid_argument("FrameApp: window must be >= 1");
+}
+
+void FrameApp::start(des::EventQueue& events, SendFn send) {
+  events_ = &events;
+  send_ = std::move(send);
+  for (int i = 0; i < window_; ++i) launch_frame();
+}
+
+void FrameApp::launch_frame() {
+  const std::uint64_t id = next_id_++;
+  ++in_flight_;
+  created_ms_.push_back(events_->now());
+  const double loading = model_.sample_loading_ms(rng_);
+  const double bits = model_.sample_frame_bits(rng_);
+  events_->schedule_in(loading, [this, id, bits] { send_(id, bits); });
+}
+
+double FrameApp::created_at(std::uint64_t frame_id) const {
+  if (frame_id >= created_ms_.size()) {
+    throw std::logic_error("FrameApp::created_at: unknown frame id");
+  }
+  return created_ms_[frame_id];
+}
+
+void FrameApp::on_result(std::uint64_t frame_id) {
+  if (frame_id >= created_ms_.size()) {
+    throw std::logic_error("FrameApp::on_result: unknown frame id");
+  }
+  latencies_.push_back(events_->now() - created_ms_[frame_id]);
+  --in_flight_;
+  // The freed congestion-window slot immediately admits the next frame.
+  launch_frame();
+}
+
+}  // namespace atlas::app

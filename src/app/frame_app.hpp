@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "des/event_queue.hpp"
+#include "math/matrix.hpp"
+#include "math/rng.hpp"
+
+namespace atlas::app {
+
+/// Traffic model of the paper's Android application (§7.1–7.2): the phone
+/// continuously uploads 540p frames (~28.8 kB ± 9.9 kB measured) to the edge
+/// server, which returns a small feature-extraction result. The number of
+/// on-the-fly frames (frames without a result yet) is capped by a congestion
+/// window; the paper emulates "user traffic" 1–4 by raising that cap.
+struct AppTrafficModel {
+  double frame_kbits_mean = 230.4;  ///< 28.8 kB.
+  double frame_kbits_std = 79.2;    ///< 9.9 kB.
+  double frame_kbits_min = 57.6;    ///< 7.2 kB floor (keyframe headers).
+  double frame_kbits_max = 512.0;   ///< 64 kB ceiling.
+  double result_kbits = 32.0;       ///< 4 kB feature payload downlink.
+  double loading_base_ms = 0.0;     ///< Per-frame UE-side loading time...
+  double loading_jitter_ms = 0.0;   ///< ...plus U(0, jitter). Real-only.
+
+  double sample_frame_bits(atlas::math::Rng& rng) const;
+  double sample_loading_ms(atlas::math::Rng& rng) const;
+};
+
+/// The frame-upload application driving one slice user. The episode runner
+/// installs a `send` callback that injects a frame into the uplink pipeline
+/// and calls `on_result` when the downlink result reaches the UE.
+///
+/// End-to-end latency of a frame = result arrival time - frame creation time
+/// (creation happens when a congestion-window slot frees, before loading).
+class FrameApp {
+ public:
+  using SendFn = std::function<void(std::uint64_t frame_id, double bits)>;
+
+  /// `window` = maximum on-the-fly frames ("user traffic" in the paper).
+  FrameApp(AppTrafficModel model, int window, atlas::math::Rng& rng);
+
+  /// Begin generating frames into `events` through `send`.
+  void start(des::EventQueue& events, SendFn send);
+
+  /// Notify that frame `frame_id`'s result arrived at the UE.
+  void on_result(std::uint64_t frame_id);
+
+  /// Latencies (ms) of all completed frames so far.
+  const atlas::math::Vec& latencies() const noexcept { return latencies_; }
+  int in_flight() const noexcept { return in_flight_; }
+  std::uint64_t frames_sent() const noexcept { return next_id_; }
+  /// Creation timestamp of a frame (for tracing); throws on unknown id.
+  double created_at(std::uint64_t frame_id) const;
+
+ private:
+  void launch_frame();
+
+  AppTrafficModel model_;
+  int window_;
+  atlas::math::Rng& rng_;
+  des::EventQueue* events_ = nullptr;
+  SendFn send_;
+  std::uint64_t next_id_ = 0;
+  int in_flight_ = 0;
+  std::vector<double> created_ms_;  ///< Indexed by frame id.
+  atlas::math::Vec latencies_;
+};
+
+}  // namespace atlas::app

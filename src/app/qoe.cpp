@@ -1,0 +1,12 @@
+#include "app/qoe.hpp"
+
+#include "math/stats.hpp"
+
+namespace atlas::app {
+
+double qoe_from_latencies(const atlas::math::Vec& latencies_ms, double threshold_ms) {
+  if (latencies_ms.empty()) return 0.0;
+  return atlas::math::empirical_cdf_at(latencies_ms, threshold_ms);
+}
+
+}  // namespace atlas::app

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "math/matrix.hpp"
+
+namespace atlas::app {
+
+/// The paper's unified quality-of-experience metric (§5.1, Eq. 6):
+/// QoE = Pr(service performance meets the SLA threshold). For the
+/// latency-sensitive frame application this is the fraction of frames whose
+/// end-to-end latency is at or below `threshold_ms`. Always in [0, 1];
+/// an episode with no completed frames counts as QoE 0 (total outage).
+double qoe_from_latencies(const atlas::math::Vec& latencies_ms, double threshold_ms);
+
+/// SLA descriptor: "latency <= Y ms must hold with probability >= E"
+/// (Eq. 6's Y and E; defaults from §8: Y = 300 ms, E = 0.9).
+struct Sla {
+  double latency_threshold_ms = 300.0;  ///< Y.
+  double availability = 0.9;            ///< E.
+
+  bool satisfied_by(double qoe) const noexcept { return qoe >= availability; }
+};
+
+}  // namespace atlas::app

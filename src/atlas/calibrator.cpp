@@ -1,0 +1,185 @@
+#include "atlas/calibrator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "bo/acquisition.hpp"
+#include "bo/gp_bo.hpp"
+#include "common/log.hpp"
+#include "math/halton.hpp"
+#include "nn/optim.hpp"
+
+namespace atlas::core {
+
+using atlas::math::Matrix;
+using atlas::math::Rng;
+using atlas::math::Vec;
+
+SimCalibrator::SimCalibrator(const env::NetworkEnvironment& real, CalibrationOptions options,
+                             common::ThreadPool* pool)
+    : real_(real), options_(std::move(options)), pool_(pool), space_(env::SimParams::space()) {
+  if (options_.bnn.sizes.empty()) {
+    options_.bnn.sizes = {space_.dim(), 64, 64, 1};
+    options_.bnn.noise_sigma = 0.1;
+  }
+  d_real_ = collect_real_latencies();
+}
+
+Vec SimCalibrator::collect_real_latencies() const {
+  // The online collection D_r: slice performance logged from the deployed
+  // configuration (full resources), exactly the paper's minimal-effort
+  // logging assumption (§4.1, footnote 3).
+  Vec all;
+  for (std::size_t e = 0; e < std::max<std::size_t>(1, options_.real_episodes); ++e) {
+    env::Workload wl = options_.workload;
+    wl.seed = options_.seed * 7919 + e;
+    const auto result = real_.run(env::SliceConfig{}, wl);
+    all.insert(all.end(), result.latencies_ms.begin(), result.latencies_ms.end());
+  }
+  return all;
+}
+
+double SimCalibrator::discrepancy_of(const env::SimParams& params, std::uint64_t seed) const {
+  env::Simulator sim(params);
+  env::Workload wl = options_.workload;
+  wl.seed = seed;
+  const auto result = sim.run(env::SliceConfig{}, wl);
+  if (result.latencies_ms.empty()) return math::kl_discrete({1.0}, {1.0}) + 10.0;
+  return math::kl_divergence(d_real_, result.latencies_ms, options_.kl);
+}
+
+CalibrationResult SimCalibrator::calibrate() {
+  Rng rng(options_.seed);
+  const env::SimParams original = env::SimParams::defaults();
+  const Vec x_hat = original.to_vec();
+  // Continual recalibration searches around the previous optimum; the
+  // explainability constraint of Eq. 2 stays anchored at x_hat.
+  const Vec center =
+      options_.search_center ? options_.search_center->to_vec() : x_hat;
+
+  math::HaltonSequence halton(space_.dim(), rng);
+  auto sample_candidate = [&](Rng& r) {
+    if (options_.sampler == CandidateSampler::kHalton) {
+      // Low-discrepancy draw mapped into the box; rejection keeps it inside
+      // the parameter ball (falls back to a uniform ball sample).
+      for (int t = 0; t < 16; ++t) {
+        const Vec x = space_.denormalize(halton.next());
+        if (space_.distance(x, center) <= options_.ball_radius) return x;
+      }
+    }
+    return space_.sample_in_ball(center, options_.ball_radius, r);
+  };
+
+  CalibrationResult result;
+  result.original_kl = discrepancy_of(original, options_.seed * 13 + 1);
+
+  // Training set in normalized coordinates; targets are raw KL values.
+  std::vector<Vec> xs_norm;
+  Vec ys;
+
+  nn::Bnn bnn(options_.bnn, rng);
+  nn::Adadelta opt(1.0);
+  nn::StepLr sched(opt, 1, 0.999);
+
+  bo::GpBoOptions gp_opts;
+  gp_opts.acquisition = bo::AcquisitionKind::kEi;
+  gp_opts.init_samples = options_.init_iterations;
+  gp_opts.candidates = options_.candidates;
+  bo::GpBoMinimizer gp_bo(space_, gp_opts);
+
+  const bool use_gp = options_.surrogate == CalibratorSurrogate::kGpEi;
+  const std::size_t batch = use_gp ? 1 : std::max<std::size_t>(1, options_.parallel);
+
+  double best_weighted = std::numeric_limits<double>::infinity();
+  std::uint64_t query_counter = 0;
+
+  auto evaluate_batch = [&](const std::vector<Vec>& queries) {
+    std::vector<double> kls(queries.size(), 0.0);
+    auto eval_one = [&](std::size_t i) {
+      kls[i] = discrepancy_of(env::SimParams::from_vec(queries[i]),
+                              options_.seed * 104729 + (query_counter + i));
+    };
+    if (pool_ != nullptr && queries.size() > 1) {
+      pool_->parallel_for(queries.size(), eval_one);
+    } else {
+      for (std::size_t i = 0; i < queries.size(); ++i) eval_one(i);
+    }
+    query_counter += queries.size();
+    return kls;
+  };
+
+  for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
+    // ---- Select this iteration's queries -----------------------------------
+    std::vector<Vec> queries;
+    if (use_gp) {
+      queries.push_back(gp_bo.observations() < options_.init_iterations
+                            ? sample_candidate(rng)
+                            : space_.clamp(gp_bo.ask(rng)));
+    } else if (iter < options_.init_iterations) {
+      for (std::size_t q = 0; q < batch; ++q) {
+        queries.push_back(sample_candidate(rng));
+      }
+    } else {
+      // Parallel Thompson sampling: each parallel query draws ONE frozen
+      // network from the BNN posterior and minimizes the weighted
+      // discrepancy estimate over a fresh candidate set (Alg. 1, lines 3-5).
+      for (std::size_t q = 0; q < batch; ++q) {
+        const nn::BnnSample draw = bnn.thompson(rng);
+        Vec best_x;
+        double best_util = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < options_.candidates; ++c) {
+          const Vec x = sample_candidate(rng);
+          const double est_kl = draw.predict(space_.normalize(x));
+          const double util = est_kl + options_.alpha * space_.distance(x, x_hat);
+          if (util < best_util) {
+            best_util = util;
+            best_x = x;
+          }
+        }
+        queries.push_back(best_x);
+      }
+    }
+
+    // ---- Query the simulator (offline, parallel) ---------------------------
+    const std::vector<double> kls = evaluate_batch(queries);
+
+    // ---- Record + bookkeeping ----------------------------------------------
+    double iter_weighted = 0.0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      CalibrationStep step;
+      step.params = env::SimParams::from_vec(queries[q]);
+      step.kl = kls[q];
+      step.distance = space_.distance(queries[q], x_hat);
+      step.weighted = step.kl + options_.alpha * step.distance;
+      iter_weighted += step.weighted;
+      if (step.weighted < best_weighted) {
+        best_weighted = step.weighted;
+        result.best_params = step.params;
+        result.best_kl = step.kl;
+        result.best_distance = step.distance;
+        result.best_weighted = step.weighted;
+      }
+      result.history.push_back(step);
+      xs_norm.push_back(space_.normalize(queries[q]));
+      ys.push_back(kls[q]);
+      if (use_gp) gp_bo.tell(queries[q], kls[q]);
+    }
+    result.avg_weighted_per_iter.push_back(iter_weighted /
+                                           static_cast<double>(queries.size()));
+
+    // ---- Update the surrogate ----------------------------------------------
+    if (!use_gp) {
+      Matrix x(xs_norm.size(), space_.dim());
+      for (std::size_t r = 0; r < xs_norm.size(); ++r) x.set_row(r, xs_norm[r]);
+      bnn.train(x, ys, options_.train_epochs, 64, opt, &sched, rng);
+    }
+    if ((iter + 1) % 25 == 0) {
+      common::log_info("stage1 iter ", iter + 1, "/", options_.iterations,
+                       " best weighted=", result.best_weighted, " kl=", result.best_kl,
+                       " dist=", result.best_distance);
+    }
+  }
+  return result;
+}
+
+}  // namespace atlas::core

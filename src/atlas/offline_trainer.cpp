@@ -1,0 +1,217 @@
+#include "atlas/offline_trainer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hpp"
+#include "gp/gaussian_process.hpp"
+#include "nn/optim.hpp"
+
+namespace atlas::core {
+
+using atlas::math::Matrix;
+using atlas::math::Rng;
+using atlas::math::Vec;
+
+math::Vec OfflinePolicy::input(int traffic, double threshold_ms, const Vec& config_norm) {
+  Vec x;
+  x.reserve(2 + config_norm.size());
+  x.push_back(static_cast<double>(traffic) / 4.0);
+  x.push_back(threshold_ms / 600.0);
+  x.insert(x.end(), config_norm.begin(), config_norm.end());
+  return x;
+}
+
+double OfflinePolicy::predict_qoe(const env::SliceConfig& config) const {
+  const auto space = env::SliceConfig::space();
+  const Vec in = input(traffic, sla.latency_threshold_ms, space.normalize(config.to_vec()));
+  return std::clamp(qoe_model->predict_at_mean(in), 0.0, 1.0);
+}
+
+OfflineTrainer::OfflineTrainer(const env::NetworkEnvironment& simulator, OfflineOptions options,
+                               common::ThreadPool* pool)
+    : simulator_(simulator),
+      options_(std::move(options)),
+      pool_(pool),
+      space_(env::SliceConfig::space()) {
+  if (options_.bnn.sizes.empty()) {
+    options_.bnn.sizes = {2 + space_.dim(), 64, 64, 1};
+    options_.bnn.noise_sigma = 0.07;  // QoE estimates carry ~0.02-0.05 sampling noise
+  }
+}
+
+OfflineResult OfflineTrainer::train() {
+  Rng rng(options_.seed);
+  OfflineResult result;
+  result.policy.sla = options_.sla;
+  result.policy.traffic = options_.workload.traffic;
+
+  auto bnn = std::make_shared<nn::Bnn>(options_.bnn, rng);
+  nn::Adadelta opt(1.0);
+  nn::StepLr sched(opt, 1, 0.999);
+  gp::GaussianProcess gp;  // used by the GP surrogate variants
+
+  std::vector<Vec> xs;  // surrogate inputs
+  Vec ys;               // measured QoE
+
+  const bool use_gp = options_.surrogate != OfflineSurrogate::kBnnPts;
+
+  // Experience replay: previous transitions pre-seed the dataset (§10).
+  for (const auto& [config, qoe] : options_.replay) {
+    xs.push_back(OfflinePolicy::input(options_.workload.traffic,
+                                      options_.sla.latency_threshold_ms,
+                                      space_.normalize(config.clamped().to_vec())));
+    ys.push_back(qoe);
+  }
+  const std::size_t batch = use_gp ? 1 : std::max<std::size_t>(1, options_.parallel);
+
+  double lambda = 0.0;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::uint64_t query_counter = 0;
+
+  auto surrogate_input = [&](const Vec& config_raw) {
+    return OfflinePolicy::input(options_.workload.traffic, options_.sla.latency_threshold_ms,
+                                space_.normalize(config_raw));
+  };
+
+  auto measure = [&](const std::vector<Vec>& queries) {
+    std::vector<double> qoes(queries.size(), 0.0);
+    auto eval_one = [&](std::size_t i) {
+      env::Workload wl = options_.workload;
+      wl.seed = options_.seed * 15485863 + query_counter + i;
+      qoes[i] = simulator_.measure_qoe(env::SliceConfig::from_vec(queries[i]), wl,
+                                       options_.sla.latency_threshold_ms);
+    };
+    if (pool_ != nullptr && queries.size() > 1) {
+      pool_->parallel_for(queries.size(), eval_one);
+    } else {
+      for (std::size_t i = 0; i < queries.size(); ++i) eval_one(i);
+    }
+    query_counter += queries.size();
+    return qoes;
+  };
+
+  for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
+    // ---- Select queries -----------------------------------------------------
+    std::vector<Vec> queries;
+    if (iter < options_.init_iterations) {
+      for (std::size_t q = 0; q < batch; ++q) queries.push_back(space_.sample(rng));
+    } else if (!use_gp) {
+      // Parallel Thompson sampling over the BNN QoE model: minimize the
+      // Lagrangian L = F(a) - lambda (Qhat(a) - E) per draw (Alg. 2).
+      for (std::size_t q = 0; q < batch; ++q) {
+        const nn::BnnSample draw = bnn->thompson(rng);
+        Vec best_x;
+        double best_l = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < options_.candidates; ++c) {
+          const Vec a = space_.sample(rng);
+          const double q_hat = std::clamp(draw.predict(surrogate_input(a)), 0.0, 1.0);
+          const double usage = env::SliceConfig::from_vec(a).resource_usage();
+          const double lagrangian = usage - lambda * (q_hat - options_.sla.availability);
+          if (lagrangian < best_l) {
+            best_l = lagrangian;
+            best_x = a;
+          }
+        }
+        queries.push_back(best_x);
+      }
+    } else {
+      // GP surrogate over QoE; acquisition evaluated on the Lagrangian whose
+      // only random part is lambda * Q (so sigma_L = lambda * sigma_Q).
+      Matrix x(xs.size(), xs.empty() ? 0 : xs[0].size());
+      for (std::size_t r = 0; r < xs.size(); ++r) x.set_row(r, xs[r]);
+      gp.fit(x, ys);
+      double incumbent = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double usage =
+            env::SliceConfig::from_vec(space_.denormalize(
+                                           Vec(xs[i].begin() + 2, xs[i].end())))
+                .resource_usage();
+        incumbent = std::min(incumbent, usage - lambda * (ys[i] - options_.sla.availability));
+      }
+      Vec best_x;
+      double best_util = -std::numeric_limits<double>::infinity();
+      const double beta = bo::gp_ucb_beta(iter + 1, options_.candidates);
+      for (std::size_t c = 0; c < options_.candidates; ++c) {
+        const Vec a = space_.sample(rng);
+        const auto post = gp.predict(surrogate_input(a));
+        const double usage = env::SliceConfig::from_vec(a).resource_usage();
+        const double mean_l = usage - lambda * (post.mean - options_.sla.availability);
+        const double std_l = lambda * post.std;
+        double util = 0.0;
+        switch (options_.surrogate) {
+          case OfflineSurrogate::kGpEi:
+            util = bo::expected_improvement(mean_l, std_l, incumbent);
+            break;
+          case OfflineSurrogate::kGpPi:
+            util = bo::probability_of_improvement(mean_l, std_l, incumbent);
+            break;
+          default:
+            util = -bo::lower_confidence_bound(mean_l, std_l, beta);
+            break;
+        }
+        if (util > best_util) {
+          best_util = util;
+          best_x = a;
+        }
+      }
+      queries.push_back(best_x);
+    }
+
+    // ---- Query the augmented simulator (parallel) ---------------------------
+    const std::vector<double> qoes = measure(queries);
+
+    // ---- Record, update dual multiplier, track incumbent --------------------
+    double iter_usage = 0.0;
+    double iter_qoe = 0.0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      OfflineStep step;
+      step.config = env::SliceConfig::from_vec(queries[q]);
+      step.usage = step.config.resource_usage();
+      step.qoe = qoes[q];
+      step.lambda = lambda;
+      iter_usage += step.usage;
+      iter_qoe += step.qoe;
+      result.history.push_back(step);
+      xs.push_back(surrogate_input(queries[q]));
+      ys.push_back(qoes[q]);
+      // Incumbent: feasible configurations ranked by usage; infeasible ones
+      // by constraint violation (so early iterations still carry a policy).
+      const double score = step.qoe >= options_.sla.availability
+                               ? step.usage
+                               : 1.0 + (options_.sla.availability - step.qoe);
+      if (score < best_score) {
+        best_score = score;
+        result.policy.best_config = step.config;
+        result.policy.best_usage = step.usage;
+        result.policy.best_qoe = step.qoe;
+      }
+    }
+    iter_usage /= static_cast<double>(queries.size());
+    iter_qoe /= static_cast<double>(queries.size());
+    result.trace.avg_usage.push_back(iter_usage);
+    result.trace.avg_qoe.push_back(iter_qoe);
+
+    // Dual update from the batch average (Alg. 2, Eq. 9).
+    lambda = std::max(0.0, lambda - options_.epsilon * (iter_qoe - options_.sla.availability));
+    result.trace.lambda.push_back(lambda);
+
+    // ---- Update the surrogate ------------------------------------------------
+    if (!use_gp) {
+      Matrix x(xs.size(), xs[0].size());
+      for (std::size_t r = 0; r < xs.size(); ++r) x.set_row(r, xs[r]);
+      bnn->train(x, ys, options_.train_epochs, 64, opt, &sched, rng);
+    }
+    if ((iter + 1) % 25 == 0) {
+      common::log_info("stage2 iter ", iter + 1, "/", options_.iterations,
+                       " lambda=", lambda, " best usage=", result.policy.best_usage,
+                       " qoe=", result.policy.best_qoe);
+    }
+  }
+
+  result.policy.qoe_model = bnn;
+  result.policy.final_lambda = lambda;
+  return result;
+}
+
+}  // namespace atlas::core

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "app/qoe.hpp"
+#include "bo/acquisition.hpp"
+#include "bo/space.hpp"
+#include "common/thread_pool.hpp"
+#include "env/environment.hpp"
+#include "math/rng.hpp"
+#include "nn/bnn.hpp"
+
+namespace atlas::core {
+
+/// Surrogate / acquisition used for offline policy training. kBnnPts is
+/// Atlas; the GP variants are the paper's Fig. 17 comparison points.
+enum class OfflineSurrogate { kBnnPts, kGpEi, kGpPi, kGpUcb };
+
+/// Options for the offline training stage (paper §5, Alg. 2).
+struct OfflineOptions {
+  std::size_t iterations = 150;      ///< Optimization iterations (paper: 1000).
+  std::size_t init_iterations = 25;  ///< Pure exploration (paper: 100).
+  std::size_t parallel = 8;          ///< Parallel queries (paper: 16).
+  std::size_t candidates = 2000;     ///< Actions sampled per TS draw (paper: 10k+).
+  double epsilon = 0.1;              ///< Dual step size (paper §8).
+  OfflineSurrogate surrogate = OfflineSurrogate::kBnnPts;
+
+  app::Sla sla;           ///< Y (latency threshold) and E (availability).
+  env::Workload workload; ///< Configuration-interval workload.
+
+  nn::BnnConfig bnn;            ///< QoE surrogate; sized on demand.
+  std::size_t train_epochs = 6; ///< BNN epochs per iteration.
+  std::uint64_t seed = 2;
+
+  /// Experience replay (paper §10, Adaptability): (configuration, QoE)
+  /// transitions from a previous training run seed the surrogate's dataset
+  /// before any new simulator query — e.g., after a configuration-space or
+  /// infrastructure change, the old buffer accelerates re-training.
+  std::vector<std::pair<env::SliceConfig, double>> replay;
+};
+
+/// One evaluated configuration query.
+struct OfflineStep {
+  env::SliceConfig config;
+  double usage = 0.0;
+  double qoe = 0.0;
+  double lambda = 0.0;
+};
+
+/// The trained offline policy: the BNN estimate of the simulator QoE
+/// Q_s(state, Y, a) plus the incumbent configuration and the final dual
+/// multiplier — everything Stage 3 needs as its starting point (§5.2).
+struct OfflinePolicy {
+  std::shared_ptr<nn::Bnn> qoe_model;
+  app::Sla sla;
+  int traffic = 1;
+  env::SliceConfig best_config;
+  double best_usage = 1.0;
+  double best_qoe = 0.0;
+  double final_lambda = 0.0;
+
+  /// Surrogate input layout: [traffic/4, Y/600 ms, a normalized (6)].
+  static math::Vec input(int traffic, double threshold_ms, const math::Vec& config_norm);
+
+  /// Offline QoE estimate Q_s(a) in [0, 1] at this policy's (traffic, Y).
+  double predict_qoe(const env::SliceConfig& config) const;
+};
+
+/// Per-iteration training trace (Fig. 16's two curves).
+struct OfflineTrace {
+  std::vector<double> avg_usage;
+  std::vector<double> avg_qoe;
+  std::vector<double> lambda;
+};
+
+/// Stage-2 output.
+struct OfflineResult {
+  OfflinePolicy policy;
+  std::vector<OfflineStep> history;
+  OfflineTrace trace;
+};
+
+/// Stage 2 — offline policy training in the augmented simulator (paper §5):
+/// constrained Bayesian optimization of the configuration action minimizing
+/// resource usage subject to Pr(QoE >= E), relaxed by the adaptive
+/// Lagrangian L = F(a) - lambda (Q_s(a) - E) with dual updates (Eqs. 8-9).
+class OfflineTrainer {
+ public:
+  OfflineTrainer(const env::NetworkEnvironment& simulator, OfflineOptions options,
+                 common::ThreadPool* pool = nullptr);
+
+  OfflineResult train();
+
+ private:
+  const env::NetworkEnvironment& simulator_;
+  OfflineOptions options_;
+  common::ThreadPool* pool_;
+  bo::BoxSpace space_;
+};
+
+}  // namespace atlas::core

@@ -1,0 +1,273 @@
+#include "atlas/online_learner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "nn/optim.hpp"
+
+namespace atlas::core {
+
+using atlas::math::Matrix;
+using atlas::math::Rng;
+using atlas::math::Vec;
+
+OnlineLearner::OnlineLearner(const OfflinePolicy* policy,
+                             const env::NetworkEnvironment& simulator,
+                             const env::NetworkEnvironment& real, OnlineOptions options)
+    : policy_(policy),
+      simulator_(simulator),
+      real_(real),
+      options_(std::move(options)),
+      space_(env::SliceConfig::space()) {
+  if (policy_ == nullptr && options_.model != OnlineModel::kGpWhole) {
+    throw std::invalid_argument("OnlineLearner: an offline policy is required unless kGpWhole");
+  }
+}
+
+double OnlineLearner::offline_qoe_estimate(const Vec& config_norm) const {
+  if (policy_ == nullptr) return 0.0;  // kGpWhole: the online model carries everything
+  const Vec in = OfflinePolicy::input(options_.workload.traffic,
+                                      options_.sla.latency_threshold_ms, config_norm);
+  return std::clamp(policy_->qoe_model->predict_at_mean(in), 0.0, 1.0);
+}
+
+OnlineResult OnlineLearner::learn() {
+  Rng rng(options_.seed);
+  OnlineResult result;
+
+  // Residual models. The GP regresses the QoE difference G (Eq. 12); the BNN
+  // variants exist for the Fig. 23 ablation.
+  gp::GaussianProcess residual_gp(options_.gp);
+  std::optional<nn::Bnn> residual_bnn;
+  nn::Adadelta bnn_opt(1.0);
+  if (options_.model == OnlineModel::kBnnResidual) {
+    nn::BnnConfig cfg;
+    cfg.sizes = {space_.dim(), 48, 48, 1};
+    cfg.noise_sigma = 0.07;
+    residual_bnn.emplace(cfg, rng);
+  }
+  // kBnnContinued keeps training the offline model itself; we fine-tune a
+  // shared reference (the policy's Bnn is shared_ptr-owned, so mutating is
+  // visible to our estimates — intended for this ablation).
+
+  std::vector<Vec> obs_x;  // normalized configs of online observations
+  Vec obs_g;               // residual targets (or whole QoE for kGpWhole,
+                           // or real QoE for kBnnContinued)
+
+  // Posterior of the online model at a normalized config.
+  auto residual_posterior = [&](const Vec& xn) -> gp::Posterior {
+    gp::Posterior p;
+    switch (options_.model) {
+      case OnlineModel::kGpResidual:
+      case OnlineModel::kGpWhole:
+        if (residual_gp.fitted()) {
+          p = residual_gp.predict(xn);
+        } else {
+          p.mean = options_.model == OnlineModel::kGpWhole ? 0.5 : 0.0;
+          p.std = 0.3;
+        }
+        break;
+      case OnlineModel::kBnnResidual: {
+        const auto ms = residual_bnn->predict(xn, 8, rng);
+        p.mean = ms.mean;
+        p.std = obs_x.empty() ? 0.3 : ms.std;
+        break;
+      }
+      case OnlineModel::kBnnContinued:
+        // The fine-tuned offline BNN already predicts the full QoE; there is
+        // no separate residual, so its epistemic spread plays sigma's role.
+        p.mean = 0.0;
+        p.std = 0.05;
+        break;
+    }
+    return p;
+  };
+
+  // Combined QoE estimate Q(a) = Q_s(a) + G(a) (Eq. 12).
+  auto combined_qoe = [&](const Vec& xn) {
+    const double qs = offline_qoe_estimate(xn);
+    const auto g = residual_posterior(xn);
+    return std::clamp(qs + g.mean, 0.0, 1.0);
+  };
+
+  double lambda = policy_ != nullptr ? policy_->final_lambda : 1.0;
+
+  // The very first online action is the offline optimum when available (§8.3).
+  Vec next_config = policy_ != nullptr ? policy_->best_config.to_vec() : space_.sample(rng);
+
+  std::uint64_t sim_seed = options_.seed * 32452843;
+
+  for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
+    // ---- Apply the configuration to the real network -----------------------
+    const env::SliceConfig config = env::SliceConfig::from_vec(next_config);
+    env::Workload wl = options_.workload;
+    wl.seed = options_.seed * 49979687 + iter;
+    const double qoe_real =
+        real_.measure_qoe(config, wl, options_.sla.latency_threshold_ms);
+
+    // ---- Residual observation (one offline simulator episode) --------------
+    env::Workload sim_wl = options_.workload;
+    sim_wl.seed = ++sim_seed;
+    const double qoe_sim =
+        simulator_.measure_qoe(config, sim_wl, options_.sla.latency_threshold_ms);
+
+    OnlineStep step;
+    step.config = config;
+    step.usage = config.resource_usage();
+    step.qoe_real = qoe_real;
+    step.qoe_sim = qoe_sim;
+    step.lambda = lambda;
+
+    // ---- Update the online model --------------------------------------------
+    const Vec xn = space_.normalize(space_.clamp(next_config));
+    obs_x.push_back(xn);
+    switch (options_.model) {
+      case OnlineModel::kGpResidual: {
+        const double offline_est = offline_qoe_estimate(xn);
+        obs_g.push_back(qoe_real - offline_est);
+        break;
+      }
+      case OnlineModel::kGpWhole:
+        obs_g.push_back(qoe_real);
+        break;
+      case OnlineModel::kBnnResidual:
+        obs_g.push_back(qoe_real - offline_qoe_estimate(xn));
+        break;
+      case OnlineModel::kBnnContinued:
+        obs_g.push_back(qoe_real);
+        break;
+    }
+    {
+      Matrix x(obs_x.size(), space_.dim());
+      for (std::size_t r = 0; r < obs_x.size(); ++r) x.set_row(r, obs_x[r]);
+      switch (options_.model) {
+        case OnlineModel::kGpResidual:
+        case OnlineModel::kGpWhole:
+          residual_gp.fit(x, obs_g);
+          break;
+        case OnlineModel::kBnnResidual:
+          residual_bnn->train(x, obs_g, 40, 16, bnn_opt, nullptr, rng);
+          break;
+        case OnlineModel::kBnnContinued: {
+          // Fine-tune the offline BNN on the online (state, Y, a) -> QoE pairs.
+          Matrix xi(obs_x.size(), 2 + space_.dim());
+          for (std::size_t r = 0; r < obs_x.size(); ++r) {
+            xi.set_row(r, OfflinePolicy::input(options_.workload.traffic,
+                                               options_.sla.latency_threshold_ms, obs_x[r]));
+          }
+          policy_->qoe_model->train(xi, obs_g, 20, 16, bnn_opt, nullptr, rng);
+          break;
+        }
+      }
+    }
+
+    // ---- Multiplier updates --------------------------------------------------
+    if (options_.offline_acceleration && options_.inner_updates > 0) {
+      // Offline acceleration (Eq. 15): N inner dual updates, each driven by an
+      // actual augmented-simulator query at the currently-greedy action.
+      for (std::size_t n = 0; n < options_.inner_updates; ++n) {
+        Vec greedy;
+        double best_l = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < options_.candidates / 4; ++c) {
+          const Vec a = space_.sample(rng);
+          const Vec an = space_.normalize(a);
+          const double q = combined_qoe(an);
+          const double l = env::SliceConfig::from_vec(a).resource_usage() -
+                           lambda * (q - options_.sla.availability);
+          if (l < best_l) {
+            best_l = l;
+            greedy = a;
+          }
+        }
+        env::Workload inner_wl = options_.workload;
+        inner_wl.seed = ++sim_seed;
+        const double qs = simulator_.measure_qoe(env::SliceConfig::from_vec(greedy), inner_wl,
+                                                 options_.sla.latency_threshold_ms);
+        const auto g = residual_posterior(space_.normalize(greedy));
+        const double q_est = std::clamp(qs + g.mean, 0.0, 1.0);
+        lambda = std::max(0.0, lambda - options_.epsilon * (q_est - options_.sla.availability));
+      }
+    } else {
+      // Single online update (the "No Offline Acc." ablation).
+      lambda = std::max(0.0, lambda - options_.epsilon * (qoe_real - options_.sla.availability));
+    }
+
+    // ---- Select the next online action --------------------------------------
+    double beta = 0.0;
+    switch (options_.acquisition) {
+      case bo::AcquisitionKind::kCrgpUcb:
+        beta = bo::crgp_ucb_beta(iter + 1, options_.rho, options_.clip_b, rng);
+        break;
+      case bo::AcquisitionKind::kGpUcb:
+        beta = bo::gp_ucb_beta(iter + 1, options_.candidates);
+        break;
+      case bo::AcquisitionKind::kUcb:
+        beta = 4.0;
+        break;
+      default:
+        break;
+    }
+    step.beta = beta;
+
+    // Incumbent Lagrangian value for EI/PI.
+    double incumbent = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < result.history.size(); ++i) {
+      const auto& h = result.history[i];
+      incumbent = std::min(incumbent,
+                           h.usage - lambda * (h.qoe_real - options_.sla.availability));
+    }
+    incumbent = std::min(incumbent,
+                         step.usage - lambda * (qoe_real - options_.sla.availability));
+
+    Vec best_a;
+    double best_util = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < options_.candidates; ++c) {
+      const Vec a = space_.sample(rng);
+      const Vec an = space_.normalize(a);
+      const double usage = env::SliceConfig::from_vec(a).resource_usage();
+      const double qs = offline_qoe_estimate(an);
+      const auto g = residual_posterior(an);
+      double util = 0.0;
+      switch (options_.acquisition) {
+        case bo::AcquisitionKind::kEi: {
+          const double mean_l = usage - lambda * (std::clamp(qs + g.mean, 0.0, 1.0) -
+                                                  options_.sla.availability);
+          util = bo::expected_improvement(mean_l, lambda * g.std, incumbent);
+          break;
+        }
+        case bo::AcquisitionKind::kPi: {
+          const double mean_l = usage - lambda * (std::clamp(qs + g.mean, 0.0, 1.0) -
+                                                  options_.sla.availability);
+          util = bo::probability_of_improvement(mean_l, lambda * g.std, incumbent);
+          break;
+        }
+        default: {
+          // UCB family (ours): optimistic QoE bound, clipped into [0, 1]
+          // (paper §6.2: mu + sqrt(beta) sigma with Eq. 12's combined model).
+          const double q_ucb =
+              std::clamp(qs + g.mean + std::sqrt(std::max(0.0, beta)) * g.std, 0.0, 1.0);
+          util = -(usage - lambda * (q_ucb - options_.sla.availability));
+          break;
+        }
+      }
+      if (util > best_util) {
+        best_util = util;
+        best_a = a;
+      }
+    }
+    next_config = best_a;
+
+    result.history.push_back(step);
+    if ((iter + 1) % 20 == 0) {
+      common::log_info("stage3 iter ", iter + 1, "/", options_.iterations,
+                       " qoe=", qoe_real, " usage=", step.usage, " lambda=", lambda);
+    }
+  }
+  result.final_lambda = lambda;
+  return result;
+}
+
+}  // namespace atlas::core

@@ -1,0 +1,111 @@
+#include "atlas/oracle.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hpp"
+#include "math/rng.hpp"
+
+namespace atlas::core {
+
+using atlas::math::Rng;
+using atlas::math::Vec;
+
+namespace {
+
+double validated_qoe(const env::NetworkEnvironment& target, const env::SliceConfig& config,
+                     const app::Sla& sla, const env::Workload& workload, std::uint64_t seed,
+                     std::size_t episodes, common::ThreadPool* pool) {
+  episodes = std::max<std::size_t>(1, episodes);
+  std::vector<double> qoes(episodes, 0.0);
+  auto eval = [&](std::size_t e) {
+    env::Workload wl = workload;
+    wl.seed = seed + e * 613;
+    qoes[e] = target.measure_qoe(config, wl, sla.latency_threshold_ms);
+  };
+  if (pool != nullptr && episodes > 1) {
+    pool->parallel_for(episodes, eval);
+  } else {
+    for (std::size_t e = 0; e < episodes; ++e) eval(e);
+  }
+  double acc = 0.0;
+  for (double q : qoes) acc += q;
+  return acc / static_cast<double>(episodes);
+}
+
+}  // namespace
+
+OracleOptimum find_optimal_config(const env::NetworkEnvironment& target, const app::Sla& sla,
+                                  const env::Workload& workload, std::size_t budget,
+                                  std::uint64_t seed, common::ThreadPool* pool,
+                                  std::size_t validation_episodes) {
+  Rng rng(seed * 2654435761ULL + 1);
+  const auto space = env::SliceConfig::space();
+  OracleOptimum best;
+  best.config = env::SliceConfig{};  // full resources: always a feasible fallback
+  best.usage = best.config.resource_usage();
+  best.qoe = validated_qoe(target, best.config, sla, workload, seed, validation_episodes, pool);
+
+  auto consider = [&](const env::SliceConfig& cand) {
+    const double usage = cand.resource_usage();
+    if (usage >= best.usage) return;  // cannot improve; skip the expensive QoE
+    const double qoe =
+        validated_qoe(target, cand, sla, workload, seed + 17, validation_episodes, pool);
+    if (qoe >= sla.availability) {
+      best.config = cand;
+      best.usage = usage;
+      best.qoe = qoe;
+    }
+  };
+
+  // Phase 1: global random exploration.
+  const std::size_t explore = std::max<std::size_t>(8, budget / 2);
+  for (std::size_t i = 0; i < explore; ++i) {
+    consider(env::SliceConfig::from_vec(space.sample(rng)).clamped());
+  }
+  // Phase 2: local refinement around the incumbent with shrinking radius.
+  const std::size_t refine = budget - std::min(budget, explore);
+  double radius = 0.25;
+  for (std::size_t i = 0; i < refine; ++i) {
+    const Vec center = space.normalize(best.config.to_vec());
+    Vec u(center.size());
+    for (std::size_t d = 0; d < u.size(); ++d) {
+      u[d] = std::clamp(center[d] + rng.normal(0.0, radius), 0.0, 1.0);
+    }
+    consider(env::SliceConfig::from_vec(space.denormalize(u)).clamped());
+    radius = std::max(0.04, radius * 0.985);
+  }
+  common::log_info("oracle phi*: usage=", best.usage, " qoe=", best.qoe);
+  return best;
+}
+
+RegretTrace compute_regret(const std::vector<double>& usage, const std::vector<double>& qoe,
+                           const OracleOptimum& oracle) {
+  RegretTrace trace;
+  double gu = 0.0;
+  double gp = 0.0;
+  for (std::size_t i = 0; i < usage.size(); ++i) {
+    gu += usage[i] - oracle.usage;
+    gp += std::max(oracle.qoe - qoe[i], 0.0);
+    trace.cumulative_usage.push_back(gu);
+    trace.cumulative_qoe.push_back(gp);
+  }
+  const double n = static_cast<double>(std::max<std::size_t>(1, usage.size()));
+  trace.avg_usage_regret = gu / n;
+  trace.avg_qoe_regret = gp / n;
+  return trace;
+}
+
+RegretTrace compute_regret(const std::vector<OnlineStep>& history, const OracleOptimum& oracle) {
+  std::vector<double> usage;
+  std::vector<double> qoe;
+  usage.reserve(history.size());
+  qoe.reserve(history.size());
+  for (const auto& h : history) {
+    usage.push_back(h.usage);
+    qoe.push_back(h.qoe_real);
+  }
+  return compute_regret(usage, qoe, oracle);
+}
+
+}  // namespace atlas::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "app/qoe.hpp"
+#include "atlas/online_learner.hpp"
+#include "common/thread_pool.hpp"
+#include "env/environment.hpp"
+
+namespace atlas::core {
+
+/// The reference optimum phi* used purely for regret ACCOUNTING (Eqs. 10-11).
+/// Like the paper, it is obtained by an extensive search directly against
+/// the target environment; it is never given to the learners.
+struct OracleOptimum {
+  env::SliceConfig config;
+  double usage = 1.0;  ///< F(phi*).
+  double qoe = 0.0;    ///< Q(phi*) averaged over validation episodes.
+};
+
+/// Search for the minimum-usage configuration meeting the SLA on `target`.
+/// Random exploration + local refinement around the best feasible point;
+/// QoE of candidates is averaged over `validation_episodes` seeds.
+OracleOptimum find_optimal_config(const env::NetworkEnvironment& target, const app::Sla& sla,
+                                  const env::Workload& workload, std::size_t budget,
+                                  std::uint64_t seed, common::ThreadPool* pool = nullptr,
+                                  std::size_t validation_episodes = 3);
+
+/// Cumulative regrets of an online trace against phi* (paper Eqs. 10-11):
+///   g_u(n) = sum_j (F(phi_j) - F(phi*))
+///   g_p(n) = sum_j max(Q(phi*) - Q(phi_j), 0)
+struct RegretTrace {
+  std::vector<double> cumulative_usage;  ///< g_u after each iteration.
+  std::vector<double> cumulative_qoe;    ///< g_p after each iteration.
+  double avg_usage_regret = 0.0;         ///< g_u(n) / n  (Table 5's "%": x100).
+  double avg_qoe_regret = 0.0;           ///< g_p(n) / n.
+};
+
+RegretTrace compute_regret(const std::vector<OnlineStep>& history, const OracleOptimum& oracle);
+
+/// Regret from plain (usage, qoe) pairs — used for baseline methods that do
+/// not produce OnlineStep records.
+RegretTrace compute_regret(const std::vector<double>& usage, const std::vector<double>& qoe,
+                           const OracleOptimum& oracle);
+
+}  // namespace atlas::core

@@ -1,0 +1,57 @@
+#include "atlas/pipeline.hpp"
+
+#include "common/log.hpp"
+
+namespace atlas::core {
+
+AtlasPipeline::AtlasPipeline(const env::NetworkEnvironment& real, PipelineOptions options,
+                             common::ThreadPool* pool)
+    : real_(real), options_(std::move(options)), pool_(pool) {}
+
+PipelineResult AtlasPipeline::run() {
+  PipelineResult result;
+
+  // ---- Stage 1: learning-based simulator -----------------------------------
+  env::SimParams sim_params = env::SimParams::defaults();
+  if (options_.run_stage1) {
+    SimCalibrator calibrator(real_, options_.stage1, pool_);
+    result.calibration = calibrator.calibrate();
+    sim_params = result.calibration.best_params;
+    common::log_info("pipeline: stage 1 done, kl ", result.calibration.original_kl, " -> ",
+                     result.calibration.best_kl);
+  }
+  env::Simulator augmented(sim_params);
+
+  // ---- Stage 2: offline training --------------------------------------------
+  const OfflinePolicy* policy = nullptr;
+  if (options_.run_stage2) {
+    OfflineTrainer trainer(augmented, options_.stage2, pool_);
+    result.offline = trainer.train();
+    policy = &result.offline.policy;
+    common::log_info("pipeline: stage 2 done, best usage ", result.offline.policy.best_usage,
+                     " qoe ", result.offline.policy.best_qoe);
+  }
+
+  // ---- Stage 3: online learning ---------------------------------------------
+  OnlineOptions stage3 = options_.stage3;
+  if (!options_.run_stage2) stage3.model = OnlineModel::kGpWhole;
+  if (options_.run_stage3) {
+    OnlineLearner learner(policy, augmented, real_, stage3);
+    result.online = learner.learn();
+  } else if (policy != nullptr) {
+    // "No stage 3": keep applying the offline optimum and just observe.
+    for (std::size_t i = 0; i < stage3.iterations; ++i) {
+      env::Workload wl = stage3.workload;
+      wl.seed = stage3.seed * 49979687 + i;
+      OnlineStep step;
+      step.config = policy->best_config;
+      step.usage = policy->best_config.resource_usage();
+      step.qoe_real = real_.measure_qoe(policy->best_config, wl, stage3.sla.latency_threshold_ms);
+      step.qoe_sim = policy->best_qoe;
+      result.online.history.push_back(step);
+    }
+  }
+  return result;
+}
+
+}  // namespace atlas::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "atlas/calibrator.hpp"
+#include "atlas/offline_trainer.hpp"
+#include "atlas/online_learner.hpp"
+
+namespace atlas::core {
+
+/// End-to-end Atlas configuration: one knob block per stage.
+struct PipelineOptions {
+  CalibrationOptions stage1;
+  OfflineOptions stage2;
+  OnlineOptions stage3;
+  bool run_stage1 = true;  ///< false = offline-train on the ORIGINAL simulator
+                           ///< ("No stage 1" ablation, Fig. 24).
+  bool run_stage2 = true;  ///< false = online learning learns the whole QoE
+                           ///< ("No stage 2" ablation, Fig. 24).
+  bool run_stage3 = true;  ///< false = apply the offline optimum unchanged
+                           ///< ("No stage 3" ablation, Fig. 24).
+};
+
+/// Combined output of a full pipeline run.
+struct PipelineResult {
+  CalibrationResult calibration;  ///< Empty history if stage 1 skipped.
+  OfflineResult offline;          ///< Empty history if stage 2 skipped.
+  OnlineResult online;
+};
+
+/// The integrated three-stage Atlas system (paper §3): calibrate the
+/// simulator against the real network's online collection, train the
+/// configuration policy offline in the augmented simulator, then learn
+/// safely online. Ablation flags reproduce the paper's Fig. 24.
+class AtlasPipeline {
+ public:
+  AtlasPipeline(const env::NetworkEnvironment& real, PipelineOptions options,
+                common::ThreadPool* pool = nullptr);
+
+  /// Run the enabled stages and return every trace.
+  PipelineResult run();
+
+ private:
+  const env::NetworkEnvironment& real_;
+  PipelineOptions options_;
+  common::ThreadPool* pool_;
+};
+
+}  // namespace atlas::core

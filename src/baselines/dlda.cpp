@@ -1,0 +1,139 @@
+#include "baselines/dlda.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "nn/optim.hpp"
+
+namespace atlas::baselines {
+
+using atlas::math::Matrix;
+using atlas::math::Rng;
+using atlas::math::Vec;
+
+Dlda::Dlda(const env::NetworkEnvironment& offline_env, DldaOptions options,
+           common::ThreadPool* pool)
+    : offline_env_(offline_env), options_(std::move(options)), pool_(pool) {}
+
+double Dlda::train_offline() {
+  const auto space = env::SliceConfig::space();
+  const std::size_t g = std::max<std::size_t>(2, options_.grid_per_dim);
+  const std::size_t dims = space.dim();
+  std::size_t total = 1;
+  for (std::size_t d = 0; d < dims; ++d) total *= g;
+
+  // Paper §8.2: each dimension takes normalized values {0.0, 0.3, 0.6, 0.9}.
+  std::vector<double> levels(g);
+  for (std::size_t i = 0; i < g; ++i) {
+    levels[i] = 0.9 * static_cast<double>(i) / static_cast<double>(g - 1);
+  }
+
+  dataset_x_.assign(total, Vec(dims, 0.0));
+  dataset_y_.assign(total, 0.0);
+  auto eval_one = [&](std::size_t idx) {
+    Vec u(dims);
+    std::size_t rem = idx;
+    for (std::size_t d = 0; d < dims; ++d) {
+      u[d] = levels[rem % g];
+      rem /= g;
+    }
+    dataset_x_[idx] = u;
+    env::Workload wl = options_.workload;
+    wl.seed = options_.seed * 83492791 + idx;
+    dataset_y_[idx] =
+        offline_env_.measure_qoe(env::SliceConfig::from_vec(space.denormalize(u)), wl,
+                                 options_.sla.latency_threshold_ms);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(total, eval_one);
+  } else {
+    for (std::size_t i = 0; i < total; ++i) eval_one(i);
+  }
+  common::log_info("dlda: grid dataset of ", total, " configurations collected");
+
+  Rng rng(options_.seed);
+  std::vector<std::size_t> sizes;
+  sizes.push_back(dims);
+  sizes.insert(sizes.end(), options_.hidden.begin(), options_.hidden.end());
+  sizes.push_back(1);
+  teacher_.emplace(sizes, rng);
+
+  Matrix x(total, dims);
+  for (std::size_t r = 0; r < total; ++r) x.set_row(r, dataset_x_[r]);
+  nn::Adam opt(options_.teacher_lr);
+  double loss = 0.0;
+  for (std::size_t e = 0; e < options_.teacher_epochs; ++e) {
+    loss = teacher_->train_epoch_mse(x, dataset_y_, opt, 64, rng);
+  }
+  common::log_info("dlda: teacher trained, final mse=", loss);
+  return loss;
+}
+
+double Dlda::predict_qoe(const env::SliceConfig& config) const {
+  if (!teacher_) throw std::logic_error("Dlda: train_offline() first");
+  const auto space = env::SliceConfig::space();
+  return std::clamp(teacher_->predict_scalar(space.normalize(config.to_vec())), 0.0, 1.0);
+}
+
+env::SliceConfig Dlda::select_with(const nn::Mlp& model, Rng& rng) const {
+  const auto space = env::SliceConfig::space();
+  Vec best;
+  double best_usage = std::numeric_limits<double>::infinity();
+  Vec fallback;
+  double fallback_qoe = -1.0;
+  for (std::size_t i = 0; i < options_.select_samples; ++i) {
+    const Vec a = space.sample(rng);
+    const double q = std::clamp(model.predict_scalar(space.normalize(a)), 0.0, 1.0);
+    const double usage = env::SliceConfig::from_vec(a).resource_usage();
+    if (q >= options_.sla.availability && usage < best_usage) {
+      best_usage = usage;
+      best = a;
+    }
+    if (q > fallback_qoe) {
+      fallback_qoe = q;
+      fallback = a;
+    }
+  }
+  // If no candidate is predicted feasible, take the best-predicted-QoE one.
+  return env::SliceConfig::from_vec(best.empty() ? fallback : best);
+}
+
+env::SliceConfig Dlda::select_offline(Rng& rng) const {
+  if (!teacher_) throw std::logic_error("Dlda: train_offline() first");
+  return select_with(*teacher_, rng);
+}
+
+OnlineTrace Dlda::learn_online(const env::NetworkEnvironment& real) {
+  if (!teacher_) throw std::logic_error("Dlda: train_offline() first");
+  Rng rng(options_.seed * 31 + 7);
+  OnlineTrace trace;
+  nn::Mlp student = *teacher_;  // transfer: student starts as the teacher
+  nn::Adam opt(options_.student_lr);
+  const auto space = env::SliceConfig::space();
+
+  std::vector<Vec> online_x;
+  Vec online_y;
+  for (std::size_t iter = 0; iter < options_.online_iterations; ++iter) {
+    const env::SliceConfig config = select_with(student, rng);
+    env::Workload wl = options_.workload;
+    wl.seed = options_.seed * 15487469 + iter;
+    const double qoe = real.measure_qoe(config, wl, options_.sla.latency_threshold_ms);
+    trace.configs.push_back(config);
+    trace.usage.push_back(config.resource_usage());
+    trace.qoe.push_back(qoe);
+
+    online_x.push_back(space.normalize(config.to_vec()));
+    online_y.push_back(qoe);
+    Matrix x(online_x.size(), space.dim());
+    for (std::size_t r = 0; r < online_x.size(); ++r) x.set_row(r, online_x[r]);
+    for (std::size_t e = 0; e < options_.student_epochs_per_step; ++e) {
+      student.train_epoch_mse(x, online_y, opt, 16, rng);
+    }
+  }
+  return trace;
+}
+
+}  // namespace atlas::baselines

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "app/qoe.hpp"
+#include "baselines/online_trace.hpp"
+#include "bo/gp_bo.hpp"
+#include "env/environment.hpp"
+
+namespace atlas::baselines {
+
+/// The paper's "Baseline": plain Bayesian optimization with a GP surrogate
+/// and an EI acquisition (other acquisitions selectable for Fig. 5/22-style
+/// footprints), learning ONLINE in the real network directly — no simulator,
+/// no offline knowledge, every exploratory step exposed to slice users.
+struct GpBaselineOptions {
+  std::size_t iterations = 100;
+  bo::AcquisitionKind acquisition = bo::AcquisitionKind::kEi;
+  std::size_t init_samples = 8;
+  std::size_t candidates = 2000;
+  double violation_weight = 2.0;  ///< Penalty on max(0, E - QoE) in the objective.
+  app::Sla sla;
+  env::Workload workload;
+  std::uint64_t seed = 11;
+};
+
+class GpBaseline {
+ public:
+  GpBaseline(const env::NetworkEnvironment& real, GpBaselineOptions options);
+
+  /// Run the online loop; returns the per-iteration trace.
+  OnlineTrace learn();
+
+ private:
+  const env::NetworkEnvironment& real_;
+  GpBaselineOptions options_;
+};
+
+}  // namespace atlas::baselines

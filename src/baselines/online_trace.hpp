@@ -1,0 +1,17 @@
+#pragma once
+
+#include <vector>
+
+#include "env/slice_config.hpp"
+
+namespace atlas::baselines {
+
+/// Per-iteration record shared by every online-learning method, feeding the
+/// paper's Fig. 20/21 curves and Table 5 regrets.
+struct OnlineTrace {
+  std::vector<env::SliceConfig> configs;
+  std::vector<double> usage;
+  std::vector<double> qoe;
+};
+
+}  // namespace atlas::baselines

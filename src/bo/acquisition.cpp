@@ -1,0 +1,56 @@
+#include "bo/acquisition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace atlas::bo {
+
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / 2.50662827463100050242;  // sqrt(2*pi)
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / 1.41421356237309504880); }
+
+double expected_improvement(double mean, double std, double best, double xi) {
+  if (std <= 0.0) return std::max(0.0, best - xi - mean);
+  const double z = (best - xi - mean) / std;
+  return (best - xi - mean) * normal_cdf(z) + std * normal_pdf(z);
+}
+
+double probability_of_improvement(double mean, double std, double best, double xi) {
+  if (std <= 0.0) return mean < best - xi ? 1.0 : 0.0;
+  return normal_cdf((best - xi - mean) / std);
+}
+
+double lower_confidence_bound(double mean, double std, double beta) {
+  return mean - std::sqrt(std::max(0.0, beta)) * std;
+}
+
+double upper_confidence_bound(double mean, double std, double beta) {
+  return mean + std::sqrt(std::max(0.0, beta)) * std;
+}
+
+double gp_ucb_beta(std::size_t n, std::size_t candidates, double delta) {
+  n = std::max<std::size_t>(1, n);
+  candidates = std::max<std::size_t>(1, candidates);
+  const double pi2 = 9.86960440108935861883;
+  return 2.0 * std::log(static_cast<double>(candidates) * static_cast<double>(n) *
+                        static_cast<double>(n) * pi2 / (6.0 * delta));
+}
+
+double rgp_ucb_beta(std::size_t n, double rho, atlas::math::Rng& rng) {
+  if (rho <= 0.0) throw std::invalid_argument("rgp_ucb_beta: rho must be > 0");
+  n = std::max<std::size_t>(1, n);
+  const double n2 = static_cast<double>(n) * static_cast<double>(n);
+  const double kappa =
+      std::log((n2 + 1.0) / 2.50662827463100050242) / std::log(1.0 + rho / 2.0);
+  // Gamma(shape kappa, scale rho), as in Berk et al.'s randomized GP-UCB.
+  return rng.gamma(std::max(kappa, 1e-3), rho);
+}
+
+double crgp_ucb_beta(std::size_t n, double rho, double clip_b, atlas::math::Rng& rng) {
+  return std::clamp(rgp_ucb_beta(n, rho, rng), 0.0, clip_b);
+}
+
+}  // namespace atlas::bo

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+
+#include "math/rng.hpp"
+
+namespace atlas::bo {
+
+/// Acquisition families evaluated in this project (paper Figs. 5, 8, 17, 22).
+enum class AcquisitionKind { kEi, kPi, kUcb, kGpUcb, kCrgpUcb, kThompson };
+
+/// Standard normal pdf / cdf, shared by EI and PI.
+double normal_pdf(double z);
+double normal_cdf(double z);
+
+/// Expected improvement for MINIMIZATION: E[max(best - f, 0)] under
+/// f ~ N(mean, std^2). `xi` is the usual exploration offset.
+double expected_improvement(double mean, double std, double best, double xi = 0.0);
+
+/// Probability of improvement for minimization: P(f < best - xi).
+double probability_of_improvement(double mean, double std, double best, double xi = 0.0);
+
+/// Lower confidence bound for minimization: mean - sqrt(beta) * std.
+/// (For maximization problems callers use the symmetric UCB.)
+double lower_confidence_bound(double mean, double std, double beta);
+double upper_confidence_bound(double mean, double std, double beta);
+
+/// The theoretical GP-UCB schedule of Srinivas et al. (2009) for finite
+/// candidate sets: beta_n = 2 log(|D| n^2 pi^2 / (6 delta)). Grows ~ log n and
+/// is deliberately large — the over-exploration Atlas's Fig. 22 illustrates.
+double gp_ucb_beta(std::size_t n, std::size_t candidates, double delta = 0.1);
+
+/// Randomized GP-UCB (Berk et al. 2020) hyperparameter: beta_n ~ Gamma(kappa_n, rho)
+/// with kappa_n = log((n^2 + 1) / sqrt(2 pi)) / log(1 + rho / 2)   (paper Eq. 13).
+/// `n` is the online iteration index (>= 1).
+double rgp_ucb_beta(std::size_t n, double rho, atlas::math::Rng& rng);
+
+/// Atlas's clipped randomized GP-UCB: sample rgp_ucb_beta and clip to [0, B]
+/// (conservative exploration, §6.2; B = 10 in the evaluation).
+double crgp_ucb_beta(std::size_t n, double rho, double clip_b, atlas::math::Rng& rng);
+
+}  // namespace atlas::bo

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bo/acquisition.hpp"
+#include "bo/space.hpp"
+#include "gp/gaussian_process.hpp"
+#include "math/matrix.hpp"
+#include "math/rng.hpp"
+
+namespace atlas::bo {
+
+/// Options for the generic GP-based Bayesian-optimization minimizer.
+struct GpBoOptions {
+  AcquisitionKind acquisition = AcquisitionKind::kEi;
+  std::size_t init_samples = 8;   ///< Pure-exploration warmup queries.
+  std::size_t candidates = 2000;  ///< Random candidates scored per iteration.
+  double xi = 0.0;                ///< EI/PI exploration offset.
+  double ucb_beta = 4.0;          ///< Fixed beta for kUcb.
+  double delta = 0.1;             ///< Confidence for kGpUcb's schedule.
+  double crgp_rho = 0.1;          ///< Scaling parameter for kCrgpUcb.
+  double crgp_clip = 10.0;        ///< Clip bound B for kCrgpUcb.
+  gp::GpConfig gp;                ///< Surrogate configuration.
+};
+
+/// One evaluated query.
+struct GpBoStep {
+  atlas::math::Vec x;
+  double y = 0.0;
+};
+
+/// Running result of a minimization.
+struct GpBoResult {
+  atlas::math::Vec best_x;
+  double best_y = 0.0;
+  std::vector<GpBoStep> history;
+};
+
+/// Generic single-objective minimizer over a BoxSpace with a GP surrogate —
+/// the classic BO loop the paper uses as its "GP-based approach" in Stage 1
+/// (Fig. 8) and as the online "Baseline" (GP + EI, §8). Exposes an ask/tell
+/// interface so callers controlling expensive objectives (simulator episodes,
+/// real-network queries) can drive the loop and parallelism themselves.
+class GpBoMinimizer {
+ public:
+  GpBoMinimizer(BoxSpace space, GpBoOptions options = {});
+
+  /// Next query point (raw coordinates).
+  atlas::math::Vec ask(atlas::math::Rng& rng);
+
+  /// Report an observed objective value for `x`.
+  void tell(const atlas::math::Vec& x, double y);
+
+  /// Number of observations so far.
+  std::size_t observations() const noexcept { return result_.history.size(); }
+
+  const GpBoResult& result() const noexcept { return result_; }
+  const BoxSpace& space() const noexcept { return space_; }
+
+  /// Convenience driver: `iters` sequential ask/evaluate/tell rounds.
+  GpBoResult minimize(const std::function<double(const atlas::math::Vec&)>& fn,
+                      std::size_t iters, atlas::math::Rng& rng);
+
+ private:
+  void refit();
+
+  BoxSpace space_;
+  GpBoOptions options_;
+  gp::GaussianProcess surrogate_;
+  bool dirty_ = true;
+  atlas::math::Matrix x_norm_;  ///< Normalized observations (rows).
+  atlas::math::Vec y_;
+  GpBoResult result_;
+};
+
+}  // namespace atlas::bo

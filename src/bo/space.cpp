@@ -1,0 +1,79 @@
+#include "bo/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace atlas::bo {
+
+using atlas::math::Matrix;
+using atlas::math::Rng;
+using atlas::math::Vec;
+
+BoxSpace::BoxSpace(std::vector<std::string> names, Vec lo, Vec hi)
+    : names_(std::move(names)), lo_(std::move(lo)), hi_(std::move(hi)) {
+  if (lo_.size() != hi_.size() || names_.size() != lo_.size()) {
+    throw std::invalid_argument("BoxSpace: inconsistent sizes");
+  }
+  for (std::size_t i = 0; i < lo_.size(); ++i) {
+    if (hi_[i] <= lo_[i]) throw std::invalid_argument("BoxSpace: empty dimension " + names_[i]);
+  }
+}
+
+Vec BoxSpace::clamp(Vec x) const {
+  if (x.size() != dim()) throw std::invalid_argument("BoxSpace::clamp: dim mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::clamp(x[i], lo_[i], hi_[i]);
+  return x;
+}
+
+Vec BoxSpace::normalize(const Vec& x) const {
+  if (x.size() != dim()) throw std::invalid_argument("BoxSpace::normalize: dim mismatch");
+  Vec u(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) u[i] = (x[i] - lo_[i]) / (hi_[i] - lo_[i]);
+  return u;
+}
+
+Vec BoxSpace::denormalize(const Vec& u) const {
+  if (u.size() != dim()) throw std::invalid_argument("BoxSpace::denormalize: dim mismatch");
+  Vec x(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) x[i] = lo_[i] + u[i] * (hi_[i] - lo_[i]);
+  return x;
+}
+
+Vec BoxSpace::sample(Rng& rng) const { return rng.uniform_vec(lo_, hi_); }
+
+Matrix BoxSpace::sample_batch(std::size_t n, Rng& rng) const {
+  Matrix out(n, dim());
+  for (std::size_t i = 0; i < n; ++i) out.set_row(i, sample(rng));
+  return out;
+}
+
+Vec BoxSpace::sample_in_ball(const Vec& center, double radius, Rng& rng, int max_tries) const {
+  const Vec c = normalize(clamp(center));
+  for (int t = 0; t < max_tries; ++t) {
+    const Vec x = sample(rng);
+    if (distance(x, center) <= radius) return x;
+  }
+  // Fall back: random direction from the center, scaled inside the ball.
+  Vec u(dim());
+  double norm = 0.0;
+  for (auto& v : u) {
+    v = rng.normal();
+    norm += v * v;
+  }
+  norm = std::sqrt(std::max(norm, 1e-12));
+  const double scale = radius * std::sqrt(static_cast<double>(dim())) * rng.uniform();
+  Vec out(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    out[i] = std::clamp(c[i] + u[i] / norm * scale, 0.0, 1.0);
+  }
+  return denormalize(out);
+}
+
+double BoxSpace::distance(const Vec& a, const Vec& b) const {
+  const Vec ua = normalize(a);
+  const Vec ub = normalize(b);
+  return std::sqrt(atlas::math::squared_distance(ua, ub) / static_cast<double>(dim()));
+}
+
+}  // namespace atlas::bo

@@ -1,0 +1,51 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace atlas::common {
+
+namespace {
+
+LogLevel initial_threshold() {
+  const char* env = std::getenv("ATLAS_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& threshold_storage() {
+  static std::atomic<LogLevel> level{initial_threshold()};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return threshold_storage().load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(level, std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < log_threshold()) return;
+  static std::mutex mu;
+  std::scoped_lock lock(mu);
+  std::cerr << "[atlas][" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace atlas::common

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace atlas::common {
+
+/// Severity for the line-oriented logger. Benches and long-running stages log
+/// progress at Info; tests keep the default threshold at Warn to stay quiet.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Reads the ATLAS_LOG
+/// environment variable once ("debug"/"info"/"warn"/"error").
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Emit one log line ("[atlas][info] ...") to stderr if enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append(std::ostringstream& os, T&& v, Rest&&... rest) {
+  os << std::forward<T>(v);
+  append(os, std::forward<Rest>(rest)...);
+}
+}  // namespace detail
+
+/// Variadic convenience: log_info("iter ", i, " kl=", kl).
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_threshold() > LogLevel::kInfo) return;
+  std::ostringstream os;
+  detail::append(os, std::forward<Args>(args)...);
+  log_line(LogLevel::kInfo, os.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_threshold() > LogLevel::kDebug) return;
+  std::ostringstream os;
+  detail::append(os, std::forward<Args>(args)...);
+  log_line(LogLevel::kDebug, os.str());
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_threshold() > LogLevel::kWarn) return;
+  std::ostringstream os;
+  detail::append(os, std::forward<Args>(args)...);
+  log_line(LogLevel::kWarn, os.str());
+}
+
+}  // namespace atlas::common

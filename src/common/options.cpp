@@ -1,0 +1,42 @@
+#include "common/options.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace atlas::common {
+
+double env_double(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  return end == env ? fallback : v;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const double v = env_double(name, static_cast<double>(fallback));
+  return v <= 0 ? fallback : static_cast<std::size_t>(v);
+}
+
+BenchOptions bench_options() {
+  BenchOptions opts;
+  opts.scale = std::max(0.05, env_double("ATLAS_BENCH_SCALE", 1.0));
+  const char* csv = std::getenv("ATLAS_BENCH_CSV");
+  opts.csv = (csv != nullptr && *csv != '\0');
+  opts.seed = static_cast<unsigned long long>(env_double("ATLAS_SEED", 7.0));
+  return opts;
+}
+
+std::size_t BenchOptions::iters(std::size_t base, std::size_t min_value) const {
+  const double scaled = std::round(static_cast<double>(base) * scale);
+  return std::max(min_value, static_cast<std::size_t>(scaled));
+}
+
+double BenchOptions::episode_seconds(double base) const {
+  // Episodes shrink more slowly than iteration budgets: statistics need a
+  // minimum number of frames to make QoE estimates meaningful.
+  return std::max(4.0, base * std::min(1.0, 0.25 + 0.75 * scale));
+}
+
+}  // namespace atlas::common

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace atlas::common {
+
+/// Shared knobs for bench/example binaries, read from the environment so
+/// `for b in build/bench/*; do $b; done` works unchanged:
+///
+///  - ATLAS_BENCH_SCALE  (double, default 1.0): multiplies iteration budgets
+///    and episode durations. Scale 1 targets minutes for the whole suite on a
+///    2-core box; the paper's full budgets correspond to roughly scale 8.
+///  - ATLAS_BENCH_CSV    (if set, non-empty): benches additionally emit CSV.
+///  - ATLAS_SEED         (uint64, default 7): master seed for experiments.
+struct BenchOptions {
+  double scale = 1.0;
+  bool csv = false;
+  unsigned long long seed = 7;
+
+  /// Scaled iteration count: max(min_value, round(base * scale)).
+  std::size_t iters(std::size_t base, std::size_t min_value = 1) const;
+
+  /// Scaled episode duration in simulated seconds (base 60 s in the paper).
+  double episode_seconds(double base) const;
+};
+
+/// Read the options from the environment (each call re-reads; cheap).
+BenchOptions bench_options();
+
+/// getenv helpers with defaults.
+double env_double(const char* name, double fallback);
+std::size_t env_size(const char* name, std::size_t fallback);
+
+}  // namespace atlas::common

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace atlas::common {
+
+/// Minimal aligned-console-table / CSV writer used by every bench binary to
+/// print the rows the paper's tables and figure series report.
+///
+/// Usage:
+///   Table t({"method", "discrepancy", "distance"});
+///   t.add_row({"ours", "0.26", "0.12"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render as an aligned console table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (quoting is not needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (default 3 digits).
+std::string fmt(double v, int precision = 3);
+
+/// Format a percentage (value in [0,1] -> "xx.x%").
+std::string fmt_pct(double v, int precision = 1);
+
+}  // namespace atlas::common

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace atlas::common {
+
+/// Fixed-size worker pool used for Atlas's "parallel queries": the paper runs
+/// up to 16 simulator processes concurrently during parallel Thompson sampling;
+/// we reproduce the same semantics with threads and a reentrant simulator.
+///
+/// Tasks are arbitrary `void()` callables; use `submit` to obtain a future for
+/// a typed result. The destructor drains the queue and joins all workers.
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers (defaults to hardware concurrency,
+  /// at least one).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue `fn` and return a future for its result.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    std::future<Result> fut = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  /// Blocks the caller; exceptions from tasks propagate from here.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace atlas::common

@@ -1,0 +1,38 @@
+#include "des/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace atlas::des {
+
+void EventQueue::schedule_at(TimeMs at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  queue_.push({at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(TimeMs delay, std::function<void()> fn) {
+  if (delay < 0.0) throw std::invalid_argument("EventQueue: negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventQueue::run_until(TimeMs until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // Copy out before pop: the callback may schedule new events.
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    e.fn();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void EventQueue::run_all() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    e.fn();
+  }
+}
+
+}  // namespace atlas::des

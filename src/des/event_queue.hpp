@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace atlas::des {
+
+/// Simulation time in milliseconds (the natural unit for an LTE TTI loop).
+using TimeMs = double;
+
+/// Minimal discrete-event engine: a time-ordered queue of callbacks with a
+/// monotonically advancing clock. Events scheduled for the same instant run
+/// in FIFO order (sequence-number tie-break), which keeps episodes fully
+/// deterministic for a given seed.
+///
+/// One EventQueue instance drives one episode; instances are independent, so
+/// parallel Thompson-sampling queries can run episodes concurrently (one per
+/// thread) without sharing state.
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  void schedule_at(TimeMs at, std::function<void()> fn);
+  /// Schedule `fn` after a relative delay (>= 0).
+  void schedule_in(TimeMs delay, std::function<void()> fn);
+
+  /// Current simulation time.
+  TimeMs now() const noexcept { return now_; }
+
+  /// Number of pending events.
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Run events until the queue empties or the clock passes `until`.
+  /// Events scheduled exactly at `until` still run; the clock never exceeds
+  /// the next event's timestamp.
+  void run_until(TimeMs until);
+
+  /// Run everything (use only when the event graph is known to terminate).
+  void run_all();
+
+ private:
+  struct Entry {
+    TimeMs time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  TimeMs now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace atlas::des

@@ -1,0 +1,25 @@
+#include "env/environment.hpp"
+
+namespace atlas::env {
+
+double NetworkEnvironment::measure_qoe(const SliceConfig& config, const Workload& workload,
+                                       double threshold_ms) const {
+  return run(config, workload).qoe(threshold_ms);
+}
+
+Simulator::Simulator(SimParams params) : params_(params), profile_(simulator_profile(params)) {}
+
+void Simulator::set_params(const SimParams& params) {
+  params_ = params;
+  profile_ = simulator_profile(params);
+}
+
+EpisodeResult Simulator::run(const SliceConfig& config, const Workload& workload) const {
+  return run_episode(profile_, config, workload);
+}
+
+EpisodeResult RealNetwork::run(const SliceConfig& config, const Workload& workload) const {
+  return run_episode(real_network_profile(), config, workload);
+}
+
+}  // namespace atlas::env

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "env/episode.hpp"
+#include "env/profile.hpp"
+#include "env/slice_config.hpp"
+
+namespace atlas::env {
+
+/// The queryable black-box interface Atlas's stages see: apply a slice
+/// configuration, run one configuration interval, observe the result.
+/// Implementations are const-reentrant: parallel Thompson-sampling queries
+/// call `run` concurrently from a thread pool.
+class NetworkEnvironment {
+ public:
+  virtual ~NetworkEnvironment() = default;
+
+  /// Run one configuration interval.
+  virtual EpisodeResult run(const SliceConfig& config, const Workload& workload) const = 0;
+
+  /// Convenience: QoE = Pr(latency <= threshold) of one episode.
+  double measure_qoe(const SliceConfig& config, const Workload& workload,
+                     double threshold_ms) const;
+};
+
+/// The learning-based simulator (Stage 1's subject): the NS-3 surrogate with
+/// the Table 3 simulation parameters exposed. Offline, cheap, and queryable
+/// in parallel.
+class Simulator final : public NetworkEnvironment {
+ public:
+  explicit Simulator(SimParams params = SimParams::defaults());
+
+  const SimParams& params() const noexcept { return params_; }
+  void set_params(const SimParams& params);
+
+  EpisodeResult run(const SliceConfig& config, const Workload& workload) const override;
+
+ private:
+  SimParams params_;
+  NetworkProfile profile_;  ///< Cached simulator_profile(params_).
+};
+
+/// The testbed surrogate: hidden ground truth + real-only mechanisms.
+/// Every query here counts as an *online* interaction (SLA exposure).
+class RealNetwork final : public NetworkEnvironment {
+ public:
+  EpisodeResult run(const SliceConfig& config, const Workload& workload) const override;
+};
+
+}  // namespace atlas::env

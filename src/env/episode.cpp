@@ -1,0 +1,237 @@
+#include "env/episode.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "app/frame_app.hpp"
+#include "app/qoe.hpp"
+#include "des/event_queue.hpp"
+#include "lte/mac.hpp"
+#include "math/rng.hpp"
+#include "net/backhaul.hpp"
+#include "net/edge.hpp"
+
+namespace atlas::env {
+
+using atlas::math::Rng;
+
+double EpisodeResult::qoe(double threshold_ms) const {
+  return app::qoe_from_latencies(latencies_ms, threshold_ms);
+}
+
+atlas::math::Summary EpisodeResult::latency_summary() const {
+  return atlas::math::summarize(latencies_ms);
+}
+
+EpisodeResult run_episode(const NetworkProfile& profile, const SliceConfig& raw_config,
+                          const Workload& workload) {
+  const SliceConfig config = raw_config.clamped();
+  Rng rng(workload.seed);
+  des::EventQueue events;
+  EpisodeResult result;
+
+  // ---- RAN ----------------------------------------------------------------
+  lte::UeRadio slice_ue(profile.ul, profile.dl, workload.distance_m, profile.fading_sigma_db,
+                        profile.fading_rho, profile.cqi_lag_ttis);
+  std::vector<std::unique_ptr<lte::UeRadio>> background;
+  for (int i = 0; i < workload.extra_users; ++i) {
+    auto ue = std::make_unique<lte::UeRadio>(profile.ul, profile.dl, 2.0,
+                                             profile.fading_sigma_db, profile.fading_rho,
+                                             profile.cqi_lag_ttis);
+    // YouTube-style downlink load: always-full DL buffer.
+    ue->dl_queue().set_full_buffer(true);
+    background.push_back(std::move(ue));
+  }
+
+  std::vector<lte::SliceRadioShare> slices;
+  lte::SliceRadioShare ours;
+  ours.prb_cap_ul = static_cast<int>(std::lround(config.bandwidth_ul));
+  ours.prb_cap_dl = static_cast<int>(std::lround(config.bandwidth_dl));
+  ours.mcs_offset_ul = static_cast<int>(std::lround(config.mcs_offset_ul));
+  ours.mcs_offset_dl = static_cast<int>(std::lround(config.mcs_offset_dl));
+  ours.ues = {&slice_ue};
+  slices.push_back(ours);
+  if (!background.empty()) {
+    lte::SliceRadioShare bg;
+    // The background slice holds the remaining PRBs; caps never overlap, so
+    // radio isolation is structural (FlexRAN-style partitioning).
+    bg.prb_cap_ul = lte::kTotalPrbs - ours.prb_cap_ul;
+    bg.prb_cap_dl = lte::kTotalPrbs - ours.prb_cap_dl;
+    for (auto& ue : background) bg.ues.push_back(ue.get());
+    slices.push_back(bg);
+  }
+
+  // ---- TN / CN / EN --------------------------------------------------------
+  const double meter_rate = config.backhaul_mbps + profile.backhaul_headroom_mbps;
+  net::TransportLink ul_link(meter_rate, profile.backhaul_delay_ms, profile.backhaul_jitter);
+  net::TransportLink dl_link(meter_rate, profile.backhaul_delay_ms, profile.backhaul_jitter);
+  net::CoreHop core(profile.core_processing_ms);
+  net::ComputeQueue edge(profile.compute, config.cpu_ratio);
+
+  // ---- Application ---------------------------------------------------------
+  app::AppTrafficModel traffic_model;
+  traffic_model.loading_base_ms = profile.loading_base_ms;
+  traffic_model.loading_jitter_ms = profile.loading_jitter_ms;
+  const double result_bits = traffic_model.result_kbits * 1e3;
+  app::FrameApp frame_app(traffic_model, workload.traffic, rng);
+
+  // Per-frame tracing (paper §7.2's tracer); indexed by frame id.
+  std::vector<FrameTrace> traces;
+  auto trace_of = [&](std::uint64_t id) -> FrameTrace& {
+    if (traces.size() <= id) traces.resize(id + 1);
+    return traces[id];
+  };
+
+  std::vector<double> frame_bits;  // indexed by frame id
+  frame_app.start(events, [&](std::uint64_t id, double bits) {
+    if (frame_bits.size() <= id) frame_bits.resize(id + 1, 0.0);
+    frame_bits[id] = bits;
+    const double access =
+        profile.sr_access_base_ms + rng.uniform(0.0, profile.sr_access_jitter_ms);
+    slice_ue.ul_queue().push(id, bits, events.now(), access);
+    if (workload.collect_traces) {
+      FrameTrace& t = trace_of(id);
+      t.id = id;
+      t.created_ms = frame_app.created_at(id);
+      t.sent_ms = events.now();
+    }
+  });
+
+  // A frame that finished its uplink transmission traverses switch -> core ->
+  // edge -> core -> switch and re-enters the RAN as a downlink result.
+  auto frame_left_ran = [&](std::uint64_t id) {
+    if (workload.collect_traces) trace_of(id).ul_done_ms = events.now();
+    const double at_switch = ul_link.send(events.now(), frame_bits[id], rng);
+    const double at_edge = core.forward(at_switch);
+    events.schedule_at(at_edge, [&, id] {
+      const net::ServiceSpan span = edge.process_traced(events.now(), rng);
+      if (workload.collect_traces) {
+        FrameTrace& t = trace_of(id);
+        t.edge_in_ms = events.now();
+        t.compute_start_ms = span.start;
+        t.compute_done_ms = span.done;
+      }
+      events.schedule_at(span.done, [&, id] {
+        const double at_switch_dl = core.forward(events.now());
+        const double at_enb = dl_link.send(at_switch_dl, result_bits, rng);
+        events.schedule_at(at_enb, [&, id] {
+          if (workload.collect_traces) trace_of(id).enb_dl_ms = events.now();
+          slice_ue.dl_queue().push(id, result_bits, events.now(), 0.0);
+        });
+      });
+    });
+  };
+
+  // ---- Mobility ------------------------------------------------------------
+  std::function<void()> walk = [&] {
+    double d = slice_ue.distance() + rng.normal(0.0, 0.25);
+    slice_ue.set_distance(std::clamp(d, 0.5, 12.0));
+    events.schedule_in(100.0, walk);
+  };
+  if (workload.random_walk) events.schedule_in(100.0, walk);
+
+  // ---- TTI loop ------------------------------------------------------------
+  std::function<void()> tti = [&] {
+    slice_ue.step_fading(rng);
+    for (auto& ue : background) ue->step_fading(rng);
+
+    const auto ul = lte::run_direction_tti(slices, /*uplink=*/true, events.now(), rng);
+    for (const auto& [ue, ids] : ul.completed) {
+      if (ue != &slice_ue) continue;
+      for (std::uint64_t id : ids) frame_left_ran(id);
+    }
+    const auto dl = lte::run_direction_tti(slices, /*uplink=*/false, events.now(), rng);
+    for (const auto& [ue, ids] : dl.completed) {
+      if (ue != &slice_ue) continue;
+      for (std::uint64_t id : ids) {
+        events.schedule_in(profile.ue_proc_ms, [&, id] {
+          if (workload.collect_traces) trace_of(id).completed_ms = events.now();
+          frame_app.on_result(id);
+        });
+      }
+    }
+    result.ul_tb_total += ul.tb_total;
+    result.ul_tb_err += ul.tb_err;
+    result.dl_tb_total += dl.tb_total;
+    result.dl_tb_err += dl.tb_err;
+    events.schedule_in(lte::kTtiMs, tti);
+  };
+  events.schedule_in(lte::kTtiMs, tti);
+
+  events.run_until(workload.duration_ms);
+
+  result.latencies_ms = frame_app.latencies();
+  result.frames_completed = result.latencies_ms.size();
+  if (workload.collect_traces) {
+    for (const auto& t : traces) {
+      if (t.completed_ms > 0.0) result.traces.push_back(t);
+    }
+  }
+  return result;
+}
+
+NetworkPerformance measure_network_performance(const NetworkProfile& profile,
+                                               double duration_ms, std::uint64_t seed) {
+  NetworkPerformance perf;
+  Rng rng(seed);
+
+  // ---- Full-buffer throughput + PER, one direction at a time --------------
+  auto full_buffer = [&](bool uplink, double& mbps, double& per) {
+    Rng episode_rng = rng.fork(uplink ? 0x11 : 0x22);
+    lte::UeRadio ue(profile.ul, profile.dl, 1.0, profile.fading_sigma_db, profile.fading_rho,
+                    profile.cqi_lag_ttis);
+    (uplink ? ue.ul_queue() : ue.dl_queue()).set_full_buffer(true);
+    std::vector<lte::SliceRadioShare> slices(1);
+    slices[0].ues = {&ue};
+    double bits = 0.0;
+    int tb_total = 0;
+    int tb_err = 0;
+    const auto ttis = static_cast<std::size_t>(duration_ms / lte::kTtiMs);
+    for (std::size_t t = 0; t < ttis; ++t) {
+      ue.step_fading(episode_rng);
+      const auto out = lte::run_direction_tti(slices, uplink,
+                                              static_cast<double>(t) * lte::kTtiMs,
+                                              episode_rng);
+      bits += out.delivered_bits;
+      tb_total += out.tb_total;
+      tb_err += out.tb_err;
+    }
+    mbps = bits / (duration_ms * 1e3);  // bits per ms*1e3 == Mbps
+    per = tb_total > 0 ? static_cast<double>(tb_err) / static_cast<double>(tb_total) : 0.0;
+  };
+  full_buffer(true, perf.ul_mbps, perf.ul_per);
+  full_buffer(false, perf.dl_mbps, perf.dl_per);
+
+  // ---- Ping: 64-byte probe through the whole path (no slicing meter) ------
+  {
+    Rng ping_rng = rng.fork(0x33);
+    const double probe_bits = 64.0 * 8.0;
+    net::TransportLink ul_link(100.0, profile.backhaul_delay_ms, profile.backhaul_jitter);
+    net::TransportLink dl_link(100.0, profile.backhaul_delay_ms, profile.backhaul_jitter);
+    net::CoreHop core(profile.core_processing_ms);
+    const std::size_t pings = std::max<std::size_t>(20, static_cast<std::size_t>(duration_ms / 500.0));
+    double total = 0.0;
+    double now = 0.0;
+    for (std::size_t i = 0; i < pings; ++i) {
+      now += 500.0;
+      // UL: scheduling-request cycle + TTI alignment + first grant.
+      double t = now + profile.sr_access_base_ms +
+                 ping_rng.uniform(0.0, profile.sr_access_jitter_ms) +
+                 ping_rng.uniform(0.0, lte::kTtiMs) + lte::kTtiMs;
+      t = ul_link.send(t, probe_bits, ping_rng);
+      t = core.forward(t);
+      t += 0.2;  // edge ICMP echo
+      t = core.forward(t);
+      t = dl_link.send(t, probe_bits, ping_rng);
+      t += ping_rng.uniform(0.0, lte::kTtiMs) + lte::kTtiMs;  // DL TTI alignment
+      t += 2.0 * profile.ue_proc_ms;                          // modem + kernel, both ways
+      total += t - now;
+    }
+    perf.ping_ms = total / static_cast<double>(pings);
+  }
+  return perf;
+}
+
+}  // namespace atlas::env

@@ -1,0 +1,141 @@
+#include "env/profile.hpp"
+
+namespace atlas::env {
+
+namespace {
+
+/// Effective link budgets shared by both deployments. Per-PRB transmit PSDs
+/// are effective values for the 1 m USRP-B210 bench (tx-gain backoff and
+/// cable losses folded in), chosen so that with spec parameters the
+/// simulator's link adaptation is *margin-limited* (not cap-limited): UL
+/// SINR ~20.9 dB -> MCS 23, DL SINR ~25 dB -> MCS 27, which lands the
+/// throughput and PER of the paper's Table 1 (UL ~20 Mbps @ 2.5e-3,
+/// DL ~32.4 Mbps @ 2.8e-3).
+constexpr double kUlTxPsdDbm = -57.0;
+constexpr double kDlTxPsdDbm = -49.0;
+constexpr int kUlMcsCap = 24;
+constexpr int kDlMcsCap = 28;
+/// OAI's UL chain is substantially less efficient than DL (DMRS, PUCCH and
+/// grant overheads): derate factors tuned to Table 1's 19.87 / 32.37 Mbps.
+constexpr double kUlTbsOverhead = 0.55;
+constexpr double kDlTbsOverhead = 0.675;
+
+/// Indoor line-of-sight decay measured on the bench: close to free space.
+/// (NS-3's LogDistance exponent is configurable; the paper matches it to
+/// prototype measurements, §7.2.) The REAL environment decays a little
+/// faster (desk clutter) — a mismatch with no Table 3 counterpart.
+constexpr double kSimPathlossExponent = 2.0;
+constexpr double kRealPathlossExponent = 2.35;
+
+lte::RadioParams base_ul() {
+  lte::RadioParams p;
+  p.budget.tx_psd_dbm_per_prb = kUlTxPsdDbm;
+  p.budget.noise_figure_db = 5.0;
+  p.budget.pathloss_exponent = kSimPathlossExponent;
+  p.mcs_cap = kUlMcsCap;
+  p.tbs_overhead = kUlTbsOverhead;
+  return p;
+}
+
+lte::RadioParams base_dl() {
+  lte::RadioParams p;
+  p.budget.tx_psd_dbm_per_prb = kDlTxPsdDbm;
+  p.budget.noise_figure_db = 9.0;
+  p.budget.pathloss_exponent = kSimPathlossExponent;
+  p.mcs_cap = kDlMcsCap;
+  p.tbs_overhead = kDlTbsOverhead;
+  return p;
+}
+
+}  // namespace
+
+NetworkProfile simulator_profile(const SimParams& params) {
+  NetworkProfile prof;
+  prof.ul = base_ul();
+  prof.dl = base_dl();
+  prof.ul.budget.baseline_loss_db = params.baseline_loss_db;
+  prof.dl.budget.baseline_loss_db = params.baseline_loss_db;
+  prof.ul.budget.noise_figure_db = params.enb_noise_figure_db;  // eNB receives UL
+  prof.dl.budget.noise_figure_db = params.ue_noise_figure_db;   // UE receives DL
+  // Deterministic channel: LogDistance pathloss, "no fading model" (§7.2),
+  // ideal CQI, next-TTI HARQ.
+  prof.fading_sigma_db = 0.0;
+  prof.cqi_lag_ttis = 0;
+  // Table 3's additive transport / compute / loading knobs.
+  prof.backhaul_headroom_mbps = params.backhaul_bw_mbps;
+  prof.backhaul_jitter.base_extra_ms = params.backhaul_delay_ms;
+  prof.compute.overhead_ms = params.compute_time_ms;
+  prof.loading_base_ms = params.loading_time_ms;
+  return prof;
+}
+
+NetworkProfile real_network_profile() {
+  NetworkProfile prof;
+  prof.ul = base_ul();
+  prof.dl = base_dl();
+
+  // --- Hidden radio truths (compensable via Table 3, partially) ---
+  // Cable/connector losses raise the reference loss; receiver chains run
+  // slightly hotter than spec. Net effect: UL MCS ~21-22 vs the simulator's
+  // 23 (-11% throughput), DL MCS 26 vs 27 (-4%) — Table 1's deltas.
+  prof.ul.budget.baseline_loss_db = 39.3;
+  prof.dl.budget.baseline_loss_db = 39.3;
+  prof.ul.budget.noise_figure_db = 5.5;
+  prof.dl.budget.noise_figure_db = 9.2;
+  // Real propagation decays faster than the simulator's exponent (desk
+  // clutter); this has NO Table 3 counterpart -> discrepancy grows with
+  // distance (paper Fig. 10) no matter how well Stage 1 calibrates at 1 m.
+  prof.ul.budget.pathloss_exponent = kRealPathlossExponent;
+  prof.dl.budget.pathloss_exponent = kRealPathlossExponent;
+
+  // --- Real-only channel dynamics (not expressible in Table 3) ---
+  prof.fading_sigma_db = 2.5;
+  prof.fading_rho = 0.9;
+  prof.cqi_lag_ttis = 2;          // CQI reporting + scheduling pipeline
+  prof.ul.harq_rtt_ttis = 3;      // effective HARQ pipeline stall
+  prof.dl.harq_rtt_ttis = 3;
+
+  // --- Transport: SDN switch + GTP ---
+  // OpenFlow meters quantize above the configured rate (~5 Mbps headroom);
+  // store-and-forward + GTP encapsulation costs ~45 ms/Mbit (≈10 ms for a
+  // mean frame, invisible to 64-byte pings) with an exponential
+  // cross-traffic tail.
+  prof.backhaul_headroom_mbps = 5.0;
+  prof.backhaul_jitter.per_mbit_ms = 45.0;
+  prof.backhaul_jitter.exp_mean_ms = 0.6;
+  prof.core_processing_ms = 0.5;
+
+  // --- Edge: docker + ORB implementation overhead + scheduling stalls ---
+  // The bulk of the real extra latency sits HERE, not in the switch: the
+  // real ORB build + container runtime is simply slower per frame. Unlike a
+  // transport delay, this inflates with queueing at traffic > 1 — which is
+  // what makes correct attribution matter for calibration transfer (Fig. 14).
+  prof.compute.mean_ms = 81.0;  // same measured base the simulator copies
+  prof.compute.std_ms = 35.0;
+  prof.compute.overhead_ms = 24.0;
+  prof.compute.tail_prob = 0.08;     // cgroup scheduling stalls
+  prof.compute.tail_mean_ms = 70.0;
+  prof.compute.cpu_exponent = 1.25;  // CFS quota throttling at fractional shares
+
+  // --- UE: Android frame loading ---
+  prof.loading_base_ms = 5.0;
+  prof.loading_jitter_ms = 4.0;
+  return prof;
+}
+
+SimParams oracle_calibration() {
+  SimParams p;
+  p.baseline_loss_db = 39.3;
+  p.enb_noise_figure_db = 5.5;
+  p.ue_noise_figure_db = 9.2;
+  p.backhaul_bw_mbps = 5.0;
+  // Mean of per-frame switch cost (45 ms/Mbit * 0.2304 Mbit) + exp tail mean.
+  p.backhaul_delay_ms = 45.0 * 0.2304 + 0.6;
+  // Docker overhead + the mean of the stall tail (0.08 * 70 ms).
+  p.compute_time_ms = 24.0 + 0.08 * 70.0;
+  // Mean loading: 5.0 + 4.0/2.
+  p.loading_time_ms = 7.0;
+  return p;
+}
+
+}  // namespace atlas::env

@@ -1,0 +1,60 @@
+#pragma once
+
+#include "env/sim_params.hpp"
+#include "lte/mac.hpp"
+#include "net/backhaul.hpp"
+#include "net/edge.hpp"
+
+namespace atlas::env {
+
+/// Complete behavioral description of one end-to-end deployment (RAN + TN +
+/// CN + EN). Exactly two parameterizations exist:
+///
+///  * `simulator_profile(x)` — the NS-3-surrogate: deterministic channel
+///    (no fading, ideal CQI), deterministic transport, and the seven
+///    Table 3 knobs `x` folded in.
+///  * `real_network_profile()` — the testbed-surrogate: hidden ground-truth
+///    radio parameters plus mechanisms the simulator cannot express at all
+///    (fast fading, stale CQI, size-dependent switch processing with an
+///    exponential tail, docker overhead, UE loading jitter).
+///
+/// Concentrating every sim-vs-real difference in this one file makes the
+/// discrepancy auditable: anything listed under `real_network_profile` and
+/// not reachable from `SimParams` is, by construction, residual discrepancy
+/// that Stage 1 cannot remove and Stage 3 must learn online.
+struct NetworkProfile {
+  lte::RadioParams ul;
+  lte::RadioParams dl;
+  double fading_sigma_db = 0.0;  ///< 0 disables fast fading (simulator).
+  double fading_rho = 0.9;
+  int cqi_lag_ttis = 0;          ///< 0 = ideal CQI (simulator).
+
+  /// LTE small-packet access: scheduling-request cycle. UL data arriving at
+  /// an empty queue waits base + U(0, jitter) ms before its first grant.
+  double sr_access_base_ms = 9.0;
+  double sr_access_jitter_ms = 10.0;
+  double ue_proc_ms = 7.2;  ///< Modem/kernel processing per direction.
+
+  double backhaul_delay_ms = 1.0;        ///< One-way propagation + port latency.
+  net::TransportJitter backhaul_jitter;  ///< Real-only switch effects.
+  double backhaul_headroom_mbps = 0.0;   ///< Effective rate above the meter.
+  double core_processing_ms = 0.3;       ///< SPGW-U forwarding per direction.
+
+  net::ComputeModel compute;             ///< Edge service time model.
+  double loading_base_ms = 0.0;          ///< UE frame loading time...
+  double loading_jitter_ms = 0.0;        ///< ...plus U(0, jitter).
+};
+
+/// Simulator parameterized by the Table 3 knobs (defaults = NS-3 spec values).
+NetworkProfile simulator_profile(const SimParams& params = SimParams::defaults());
+
+/// The real network. Its hidden truths are private to profile.cpp; tests and
+/// benches must treat it as a black box, exactly like the physical testbed.
+NetworkProfile real_network_profile();
+
+/// For tests/documentation only: the SimParams vector that best compensates
+/// the real network's compensable deltas (the "oracle" calibration target).
+/// Stage 1 should land near this point.
+SimParams oracle_calibration();
+
+}  // namespace atlas::env

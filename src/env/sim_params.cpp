@@ -1,0 +1,40 @@
+#include "env/sim_params.hpp"
+
+#include <stdexcept>
+
+namespace atlas::env {
+
+bo::BoxSpace SimParams::space() {
+  return bo::BoxSpace(
+      {"baseline_loss", "enb_noise_figure", "ue_noise_figure", "backhaul_bw",
+       "backhaul_delay", "compute_time", "loading_time"},
+      // The backhaul-delay range is deliberately tight: switch+GTP delays
+      // above ~15 ms are physically implausible on a 1 Gbps port, and the
+      // bound forces the search to attribute queue-amplified latency to the
+      // compute knob (which extrapolates correctly across traffic, Fig. 14).
+      {33.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}, {45.0, 10.0, 15.0, 20.0, 15.0, 35.0, 15.0});
+}
+
+atlas::math::Vec SimParams::to_vec() const {
+  return {baseline_loss_db, enb_noise_figure_db, ue_noise_figure_db, backhaul_bw_mbps,
+          backhaul_delay_ms, compute_time_ms, loading_time_ms};
+}
+
+SimParams SimParams::from_vec(const atlas::math::Vec& v) {
+  if (v.size() != 7) throw std::invalid_argument("SimParams::from_vec: need 7 dims");
+  SimParams p;
+  p.baseline_loss_db = v[0];
+  p.enb_noise_figure_db = v[1];
+  p.ue_noise_figure_db = v[2];
+  p.backhaul_bw_mbps = v[3];
+  p.backhaul_delay_ms = v[4];
+  p.compute_time_ms = v[5];
+  p.loading_time_ms = v[6];
+  return p;
+}
+
+double SimParams::distance_to(const SimParams& other) const {
+  return space().distance(to_vec(), other.to_vec());
+}
+
+}  // namespace atlas::env

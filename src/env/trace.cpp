@@ -1,0 +1,29 @@
+#include "env/trace.hpp"
+
+namespace atlas::env {
+
+TraceBreakdown summarize_traces(const std::vector<FrameTrace>& traces) {
+  TraceBreakdown b;
+  if (traces.empty()) return b;
+  for (const auto& t : traces) {
+    b.loading += t.loading();
+    b.uplink += t.uplink();
+    b.transport_ul += t.transport_ul();
+    b.queueing += t.queueing();
+    b.compute += t.compute();
+    b.downlink += t.downlink();
+    b.total += t.total();
+  }
+  const auto n = static_cast<double>(traces.size());
+  b.loading /= n;
+  b.uplink /= n;
+  b.transport_ul /= n;
+  b.queueing /= n;
+  b.compute /= n;
+  b.downlink /= n;
+  b.total /= n;
+  b.frames = traces.size();
+  return b;
+}
+
+}  // namespace atlas::env

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace atlas::env {
+
+/// Per-frame pipeline timestamps, mirroring the paper's NS-3 tracer (§7.2:
+/// "not only end-to-end latency of every frame, but also transmission and
+/// computing details, e.g., queuing time, computing time, and uplink and
+/// downlink transmission time"). All times are absolute episode milliseconds;
+/// only frames that completed within the episode are exported.
+struct FrameTrace {
+  std::uint64_t id = 0;
+  double created_ms = 0.0;        ///< Congestion-window slot granted.
+  double sent_ms = 0.0;           ///< Loading finished; entered the UL queue.
+  double ul_done_ms = 0.0;        ///< Last uplink transport block delivered.
+  double edge_in_ms = 0.0;        ///< Arrived at the edge (switch + SPGW-U).
+  double compute_start_ms = 0.0;  ///< Edge server began processing.
+  double compute_done_ms = 0.0;   ///< Result produced.
+  double enb_dl_ms = 0.0;         ///< Result reached the eNB downlink queue.
+  double completed_ms = 0.0;      ///< Result delivered to the application.
+
+  double loading() const { return sent_ms - created_ms; }
+  double uplink() const { return ul_done_ms - sent_ms; }       ///< SR wait + radio tx.
+  double transport_ul() const { return edge_in_ms - ul_done_ms; }
+  double queueing() const { return compute_start_ms - edge_in_ms; }
+  double compute() const { return compute_done_ms - compute_start_ms; }
+  double downlink() const { return completed_ms - compute_done_ms; }  ///< core+TN+radio+UE.
+  double total() const { return completed_ms - created_ms; }
+};
+
+/// Mean decomposition over a set of traces (ms per pipeline segment).
+struct TraceBreakdown {
+  double loading = 0.0;
+  double uplink = 0.0;
+  double transport_ul = 0.0;
+  double queueing = 0.0;
+  double compute = 0.0;
+  double downlink = 0.0;
+  double total = 0.0;
+  std::size_t frames = 0;
+};
+
+TraceBreakdown summarize_traces(const std::vector<FrameTrace>& traces);
+
+}  // namespace atlas::env

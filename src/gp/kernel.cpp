@@ -1,0 +1,56 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+
+namespace atlas::gp {
+
+using atlas::math::Matrix;
+using atlas::math::Vec;
+
+double Kernel::at_distance(double r) const {
+  const double s = r / length_scale;
+  switch (kind) {
+    case KernelKind::kRbf:
+      return variance * std::exp(-0.5 * s * s);
+    case KernelKind::kMatern12:
+      return variance * std::exp(-s);
+    case KernelKind::kMatern32: {
+      const double t = std::sqrt(3.0) * s;
+      return variance * (1.0 + t) * std::exp(-t);
+    }
+    case KernelKind::kMatern52: {
+      const double t = std::sqrt(5.0) * s;
+      return variance * (1.0 + t + t * t / 3.0) * std::exp(-t);
+    }
+  }
+  return 0.0;
+}
+
+double Kernel::operator()(const Vec& a, const Vec& b) const {
+  return at_distance(std::sqrt(atlas::math::squared_distance(a, b)));
+}
+
+Matrix gram(const Kernel& k, const Matrix& x) {
+  const std::size_t n = x.rows();
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g(i, i) = k.at_distance(0.0);
+    for (std::size_t j = 0; j < i; ++j) {
+      const double r = std::sqrt(atlas::math::squared_distance(x.row(i), x.row(j)));
+      const double v = k.at_distance(r);
+      g(i, j) = v;
+      g(j, i) = v;
+    }
+  }
+  return g;
+}
+
+Vec cross(const Kernel& k, const Matrix& x, const Vec& xs) {
+  Vec out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = k.at_distance(std::sqrt(atlas::math::squared_distance(x.row(i), xs)));
+  }
+  return out;
+}
+
+}  // namespace atlas::gp

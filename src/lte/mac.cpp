@@ -1,0 +1,137 @@
+#include "lte/mac.hpp"
+
+#include <algorithm>
+
+namespace atlas::lte {
+
+void RadioQueue::push(std::uint64_t id, double bits, double now, double access_delay_ms) {
+  if (sdus_.empty() && !full_buffer_) {
+    schedulable_at_ = now + access_delay_ms;
+  }
+  sdus_.push_back({id, bits});
+}
+
+bool RadioQueue::has_data(double now) const noexcept {
+  if (full_buffer_) return true;
+  return !sdus_.empty() && now >= schedulable_at_;
+}
+
+double RadioQueue::queued_bits() const noexcept {
+  double acc = 0.0;
+  for (const auto& s : sdus_) acc += s.bits_remaining;
+  return acc;
+}
+
+std::vector<std::uint64_t> RadioQueue::drain(double bits) {
+  std::vector<std::uint64_t> done;
+  while (bits > 0.0 && !sdus_.empty()) {
+    RadioSdu& head = sdus_.front();
+    if (head.bits_remaining > bits) {
+      head.bits_remaining -= bits;
+      bits = 0.0;
+    } else {
+      bits -= head.bits_remaining;
+      done.push_back(head.id);
+      sdus_.pop_front();
+    }
+  }
+  return done;
+}
+
+UeRadio::UeRadio(RadioParams ul, RadioParams dl, double distance_m, double fading_sigma_db,
+                 double fading_rho, int cqi_lag_ttis)
+    : ul_params_(ul),
+      dl_params_(dl),
+      distance_m_(distance_m),
+      fading_(fading_sigma_db, fading_rho),
+      cqi_lag_ttis_(std::max(0, cqi_lag_ttis)) {}
+
+void UeRadio::step_fading(atlas::math::Rng& rng) {
+  fading_.step(rng);
+  if (cqi_lag_ttis_ > 0) {
+    fading_history_.push_back(fading_.value());
+    while (fading_history_.size() > static_cast<std::size_t>(cqi_lag_ttis_) + 1) {
+      fading_history_.pop_front();
+    }
+  }
+}
+
+double UeRadio::cqi_fading_db() const noexcept {
+  if (cqi_lag_ttis_ == 0 || fading_history_.empty()) return fading_.value();
+  return fading_history_.front();
+}
+
+TtiOutcome UeRadio::run_tti(bool uplink, double now, int prbs, int mcs_offset,
+                            atlas::math::Rng& rng) {
+  TtiOutcome out;
+  if (prbs <= 0) return out;
+  RadioQueue& queue = uplink ? ul_queue_ : dl_queue_;
+  if (!queue.has_data(now)) return out;
+  double& blocked_until = uplink ? ul_blocked_until_ : dl_blocked_until_;
+  if (now < blocked_until) return out;
+  const RadioParams& params = uplink ? ul_params_ : dl_params_;
+
+  // Link adaptation sees the (possibly stale) reported channel; the actual
+  // block error is drawn from the instantaneous channel.
+  const double reported_sinr = sinr_db(params.budget, distance_m_, cqi_fading_db());
+  out.sinr_db = sinr_db(params.budget, distance_m_, fading_.value());
+  out.mcs = select_mcs(reported_sinr, params.la_margin_db, mcs_offset, params.mcs_cap);
+  const double tb = tbs_bits(out.mcs, prbs, params.tbs_overhead);
+  out.tb_total = 1;
+  if (rng.bernoulli(bler(out.mcs, out.sinr_db))) {
+    // HARQ: the transport block is lost; the data stays queued and is
+    // retransmitted after the HARQ round trip (no soft combining modeled).
+    out.tb_err = 1;
+    blocked_until = now + static_cast<double>(params.harq_rtt_ttis) * kTtiMs;
+    return out;
+  }
+  if (queue.full_buffer()) {
+    out.delivered_bits = tb;
+    return out;
+  }
+  const double queued = queue.queued_bits();
+  out.delivered_bits = std::min(tb, queued);
+  out.completed = queue.drain(tb);
+  return out;
+}
+
+DirectionTti run_direction_tti(std::vector<SliceRadioShare>& slices, bool uplink, double now,
+                               atlas::math::Rng& rng) {
+  DirectionTti agg;
+  int remaining = kTotalPrbs;
+  for (auto& slice : slices) {
+    if (remaining <= 0) break;
+    const int cap = uplink ? slice.prb_cap_ul : slice.prb_cap_dl;
+    const int offset = uplink ? slice.mcs_offset_ul : slice.mcs_offset_dl;
+    int budget = std::min(cap, remaining);
+    if (budget <= 0) continue;
+
+    std::vector<UeRadio*> active;
+    for (UeRadio* ue : slice.ues) {
+      RadioQueue& q = uplink ? ue->ul_queue() : ue->dl_queue();
+      if (q.has_data(now)) active.push_back(ue);
+    }
+    if (active.empty()) continue;
+
+    const int per_ue = budget / static_cast<int>(active.size());
+    int extra = budget % static_cast<int>(active.size());
+    int used = 0;
+    for (UeRadio* ue : active) {
+      int grant = per_ue + (extra > 0 ? 1 : 0);
+      if (extra > 0) --extra;
+      if (grant <= 0) continue;
+      TtiOutcome out = ue->run_tti(uplink, now, grant, offset, rng);
+      agg.delivered_bits += out.delivered_bits;
+      agg.tb_total += out.tb_total;
+      agg.tb_err += out.tb_err;
+      if (!out.completed.empty()) {
+        agg.completed.emplace_back(ue, std::move(out.completed));
+      }
+      used += grant;
+    }
+    remaining -= used;
+  }
+  return agg;
+}
+
+}  // namespace atlas::lte

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "lte/phy.hpp"
+#include "math/rng.hpp"
+
+namespace atlas::lte {
+
+/// A unit of data awaiting radio transmission (an application frame on the
+/// uplink, a result on the downlink). Identified by the application frame id.
+struct RadioSdu {
+  std::uint64_t id = 0;
+  double bits_remaining = 0.0;
+};
+
+/// Byte queue feeding one direction of one UE's radio link (RLC-style).
+///
+/// Uplink queues model the LTE scheduling-request cycle: data arriving into
+/// an *empty* queue only becomes schedulable after an access delay (SR
+/// periodicity + grant processing), which is what makes small-packet RTTs
+/// tens of milliseconds on real LTE (paper Table 1's 34 ms ping).
+class RadioQueue {
+ public:
+  /// Enqueue an SDU at `now`; if the queue was empty, data becomes
+  /// schedulable at now + access_delay_ms.
+  void push(std::uint64_t id, double bits, double now, double access_delay_ms);
+
+  /// Full-buffer mode: the queue always has data (throughput probes).
+  void set_full_buffer(bool on) noexcept { full_buffer_ = on; }
+  bool full_buffer() const noexcept { return full_buffer_; }
+
+  bool has_data(double now) const noexcept;
+  double queued_bits() const noexcept;
+
+  /// Remove up to `bits` from the head; returns ids of fully-drained SDUs.
+  std::vector<std::uint64_t> drain(double bits);
+
+ private:
+  std::deque<RadioSdu> sdus_;
+  double schedulable_at_ = 0.0;
+  bool full_buffer_ = false;
+};
+
+/// Result of one TTI of one UE in one direction.
+struct TtiOutcome {
+  double delivered_bits = 0.0;
+  int tb_total = 0;  ///< Transport blocks attempted.
+  int tb_err = 0;    ///< Transport blocks errored (HARQ retransmission).
+  int mcs = 0;
+  double sinr_db = 0.0;
+  std::vector<std::uint64_t> completed;  ///< SDUs fully delivered this TTI.
+};
+
+/// Per-direction radio parameters shared by all UEs of a deployment.
+struct RadioParams {
+  LinkBudget budget;
+  int mcs_cap = kMaxMcs;
+  double la_margin_db = 3.5;   ///< Link-adaptation backoff (~3.7e-3 BLER).
+  double tbs_overhead = 0.75;  ///< PHY capacity fraction carried by the TB.
+  int harq_rtt_ttis = 1;       ///< TTIs until an errored TB is retransmitted
+                               ///< (1 = next TTI; the real stack needs ~8).
+};
+
+/// One UE's radio state: position, a (reciprocal) fast-fading process, and
+/// UL/DL queues. The episode runner steps fading once per TTI and asks the
+/// scheduler to run each direction.
+///
+/// `cqi_lag_ttis` models outdated channel-state reporting: link adaptation
+/// picks the MCS from the fading value `cqi_lag_ttis` TTIs ago while the
+/// block error is rolled on the *current* fading — the mechanism behind the
+/// real network's elevated packet error rates in the paper's Table 1.
+class UeRadio {
+ public:
+  UeRadio(RadioParams ul, RadioParams dl, double distance_m, double fading_sigma_db,
+          double fading_rho, int cqi_lag_ttis = 0);
+
+  void step_fading(atlas::math::Rng& rng);
+  void set_distance(double d) noexcept { distance_m_ = d; }
+  double distance() const noexcept { return distance_m_; }
+
+  RadioQueue& ul_queue() noexcept { return ul_queue_; }
+  RadioQueue& dl_queue() noexcept { return dl_queue_; }
+
+  /// Run one TTI in one direction on `prbs` granted PRBs with the slice's
+  /// MCS offset. No-op (all-zero outcome) if the queue has no schedulable
+  /// data or prbs == 0.
+  TtiOutcome run_tti(bool uplink, double now, int prbs, int mcs_offset,
+                     atlas::math::Rng& rng);
+
+ private:
+  double cqi_fading_db() const noexcept;
+
+  RadioParams ul_params_, dl_params_;
+  double distance_m_;
+  FadingProcess fading_;
+  int cqi_lag_ttis_;
+  std::deque<double> fading_history_;
+  RadioQueue ul_queue_, dl_queue_;
+  double ul_blocked_until_ = 0.0;  ///< HARQ round-trip gate after a TB error.
+  double dl_blocked_until_ = 0.0;
+};
+
+/// A slice's radio share for the per-TTI scheduler.
+struct SliceRadioShare {
+  int prb_cap_ul = kTotalPrbs;
+  int prb_cap_dl = kTotalPrbs;
+  int mcs_offset_ul = 0;
+  int mcs_offset_dl = 0;
+  std::vector<UeRadio*> ues;
+};
+
+/// Aggregate of one direction over one TTI across all slices.
+struct DirectionTti {
+  double delivered_bits = 0.0;
+  int tb_total = 0;
+  int tb_err = 0;
+  std::vector<std::pair<UeRadio*, std::vector<std::uint64_t>>> completed;
+};
+
+/// Run one TTI for one direction across slices. Each slice receives at most
+/// its PRB cap (performance isolation, as enforced by FlexRAN in the paper's
+/// prototype); within a slice, PRBs split evenly among UEs with schedulable
+/// data. Total grants never exceed kTotalPrbs (slices are served in order).
+DirectionTti run_direction_tti(std::vector<SliceRadioShare>& slices, bool uplink, double now,
+                               atlas::math::Rng& rng);
+
+}  // namespace atlas::lte

@@ -1,0 +1,82 @@
+#pragma once
+
+#include "math/rng.hpp"
+
+namespace atlas::lte {
+
+/// 10 MHz LTE numerology used throughout (50 PRBs, 1 ms TTI) — matching the
+/// paper's band-7 eNB (§7.1).
+inline constexpr int kTotalPrbs = 50;
+inline constexpr double kTtiMs = 1.0;
+inline constexpr double kPrbBandwidthHz = 180e3;
+inline constexpr int kMaxMcs = 28;
+
+/// Spectral efficiency (bits/s/Hz) for MCS 0..28, following the 3GPP 36.213
+/// 64-QAM CQI/MCS efficiency ladder.
+double mcs_efficiency(int mcs);
+
+/// SINR (dB) needed to run MCS `mcs` at the ~10% BLER operating point of the
+/// AWGN waterfall below. Approximately linear in MCS, as in link-level LTE
+/// abstractions (Ikuno et al. 2010).
+double mcs_sinr_threshold_db(int mcs);
+
+/// Transport block size in BITS for one TTI on `prbs` PRBs at MCS `mcs`.
+/// Includes the control/reference-symbol overhead derate `overhead`
+/// (fraction of PHY capacity left for the transport block).
+double tbs_bits(int mcs, int prbs, double overhead = 0.75);
+
+/// AWGN block-error probability of MCS `mcs` at SINR `sinr_db`: logistic
+/// waterfall centred on the MCS threshold. At threshold + 3.5 dB (our default
+/// link-adaptation margin) this gives ~3.7e-3, reproducing the sim-side PER
+/// magnitudes of the paper's Table 1.
+double bler(int mcs, double sinr_db, double steepness = 1.6);
+
+/// Link adaptation: the largest MCS (capped at `cap`) whose threshold +
+/// `margin_db` fits under `sinr_db`, minus the slice's `mcs_offset`
+/// (Table 2's reliability knob), floored at 0.
+int select_mcs(double sinr_db, double margin_db, int mcs_offset, int cap);
+
+/// Log-distance pathloss: PL(d) = baseline_loss + 10 * exponent * log10(d / 1 m).
+/// `baseline_loss_db` defaults to NS-3's LogDistancePropagationLossModel
+/// ReferenceLoss (38.57 dB, paper Table 4).
+double pathloss_db(double distance_m, double baseline_loss_db, double exponent);
+
+/// One direction's link-budget parameters.
+///
+/// Transmit power is expressed as a per-PRB power spectral density: LTE
+/// PUSCH power control targets (approximately) constant PSD, and the eNB
+/// splits PDSCH power evenly over the carrier, so per-PRB SINR does not
+/// depend on the grant size in either direction.
+struct LinkBudget {
+  double tx_psd_dbm_per_prb = -57.0;  ///< Transmit power per PRB (180 kHz).
+  double baseline_loss_db = 38.57;    ///< Reference pathloss at 1 m.
+  double pathloss_exponent = 3.0;     ///< NS-3 LogDistance default.
+  double noise_figure_db = 5.0;       ///< Receiver noise figure.
+  double interference_dbm = -200.0;   ///< Per-PRB interference floor (off by default).
+  double sinr_cap_db = 32.0;          ///< Hardware EVM ceiling.
+};
+
+/// Per-PRB SINR (dB) at distance `distance_m` with instantaneous fading
+/// offset `fading_db` (0 when the profile models no fast fading — the NS-3
+/// configuration in §7.2).
+double sinr_db(const LinkBudget& budget, double distance_m, double fading_db);
+
+/// First-order autoregressive fast-fading process in dB (real-network-only
+/// mechanism; see DESIGN.md §4). value() is N(0, sigma^2) marginally with
+/// per-TTI correlation `rho`.
+class FadingProcess {
+ public:
+  FadingProcess(double sigma_db, double rho);
+
+  /// Advance one TTI and return the new fading value (dB).
+  double step(atlas::math::Rng& rng);
+  double value() const noexcept { return value_; }
+  bool enabled() const noexcept { return sigma_db_ > 0.0; }
+
+ private:
+  double sigma_db_;
+  double rho_;
+  double value_ = 0.0;
+};
+
+}  // namespace atlas::lte

@@ -1,0 +1,88 @@
+#include "math/kl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "math/stats.hpp"
+
+namespace atlas::math {
+
+double kl_discrete(const Vec& p, const Vec& q) {
+  if (p.size() != q.size()) throw std::invalid_argument("kl_discrete: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    if (q[i] <= 0.0) throw std::invalid_argument("kl_discrete: q has zero mass where p > 0");
+    acc += p[i] * std::log(p[i] / q[i]);
+  }
+  return std::max(0.0, acc);
+}
+
+double kl_divergence(const Vec& p_samples, const Vec& q_samples, const KlOptions& opts) {
+  if (p_samples.empty() || q_samples.empty()) {
+    throw std::invalid_argument("kl_divergence: empty sample set");
+  }
+  const Histogram hp = make_histogram(p_samples, opts.lo, opts.hi, opts.bins);
+  const Histogram hq = make_histogram(q_samples, opts.lo, opts.hi, opts.bins);
+  return kl_discrete(hp.probabilities(opts.alpha), hq.probabilities(opts.alpha));
+}
+
+double kl_gaussian(double mu0, double sigma0, double mu1, double sigma1) {
+  if (sigma0 <= 0.0 || sigma1 <= 0.0) throw std::invalid_argument("kl_gaussian: sigma <= 0");
+  const double r = sigma0 / sigma1;
+  return std::log(sigma1 / sigma0) + (r * r + ((mu0 - mu1) / sigma1) * ((mu0 - mu1) / sigma1)) / 2.0 -
+         0.5;
+}
+
+double kl_knn_1d(Vec p, Vec q, std::size_t k) {
+  if (p.size() <= k || q.size() < k) {
+    throw std::invalid_argument("kl_knn_1d: samples smaller than k");
+  }
+  std::sort(p.begin(), p.end());
+  std::sort(q.begin(), q.end());
+  const std::size_t n = p.size();
+  const std::size_t m = q.size();
+
+  // Distance from x to its k-th nearest neighbour inside a sorted vector,
+  // optionally skipping the identical element (for the self-sample case).
+  auto knn_dist = [](const Vec& sorted, double x, std::size_t kk, bool skip_self) {
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), x);
+    std::ptrdiff_t left = it - sorted.begin() - 1;
+    auto right = static_cast<std::size_t>(it - sorted.begin());
+    std::size_t found = 0;
+    double dist = 0.0;
+    bool self_skipped = !skip_self;
+    while (found < kk) {
+      const double dl = left >= 0 ? x - sorted[static_cast<std::size_t>(left)]
+                                  : std::numeric_limits<double>::infinity();
+      const double dr = right < sorted.size() ? sorted[right] - x
+                                              : std::numeric_limits<double>::infinity();
+      if (dl <= dr) {
+        dist = dl;
+        --left;
+      } else {
+        dist = dr;
+        ++right;
+      }
+      if (!self_skipped && dist == 0.0) {
+        self_skipped = true;  // consume the sample itself exactly once
+        continue;
+      }
+      ++found;
+    }
+    return std::max(dist, 1e-12);
+  };
+
+  double acc = 0.0;
+  for (double x : p) {
+    const double rho = knn_dist(p, x, k, /*skip_self=*/true);
+    const double nu = knn_dist(q, x, k, /*skip_self=*/false);
+    acc += std::log(nu / rho);
+  }
+  return acc / static_cast<double>(n) +
+         std::log(static_cast<double>(m) / static_cast<double>(n - 1));
+}
+
+}  // namespace atlas::math

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "math/matrix.hpp"
+
+namespace atlas::math {
+
+/// Binning layout for histogram-based KL estimation of latency samples.
+/// Atlas measures the sim-to-real discrepancy as KL[D_real || D_sim(x)]
+/// (paper Eq. 1): both sample sets are binned on a *fixed* grid so KL values
+/// are comparable across simulation parameters x and across scenarios.
+struct KlOptions {
+  double lo = 0.0;        ///< Left edge (ms for latency collections).
+  double hi = 960.0;      ///< Right edge; out-of-range samples clamp to edge bins.
+  std::size_t bins = 48;  ///< Histogram resolution (20 ms bins).
+  double alpha = 0.1;     ///< Laplace smoothing (keeps KL finite when a bin is empty).
+};
+
+/// Smoothed-histogram KL divergence KL(P || Q) between two sample sets.
+/// Always finite and >= 0 (up to rounding); 0 iff the smoothed histograms match.
+double kl_divergence(const Vec& p_samples, const Vec& q_samples, const KlOptions& opts = {});
+
+/// KL between two discrete distributions (must be same size, each summing to
+/// ~1, all entries > 0). Used internally and directly in tests.
+double kl_discrete(const Vec& p, const Vec& q);
+
+/// Analytic KL between two univariate Gaussians, used to validate the
+/// estimators in tests: KL(N(mu0,s0) || N(mu1,s1)).
+double kl_gaussian(double mu0, double sigma0, double mu1, double sigma1);
+
+/// 1-D k-nearest-neighbour KL estimator (Wang, Kulkarni & Verdú 2009).
+/// Distribution-free cross-check of the histogram estimator; can be negative
+/// for small samples (it is only asymptotically unbiased).
+double kl_knn_1d(Vec p_samples, Vec q_samples, std::size_t k = 5);
+
+}  // namespace atlas::math

@@ -1,0 +1,112 @@
+#include "math/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace atlas::math {
+
+Matrix cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("cholesky: matrix not square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          throw std::runtime_error("cholesky: matrix not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Matrix cholesky_jittered(Matrix a, double jitter0, int max_tries) {
+  double jitter = jitter0;
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    try {
+      return cholesky(a);
+    } catch (const std::runtime_error&) {
+      for (std::size_t i = 0; i < a.rows(); ++i) a(i, i) += jitter;
+      jitter *= 10.0;
+    }
+  }
+  throw std::runtime_error("cholesky_jittered: matrix not PD even after jitter");
+}
+
+Vec solve_lower(const Matrix& l, const Vec& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("solve_lower: size mismatch");
+  Vec x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Vec solve_lower_transpose(const Matrix& l, const Vec& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("solve_lower_transpose: size mismatch");
+  Vec x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+Vec cholesky_solve(const Matrix& l, const Vec& b) {
+  return solve_lower_transpose(l, solve_lower(l, b));
+}
+
+double log_det_from_cholesky(const Matrix& l) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) acc += std::log(l(i, i));
+  return 2.0 * acc;
+}
+
+Vec solve_linear(Matrix a, Vec b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    throw std::invalid_argument("solve_linear: shape mismatch");
+  }
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > best) {
+        best = std::fabs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) throw std::runtime_error("solve_linear: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  Vec x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) sum -= a(ii, c) * x[c];
+    x[ii] = sum / a(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace atlas::math

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "math/matrix.hpp"
+
+namespace atlas::math {
+
+/// Cholesky factorization A = L L^T for a symmetric positive-definite matrix.
+/// Returns the lower-triangular factor L. Throws std::runtime_error if A is
+/// not (numerically) positive definite.
+Matrix cholesky(const Matrix& a);
+
+/// Cholesky with adaptive jitter: retries with exponentially increasing
+/// diagonal jitter (starting at `jitter0`) until the factorization succeeds.
+/// This is the standard GP trick for nearly-singular Gram matrices.
+Matrix cholesky_jittered(Matrix a, double jitter0 = 1e-10, int max_tries = 12);
+
+/// Solve L x = b with lower-triangular L (forward substitution).
+Vec solve_lower(const Matrix& l, const Vec& b);
+
+/// Solve L^T x = b with lower-triangular L (backward substitution on L^T).
+Vec solve_lower_transpose(const Matrix& l, const Vec& b);
+
+/// Solve A x = b given the Cholesky factor L of A (two triangular solves).
+Vec cholesky_solve(const Matrix& l, const Vec& b);
+
+/// log(det(A)) given the Cholesky factor L of A: 2 * sum(log(diag(L))).
+double log_det_from_cholesky(const Matrix& l);
+
+/// Solve the general square system A x = b via Gaussian elimination with
+/// partial pivoting (used for the small normal-equations systems in
+/// VirtualEdge's predictive gradient step). Throws on singular A.
+Vec solve_linear(Matrix a, Vec b);
+
+}  // namespace atlas::math

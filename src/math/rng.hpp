@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/matrix.hpp"
+
+namespace atlas::math {
+
+/// Deterministic pseudo-random generator with explicit distribution
+/// implementations (polar-method normals, Marsaglia–Tsang gammas) so results
+/// are reproducible across standard libraries and platforms — std::*_distribution
+/// is implementation-defined and would make golden tests brittle.
+///
+/// Underlying engine: xoshiro256**, seeded via SplitMix64 fan-out. Each
+/// simulator episode owns its own Rng (see Rng::fork), which keeps parallel
+/// Thompson-sampling queries deterministic regardless of thread scheduling.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Derive an independent child stream; deterministic in (parent seed, salt).
+  Rng fork(std::uint64_t salt) const;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+
+  /// Standard normal via the polar (Marsaglia) method.
+  double normal();
+  /// Normal with given mean / standard deviation.
+  double normal(double mean, double stddev);
+  /// Normal truncated to [lo, hi] by rejection (resamples; lo < hi required).
+  double truncated_normal(double mean, double stddev, double lo, double hi);
+  /// Lognormal: exp(N(mu_log, sigma_log)).
+  double lognormal(double mu_log, double sigma_log);
+  /// Exponential with the given mean.
+  double exponential(double mean);
+  /// Gamma(shape k, scale theta) via Marsaglia–Tsang (with the k<1 boost).
+  double gamma(double shape, double scale);
+
+  /// Uniform point inside an axis-aligned box.
+  Vec uniform_vec(const Vec& lo, const Vec& hi);
+
+  /// Fisher–Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace atlas::math

@@ -1,0 +1,96 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace atlas::math {
+
+Summary summarize(const Vec& samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  s.min = samples[0];
+  s.max = samples[0];
+  double acc = 0.0;
+  for (double v : samples) {
+    acc += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = acc / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double sq = 0.0;
+    for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.variance = sq / static_cast<double>(samples.size() - 1);
+    s.stddev = std::sqrt(s.variance);
+  }
+  return s;
+}
+
+double mean(const Vec& samples) { return summarize(samples).mean; }
+double variance(const Vec& samples) { return summarize(samples).variance; }
+
+double quantile(Vec samples, double q) {
+  if (samples.empty()) throw std::invalid_argument("quantile: empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double empirical_cdf_at(const Vec& samples, double threshold) {
+  if (samples.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double v : samples) {
+    if (v <= threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(samples.size());
+}
+
+double Histogram::total() const {
+  double acc = 0.0;
+  for (double c : counts) acc += c;
+  return acc;
+}
+
+Vec Histogram::probabilities(double alpha) const {
+  const double denom = total() + alpha * static_cast<double>(counts.size());
+  Vec p(counts.size(), 0.0);
+  if (denom <= 0.0) return p;
+  for (std::size_t i = 0; i < counts.size(); ++i) p[i] = (counts[i] + alpha) / denom;
+  return p;
+}
+
+Histogram make_histogram(const Vec& samples, double lo, double hi, std::size_t bins) {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("make_histogram: bad layout");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0.0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : samples) {
+    auto idx = static_cast<std::ptrdiff_t>((v - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    h.counts[static_cast<std::size_t>(idx)] += 1.0;
+  }
+  return h;
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace atlas::math

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+
+#include "math/matrix.hpp"
+
+namespace atlas::math {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< Unbiased (n-1) sample variance; 0 for n < 2.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute summary statistics; returns zeros for an empty sample.
+Summary summarize(const Vec& samples);
+
+double mean(const Vec& samples);
+double variance(const Vec& samples);
+
+/// Empirical quantile with linear interpolation, q in [0, 1].
+/// Throws on an empty sample.
+double quantile(Vec samples, double q);
+
+/// Fraction of samples <= threshold (empirical CDF evaluated at a point).
+double empirical_cdf_at(const Vec& samples, double threshold);
+
+/// Fixed-bin histogram over [lo, hi]; values outside are clamped into the
+/// first/last bin so mass is conserved (tails matter for KL).
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<double> counts;  ///< One entry per bin.
+
+  std::size_t bins() const noexcept { return counts.size(); }
+  double total() const;
+  /// Normalized probabilities with additive (Laplace) smoothing `alpha`.
+  Vec probabilities(double alpha = 0.0) const;
+};
+
+Histogram make_histogram(const Vec& samples, double lo, double hi, std::size_t bins);
+
+/// Online mean/variance accumulator (Welford) for streaming latency
+/// statistics inside the simulator.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace atlas::math

@@ -1,0 +1,24 @@
+#include "net/backhaul.hpp"
+
+#include <algorithm>
+
+namespace atlas::net {
+
+namespace {
+/// Residual rate when the meter is configured at (or below) zero: real
+/// OpenFlow meters quantize and cannot fully stall the port.
+constexpr double kMinRateMbps = 0.1;
+}  // namespace
+
+TransportLink::TransportLink(double rate_mbps, double delay_ms, TransportJitter jitter)
+    : rate_mbps_(std::max(rate_mbps, kMinRateMbps)), delay_ms_(delay_ms), jitter_(jitter) {}
+
+double TransportLink::send(double now, double bits, atlas::math::Rng& rng) {
+  const double start = std::max(now, busy_until_);
+  // rate in Mbps == bits per microsecond == 1e3 bits per ms.
+  const double tx_ms = bits / (rate_mbps_ * 1e3);
+  busy_until_ = start + tx_ms;
+  return busy_until_ + delay_ms_ + jitter_.sample(bits, rng);
+}
+
+}  // namespace atlas::net

@@ -1,0 +1,39 @@
+#include "net/edge.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atlas::net {
+
+namespace {
+/// docker's cpu quota cannot be set to a true zero; `docker update --cpus`
+/// with tiny values still schedules the container occasionally.
+constexpr double kMinCpuRatio = 0.02;
+}  // namespace
+
+double ComputeModel::sample(double cpu_ratio, atlas::math::Rng& rng) const {
+  double base = rng.truncated_normal(mean_ms, std_ms, min_ms, max_ms);
+  if (tail_prob > 0.0 && rng.bernoulli(tail_prob)) {
+    base += rng.exponential(tail_mean_ms);
+  }
+  const double effective = std::pow(std::max(cpu_ratio, kMinCpuRatio), cpu_exponent);
+  return (base + overhead_ms) / effective;
+}
+
+ComputeQueue::ComputeQueue(ComputeModel model, double cpu_ratio)
+    : model_(model), cpu_ratio_(std::max(cpu_ratio, kMinCpuRatio)) {}
+
+double ComputeQueue::process(double now, atlas::math::Rng& rng) {
+  return process_traced(now, rng).done;
+}
+
+ServiceSpan ComputeQueue::process_traced(double now, atlas::math::Rng& rng) {
+  ServiceSpan span;
+  span.start = std::max(now, busy_until_);
+  busy_until_ = span.start + model_.sample(cpu_ratio_, rng);
+  span.done = busy_until_;
+  ++processed_;
+  return span;
+}
+
+}  // namespace atlas::net

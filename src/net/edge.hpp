@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+
+#include "math/rng.hpp"
+
+namespace atlas::net {
+
+/// Service-time model of the edge application (ORB feature extraction in the
+/// paper, §7.1): truncated-normal base compute time scaled by the docker
+/// CPU ratio, plus a constant overhead (containerization cost in the real
+/// network; a Table 3 calibration knob in the simulator).
+struct ComputeModel {
+  double mean_ms = 81.0;    ///< Paper §7.2: N(81 ms, 35 ms) measured.
+  double std_ms = 35.0;
+  double min_ms = 10.0;
+  double max_ms = 400.0;
+  double overhead_ms = 0.0; ///< Additive per-frame overhead (before scaling).
+  double tail_prob = 0.0;   ///< Probability of a scheduling stall (real only):
+  double tail_mean_ms = 0.0;///< ...adds Exp(tail_mean) to the service time.
+  double cpu_exponent = 1.0;///< Effective CPU = cpu_ratio^exponent. Real
+                            ///< cgroup CFS quotas under-deliver at fractional
+                            ///< shares (throttling bubbles), so the real
+                            ///< network uses > 1; identical at cpu_ratio = 1.
+
+  double sample(double cpu_ratio, atlas::math::Rng& rng) const;
+};
+
+/// Start/finish pair for one serviced frame (tracing support).
+struct ServiceSpan {
+  double start = 0.0;
+  double done = 0.0;
+};
+
+/// FIFO single-server compute queue for one slice's edge container
+/// (docker `--cpus` style isolation: the slice only competes with itself).
+class ComputeQueue {
+ public:
+  ComputeQueue(ComputeModel model, double cpu_ratio);
+
+  /// Enqueue a frame arriving at `now`; returns its service-completion time.
+  double process(double now, atlas::math::Rng& rng);
+
+  /// Like process(), but also reports when service began (queueing split).
+  ServiceSpan process_traced(double now, atlas::math::Rng& rng);
+
+  std::size_t processed() const noexcept { return processed_; }
+  double busy_until() const noexcept { return busy_until_; }
+  double cpu_ratio() const noexcept { return cpu_ratio_; }
+
+ private:
+  ComputeModel model_;
+  double cpu_ratio_;
+  double busy_until_ = 0.0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace atlas::net

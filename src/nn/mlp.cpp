@@ -1,0 +1,209 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace atlas::nn {
+
+using atlas::math::Matrix;
+using atlas::math::Rng;
+using atlas::math::Vec;
+
+double init_scale(std::size_t fan_in) {
+  return std::sqrt(2.0 / static_cast<double>(fan_in == 0 ? 1 : fan_in));
+}
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, Rng& rng)
+    : w_(out, in), gw_(out, in), b_(out, 0.0), gb_(out, 0.0) {
+  const double scale = init_scale(in);
+  for (std::size_t r = 0; r < out; ++r) {
+    for (std::size_t c = 0; c < in; ++c) w_(r, c) = rng.normal(0.0, scale);
+  }
+}
+
+Matrix DenseLayer::forward(const Matrix& x) {
+  cached_input_ = x;
+  return forward_const(x);
+}
+
+Matrix DenseLayer::forward_const(const Matrix& x) const {
+  if (x.cols() != w_.cols()) throw std::invalid_argument("DenseLayer: input dim mismatch");
+  Matrix y(x.rows(), w_.rows());
+  for (std::size_t n = 0; n < x.rows(); ++n) {
+    const double* xrow = x.data() + n * x.cols();
+    double* yrow = y.data() + n * y.cols();
+    for (std::size_t o = 0; o < w_.rows(); ++o) {
+      const double* wrow = w_.data() + o * w_.cols();
+      double acc = b_[o];
+      for (std::size_t i = 0; i < w_.cols(); ++i) acc += wrow[i] * xrow[i];
+      yrow[o] = acc;
+    }
+  }
+  return y;
+}
+
+Matrix DenseLayer::backward(const Matrix& dy) {
+  if (dy.rows() != cached_input_.rows() || dy.cols() != w_.rows()) {
+    throw std::invalid_argument("DenseLayer::backward: shape mismatch");
+  }
+  const Matrix& x = cached_input_;
+  // dW += dY^T X ; db += column sums of dY ; dX = dY W.
+  for (std::size_t n = 0; n < dy.rows(); ++n) {
+    const double* dyrow = dy.data() + n * dy.cols();
+    const double* xrow = x.data() + n * x.cols();
+    for (std::size_t o = 0; o < dy.cols(); ++o) {
+      const double g = dyrow[o];
+      if (g == 0.0) continue;
+      gb_[o] += g;
+      double* gwrow = gw_.data() + o * gw_.cols();
+      for (std::size_t i = 0; i < x.cols(); ++i) gwrow[i] += g * xrow[i];
+    }
+  }
+  Matrix dx(x.rows(), x.cols(), 0.0);
+  for (std::size_t n = 0; n < dy.rows(); ++n) {
+    const double* dyrow = dy.data() + n * dy.cols();
+    double* dxrow = dx.data() + n * dx.cols();
+    for (std::size_t o = 0; o < dy.cols(); ++o) {
+      const double g = dyrow[o];
+      if (g == 0.0) continue;
+      const double* wrow = w_.data() + o * w_.cols();
+      for (std::size_t i = 0; i < dx.cols(); ++i) dxrow[i] += g * wrow[i];
+    }
+  }
+  return dx;
+}
+
+void DenseLayer::zero_grad() {
+  gw_ *= 0.0;
+  for (auto& g : gb_) g = 0.0;
+}
+
+void DenseLayer::collect_params(std::vector<ParamView>& out) {
+  out.push_back({w_.data(), gw_.data(), w_.rows() * w_.cols()});
+  out.push_back({b_.data(), gb_.data(), b_.size()});
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& sizes, Rng& rng) {
+  if (sizes.size() < 2) throw std::invalid_argument("Mlp: need at least input and output sizes");
+  layers_.reserve(sizes.size() - 1);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    layers_.emplace_back(sizes[i], sizes[i + 1], rng);
+  }
+  relu_masks_.resize(layers_.size());
+}
+
+std::size_t Mlp::input_dim() const noexcept { return layers_.front().in_features(); }
+std::size_t Mlp::output_dim() const noexcept { return layers_.back().out_features(); }
+
+Matrix Mlp::forward(const Matrix& x) {
+  Matrix h = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l].forward(h);
+    if (l + 1 < layers_.size()) {
+      // ReLU + mask cache.
+      Matrix mask(h.rows(), h.cols());
+      for (std::size_t i = 0; i < h.rows(); ++i) {
+        for (std::size_t j = 0; j < h.cols(); ++j) {
+          const bool on = h(i, j) > 0.0;
+          mask(i, j) = on ? 1.0 : 0.0;
+          if (!on) h(i, j) = 0.0;
+        }
+      }
+      relu_masks_[l] = std::move(mask);
+    }
+  }
+  return h;
+}
+
+Matrix Mlp::forward_const(const Matrix& x) const {
+  Matrix h = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    h = layers_[l].forward_const(h);
+    if (l + 1 < layers_.size()) {
+      for (std::size_t i = 0; i < h.rows(); ++i) {
+        for (std::size_t j = 0; j < h.cols(); ++j) {
+          if (h(i, j) < 0.0) h(i, j) = 0.0;
+        }
+      }
+    }
+  }
+  return h;
+}
+
+double Mlp::predict_scalar(const Vec& x) const {
+  Matrix in(1, x.size());
+  in.set_row(0, x);
+  const Matrix out = forward_const(in);
+  if (out.cols() != 1) throw std::logic_error("predict_scalar: output dim != 1");
+  return out(0, 0);
+}
+
+void Mlp::backward(const Matrix& dy) {
+  Matrix grad = dy;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    if (li + 1 < layers_.size()) {
+      const Matrix& mask = relu_masks_[li];
+      for (std::size_t i = 0; i < grad.rows(); ++i) {
+        for (std::size_t j = 0; j < grad.cols(); ++j) grad(i, j) *= mask(i, j);
+      }
+    }
+    grad = layers_[li].backward(grad);
+  }
+}
+
+void Mlp::zero_grad() {
+  for (auto& l : layers_) l.zero_grad();
+}
+
+std::vector<ParamView> Mlp::params() {
+  std::vector<ParamView> out;
+  for (auto& l : layers_) l.collect_params(out);
+  return out;
+}
+
+double Mlp::train_epoch_mse(const Matrix& x, const Vec& y, Optimizer& opt,
+                            std::size_t batch_size, Rng& rng) {
+  if (x.rows() != y.size()) throw std::invalid_argument("train_epoch_mse: size mismatch");
+  if (x.rows() == 0) return 0.0;
+  const auto order = rng.permutation(x.rows());
+  const auto params_list = params();
+  double total_loss = 0.0;
+  std::size_t batches = 0;
+  for (std::size_t start = 0; start < order.size(); start += batch_size) {
+    const std::size_t n = std::min(batch_size, order.size() - start);
+    Matrix xb(n, x.cols());
+    Vec yb(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xb.set_row(i, x.row(order[start + i]));
+      yb[i] = y[order[start + i]];
+    }
+    zero_grad();
+    const Matrix out = forward(xb);
+    Matrix dloss(n, 1);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double err = out(i, 0) - yb[i];
+      loss += err * err;
+      dloss(i, 0) = 2.0 * err / static_cast<double>(n);
+    }
+    backward(dloss);
+    opt.step(params_list);
+    total_loss += loss / static_cast<double>(n);
+    ++batches;
+  }
+  return batches == 0 ? 0.0 : total_loss / static_cast<double>(batches);
+}
+
+double Mlp::mse(const Matrix& x, const Vec& y) const {
+  if (x.rows() != y.size()) throw std::invalid_argument("mse: size mismatch");
+  if (x.rows() == 0) return 0.0;
+  const Matrix out = forward_const(x);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double err = out(i, 0) - y[i];
+    loss += err * err;
+  }
+  return loss / static_cast<double>(x.rows());
+}
+
+}  // namespace atlas::nn

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/matrix.hpp"
+#include "math/rng.hpp"
+#include "nn/optim.hpp"
+
+namespace atlas::nn {
+
+/// Fully-connected layer y = x W^T + b with manual reverse-mode gradients.
+/// Batches are row-major: X is (batch x in), Y is (batch x out).
+class DenseLayer {
+ public:
+  DenseLayer(std::size_t in, std::size_t out, atlas::math::Rng& rng);
+
+  std::size_t in_features() const noexcept { return w_.cols(); }
+  std::size_t out_features() const noexcept { return w_.rows(); }
+
+  /// Forward pass; caches the input for backward.
+  atlas::math::Matrix forward(const atlas::math::Matrix& x);
+  /// Forward pass without caching (inference-only).
+  atlas::math::Matrix forward_const(const atlas::math::Matrix& x) const;
+
+  /// Backward pass: accumulates dL/dW and dL/db, returns dL/dX.
+  atlas::math::Matrix backward(const atlas::math::Matrix& dy);
+
+  void zero_grad();
+  void collect_params(std::vector<ParamView>& out);
+
+  const atlas::math::Matrix& weights() const noexcept { return w_; }
+  atlas::math::Matrix& weights() noexcept { return w_; }
+  const atlas::math::Vec& bias() const noexcept { return b_; }
+  atlas::math::Vec& bias() noexcept { return b_; }
+
+ private:
+  atlas::math::Matrix w_, gw_;
+  atlas::math::Vec b_, gb_;
+  atlas::math::Matrix cached_input_;
+};
+
+/// Multi-layer perceptron with ReLU activations between layers and a linear
+/// output. This is the deterministic network used by the DLDA baseline and
+/// the shared scaffolding under the Bayesian network.
+class Mlp {
+ public:
+  /// `sizes` lists layer widths including input and output,
+  /// e.g. {7, 128, 256, 256, 128, 1} for the paper's architecture.
+  Mlp(const std::vector<std::size_t>& sizes, atlas::math::Rng& rng);
+
+  std::size_t input_dim() const noexcept;
+  std::size_t output_dim() const noexcept;
+
+  /// Forward with caching (training).
+  atlas::math::Matrix forward(const atlas::math::Matrix& x);
+  /// Inference-only forward.
+  atlas::math::Matrix forward_const(const atlas::math::Matrix& x) const;
+  /// Convenience single-sample inference (output dim must be 1).
+  double predict_scalar(const atlas::math::Vec& x) const;
+
+  /// Backward from dL/d(output); accumulates all layer gradients.
+  void backward(const atlas::math::Matrix& dy);
+
+  void zero_grad();
+  std::vector<ParamView> params();
+
+  /// One epoch of minibatch MSE training; returns the epoch's mean loss.
+  double train_epoch_mse(const atlas::math::Matrix& x, const atlas::math::Vec& y,
+                         Optimizer& opt, std::size_t batch_size, atlas::math::Rng& rng);
+
+  /// Mean squared error over a dataset (no training).
+  double mse(const atlas::math::Matrix& x, const atlas::math::Vec& y) const;
+
+  /// Layer access (serialization, inspection).
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  const DenseLayer& layer(std::size_t i) const { return layers_.at(i); }
+  DenseLayer& layer(std::size_t i) { return layers_.at(i); }
+
+ private:
+  std::vector<DenseLayer> layers_;
+  std::vector<atlas::math::Matrix> relu_masks_;  // cached activation masks
+};
+
+/// He-style initialization bound used by both Mlp and Bnn layers.
+double init_scale(std::size_t fan_in);
+
+}  // namespace atlas::nn

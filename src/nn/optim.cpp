@@ -1,0 +1,86 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+namespace atlas::nn {
+
+namespace {
+
+/// Lazily size per-parameter state to match the view list.
+void ensure_state(std::vector<std::vector<double>>& state, const std::vector<ParamView>& params) {
+  if (state.size() == params.size()) return;
+  state.clear();
+  state.reserve(params.size());
+  for (const auto& p : params) state.emplace_back(p.size, 0.0);
+}
+
+}  // namespace
+
+Sgd::Sgd(double lr, double momentum) : Optimizer(lr), momentum_(momentum) {}
+
+void Sgd::step(const std::vector<ParamView>& params) {
+  ensure_state(velocity_, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto& p = params[i];
+    auto& vel = velocity_[i];
+    for (std::size_t j = 0; j < p.size; ++j) {
+      vel[j] = momentum_ * vel[j] - lr_ * p.grad[j];
+      p.value[j] += vel[j];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::step(const std::vector<ParamView>& params) {
+  ensure_state(m_, params);
+  ensure_state(v_, params);
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto& p = params[i];
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < p.size; ++j) {
+      const double g = p.grad[j];
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g * g;
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+Adadelta::Adadelta(double lr, double rho, double eps) : Optimizer(lr), rho_(rho), eps_(eps) {}
+
+void Adadelta::step(const std::vector<ParamView>& params) {
+  ensure_state(accum_grad_, params);
+  ensure_state(accum_update_, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto& p = params[i];
+    auto& eg = accum_grad_[i];
+    auto& eu = accum_update_[i];
+    for (std::size_t j = 0; j < p.size; ++j) {
+      const double g = p.grad[j];
+      eg[j] = rho_ * eg[j] + (1.0 - rho_) * g * g;
+      const double update = -std::sqrt(eu[j] + eps_) / std::sqrt(eg[j] + eps_) * g;
+      eu[j] = rho_ * eu[j] + (1.0 - rho_) * update * update;
+      p.value[j] += lr_ * update;
+    }
+  }
+}
+
+StepLr::StepLr(Optimizer& opt, std::size_t step_size, double gamma)
+    : opt_(opt), step_size_(step_size == 0 ? 1 : step_size), gamma_(gamma) {}
+
+void StepLr::step() {
+  ++count_;
+  if (count_ % step_size_ == 0) {
+    opt_.set_learning_rate(opt_.learning_rate() * gamma_);
+  }
+}
+
+}  // namespace atlas::nn

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace atlas::nn {
+
+/// Non-owning view over one parameter tensor and its gradient buffer.
+/// Networks expose their parameters as a stable list of views; optimizers
+/// keep per-parameter state indexed by position in that list.
+struct ParamView {
+  double* value = nullptr;
+  double* grad = nullptr;
+  std::size_t size = 0;
+};
+
+/// First-order optimizer interface. `step` consumes the accumulated
+/// gradients (the caller zeroes them afterwards).
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const std::vector<ParamView>& params) = 0;
+
+  double learning_rate() const noexcept { return lr_; }
+  void set_learning_rate(double lr) noexcept { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+  double lr_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr = 0.01, double momentum = 0.0);
+  void step(const std::vector<ParamView>& params) override;
+
+ private:
+  double momentum_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) — used for the deterministic DNNs in the DLDA
+/// baseline.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+  void step(const std::vector<ParamView>& params) override;
+
+ private:
+  double beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<std::vector<double>> m_, v_;
+};
+
+/// Adadelta (Zeiler 2012) — the paper trains its BNNs with Adadelta at the
+/// initial learning rate 1.0 (§7.3); `lr` here is the multiplicative factor
+/// applied to the Adadelta update, matching PyTorch's semantics.
+class Adadelta final : public Optimizer {
+ public:
+  explicit Adadelta(double lr = 1.0, double rho = 0.9, double eps = 1e-6);
+  void step(const std::vector<ParamView>& params) override;
+
+ private:
+  double rho_, eps_;
+  std::vector<std::vector<double>> accum_grad_, accum_update_;
+};
+
+/// StepLR scheduler: every `step_size` calls, multiply the optimizer's
+/// learning rate by `gamma`. The paper uses gamma = 0.999 applied per step.
+class StepLr {
+ public:
+  StepLr(Optimizer& opt, std::size_t step_size, double gamma);
+  /// Advance one scheduler step (call once per optimizer step or per epoch,
+  /// mirroring how the training loop chooses to drive it).
+  void step();
+
+ private:
+  Optimizer& opt_;
+  std::size_t step_size_;
+  double gamma_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace atlas::nn

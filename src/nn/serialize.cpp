@@ -1,0 +1,148 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace atlas::nn {
+
+using atlas::math::Matrix;
+using atlas::math::Rng;
+using atlas::math::Vec;
+
+namespace {
+
+void write_doubles(std::ostream& os, const double* data, std::size_t n) {
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < n; ++i) os << data[i] << (i + 1 == n ? "\n" : " ");
+}
+
+void read_doubles(std::istream& is, double* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> data[i])) throw std::runtime_error("model load: truncated double block");
+  }
+}
+
+void expect_token(std::istream& is, const std::string& expected) {
+  std::string token;
+  if (!(is >> token) || token != expected) {
+    throw std::runtime_error("model load: expected token '" + expected + "', got '" + token +
+                             "'");
+  }
+}
+
+}  // namespace
+
+void save_mlp(const Mlp& mlp, std::ostream& os) {
+  os << "atlas-mlp 1\n";
+  os << mlp.layer_count() << "\n";
+  for (std::size_t l = 0; l < mlp.layer_count(); ++l) {
+    const auto& layer = mlp.layer(l);
+    os << layer.out_features() << " " << layer.in_features() << "\n";
+    write_doubles(os, layer.weights().data(),
+                  layer.weights().rows() * layer.weights().cols());
+    write_doubles(os, layer.bias().data(), layer.bias().size());
+  }
+}
+
+Mlp load_mlp(std::istream& is) {
+  expect_token(is, "atlas-mlp");
+  expect_token(is, "1");
+  std::size_t layers = 0;
+  if (!(is >> layers) || layers == 0) throw std::runtime_error("model load: bad layer count");
+  std::vector<std::size_t> outs(layers);
+  std::vector<std::size_t> ins(layers);
+  std::vector<Matrix> weights(layers);
+  std::vector<Vec> biases(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    if (!(is >> outs[l] >> ins[l])) throw std::runtime_error("model load: bad layer shape");
+    weights[l] = Matrix(outs[l], ins[l]);
+    biases[l] = Vec(outs[l]);
+    read_doubles(is, weights[l].data(), outs[l] * ins[l]);
+    read_doubles(is, biases[l].data(), outs[l]);
+  }
+  std::vector<std::size_t> sizes;
+  sizes.push_back(ins[0]);
+  for (std::size_t l = 0; l < layers; ++l) sizes.push_back(outs[l]);
+  Rng dummy(0);
+  Mlp mlp(sizes, dummy);
+  for (std::size_t l = 0; l < layers; ++l) {
+    mlp.layer(l).weights() = std::move(weights[l]);
+    mlp.layer(l).bias() = std::move(biases[l]);
+  }
+  return mlp;
+}
+
+void Bnn::save(std::ostream& os) const {
+  os << "atlas-bnn 1\n";
+  os << config_.sizes.size();
+  for (auto s : config_.sizes) os << " " << s;
+  os << "\n";
+  os << (config_.prior == BnnPrior::kGaussianAnalytic ? "gaussian" : "mixture") << " "
+     << std::setprecision(17) << config_.prior_sigma << " " << config_.mixture_pi << " "
+     << config_.mixture_sigma1 << " " << config_.mixture_sigma2 << " " << config_.noise_sigma
+     << " " << config_.kl_scale << " " << config_.init_rho << "\n";
+  for (const auto& layer : layers_) {
+    write_doubles(os, layer.w_mu.data(), layer.w_mu.rows() * layer.w_mu.cols());
+    write_doubles(os, layer.w_rho.data(), layer.w_rho.rows() * layer.w_rho.cols());
+    write_doubles(os, layer.b_mu.data(), layer.b_mu.size());
+    write_doubles(os, layer.b_rho.data(), layer.b_rho.size());
+  }
+}
+
+Bnn Bnn::load(std::istream& is) {
+  expect_token(is, "atlas-bnn");
+  expect_token(is, "1");
+  std::size_t dims = 0;
+  if (!(is >> dims) || dims < 2) throw std::runtime_error("model load: bad size count");
+  BnnConfig config;
+  config.sizes.resize(dims);
+  for (auto& s : config.sizes) {
+    if (!(is >> s)) throw std::runtime_error("model load: bad layer size");
+  }
+  std::string prior;
+  if (!(is >> prior >> config.prior_sigma >> config.mixture_pi >> config.mixture_sigma1 >>
+        config.mixture_sigma2 >> config.noise_sigma >> config.kl_scale >> config.init_rho)) {
+    throw std::runtime_error("model load: bad config line");
+  }
+  config.prior = prior == "mixture" ? BnnPrior::kScaleMixtureMc : BnnPrior::kGaussianAnalytic;
+  Rng dummy(0);
+  Bnn bnn(config, dummy);
+  for (auto& layer : bnn.layers_) {
+    read_doubles(is, layer.w_mu.data(), layer.w_mu.rows() * layer.w_mu.cols());
+    read_doubles(is, layer.w_rho.data(), layer.w_rho.rows() * layer.w_rho.cols());
+    read_doubles(is, layer.b_mu.data(), layer.b_mu.size());
+    read_doubles(is, layer.b_rho.data(), layer.b_rho.size());
+  }
+  return bnn;
+}
+
+void save_bnn(const Bnn& bnn, std::ostream& os) { bnn.save(os); }
+Bnn load_bnn(std::istream& is) { return Bnn::load(is); }
+
+void save_mlp_file(const Mlp& mlp, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_mlp_file: cannot open " + path);
+  save_mlp(mlp, os);
+}
+
+Mlp load_mlp_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_mlp_file: cannot open " + path);
+  return load_mlp(is);
+}
+
+void save_bnn_file(const Bnn& bnn, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_bnn_file: cannot open " + path);
+  bnn.save(os);
+}
+
+Bnn load_bnn_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_bnn_file: cannot open " + path);
+  return Bnn::load(is);
+}
+
+}  // namespace atlas::nn

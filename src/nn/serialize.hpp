@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/bnn.hpp"
+#include "nn/mlp.hpp"
+
+namespace atlas::nn {
+
+/// Plain-text model persistence (the paper's artifact ships trained models
+/// alongside the code; this is the equivalent for offline policies and
+/// calibrated surrogates). The format is a line-oriented header followed by
+/// whitespace-separated doubles in full precision — portable, diffable, and
+/// trivially inspectable.
+///
+/// Round-trip guarantee: save followed by load reproduces predictions
+/// bit-exactly (tests enforce this).
+
+/// Serialize / deserialize a deterministic MLP.
+void save_mlp(const Mlp& mlp, std::ostream& os);
+Mlp load_mlp(std::istream& is);
+
+/// Serialize / deserialize a BNN (variational parameters + config).
+void save_bnn(const Bnn& bnn, std::ostream& os);
+Bnn load_bnn(std::istream& is);
+
+/// File-path conveniences; throw std::runtime_error on I/O failure.
+void save_mlp_file(const Mlp& mlp, const std::string& path);
+Mlp load_mlp_file(const std::string& path);
+void save_bnn_file(const Bnn& bnn, const std::string& path);
+Bnn load_bnn_file(const std::string& path);
+
+}  // namespace atlas::nn

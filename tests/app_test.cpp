@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "app/frame_app.hpp"
+#include "app/qoe.hpp"
+#include "des/event_queue.hpp"
+#include "math/rng.hpp"
+
+namespace aa = atlas::app;
+namespace ad = atlas::des;
+namespace am = atlas::math;
+
+TEST(Qoe, FractionBelowThreshold) {
+  EXPECT_DOUBLE_EQ(aa::qoe_from_latencies({100, 200, 300, 400}, 300.0), 0.75);
+  EXPECT_DOUBLE_EQ(aa::qoe_from_latencies({100}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(aa::qoe_from_latencies({}, 300.0), 0.0);  // outage counts as 0
+}
+
+TEST(Sla, SatisfactionCheck) {
+  aa::Sla sla;  // Y=300, E=0.9
+  EXPECT_TRUE(sla.satisfied_by(0.95));
+  EXPECT_TRUE(sla.satisfied_by(0.9));
+  EXPECT_FALSE(sla.satisfied_by(0.89));
+}
+
+TEST(FrameApp, WindowLimitsInFlight) {
+  am::Rng rng(1);
+  ad::EventQueue events;
+  aa::AppTrafficModel model;
+  aa::FrameApp app(model, 3, rng);
+  std::vector<std::uint64_t> sent;
+  app.start(events, [&](std::uint64_t id, double) { sent.push_back(id); });
+  events.run_until(10.0);
+  EXPECT_EQ(app.in_flight(), 3);
+  EXPECT_EQ(sent.size(), 3u);
+}
+
+TEST(FrameApp, ResultCompletesAndRefills) {
+  am::Rng rng(2);
+  ad::EventQueue events;
+  aa::AppTrafficModel model;
+  aa::FrameApp app(model, 1, rng);
+  std::vector<std::uint64_t> sent;
+  app.start(events, [&](std::uint64_t id, double) { sent.push_back(id); });
+  events.run_until(1.0);
+  ASSERT_EQ(sent.size(), 1u);
+  events.schedule_at(50.0, [&] { app.on_result(0); });
+  events.run_until(60.0);
+  ASSERT_EQ(app.latencies().size(), 1u);
+  EXPECT_NEAR(app.latencies()[0], 50.0, 1e-9);  // created at t=0
+  EXPECT_EQ(sent.size(), 2u);                   // slot refilled
+  EXPECT_EQ(app.in_flight(), 1);
+}
+
+TEST(FrameApp, LoadingDelayDefersSend) {
+  am::Rng rng(3);
+  ad::EventQueue events;
+  aa::AppTrafficModel model;
+  model.loading_base_ms = 10.0;
+  aa::FrameApp app(model, 1, rng);
+  double sent_at = -1.0;
+  app.start(events, [&](std::uint64_t, double) { sent_at = events.now(); });
+  events.run_until(5.0);
+  EXPECT_DOUBLE_EQ(sent_at, -1.0);  // still loading
+  events.run_until(20.0);
+  EXPECT_NEAR(sent_at, 10.0, 1e-9);
+}
+
+TEST(FrameApp, FrameSizesWithinTruncationBounds) {
+  am::Rng rng(4);
+  aa::AppTrafficModel model;
+  for (int i = 0; i < 5000; ++i) {
+    const double bits = model.sample_frame_bits(rng);
+    ASSERT_GE(bits, model.frame_kbits_min * 1e3);
+    ASSERT_LE(bits, model.frame_kbits_max * 1e3);
+  }
+}
+
+TEST(FrameApp, UnknownResultThrows) {
+  am::Rng rng(5);
+  ad::EventQueue events;
+  aa::FrameApp app(aa::AppTrafficModel{}, 1, rng);
+  app.start(events, [](std::uint64_t, double) {});
+  events.run_until(1.0);
+  EXPECT_THROW(app.on_result(99), std::logic_error);
+}
+
+TEST(FrameApp, RejectsNonPositiveWindow) {
+  am::Rng rng(6);
+  EXPECT_THROW(aa::FrameApp(aa::AppTrafficModel{}, 0, rng), std::invalid_argument);
+}

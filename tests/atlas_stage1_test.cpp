@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "atlas/calibrator.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ac = atlas::core;
+namespace ae = atlas::env;
+
+namespace {
+
+ac::CalibrationOptions fast_options() {
+  ac::CalibrationOptions opts;
+  opts.iterations = 24;
+  opts.init_iterations = 8;
+  opts.parallel = 4;
+  opts.candidates = 300;
+  opts.real_episodes = 1;
+  opts.workload.duration_ms = 6000.0;
+  opts.bnn.sizes = {7, 32, 32, 1};
+  opts.bnn.noise_sigma = 0.1;
+  opts.train_epochs = 4;
+  opts.seed = 5;
+  return opts;
+}
+
+}  // namespace
+
+TEST(Stage1, ReducesWeightedDiscrepancy) {
+  ae::RealNetwork real;
+  atlas::common::ThreadPool pool(2);
+  ac::SimCalibrator calibrator(real, fast_options(), &pool);
+  const auto result = calibrator.calibrate();
+  // Even a tiny budget must beat the spec-default simulator.
+  EXPECT_LT(result.best_kl, result.original_kl);
+  EXPECT_GT(result.original_kl, 0.3);
+  EXPECT_FALSE(result.history.empty());
+  EXPECT_EQ(result.avg_weighted_per_iter.size(), 24u);
+}
+
+TEST(Stage1, RespectsParameterBall) {
+  ae::RealNetwork real;
+  auto opts = fast_options();
+  opts.ball_radius = 0.2;
+  opts.iterations = 10;
+  ac::SimCalibrator calibrator(real, opts);
+  const auto result = calibrator.calibrate();
+  const auto x_hat = ae::SimParams::defaults();
+  for (const auto& step : result.history) {
+    ASSERT_LE(step.params.distance_to(x_hat), 0.2 + 1e-9);
+  }
+}
+
+TEST(Stage1, WeightedObjectiveConsistent) {
+  ae::RealNetwork real;
+  auto opts = fast_options();
+  opts.iterations = 6;
+  ac::SimCalibrator calibrator(real, opts);
+  const auto result = calibrator.calibrate();
+  for (const auto& step : result.history) {
+    ASSERT_NEAR(step.weighted, step.kl + opts.alpha * step.distance, 1e-9);
+    ASSERT_GE(step.kl, 0.0);
+    ASSERT_GE(step.distance, 0.0);
+  }
+  EXPECT_NEAR(result.best_weighted,
+              result.best_kl + opts.alpha * result.best_distance, 1e-9);
+}
+
+TEST(Stage1, GpSurrogateVariantRuns) {
+  ae::RealNetwork real;
+  auto opts = fast_options();
+  opts.surrogate = ac::CalibratorSurrogate::kGpEi;
+  opts.iterations = 16;
+  opts.init_iterations = 8;
+  ac::SimCalibrator calibrator(real, opts);
+  const auto result = calibrator.calibrate();
+  EXPECT_EQ(result.history.size(), 16u);  // sequential: one query per iteration
+  EXPECT_LE(result.best_kl, result.original_kl);
+}
+
+TEST(Stage1, DiscrepancyOfIsDeterministicPerSeed) {
+  ae::RealNetwork real;
+  auto opts = fast_options();
+  opts.iterations = 1;
+  opts.init_iterations = 1;
+  ac::SimCalibrator calibrator(real, opts);
+  const double a = calibrator.discrepancy_of(ae::SimParams::defaults(), 99);
+  const double b = calibrator.discrepancy_of(ae::SimParams::defaults(), 99);
+  EXPECT_DOUBLE_EQ(a, b);
+}

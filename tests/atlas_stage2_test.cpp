@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "atlas/offline_trainer.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ac = atlas::core;
+namespace ae = atlas::env;
+
+namespace {
+
+ac::OfflineOptions fast_options() {
+  ac::OfflineOptions opts;
+  opts.iterations = 30;
+  opts.init_iterations = 10;
+  opts.parallel = 4;
+  opts.candidates = 400;
+  opts.workload.duration_ms = 6000.0;
+  opts.bnn.sizes = {8, 32, 32, 1};
+  opts.bnn.noise_sigma = 0.07;
+  opts.train_epochs = 4;
+  opts.seed = 7;
+  return opts;
+}
+
+}  // namespace
+
+TEST(Stage2, FindsCheaperFeasibleConfiguration) {
+  ae::Simulator sim(ae::oracle_calibration());
+  atlas::common::ThreadPool pool(2);
+  ac::OfflineTrainer trainer(sim, fast_options(), &pool);
+  const auto result = trainer.train();
+  // Must find something meeting the QoE requirement cheaper than full usage.
+  EXPECT_GE(result.policy.best_qoe, 0.9);
+  EXPECT_LT(result.policy.best_usage, ae::SliceConfig{}.resource_usage());
+  EXPECT_TRUE(result.policy.qoe_model != nullptr);
+  EXPECT_GE(result.policy.final_lambda, 0.0);
+}
+
+TEST(Stage2, TraceShapesAndRanges) {
+  ae::Simulator sim;
+  auto opts = fast_options();
+  opts.iterations = 12;
+  ac::OfflineTrainer trainer(sim, opts);
+  const auto result = trainer.train();
+  EXPECT_EQ(result.trace.avg_usage.size(), 12u);
+  EXPECT_EQ(result.trace.avg_qoe.size(), 12u);
+  EXPECT_EQ(result.trace.lambda.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    ASSERT_GE(result.trace.avg_qoe[i], 0.0);
+    ASSERT_LE(result.trace.avg_qoe[i], 1.0);
+    ASSERT_GE(result.trace.avg_usage[i], 0.0);
+    ASSERT_LE(result.trace.avg_usage[i], 1.0);
+    ASSERT_GE(result.trace.lambda[i], 0.0);  // dual feasibility
+  }
+  EXPECT_EQ(result.history.size(), 12u * 4u);
+}
+
+TEST(Stage2, PolicyPredictsQoeInUnitInterval) {
+  ae::Simulator sim;
+  auto opts = fast_options();
+  opts.iterations = 15;
+  ac::OfflineTrainer trainer(sim, opts);
+  const auto result = trainer.train();
+  atlas::math::Rng rng(3);
+  const auto space = ae::SliceConfig::space();
+  for (int i = 0; i < 50; ++i) {
+    const double q = result.policy.predict_qoe(ae::SliceConfig::from_vec(space.sample(rng)));
+    ASSERT_GE(q, 0.0);
+    ASSERT_LE(q, 1.0);
+  }
+}
+
+TEST(Stage2, PolicyModelLearnsResourceQoeTrend) {
+  // After training, the BNN should rate the full configuration clearly above
+  // a starved one.
+  ae::Simulator sim(ae::oracle_calibration());
+  auto opts = fast_options();
+  opts.iterations = 40;
+  atlas::common::ThreadPool pool(2);
+  ac::OfflineTrainer trainer(sim, opts, &pool);
+  const auto result = trainer.train();
+  ae::SliceConfig starved;
+  starved.bandwidth_ul = 6;
+  starved.cpu_ratio = 0.05;
+  starved.backhaul_mbps = 1.0;
+  EXPECT_GT(result.policy.predict_qoe(ae::SliceConfig{}),
+            result.policy.predict_qoe(starved));
+}
+
+TEST(Stage2, GpSurrogateVariantsRun) {
+  ae::Simulator sim;
+  for (auto surrogate :
+       {ac::OfflineSurrogate::kGpEi, ac::OfflineSurrogate::kGpPi, ac::OfflineSurrogate::kGpUcb}) {
+    auto opts = fast_options();
+    opts.surrogate = surrogate;
+    opts.iterations = 14;
+    opts.init_iterations = 8;
+    ac::OfflineTrainer trainer(sim, opts);
+    const auto result = trainer.train();
+    EXPECT_EQ(result.history.size(), 14u);  // sequential
+    EXPECT_GT(result.policy.best_qoe, 0.0);
+  }
+}
+
+TEST(Stage2, LambdaRisesWhileInfeasible) {
+  // With an impossible SLA (QoE >= 1.01) the dual variable must keep rising.
+  ae::Simulator sim;
+  auto opts = fast_options();
+  opts.iterations = 10;
+  opts.sla.availability = 1.01;
+  ac::OfflineTrainer trainer(sim, opts);
+  const auto result = trainer.train();
+  for (std::size_t i = 1; i < result.trace.lambda.size(); ++i) {
+    ASSERT_GE(result.trace.lambda[i], result.trace.lambda[i - 1]);
+  }
+}

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "atlas/offline_trainer.hpp"
+#include "atlas/online_learner.hpp"
+#include "atlas/oracle.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ac = atlas::core;
+namespace ae = atlas::env;
+
+namespace {
+
+/// Shared fixture: one quick offline policy reused by the online tests.
+class Stage3Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim_ = new ae::Simulator(ae::oracle_calibration());
+    real_ = new ae::RealNetwork();
+    pool_ = new atlas::common::ThreadPool(2);
+    ac::OfflineOptions opts;
+    opts.iterations = 30;
+    opts.init_iterations = 10;
+    opts.parallel = 4;
+    opts.candidates = 400;
+    opts.workload.duration_ms = 6000.0;
+    opts.bnn.sizes = {8, 32, 32, 1};
+    opts.train_epochs = 4;
+    opts.seed = 11;
+    ac::OfflineTrainer trainer(*sim_, opts, pool_);
+    offline_ = new ac::OfflineResult(trainer.train());
+  }
+  static void TearDownTestSuite() {
+    delete offline_;
+    delete pool_;
+    delete real_;
+    delete sim_;
+  }
+
+  static ac::OnlineOptions fast_online() {
+    ac::OnlineOptions opts;
+    opts.iterations = 10;
+    opts.inner_updates = 4;
+    opts.candidates = 300;
+    opts.workload.duration_ms = 6000.0;
+    opts.seed = 13;
+    return opts;
+  }
+
+  static ae::Simulator* sim_;
+  static ae::RealNetwork* real_;
+  static atlas::common::ThreadPool* pool_;
+  static ac::OfflineResult* offline_;
+};
+
+ae::Simulator* Stage3Test::sim_ = nullptr;
+ae::RealNetwork* Stage3Test::real_ = nullptr;
+atlas::common::ThreadPool* Stage3Test::pool_ = nullptr;
+ac::OfflineResult* Stage3Test::offline_ = nullptr;
+
+}  // namespace
+
+TEST_F(Stage3Test, RunsAndRecordsValidSteps) {
+  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, fast_online());
+  const auto result = learner.learn();
+  ASSERT_EQ(result.history.size(), 10u);
+  for (const auto& step : result.history) {
+    ASSERT_GE(step.qoe_real, 0.0);
+    ASSERT_LE(step.qoe_real, 1.0);
+    ASSERT_GE(step.usage, 0.0);
+    ASSERT_LE(step.usage, 1.0);
+    ASSERT_GE(step.lambda, 0.0);
+    ASSERT_GE(step.beta, 0.0);
+    ASSERT_LE(step.beta, 10.0);  // clipped at B
+  }
+  EXPECT_GE(result.final_lambda, 0.0);
+}
+
+TEST_F(Stage3Test, FirstActionIsOfflineOptimum) {
+  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, fast_online());
+  const auto result = learner.learn();
+  const auto expected = offline_->policy.best_config.to_vec();
+  const auto got = result.history.front().config.to_vec();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_DOUBLE_EQ(got[i], expected[i]);
+  }
+}
+
+TEST_F(Stage3Test, AblationsRun) {
+  for (auto model : {ac::OnlineModel::kBnnResidual, ac::OnlineModel::kBnnContinued}) {
+    auto opts = fast_online();
+    opts.iterations = 4;
+    opts.model = model;
+    ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, opts);
+    EXPECT_EQ(learner.learn().history.size(), 4u);
+  }
+  // kGpWhole with no offline policy ("no stage 2").
+  auto opts = fast_online();
+  opts.iterations = 4;
+  opts.model = ac::OnlineModel::kGpWhole;
+  ac::OnlineLearner learner(nullptr, *sim_, *real_, opts);
+  EXPECT_EQ(learner.learn().history.size(), 4u);
+}
+
+TEST_F(Stage3Test, RequiresPolicyUnlessGpWhole) {
+  EXPECT_THROW(ac::OnlineLearner(nullptr, *sim_, *real_, fast_online()),
+               std::invalid_argument);
+}
+
+TEST_F(Stage3Test, AcquisitionAblationsRun) {
+  for (auto acq : {atlas::bo::AcquisitionKind::kEi, atlas::bo::AcquisitionKind::kPi,
+                   atlas::bo::AcquisitionKind::kGpUcb}) {
+    auto opts = fast_online();
+    opts.iterations = 4;
+    opts.acquisition = acq;
+    ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, opts);
+    EXPECT_EQ(learner.learn().history.size(), 4u);
+  }
+}
+
+TEST_F(Stage3Test, NoOfflineAccelerationStillLearns) {
+  auto opts = fast_online();
+  opts.offline_acceleration = false;
+  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, opts);
+  EXPECT_EQ(learner.learn().history.size(), opts.iterations);
+}
+
+TEST(Oracle, FindsFeasibleCheapConfig) {
+  ae::RealNetwork real;
+  atlas::app::Sla sla;
+  ae::Workload wl;
+  wl.duration_ms = 5000.0;
+  atlas::common::ThreadPool pool(2);
+  const auto oracle = ac::find_optimal_config(real, sla, wl, 60, 3, &pool, 2);
+  EXPECT_GE(oracle.qoe, sla.availability);
+  EXPECT_LE(oracle.usage, ae::SliceConfig{}.resource_usage());
+}
+
+TEST(Oracle, RegretComputationMatchesDefinition) {
+  ac::OracleOptimum oracle;
+  oracle.usage = 0.2;
+  oracle.qoe = 0.9;
+  const std::vector<double> usage{0.5, 0.3, 0.2};
+  const std::vector<double> qoe{0.6, 0.95, 0.9};
+  const auto regret = ac::compute_regret(usage, qoe, oracle);
+  // g_u = (0.3) + (0.1) + (0.0) = 0.4 cumulative.
+  EXPECT_NEAR(regret.cumulative_usage.back(), 0.4, 1e-12);
+  // g_p = 0.3 + 0 + 0 = 0.3.
+  EXPECT_NEAR(regret.cumulative_qoe.back(), 0.3, 1e-12);
+  EXPECT_NEAR(regret.avg_usage_regret, 0.4 / 3.0, 1e-12);
+  EXPECT_NEAR(regret.avg_qoe_regret, 0.1, 1e-12);
+  // Cumulative sequences are monotone for the QoE regret (max(...,0) terms).
+  for (std::size_t i = 1; i < regret.cumulative_qoe.size(); ++i) {
+    ASSERT_GE(regret.cumulative_qoe[i], regret.cumulative_qoe[i - 1]);
+  }
+}

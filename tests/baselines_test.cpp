@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "baselines/dlda.hpp"
+#include "baselines/gp_baseline.hpp"
+#include "baselines/virtual_edge.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ab = atlas::baselines;
+namespace ae = atlas::env;
+
+TEST(GpBaselineOnline, ProducesFullTrace) {
+  ae::RealNetwork real;
+  ab::GpBaselineOptions opts;
+  opts.iterations = 12;
+  opts.init_samples = 5;
+  opts.candidates = 300;
+  opts.workload.duration_ms = 5000.0;
+  ab::GpBaseline baseline(real, opts);
+  const auto trace = baseline.learn();
+  ASSERT_EQ(trace.usage.size(), 12u);
+  ASSERT_EQ(trace.qoe.size(), 12u);
+  for (std::size_t i = 0; i < trace.qoe.size(); ++i) {
+    ASSERT_GE(trace.qoe[i], 0.0);
+    ASSERT_LE(trace.qoe[i], 1.0);
+    ASSERT_GE(trace.usage[i], 0.0);
+    ASSERT_LE(trace.usage[i], 1.0);
+  }
+}
+
+TEST(Dlda, GridDatasetSizeAndTeacherFit) {
+  ae::Simulator sim;
+  ab::DldaOptions opts;
+  opts.grid_per_dim = 2;  // 2^6 = 64 episodes: CI-friendly
+  opts.teacher_epochs = 150;
+  opts.workload.duration_ms = 4000.0;
+  atlas::common::ThreadPool pool(2);
+  ab::Dlda dlda(sim, opts, &pool);
+  const double mse = dlda.train_offline();
+  EXPECT_EQ(dlda.dataset_size(), 64u);
+  EXPECT_LT(mse, 0.05);  // teacher fits its own grid
+}
+
+TEST(Dlda, SelectionPrefersPredictedFeasibleMinUsage) {
+  ae::Simulator sim(ae::oracle_calibration());
+  ab::DldaOptions opts;
+  opts.grid_per_dim = 3;
+  opts.select_samples = 1500;
+  opts.workload.duration_ms = 4000.0;
+  atlas::common::ThreadPool pool(2);
+  ab::Dlda dlda(sim, opts, &pool);
+  dlda.train_offline();
+  atlas::math::Rng rng(1);
+  const auto config = dlda.select_offline(rng);
+  // The selected configuration must be predicted feasible (or best effort),
+  // and predicted-feasible picks must undercut the full configuration.
+  const double predicted = dlda.predict_qoe(config);
+  if (predicted >= opts.sla.availability) {
+    EXPECT_LT(config.resource_usage(), ae::SliceConfig{}.resource_usage());
+  }
+}
+
+TEST(Dlda, RequiresOfflineTrainingFirst) {
+  ae::Simulator sim;
+  ab::Dlda dlda(sim, ab::DldaOptions{});
+  atlas::math::Rng rng(2);
+  EXPECT_THROW(dlda.select_offline(rng), std::logic_error);
+  EXPECT_THROW(dlda.predict_qoe(ae::SliceConfig{}), std::logic_error);
+}
+
+TEST(Dlda, OnlineTransferRuns) {
+  ae::Simulator sim;
+  ae::RealNetwork real;
+  ab::DldaOptions opts;
+  opts.grid_per_dim = 2;
+  opts.teacher_epochs = 80;
+  opts.online_iterations = 6;
+  opts.select_samples = 500;
+  opts.student_epochs_per_step = 10;
+  opts.workload.duration_ms = 4000.0;
+  atlas::common::ThreadPool pool(2);
+  ab::Dlda dlda(sim, opts, &pool);
+  dlda.train_offline();
+  const auto trace = dlda.learn_online(real);
+  EXPECT_EQ(trace.usage.size(), 6u);
+}
+
+TEST(VirtualEdge, DescendsFromFullConfiguration) {
+  ae::RealNetwork real;
+  ab::VirtualEdgeOptions opts;
+  opts.iterations = 12;
+  opts.workload.duration_ms = 5000.0;
+  ab::VirtualEdge ve(real, opts);
+  const auto trace = ve.learn();
+  ASSERT_EQ(trace.usage.size(), 12u);
+  // Starts near the full configuration...
+  EXPECT_NEAR(trace.usage.front(), ae::SliceConfig{}.resource_usage(), 0.08);
+  // ...and the gradient steps reduce resource usage over the run.
+  EXPECT_LT(trace.usage.back(), trace.usage.front());
+}

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+#include "nn/bnn.hpp"
+#include "nn/optim.hpp"
+
+namespace am = atlas::math;
+namespace an = atlas::nn;
+
+namespace {
+
+an::BnnConfig small_config() {
+  an::BnnConfig cfg;
+  cfg.sizes = {1, 24, 24, 1};
+  cfg.noise_sigma = 0.05;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Bnn, RejectsBadArchitectures) {
+  am::Rng rng(1);
+  an::BnnConfig cfg;
+  cfg.sizes = {3};
+  EXPECT_THROW(an::Bnn(cfg, rng), std::invalid_argument);
+  cfg.sizes = {3, 8, 2};  // output must be scalar
+  EXPECT_THROW(an::Bnn(cfg, rng), std::invalid_argument);
+}
+
+TEST(Bnn, KlToPriorPositiveAndShrinksTowardPrior) {
+  am::Rng rng(2);
+  an::BnnConfig cfg = small_config();
+  an::Bnn bnn(cfg, rng);
+  const double kl = bnn.kl_to_prior();
+  EXPECT_GT(kl, 0.0);
+  EXPECT_TRUE(std::isfinite(kl));
+}
+
+TEST(Bnn, ThompsonSamplesDiffer) {
+  am::Rng rng(3);
+  an::Bnn bnn(small_config(), rng);
+  const auto s1 = bnn.thompson(rng);
+  const auto s2 = bnn.thompson(rng);
+  EXPECT_NE(s1.predict({0.5}), s2.predict({0.5}));
+}
+
+TEST(Bnn, BatchPredictMatchesScalarPredict) {
+  am::Rng rng(4);
+  an::Bnn bnn(small_config(), rng);
+  const auto s = bnn.thompson(rng);
+  am::Matrix x(3, 1);
+  x(0, 0) = -0.5;
+  x(1, 0) = 0.0;
+  x(2, 0) = 0.7;
+  const am::Vec batch = s.predict_batch(x);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(batch[i], s.predict(x.row(i)), 1e-12);
+  }
+}
+
+TEST(Bnn, FitsSmoothFunction) {
+  am::Rng rng(5);
+  an::Bnn bnn(small_config(), rng);
+  const std::size_t n = 200;
+  am::Matrix x(n, 1);
+  am::Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(i) / n;
+    x(i, 0) = v;
+    y[i] = std::sin(4.0 * v);
+  }
+  an::Adadelta opt(1.0);
+  an::StepLr sched(opt, 1, 0.999);
+  bnn.train(x, y, 400, 32, opt, &sched, rng);
+  // Posterior-mean prediction should be close on the training range.
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; i += 10) {
+    err += std::fabs(bnn.predict_at_mean(x.row(i)) - y[i]);
+  }
+  EXPECT_LT(err / 20.0, 0.15);
+}
+
+TEST(Bnn, PredictMeanStdReasonable) {
+  am::Rng rng(6);
+  an::Bnn bnn(small_config(), rng);
+  am::Matrix x(50, 1);
+  am::Vec y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = static_cast<double>(i) / 50.0;
+    y[i] = 0.5;
+  }
+  an::Adadelta opt(1.0);
+  bnn.train(x, y, 200, 25, opt, nullptr, rng);
+  const auto ms = bnn.predict({0.5}, 32, rng);
+  EXPECT_NEAR(ms.mean, 0.5, 0.15);
+  EXPECT_GE(ms.std, 0.0);
+}
+
+TEST(Bnn, TrainingReducesLoss) {
+  am::Rng rng(7);
+  an::Bnn bnn(small_config(), rng);
+  const std::size_t n = 128;
+  am::Matrix x(n, 1);
+  am::Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i) / n;
+    y[i] = 0.3 + 0.4 * x(i, 0);
+  }
+  an::Adadelta opt(1.0);
+  const double first = bnn.train(x, y, 5, 32, opt, nullptr, rng);
+  const double later = bnn.train(x, y, 200, 32, opt, nullptr, rng);
+  EXPECT_LT(later, first);
+}
+
+TEST(Bnn, ScaleMixturePriorTrains) {
+  am::Rng rng(8);
+  an::BnnConfig cfg = small_config();
+  cfg.prior = an::BnnPrior::kScaleMixtureMc;
+  an::Bnn bnn(cfg, rng);
+  am::Matrix x(64, 1);
+  am::Vec y(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x(i, 0) = static_cast<double>(i) / 64.0;
+    y[i] = x(i, 0);
+  }
+  an::Adadelta opt(1.0);
+  const double first = bnn.train(x, y, 5, 32, opt, nullptr, rng);
+  const double later = bnn.train(x, y, 150, 32, opt, nullptr, rng);
+  EXPECT_LT(later, first);
+  // Analytic KL is undefined for the mixture prior.
+  EXPECT_THROW(bnn.kl_to_prior(), std::logic_error);
+}
+
+TEST(Bnn, UncertaintyHigherAwayFromData) {
+  am::Rng rng(9);
+  an::BnnConfig cfg = small_config();
+  an::Bnn bnn(cfg, rng);
+  // Train only on x in [0, 0.3].
+  const std::size_t n = 150;
+  am::Matrix x(n, 1);
+  am::Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = 0.3 * static_cast<double>(i) / n;
+    y[i] = x(i, 0);
+  }
+  an::Adadelta opt(1.0);
+  bnn.train(x, y, 300, 32, opt, nullptr, rng);
+  const auto in_region = bnn.predict({0.15}, 48, rng);
+  const auto out_region = bnn.predict({3.0}, 48, rng);
+  EXPECT_GT(out_region.std, in_region.std);
+}

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ac = atlas::common;
+
+TEST(Table, RejectsArityMismatch) {
+  ac::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  ac::Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"a-much-longer-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("a-much-longer-name"), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  ac::Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Formatting, FixedAndPercent) {
+  EXPECT_EQ(ac::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(ac::fmt(2.0, 0), "2");
+  EXPECT_EQ(ac::fmt_pct(0.1981), "19.8%");
+  EXPECT_EQ(ac::fmt_pct(1.0, 0), "100%");
+}
+
+TEST(BenchOptions, ScalesIterationsWithFloor) {
+  ac::BenchOptions opts;
+  opts.scale = 0.1;
+  EXPECT_EQ(opts.iters(100, 20), 20u);  // floor applies
+  opts.scale = 2.0;
+  EXPECT_EQ(opts.iters(100, 20), 200u);
+}
+
+TEST(BenchOptions, EpisodeSecondsBounded) {
+  ac::BenchOptions opts;
+  opts.scale = 0.05;
+  EXPECT_GE(opts.episode_seconds(60.0), 4.0);
+  opts.scale = 10.0;
+  EXPECT_LE(opts.episode_seconds(60.0), 60.0);  // never above the base
+}
+
+TEST(BenchOptions, EnvParsing) {
+  setenv("ATLAS_TEST_DOUBLE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(ac::env_double("ATLAS_TEST_DOUBLE", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(ac::env_double("ATLAS_TEST_MISSING", 1.0), 1.0);
+  setenv("ATLAS_TEST_BAD", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(ac::env_double("ATLAS_TEST_BAD", 3.0), 3.0);
+  unsetenv("ATLAS_TEST_DOUBLE");
+  unsetenv("ATLAS_TEST_BAD");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ac::ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> count{0};
+  pool.parallel_for(100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ac::ThreadPool pool(2);
+  auto f = pool.submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughParallelFor) {
+  ac::ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [](std::size_t i) {
+                          if (i == 2) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelResultsMatchSerial) {
+  // The deterministic-seeding contract: parallel evaluation with per-index
+  // seeds must produce the same values regardless of scheduling.
+  ac::ThreadPool pool(4);
+  std::vector<double> parallel_out(64, 0.0);
+  pool.parallel_for(64, [&](std::size_t i) {
+    parallel_out[i] = static_cast<double>(i) * 1.5;
+  });
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_DOUBLE_EQ(parallel_out[i], static_cast<double>(i) * 1.5);
+  }
+}

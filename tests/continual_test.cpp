@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "atlas/calibrator.hpp"
+#include "atlas/offline_trainer.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ac = atlas::core;
+namespace ae = atlas::env;
+
+// Tests for the paper's §10 (Scalability / Adaptability) features:
+// continual recalibration around a previous optimum and experience replay.
+
+namespace {
+
+ac::CalibrationOptions tiny_calibration() {
+  ac::CalibrationOptions opts;
+  opts.iterations = 10;
+  opts.init_iterations = 4;
+  opts.parallel = 3;
+  opts.candidates = 200;
+  opts.real_episodes = 1;
+  opts.workload.duration_ms = 5000.0;
+  opts.bnn.sizes = {7, 24, 24, 1};
+  opts.train_epochs = 3;
+  opts.seed = 19;
+  return opts;
+}
+
+}  // namespace
+
+TEST(Continual, SearchCenterFocusesCandidates) {
+  ae::RealNetwork real;
+  auto opts = tiny_calibration();
+  opts.ball_radius = 0.1;  // tight ball: every query must hug the center
+  opts.search_center = ae::oracle_calibration();
+  ac::SimCalibrator calibrator(real, opts);
+  const auto result = calibrator.calibrate();
+  const auto center = *opts.search_center;
+  const auto space = ae::SimParams::space();
+  for (const auto& step : result.history) {
+    ASSERT_LE(space.distance(step.params.to_vec(), center.to_vec()), 0.1 + 1e-9);
+  }
+  // Distance in the result is still measured to the SPEC defaults (Eq. 2).
+  EXPECT_GT(result.best_distance, 0.1);
+}
+
+TEST(Continual, WarmStartFindsLowerDiscrepancyThanColdOnTinyBudget) {
+  ae::RealNetwork real;
+  auto cold = tiny_calibration();
+  cold.ball_radius = 0.45;
+  ac::SimCalibrator cold_cal(real, cold);
+  const auto cold_result = cold_cal.calibrate();
+
+  auto warm = cold;
+  warm.search_center = ae::oracle_calibration();
+  warm.ball_radius = 0.12;
+  ac::SimCalibrator warm_cal(real, warm);
+  const auto warm_result = warm_cal.calibrate();
+
+  // Starting near the previous optimum must not be worse on this budget.
+  EXPECT_LE(warm_result.best_kl, cold_result.best_kl + 0.1);
+}
+
+TEST(Continual, HaltonSamplerRuns) {
+  ae::RealNetwork real;
+  auto opts = tiny_calibration();
+  opts.sampler = ac::CandidateSampler::kHalton;
+  ac::SimCalibrator calibrator(real, opts);
+  const auto result = calibrator.calibrate();
+  EXPECT_EQ(result.avg_weighted_per_iter.size(), opts.iterations);
+  const auto x_hat = ae::SimParams::defaults();
+  for (const auto& step : result.history) {
+    ASSERT_LE(step.params.distance_to(x_hat), opts.ball_radius + 1e-9);
+  }
+}
+
+TEST(Replay, SeedsSurrogateDataset) {
+  ae::Simulator sim(ae::oracle_calibration());
+  // Build a replay buffer with a clear resource->QoE trend.
+  std::vector<std::pair<ae::SliceConfig, double>> replay;
+  for (int i = 0; i <= 10; ++i) {
+    ae::SliceConfig c;
+    const double level = static_cast<double>(i) / 10.0;
+    c.bandwidth_ul = 6.0 + 44.0 * level;
+    c.cpu_ratio = 0.05 + 0.95 * level;
+    c.backhaul_mbps = 100.0 * level;
+    replay.emplace_back(c, level);  // synthetic: QoE proportional to resources
+  }
+  ac::OfflineOptions opts;
+  opts.iterations = 8;
+  opts.init_iterations = 3;
+  opts.parallel = 3;
+  opts.candidates = 300;
+  opts.workload.duration_ms = 5000.0;
+  opts.bnn.sizes = {8, 24, 24, 1};
+  opts.train_epochs = 6;
+  opts.seed = 23;
+  opts.replay = replay;
+  ac::OfflineTrainer trainer(sim, opts);
+  const auto result = trainer.train();
+  // With the replayed trend in the dataset, the model must rank a rich
+  // configuration above a starved one even after this tiny budget.
+  ae::SliceConfig rich;
+  ae::SliceConfig starved;
+  starved.bandwidth_ul = 6;
+  starved.cpu_ratio = 0.05;
+  starved.backhaul_mbps = 1.0;
+  EXPECT_GT(result.policy.predict_qoe(rich), result.policy.predict_qoe(starved));
+}
+
+TEST(Replay, EmptyReplayIsDefault) {
+  ac::OfflineOptions opts;
+  EXPECT_TRUE(opts.replay.empty());
+}

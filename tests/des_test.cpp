@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/event_queue.hpp"
+
+namespace ad = atlas::des;
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  ad::EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoTieBreakAtSameTime) {
+  ad::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  ad::EventQueue q;
+  int count = 0;
+  q.schedule_at(1.0, [&] { ++count; });
+  q.schedule_at(2.0, [&] { ++count; });
+  q.schedule_at(2.0001, [&] { ++count; });
+  q.run_until(2.0);  // inclusive boundary
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  ad::EventQueue q;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 5) q.schedule_in(1.0, tick);
+  };
+  q.schedule_in(1.0, tick);
+  q.run_until(100.0);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(EventQueue, SelfReschedulingEventStopsAtHorizon) {
+  ad::EventQueue q;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    q.schedule_in(1.0, tick);  // re-arms forever, like the TTI loop
+  };
+  q.schedule_in(1.0, tick);
+  q.run_until(10.0);
+  EXPECT_EQ(ticks, 10);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, RejectsPastAndNegative) {
+  ad::EventQueue q;
+  q.schedule_at(5.0, [] {});
+  q.run_until(5.0);
+  EXPECT_THROW(q.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
+  ad::EventQueue q;
+  q.run_until(42.0);
+  EXPECT_DOUBLE_EQ(q.now(), 42.0);
+}

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "env/environment.hpp"
+#include "math/kl.hpp"
+
+namespace ae = atlas::env;
+namespace am = atlas::math;
+
+namespace {
+
+ae::Workload short_workload(int traffic = 1, std::uint64_t seed = 1) {
+  ae::Workload wl;
+  wl.traffic = traffic;
+  wl.duration_ms = 8000.0;
+  wl.seed = seed;
+  return wl;
+}
+
+}  // namespace
+
+TEST(SliceConfig, VecRoundTrip) {
+  ae::SliceConfig c;
+  c.bandwidth_ul = 9;
+  c.backhaul_mbps = 6.2;
+  c.cpu_ratio = 0.8;
+  const auto v = c.to_vec();
+  const auto back = ae::SliceConfig::from_vec(v);
+  EXPECT_DOUBLE_EQ(back.bandwidth_ul, 9.0);
+  EXPECT_DOUBLE_EQ(back.backhaul_mbps, 6.2);
+  EXPECT_DOUBLE_EQ(back.cpu_ratio, 0.8);
+  EXPECT_THROW(ae::SliceConfig::from_vec({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SliceConfig, ResourceUsageMatchesPaperFormula) {
+  // The paper's best config (§8.2): 9/3 PRBs, 6.2 Mbps, 0.8 CPU -> ~18-20%.
+  ae::SliceConfig c;
+  c.bandwidth_ul = 9;
+  c.bandwidth_dl = 3;
+  c.mcs_offset_ul = 0;
+  c.mcs_offset_dl = 0;
+  c.backhaul_mbps = 6.2;
+  c.cpu_ratio = 0.8;
+  EXPECT_NEAR(c.resource_usage(), 0.184, 1e-3);
+  // Full configuration uses everything except the MCS offsets.
+  EXPECT_NEAR(ae::SliceConfig{}.resource_usage(), 4.0 / 6.0, 1e-9);
+}
+
+TEST(SliceConfig, ClampEnforcesConnectivityFloor) {
+  ae::SliceConfig c;
+  c.bandwidth_ul = 0;
+  c.bandwidth_dl = 0;
+  c.cpu_ratio = 5.0;
+  const auto clamped = c.clamped();
+  EXPECT_DOUBLE_EQ(clamped.bandwidth_ul, ae::kMinUlPrbs);
+  EXPECT_DOUBLE_EQ(clamped.bandwidth_dl, ae::kMinDlPrbs);
+  EXPECT_DOUBLE_EQ(clamped.cpu_ratio, 1.0);
+}
+
+TEST(SimParams, VecRoundTripAndDistance) {
+  ae::SimParams p;
+  p.backhaul_delay_ms = 10.0;
+  const auto back = ae::SimParams::from_vec(p.to_vec());
+  EXPECT_DOUBLE_EQ(back.backhaul_delay_ms, 10.0);
+  EXPECT_DOUBLE_EQ(ae::SimParams::defaults().distance_to(ae::SimParams::defaults()), 0.0);
+  EXPECT_GT(p.distance_to(ae::SimParams::defaults()), 0.0);
+}
+
+TEST(Episode, DeterministicPerSeed) {
+  ae::Simulator sim;
+  const auto a = sim.run(ae::SliceConfig{}, short_workload(1, 42));
+  const auto b = sim.run(ae::SliceConfig{}, short_workload(1, 42));
+  ASSERT_EQ(a.latencies_ms.size(), b.latencies_ms.size());
+  for (std::size_t i = 0; i < a.latencies_ms.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.latencies_ms[i], b.latencies_ms[i]);
+  }
+  const auto c = sim.run(ae::SliceConfig{}, short_workload(1, 43));
+  EXPECT_NE(a.latencies_ms, c.latencies_ms);
+}
+
+TEST(Episode, ProducesFramesAndValidQoe) {
+  ae::Simulator sim;
+  const auto r = sim.run(ae::SliceConfig{}, short_workload());
+  EXPECT_GT(r.frames_completed, 20u);
+  const double q = r.qoe(300.0);
+  EXPECT_GE(q, 0.0);
+  EXPECT_LE(q, 1.0);
+  for (double l : r.latencies_ms) ASSERT_GT(l, 0.0);
+}
+
+TEST(Episode, MoreCpuMeansLowerLatency) {
+  ae::Simulator sim;
+  ae::SliceConfig low;
+  low.cpu_ratio = 0.3;
+  ae::SliceConfig high;
+  high.cpu_ratio = 1.0;
+  const double mean_low = sim.run(low, short_workload()).latency_summary().mean;
+  const double mean_high = sim.run(high, short_workload()).latency_summary().mean;
+  EXPECT_GT(mean_low, mean_high);
+}
+
+TEST(Episode, MoreUplinkPrbsMeansLowerLatency) {
+  ae::Simulator sim;
+  ae::SliceConfig narrow;
+  narrow.bandwidth_ul = 6;
+  ae::SliceConfig wide;
+  wide.bandwidth_ul = 50;
+  const double mean_narrow = sim.run(narrow, short_workload()).latency_summary().mean;
+  const double mean_wide = sim.run(wide, short_workload()).latency_summary().mean;
+  EXPECT_GT(mean_narrow, mean_wide);
+}
+
+TEST(Episode, ThrottledBackhaulDegradesQoe) {
+  ae::Simulator sim;
+  ae::SliceConfig throttled;
+  throttled.backhaul_mbps = 1.0;
+  ae::SliceConfig open;
+  open.backhaul_mbps = 100.0;
+  EXPECT_LT(sim.run(throttled, short_workload()).qoe(300.0),
+            sim.run(open, short_workload()).qoe(300.0));
+}
+
+TEST(Episode, LatencyGrowsWithTraffic) {
+  ae::Simulator sim;
+  double prev = 0.0;
+  for (int traffic = 1; traffic <= 4; ++traffic) {
+    const double mean =
+        sim.run(ae::SliceConfig{}, short_workload(traffic, 5)).latency_summary().mean;
+    EXPECT_GT(mean, prev);
+    prev = mean;
+  }
+}
+
+TEST(Episode, SliceIsolationUnderBackgroundUsers) {
+  // Fig. 11: extra users with full-buffer traffic must not disturb the slice.
+  ae::RealNetwork real;
+  ae::SliceConfig config;
+  config.bandwidth_ul = 20;
+  config.bandwidth_dl = 20;
+  ae::Workload alone = short_workload(1, 9);
+  ae::Workload crowded = alone;
+  crowded.extra_users = 2;
+  const double mean_alone = real.run(config, alone).latency_summary().mean;
+  const double mean_crowded = real.run(config, crowded).latency_summary().mean;
+  EXPECT_NEAR(mean_crowded / mean_alone, 1.0, 0.12);
+}
+
+TEST(Episode, MobilityDegradesRealNetwork) {
+  ae::RealNetwork real;
+  ae::Workload near = short_workload(1, 11);
+  ae::Workload far = near;
+  far.distance_m = 10.0;
+  EXPECT_GT(real.run(ae::SliceConfig{}, far).latency_summary().mean,
+            real.run(ae::SliceConfig{}, near).latency_summary().mean);
+}
+
+TEST(SimToReal, RealIsSlowerThanDefaultSimulator) {
+  // Fig. 2: the system's latency distribution sits right of the simulator's.
+  ae::Simulator sim;
+  ae::RealNetwork real;
+  const auto ws = short_workload(1, 13);
+  EXPECT_GT(real.run(ae::SliceConfig{}, ws).latency_summary().mean,
+            sim.run(ae::SliceConfig{}, ws).latency_summary().mean * 1.1);
+}
+
+TEST(SimToReal, OracleCalibrationShrinksDiscrepancy) {
+  ae::Simulator original;
+  ae::Simulator calibrated(ae::oracle_calibration());
+  ae::RealNetwork real;
+  ae::Workload wl = short_workload(1, 17);
+  wl.duration_ms = 20000.0;
+  const auto real_lat = real.run(ae::SliceConfig{}, wl).latencies_ms;
+  wl.seed = 18;
+  const double kl_orig =
+      am::kl_divergence(real_lat, original.run(ae::SliceConfig{}, wl).latencies_ms);
+  const double kl_cal =
+      am::kl_divergence(real_lat, calibrated.run(ae::SliceConfig{}, wl).latencies_ms);
+  EXPECT_LT(kl_cal, kl_orig * 0.5);
+}
+
+TEST(SimParamsKnobs, ComputeTimeKnobRaisesLatency) {
+  ae::SimParams slow;
+  slow.compute_time_ms = 25.0;
+  ae::Simulator sim_default;
+  ae::Simulator sim_slow(slow);
+  EXPECT_GT(sim_slow.run(ae::SliceConfig{}, short_workload()).latency_summary().mean,
+            sim_default.run(ae::SliceConfig{}, short_workload()).latency_summary().mean);
+}
+
+TEST(SimParamsKnobs, BackhaulDelayKnobRaisesLatency) {
+  ae::SimParams slow;
+  slow.backhaul_delay_ms = 20.0;
+  ae::Simulator sim_default;
+  ae::Simulator sim_slow(slow);
+  EXPECT_GT(sim_slow.run(ae::SliceConfig{}, short_workload()).latency_summary().mean,
+            sim_default.run(ae::SliceConfig{}, short_workload()).latency_summary().mean);
+}
+
+TEST(Probes, Table1DirectionsHold) {
+  const auto sim = ae::measure_network_performance(ae::simulator_profile(), 8000.0, 3);
+  const auto real = ae::measure_network_performance(ae::real_network_profile(), 8000.0, 3);
+  // Real throughput lower, PER higher, ping slightly higher — Table 1.
+  EXPECT_LT(real.ul_mbps, sim.ul_mbps);
+  EXPECT_LT(real.dl_mbps, sim.dl_mbps);
+  EXPECT_GT(real.ul_per, sim.ul_per);
+  EXPECT_GT(real.dl_per, sim.dl_per);
+  EXPECT_GT(real.ping_ms, sim.ping_ms - 1.0);
+  // Magnitudes in the paper's ballpark.
+  EXPECT_NEAR(sim.ul_mbps, 19.87, 3.0);
+  EXPECT_NEAR(sim.dl_mbps, 32.37, 3.0);
+  EXPECT_NEAR(sim.ping_ms, 34.0, 5.0);
+}
+
+TEST(Environment, MeasureQoeMatchesEpisodeQoe) {
+  ae::Simulator sim;
+  const auto wl = short_workload(1, 21);
+  const double direct = sim.run(ae::SliceConfig{}, wl).qoe(300.0);
+  const double via_helper = sim.measure_qoe(ae::SliceConfig{}, wl, 300.0);
+  EXPECT_DOUBLE_EQ(direct, via_helper);
+}

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/halton.hpp"
+#include "math/rng.hpp"
+
+namespace am = atlas::math;
+
+TEST(Halton, PointsInsideUnitBox) {
+  am::Rng rng(1);
+  am::HaltonSequence seq(7, rng);
+  for (int i = 0; i < 2000; ++i) {
+    const am::Vec p = seq.next();
+    ASSERT_EQ(p.size(), 7u);
+    for (double v : p) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(Halton, DeterministicPerSeed) {
+  am::Rng r1(5);
+  am::Rng r2(5);
+  am::HaltonSequence a(4, r1);
+  am::HaltonSequence b(4, r2);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Halton, ScramblingVariesWithSeed) {
+  am::Rng r1(5);
+  am::Rng r2(6);
+  am::HaltonSequence a(4, r1);
+  am::HaltonSequence b(4, r2);
+  // Skip a few: early points can coincide on small bases.
+  bool differs = false;
+  for (int i = 0; i < 20; ++i) {
+    if (a.next() != b.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Halton, DimensionValidation) {
+  am::Rng rng(1);
+  EXPECT_THROW(am::HaltonSequence(0, rng), std::invalid_argument);
+  EXPECT_THROW(am::HaltonSequence(17, rng), std::invalid_argument);
+  EXPECT_NO_THROW(am::HaltonSequence(16, rng));
+}
+
+TEST(Halton, BatchMatchesSequentialNext) {
+  am::Rng r1(9);
+  am::Rng r2(9);
+  am::HaltonSequence a(3, r1);
+  am::HaltonSequence b(3, r2);
+  const am::Matrix batch = a.batch(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(batch.row(i), b.next());
+  }
+}
+
+TEST(Halton, LowerDiscrepancyThanUniform) {
+  // Proxy for star discrepancy: the largest gap between consecutive sorted
+  // values in each 1-D projection. Halton's gaps must be tighter than
+  // i.i.d. uniform's on the same budget.
+  const std::size_t n = 512;
+  am::Rng rng(13);
+  am::HaltonSequence seq(5, rng);
+  const am::Matrix hp = seq.batch(n);
+  am::Rng urng(13);
+
+  auto max_gap = [&](const std::vector<double>& v) {
+    std::vector<double> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    double gap = sorted.front();
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      gap = std::max(gap, sorted[i] - sorted[i - 1]);
+    }
+    return std::max(gap, 1.0 - sorted.back());
+  };
+
+  for (std::size_t d = 0; d < 5; ++d) {
+    std::vector<double> hv(n);
+    std::vector<double> uv(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      hv[i] = hp(i, d);
+      uv[i] = urng.uniform();
+    }
+    EXPECT_LT(max_gap(hv), max_gap(uv)) << "dimension " << d;
+  }
+}

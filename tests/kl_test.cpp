@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/kl.hpp"
+#include "math/rng.hpp"
+
+namespace am = atlas::math;
+
+namespace {
+
+am::Vec gaussian_samples(double mu, double sigma, std::size_t n, std::uint64_t seed) {
+  am::Rng rng(seed);
+  am::Vec out(n);
+  for (auto& v : out) v = rng.normal(mu, sigma);
+  return out;
+}
+
+}  // namespace
+
+TEST(KlDiscrete, ZeroForIdenticalDistributions) {
+  const am::Vec p{0.2, 0.3, 0.5};
+  EXPECT_NEAR(am::kl_discrete(p, p), 0.0, 1e-12);
+}
+
+TEST(KlDiscrete, PositiveForDifferentDistributions) {
+  EXPECT_GT(am::kl_discrete({0.9, 0.1}, {0.1, 0.9}), 0.5);
+}
+
+TEST(KlDiscrete, Asymmetric) {
+  const am::Vec p{0.8, 0.2};
+  const am::Vec q{0.4, 0.6};
+  EXPECT_NE(am::kl_discrete(p, q), am::kl_discrete(q, p));
+}
+
+TEST(KlDiscrete, RejectsZeroMassInQ) {
+  EXPECT_THROW(am::kl_discrete({0.5, 0.5}, {1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(KlGaussian, AnalyticValues) {
+  EXPECT_NEAR(am::kl_gaussian(0, 1, 0, 1), 0.0, 1e-12);
+  // KL(N(1,1) || N(0,1)) = 0.5.
+  EXPECT_NEAR(am::kl_gaussian(1, 1, 0, 1), 0.5, 1e-12);
+  // Scale-only: KL(N(0,2) || N(0,1)) = -ln2 + 2 - 0.5.
+  EXPECT_NEAR(am::kl_gaussian(0, 2, 0, 1), -std::log(2.0) + 1.5, 1e-12);
+  EXPECT_THROW(am::kl_gaussian(0, 0, 0, 1), std::invalid_argument);
+}
+
+TEST(KlHistogram, NearZeroForSameDistribution) {
+  am::KlOptions opts;
+  opts.lo = 0.0;
+  opts.hi = 400.0;
+  const auto p = gaussian_samples(150, 30, 4000, 1);
+  const auto q = gaussian_samples(150, 30, 4000, 2);
+  EXPECT_LT(am::kl_divergence(p, q, opts), 0.1);
+}
+
+TEST(KlHistogram, TracksAnalyticGaussianKl) {
+  am::KlOptions opts;
+  opts.lo = 0.0;
+  opts.hi = 400.0;
+  opts.bins = 64;
+  const auto p = gaussian_samples(200, 30, 20000, 3);
+  const auto q = gaussian_samples(150, 30, 20000, 4);
+  const double analytic = am::kl_gaussian(200, 30, 150, 30);  // ~1.39
+  const double est = am::kl_divergence(p, q, opts);
+  EXPECT_NEAR(est, analytic, 0.35 * analytic);
+}
+
+TEST(KlHistogram, MoreSeparationMeansMoreKl) {
+  am::KlOptions opts;
+  opts.lo = 0.0;
+  opts.hi = 500.0;
+  const auto base = gaussian_samples(150, 30, 5000, 5);
+  const double near = am::kl_divergence(gaussian_samples(160, 30, 5000, 6), base, opts);
+  const double far = am::kl_divergence(gaussian_samples(250, 30, 5000, 7), base, opts);
+  EXPECT_GT(far, near);
+}
+
+TEST(KlHistogram, FiniteWithDisjointSupports) {
+  am::KlOptions opts;
+  opts.lo = 0.0;
+  opts.hi = 100.0;
+  const am::Vec p{10, 11, 12, 13};
+  const am::Vec q{90, 91, 92, 93};
+  const double kl = am::kl_divergence(p, q, opts);
+  EXPECT_TRUE(std::isfinite(kl));
+  EXPECT_GT(kl, 1.0);
+}
+
+TEST(KlHistogram, EmptySampleThrows) {
+  EXPECT_THROW(am::kl_divergence({}, {1.0}), std::invalid_argument);
+}
+
+TEST(KlKnn, NearZeroForSameDistribution) {
+  const auto p = gaussian_samples(0, 1, 3000, 8);
+  const auto q = gaussian_samples(0, 1, 3000, 9);
+  EXPECT_NEAR(am::kl_knn_1d(p, q), 0.0, 0.15);
+}
+
+TEST(KlKnn, ApproximatesAnalyticGaussianKl) {
+  const auto p = gaussian_samples(1, 1, 4000, 10);
+  const auto q = gaussian_samples(0, 1, 4000, 11);
+  EXPECT_NEAR(am::kl_knn_1d(p, q), 0.5, 0.2);
+}
+
+TEST(KlKnn, AgreesWithHistogramOrdering) {
+  // Both estimators must order a near pair below a far pair.
+  const auto base = gaussian_samples(100, 20, 3000, 12);
+  const auto near = gaussian_samples(110, 20, 3000, 13);
+  const auto far = gaussian_samples(180, 20, 3000, 14);
+  EXPECT_GT(am::kl_knn_1d(far, base), am::kl_knn_1d(near, base));
+  am::KlOptions opts;
+  opts.lo = 0.0;
+  opts.hi = 300.0;
+  EXPECT_GT(am::kl_divergence(far, base, opts), am::kl_divergence(near, base, opts));
+}
+
+TEST(KlKnn, SmallSampleThrows) {
+  EXPECT_THROW(am::kl_knn_1d({1, 2, 3}, {1, 2, 3}, 5), std::invalid_argument);
+}

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lte/mac.hpp"
+#include "lte/phy.hpp"
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+
+namespace al = atlas::lte;
+namespace am = atlas::math;
+
+TEST(Phy, EfficiencyMonotoneInMcs) {
+  for (int m = 1; m <= al::kMaxMcs; ++m) {
+    EXPECT_GT(al::mcs_efficiency(m), al::mcs_efficiency(m - 1));
+  }
+  EXPECT_THROW(al::mcs_efficiency(-1), std::invalid_argument);
+  EXPECT_THROW(al::mcs_efficiency(29), std::invalid_argument);
+}
+
+TEST(Phy, ThresholdMonotoneInMcs) {
+  for (int m = 1; m <= al::kMaxMcs; ++m) {
+    EXPECT_GT(al::mcs_sinr_threshold_db(m), al::mcs_sinr_threshold_db(m - 1));
+  }
+}
+
+TEST(Phy, TbsScalesWithPrbsAndMcs) {
+  EXPECT_DOUBLE_EQ(al::tbs_bits(10, 0), 0.0);
+  EXPECT_GT(al::tbs_bits(10, 20), al::tbs_bits(10, 10));
+  EXPECT_GT(al::tbs_bits(20, 10), al::tbs_bits(10, 10));
+  EXPECT_NEAR(al::tbs_bits(10, 10) * 2.0, al::tbs_bits(10, 20), 1e-9);
+  EXPECT_THROW(al::tbs_bits(5, -1), std::invalid_argument);
+}
+
+TEST(Phy, FullCarrierThroughputMatchesTable1) {
+  // Simulator operating points from DESIGN.md: UL MCS 23 @ 0.55 derate,
+  // DL MCS 27 @ 0.675 -> Table 1's 19.87 / 32.37 Mbps within ~10%.
+  const double ul_mbps = al::tbs_bits(23, 50, 0.55) / 1e3;  // bits per TTI -> Mbps
+  const double dl_mbps = al::tbs_bits(27, 50, 0.675) / 1e3;
+  EXPECT_NEAR(ul_mbps, 19.87, 2.0);
+  EXPECT_NEAR(dl_mbps, 32.37, 2.0);
+}
+
+TEST(Phy, BlerWaterfall) {
+  // Far above threshold: ~0; far below: ~1; at threshold: 1/2.
+  EXPECT_LT(al::bler(10, al::mcs_sinr_threshold_db(10) + 10.0), 1e-5);
+  EXPECT_GT(al::bler(10, al::mcs_sinr_threshold_db(10) - 10.0), 1.0 - 1e-5);
+  EXPECT_NEAR(al::bler(10, al::mcs_sinr_threshold_db(10)), 0.5, 1e-12);
+  // Monotone decreasing in SINR.
+  EXPECT_GT(al::bler(10, 3.0), al::bler(10, 5.0));
+}
+
+TEST(Phy, SelectMcsRespectsMarginOffsetCap) {
+  // Plenty of SINR: capped.
+  EXPECT_EQ(al::select_mcs(50.0, 3.5, 0, 20), 20);
+  // Offset subtracts.
+  EXPECT_EQ(al::select_mcs(50.0, 3.5, 5, 20), 15);
+  // Offset floors at zero.
+  EXPECT_EQ(al::select_mcs(-20.0, 3.5, 8, 20), 0);
+  // Higher margin -> more conservative.
+  EXPECT_LE(al::select_mcs(10.0, 6.0, 0, 28), al::select_mcs(10.0, 2.0, 0, 28));
+}
+
+TEST(Phy, PathlossLogDistance) {
+  EXPECT_NEAR(al::pathloss_db(1.0, 38.57, 3.0), 38.57, 1e-12);
+  EXPECT_NEAR(al::pathloss_db(10.0, 38.57, 3.0), 68.57, 1e-12);
+  // Steeper exponent decays faster.
+  EXPECT_GT(al::pathloss_db(10.0, 38.57, 3.35), al::pathloss_db(10.0, 38.57, 3.0));
+}
+
+TEST(Phy, SinrDecreasesWithDistanceAndNoiseFigure) {
+  al::LinkBudget b;
+  const double near = al::sinr_db(b, 1.0, 0.0);
+  const double far = al::sinr_db(b, 5.0, 0.0);
+  EXPECT_GT(near, far);
+  al::LinkBudget hot = b;
+  hot.noise_figure_db += 3.0;
+  // The (disabled) interference floor still contributes ~1e-8 dB, so the
+  // comparison is near-exact rather than bit-exact.
+  EXPECT_NEAR(al::sinr_db(b, 2.0, 0.0) - al::sinr_db(hot, 2.0, 0.0), 3.0, 1e-6);
+}
+
+TEST(Phy, SinrCapApplies) {
+  al::LinkBudget b;
+  b.sinr_cap_db = 20.0;
+  b.tx_psd_dbm_per_prb = 30.0;  // absurdly strong
+  EXPECT_DOUBLE_EQ(al::sinr_db(b, 1.0, 0.0), 20.0);
+}
+
+TEST(Phy, FadingProcessStationaryStatistics) {
+  al::FadingProcess fading(2.5, 0.9);
+  am::Rng rng(1);
+  am::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(fading.step(rng));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.5, 0.15);
+}
+
+TEST(Phy, DisabledFadingStaysZero) {
+  al::FadingProcess fading(0.0, 0.9);
+  am::Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(fading.step(rng), 0.0);
+  EXPECT_FALSE(fading.enabled());
+}
+
+TEST(RadioQueue, SrAccessGatesFirstData) {
+  al::RadioQueue q;
+  q.push(1, 1000.0, /*now=*/10.0, /*access=*/13.0);
+  EXPECT_FALSE(q.has_data(10.0));
+  EXPECT_FALSE(q.has_data(22.9));
+  EXPECT_TRUE(q.has_data(23.0));
+  // Arrivals into a NON-empty queue are not re-gated.
+  q.push(2, 500.0, 24.0, 13.0);
+  EXPECT_TRUE(q.has_data(24.0));
+}
+
+TEST(RadioQueue, DrainCompletesSdusInOrder) {
+  al::RadioQueue q;
+  q.push(1, 1000.0, 0.0, 0.0);
+  q.push(2, 500.0, 0.0, 0.0);
+  auto done = q.drain(999.0);
+  EXPECT_TRUE(done.empty());
+  EXPECT_DOUBLE_EQ(q.queued_bits(), 501.0);
+  done = q.drain(1.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 1u);
+  done = q.drain(10000.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 2u);
+}
+
+TEST(RadioQueue, FullBufferAlwaysHasData) {
+  al::RadioQueue q;
+  q.set_full_buffer(true);
+  EXPECT_TRUE(q.has_data(0.0));
+}
+
+namespace {
+
+al::RadioParams ideal_radio() {
+  al::RadioParams p;
+  p.budget.tx_psd_dbm_per_prb = -57.0;
+  p.mcs_cap = 24;
+  p.tbs_overhead = 0.55;
+  return p;
+}
+
+}  // namespace
+
+TEST(UeRadio, FullBufferTtiDeliversTbs) {
+  am::Rng rng(3);
+  al::UeRadio ue(ideal_radio(), ideal_radio(), 1.0, 0.0, 0.9);
+  ue.ul_queue().set_full_buffer(true);
+  const auto out = ue.run_tti(true, 0.0, 50, 0, rng);
+  EXPECT_EQ(out.tb_total, 1);
+  if (out.tb_err == 0) {
+    EXPECT_NEAR(out.delivered_bits, al::tbs_bits(out.mcs, 50, 0.55), 1e-9);
+  }
+}
+
+TEST(UeRadio, NoGrantNoTransmission) {
+  am::Rng rng(4);
+  al::UeRadio ue(ideal_radio(), ideal_radio(), 1.0, 0.0, 0.9);
+  ue.ul_queue().set_full_buffer(true);
+  const auto out = ue.run_tti(true, 0.0, 0, 0, rng);
+  EXPECT_EQ(out.tb_total, 0);
+  EXPECT_DOUBLE_EQ(out.delivered_bits, 0.0);
+}
+
+TEST(UeRadio, McsOffsetLowersRate) {
+  am::Rng rng(5);
+  al::UeRadio a(ideal_radio(), ideal_radio(), 1.0, 0.0, 0.9);
+  al::UeRadio b(ideal_radio(), ideal_radio(), 1.0, 0.0, 0.9);
+  a.ul_queue().set_full_buffer(true);
+  b.ul_queue().set_full_buffer(true);
+  const auto out_a = a.run_tti(true, 0.0, 25, 0, rng);
+  const auto out_b = b.run_tti(true, 0.0, 25, 5, rng);
+  EXPECT_EQ(out_b.mcs, out_a.mcs - 5);
+}
+
+TEST(UeRadio, HarqBlocksAfterError) {
+  am::Rng rng(6);
+  al::RadioParams weak = ideal_radio();
+  weak.budget.baseline_loss_db = 80.0;  // hopeless link: every TB errors
+  weak.harq_rtt_ttis = 3;
+  al::UeRadio ue(weak, weak, 1.0, 0.0, 0.9);
+  ue.ul_queue().set_full_buffer(true);
+  const auto first = ue.run_tti(true, 0.0, 25, 0, rng);
+  EXPECT_EQ(first.tb_err, 1);
+  // Blocked during the HARQ round trip.
+  EXPECT_EQ(ue.run_tti(true, 1.0, 25, 0, rng).tb_total, 0);
+  EXPECT_EQ(ue.run_tti(true, 2.0, 25, 0, rng).tb_total, 0);
+  EXPECT_EQ(ue.run_tti(true, 3.0, 25, 0, rng).tb_total, 1);
+}
+
+TEST(Scheduler, RespectsSliceCaps) {
+  am::Rng rng(7);
+  al::UeRadio ue1(ideal_radio(), ideal_radio(), 1.0, 0.0, 0.9);
+  al::UeRadio ue2(ideal_radio(), ideal_radio(), 1.0, 0.0, 0.9);
+  ue1.ul_queue().set_full_buffer(true);
+  ue2.ul_queue().set_full_buffer(true);
+  std::vector<al::SliceRadioShare> slices(2);
+  slices[0].prb_cap_ul = 10;
+  slices[0].ues = {&ue1};
+  slices[1].prb_cap_ul = 40;
+  slices[1].ues = {&ue2};
+  const auto out = al::run_direction_tti(slices, true, 0.0, rng);
+  // Slice 1 gets at most 10 PRBs worth; slice 2 the rest. Compare via total.
+  double expected = 0.0;
+  expected += al::tbs_bits(23, 10, 0.55);
+  expected += al::tbs_bits(23, 40, 0.55);
+  if (out.tb_err == 0) {
+    EXPECT_NEAR(out.delivered_bits, expected, expected * 0.01);
+  }
+}
+
+TEST(Scheduler, SplitsPrbsWithinSlice) {
+  am::Rng rng(8);
+  al::UeRadio ue1(ideal_radio(), ideal_radio(), 1.0, 0.0, 0.9);
+  al::UeRadio ue2(ideal_radio(), ideal_radio(), 1.0, 0.0, 0.9);
+  ue1.ul_queue().set_full_buffer(true);
+  ue2.ul_queue().set_full_buffer(true);
+  std::vector<al::SliceRadioShare> slices(1);
+  slices[0].prb_cap_ul = 20;
+  slices[0].ues = {&ue1, &ue2};
+  const auto out = al::run_direction_tti(slices, true, 0.0, rng);
+  EXPECT_EQ(out.tb_total, 2);  // both UEs served 10 PRBs each
+}
+
+TEST(Scheduler, IdleSliceConsumesNothing) {
+  am::Rng rng(9);
+  al::UeRadio ue(ideal_radio(), ideal_radio(), 1.0, 0.0, 0.9);
+  std::vector<al::SliceRadioShare> slices(1);
+  slices[0].ues = {&ue};
+  const auto out = al::run_direction_tti(slices, true, 0.0, rng);
+  EXPECT_EQ(out.tb_total, 0);
+  EXPECT_TRUE(out.completed.empty());
+}
+
+TEST(Scheduler, TotalGrantsNeverExceedCarrier) {
+  am::Rng rng(10);
+  al::UeRadio ue1(ideal_radio(), ideal_radio(), 1.0, 0.0, 0.9);
+  al::UeRadio ue2(ideal_radio(), ideal_radio(), 1.0, 0.0, 0.9);
+  ue1.ul_queue().set_full_buffer(true);
+  ue2.ul_queue().set_full_buffer(true);
+  std::vector<al::SliceRadioShare> slices(2);
+  slices[0].prb_cap_ul = 40;
+  slices[0].ues = {&ue1};
+  slices[1].prb_cap_ul = 40;  // sum of caps exceeds 50
+  slices[1].ues = {&ue2};
+  const auto out = al::run_direction_tti(slices, true, 0.0, rng);
+  // Second slice gets only the 10 remaining PRBs.
+  const double max_bits = al::tbs_bits(24, 40, 0.55) + al::tbs_bits(24, 10, 0.55);
+  EXPECT_LE(out.delivered_bits, max_bits + 1e-9);
+}
+
+TEST(StaleCqi, RaisesErrorRateUnderFading) {
+  // With ideal CQI the error rate sits near the LA margin's design point;
+  // with a stale CQI under fading it rises (Table 1's real-vs-sim PER gap).
+  auto measure_per = [](int lag) {
+    am::Rng rng(11);
+    al::UeRadio ue(ideal_radio(), ideal_radio(), 1.0, 2.5, 0.9, lag);
+    ue.ul_queue().set_full_buffer(true);
+    int err = 0;
+    int total = 0;
+    for (int t = 0; t < 30000; ++t) {
+      ue.step_fading(rng);
+      const auto out = ue.run_tti(true, static_cast<double>(t), 25, 0, rng);
+      err += out.tb_err;
+      total += out.tb_total;
+    }
+    return static_cast<double>(err) / static_cast<double>(total);
+  };
+  EXPECT_GT(measure_per(4), measure_per(0));
+}

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "env/multi_slice.hpp"
+
+namespace ae = atlas::env;
+
+namespace {
+
+ae::SliceSpec make_slice(double ul_prbs, double dl_prbs, double cpu, int traffic = 1) {
+  ae::SliceSpec spec;
+  spec.config.bandwidth_ul = ul_prbs;
+  spec.config.bandwidth_dl = dl_prbs;
+  spec.config.cpu_ratio = cpu;
+  spec.config.backhaul_mbps = 50.0;
+  spec.traffic = traffic;
+  return spec;
+}
+
+}  // namespace
+
+TEST(MultiSlice, PerSliceResults) {
+  const auto result = ae::run_multi_slice_episode(
+      ae::simulator_profile(), {make_slice(25, 25, 1.0), make_slice(25, 25, 1.0)}, 8000.0, 1);
+  ASSERT_EQ(result.per_slice.size(), 2u);
+  for (const auto& r : result.per_slice) {
+    EXPECT_GT(r.frames_completed, 10u);
+    EXPECT_GE(r.qoe(300.0), 0.0);
+    EXPECT_LE(r.qoe(300.0), 1.0);
+  }
+}
+
+TEST(MultiSlice, DeterministicPerSeed) {
+  const std::vector<ae::SliceSpec> specs{make_slice(20, 20, 0.8), make_slice(20, 20, 0.5, 2)};
+  const auto a = ae::run_multi_slice_episode(ae::real_network_profile(), specs, 6000.0, 9);
+  const auto b = ae::run_multi_slice_episode(ae::real_network_profile(), specs, 6000.0, 9);
+  ASSERT_EQ(a.per_slice.size(), b.per_slice.size());
+  for (std::size_t s = 0; s < a.per_slice.size(); ++s) {
+    ASSERT_EQ(a.per_slice[s].latencies_ms, b.per_slice[s].latencies_ms);
+  }
+}
+
+TEST(MultiSlice, IsolationAcrossTenants) {
+  // Slice 0's latency must be (nearly) unaffected by slice 1 going from idle
+  // to heavy traffic, because PRB caps partition the carrier and each slice
+  // owns its meter and edge container.
+  const auto calm = ae::run_multi_slice_episode(
+      ae::simulator_profile(), {make_slice(20, 20, 1.0), make_slice(20, 20, 1.0, 1)}, 10000.0,
+      5);
+  const auto busy = ae::run_multi_slice_episode(
+      ae::simulator_profile(), {make_slice(20, 20, 1.0), make_slice(20, 20, 1.0, 4)}, 10000.0,
+      5);
+  const double mean_calm = calm.per_slice[0].latency_summary().mean;
+  const double mean_busy = busy.per_slice[0].latency_summary().mean;
+  EXPECT_NEAR(mean_busy / mean_calm, 1.0, 0.10);
+  // While slice 1 itself does degrade under its own load.
+  EXPECT_GT(busy.per_slice[1].latency_summary().mean,
+            calm.per_slice[1].latency_summary().mean);
+}
+
+TEST(MultiSlice, EarlierSliceHasPriorityWhenOversubscribed) {
+  // Caps sum to 80 UL PRBs > 50: the first slice keeps its grant.
+  const auto result = ae::run_multi_slice_episode(
+      ae::simulator_profile(), {make_slice(40, 40, 1.0, 4), make_slice(40, 40, 1.0, 4)},
+      10000.0, 7);
+  EXPECT_LT(result.per_slice[0].latency_summary().mean,
+            result.per_slice[1].latency_summary().mean);
+}
+
+TEST(MultiSlice, ThreeTenantsWithDistinctConfigs) {
+  const auto result = ae::run_multi_slice_episode(
+      ae::real_network_profile(),
+      {make_slice(10, 5, 0.9), make_slice(15, 10, 0.6, 2), make_slice(12, 8, 0.3, 1)},
+      8000.0, 3);
+  ASSERT_EQ(result.per_slice.size(), 3u);
+  // The CPU-starved third slice is the slowest.
+  EXPECT_GT(result.per_slice[2].latency_summary().mean,
+            result.per_slice[0].latency_summary().mean);
+}

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+#include "net/backhaul.hpp"
+#include "net/edge.hpp"
+
+namespace am = atlas::math;
+namespace an = atlas::net;
+
+TEST(TransportLink, SerializationDelayMatchesRate) {
+  an::TransportLink link(10.0, 1.0);  // 10 Mbps, 1 ms propagation
+  am::Rng rng(1);
+  // 10 Mbps == 10 kbit per ms: a 100 kbit frame takes 10 ms + 1 ms delay.
+  const double arrival = link.send(0.0, 100e3, rng);
+  EXPECT_NEAR(arrival, 11.0, 1e-9);
+}
+
+TEST(TransportLink, FifoQueueingBackToBack) {
+  an::TransportLink link(10.0, 1.0);
+  am::Rng rng(2);
+  const double a1 = link.send(0.0, 100e3, rng);   // busy until 10
+  const double a2 = link.send(0.0, 100e3, rng);   // starts at 10 -> 20 + 1
+  EXPECT_NEAR(a1, 11.0, 1e-9);
+  EXPECT_NEAR(a2, 21.0, 1e-9);
+}
+
+TEST(TransportLink, IdleGapResetsQueue) {
+  an::TransportLink link(10.0, 1.0);
+  am::Rng rng(3);
+  link.send(0.0, 100e3, rng);  // busy until 10
+  const double a = link.send(50.0, 100e3, rng);
+  EXPECT_NEAR(a, 61.0, 1e-9);
+}
+
+TEST(TransportLink, ZeroRateFallsBackToTrickle) {
+  an::TransportLink link(0.0, 1.0);
+  EXPECT_GT(link.rate_mbps(), 0.0);
+}
+
+TEST(TransportJitter, SizeDependentComponent) {
+  an::TransportJitter jitter;
+  jitter.per_mbit_ms = 80.0;
+  am::Rng rng(4);
+  // 64-byte ping: negligible; mean frame (230.4 kbit): ~18.4 ms.
+  EXPECT_NEAR(jitter.sample(512.0, rng), 0.041, 1e-3);
+  EXPECT_NEAR(jitter.sample(230.4e3, rng), 18.43, 0.1);
+}
+
+TEST(TransportJitter, ExponentialTailMean) {
+  an::TransportJitter jitter;
+  jitter.exp_mean_ms = 5.0;
+  am::Rng rng(5);
+  am::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(jitter.sample(0.0, rng));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.2);
+}
+
+TEST(CoreHop, FixedForwardingDelay) {
+  an::CoreHop core(0.5);
+  EXPECT_DOUBLE_EQ(core.forward(10.0), 10.5);
+}
+
+TEST(ComputeModel, MeanScalesWithCpuRatio) {
+  an::ComputeModel model;
+  am::Rng rng(6);
+  am::RunningStats full;
+  am::RunningStats half;
+  for (int i = 0; i < 20000; ++i) {
+    full.add(model.sample(1.0, rng));
+    half.add(model.sample(0.5, rng));
+  }
+  EXPECT_NEAR(full.mean(), 81.0, 2.0);
+  EXPECT_NEAR(half.mean() / full.mean(), 2.0, 0.1);
+}
+
+TEST(ComputeModel, OverheadAdditiveBeforeScaling) {
+  an::ComputeModel model;
+  model.std_ms = 1e-6;  // de-noise
+  model.mean_ms = 80.0;
+  model.min_ms = 79.0;
+  model.max_ms = 81.0;
+  model.overhead_ms = 20.0;
+  am::Rng rng(7);
+  EXPECT_NEAR(model.sample(0.5, rng), (80.0 + 20.0) / 0.5, 1.0);
+}
+
+TEST(ComputeModel, TailIncreasesMeanAndVariance) {
+  an::ComputeModel base;
+  an::ComputeModel tailed = base;
+  tailed.tail_prob = 0.1;
+  tailed.tail_mean_ms = 70.0;
+  am::Rng rng(8);
+  am::RunningStats b;
+  am::RunningStats t;
+  for (int i = 0; i < 30000; ++i) {
+    b.add(base.sample(1.0, rng));
+    t.add(tailed.sample(1.0, rng));
+  }
+  EXPECT_NEAR(t.mean() - b.mean(), 7.0, 1.0);
+  EXPECT_GT(t.variance(), b.variance());
+}
+
+TEST(ComputeModel, CpuExponentPenalizesFractionalShares) {
+  an::ComputeModel cfs;
+  cfs.cpu_exponent = 1.25;
+  an::ComputeModel linear;
+  am::Rng rng(9);
+  am::RunningStats cfs_stats;
+  am::RunningStats lin_stats;
+  for (int i = 0; i < 20000; ++i) {
+    cfs_stats.add(cfs.sample(0.5, rng));
+    lin_stats.add(linear.sample(0.5, rng));
+  }
+  EXPECT_GT(cfs_stats.mean(), lin_stats.mean());
+  // At full CPU the exponent is invisible.
+  am::RunningStats cfs_full;
+  am::RunningStats lin_full;
+  for (int i = 0; i < 20000; ++i) {
+    cfs_full.add(cfs.sample(1.0, rng));
+    lin_full.add(linear.sample(1.0, rng));
+  }
+  EXPECT_NEAR(cfs_full.mean(), lin_full.mean(), 1.5);
+}
+
+TEST(ComputeQueue, FifoBusyServer) {
+  an::ComputeModel model;
+  model.std_ms = 1e-6;
+  model.mean_ms = 100.0;
+  model.min_ms = 99.0;
+  model.max_ms = 101.0;
+  an::ComputeQueue queue(model, 1.0);
+  am::Rng rng(10);
+  const double t1 = queue.process(0.0, rng);
+  const double t2 = queue.process(0.0, rng);  // queued behind the first
+  EXPECT_NEAR(t1, 100.0, 1.5);
+  EXPECT_NEAR(t2, 200.0, 3.0);
+  EXPECT_EQ(queue.processed(), 2u);
+}
+
+TEST(ComputeQueue, UtilizationLawHolds) {
+  // M/G/1 sanity: at arrival rate well under service rate the queue drains;
+  // completion times grow linearly with arrivals, not superlinearly.
+  an::ComputeModel model;  // ~81 ms mean
+  an::ComputeQueue queue(model, 1.0);
+  am::Rng rng(11);
+  double now = 0.0;
+  double last_done = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    now += 200.0;  // one arrival per 200 ms >> 81 ms service
+    last_done = queue.process(now, rng);
+  }
+  EXPECT_LT(last_done - now, 500.0);  // no runaway backlog
+}

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optim.hpp"
+
+namespace am = atlas::math;
+namespace an = atlas::nn;
+
+namespace {
+
+/// Finite-difference gradient check of a scalar loss over all parameters.
+double mse_loss(an::Mlp& mlp, const am::Matrix& x, const am::Vec& y) {
+  const am::Matrix out = mlp.forward_const(x);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double e = out(i, 0) - y[i];
+    loss += e * e;
+  }
+  return loss / static_cast<double>(x.rows());
+}
+
+}  // namespace
+
+TEST(Mlp, ForwardShapes) {
+  am::Rng rng(1);
+  an::Mlp mlp({3, 8, 1}, rng);
+  EXPECT_EQ(mlp.input_dim(), 3u);
+  EXPECT_EQ(mlp.output_dim(), 1u);
+  am::Matrix x(5, 3, 0.5);
+  EXPECT_EQ(mlp.forward_const(x).rows(), 5u);
+}
+
+TEST(Mlp, GradientMatchesFiniteDifferences) {
+  am::Rng rng(2);
+  an::Mlp mlp({2, 6, 5, 1}, rng);
+  am::Matrix x(4, 2);
+  am::Vec y(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = rng.uniform(-1, 1);
+  }
+  // Analytic gradients.
+  mlp.zero_grad();
+  const am::Matrix out = mlp.forward(x);
+  am::Matrix dloss(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) dloss(i, 0) = 2.0 * (out(i, 0) - y[i]) / 4.0;
+  mlp.backward(dloss);
+
+  const double eps = 1e-6;
+  std::size_t checked = 0;
+  for (auto& view : mlp.params()) {
+    for (std::size_t j = 0; j < view.size; j += 7) {  // sample every 7th weight
+      const double orig = view.value[j];
+      view.value[j] = orig + eps;
+      const double up = mse_loss(mlp, x, y);
+      view.value[j] = orig - eps;
+      const double down = mse_loss(mlp, x, y);
+      view.value[j] = orig;
+      const double fd = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(view.grad[j], fd, 1e-4 * std::max(1.0, std::fabs(fd)))
+          << "param index " << j;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(Mlp, LearnsQuadratic) {
+  am::Rng rng(3);
+  an::Mlp mlp({1, 32, 32, 1}, rng);
+  const std::size_t n = 256;
+  am::Matrix x(n, 1);
+  am::Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = rng.uniform(-1.0, 1.0);
+    x(i, 0) = v;
+    y[i] = v * v;
+  }
+  an::Adam opt(3e-3);
+  double loss = 0.0;
+  for (int e = 0; e < 300; ++e) loss = mlp.train_epoch_mse(x, y, opt, 32, rng);
+  EXPECT_LT(loss, 5e-3);
+  EXPECT_NEAR(mlp.predict_scalar({0.5}), 0.25, 0.08);
+}
+
+TEST(Mlp, CopyIsIndependent) {
+  am::Rng rng(4);
+  an::Mlp a({1, 8, 1}, rng);
+  an::Mlp b = a;  // DLDA's teacher -> student transfer relies on deep copy
+  const double before = b.predict_scalar({0.3});
+  am::Matrix x(16, 1, 0.3);
+  am::Vec y(16, 5.0);
+  an::Adam opt(1e-2);
+  for (int e = 0; e < 50; ++e) a.train_epoch_mse(x, y, opt, 8, rng);
+  EXPECT_DOUBLE_EQ(b.predict_scalar({0.3}), before);
+  EXPECT_NE(a.predict_scalar({0.3}), before);
+}
+
+TEST(Optim, SgdDescendsQuadratic) {
+  // One parameter, loss (w-3)^2: gradient 2(w-3).
+  double w = 0.0;
+  double g = 0.0;
+  std::vector<an::ParamView> views{{&w, &g, 1}};
+  an::Sgd opt(0.1, 0.0);
+  for (int i = 0; i < 200; ++i) {
+    g = 2.0 * (w - 3.0);
+    opt.step(views);
+  }
+  EXPECT_NEAR(w, 3.0, 1e-6);
+}
+
+TEST(Optim, AdamDescendsQuadratic) {
+  double w = 0.0;
+  double g = 0.0;
+  std::vector<an::ParamView> views{{&w, &g, 1}};
+  an::Adam opt(0.05);
+  for (int i = 0; i < 500; ++i) {
+    g = 2.0 * (w - 3.0);
+    opt.step(views);
+  }
+  EXPECT_NEAR(w, 3.0, 1e-3);
+}
+
+TEST(Optim, AdadeltaDescendsQuadratic) {
+  double w = 0.0;
+  double g = 0.0;
+  std::vector<an::ParamView> views{{&w, &g, 1}};
+  an::Adadelta opt(1.0);  // the paper's configuration: lr 1.0
+  for (int i = 0; i < 4000; ++i) {
+    g = 2.0 * (w - 3.0);
+    opt.step(views);
+  }
+  EXPECT_NEAR(w, 3.0, 0.05);
+}
+
+TEST(Optim, StepLrDecaysGeometrically) {
+  an::Sgd opt(1.0);
+  an::StepLr sched(opt, 1, 0.999);  // paper: gamma 0.999 per step
+  for (int i = 0; i < 100; ++i) sched.step();
+  EXPECT_NEAR(opt.learning_rate(), std::pow(0.999, 100), 1e-12);
+}
+
+TEST(Optim, StepLrStepSizeRespected) {
+  an::Sgd opt(1.0);
+  an::StepLr sched(opt, 10, 0.5);
+  for (int i = 0; i < 9; ++i) sched.step();
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 1.0);
+  sched.step();
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.5);
+}

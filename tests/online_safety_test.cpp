@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "atlas/offline_trainer.hpp"
+#include "atlas/online_learner.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ac = atlas::core;
+namespace ae = atlas::env;
+
+// Safety-oriented integration checks on Stage 3: the conservative
+// acquisition must keep intermediate SLA exposure bounded. Everything here
+// is fully deterministic (fixed seeds), so assertions are exact replays,
+// not statistical gambles.
+
+namespace {
+
+class OnlineSafetyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim_ = new ae::Simulator(ae::oracle_calibration());
+    real_ = new ae::RealNetwork();
+    pool_ = new atlas::common::ThreadPool(2);
+    ac::OfflineOptions opts;
+    opts.iterations = 50;
+    opts.init_iterations = 12;
+    opts.parallel = 4;
+    opts.candidates = 600;
+    opts.workload.duration_ms = 10000.0;
+    opts.bnn.sizes = {8, 32, 32, 1};
+    opts.train_epochs = 5;
+    opts.seed = 29;
+    ac::OfflineTrainer trainer(*sim_, opts, pool_);
+    offline_ = new ac::OfflineResult(trainer.train());
+  }
+  static void TearDownTestSuite() {
+    delete offline_;
+    delete pool_;
+    delete real_;
+    delete sim_;
+  }
+
+  static ac::OnlineOptions online_options() {
+    ac::OnlineOptions o;
+    o.iterations = 25;
+    o.inner_updates = 8;
+    o.candidates = 800;
+    o.workload.duration_ms = 10000.0;
+    o.clip_b = 2.5;              // conservative clip (see bench_util.hpp note)
+    o.gp.noise_variance = 2e-3;  // episode-level QoE sampling noise
+    o.seed = 31;
+    return o;
+  }
+
+  static std::size_t violations(const ac::OnlineResult& run, double e = 0.9) {
+    std::size_t n = 0;
+    for (const auto& s : run.history) {
+      if (s.qoe_real < e) ++n;
+    }
+    return n;
+  }
+
+  static ae::Simulator* sim_;
+  static ae::RealNetwork* real_;
+  static atlas::common::ThreadPool* pool_;
+  static ac::OfflineResult* offline_;
+};
+
+ae::Simulator* OnlineSafetyTest::sim_ = nullptr;
+ae::RealNetwork* OnlineSafetyTest::real_ = nullptr;
+atlas::common::ThreadPool* OnlineSafetyTest::pool_ = nullptr;
+ac::OfflineResult* OnlineSafetyTest::offline_ = nullptr;
+
+}  // namespace
+
+TEST_F(OnlineSafetyTest, MajorityOfOnlineActionsMeetTheSla) {
+  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, online_options());
+  const auto run = learner.learn();
+  // Conservative exploration: most online actions satisfy QoE >= E - noise.
+  std::size_t hard_violations = 0;
+  for (const auto& s : run.history) {
+    if (s.qoe_real < 0.75) ++hard_violations;  // deep violations
+  }
+  EXPECT_LE(hard_violations, run.history.size() / 4);
+}
+
+TEST_F(OnlineSafetyTest, LateIterationsHoverAtTheRequirement) {
+  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, online_options());
+  const auto run = learner.learn();
+  double tail_qoe = 0.0;
+  const std::size_t tail = 8;
+  for (std::size_t i = run.history.size() - tail; i < run.history.size(); ++i) {
+    tail_qoe += run.history[i].qoe_real / static_cast<double>(tail);
+  }
+  EXPECT_GT(tail_qoe, 0.8);
+}
+
+TEST_F(OnlineSafetyTest, BetaNeverExceedsClip) {
+  auto opts = online_options();
+  opts.clip_b = 1.5;
+  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, opts);
+  const auto run = learner.learn();
+  for (const auto& s : run.history) {
+    ASSERT_LE(s.beta, 1.5);
+    ASSERT_GE(s.beta, 0.0);
+  }
+}
+
+TEST_F(OnlineSafetyTest, ConservativeClipIsSaferThanTheoreticalGpUcb) {
+  auto ours_opts = online_options();
+  ac::OnlineLearner ours(&offline_->policy, *sim_, *real_, ours_opts);
+  const auto ours_run = ours.learn();
+
+  auto ucb_opts = online_options();
+  ucb_opts.acquisition = atlas::bo::AcquisitionKind::kGpUcb;
+  ac::OnlineLearner ucb(&offline_->policy, *sim_, *real_, ucb_opts);
+  const auto ucb_run = ucb.learn();
+
+  // Fixed seeds -> deterministic replay. The theoretically-scheduled GP-UCB
+  // explores harder; our clipped schedule must not violate the SLA more
+  // often (paper Fig. 22's safety argument), with a 2-step determinism slack.
+  EXPECT_LE(violations(ours_run), violations(ucb_run) + 2);
+}
+
+TEST_F(OnlineSafetyTest, LambdaStaysNonNegativeAndBounded) {
+  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, online_options());
+  const auto run = learner.learn();
+  for (const auto& s : run.history) {
+    ASSERT_GE(s.lambda, 0.0);
+    ASSERT_LT(s.lambda, 100.0);  // dual variable must not blow up
+  }
+  EXPECT_GE(run.final_lambda, 0.0);
+}

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "atlas/pipeline.hpp"
+#include "common/thread_pool.hpp"
+
+namespace ac = atlas::core;
+namespace ae = atlas::env;
+
+namespace {
+
+ac::PipelineOptions tiny_pipeline() {
+  ac::PipelineOptions po;
+  po.stage1.iterations = 8;
+  po.stage1.init_iterations = 3;
+  po.stage1.parallel = 3;
+  po.stage1.candidates = 150;
+  po.stage1.real_episodes = 1;
+  po.stage1.workload.duration_ms = 4000.0;
+  po.stage1.bnn.sizes = {7, 16, 16, 1};
+  po.stage1.train_epochs = 2;
+  po.stage2.iterations = 10;
+  po.stage2.init_iterations = 4;
+  po.stage2.parallel = 3;
+  po.stage2.candidates = 200;
+  po.stage2.workload.duration_ms = 4000.0;
+  po.stage2.bnn.sizes = {8, 16, 16, 1};
+  po.stage2.train_epochs = 2;
+  po.stage3.iterations = 5;
+  po.stage3.inner_updates = 2;
+  po.stage3.candidates = 150;
+  po.stage3.workload.duration_ms = 4000.0;
+  return po;
+}
+
+}  // namespace
+
+TEST(Pipeline, FullRunProducesAllTraces) {
+  ae::RealNetwork real;
+  atlas::common::ThreadPool pool(2);
+  ac::AtlasPipeline pipeline(real, tiny_pipeline(), &pool);
+  const auto result = pipeline.run();
+  EXPECT_FALSE(result.calibration.history.empty());
+  EXPECT_FALSE(result.offline.history.empty());
+  EXPECT_EQ(result.online.history.size(), 5u);
+  // The calibrated simulator must not be worse than the original.
+  EXPECT_LE(result.calibration.best_kl, result.calibration.original_kl);
+}
+
+TEST(Pipeline, NoStage1SkipsCalibration) {
+  ae::RealNetwork real;
+  auto po = tiny_pipeline();
+  po.run_stage1 = false;
+  ac::AtlasPipeline pipeline(real, po);
+  const auto result = pipeline.run();
+  EXPECT_TRUE(result.calibration.history.empty());
+  EXPECT_FALSE(result.offline.history.empty());
+  EXPECT_EQ(result.online.history.size(), 5u);
+}
+
+TEST(Pipeline, NoStage2UsesGpWholeOnline) {
+  ae::RealNetwork real;
+  auto po = tiny_pipeline();
+  po.run_stage2 = false;
+  ac::AtlasPipeline pipeline(real, po);
+  const auto result = pipeline.run();
+  EXPECT_TRUE(result.offline.history.empty());
+  EXPECT_EQ(result.online.history.size(), 5u);
+}
+
+TEST(Pipeline, NoStage3RepeatsOfflineOptimum) {
+  ae::RealNetwork real;
+  auto po = tiny_pipeline();
+  po.run_stage3 = false;
+  ac::AtlasPipeline pipeline(real, po);
+  const auto result = pipeline.run();
+  ASSERT_EQ(result.online.history.size(), po.stage3.iterations);
+  const auto expected = result.offline.policy.best_config.to_vec();
+  for (const auto& step : result.online.history) {
+    const auto got = step.config.to_vec();
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_DOUBLE_EQ(got[i], expected[i]);
+    }
+  }
+}

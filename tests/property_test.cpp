@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/acquisition.hpp"
+#include "env/environment.hpp"
+#include "lte/phy.hpp"
+#include "math/kl.hpp"
+#include "math/rng.hpp"
+
+namespace ab = atlas::bo;
+namespace ae = atlas::env;
+namespace al = atlas::lte;
+namespace am = atlas::math;
+
+// ---------------------------------------------------------------------------
+// Property sweep: for ANY random slice configuration, an episode yields a QoE
+// in [0,1], positive latencies, and a resource usage in [0,1].
+class RandomConfigEpisode : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomConfigEpisode, InvariantsHold) {
+  am::Rng rng(static_cast<std::uint64_t>(GetParam()) * 101 + 5);
+  const auto space = ae::SliceConfig::space();
+  const auto config = ae::SliceConfig::from_vec(space.sample(rng));
+  EXPECT_GE(config.resource_usage(), 0.0);
+  EXPECT_LE(config.resource_usage(), 1.0);
+
+  ae::Simulator sim;
+  ae::Workload wl;
+  wl.duration_ms = 4000.0;
+  wl.seed = static_cast<std::uint64_t>(GetParam());
+  wl.traffic = 1 + GetParam() % 4;
+  const auto result = sim.run(config, wl);
+  const double qoe = result.qoe(300.0);
+  EXPECT_GE(qoe, 0.0);
+  EXPECT_LE(qoe, 1.0);
+  for (double l : result.latencies_ms) {
+    ASSERT_GT(l, 0.0);
+    ASSERT_TRUE(std::isfinite(l));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ConfigSweep, RandomConfigEpisode, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Property sweep: TBS monotonicity across the whole MCS/PRB lattice.
+class TbsLattice : public ::testing::TestWithParam<int> {};
+
+TEST_P(TbsLattice, MonotoneInBothArguments) {
+  const int mcs = GetParam();
+  for (int prbs = 1; prbs <= 50; prbs += 7) {
+    ASSERT_GT(al::tbs_bits(mcs, prbs + 1), al::tbs_bits(mcs, prbs));
+    if (mcs > 0) {
+      ASSERT_GT(al::tbs_bits(mcs, prbs), al::tbs_bits(mcs - 1, prbs));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(McsSweep, TbsLattice, ::testing::Range(0, 29));
+
+// ---------------------------------------------------------------------------
+// Property sweep: BLER in [0,1] and monotone in SINR for every MCS.
+class BlerCurve : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlerCurve, BoundedAndMonotone) {
+  const int mcs = GetParam();
+  double prev = 1.0;
+  for (double sinr = -20.0; sinr <= 40.0; sinr += 1.0) {
+    const double b = al::bler(mcs, sinr);
+    ASSERT_GE(b, 0.0);
+    ASSERT_LE(b, 1.0);
+    ASSERT_LE(b, prev + 1e-12);
+    prev = b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(McsSweep, BlerCurve, ::testing::Range(0, 29));
+
+// ---------------------------------------------------------------------------
+// Property sweep: KL >= 0 and asymmetry-safe for arbitrary sample pairs.
+class KlPairs : public ::testing::TestWithParam<int> {};
+
+TEST_P(KlPairs, NonNegativeAndFinite) {
+  am::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 3);
+  am::Vec p(300);
+  am::Vec q(300);
+  const double mu_p = rng.uniform(50, 400);
+  const double mu_q = rng.uniform(50, 400);
+  const double s_p = rng.uniform(5, 80);
+  const double s_q = rng.uniform(5, 80);
+  for (std::size_t i = 0; i < 300; ++i) {
+    p[i] = rng.normal(mu_p, s_p);
+    q[i] = rng.normal(mu_q, s_q);
+  }
+  const double kl = am::kl_divergence(p, q);
+  ASSERT_GE(kl, 0.0);
+  ASSERT_TRUE(std::isfinite(kl));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPairs, KlPairs, ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------------------
+// Property sweep: the cRGP-UCB draw is clipped at every iteration count and
+// every rho in the sweep.
+struct BetaParams {
+  std::size_t n;
+  double rho;
+};
+
+class BetaClip : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BetaClip, AlwaysInsideClipRange) {
+  const auto n = static_cast<std::size_t>(std::get<0>(GetParam()));
+  const double rho = std::get<1>(GetParam());
+  am::Rng rng(n * 7 + 1);
+  for (int i = 0; i < 200; ++i) {
+    const double beta = ab::crgp_ucb_beta(n, rho, 10.0, rng);
+    ASSERT_GE(beta, 0.0);
+    ASSERT_LE(beta, 10.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, BetaClip,
+                         ::testing::Combine(::testing::Values(1, 5, 25, 100, 400),
+                                            ::testing::Values(0.05, 0.1, 0.5, 2.0)));
+
+// ---------------------------------------------------------------------------
+// Property sweep: episode determinism for every traffic level.
+class DeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismSweep, SameSeedSameLatencies) {
+  ae::RealNetwork real;
+  ae::Workload wl;
+  wl.traffic = GetParam();
+  wl.duration_ms = 3000.0;
+  wl.seed = 77;
+  const auto a = real.run(ae::SliceConfig{}, wl);
+  const auto b = real.run(ae::SliceConfig{}, wl);
+  ASSERT_EQ(a.latencies_ms, b.latencies_ms);
+  ASSERT_EQ(a.ul_tb_err, b.ul_tb_err);
+}
+
+INSTANTIATE_TEST_SUITE_P(TrafficSweep, DeterminismSweep, ::testing::Range(1, 5));
+
+// ---------------------------------------------------------------------------
+// Property sweep: select_mcs never exceeds cap and offset is exactly
+// subtractive until the floor.
+class McsSelection : public ::testing::TestWithParam<int> {};
+
+TEST_P(McsSelection, OffsetAndCapRespected) {
+  const int offset = GetParam();
+  for (double sinr = -10.0; sinr <= 40.0; sinr += 2.5) {
+    const int with = al::select_mcs(sinr, 3.5, offset, 24);
+    const int without = al::select_mcs(sinr, 3.5, 0, 24);
+    ASSERT_LE(with, 24);
+    ASSERT_GE(with, 0);
+    ASSERT_EQ(with, std::max(0, without - offset));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OffsetSweep, McsSelection, ::testing::Range(0, 11));

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "math/rng.hpp"
+#include "nn/optim.hpp"
+#include "nn/serialize.hpp"
+
+namespace am = atlas::math;
+namespace an = atlas::nn;
+
+namespace {
+
+an::Mlp trained_mlp(std::uint64_t seed) {
+  am::Rng rng(seed);
+  an::Mlp mlp({3, 16, 8, 1}, rng);
+  am::Matrix x(64, 3);
+  am::Vec y(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.uniform(-1, 1);
+    y[i] = x(i, 0) * 0.5 - x(i, 2);
+  }
+  an::Adam opt(1e-2);
+  for (int e = 0; e < 40; ++e) mlp.train_epoch_mse(x, y, opt, 16, rng);
+  return mlp;
+}
+
+an::Bnn trained_bnn(std::uint64_t seed) {
+  am::Rng rng(seed);
+  an::BnnConfig cfg;
+  cfg.sizes = {2, 12, 1};
+  an::Bnn bnn(cfg, rng);
+  am::Matrix x(32, 2);
+  am::Vec y(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    x(i, 0) = rng.uniform(0, 1);
+    x(i, 1) = rng.uniform(0, 1);
+    y[i] = x(i, 0);
+  }
+  an::Adadelta opt(1.0);
+  bnn.train(x, y, 30, 16, opt, nullptr, rng);
+  return bnn;
+}
+
+}  // namespace
+
+TEST(SerializeMlp, RoundTripIsBitExact) {
+  const an::Mlp original = trained_mlp(5);
+  std::stringstream buffer;
+  an::save_mlp(original, buffer);
+  const an::Mlp restored = an::load_mlp(buffer);
+  am::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const am::Vec x{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    ASSERT_DOUBLE_EQ(restored.predict_scalar(x), original.predict_scalar(x));
+  }
+}
+
+TEST(SerializeMlp, PreservesArchitecture) {
+  const an::Mlp original = trained_mlp(6);
+  std::stringstream buffer;
+  an::save_mlp(original, buffer);
+  const an::Mlp restored = an::load_mlp(buffer);
+  EXPECT_EQ(restored.layer_count(), original.layer_count());
+  EXPECT_EQ(restored.input_dim(), 3u);
+  EXPECT_EQ(restored.output_dim(), 1u);
+}
+
+TEST(SerializeMlp, RejectsGarbage) {
+  std::stringstream buffer("not-a-model 1\n");
+  EXPECT_THROW(an::load_mlp(buffer), std::runtime_error);
+  std::stringstream truncated("atlas-mlp 1\n2\n4 3\n0.1 0.2\n");
+  EXPECT_THROW(an::load_mlp(truncated), std::runtime_error);
+}
+
+TEST(SerializeBnn, PosteriorMeanRoundTrips) {
+  const an::Bnn original = trained_bnn(7);
+  std::stringstream buffer;
+  original.save(buffer);
+  const an::Bnn restored = an::Bnn::load(buffer);
+  am::Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const am::Vec x{rng.uniform(0, 1), rng.uniform(0, 1)};
+    ASSERT_DOUBLE_EQ(restored.predict_at_mean(x), original.predict_at_mean(x));
+  }
+  // Variational widths round-trip too (same analytic KL).
+  EXPECT_DOUBLE_EQ(restored.kl_to_prior(), original.kl_to_prior());
+}
+
+TEST(SerializeBnn, ConfigRoundTrips) {
+  am::Rng rng(13);
+  an::BnnConfig cfg;
+  cfg.sizes = {4, 8, 1};
+  cfg.prior = an::BnnPrior::kScaleMixtureMc;
+  cfg.noise_sigma = 0.123;
+  cfg.kl_scale = 0.456;
+  an::Bnn original(cfg, rng);
+  std::stringstream buffer;
+  original.save(buffer);
+  const an::Bnn restored = an::Bnn::load(buffer);
+  EXPECT_EQ(restored.config().prior, an::BnnPrior::kScaleMixtureMc);
+  EXPECT_DOUBLE_EQ(restored.config().noise_sigma, 0.123);
+  EXPECT_DOUBLE_EQ(restored.config().kl_scale, 0.456);
+  EXPECT_EQ(restored.input_dim(), 4u);
+}
+
+TEST(SerializeBnn, ThompsonSamplingStillWorksAfterLoad) {
+  const an::Bnn original = trained_bnn(17);
+  std::stringstream buffer;
+  original.save(buffer);
+  an::Bnn restored = an::Bnn::load(buffer);
+  am::Rng rng(19);
+  const auto a = restored.thompson(rng);
+  const auto b = restored.thompson(rng);
+  EXPECT_NE(a.predict({0.5, 0.5}), b.predict({0.5, 0.5}));
+}
+
+TEST(SerializeFiles, FileRoundTripAndMissingPath) {
+  const an::Mlp original = trained_mlp(21);
+  const std::string path = "/tmp/atlas_serialize_test_model.txt";
+  an::save_mlp_file(original, path);
+  const an::Mlp restored = an::load_mlp_file(path);
+  EXPECT_DOUBLE_EQ(restored.predict_scalar({0.1, 0.2, 0.3}),
+                   original.predict_scalar({0.1, 0.2, 0.3}));
+  EXPECT_THROW(an::load_mlp_file("/nonexistent/dir/model.txt"), std::runtime_error);
+}

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atlas/offline_trainer.hpp"
+#include "env/environment.hpp"
+#include "gp/gaussian_process.hpp"
+#include "math/rng.hpp"
+
+namespace ac = atlas::core;
+namespace ae = atlas::env;
+namespace ag = atlas::gp;
+namespace am = atlas::math;
+
+// ---------------------------------------------------------------------------
+// GP posterior properties must hold for EVERY kernel family.
+class GpKernelSweep : public ::testing::TestWithParam<ag::KernelKind> {};
+
+TEST_P(GpKernelSweep, InterpolatesAndShrinksUncertainty) {
+  ag::GpConfig cfg;
+  cfg.kernel = GetParam();
+  cfg.noise_variance = 1e-8;
+  cfg.optimize_hyperparams = false;
+  // A short length scale keeps the noiseless Gram well-conditioned for every
+  // kernel family (RBF at scale 1 over this cluster is near-singular).
+  cfg.initial_length_scale = 0.15;
+  ag::GaussianProcess gp(cfg);
+  am::Matrix x(6, 1);
+  am::Vec y{0.1, 0.5, 0.9, 0.4, 0.2, 0.7};
+  for (std::size_t i = 0; i < 6; ++i) x(i, 0) = static_cast<double>(i) / 6.0;
+  gp.fit(x, y);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto p = gp.predict(x.row(i));
+    ASSERT_NEAR(p.mean, y[i], 5e-3);
+    ASSERT_LT(p.std, 0.05);
+  }
+  ASSERT_GT(gp.predict({5.0}).std, gp.predict({0.3}).std);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, GpKernelSweep,
+                         ::testing::Values(ag::KernelKind::kRbf, ag::KernelKind::kMatern12,
+                                           ag::KernelKind::kMatern32,
+                                           ag::KernelKind::kMatern52));
+
+// ---------------------------------------------------------------------------
+// Policy-input layout must be stable across traffic levels and thresholds.
+class PolicyInputSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(PolicyInputSweep, LayoutAndNormalization) {
+  const int traffic = std::get<0>(GetParam());
+  const double threshold = std::get<1>(GetParam());
+  const am::Vec config_norm(6, 0.5);
+  const am::Vec in = ac::OfflinePolicy::input(traffic, threshold, config_norm);
+  ASSERT_EQ(in.size(), 8u);
+  ASSERT_DOUBLE_EQ(in[0], traffic / 4.0);
+  ASSERT_DOUBLE_EQ(in[1], threshold / 600.0);
+  for (std::size_t i = 2; i < 8; ++i) ASSERT_DOUBLE_EQ(in[i], 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(States, PolicyInputSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(300.0, 400.0, 500.0)));
+
+// ---------------------------------------------------------------------------
+// Every latency-additive Table 3 knob must raise (never lower) the simulated
+// mean latency when cranked up, with everything else at spec.
+struct KnobCase {
+  const char* name;
+  std::size_t index;  // position in SimParams::to_vec()
+  double high;
+};
+
+class SimKnobSweep : public ::testing::TestWithParam<KnobCase> {};
+
+TEST_P(SimKnobSweep, KnobIncreasesLatency) {
+  const auto& knob = GetParam();
+  ae::Workload wl;
+  wl.duration_ms = 8000.0;
+  wl.seed = 31;
+  ae::Simulator base;
+  auto vec = ae::SimParams::defaults().to_vec();
+  vec[knob.index] = knob.high;
+  ae::Simulator raised(ae::SimParams::from_vec(vec));
+  const double mean_base = base.run(ae::SliceConfig{}, wl).latency_summary().mean;
+  const double mean_raised = raised.run(ae::SliceConfig{}, wl).latency_summary().mean;
+  EXPECT_GT(mean_raised, mean_base - 2.0) << knob.name;  // 2 ms noise slack
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, SimKnobSweep,
+    ::testing::Values(KnobCase{"baseline_loss", 0, 44.0}, KnobCase{"enb_noise_figure", 1, 10.0},
+                      KnobCase{"backhaul_delay", 4, 25.0}, KnobCase{"compute_time", 5, 25.0},
+                      KnobCase{"loading_time", 6, 12.0}),
+    [](const ::testing::TestParamInfo<KnobCase>& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------------
+// The backhaul-bandwidth knob moves latency the other way (more rate ->
+// faster frames) — checked at a throttled slice configuration.
+TEST(SimKnob, BackhaulBandwidthKnobLowersLatencyWhenThrottled) {
+  ae::Workload wl;
+  wl.duration_ms = 8000.0;
+  wl.seed = 37;
+  ae::SliceConfig throttled;
+  throttled.backhaul_mbps = 3.0;
+  ae::Simulator base;
+  auto vec = ae::SimParams::defaults().to_vec();
+  vec[3] = 15.0;  // +15 Mbps headroom
+  ae::Simulator boosted(ae::SimParams::from_vec(vec));
+  EXPECT_LT(boosted.run(throttled, wl).latency_summary().mean,
+            base.run(throttled, wl).latency_summary().mean);
+}
+
+// ---------------------------------------------------------------------------
+// QoE is monotone in the threshold for any fixed episode.
+class QoeThresholdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QoeThresholdSweep, MonotoneInThreshold) {
+  ae::Simulator sim;
+  ae::Workload wl;
+  wl.duration_ms = 6000.0;
+  wl.seed = static_cast<std::uint64_t>(GetParam());
+  wl.traffic = 1 + GetParam() % 4;
+  const auto result = sim.run(ae::SliceConfig{}, wl);
+  double prev = 0.0;
+  for (double y = 100.0; y <= 900.0; y += 100.0) {
+    const double q = result.qoe(y);
+    ASSERT_GE(q, prev);
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Episodes, QoeThresholdSweep, ::testing::Range(0, 6));

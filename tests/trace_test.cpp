@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "env/environment.hpp"
+#include "env/trace.hpp"
+
+namespace ae = atlas::env;
+
+namespace {
+
+ae::EpisodeResult traced_episode(const ae::NetworkEnvironment& net, int traffic = 1,
+                                 std::uint64_t seed = 3) {
+  ae::Workload wl;
+  wl.traffic = traffic;
+  wl.duration_ms = 10000.0;
+  wl.collect_traces = true;
+  wl.seed = seed;
+  return net.run(ae::SliceConfig{}, wl);
+}
+
+}  // namespace
+
+TEST(Trace, DisabledByDefault) {
+  ae::Simulator sim;
+  ae::Workload wl;
+  wl.duration_ms = 3000.0;
+  EXPECT_TRUE(sim.run(ae::SliceConfig{}, wl).traces.empty());
+}
+
+TEST(Trace, OneTracePerCompletedFrame) {
+  ae::Simulator sim;
+  const auto result = traced_episode(sim);
+  EXPECT_EQ(result.traces.size(), result.frames_completed);
+}
+
+TEST(Trace, TimestampsAreMonotonePerFrame) {
+  ae::RealNetwork real;
+  const auto result = traced_episode(real);
+  ASSERT_FALSE(result.traces.empty());
+  for (const auto& t : result.traces) {
+    ASSERT_LE(t.created_ms, t.sent_ms);
+    ASSERT_LE(t.sent_ms, t.ul_done_ms);
+    ASSERT_LE(t.ul_done_ms, t.edge_in_ms);
+    ASSERT_LE(t.edge_in_ms, t.compute_start_ms);
+    ASSERT_LT(t.compute_start_ms, t.compute_done_ms);
+    ASSERT_LE(t.compute_done_ms, t.enb_dl_ms);
+    ASSERT_LT(t.enb_dl_ms, t.completed_ms);
+  }
+}
+
+TEST(Trace, ComponentsSumToTotal) {
+  ae::Simulator sim;
+  const auto result = traced_episode(sim);
+  for (const auto& t : result.traces) {
+    const double sum = t.loading() + t.uplink() + t.transport_ul() + t.queueing() +
+                       t.compute() + t.downlink();
+    ASSERT_NEAR(sum, t.total(), 1e-9);
+  }
+}
+
+TEST(Trace, TotalsMatchReportedLatencies) {
+  ae::Simulator sim;
+  const auto result = traced_episode(sim);
+  ASSERT_EQ(result.traces.size(), result.latencies_ms.size());
+  // Traces complete in the same order latencies are recorded.
+  for (std::size_t i = 0; i < result.traces.size(); ++i) {
+    ASSERT_NEAR(result.traces[i].total(), result.latencies_ms[i], 1e-9);
+  }
+}
+
+TEST(Trace, ComputeMatchesServiceModel) {
+  // At full CPU the mean compute segment must track the N(81, 35) model.
+  ae::Simulator sim;
+  const auto result = traced_episode(sim, 1, 11);
+  const auto b = ae::summarize_traces(result.traces);
+  EXPECT_NEAR(b.compute, 81.0, 8.0);
+  EXPECT_GT(b.frames, 30u);
+}
+
+TEST(Trace, QueueingGrowsWithTraffic) {
+  ae::Simulator sim;
+  const auto light = ae::summarize_traces(traced_episode(sim, 1).traces);
+  const auto heavy = ae::summarize_traces(traced_episode(sim, 4).traces);
+  EXPECT_GT(heavy.queueing, light.queueing + 20.0);
+}
+
+TEST(Trace, RealNetworkAddsLoadingAndTransport) {
+  // The decomposition localizes the sim-to-real gap: the real network's
+  // loading and UL transport segments are visibly larger.
+  ae::Simulator sim;
+  ae::RealNetwork real;
+  const auto bs = ae::summarize_traces(traced_episode(sim, 1, 17).traces);
+  const auto br = ae::summarize_traces(traced_episode(real, 1, 17).traces);
+  EXPECT_GT(br.loading, bs.loading + 2.0);
+  EXPECT_GT(br.transport_ul, bs.transport_ul + 5.0);
+  EXPECT_GT(br.total, bs.total);
+}
+
+TEST(Trace, BreakdownOfEmptySetIsZero) {
+  const auto b = ae::summarize_traces({});
+  EXPECT_EQ(b.frames, 0u);
+  EXPECT_DOUBLE_EQ(b.total, 0.0);
+}
