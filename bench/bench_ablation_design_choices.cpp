@@ -14,18 +14,20 @@ int main() {
   bench::banner("Design-choice ablations (repo-specific, see DESIGN.md)",
                 "KL estimator agreement; uniform vs Halton candidates; BNN priors");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto real = service.add_real_network();
 
   // --- (a) KL estimator agreement -------------------------------------------
   {
-    env::Simulator original;
-    env::Simulator calibrated(env::oracle_calibration());
+    const auto original = service.add_simulator(env::SimParams::defaults(), "original");
+    const auto calibrated = service.add_simulator(env::oracle_calibration(), "calibrated");
     auto wl = bench::workload(opts, 30.0);
-    const auto lat_real = real.run(env::SliceConfig{}, wl).latencies_ms;
+    const auto lat_real = bench::run_episode(service, real, env::SliceConfig{}, wl).latencies_ms;
     wl.seed = opts.seed + 61;
-    const auto lat_orig = original.run(env::SliceConfig{}, wl).latencies_ms;
-    const auto lat_cal = calibrated.run(env::SliceConfig{}, wl).latencies_ms;
+    const auto lat_orig =
+        bench::run_episode(service, original, env::SliceConfig{}, wl).latencies_ms;
+    const auto lat_cal =
+        bench::run_episode(service, calibrated, env::SliceConfig{}, wl).latencies_ms;
     common::Table t({"estimator", "KL(real || original)", "KL(real || calibrated)",
                      "same ordering"});
     const double h_orig = math::kl_divergence(lat_real, lat_orig);
@@ -47,7 +49,7 @@ int main() {
       o.iterations = opts.iters(50, 12);
       o.sampler = sampler;
       o.seed = opts.seed + (sampler == core::CandidateSampler::kHalton ? 2 : 1);
-      core::SimCalibrator calibrator(real, o, &pool);
+      core::SimCalibrator calibrator(service, real, o);
       const auto result = calibrator.calibrate();
       t.add_row({sampler == core::CandidateSampler::kHalton ? "scrambled Halton" : "uniform",
                  common::fmt(result.best_weighted, 3), common::fmt(result.best_kl, 3)});
@@ -66,7 +68,7 @@ int main() {
       o.bnn.noise_sigma = 0.1;
       o.bnn.prior = prior;
       o.seed = opts.seed + 5;
-      core::SimCalibrator calibrator(real, o, &pool);
+      core::SimCalibrator calibrator(service, real, o);
       const auto result = calibrator.calibrate();
       t.add_row({prior == nn::BnnPrior::kGaussianAnalytic ? "Gaussian (analytic KL)"
                                                           : "scale mixture (MC)",

@@ -10,11 +10,12 @@ int main() {
   bench::banner("Figure 2: latency CDF under one slice user",
                 "paper Fig. 2 — system mean is +25.2% vs simulator");
 
-  env::Simulator sim;
-  env::RealNetwork real;
+  env::EnvService service;
+  const auto sim = service.add_simulator();
+  const auto real = service.add_real_network();
   const auto wl = bench::workload(opts, 60.0, /*traffic=*/1);
-  const auto rs = sim.run(env::SliceConfig{}, wl);
-  const auto rr = real.run(env::SliceConfig{}, wl);
+  const auto rs = bench::run_episode(service, sim, env::SliceConfig{}, wl);
+  const auto rr = bench::run_episode(service, real, env::SliceConfig{}, wl);
 
   common::Table t({"latency (ms)", "CDF simulator", "CDF system"});
   for (double x = 50.0; x <= 500.0; x += 50.0) {

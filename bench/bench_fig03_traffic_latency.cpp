@@ -9,14 +9,15 @@ int main() {
   bench::banner("Figure 3: latency vs user traffic",
                 "paper Fig. 3 — gap grows with traffic; system reaches ~800 ms at 4");
 
-  env::Simulator sim;
-  env::RealNetwork real;
+  env::EnvService service;
+  const auto sim = service.add_simulator();
+  const auto real = service.add_real_network();
   common::Table t({"user traffic", "sim mean (ms)", "sim std", "system mean (ms)", "system std",
                    "mean gap"});
   for (int traffic = 1; traffic <= 4; ++traffic) {
     auto wl = bench::workload(opts, 60.0, traffic);
-    const auto ss = sim.run(env::SliceConfig{}, wl).latency_summary();
-    const auto sr = real.run(env::SliceConfig{}, wl).latency_summary();
+    const auto ss = bench::run_episode(service, sim, env::SliceConfig{}, wl).latency_summary();
+    const auto sr = bench::run_episode(service, real, env::SliceConfig{}, wl).latency_summary();
     t.add_row({std::to_string(traffic), common::fmt(ss.mean, 0), common::fmt(ss.stddev, 0),
                common::fmt(sr.mean, 0), common::fmt(sr.stddev, 0),
                common::fmt_pct(sr.mean / ss.mean - 1.0)});

@@ -11,8 +11,9 @@ int main() {
   bench::banner("Figure 4: KL-divergence heatmap over (CPU, UL bandwidth) usage",
                 "paper Fig. 4 — KL exceeds 10 in some cells; uneven across the grid");
 
-  env::Simulator sim;
-  env::RealNetwork real;
+  env::EnvService service;
+  const auto sim = service.add_simulator();
+  const auto real = service.add_real_network();
   const double levels[] = {0.1, 0.3, 0.5, 0.7, 0.9};
 
   common::Table t({"UL BW \\ CPU", "10%", "30%", "50%", "70%", "90%"});
@@ -25,9 +26,9 @@ int main() {
       config.bandwidth_ul = bw * 50.0;
       config.cpu_ratio = cpu;
       auto wl = bench::workload(opts, 30.0);
-      const auto lat_sim = sim.run(config, wl).latencies_ms;
+      const auto lat_sim = bench::run_episode(service, sim, config, wl).latencies_ms;
       wl.seed = opts.seed + 101;
-      const auto lat_real = real.run(config, wl).latencies_ms;
+      const auto lat_real = bench::run_episode(service, real, config, wl).latencies_ms;
       double kl = 0.0;
       if (!lat_sim.empty() && !lat_real.empty()) {
         kl = math::kl_divergence(lat_real, lat_sim);

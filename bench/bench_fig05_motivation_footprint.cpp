@@ -12,8 +12,8 @@ int main() {
   bench::banner("Figure 5: footprint of DLDA and BO during online learning",
                 "paper Fig. 5 — most explored actions violate the 0.9 QoE requirement");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto real = service.add_real_network();
   const std::size_t iters = opts.iters(40, 12);
 
   // BO (GP-EI) exploring the real network directly.
@@ -21,16 +21,16 @@ int main() {
   bo_opts.iterations = iters;
   bo_opts.workload = bench::workload(opts, 15.0);
   bo_opts.seed = opts.seed;
-  const auto bo_trace = baselines::GpBaseline(real, bo_opts).learn();
+  const auto bo_trace = baselines::GpBaseline(service, real, bo_opts).learn();
 
   // DLDA: offline grid on the (uncalibrated) simulator, then online transfer.
-  env::Simulator sim;
+  const auto sim = service.add_simulator();
   baselines::DldaOptions dlda_opts;
   dlda_opts.grid_per_dim = 3;  // keep the motivation figure light
   dlda_opts.online_iterations = iters;
   dlda_opts.workload = bench::workload(opts, 15.0);
   dlda_opts.seed = opts.seed + 5;
-  baselines::Dlda dlda(sim, dlda_opts, &pool);
+  baselines::Dlda dlda(service, sim, dlda_opts);
   dlda.train_offline();
   const auto dlda_trace = dlda.learn_online(real);
 

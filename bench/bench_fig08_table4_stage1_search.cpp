@@ -11,16 +11,16 @@ int main() {
   bench::banner("Figure 8 + Table 4: stage-1 parameter search, ours (BNN+PTS) vs GP",
                 "paper — original 1.38; GP 0.31/0.16; ours 0.26/0.12");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto real = service.add_real_network();
 
   auto ours_opts = bench::stage1_options(opts);
-  core::SimCalibrator ours(real, ours_opts, &pool);
+  core::SimCalibrator ours(service, real, ours_opts);
   const auto ours_result = ours.calibrate();
 
   auto gp_opts = bench::stage1_options(opts);
   gp_opts.surrogate = core::CalibratorSurrogate::kGpEi;
-  core::SimCalibrator gp(real, gp_opts, &pool);
+  core::SimCalibrator gp(service, real, gp_opts);
   const auto gp_result = gp.calibrate();
 
   // --- Fig. 8: searching progress ------------------------------------------

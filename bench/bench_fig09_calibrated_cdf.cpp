@@ -11,21 +11,22 @@ int main() {
   bench::banner("Figure 9: latency CDF under calibrated simulation parameters",
                 "paper Fig. 9 — ours matches the system CDF; GP has a longer tail");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto real = service.add_real_network();
 
   auto ours_opts = bench::stage1_options(opts);
-  const auto ours = core::SimCalibrator(real, ours_opts, &pool).calibrate();
+  const auto ours = core::SimCalibrator(service, real, ours_opts).calibrate();
   auto gp_opts = bench::stage1_options(opts);
   gp_opts.surrogate = core::CalibratorSurrogate::kGpEi;
-  const auto gp = core::SimCalibrator(real, gp_opts, &pool).calibrate();
+  const auto gp = core::SimCalibrator(service, real, gp_opts).calibrate();
 
-  env::Simulator sim_ours(ours.best_params);
-  env::Simulator sim_gp(gp.best_params);
+  const auto sim_ours = service.add_simulator(ours.best_params, "sim-ours");
+  const auto sim_gp = service.add_simulator(gp.best_params, "sim-gp");
   const auto wl = bench::workload(opts, 60.0);
-  const auto lat_real = real.run(env::SliceConfig{}, wl).latencies_ms;
-  const auto lat_ours = sim_ours.run(env::SliceConfig{}, wl).latencies_ms;
-  const auto lat_gp = sim_gp.run(env::SliceConfig{}, wl).latencies_ms;
+  const auto lat_real = bench::run_episode(service, real, env::SliceConfig{}, wl).latencies_ms;
+  const auto lat_ours =
+      bench::run_episode(service, sim_ours, env::SliceConfig{}, wl).latencies_ms;
+  const auto lat_gp = bench::run_episode(service, sim_gp, env::SliceConfig{}, wl).latencies_ms;
 
   common::Table t({"latency (ms)", "CDF simulator-GP", "CDF system", "CDF simulator-ours"});
   for (double x = 100.0; x <= 600.0; x += 50.0) {

@@ -11,19 +11,19 @@ int main() {
   bench::banner("Figure 10: sim-to-real discrepancy under user mobility",
                 "paper Fig. 10 — rises with distance; random walk worst");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
-  const auto calibration = bench::run_stage1(opts, pool);
-  env::Simulator sim(calibration.best_params);
+  env::EnvService service;
+  const auto real = service.add_real_network();
+  const auto calibration = bench::run_stage1(opts, service, real);
+  const auto sim = service.add_simulator(calibration.best_params, "calibrated");
 
   common::Table t({"user-BS distance (m)", "sim-to-real discrepancy"});
   auto measure = [&](double distance, bool random_walk, const std::string& label) {
     auto wl = bench::workload(opts, 40.0);
     wl.distance_m = distance;
     wl.random_walk = random_walk;
-    const auto lat_real = real.run(env::SliceConfig{}, wl).latencies_ms;
+    const auto lat_real = bench::run_episode(service, real, env::SliceConfig{}, wl).latencies_ms;
     wl.seed = opts.seed + 31;
-    const auto lat_sim = sim.run(env::SliceConfig{}, wl).latencies_ms;
+    const auto lat_sim = bench::run_episode(service, sim, env::SliceConfig{}, wl).latencies_ms;
     double kl = 10.0;
     if (!lat_real.empty() && !lat_sim.empty()) {
       kl = math::kl_divergence(lat_real, lat_sim);

@@ -10,7 +10,8 @@ int main() {
   bench::banner("Figure 11: slice latency under extra mobile users",
                 "paper Fig. 11 — latency stable for 0-2 extra users (isolation)");
 
-  env::RealNetwork real;
+  env::EnvService service;
+  const auto real = service.add_real_network();
   env::SliceConfig config;
   config.bandwidth_ul = 20;
   config.bandwidth_dl = 20;
@@ -21,7 +22,7 @@ int main() {
   for (int extra = 0; extra <= 2; ++extra) {
     auto wl = bench::workload(opts, 40.0);
     wl.extra_users = extra;
-    const auto result = real.run(config, wl);
+    const auto result = bench::run_episode(service, real, config, wl);
     const auto s = result.latency_summary();
     t.add_row({std::to_string(extra), common::fmt(s.mean, 0), common::fmt(s.stddev, 0),
                common::fmt(result.qoe(300.0))});

@@ -9,8 +9,8 @@ int main() {
   bench::banner("Figure 12: Pareto boundary, discrepancy vs parameter distance",
                 "paper Fig. 12 — alpha sweeps the (0.21..0.4) x (0.1..0.3) frontier");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto real = service.add_real_network();
 
   common::Table t({"alpha", "sim-to-real discrepancy", "parameter distance"});
   for (double alpha : {0.5, 1.0, 2.0, 4.0, 8.0}) {
@@ -18,7 +18,7 @@ int main() {
     o.alpha = alpha;
     o.iterations = opts.iters(60, 15);  // sweep is 5 searches; keep each lighter
     o.seed = opts.seed + static_cast<std::uint64_t>(alpha * 10.0);
-    core::SimCalibrator calibrator(real, o, &pool);
+    core::SimCalibrator calibrator(service, real, o);
     const auto result = calibrator.calibrate();
     t.add_row({common::fmt(alpha, 1), common::fmt(result.best_kl, 3),
                common::fmt(result.best_distance, 3)});

@@ -9,8 +9,8 @@ int main() {
   bench::banner("Figure 13: stage-1 search with parallel = 1, 2, 4, 8, 16",
                 "paper Fig. 13 — more parallel queries -> lower discrepancy");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto real = service.add_real_network();
 
   const std::vector<std::size_t> parallels{1, 2, 4, 8, 16};
   std::vector<core::CalibrationResult> results;
@@ -20,7 +20,7 @@ int main() {
     o.iterations = opts.iters(50, 12);
     o.init_iterations = opts.iters(12, 4);
     o.seed = opts.seed + p;
-    core::SimCalibrator calibrator(real, o, &pool);
+    core::SimCalibrator calibrator(service, real, o);
     results.push_back(calibrator.calibrate());
   }
 

@@ -11,19 +11,21 @@ int main() {
   bench::banner("Figure 14: sim-to-real discrepancy under user traffic, original vs ours",
                 "paper Fig. 14 — reductions of 81/57/44/62% at traffic 1-4");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
-  const auto calibration = bench::run_stage1(opts, pool);  // calibrated at traffic 1
-  env::Simulator original;
-  env::Simulator calibrated(calibration.best_params);
+  env::EnvService service;
+  const auto real = service.add_real_network();
+  const auto calibration = bench::run_stage1(opts, service, real);  // calibrated at traffic 1
+  const auto original = service.add_simulator();
+  const auto calibrated = service.add_simulator(calibration.best_params, "calibrated");
 
   common::Table t({"user traffic", "orig. simulator", "ours", "reduction"});
   for (int traffic = 1; traffic <= 4; ++traffic) {
     auto wl = bench::workload(opts, 40.0, traffic);
-    const auto lat_real = real.run(env::SliceConfig{}, wl).latencies_ms;
+    const auto lat_real = bench::run_episode(service, real, env::SliceConfig{}, wl).latencies_ms;
     wl.seed = opts.seed + 41;
-    const auto lat_orig = original.run(env::SliceConfig{}, wl).latencies_ms;
-    const auto lat_cal = calibrated.run(env::SliceConfig{}, wl).latencies_ms;
+    const auto lat_orig =
+        bench::run_episode(service, original, env::SliceConfig{}, wl).latencies_ms;
+    const auto lat_cal =
+        bench::run_episode(service, calibrated, env::SliceConfig{}, wl).latencies_ms;
     const double kl_orig = math::kl_divergence(lat_real, lat_orig);
     const double kl_cal = math::kl_divergence(lat_real, lat_cal);
     t.add_row({std::to_string(traffic), common::fmt(kl_orig, 2), common::fmt(kl_cal, 2),

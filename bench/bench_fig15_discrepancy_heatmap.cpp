@@ -11,11 +11,11 @@ int main() {
   bench::banner("Figure 15: discrepancy reduction (1.0 = 100%) over (CPU, UL BW)",
                 "paper Fig. 15 — 79.3% average reduction across the grid");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
-  const auto calibration = bench::run_stage1(opts, pool);
-  env::Simulator original;
-  env::Simulator calibrated(calibration.best_params);
+  env::EnvService service;
+  const auto real = service.add_real_network();
+  const auto calibration = bench::run_stage1(opts, service, real);
+  const auto original = service.add_simulator();
+  const auto calibrated = service.add_simulator(calibration.best_params, "calibrated");
 
   const double levels[] = {0.1, 0.3, 0.5, 0.7, 0.9};
   common::Table t({"UL BW \\ CPU", "10%", "30%", "50%", "70%", "90%"});
@@ -28,10 +28,10 @@ int main() {
       config.bandwidth_ul = bw * 50.0;
       config.cpu_ratio = cpu;
       auto wl = bench::workload(opts, 25.0);
-      const auto lat_real = real.run(config, wl).latencies_ms;
+      const auto lat_real = bench::run_episode(service, real, config, wl).latencies_ms;
       wl.seed = opts.seed + 51;
-      const auto lat_orig = original.run(config, wl).latencies_ms;
-      const auto lat_cal = calibrated.run(config, wl).latencies_ms;
+      const auto lat_orig = bench::run_episode(service, original, config, wl).latencies_ms;
+      const auto lat_cal = bench::run_episode(service, calibrated, config, wl).latencies_ms;
       double reduction = 0.0;
       if (!lat_real.empty() && !lat_orig.empty() && !lat_cal.empty()) {
         const double kl_orig = math::kl_divergence(lat_real, lat_orig);

@@ -9,12 +9,12 @@ int main() {
   bench::banner("Figure 16: offline training progress (avg usage & avg QoE)",
                 "paper Fig. 16 — usage decreases while QoE >= 0.9; both converge");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
-  const auto calibration = bench::run_stage1(opts, pool);
-  env::Simulator augmented(calibration.best_params);
+  env::EnvService service;
+  const auto real = service.add_real_network();
+  const auto calibration = bench::run_stage1(opts, service, real);
+  const auto augmented = service.add_simulator(calibration.best_params, "augmented");
 
-  core::OfflineTrainer trainer(augmented, bench::stage2_options(opts), &pool);
+  core::OfflineTrainer trainer(service, augmented, bench::stage2_options(opts));
   const auto result = trainer.train();
 
   common::Table t({"iteration", "avg resource usage", "avg QoE", "lambda"});

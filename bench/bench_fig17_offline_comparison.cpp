@@ -11,8 +11,8 @@ int main() {
   bench::banner("Figure 17: offline policies, QoE vs resource usage",
                 "paper Fig. 17 — ours 0.905@19.8%; DLDA 0.98@26.9%; GP up to 37.6%");
 
-  env::Simulator augmented(env::oracle_calibration());
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto augmented = service.add_simulator(env::oracle_calibration(), "augmented");
   const auto wl = bench::workload(opts, 20.0);
 
   // Validated QoE of a chosen config (fresh seeds, a couple of episodes).
@@ -21,7 +21,7 @@ int main() {
     for (int e = 0; e < 2; ++e) {
       auto w = wl;
       w.seed = opts.seed + 900 + e;
-      acc += augmented.measure_qoe(config, w, 300.0) / 2.0;
+      acc += bench::run_episode(service, augmented, config, w).qoe(300.0) / 2.0;
     }
     return acc;
   };
@@ -35,7 +35,7 @@ int main() {
     // GP variants get the same ITERATION budget. (Matching episode counts
     // instead would need hundreds of sequential GP refits whose O(n^3)
     // hyperparameter search turns quartic — and only flatters the GPs.)
-    core::OfflineTrainer trainer(augmented, o, &pool);
+    core::OfflineTrainer trainer(service, augmented, o);
     const auto result = trainer.train();
     t.add_row({name, common::fmt_pct(result.policy.best_usage),
                common::fmt(validate(result.policy.best_config)), paper_usage, paper_qoe});
@@ -51,7 +51,7 @@ int main() {
   dlda_opts.grid_per_dim = 4;
   dlda_opts.workload = wl;
   dlda_opts.seed = opts.seed + 7;
-  baselines::Dlda dlda(augmented, dlda_opts, &pool);
+  baselines::Dlda dlda(service, augmented, dlda_opts);
   dlda.train_offline();
   math::Rng rng(opts.seed);
   const auto dlda_config = dlda.select_offline(rng);

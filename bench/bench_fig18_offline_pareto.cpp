@@ -10,8 +10,8 @@ int main() {
   bench::banner("Figure 18: Pareto boundary under availability E",
                 "paper Fig. 18 — ours dominates; DLDA jumps 0.33 -> 0.89 (coarse grid)");
 
-  env::Simulator augmented(env::oracle_calibration());
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto augmented = service.add_simulator(env::oracle_calibration(), "augmented");
   const auto wl = bench::workload(opts, 15.0);
 
   // DLDA's teacher is availability-independent: train once, select per E.
@@ -19,7 +19,7 @@ int main() {
   dlda_opts.grid_per_dim = 4;
   dlda_opts.workload = wl;
   dlda_opts.seed = opts.seed + 3;
-  baselines::Dlda dlda(augmented, dlda_opts, &pool);
+  baselines::Dlda dlda(service, augmented, dlda_opts);
   dlda.train_offline();
 
   common::Table t({"E", "ours usage", "ours QoE", "GP-EI usage", "GP-EI QoE", "DLDA usage",
@@ -28,13 +28,13 @@ int main() {
     auto ours_opts = bench::stage2_options(opts);
     ours_opts.iterations = opts.iters(80, 20);
     ours_opts.sla.availability = e;
-    core::OfflineTrainer ours(augmented, ours_opts, &pool);
+    core::OfflineTrainer ours(service, augmented, ours_opts);
     const auto ours_result = ours.train();
 
     auto gp_opts = ours_opts;
     gp_opts.surrogate = core::OfflineSurrogate::kGpEi;
     gp_opts.iterations = opts.iters(160, 40);
-    core::OfflineTrainer gp(augmented, gp_opts, &pool);
+    core::OfflineTrainer gp(service, augmented, gp_opts);
     const auto gp_result = gp.train();
 
     math::Rng rng(opts.seed + static_cast<std::uint64_t>(e * 100));
@@ -57,7 +57,7 @@ int main() {
     auto validate = [&](const env::SliceConfig& c) {
       auto w = wl;
       w.seed = opts.seed + 500 + static_cast<std::uint64_t>(e * 10);
-      return augmented.measure_qoe(c, w, 300.0);
+      return bench::run_episode(service, augmented, c, w).qoe(300.0);
     };
     t.add_row({common::fmt(e, 2), common::fmt_pct(ours_result.policy.best_usage),
                common::fmt(validate(ours_result.policy.best_config)),

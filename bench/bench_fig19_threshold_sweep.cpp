@@ -11,15 +11,15 @@ int main() {
   bench::banner("Figure 19: avg usage vs latency threshold Y",
                 "paper Fig. 19 — ours < DLDA; gap shrinks as Y grows");
 
-  env::Simulator augmented(env::oracle_calibration());
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto augmented = service.add_simulator(env::oracle_calibration(), "augmented");
   const auto wl = bench::workload(opts, 15.0);
 
   baselines::DldaOptions dlda_opts;
   dlda_opts.grid_per_dim = 4;
   dlda_opts.workload = wl;
   dlda_opts.seed = opts.seed + 9;
-  baselines::Dlda dlda(augmented, dlda_opts, &pool);
+  baselines::Dlda dlda(service, augmented, dlda_opts);
   dlda.train_offline();
 
   common::Table t({"threshold Y (ms)", "ours usage", "ours QoE", "DLDA usage", "DLDA QoE"});
@@ -27,14 +27,14 @@ int main() {
     auto o = bench::stage2_options(opts);
     o.iterations = opts.iters(90, 20);
     o.sla.latency_threshold_ms = y;
-    core::OfflineTrainer trainer(augmented, o, &pool);
+    core::OfflineTrainer trainer(service, augmented, o);
     const auto result = trainer.train();
 
     // DLDA's teacher was trained at Y=300 QoE labels; per the paper we
     // rebuild its dataset per threshold. To stay light, re-select only.
     baselines::DldaOptions per_y = dlda_opts;
     per_y.sla.latency_threshold_ms = y;
-    baselines::Dlda dlda_y(augmented, per_y, &pool);
+    baselines::Dlda dlda_y(service, augmented, per_y);
     dlda_y.train_offline();
     math::Rng rng(opts.seed + static_cast<std::uint64_t>(y));
     const auto dlda_config = dlda_y.select_offline(rng);
@@ -42,7 +42,7 @@ int main() {
     auto validate = [&](const env::SliceConfig& c) {
       auto w = wl;
       w.seed = opts.seed + 700 + static_cast<std::uint64_t>(y);
-      return augmented.measure_qoe(c, w, y);
+      return bench::run_episode(service, augmented, c, w).qoe(y);
     };
     t.add_row({common::fmt(y, 0), common::fmt_pct(result.policy.best_usage),
                common::fmt(validate(result.policy.best_config)),

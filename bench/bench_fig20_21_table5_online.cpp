@@ -17,19 +17,19 @@ int main() {
                 "paper — regrets: Baseline 35.83%/0.31, VirtualEdge 16.06%/0.34, "
                 "DLDA 8.79%/0.54, Ours 3.17%/0.077");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto real = service.add_real_network();
   const auto online_wl = bench::workload(opts, 25.0);
   const std::size_t online_iters = bench::stage3_options(opts).iterations;
 
   // ---- Atlas: stages 1 + 2 + 3 ---------------------------------------------
-  const auto calibration = bench::run_stage1(opts, pool);
-  env::Simulator augmented(calibration.best_params);
-  core::OfflineTrainer trainer(augmented, bench::stage2_options(opts), &pool);
+  const auto calibration = bench::run_stage1(opts, service, real);
+  const auto augmented = service.add_simulator(calibration.best_params, "augmented");
+  core::OfflineTrainer trainer(service, augmented, bench::stage2_options(opts));
   const auto offline = trainer.train();
   auto s3 = bench::stage3_options(opts);
   s3.workload = online_wl;
-  core::OnlineLearner learner(&offline.policy, augmented, real, s3);
+  core::OnlineLearner learner(&offline.policy, service, augmented, real, s3);
   const auto atlas_run = learner.learn();
 
   // ---- Baseline: GP-EI directly online --------------------------------------
@@ -37,29 +37,29 @@ int main() {
   base_opts.iterations = online_iters;
   base_opts.workload = online_wl;
   base_opts.seed = opts.seed + 11;
-  const auto base_trace = baselines::GpBaseline(real, base_opts).learn();
+  const auto base_trace = baselines::GpBaseline(service, real, base_opts).learn();
 
   // ---- VirtualEdge ------------------------------------------------------------
   baselines::VirtualEdgeOptions ve_opts;
   ve_opts.iterations = online_iters;
   ve_opts.workload = online_wl;
   ve_opts.seed = opts.seed + 13;
-  const auto ve_trace = baselines::VirtualEdge(real, ve_opts).learn();
+  const auto ve_trace = baselines::VirtualEdge(service, real, ve_opts).learn();
 
   // ---- DLDA (offline grid on the ORIGINAL simulator, as in the paper) -------
-  env::Simulator original;
+  const auto original = service.add_simulator();
   baselines::DldaOptions dlda_opts;
   dlda_opts.grid_per_dim = 4;
   dlda_opts.online_iterations = online_iters;
   dlda_opts.workload = online_wl;
   dlda_opts.seed = opts.seed + 17;
-  baselines::Dlda dlda(original, dlda_opts, &pool);
+  baselines::Dlda dlda(service, original, dlda_opts);
   dlda.train_offline();
   const auto dlda_trace = dlda.learn_online(real);
 
   // ---- phi* for regret accounting --------------------------------------------
-  const auto oracle = core::find_optimal_config(real, s3.sla, online_wl,
-                                                opts.iters(100, 40), opts.seed + 19, &pool);
+  const auto oracle = core::find_optimal_config(service, real, s3.sla, online_wl,
+                                                opts.iters(100, 40), opts.seed + 19);
 
   // ---- Figs. 20-21: training progress ----------------------------------------
   auto window_avg = [](const std::vector<double>& v, std::size_t i) {

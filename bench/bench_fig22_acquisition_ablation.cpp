@@ -11,10 +11,10 @@ int main() {
   bench::banner("Figure 22: online footprint under acquisition functions",
                 "paper Fig. 22 — ours beats PI/EI; GP-UCB close but uses more resources");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
-  env::Simulator augmented(env::oracle_calibration());
-  core::OfflineTrainer trainer(augmented, bench::stage2_options(opts), &pool);
+  env::EnvService service;
+  const auto real = service.add_real_network();
+  const auto augmented = service.add_simulator(env::oracle_calibration(), "augmented");
+  core::OfflineTrainer trainer(service, augmented, bench::stage2_options(opts));
   const auto offline = trainer.train();
 
   struct Entry {
@@ -30,7 +30,7 @@ int main() {
   for (const auto& entry : entries) {
     auto o = bench::stage3_options(opts);
     o.acquisition = entry.kind;
-    core::OnlineLearner learner(&offline.policy, augmented, real, o);
+    core::OnlineLearner learner(&offline.policy, service, augmented, real, o);
     const auto run = learner.learn();
     double usage = 0.0;
     double qoe = 0.0;

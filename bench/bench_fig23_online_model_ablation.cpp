@@ -12,26 +12,26 @@ int main() {
   bench::banner("Figure 23: online models (GP vs BNN vs BNN-Cont'd vs no offline acc.)",
                 "paper Fig. 23 — GP residual + offline acceleration wins");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
-  env::Simulator augmented(env::oracle_calibration());
+  env::EnvService service;
+  const auto real = service.add_real_network();
+  const auto augmented = service.add_simulator(env::oracle_calibration(), "augmented");
 
   const auto online_wl = bench::workload(opts, 20.0);
-  const auto oracle = core::find_optimal_config(real, atlas::app::Sla{}, online_wl,
-                                                opts.iters(100, 40), opts.seed + 23, &pool);
+  const auto oracle = core::find_optimal_config(service, real, atlas::app::Sla{}, online_wl,
+                                                opts.iters(100, 40), opts.seed + 23);
 
   common::Table t({"online model", "avg usage regret (%)", "avg QoE regret"});
   auto run_variant = [&](const std::string& name, core::OnlineModel model,
                          bool offline_accel) {
     // BNN-Cont'd mutates the offline policy's network: give each variant its
     // own freshly trained policy.
-    core::OfflineTrainer trainer(augmented, bench::stage2_options(opts), &pool);
+    core::OfflineTrainer trainer(service, augmented, bench::stage2_options(opts));
     const auto offline = trainer.train();
     auto o = bench::stage3_options(opts);
     o.model = model;
     o.offline_acceleration = offline_accel;
     o.workload = online_wl;
-    core::OnlineLearner learner(&offline.policy, augmented, real, o);
+    core::OnlineLearner learner(&offline.policy, service, augmented, real, o);
     const auto regret = core::compute_regret(learner.learn().history, oracle);
     t.add_row({name, common::fmt(regret.avg_usage_regret * 100.0, 2),
                common::fmt(regret.avg_qoe_regret, 3)});

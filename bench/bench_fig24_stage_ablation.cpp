@@ -12,8 +12,8 @@ int main() {
   bench::banner("Figure 24: pipeline ablation (no stage 1 / 2 / 3)",
                 "paper Fig. 24 — removing any stage hurts usage, QoE, or both");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto real = service.add_real_network();
 
   auto base_options = [&] {
     core::PipelineOptions po;
@@ -31,7 +31,7 @@ int main() {
     po.run_stage1 = s1;
     po.run_stage2 = s2;
     po.run_stage3 = s3;
-    core::AtlasPipeline pipeline(real, po, &pool);
+    core::AtlasPipeline pipeline(service, real, po);
     const auto result = pipeline.run();
     double usage = 0.0;
     double qoe = 0.0;

@@ -14,8 +14,12 @@ int main() {
   bench::banner("Figures 25-26: regrets under user traffic 2-4 (Y = 500 ms)",
                 "paper Figs. 25-26 — ours lowest on both axes for almost all traffic");
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto real = service.add_real_network();
+  // Oracle-calibrated simulator keeps this sweep tractable; the full-stage
+  // variant is bench_fig20_21.
+  const auto augmented = service.add_simulator(env::oracle_calibration(), "augmented");
+  const auto original = service.add_simulator(env::SimParams::defaults(), "original");
   app::Sla sla;
   sla.latency_threshold_ms = 500.0;
 
@@ -25,22 +29,20 @@ int main() {
   for (int traffic : {2, 3, 4}) {
     auto wl = bench::workload(opts, 20.0, traffic);
     const auto oracle = core::find_optimal_config(
-        real, sla, wl, opts.iters(80, 30), opts.seed + static_cast<std::uint64_t>(traffic),
-        &pool);
+        service, real, sla, wl, opts.iters(80, 30),
+        opts.seed + static_cast<std::uint64_t>(traffic));
 
-    // Atlas (oracle-calibrated simulator keeps this sweep tractable; the
-    // full-stage variant is bench_fig20_21).
-    env::Simulator augmented(env::oracle_calibration());
+    // Atlas.
     auto s2 = bench::stage2_options(opts);
     s2.iterations = opts.iters(90, 20);
     s2.sla = sla;
     s2.workload = wl;
-    core::OfflineTrainer trainer(augmented, s2, &pool);
+    core::OfflineTrainer trainer(service, augmented, s2);
     const auto offline = trainer.train();
     auto s3 = bench::stage3_options(opts);
     s3.sla = sla;
     s3.workload = wl;
-    core::OnlineLearner learner(&offline.policy, augmented, real, s3);
+    core::OnlineLearner learner(&offline.policy, service, augmented, real, s3);
     const auto atlas_regret = core::compute_regret(learner.learn().history, oracle);
 
     // DLDA.
@@ -50,8 +52,7 @@ int main() {
     dlda_opts.sla = sla;
     dlda_opts.workload = wl;
     dlda_opts.seed = opts.seed + 31 + static_cast<std::uint64_t>(traffic);
-    env::Simulator original;
-    baselines::Dlda dlda(original, dlda_opts, &pool);
+    baselines::Dlda dlda(service, original, dlda_opts);
     dlda.train_offline();
     const auto dlda_trace = dlda.learn_online(real);
     const auto dlda_regret = core::compute_regret(dlda_trace.usage, dlda_trace.qoe, oracle);
@@ -62,7 +63,7 @@ int main() {
     ve_opts.sla = sla;
     ve_opts.workload = wl;
     ve_opts.seed = opts.seed + 41 + static_cast<std::uint64_t>(traffic);
-    const auto ve_trace = baselines::VirtualEdge(real, ve_opts).learn();
+    const auto ve_trace = baselines::VirtualEdge(service, real, ve_opts).learn();
     const auto ve_regret = core::compute_regret(ve_trace.usage, ve_trace.qoe, oracle);
 
     // Baseline.
@@ -71,7 +72,7 @@ int main() {
     base_opts.sla = sla;
     base_opts.workload = wl;
     base_opts.seed = opts.seed + 51 + static_cast<std::uint64_t>(traffic);
-    const auto base_trace = baselines::GpBaseline(real, base_opts).learn();
+    const auto base_trace = baselines::GpBaseline(service, real, base_opts).learn();
     const auto base_regret = core::compute_regret(base_trace.usage, base_trace.qoe, oracle);
 
     qoe_t.add_row({std::to_string(traffic), common::fmt(atlas_regret.avg_qoe_regret, 3),

@@ -5,7 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "env/environment.hpp"
+#include "env/env_service.hpp"
 #include "gp/gaussian_process.hpp"
 #include "math/kl.hpp"
 #include "math/linalg.hpp"
@@ -16,29 +16,46 @@
 using namespace atlas;
 
 static void BM_Episode60s(benchmark::State& state) {
-  env::Simulator sim;
-  env::Workload wl;
-  wl.duration_ms = 60000.0;
+  env::EnvService service(env::EnvServiceOptions{.threads = 1});
+  const auto sim = service.add_simulator();
+  env::EnvQuery q;
+  q.backend = sim;
+  q.workload.duration_ms = 60000.0;
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    wl.seed = ++seed;
-    benchmark::DoNotOptimize(sim.run(env::SliceConfig{}, wl));
+    q.workload.seed = ++seed;  // fresh seed: no cache hits, pure episode cost
+    benchmark::DoNotOptimize(service.run(q));
   }
 }
 BENCHMARK(BM_Episode60s)->Unit(benchmark::kMillisecond);
 
 static void BM_EpisodeTraffic4(benchmark::State& state) {
-  env::RealNetwork real;
-  env::Workload wl;
-  wl.duration_ms = 60000.0;
-  wl.traffic = 4;
+  env::EnvService service(env::EnvServiceOptions{.threads = 1});
+  const auto real = service.add_real_network();
+  env::EnvQuery q;
+  q.backend = real;
+  q.workload.duration_ms = 60000.0;
+  q.workload.traffic = 4;
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    wl.seed = ++seed;
-    benchmark::DoNotOptimize(real.run(env::SliceConfig{}, wl));
+    q.workload.seed = ++seed;
+    benchmark::DoNotOptimize(service.run(q));
   }
 }
 BENCHMARK(BM_EpisodeTraffic4)->Unit(benchmark::kMillisecond);
+
+static void BM_EnvServiceCacheHit(benchmark::State& state) {
+  // Pure service overhead: key construction + lookup for a memoized episode.
+  env::EnvService service(env::EnvServiceOptions{.threads = 1});
+  const auto sim = service.add_simulator();
+  env::EnvQuery q;
+  q.backend = sim;
+  q.workload.duration_ms = 10000.0;
+  q.workload.seed = 3;
+  (void)service.run(q);  // warm
+  for (auto _ : state) benchmark::DoNotOptimize(service.run(q));
+}
+BENCHMARK(BM_EnvServiceCacheHit);
 
 static void BM_GpFit(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

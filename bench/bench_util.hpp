@@ -13,8 +13,7 @@
 #include "atlas/online_learner.hpp"
 #include "common/options.hpp"
 #include "common/table.hpp"
-#include "common/thread_pool.hpp"
-#include "env/environment.hpp"
+#include "env/env_service.hpp"
 
 namespace bench {
 
@@ -86,12 +85,21 @@ inline atlas::core::OnlineOptions stage3_options(const atlas::common::BenchOptio
   return o;
 }
 
+/// One episode of `backend` under `config`, through the service.
+inline atlas::env::EpisodeResult run_episode(atlas::env::EnvService& service,
+                                             atlas::env::BackendId backend,
+                                             const atlas::env::SliceConfig& config,
+                                             const atlas::env::Workload& wl) {
+  return service.run(backend, config, wl);
+}
+
 /// Run stage 1 once with the preset budget; several benches need the
-/// calibrated parameters as their starting point.
+/// calibrated parameters as their starting point. `real` is the metered
+/// backend of `service`.
 inline atlas::core::CalibrationResult run_stage1(const atlas::common::BenchOptions& opts,
-                                                 atlas::common::ThreadPool& pool) {
-  atlas::env::RealNetwork real;
-  atlas::core::SimCalibrator calibrator(real, stage1_options(opts), &pool);
+                                                 atlas::env::EnvService& service,
+                                                 atlas::env::BackendId real) {
+  atlas::core::SimCalibrator calibrator(service, real, stage1_options(opts));
   return calibrator.calibrate();
 }
 

@@ -10,23 +10,28 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "env/environment.hpp"
+#include "env/env_service.hpp"
 #include "env/trace.hpp"
 
 int main() {
   using namespace atlas;
 
-  env::Simulator sim;                             // spec defaults
-  env::Simulator calibrated(env::oracle_calibration());
-  env::RealNetwork real;
+  env::EnvService service;
+  const auto sim = service.add_simulator();  // spec defaults
+  const auto calibrated = service.add_simulator(env::oracle_calibration(), "calibrated");
+  const auto real = service.add_real_network();
 
   env::Workload wl;
   wl.duration_ms = 30000.0;
-  wl.collect_traces = true;
+  wl.collect_traces = true;  // tracing episodes bypass the service cache
   wl.seed = 42;
 
-  auto breakdown = [&](const env::NetworkEnvironment& net, const env::SliceConfig& config) {
-    return env::summarize_traces(net.run(config, wl).traces);
+  auto breakdown = [&](env::BackendId net, const env::SliceConfig& config) {
+    env::EnvQuery q;
+    q.backend = net;
+    q.config = config;
+    q.workload = wl;
+    return env::summarize_traces(service.run(q).traces);
   };
 
   auto print_comparison = [&](const env::SliceConfig& config, const std::string& title) {

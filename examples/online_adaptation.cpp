@@ -11,14 +11,13 @@
 #include "atlas/oracle.hpp"
 #include "baselines/gp_baseline.hpp"
 #include "common/table.hpp"
-#include "common/thread_pool.hpp"
 
 int main() {
   using namespace atlas;
 
-  env::Simulator simulator(env::oracle_calibration());
-  env::RealNetwork real;
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto simulator = service.add_simulator(env::oracle_calibration(), "augmented");
+  const auto real = service.add_real_network();
 
   // A quick offline policy to start from (see slice_configuration.cpp).
   core::OfflineOptions offline_opts;
@@ -28,7 +27,7 @@ int main() {
   offline_opts.candidates = 800;
   offline_opts.workload.duration_ms = 10000.0;
   std::cout << "Training the offline policy first...\n";
-  core::OfflineTrainer trainer(simulator, offline_opts, &pool);
+  core::OfflineTrainer trainer(service, simulator, offline_opts);
   const auto offline = trainer.train();
 
   core::OnlineOptions online_opts;
@@ -37,21 +36,21 @@ int main() {
   online_opts.candidates = 1000;
   online_opts.workload.duration_ms = 10000.0;
   std::cout << "Online learning (30 iterations, cRGP-UCB, offline acceleration)...\n";
-  core::OnlineLearner learner(&offline.policy, simulator, real, online_opts);
+  core::OnlineLearner learner(&offline.policy, service, simulator, real, online_opts);
   const auto atlas_run = learner.learn();
 
   baselines::GpBaselineOptions base_opts;
   base_opts.iterations = 30;
   base_opts.workload.duration_ms = 10000.0;
   std::cout << "Baseline: GP-EI learning online directly...\n";
-  baselines::GpBaseline baseline(real, base_opts);
+  baselines::GpBaseline baseline(service, real, base_opts);
   const auto base_run = baseline.learn();
 
   // Reference optimum for regret accounting.
   env::Workload oracle_wl;
   oracle_wl.duration_ms = 10000.0;
   const auto oracle =
-      core::find_optimal_config(real, online_opts.sla, oracle_wl, 80, 7, &pool);
+      core::find_optimal_config(service, real, online_opts.sla, oracle_wl, 80, 7);
 
   const auto atlas_regret = core::compute_regret(atlas_run.history, oracle);
   const auto base_regret = core::compute_regret(base_run.usage, base_run.qoe, oracle);

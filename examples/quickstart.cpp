@@ -12,13 +12,15 @@
 
 #include "atlas/pipeline.hpp"
 #include "common/table.hpp"
-#include "common/thread_pool.hpp"
 
 int main() {
   using namespace atlas;
 
-  env::RealNetwork real;  // testbed surrogate: treat as a black box
-  common::ThreadPool pool;
+  // The EnvService owns the environments, the thread pool, the episode
+  // cache, and the per-backend query accounting. The real network is a
+  // metered (online) backend: treat it as a black box.
+  env::EnvService service;
+  const auto real = service.add_real_network();
 
   core::PipelineOptions options;
   // Small budgets so this example finishes in ~1-2 minutes; raise them for
@@ -39,8 +41,19 @@ int main() {
   options.stage3.workload.duration_ms = 10000.0;
 
   std::cout << "Atlas quickstart: three-stage learn-to-configure\n\n";
-  core::AtlasPipeline pipeline(real, options, &pool);
-  const auto result = pipeline.run();
+  core::AtlasPipeline pipeline(service, real, options);
+  const auto stage_name = [](core::PipelineStage s) {
+    switch (s) {
+      case core::PipelineStage::kCalibration: return "stage 1 (calibration)";
+      case core::PipelineStage::kOfflineTraining: return "stage 2 (offline training)";
+      default: return "stage 3 (online learning)";
+    }
+  };
+  const auto result = pipeline.run([&](const core::PipelineProgress& p) {
+    std::cout << "[pipeline] " << stage_name(p.stage)
+              << (p.skipped ? " skipped" : (p.finished ? " done" : " starting"))
+              << " — online interactions so far: " << p.env_stats.online_queries << "\n";
+  });
 
   common::Table stage1({"metric", "value"});
   stage1.add_row({"original sim-to-real KL", common::fmt(result.calibration.original_kl)});
@@ -71,6 +84,15 @@ int main() {
   stage3.add_row({"avg real QoE (last 5)", common::fmt(final_qoe)});
   std::cout << "\nStage 3 - online learning (QoE requirement 0.9):\n";
   stage3.print(std::cout);
+
+  common::Table accounting({"backend", "kind", "queries", "cache hits"});
+  for (const auto& b : result.env_stats.backends) {
+    accounting.add_row({b.name, b.kind == env::BackendKind::kOnline ? "online" : "offline",
+                        std::to_string(b.queries), std::to_string(b.cache_hits)});
+  }
+  std::cout << "\nEnvService accounting (offline queries are free; online ones are\n"
+               "SLA exposure — the paper's sample-efficiency bookkeeping):\n";
+  accounting.print(std::cout);
 
   std::cout << "\nDone. See examples/slice_*.cpp for per-stage deep dives.\n";
   return 0;

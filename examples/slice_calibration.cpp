@@ -9,13 +9,12 @@
 
 #include "atlas/calibrator.hpp"
 #include "common/table.hpp"
-#include "common/thread_pool.hpp"
 
 int main() {
   using namespace atlas;
 
-  env::RealNetwork real;
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto real = service.add_real_network();
 
   core::CalibrationOptions options;
   options.iterations = 60;
@@ -27,7 +26,7 @@ int main() {
   options.seed = 21;
 
   std::cout << "Calibrating simulation parameters (alpha=" << options.alpha << ")...\n\n";
-  core::SimCalibrator calibrator(real, options, &pool);
+  core::SimCalibrator calibrator(service, real, options);
   const auto result = calibrator.calibrate();
 
   common::Table summary({"metric", "original", "calibrated"});

@@ -8,15 +8,14 @@
 
 #include "atlas/offline_trainer.hpp"
 #include "common/table.hpp"
-#include "common/thread_pool.hpp"
 
 int main() {
   using namespace atlas;
 
   // Offline training runs in the augmented simulator; here we use the oracle
   // calibration for brevity (run slice_calibration for the learned one).
-  env::Simulator simulator(env::oracle_calibration());
-  common::ThreadPool pool;
+  env::EnvService service;
+  const auto simulator = service.add_simulator(env::oracle_calibration(), "augmented");
 
   core::OfflineOptions options;
   options.iterations = 80;
@@ -29,7 +28,7 @@ int main() {
   std::cout << "Offline training: minimize resource usage s.t. QoE >= "
             << options.sla.availability << " at Y = " << options.sla.latency_threshold_ms
             << " ms\n\n";
-  core::OfflineTrainer trainer(simulator, options, &pool);
+  core::OfflineTrainer trainer(service, simulator, options);
   const auto result = trainer.train();
 
   const auto& best = result.policy.best_config;

@@ -15,9 +15,13 @@ using atlas::math::Matrix;
 using atlas::math::Rng;
 using atlas::math::Vec;
 
-SimCalibrator::SimCalibrator(const env::NetworkEnvironment& real, CalibrationOptions options,
-                             common::ThreadPool* pool)
-    : real_(real), options_(std::move(options)), pool_(pool), space_(env::SimParams::space()) {
+SimCalibrator::SimCalibrator(env::EnvService& service, env::BackendId real,
+                             CalibrationOptions options)
+    : service_(service),
+      real_(real),
+      sim_(service.add_simulator(env::SimParams::defaults(), "stage1-sim")),
+      options_(std::move(options)),
+      space_(env::SimParams::space()) {
   if (options_.bnn.sizes.empty()) {
     options_.bnn.sizes = {space_.dim(), 64, 64, 1};
     options_.bnn.noise_sigma = 0.1;
@@ -28,24 +32,30 @@ SimCalibrator::SimCalibrator(const env::NetworkEnvironment& real, CalibrationOpt
 Vec SimCalibrator::collect_real_latencies() const {
   // The online collection D_r: slice performance logged from the deployed
   // configuration (full resources), exactly the paper's minimal-effort
-  // logging assumption (§4.1, footnote 3).
+  // logging assumption (§4.1, footnote 3). Metered by the service as online
+  // interactions.
   Vec all;
   for (std::size_t e = 0; e < std::max<std::size_t>(1, options_.real_episodes); ++e) {
     env::Workload wl = options_.workload;
     wl.seed = options_.seed * 7919 + e;
-    const auto result = real_.run(env::SliceConfig{}, wl);
+    const auto result = service_.run(real_, env::SliceConfig{}, wl);
     all.insert(all.end(), result.latencies_ms.begin(), result.latencies_ms.end());
   }
   return all;
 }
 
+double SimCalibrator::discrepancy_from(const env::EpisodeResult& episode) const {
+  if (episode.latencies_ms.empty()) return math::kl_discrete({1.0}, {1.0}) + 10.0;
+  return math::kl_divergence(d_real_, episode.latencies_ms, options_.kl);
+}
+
 double SimCalibrator::discrepancy_of(const env::SimParams& params, std::uint64_t seed) const {
-  env::Simulator sim(params);
-  env::Workload wl = options_.workload;
-  wl.seed = seed;
-  const auto result = sim.run(env::SliceConfig{}, wl);
-  if (result.latencies_ms.empty()) return math::kl_discrete({1.0}, {1.0}) + 10.0;
-  return math::kl_divergence(d_real_, result.latencies_ms, options_.kl);
+  env::EnvQuery q;
+  q.backend = sim_;
+  q.workload = options_.workload;
+  q.workload.seed = seed;
+  q.sim_params = params;
+  return discrepancy_from(service_.run(q));
 }
 
 CalibrationResult SimCalibrator::calibrate() {
@@ -94,16 +104,16 @@ CalibrationResult SimCalibrator::calibrate() {
   std::uint64_t query_counter = 0;
 
   auto evaluate_batch = [&](const std::vector<Vec>& queries) {
-    std::vector<double> kls(queries.size(), 0.0);
-    auto eval_one = [&](std::size_t i) {
-      kls[i] = discrepancy_of(env::SimParams::from_vec(queries[i]),
-                              options_.seed * 104729 + (query_counter + i));
-    };
-    if (pool_ != nullptr && queries.size() > 1) {
-      pool_->parallel_for(queries.size(), eval_one);
-    } else {
-      for (std::size_t i = 0; i < queries.size(); ++i) eval_one(i);
+    std::vector<env::EnvQuery> batch(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      batch[i].backend = sim_;
+      batch[i].workload = options_.workload;
+      batch[i].workload.seed = options_.seed * 104729 + (query_counter + i);
+      batch[i].sim_params = env::SimParams::from_vec(queries[i]);
     }
+    const auto episodes = service_.run_batch(batch);
+    std::vector<double> kls(queries.size(), 0.0);
+    for (std::size_t i = 0; i < episodes.size(); ++i) kls[i] = discrepancy_from(episodes[i]);
     query_counter += queries.size();
     return kls;
   };

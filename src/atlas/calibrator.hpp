@@ -4,8 +4,7 @@
 #include <vector>
 
 #include "bo/space.hpp"
-#include "common/thread_pool.hpp"
-#include "env/environment.hpp"
+#include "env/env_service.hpp"
 #include "math/kl.hpp"
 #include "math/rng.hpp"
 #include "nn/bnn.hpp"
@@ -74,10 +73,11 @@ struct CalibrationResult {
 /// parameter ball of Eq. 2.
 class SimCalibrator {
  public:
-  /// `real` provides the online collection D_r; `pool` (optional) runs the
-  /// parallel simulator queries. Neither is owned.
-  SimCalibrator(const env::NetworkEnvironment& real, CalibrationOptions options,
-                common::ThreadPool* pool = nullptr);
+  /// `real` names the metered backend inside `service` that provides the
+  /// online collection D_r. Simulator evaluations run batched through the
+  /// service against a private offline backend with per-query Table 3
+  /// parameter overrides (and profit from its memoization + accounting).
+  SimCalibrator(env::EnvService& service, env::BackendId real, CalibrationOptions options);
 
   /// Run the search (Alg. 1) and return the calibration.
   CalibrationResult calibrate();
@@ -88,10 +88,12 @@ class SimCalibrator {
 
  private:
   math::Vec collect_real_latencies() const;
+  double discrepancy_from(const env::EpisodeResult& episode) const;
 
-  const env::NetworkEnvironment& real_;
+  env::EnvService& service_;
+  env::BackendId real_;
+  env::BackendId sim_;  ///< Private offline backend for parameter queries.
   CalibrationOptions options_;
-  common::ThreadPool* pool_;
   bo::BoxSpace space_;
   math::Vec d_real_;  ///< Cached online collection.
 };

@@ -28,11 +28,11 @@ double OfflinePolicy::predict_qoe(const env::SliceConfig& config) const {
   return std::clamp(qoe_model->predict_at_mean(in), 0.0, 1.0);
 }
 
-OfflineTrainer::OfflineTrainer(const env::NetworkEnvironment& simulator, OfflineOptions options,
-                               common::ThreadPool* pool)
-    : simulator_(simulator),
+OfflineTrainer::OfflineTrainer(env::EnvService& service, env::BackendId simulator,
+                               OfflineOptions options)
+    : service_(service),
+      simulator_(simulator),
       options_(std::move(options)),
-      pool_(pool),
       space_(env::SliceConfig::space()) {
   if (options_.bnn.sizes.empty()) {
     options_.bnn.sizes = {2 + space_.dim(), 64, 64, 1};
@@ -75,18 +75,14 @@ OfflineResult OfflineTrainer::train() {
   };
 
   auto measure = [&](const std::vector<Vec>& queries) {
-    std::vector<double> qoes(queries.size(), 0.0);
-    auto eval_one = [&](std::size_t i) {
-      env::Workload wl = options_.workload;
-      wl.seed = options_.seed * 15485863 + query_counter + i;
-      qoes[i] = simulator_.measure_qoe(env::SliceConfig::from_vec(queries[i]), wl,
-                                       options_.sla.latency_threshold_ms);
-    };
-    if (pool_ != nullptr && queries.size() > 1) {
-      pool_->parallel_for(queries.size(), eval_one);
-    } else {
-      for (std::size_t i = 0; i < queries.size(); ++i) eval_one(i);
+    std::vector<env::EnvQuery> batch(queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      batch[i].backend = simulator_;
+      batch[i].config = env::SliceConfig::from_vec(queries[i]);
+      batch[i].workload = options_.workload;
+      batch[i].workload.seed = options_.seed * 15485863 + query_counter + i;
     }
+    const auto qoes = service_.measure_qoe_batch(batch, options_.sla.latency_threshold_ms);
     query_counter += queries.size();
     return qoes;
   };

@@ -6,8 +6,7 @@
 #include "app/qoe.hpp"
 #include "bo/acquisition.hpp"
 #include "bo/space.hpp"
-#include "common/thread_pool.hpp"
-#include "env/environment.hpp"
+#include "env/env_service.hpp"
 #include "math/rng.hpp"
 #include "nn/bnn.hpp"
 
@@ -87,15 +86,16 @@ struct OfflineResult {
 /// Lagrangian L = F(a) - lambda (Q_s(a) - E) with dual updates (Eqs. 8-9).
 class OfflineTrainer {
  public:
-  OfflineTrainer(const env::NetworkEnvironment& simulator, OfflineOptions options,
-                 common::ThreadPool* pool = nullptr);
+  /// `simulator` names the (augmented) offline backend inside `service`;
+  /// parallel QoE queries run batched through the service.
+  OfflineTrainer(env::EnvService& service, env::BackendId simulator, OfflineOptions options);
 
   OfflineResult train();
 
  private:
-  const env::NetworkEnvironment& simulator_;
+  env::EnvService& service_;
+  env::BackendId simulator_;
   OfflineOptions options_;
-  common::ThreadPool* pool_;
   bo::BoxSpace space_;
 };
 

@@ -14,10 +14,11 @@ using atlas::math::Matrix;
 using atlas::math::Rng;
 using atlas::math::Vec;
 
-OnlineLearner::OnlineLearner(const OfflinePolicy* policy,
-                             const env::NetworkEnvironment& simulator,
-                             const env::NetworkEnvironment& real, OnlineOptions options)
+OnlineLearner::OnlineLearner(const OfflinePolicy* policy, env::EnvService& service,
+                             env::BackendId simulator, env::BackendId real,
+                             OnlineOptions options)
     : policy_(policy),
+      service_(service),
       simulator_(simulator),
       real_(real),
       options_(std::move(options)),
@@ -106,13 +107,13 @@ OnlineResult OnlineLearner::learn() {
     env::Workload wl = options_.workload;
     wl.seed = options_.seed * 49979687 + iter;
     const double qoe_real =
-        real_.measure_qoe(config, wl, options_.sla.latency_threshold_ms);
+        service_.measure_qoe(real_, config, wl, options_.sla.latency_threshold_ms);
 
     // ---- Residual observation (one offline simulator episode) --------------
     env::Workload sim_wl = options_.workload;
     sim_wl.seed = ++sim_seed;
     const double qoe_sim =
-        simulator_.measure_qoe(config, sim_wl, options_.sla.latency_threshold_ms);
+        service_.measure_qoe(simulator_, config, sim_wl, options_.sla.latency_threshold_ms);
 
     OnlineStep step;
     step.config = config;
@@ -184,8 +185,9 @@ OnlineResult OnlineLearner::learn() {
         }
         env::Workload inner_wl = options_.workload;
         inner_wl.seed = ++sim_seed;
-        const double qs = simulator_.measure_qoe(env::SliceConfig::from_vec(greedy), inner_wl,
-                                                 options_.sla.latency_threshold_ms);
+        const double qs =
+            service_.measure_qoe(simulator_, env::SliceConfig::from_vec(greedy), inner_wl,
+                                 options_.sla.latency_threshold_ms);
         const auto g = residual_posterior(space_.normalize(greedy));
         const double q_est = std::clamp(qs + g.mean, 0.0, 1.0);
         lambda = std::max(0.0, lambda - options_.epsilon * (q_est - options_.sla.availability));

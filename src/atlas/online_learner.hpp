@@ -62,10 +62,11 @@ struct OnlineResult {
 class OnlineLearner {
  public:
   /// `policy` may be null only for OnlineModel::kGpWhole ("no stage 2").
-  /// `simulator` is the augmented simulator used for residual observations
-  /// and offline acceleration; `real` is the live network.
-  OnlineLearner(const OfflinePolicy* policy, const env::NetworkEnvironment& simulator,
-                const env::NetworkEnvironment& real, OnlineOptions options);
+  /// `simulator` names the augmented offline backend used for residual
+  /// observations and offline acceleration; `real` names the metered live
+  /// network. Every real query is accounted by the service as SLA exposure.
+  OnlineLearner(const OfflinePolicy* policy, env::EnvService& service,
+                env::BackendId simulator, env::BackendId real, OnlineOptions options);
 
   OnlineResult learn();
 
@@ -73,8 +74,9 @@ class OnlineLearner {
   double offline_qoe_estimate(const math::Vec& config_norm) const;
 
   const OfflinePolicy* policy_;
-  const env::NetworkEnvironment& simulator_;
-  const env::NetworkEnvironment& real_;
+  env::EnvService& service_;
+  env::BackendId simulator_;
+  env::BackendId real_;
   OnlineOptions options_;
   bo::BoxSpace space_;
 };

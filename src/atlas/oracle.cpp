@@ -13,21 +13,19 @@ using atlas::math::Vec;
 
 namespace {
 
-double validated_qoe(const env::NetworkEnvironment& target, const env::SliceConfig& config,
-                     const app::Sla& sla, const env::Workload& workload, std::uint64_t seed,
-                     std::size_t episodes, common::ThreadPool* pool) {
+double validated_qoe(env::EnvService& service, env::BackendId target,
+                     const env::SliceConfig& config, const app::Sla& sla,
+                     const env::Workload& workload, std::uint64_t seed,
+                     std::size_t episodes) {
   episodes = std::max<std::size_t>(1, episodes);
-  std::vector<double> qoes(episodes, 0.0);
-  auto eval = [&](std::size_t e) {
-    env::Workload wl = workload;
-    wl.seed = seed + e * 613;
-    qoes[e] = target.measure_qoe(config, wl, sla.latency_threshold_ms);
-  };
-  if (pool != nullptr && episodes > 1) {
-    pool->parallel_for(episodes, eval);
-  } else {
-    for (std::size_t e = 0; e < episodes; ++e) eval(e);
+  std::vector<env::EnvQuery> batch(episodes);
+  for (std::size_t e = 0; e < episodes; ++e) {
+    batch[e].backend = target;
+    batch[e].config = config;
+    batch[e].workload = workload;
+    batch[e].workload.seed = seed + e * 613;
   }
+  const auto qoes = service.measure_qoe_batch(batch, sla.latency_threshold_ms);
   double acc = 0.0;
   for (double q : qoes) acc += q;
   return acc / static_cast<double>(episodes);
@@ -35,22 +33,23 @@ double validated_qoe(const env::NetworkEnvironment& target, const env::SliceConf
 
 }  // namespace
 
-OracleOptimum find_optimal_config(const env::NetworkEnvironment& target, const app::Sla& sla,
-                                  const env::Workload& workload, std::size_t budget,
-                                  std::uint64_t seed, common::ThreadPool* pool,
+OracleOptimum find_optimal_config(env::EnvService& service, env::BackendId target,
+                                  const app::Sla& sla, const env::Workload& workload,
+                                  std::size_t budget, std::uint64_t seed,
                                   std::size_t validation_episodes) {
   Rng rng(seed * 2654435761ULL + 1);
   const auto space = env::SliceConfig::space();
   OracleOptimum best;
   best.config = env::SliceConfig{};  // full resources: always a feasible fallback
   best.usage = best.config.resource_usage();
-  best.qoe = validated_qoe(target, best.config, sla, workload, seed, validation_episodes, pool);
+  best.qoe =
+      validated_qoe(service, target, best.config, sla, workload, seed, validation_episodes);
 
   auto consider = [&](const env::SliceConfig& cand) {
     const double usage = cand.resource_usage();
     if (usage >= best.usage) return;  // cannot improve; skip the expensive QoE
     const double qoe =
-        validated_qoe(target, cand, sla, workload, seed + 17, validation_episodes, pool);
+        validated_qoe(service, target, cand, sla, workload, seed + 17, validation_episodes);
     if (qoe >= sla.availability) {
       best.config = cand;
       best.usage = usage;

@@ -4,8 +4,7 @@
 
 #include "app/qoe.hpp"
 #include "atlas/online_learner.hpp"
-#include "common/thread_pool.hpp"
-#include "env/environment.hpp"
+#include "env/env_service.hpp"
 
 namespace atlas::core {
 
@@ -18,12 +17,13 @@ struct OracleOptimum {
   double qoe = 0.0;    ///< Q(phi*) averaged over validation episodes.
 };
 
-/// Search for the minimum-usage configuration meeting the SLA on `target`.
-/// Random exploration + local refinement around the best feasible point;
-/// QoE of candidates is averaged over `validation_episodes` seeds.
-OracleOptimum find_optimal_config(const env::NetworkEnvironment& target, const app::Sla& sla,
-                                  const env::Workload& workload, std::size_t budget,
-                                  std::uint64_t seed, common::ThreadPool* pool = nullptr,
+/// Search for the minimum-usage configuration meeting the SLA on the
+/// `target` backend of `service`. Random exploration + local refinement
+/// around the best feasible point; QoE of candidates is averaged over
+/// `validation_episodes` seeds (batched through the service).
+OracleOptimum find_optimal_config(env::EnvService& service, env::BackendId target,
+                                  const app::Sla& sla, const env::Workload& workload,
+                                  std::size_t budget, std::uint64_t seed,
                                   std::size_t validation_episodes = 3);
 
 /// Cumulative regrets of an online trace against phi* (paper Eqs. 10-11):

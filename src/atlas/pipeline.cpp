@@ -4,53 +4,105 @@
 
 namespace atlas::core {
 
-AtlasPipeline::AtlasPipeline(const env::NetworkEnvironment& real, PipelineOptions options,
-                             common::ThreadPool* pool)
-    : real_(real), options_(std::move(options)), pool_(pool) {}
+AtlasPipeline::AtlasPipeline(env::EnvService& service, env::BackendId real,
+                             PipelineOptions options)
+    : service_(service), real_(real), options_(std::move(options)) {}
 
-PipelineResult AtlasPipeline::run() {
+namespace {
+
+/// Counters accumulated since `start` — so re-running a pipeline on a shared
+/// (long-lived) service reports this run's queries, not the service's
+/// lifetime totals.
+env::EnvServiceStats stats_since(const env::EnvServiceStats& start,
+                                 env::EnvServiceStats now) {
+  for (std::size_t i = 0; i < start.backends.size() && i < now.backends.size(); ++i) {
+    now.backends[i].queries -= start.backends[i].queries;
+    now.backends[i].cache_hits -= start.backends[i].cache_hits;
+    now.backends[i].cache_misses -= start.backends[i].cache_misses;
+    now.backends[i].episodes -= start.backends[i].episodes;
+  }
+  now.offline_queries -= start.offline_queries;
+  now.online_queries -= start.online_queries;
+  now.cache_hits -= start.cache_hits;
+  now.cache_misses -= start.cache_misses;
+  return now;
+}
+
+}  // namespace
+
+PipelineResult AtlasPipeline::run(const PipelineCallback& progress) {
   PipelineResult result;
+  const env::EnvServiceStats start_stats = service_.stats();
+
+  auto emit = [&](PipelineStage stage, bool finished, bool skipped) {
+    if (!progress) return;
+    PipelineProgress event;
+    event.stage = stage;
+    event.finished = finished;
+    event.skipped = skipped;
+    event.env_stats = stats_since(start_stats, service_.stats());
+    progress(event);
+  };
+  auto stage_scope = [&](PipelineStage stage, bool enabled, auto&& body) {
+    if (!enabled) {
+      emit(stage, /*finished=*/true, /*skipped=*/true);
+      return;
+    }
+    emit(stage, /*finished=*/false, /*skipped=*/false);
+    body();
+    emit(stage, /*finished=*/true, /*skipped=*/false);
+  };
 
   // ---- Stage 1: learning-based simulator -----------------------------------
   env::SimParams sim_params = env::SimParams::defaults();
-  if (options_.run_stage1) {
-    SimCalibrator calibrator(real_, options_.stage1, pool_);
+  stage_scope(PipelineStage::kCalibration, options_.run_stage1, [&] {
+    SimCalibrator calibrator(service_, real_, options_.stage1);
     result.calibration = calibrator.calibrate();
     sim_params = result.calibration.best_params;
     common::log_info("pipeline: stage 1 done, kl ", result.calibration.original_kl, " -> ",
                      result.calibration.best_kl);
-  }
-  env::Simulator augmented(sim_params);
+  });
+  const env::BackendId augmented = service_.add_simulator(sim_params, "augmented-sim");
 
   // ---- Stage 2: offline training --------------------------------------------
   const OfflinePolicy* policy = nullptr;
-  if (options_.run_stage2) {
-    OfflineTrainer trainer(augmented, options_.stage2, pool_);
+  stage_scope(PipelineStage::kOfflineTraining, options_.run_stage2, [&] {
+    OfflineTrainer trainer(service_, augmented, options_.stage2);
     result.offline = trainer.train();
     policy = &result.offline.policy;
     common::log_info("pipeline: stage 2 done, best usage ", result.offline.policy.best_usage,
                      " qoe ", result.offline.policy.best_qoe);
-  }
+  });
 
   // ---- Stage 3: online learning ---------------------------------------------
   OnlineOptions stage3 = options_.stage3;
   if (!options_.run_stage2) stage3.model = OnlineModel::kGpWhole;
   if (options_.run_stage3) {
-    OnlineLearner learner(policy, augmented, real_, stage3);
-    result.online = learner.learn();
-  } else if (policy != nullptr) {
+    stage_scope(PipelineStage::kOnlineLearning, true, [&] {
+      OnlineLearner learner(policy, service_, augmented, real_, stage3);
+      result.online = learner.learn();
+    });
+  } else {
     // "No stage 3": keep applying the offline optimum and just observe.
-    for (std::size_t i = 0; i < stage3.iterations; ++i) {
-      env::Workload wl = stage3.workload;
-      wl.seed = stage3.seed * 49979687 + i;
-      OnlineStep step;
-      step.config = policy->best_config;
-      step.usage = policy->best_config.resource_usage();
-      step.qoe_real = real_.measure_qoe(policy->best_config, wl, stage3.sla.latency_threshold_ms);
-      step.qoe_sim = policy->best_qoe;
-      result.online.history.push_back(step);
+    // These observations are still metered real interactions, so the skipped
+    // event is emitted AFTER the loop — its env_stats include the exposure.
+    if (policy != nullptr) {
+      for (std::size_t i = 0; i < stage3.iterations; ++i) {
+        env::Workload wl = stage3.workload;
+        wl.seed = stage3.seed * 49979687 + i;
+        OnlineStep step;
+        step.config = policy->best_config;
+        step.usage = policy->best_config.resource_usage();
+        step.qoe_real =
+            service_.measure_qoe(real_, policy->best_config, wl, stage3.sla.latency_threshold_ms);
+        step.qoe_sim = policy->best_qoe;
+        result.online.history.push_back(step);
+      }
     }
+    emit(PipelineStage::kOnlineLearning, /*finished=*/true, /*skipped=*/true);
   }
+
+  result.env_stats = stats_since(start_stats, service_.stats());
   return result;
 }
 

@@ -14,9 +14,8 @@ using atlas::math::Matrix;
 using atlas::math::Rng;
 using atlas::math::Vec;
 
-Dlda::Dlda(const env::NetworkEnvironment& offline_env, DldaOptions options,
-           common::ThreadPool* pool)
-    : offline_env_(offline_env), options_(std::move(options)), pool_(pool) {}
+Dlda::Dlda(env::EnvService& service, env::BackendId offline_env, DldaOptions options)
+    : service_(service), offline_env_(offline_env), options_(std::move(options)) {}
 
 double Dlda::train_offline() {
   const auto space = env::SliceConfig::space();
@@ -32,8 +31,8 @@ double Dlda::train_offline() {
   }
 
   dataset_x_.assign(total, Vec(dims, 0.0));
-  dataset_y_.assign(total, 0.0);
-  auto eval_one = [&](std::size_t idx) {
+  std::vector<env::EnvQuery> batch(total);
+  for (std::size_t idx = 0; idx < total; ++idx) {
     Vec u(dims);
     std::size_t rem = idx;
     for (std::size_t d = 0; d < dims; ++d) {
@@ -41,17 +40,12 @@ double Dlda::train_offline() {
       rem /= g;
     }
     dataset_x_[idx] = u;
-    env::Workload wl = options_.workload;
-    wl.seed = options_.seed * 83492791 + idx;
-    dataset_y_[idx] =
-        offline_env_.measure_qoe(env::SliceConfig::from_vec(space.denormalize(u)), wl,
-                                 options_.sla.latency_threshold_ms);
-  };
-  if (pool_ != nullptr) {
-    pool_->parallel_for(total, eval_one);
-  } else {
-    for (std::size_t i = 0; i < total; ++i) eval_one(i);
+    batch[idx].backend = offline_env_;
+    batch[idx].config = env::SliceConfig::from_vec(space.denormalize(u));
+    batch[idx].workload = options_.workload;
+    batch[idx].workload.seed = options_.seed * 83492791 + idx;
   }
+  dataset_y_ = service_.measure_qoe_batch(batch, options_.sla.latency_threshold_ms);
   common::log_info("dlda: grid dataset of ", total, " configurations collected");
 
   Rng rng(options_.seed);
@@ -106,7 +100,7 @@ env::SliceConfig Dlda::select_offline(Rng& rng) const {
   return select_with(*teacher_, rng);
 }
 
-OnlineTrace Dlda::learn_online(const env::NetworkEnvironment& real) {
+OnlineTrace Dlda::learn_online(env::BackendId real) {
   if (!teacher_) throw std::logic_error("Dlda: train_offline() first");
   Rng rng(options_.seed * 31 + 7);
   OnlineTrace trace;
@@ -120,7 +114,8 @@ OnlineTrace Dlda::learn_online(const env::NetworkEnvironment& real) {
     const env::SliceConfig config = select_with(student, rng);
     env::Workload wl = options_.workload;
     wl.seed = options_.seed * 15487469 + iter;
-    const double qoe = real.measure_qoe(config, wl, options_.sla.latency_threshold_ms);
+    const double qoe =
+        service_.measure_qoe(real, config, wl, options_.sla.latency_threshold_ms);
     trace.configs.push_back(config);
     trace.usage.push_back(config.resource_usage());
     trace.qoe.push_back(qoe);

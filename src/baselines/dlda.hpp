@@ -5,8 +5,7 @@
 
 #include "app/qoe.hpp"
 #include "baselines/online_trace.hpp"
-#include "common/thread_pool.hpp"
-#include "env/environment.hpp"
+#include "env/env_service.hpp"
 #include "math/rng.hpp"
 #include "nn/mlp.hpp"
 
@@ -41,10 +40,10 @@ struct DldaOptions {
 
 class Dlda {
  public:
-  /// `offline_env` generates the grid dataset (the paper grid-searches the
-  /// simulator); `pool` parallelizes dataset collection.
-  Dlda(const env::NetworkEnvironment& offline_env, DldaOptions options,
-       common::ThreadPool* pool = nullptr);
+  /// `offline_env` names the offline backend of `service` that generates the
+  /// grid dataset (the paper grid-searches the simulator); collection runs
+  /// as one batched EnvService request.
+  Dlda(env::EnvService& service, env::BackendId offline_env, DldaOptions options);
 
   /// Collect the grid dataset and train the teacher. Must run before
   /// select()/learn_online(). Returns the final training MSE.
@@ -57,17 +56,17 @@ class Dlda {
   /// Predicted QoE of a configuration under the teacher (clamped to [0,1]).
   double predict_qoe(const env::SliceConfig& config) const;
 
-  /// Online transfer loop against `real`.
-  OnlineTrace learn_online(const env::NetworkEnvironment& real);
+  /// Online transfer loop against the metered `real` backend.
+  OnlineTrace learn_online(env::BackendId real);
 
   std::size_t dataset_size() const noexcept { return dataset_y_.size(); }
 
  private:
   env::SliceConfig select_with(const nn::Mlp& model, atlas::math::Rng& rng) const;
 
-  const env::NetworkEnvironment& offline_env_;
+  env::EnvService& service_;
+  env::BackendId offline_env_;
   DldaOptions options_;
-  common::ThreadPool* pool_;
   std::optional<nn::Mlp> teacher_;
   std::vector<math::Vec> dataset_x_;
   math::Vec dataset_y_;

@@ -7,8 +7,8 @@ namespace atlas::baselines {
 using atlas::math::Rng;
 using atlas::math::Vec;
 
-GpBaseline::GpBaseline(const env::NetworkEnvironment& real, GpBaselineOptions options)
-    : real_(real), options_(std::move(options)) {}
+GpBaseline::GpBaseline(env::EnvService& service, env::BackendId real, GpBaselineOptions options)
+    : service_(service), real_(real), options_(std::move(options)) {}
 
 OnlineTrace GpBaseline::learn() {
   Rng rng(options_.seed);
@@ -24,7 +24,8 @@ OnlineTrace GpBaseline::learn() {
     const env::SliceConfig config = env::SliceConfig::from_vec(a);
     env::Workload wl = options_.workload;
     wl.seed = options_.seed * 7177162611ULL + iter;
-    const double qoe = real_.measure_qoe(config, wl, options_.sla.latency_threshold_ms);
+    const double qoe =
+        service_.measure_qoe(real_, config, wl, options_.sla.latency_threshold_ms);
     const double usage = config.resource_usage();
     // Scalarized objective: usage plus a weighted SLA-violation penalty.
     const double objective =

@@ -3,7 +3,7 @@
 #include "app/qoe.hpp"
 #include "baselines/online_trace.hpp"
 #include "bo/gp_bo.hpp"
-#include "env/environment.hpp"
+#include "env/env_service.hpp"
 
 namespace atlas::baselines {
 
@@ -24,13 +24,15 @@ struct GpBaselineOptions {
 
 class GpBaseline {
  public:
-  GpBaseline(const env::NetworkEnvironment& real, GpBaselineOptions options);
+  /// `real` names the metered backend of `service` this baseline explores.
+  GpBaseline(env::EnvService& service, env::BackendId real, GpBaselineOptions options);
 
   /// Run the online loop; returns the per-iteration trace.
   OnlineTrace learn();
 
  private:
-  const env::NetworkEnvironment& real_;
+  env::EnvService& service_;
+  env::BackendId real_;
   GpBaselineOptions options_;
 };
 

@@ -11,8 +11,9 @@ using atlas::math::Matrix;
 using atlas::math::Rng;
 using atlas::math::Vec;
 
-VirtualEdge::VirtualEdge(const env::NetworkEnvironment& real, VirtualEdgeOptions options)
-    : real_(real), options_(std::move(options)) {}
+VirtualEdge::VirtualEdge(env::EnvService& service, env::BackendId real,
+                         VirtualEdgeOptions options)
+    : service_(service), real_(real), options_(std::move(options)) {}
 
 OnlineTrace VirtualEdge::learn() {
   Rng rng(options_.seed);
@@ -46,7 +47,8 @@ OnlineTrace VirtualEdge::learn() {
     const env::SliceConfig config = env::SliceConfig::from_vec(space.denormalize(probe));
     env::Workload wl = options_.workload;
     wl.seed = options_.seed * 86028121 + iter;
-    const double qoe = real_.measure_qoe(config, wl, options_.sla.latency_threshold_ms);
+    const double qoe =
+        service_.measure_qoe(real_, config, wl, options_.sla.latency_threshold_ms);
 
     trace.configs.push_back(config);
     trace.usage.push_back(config.resource_usage());

@@ -2,7 +2,7 @@
 
 #include "app/qoe.hpp"
 #include "baselines/online_trace.hpp"
-#include "env/environment.hpp"
+#include "env/env_service.hpp"
 #include "gp/gaussian_process.hpp"
 
 namespace atlas::baselines {
@@ -28,12 +28,14 @@ struct VirtualEdgeOptions {
 
 class VirtualEdge {
  public:
-  VirtualEdge(const env::NetworkEnvironment& real, VirtualEdgeOptions options);
+  /// `real` names the metered backend of `service` the descent runs against.
+  VirtualEdge(env::EnvService& service, env::BackendId real, VirtualEdgeOptions options);
 
   OnlineTrace learn();
 
  private:
-  const env::NetworkEnvironment& real_;
+  env::EnvService& service_;
+  env::BackendId real_;
   VirtualEdgeOptions options_;
 };
 

@@ -4,10 +4,13 @@
 
 namespace atlas::common {
 
+std::size_t ThreadPool::default_thread_count() noexcept {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
+  if (threads == 0) threads = default_thread_count();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

@@ -19,8 +19,13 @@ namespace atlas::common {
 /// a typed result. The destructor drains the queue and joins all workers.
 class ThreadPool {
  public:
-  /// Create a pool with `threads` workers (defaults to hardware concurrency,
-  /// at least one).
+  /// Worker count used when the caller passes 0: hardware concurrency, or 4
+  /// when the runtime cannot report it (`hardware_concurrency() == 0`).
+  /// The previous fallback degraded to a SINGLE worker on such platforms,
+  /// silently serializing every "parallel" Thompson-sampling batch.
+  static std::size_t default_thread_count() noexcept;
+
+  /// Create a pool with `threads` workers (0 = `default_thread_count()`).
   explicit ThreadPool(std::size_t threads = 0);
 
   ThreadPool(const ThreadPool&) = delete;

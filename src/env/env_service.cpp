@@ -1,0 +1,266 @@
+#include "env/env_service.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "env/profile.hpp"
+
+namespace atlas::env {
+
+namespace {
+
+/// Non-owning shared_ptr view of a caller-owned environment.
+std::shared_ptr<const NetworkEnvironment> borrow(const NetworkEnvironment& environment) {
+  return std::shared_ptr<const NetworkEnvironment>(&environment,
+                                                   [](const NetworkEnvironment*) {});
+}
+
+}  // namespace
+
+std::size_t EnvService::QueryKeyHash::operator()(const QueryKey& key) const noexcept {
+  std::size_t h = std::hash<BackendId>{}(key.backend);
+  for (double v : key.values) {
+    // splitmix-style combine over the raw bit patterns.
+    std::size_t x = std::hash<double>{}(v) + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    h ^= x ^ (x >> 31);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+EnvService::EnvService(EnvServiceOptions options)
+    : options_(options), pool_(options.threads) {}
+
+BackendId EnvService::register_backend(const NetworkEnvironment& environment, std::string name,
+                                       BackendKind kind) {
+  return register_backend(borrow(environment), std::move(name), kind);
+}
+
+BackendId EnvService::register_backend(std::shared_ptr<const NetworkEnvironment> environment,
+                                      std::string name, BackendKind kind) {
+  if (environment == nullptr) {
+    throw std::invalid_argument("EnvService: null environment");
+  }
+  std::scoped_lock lock(registry_mutex_);
+  Backend& backend = backends_.emplace_back();
+  backend.env = std::move(environment);
+  backend.name = std::move(name);
+  backend.kind = kind;
+  return static_cast<BackendId>(backends_.size() - 1);
+}
+
+BackendId EnvService::add_simulator(const SimParams& params, std::string name) {
+  return register_backend(std::make_shared<Simulator>(params), std::move(name),
+                          BackendKind::kOffline);
+}
+
+BackendId EnvService::add_real_network(std::string name) {
+  return register_backend(std::make_shared<RealNetwork>(), std::move(name),
+                          BackendKind::kOnline);
+}
+
+BackendId EnvService::add_multi_slice(NetworkProfile profile, std::vector<SliceSpec> background,
+                                      std::string name, BackendKind kind) {
+  return register_backend(
+      std::make_shared<MultiSliceEnvironment>(std::move(profile), std::move(background)),
+      std::move(name), kind);
+}
+
+std::size_t EnvService::backend_count() const {
+  std::scoped_lock lock(registry_mutex_);
+  return backends_.size();
+}
+
+const std::string& EnvService::backend_name(BackendId id) const {
+  return backend_at(id).name;
+}
+
+BackendKind EnvService::backend_kind(BackendId id) const { return backend_at(id).kind; }
+
+EnvService::Backend& EnvService::backend_at(BackendId id) {
+  std::scoped_lock lock(registry_mutex_);
+  if (id >= backends_.size()) {
+    throw std::out_of_range("EnvService: unknown backend id " + std::to_string(id));
+  }
+  return backends_[id];  // deque: reference stays valid as the registry grows
+}
+
+const EnvService::Backend& EnvService::backend_at(BackendId id) const {
+  return const_cast<EnvService*>(this)->backend_at(id);
+}
+
+EnvService::QueryKey EnvService::make_key(const EnvQuery& query) {
+  QueryKey key;
+  key.backend = query.backend;
+  auto& v = key.values;
+  v = query.config.to_vec();
+  v.push_back(static_cast<double>(query.workload.traffic));
+  v.push_back(query.workload.duration_ms);
+  v.push_back(query.workload.distance_m);
+  v.push_back(query.workload.random_walk ? 1.0 : 0.0);
+  v.push_back(static_cast<double>(query.workload.extra_users));
+  // Encode the 64-bit seed losslessly (a double only carries 53 bits).
+  v.push_back(static_cast<double>(query.workload.seed & 0xffffffffULL));
+  v.push_back(static_cast<double>(query.workload.seed >> 32));
+  if (query.sim_params) {
+    v.push_back(1.0);
+    const auto params = query.sim_params->to_vec();
+    v.insert(v.end(), params.begin(), params.end());
+  }
+  return key;
+}
+
+EpisodeResult EnvService::execute(const Backend& backend, const EnvQuery& query) const {
+  if (query.sim_params) {
+    // Per-query Table 3 override (Stage 1): run an ephemeral simulator
+    // profile, charged to the owning offline backend's accounting.
+    return run_episode(simulator_profile(*query.sim_params), query.config, query.workload);
+  }
+  return backend.env->run(query.config, query.workload);
+}
+
+EpisodeResult EnvService::run(const EnvQuery& query) {
+  Backend& backend = backend_at(query.backend);
+  if (query.sim_params && dynamic_cast<const Simulator*>(backend.env.get()) == nullptr) {
+    // An override replaces the episode's profile wholesale; allowing it on a
+    // metered backend would fake real interactions, and on a non-Simulator
+    // offline backend (e.g. multi-slice) it would silently drop the
+    // backend's own semantics.
+    throw std::invalid_argument("EnvService: sim_params overrides are only valid on Simulator "
+                                "backends ('" +
+                                backend.name + "' is not one)");
+  }
+  backend.queries.fetch_add(1, std::memory_order_relaxed);
+
+  // Tracing episodes carry per-frame payloads and are observational; keep
+  // them out of the memo table.
+  const bool cacheable = options_.cache_episodes && backend.kind == BackendKind::kOffline &&
+                         !query.workload.collect_traces;
+  QueryKey key;
+  if (cacheable) {
+    key = make_key(query);
+    std::scoped_lock lock(cache_mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      backend.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    backend.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  EpisodeResult result = execute(backend, query);
+  backend.episodes.fetch_add(1, std::memory_order_relaxed);
+
+  if (cacheable && options_.cache_capacity > 0) {
+    std::scoped_lock lock(cache_mutex_);
+    if (cache_.emplace(key, result).second) {
+      cache_order_.push_back(std::move(key));
+      while (cache_.size() > options_.cache_capacity) {
+        cache_.erase(cache_order_.front());
+        cache_order_.pop_front();
+      }
+    }
+  }
+  return result;
+}
+
+QueryHandle EnvService::submit(EnvQuery query) {
+  // Validate the backend id on the submitting thread, so bad handles fail
+  // fast instead of inside a worker.
+  (void)backend_at(query.backend);
+  const std::uint64_t id = next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto future = pool_.submit([this, q = std::move(query)] { return run(q); });
+  return QueryHandle(id, std::move(future));
+}
+
+std::vector<EpisodeResult> EnvService::run_batch(std::span<const EnvQuery> queries) {
+  std::vector<EpisodeResult> results(queries.size());
+  if (queries.empty()) return results;
+  if (queries.size() == 1) {
+    results[0] = run(queries[0]);
+    return results;
+  }
+  pool_.parallel_for(queries.size(), [&](std::size_t i) { results[i] = run(queries[i]); });
+  return results;
+}
+
+EpisodeResult EnvService::run(BackendId backend, const SliceConfig& config,
+                              const Workload& workload) {
+  EnvQuery q;
+  q.backend = backend;
+  q.config = config;
+  q.workload = workload;
+  return run(q);
+}
+
+double EnvService::measure_qoe(const EnvQuery& query, double threshold_ms) {
+  return run(query).qoe(threshold_ms);
+}
+
+double EnvService::measure_qoe(BackendId backend, const SliceConfig& config,
+                               const Workload& workload, double threshold_ms) {
+  return run(backend, config, workload).qoe(threshold_ms);
+}
+
+std::vector<double> EnvService::measure_qoe_batch(std::span<const EnvQuery> queries,
+                                                  double threshold_ms) {
+  const auto episodes = run_batch(queries);
+  std::vector<double> qoes(episodes.size(), 0.0);
+  for (std::size_t i = 0; i < episodes.size(); ++i) qoes[i] = episodes[i].qoe(threshold_ms);
+  return qoes;
+}
+
+BackendStats EnvService::backend_stats(BackendId id) const {
+  const Backend& backend = backend_at(id);
+  BackendStats stats;
+  stats.name = backend.name;
+  stats.kind = backend.kind;
+  stats.queries = backend.queries.load(std::memory_order_relaxed);
+  stats.cache_hits = backend.cache_hits.load(std::memory_order_relaxed);
+  stats.cache_misses = backend.cache_misses.load(std::memory_order_relaxed);
+  stats.episodes = backend.episodes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+EnvServiceStats EnvService::stats() const {
+  EnvServiceStats total;
+  const std::size_t n = backend_count();
+  total.backends.reserve(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    BackendStats s = backend_stats(static_cast<BackendId>(id));
+    if (s.kind == BackendKind::kOffline) {
+      total.offline_queries += s.queries;
+    } else {
+      total.online_queries += s.queries;
+    }
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.backends.push_back(std::move(s));
+  }
+  return total;
+}
+
+void EnvService::reset_stats() {
+  std::scoped_lock lock(registry_mutex_);
+  for (Backend& backend : backends_) {
+    backend.queries.store(0, std::memory_order_relaxed);
+    backend.cache_hits.store(0, std::memory_order_relaxed);
+    backend.cache_misses.store(0, std::memory_order_relaxed);
+    backend.episodes.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t EnvService::cache_size() const {
+  std::scoped_lock lock(cache_mutex_);
+  return cache_.size();
+}
+
+void EnvService::clear_cache() {
+  std::scoped_lock lock(cache_mutex_);
+  cache_.clear();
+  cache_order_.clear();
+}
+
+}  // namespace atlas::env

@@ -1,0 +1,218 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "env/environment.hpp"
+#include "env/multi_slice.hpp"
+#include "env/sim_params.hpp"
+
+namespace atlas::env {
+
+/// How queries against a backend are metered. Every Atlas stage is built on
+/// the same loop — query an environment, observe, update a model — but the
+/// COST of a query differs wildly: simulator episodes are free and cacheable,
+/// while every real-network episode is served to live slice users (SLA
+/// exposure, the paper's sample-efficiency currency).
+enum class BackendKind {
+  kOffline,  ///< Cheap, parallel, memoizable (simulator / multi-slice sim).
+  kOnline,   ///< Metered: each query is a real interaction; never cached.
+};
+
+/// Opaque handle to a registered backend. Index into the service registry.
+using BackendId = std::uint32_t;
+
+/// One environment query: which backend, which configuration interval.
+/// `sim_params` optionally overrides the Table 3 simulation parameters for
+/// this query only (Stage 1 evaluates a different parameter vector per
+/// query); it is valid only on offline backends.
+struct EnvQuery {
+  BackendId backend = 0;
+  SliceConfig config;
+  Workload workload;
+  std::optional<SimParams> sim_params;
+};
+
+/// Future-like handle returned by EnvService::submit.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  /// Monotonic id of the submission (0 for a default-constructed handle).
+  std::uint64_t id() const noexcept { return id_; }
+  bool valid() const noexcept { return future_.valid(); }
+
+  /// Block until the episode completes and return its result (at most once).
+  EpisodeResult get() { return future_.get(); }
+  void wait() const { future_.wait(); }
+
+ private:
+  friend class EnvService;
+  QueryHandle(std::uint64_t id, std::future<EpisodeResult> future)
+      : id_(id), future_(std::move(future)) {}
+
+  std::uint64_t id_ = 0;
+  std::future<EpisodeResult> future_;
+};
+
+/// Per-backend accounting. `queries` counts everything routed through the
+/// service; `episodes` counts actual environment executions (for online
+/// backends the two are equal — that equality IS the SLA-exposure meter).
+struct BackendStats {
+  std::string name;
+  BackendKind kind = BackendKind::kOffline;
+  std::uint64_t queries = 0;       ///< Queries answered (hit or executed).
+  std::uint64_t cache_hits = 0;    ///< Served from the memo table.
+  std::uint64_t cache_misses = 0;  ///< Cacheable lookups that executed.
+  std::uint64_t episodes = 0;      ///< Environment executions.
+};
+
+/// Service-wide accounting snapshot.
+struct EnvServiceStats {
+  std::vector<BackendStats> backends;
+  std::uint64_t offline_queries = 0;  ///< Cheap (simulator) queries.
+  std::uint64_t online_queries = 0;   ///< Metered real-network interactions.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  std::uint64_t total_queries() const noexcept { return offline_queries + online_queries; }
+  double hit_rate() const noexcept {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(lookups);
+  }
+};
+
+struct EnvServiceOptions {
+  std::size_t threads = 0;  ///< Worker threads (0 = ThreadPool default).
+  bool cache_episodes = true;          ///< Memoize offline-backend episodes.
+  std::size_t cache_capacity = 65536;  ///< Entries kept (FIFO eviction).
+};
+
+/// The environment-query service every Atlas component talks to (instead of
+/// owning environments and raw thread pools). One instance per deployment:
+///
+///   EnvService service;
+///   const auto real = service.add_real_network();
+///   const auto sim = service.add_simulator(params);
+///   auto results = service.run_batch(queries);   // parallel, in order
+///
+/// Guarantees:
+///  * `run_batch` returns results positionally matching its input span.
+///  * Offline episodes are memoized by (backend, config, workload, seed,
+///    sim-param override); environments are deterministic per seed, so a
+///    cache hit is bit-identical to a re-execution.
+///  * Online (metered) backends are NEVER cached: `episodes == queries`
+///    reproduces the paper's per-interaction SLA-exposure bookkeeping.
+///  * The service owns its thread pool; all methods are thread-safe.
+class EnvService {
+ public:
+  explicit EnvService(EnvServiceOptions options = {});
+
+  EnvService(const EnvService&) = delete;
+  EnvService& operator=(const EnvService&) = delete;
+
+  // ---- backend registry ----------------------------------------------------
+
+  /// Register a caller-owned environment. The reference must outlive the
+  /// service (use the shared_ptr overload for service-owned backends).
+  BackendId register_backend(const NetworkEnvironment& environment, std::string name,
+                             BackendKind kind);
+  BackendId register_backend(std::shared_ptr<const NetworkEnvironment> environment,
+                             std::string name, BackendKind kind);
+
+  /// Service-owned simulator with the given Table 3 parameters (offline).
+  BackendId add_simulator(const SimParams& params = SimParams::defaults(),
+                          std::string name = "simulator");
+  /// Service-owned testbed surrogate (online, metered).
+  BackendId add_real_network(std::string name = "real");
+  /// Service-owned multi-slice deployment: queries drive the target slice,
+  /// `background` tenants are fixed (offline unless `kind` says otherwise).
+  BackendId add_multi_slice(NetworkProfile profile, std::vector<SliceSpec> background,
+                            std::string name = "multi-slice",
+                            BackendKind kind = BackendKind::kOffline);
+
+  std::size_t backend_count() const;
+  const std::string& backend_name(BackendId id) const;
+  BackendKind backend_kind(BackendId id) const;
+
+  // ---- queries ---------------------------------------------------------------
+
+  /// Run one query synchronously on the calling thread (cache-aware).
+  EpisodeResult run(const EnvQuery& query);
+  EpisodeResult run(BackendId backend, const SliceConfig& config, const Workload& workload);
+
+  /// Enqueue one query on the service pool and return a handle to its result.
+  QueryHandle submit(EnvQuery query);
+
+  /// Run a batch across the pool; results are positionally ordered.
+  std::vector<EpisodeResult> run_batch(std::span<const EnvQuery> queries);
+
+  /// Convenience: QoE = Pr(latency <= threshold) of one episode / a batch.
+  double measure_qoe(const EnvQuery& query, double threshold_ms);
+  double measure_qoe(BackendId backend, const SliceConfig& config, const Workload& workload,
+                     double threshold_ms);
+  std::vector<double> measure_qoe_batch(std::span<const EnvQuery> queries, double threshold_ms);
+
+  // ---- accounting ------------------------------------------------------------
+
+  BackendStats backend_stats(BackendId id) const;
+  EnvServiceStats stats() const;
+  void reset_stats();
+
+  /// Entries currently memoized.
+  std::size_t cache_size() const;
+  void clear_cache();
+
+  std::size_t threads() const noexcept { return pool_.size(); }
+  common::ThreadPool& pool() noexcept { return pool_; }
+
+ private:
+  struct Backend {
+    std::shared_ptr<const NetworkEnvironment> env;
+    std::string name;
+    BackendKind kind = BackendKind::kOffline;
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> cache_hits{0};
+    std::atomic<std::uint64_t> cache_misses{0};
+    std::atomic<std::uint64_t> episodes{0};
+  };
+
+  /// Memoization key: every field that determines an episode's outcome.
+  struct QueryKey {
+    BackendId backend = 0;
+    std::vector<double> values;  ///< config ++ workload ++ sim-param override
+    bool operator==(const QueryKey&) const = default;
+  };
+  struct QueryKeyHash {
+    std::size_t operator()(const QueryKey& key) const noexcept;
+  };
+
+  Backend& backend_at(BackendId id);
+  const Backend& backend_at(BackendId id) const;
+  static QueryKey make_key(const EnvQuery& query);
+  EpisodeResult execute(const Backend& backend, const EnvQuery& query) const;
+
+  EnvServiceOptions options_;
+  common::ThreadPool pool_;
+
+  mutable std::mutex registry_mutex_;
+  std::deque<Backend> backends_;  ///< deque: stable references across growth.
+
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<QueryKey, EpisodeResult, QueryKeyHash> cache_;
+  std::deque<QueryKey> cache_order_;  ///< FIFO eviction order.
+
+  std::atomic<std::uint64_t> next_query_id_{0};
+};
+
+}  // namespace atlas::env

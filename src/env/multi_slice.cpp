@@ -1,5 +1,7 @@
 #include "env/multi_slice.hpp"
 
+#include <stdexcept>
+
 #include <cmath>
 #include <memory>
 
@@ -131,6 +133,33 @@ MultiSliceResult run_multi_slice_episode(const NetworkProfile& profile,
     out.per_slice.push_back(std::move(rt->result));
   }
   return out;
+}
+
+MultiSliceEnvironment::MultiSliceEnvironment(NetworkProfile profile,
+                                             std::vector<SliceSpec> background)
+    : profile_(std::move(profile)), background_(std::move(background)) {}
+
+EpisodeResult MultiSliceEnvironment::run(const SliceConfig& config,
+                                         const Workload& workload) const {
+  if (workload.random_walk || workload.extra_users != 0 || workload.collect_traces) {
+    // The shared-carrier runner has no per-slice mobility, background-user,
+    // or tracing support; silently running a stationary/untraced episode
+    // would corrupt mobility (Fig. 10) / isolation (Fig. 11) analyses.
+    throw std::invalid_argument(
+        "MultiSliceEnvironment: random_walk, extra_users, and collect_traces "
+        "are not supported by multi-slice episodes");
+  }
+  std::vector<SliceSpec> slices;
+  slices.reserve(background_.size() + 1);
+  SliceSpec target;
+  target.config = config;
+  target.traffic = workload.traffic;
+  target.distance_m = workload.distance_m;
+  slices.push_back(target);
+  slices.insert(slices.end(), background_.begin(), background_.end());
+  auto result =
+      run_multi_slice_episode(profile_, slices, workload.duration_ms, workload.seed);
+  return std::move(result.per_slice.front());
 }
 
 }  // namespace atlas::env

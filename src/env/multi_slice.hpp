@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "env/environment.hpp"
 #include "env/episode.hpp"
 
 namespace atlas::env {
@@ -32,5 +33,28 @@ struct MultiSliceResult {
 MultiSliceResult run_multi_slice_episode(const NetworkProfile& profile,
                                          const std::vector<SliceSpec>& slices,
                                          double duration_ms, std::uint64_t seed);
+
+/// One tenant's view of a multi-slice deployment as a queryable environment:
+/// the queried (config, workload) drives the TARGET slice (declared first,
+/// i.e. with scheduling priority), while `background` tenants keep fixed
+/// configurations. This is how per-slice Atlas instances and the EnvService
+/// backend registry see a shared carrier — one handle type for single-slice
+/// simulators, the real network, and multi-slice episodes alike.
+///
+/// Workload fields the shared-carrier runner cannot express (`random_walk`,
+/// `extra_users`, `collect_traces`) are rejected with std::invalid_argument
+/// rather than silently ignored.
+class MultiSliceEnvironment final : public NetworkEnvironment {
+ public:
+  MultiSliceEnvironment(NetworkProfile profile, std::vector<SliceSpec> background);
+
+  EpisodeResult run(const SliceConfig& config, const Workload& workload) const override;
+
+  std::size_t tenant_count() const noexcept { return background_.size() + 1; }
+
+ private:
+  NetworkProfile profile_;
+  std::vector<SliceSpec> background_;
+};
 
 }  // namespace atlas::env

@@ -1,7 +1,6 @@
 #include <gtest/gtest.h>
 
 #include "atlas/calibrator.hpp"
-#include "common/thread_pool.hpp"
 
 namespace ac = atlas::core;
 namespace ae = atlas::env;
@@ -26,9 +25,9 @@ ac::CalibrationOptions fast_options() {
 }  // namespace
 
 TEST(Stage1, ReducesWeightedDiscrepancy) {
-  ae::RealNetwork real;
-  atlas::common::ThreadPool pool(2);
-  ac::SimCalibrator calibrator(real, fast_options(), &pool);
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
+  ac::SimCalibrator calibrator(service, real, fast_options());
   const auto result = calibrator.calibrate();
   // Even a tiny budget must beat the spec-default simulator.
   EXPECT_LT(result.best_kl, result.original_kl);
@@ -38,11 +37,12 @@ TEST(Stage1, ReducesWeightedDiscrepancy) {
 }
 
 TEST(Stage1, RespectsParameterBall) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   auto opts = fast_options();
   opts.ball_radius = 0.2;
   opts.iterations = 10;
-  ac::SimCalibrator calibrator(real, opts);
+  ac::SimCalibrator calibrator(service, real, opts);
   const auto result = calibrator.calibrate();
   const auto x_hat = ae::SimParams::defaults();
   for (const auto& step : result.history) {
@@ -51,10 +51,11 @@ TEST(Stage1, RespectsParameterBall) {
 }
 
 TEST(Stage1, WeightedObjectiveConsistent) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   auto opts = fast_options();
   opts.iterations = 6;
-  ac::SimCalibrator calibrator(real, opts);
+  ac::SimCalibrator calibrator(service, real, opts);
   const auto result = calibrator.calibrate();
   for (const auto& step : result.history) {
     ASSERT_NEAR(step.weighted, step.kl + opts.alpha * step.distance, 1e-9);
@@ -66,23 +67,25 @@ TEST(Stage1, WeightedObjectiveConsistent) {
 }
 
 TEST(Stage1, GpSurrogateVariantRuns) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   auto opts = fast_options();
   opts.surrogate = ac::CalibratorSurrogate::kGpEi;
   opts.iterations = 16;
   opts.init_iterations = 8;
-  ac::SimCalibrator calibrator(real, opts);
+  ac::SimCalibrator calibrator(service, real, opts);
   const auto result = calibrator.calibrate();
   EXPECT_EQ(result.history.size(), 16u);  // sequential: one query per iteration
   EXPECT_LE(result.best_kl, result.original_kl);
 }
 
 TEST(Stage1, DiscrepancyOfIsDeterministicPerSeed) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   auto opts = fast_options();
   opts.iterations = 1;
   opts.init_iterations = 1;
-  ac::SimCalibrator calibrator(real, opts);
+  ac::SimCalibrator calibrator(service, real, opts);
   const double a = calibrator.discrepancy_of(ae::SimParams::defaults(), 99);
   const double b = calibrator.discrepancy_of(ae::SimParams::defaults(), 99);
   EXPECT_DOUBLE_EQ(a, b);

@@ -1,7 +1,6 @@
 #include <gtest/gtest.h>
 
 #include "atlas/offline_trainer.hpp"
-#include "common/thread_pool.hpp"
 
 namespace ac = atlas::core;
 namespace ae = atlas::env;
@@ -25,9 +24,9 @@ ac::OfflineOptions fast_options() {
 }  // namespace
 
 TEST(Stage2, FindsCheaperFeasibleConfiguration) {
-  ae::Simulator sim(ae::oracle_calibration());
-  atlas::common::ThreadPool pool(2);
-  ac::OfflineTrainer trainer(sim, fast_options(), &pool);
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator(ae::oracle_calibration());
+  ac::OfflineTrainer trainer(service, sim, fast_options());
   const auto result = trainer.train();
   // Must find something meeting the QoE requirement cheaper than full usage.
   EXPECT_GE(result.policy.best_qoe, 0.9);
@@ -37,10 +36,11 @@ TEST(Stage2, FindsCheaperFeasibleConfiguration) {
 }
 
 TEST(Stage2, TraceShapesAndRanges) {
-  ae::Simulator sim;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
   auto opts = fast_options();
   opts.iterations = 12;
-  ac::OfflineTrainer trainer(sim, opts);
+  ac::OfflineTrainer trainer(service, sim, opts);
   const auto result = trainer.train();
   EXPECT_EQ(result.trace.avg_usage.size(), 12u);
   EXPECT_EQ(result.trace.avg_qoe.size(), 12u);
@@ -56,10 +56,11 @@ TEST(Stage2, TraceShapesAndRanges) {
 }
 
 TEST(Stage2, PolicyPredictsQoeInUnitInterval) {
-  ae::Simulator sim;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
   auto opts = fast_options();
   opts.iterations = 15;
-  ac::OfflineTrainer trainer(sim, opts);
+  ac::OfflineTrainer trainer(service, sim, opts);
   const auto result = trainer.train();
   atlas::math::Rng rng(3);
   const auto space = ae::SliceConfig::space();
@@ -73,11 +74,11 @@ TEST(Stage2, PolicyPredictsQoeInUnitInterval) {
 TEST(Stage2, PolicyModelLearnsResourceQoeTrend) {
   // After training, the BNN should rate the full configuration clearly above
   // a starved one.
-  ae::Simulator sim(ae::oracle_calibration());
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator(ae::oracle_calibration());
   auto opts = fast_options();
   opts.iterations = 40;
-  atlas::common::ThreadPool pool(2);
-  ac::OfflineTrainer trainer(sim, opts, &pool);
+  ac::OfflineTrainer trainer(service, sim, opts);
   const auto result = trainer.train();
   ae::SliceConfig starved;
   starved.bandwidth_ul = 6;
@@ -88,14 +89,15 @@ TEST(Stage2, PolicyModelLearnsResourceQoeTrend) {
 }
 
 TEST(Stage2, GpSurrogateVariantsRun) {
-  ae::Simulator sim;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
   for (auto surrogate :
        {ac::OfflineSurrogate::kGpEi, ac::OfflineSurrogate::kGpPi, ac::OfflineSurrogate::kGpUcb}) {
     auto opts = fast_options();
     opts.surrogate = surrogate;
     opts.iterations = 14;
     opts.init_iterations = 8;
-    ac::OfflineTrainer trainer(sim, opts);
+    ac::OfflineTrainer trainer(service, sim, opts);
     const auto result = trainer.train();
     EXPECT_EQ(result.history.size(), 14u);  // sequential
     EXPECT_GT(result.policy.best_qoe, 0.0);
@@ -104,11 +106,12 @@ TEST(Stage2, GpSurrogateVariantsRun) {
 
 TEST(Stage2, LambdaRisesWhileInfeasible) {
   // With an impossible SLA (QoE >= 1.01) the dual variable must keep rising.
-  ae::Simulator sim;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
   auto opts = fast_options();
   opts.iterations = 10;
   opts.sla.availability = 1.01;
-  ac::OfflineTrainer trainer(sim, opts);
+  ac::OfflineTrainer trainer(service, sim, opts);
   const auto result = trainer.train();
   for (std::size_t i = 1; i < result.trace.lambda.size(); ++i) {
     ASSERT_GE(result.trace.lambda[i], result.trace.lambda[i - 1]);

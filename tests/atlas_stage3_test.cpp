@@ -3,7 +3,6 @@
 #include "atlas/offline_trainer.hpp"
 #include "atlas/online_learner.hpp"
 #include "atlas/oracle.hpp"
-#include "common/thread_pool.hpp"
 
 namespace ac = atlas::core;
 namespace ae = atlas::env;
@@ -14,9 +13,9 @@ namespace {
 class Stage3Test : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    sim_ = new ae::Simulator(ae::oracle_calibration());
-    real_ = new ae::RealNetwork();
-    pool_ = new atlas::common::ThreadPool(2);
+    service_ = new ae::EnvService(ae::EnvServiceOptions{.threads = 2});
+    sim_ = service_->add_simulator(ae::oracle_calibration());
+    real_ = service_->add_real_network();
     ac::OfflineOptions opts;
     opts.iterations = 30;
     opts.init_iterations = 10;
@@ -26,14 +25,12 @@ class Stage3Test : public ::testing::Test {
     opts.bnn.sizes = {8, 32, 32, 1};
     opts.train_epochs = 4;
     opts.seed = 11;
-    ac::OfflineTrainer trainer(*sim_, opts, pool_);
+    ac::OfflineTrainer trainer(*service_, sim_, opts);
     offline_ = new ac::OfflineResult(trainer.train());
   }
   static void TearDownTestSuite() {
     delete offline_;
-    delete pool_;
-    delete real_;
-    delete sim_;
+    delete service_;
   }
 
   static ac::OnlineOptions fast_online() {
@@ -46,21 +43,21 @@ class Stage3Test : public ::testing::Test {
     return opts;
   }
 
-  static ae::Simulator* sim_;
-  static ae::RealNetwork* real_;
-  static atlas::common::ThreadPool* pool_;
+  static ae::EnvService* service_;
+  static ae::BackendId sim_;
+  static ae::BackendId real_;
   static ac::OfflineResult* offline_;
 };
 
-ae::Simulator* Stage3Test::sim_ = nullptr;
-ae::RealNetwork* Stage3Test::real_ = nullptr;
-atlas::common::ThreadPool* Stage3Test::pool_ = nullptr;
+ae::EnvService* Stage3Test::service_ = nullptr;
+ae::BackendId Stage3Test::sim_ = 0;
+ae::BackendId Stage3Test::real_ = 0;
 ac::OfflineResult* Stage3Test::offline_ = nullptr;
 
 }  // namespace
 
 TEST_F(Stage3Test, RunsAndRecordsValidSteps) {
-  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, fast_online());
+  ac::OnlineLearner learner(&offline_->policy, *service_, sim_, real_, fast_online());
   const auto result = learner.learn();
   ASSERT_EQ(result.history.size(), 10u);
   for (const auto& step : result.history) {
@@ -76,7 +73,7 @@ TEST_F(Stage3Test, RunsAndRecordsValidSteps) {
 }
 
 TEST_F(Stage3Test, FirstActionIsOfflineOptimum) {
-  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, fast_online());
+  ac::OnlineLearner learner(&offline_->policy, *service_, sim_, real_, fast_online());
   const auto result = learner.learn();
   const auto expected = offline_->policy.best_config.to_vec();
   const auto got = result.history.front().config.to_vec();
@@ -90,19 +87,19 @@ TEST_F(Stage3Test, AblationsRun) {
     auto opts = fast_online();
     opts.iterations = 4;
     opts.model = model;
-    ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, opts);
+    ac::OnlineLearner learner(&offline_->policy, *service_, sim_, real_, opts);
     EXPECT_EQ(learner.learn().history.size(), 4u);
   }
   // kGpWhole with no offline policy ("no stage 2").
   auto opts = fast_online();
   opts.iterations = 4;
   opts.model = ac::OnlineModel::kGpWhole;
-  ac::OnlineLearner learner(nullptr, *sim_, *real_, opts);
+  ac::OnlineLearner learner(nullptr, *service_, sim_, real_, opts);
   EXPECT_EQ(learner.learn().history.size(), 4u);
 }
 
 TEST_F(Stage3Test, RequiresPolicyUnlessGpWhole) {
-  EXPECT_THROW(ac::OnlineLearner(nullptr, *sim_, *real_, fast_online()),
+  EXPECT_THROW(ac::OnlineLearner(nullptr, *service_, sim_, real_, fast_online()),
                std::invalid_argument);
 }
 
@@ -112,7 +109,7 @@ TEST_F(Stage3Test, AcquisitionAblationsRun) {
     auto opts = fast_online();
     opts.iterations = 4;
     opts.acquisition = acq;
-    ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, opts);
+    ac::OnlineLearner learner(&offline_->policy, *service_, sim_, real_, opts);
     EXPECT_EQ(learner.learn().history.size(), 4u);
   }
 }
@@ -120,17 +117,17 @@ TEST_F(Stage3Test, AcquisitionAblationsRun) {
 TEST_F(Stage3Test, NoOfflineAccelerationStillLearns) {
   auto opts = fast_online();
   opts.offline_acceleration = false;
-  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, opts);
+  ac::OnlineLearner learner(&offline_->policy, *service_, sim_, real_, opts);
   EXPECT_EQ(learner.learn().history.size(), opts.iterations);
 }
 
 TEST(Oracle, FindsFeasibleCheapConfig) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   atlas::app::Sla sla;
   ae::Workload wl;
   wl.duration_ms = 5000.0;
-  atlas::common::ThreadPool pool(2);
-  const auto oracle = ac::find_optimal_config(real, sla, wl, 60, 3, &pool, 2);
+  const auto oracle = ac::find_optimal_config(service, real, sla, wl, 60, 3, 2);
   EXPECT_GE(oracle.qoe, sla.availability);
   EXPECT_LE(oracle.usage, ae::SliceConfig{}.resource_usage());
 }

@@ -3,19 +3,19 @@
 #include "baselines/dlda.hpp"
 #include "baselines/gp_baseline.hpp"
 #include "baselines/virtual_edge.hpp"
-#include "common/thread_pool.hpp"
 
 namespace ab = atlas::baselines;
 namespace ae = atlas::env;
 
 TEST(GpBaselineOnline, ProducesFullTrace) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   ab::GpBaselineOptions opts;
   opts.iterations = 12;
   opts.init_samples = 5;
   opts.candidates = 300;
   opts.workload.duration_ms = 5000.0;
-  ab::GpBaseline baseline(real, opts);
+  ab::GpBaseline baseline(service, real, opts);
   const auto trace = baseline.learn();
   ASSERT_EQ(trace.usage.size(), 12u);
   ASSERT_EQ(trace.qoe.size(), 12u);
@@ -28,26 +28,26 @@ TEST(GpBaselineOnline, ProducesFullTrace) {
 }
 
 TEST(Dlda, GridDatasetSizeAndTeacherFit) {
-  ae::Simulator sim;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
   ab::DldaOptions opts;
   opts.grid_per_dim = 2;  // 2^6 = 64 episodes: CI-friendly
   opts.teacher_epochs = 150;
   opts.workload.duration_ms = 4000.0;
-  atlas::common::ThreadPool pool(2);
-  ab::Dlda dlda(sim, opts, &pool);
+  ab::Dlda dlda(service, sim, opts);
   const double mse = dlda.train_offline();
   EXPECT_EQ(dlda.dataset_size(), 64u);
   EXPECT_LT(mse, 0.05);  // teacher fits its own grid
 }
 
 TEST(Dlda, SelectionPrefersPredictedFeasibleMinUsage) {
-  ae::Simulator sim(ae::oracle_calibration());
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator(ae::oracle_calibration());
   ab::DldaOptions opts;
   opts.grid_per_dim = 3;
   opts.select_samples = 1500;
   opts.workload.duration_ms = 4000.0;
-  atlas::common::ThreadPool pool(2);
-  ab::Dlda dlda(sim, opts, &pool);
+  ab::Dlda dlda(service, sim, opts);
   dlda.train_offline();
   atlas::math::Rng rng(1);
   const auto config = dlda.select_offline(rng);
@@ -60,16 +60,18 @@ TEST(Dlda, SelectionPrefersPredictedFeasibleMinUsage) {
 }
 
 TEST(Dlda, RequiresOfflineTrainingFirst) {
-  ae::Simulator sim;
-  ab::Dlda dlda(sim, ab::DldaOptions{});
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
+  ab::Dlda dlda(service, sim, ab::DldaOptions{});
   atlas::math::Rng rng(2);
   EXPECT_THROW(dlda.select_offline(rng), std::logic_error);
   EXPECT_THROW(dlda.predict_qoe(ae::SliceConfig{}), std::logic_error);
 }
 
 TEST(Dlda, OnlineTransferRuns) {
-  ae::Simulator sim;
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
+  const auto real = service.add_real_network();
   ab::DldaOptions opts;
   opts.grid_per_dim = 2;
   opts.teacher_epochs = 80;
@@ -77,19 +79,19 @@ TEST(Dlda, OnlineTransferRuns) {
   opts.select_samples = 500;
   opts.student_epochs_per_step = 10;
   opts.workload.duration_ms = 4000.0;
-  atlas::common::ThreadPool pool(2);
-  ab::Dlda dlda(sim, opts, &pool);
+  ab::Dlda dlda(service, sim, opts);
   dlda.train_offline();
   const auto trace = dlda.learn_online(real);
   EXPECT_EQ(trace.usage.size(), 6u);
 }
 
 TEST(VirtualEdge, DescendsFromFullConfiguration) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   ab::VirtualEdgeOptions opts;
   opts.iterations = 12;
   opts.workload.duration_ms = 5000.0;
-  ab::VirtualEdge ve(real, opts);
+  ab::VirtualEdge ve(service, real, opts);
   const auto trace = ve.learn();
   ASSERT_EQ(trace.usage.size(), 12u);
   // Starts near the full configuration...

@@ -70,6 +70,14 @@ TEST(BenchOptions, EnvParsing) {
   unsetenv("ATLAS_TEST_BAD");
 }
 
+TEST(ThreadPool, DefaultThreadCountNeverZero) {
+  // The 0-argument fallback must request a real level of parallelism even
+  // when hardware_concurrency() is unknown (it returns 0 on some platforms).
+  EXPECT_GE(ac::ThreadPool::default_thread_count(), 1u);
+  ac::ThreadPool pool;
+  EXPECT_EQ(pool.size(), ac::ThreadPool::default_thread_count());
+}
+
 TEST(ThreadPool, RunsAllTasks) {
   ac::ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);

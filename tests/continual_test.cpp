@@ -2,7 +2,6 @@
 
 #include "atlas/calibrator.hpp"
 #include "atlas/offline_trainer.hpp"
-#include "common/thread_pool.hpp"
 
 namespace ac = atlas::core;
 namespace ae = atlas::env;
@@ -29,11 +28,12 @@ ac::CalibrationOptions tiny_calibration() {
 }  // namespace
 
 TEST(Continual, SearchCenterFocusesCandidates) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   auto opts = tiny_calibration();
   opts.ball_radius = 0.1;  // tight ball: every query must hug the center
   opts.search_center = ae::oracle_calibration();
-  ac::SimCalibrator calibrator(real, opts);
+  ac::SimCalibrator calibrator(service, real, opts);
   const auto result = calibrator.calibrate();
   const auto center = *opts.search_center;
   const auto space = ae::SimParams::space();
@@ -45,16 +45,17 @@ TEST(Continual, SearchCenterFocusesCandidates) {
 }
 
 TEST(Continual, WarmStartFindsLowerDiscrepancyThanColdOnTinyBudget) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   auto cold = tiny_calibration();
   cold.ball_radius = 0.45;
-  ac::SimCalibrator cold_cal(real, cold);
+  ac::SimCalibrator cold_cal(service, real, cold);
   const auto cold_result = cold_cal.calibrate();
 
   auto warm = cold;
   warm.search_center = ae::oracle_calibration();
   warm.ball_radius = 0.12;
-  ac::SimCalibrator warm_cal(real, warm);
+  ac::SimCalibrator warm_cal(service, real, warm);
   const auto warm_result = warm_cal.calibrate();
 
   // Starting near the previous optimum must not be worse on this budget.
@@ -62,10 +63,11 @@ TEST(Continual, WarmStartFindsLowerDiscrepancyThanColdOnTinyBudget) {
 }
 
 TEST(Continual, HaltonSamplerRuns) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   auto opts = tiny_calibration();
   opts.sampler = ac::CandidateSampler::kHalton;
-  ac::SimCalibrator calibrator(real, opts);
+  ac::SimCalibrator calibrator(service, real, opts);
   const auto result = calibrator.calibrate();
   EXPECT_EQ(result.avg_weighted_per_iter.size(), opts.iterations);
   const auto x_hat = ae::SimParams::defaults();
@@ -75,7 +77,8 @@ TEST(Continual, HaltonSamplerRuns) {
 }
 
 TEST(Replay, SeedsSurrogateDataset) {
-  ae::Simulator sim(ae::oracle_calibration());
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator(ae::oracle_calibration());
   // Build a replay buffer with a clear resource->QoE trend.
   std::vector<std::pair<ae::SliceConfig, double>> replay;
   for (int i = 0; i <= 10; ++i) {
@@ -96,7 +99,7 @@ TEST(Replay, SeedsSurrogateDataset) {
   opts.train_epochs = 6;
   opts.seed = 23;
   opts.replay = replay;
-  ac::OfflineTrainer trainer(sim, opts);
+  ac::OfflineTrainer trainer(service, sim, opts);
   const auto result = trainer.train();
   // With the replayed trend in the dataset, the model must rank a rich
   // configuration above a starved one even after this tiny budget.

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "atlas/online_learner.hpp"
+#include "env/env_service.hpp"
+
+namespace ae = atlas::env;
+namespace ac = atlas::core;
+
+namespace {
+
+ae::Workload short_workload(std::uint64_t seed) {
+  ae::Workload wl;
+  wl.duration_ms = 3000.0;
+  wl.seed = seed;
+  return wl;
+}
+
+ae::EnvQuery query(ae::BackendId backend, std::uint64_t seed,
+                   ae::SliceConfig config = ae::SliceConfig{}) {
+  ae::EnvQuery q;
+  q.backend = backend;
+  q.config = config;
+  q.workload = short_workload(seed);
+  return q;
+}
+
+}  // namespace
+
+TEST(EnvService, BatchReturnsResultsInSubmissionOrder) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 4});
+  const auto sim = service.add_simulator();
+
+  // Ground truth from a directly-owned environment, one seed per slot.
+  ae::Simulator direct;
+  std::vector<ae::EnvQuery> batch;
+  std::vector<ae::EpisodeResult> expected;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    ae::SliceConfig config;
+    config.bandwidth_ul = 10.0 + 3.0 * static_cast<double>(i);
+    batch.push_back(query(sim, 100 + i, config));
+    expected.push_back(direct.run(config, short_workload(100 + i)));
+  }
+
+  const auto results = service.run_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].latencies_ms, expected[i].latencies_ms) << "slot " << i;
+  }
+}
+
+TEST(EnvService, SubmitReturnsWorkingHandle) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
+
+  auto handle = service.submit(query(sim, 7));
+  ASSERT_TRUE(handle.valid());
+  EXPECT_GT(handle.id(), 0u);
+  const auto result = handle.get();
+
+  ae::Simulator direct;
+  EXPECT_EQ(result.latencies_ms, direct.run(ae::SliceConfig{}, short_workload(7)).latencies_ms);
+}
+
+TEST(EnvService, CacheHitsAreDeterministicAndCounted) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
+
+  const auto first = service.run(query(sim, 42));
+  const auto second = service.run(query(sim, 42));
+  EXPECT_EQ(first.latencies_ms, second.latencies_ms);
+
+  const auto stats = service.backend_stats(sim);
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.episodes, 1u);  // the episode actually ran only once
+  EXPECT_EQ(service.cache_size(), 1u);
+
+  // A different seed is a different episode.
+  (void)service.run(query(sim, 43));
+  EXPECT_EQ(service.backend_stats(sim).episodes, 2u);
+}
+
+TEST(EnvService, OnlineBackendsAreNeverCached) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
+
+  (void)service.run(query(real, 5));
+  (void)service.run(query(real, 5));
+  const auto stats = service.backend_stats(real);
+  EXPECT_EQ(stats.kind, ae::BackendKind::kOnline);
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.episodes, 2u);  // metered: every query hit the network
+  EXPECT_EQ(service.cache_size(), 0u);
+}
+
+TEST(EnvService, SimParamsOverrideRunsAndCaches) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
+
+  auto q = query(sim, 9);
+  q.sim_params = ae::oracle_calibration();
+  const auto overridden = service.run(q);
+  const auto cached = service.run(q);
+  EXPECT_EQ(overridden.latencies_ms, cached.latencies_ms);
+  EXPECT_EQ(service.backend_stats(sim).episodes, 1u);
+
+  // The override must match an ephemeral simulator with those parameters...
+  ae::Simulator direct(ae::oracle_calibration());
+  EXPECT_EQ(overridden.latencies_ms,
+            direct.run(ae::SliceConfig{}, short_workload(9)).latencies_ms);
+  // ...and must key the cache separately from the backend's own parameters.
+  const auto defaults = service.run(query(sim, 9));
+  EXPECT_NE(defaults.latencies_ms, overridden.latencies_ms);
+}
+
+TEST(EnvService, SimParamsOverrideRejectedOffSimulatorBackends) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  // Metered backends must not be faked by an offline override...
+  const auto real = service.add_real_network();
+  auto q = query(real, 1);
+  q.sim_params = ae::SimParams::defaults();
+  EXPECT_THROW((void)service.run(q), std::invalid_argument);
+  // ...and non-Simulator offline backends (multi-slice) would silently lose
+  // their semantics under an override, so they are rejected too.
+  const auto shared = service.add_multi_slice(ae::simulator_profile(), {ae::SliceSpec{}});
+  auto mq = query(shared, 1);
+  mq.sim_params = ae::SimParams::defaults();
+  EXPECT_THROW((void)service.run(mq), std::invalid_argument);
+}
+
+TEST(EnvService, MultiSliceBackendRejectsUnsupportedWorkloadFields) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto shared = service.add_multi_slice(ae::simulator_profile(), {ae::SliceSpec{}});
+  auto q = query(shared, 1);
+  q.workload.extra_users = 2;  // the shared-carrier runner cannot express this
+  EXPECT_THROW((void)service.run(q), std::invalid_argument);
+}
+
+TEST(EnvService, UnknownBackendThrows) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  EXPECT_THROW((void)service.run(query(99, 1)), std::out_of_range);
+  EXPECT_THROW((void)service.submit(query(99, 1)), std::out_of_range);
+}
+
+TEST(EnvService, FifoEvictionBoundsTheCache) {
+  ae::EnvServiceOptions options;
+  options.threads = 1;
+  options.cache_capacity = 2;
+  ae::EnvService service(options);
+  const auto sim = service.add_simulator();
+
+  (void)service.run(query(sim, 1));  // A
+  (void)service.run(query(sim, 2));  // B
+  (void)service.run(query(sim, 3));  // C evicts A
+  EXPECT_EQ(service.cache_size(), 2u);
+  (void)service.run(query(sim, 1));  // A must re-execute
+  EXPECT_EQ(service.backend_stats(sim).episodes, 4u);
+}
+
+TEST(EnvService, MeasureQoeMatchesEpisodeQoe) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
+  const auto episode = service.run(query(sim, 11));
+  EXPECT_DOUBLE_EQ(service.measure_qoe(query(sim, 11), 300.0), episode.qoe(300.0));
+}
+
+TEST(EnvService, StatsSplitOfflineFromOnline) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
+  const auto real = service.add_real_network();
+
+  std::vector<ae::EnvQuery> batch{query(sim, 1), query(sim, 2), query(real, 3)};
+  (void)service.run_batch(batch);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.offline_queries, 2u);
+  EXPECT_EQ(stats.online_queries, 1u);
+  EXPECT_EQ(stats.total_queries(), 3u);
+  ASSERT_EQ(stats.backends.size(), 2u);
+  EXPECT_EQ(stats.backends[sim].name, "simulator");
+  EXPECT_EQ(stats.backends[real].name, "real");
+
+  service.reset_stats();
+  EXPECT_EQ(service.stats().total_queries(), 0u);
+}
+
+TEST(EnvService, OnlineAccountingMatchesOnlineHistoryLength) {
+  // The paper's sample-efficiency bookkeeping for free: after a stage-3 run,
+  // the metered backend's query count IS the number of online interactions.
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator(ae::oracle_calibration());
+  const auto real = service.add_real_network();
+
+  ac::OnlineOptions opts;
+  opts.iterations = 6;
+  opts.inner_updates = 2;
+  opts.candidates = 200;
+  opts.workload.duration_ms = 3000.0;
+  opts.model = ac::OnlineModel::kGpWhole;  // no offline policy needed
+  ac::OnlineLearner learner(nullptr, service, sim, real, opts);
+  const auto run = learner.learn();
+
+  EXPECT_EQ(run.history.size(), 6u);
+  EXPECT_EQ(service.backend_stats(real).queries, run.history.size());
+  EXPECT_EQ(service.backend_stats(real).episodes, run.history.size());
+  EXPECT_EQ(service.stats().online_queries, run.history.size());
+}

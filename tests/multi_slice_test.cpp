@@ -76,3 +76,26 @@ TEST(MultiSlice, ThreeTenantsWithDistinctConfigs) {
   EXPECT_GT(result.per_slice[2].latency_summary().mean,
             result.per_slice[0].latency_summary().mean);
 }
+
+TEST(MultiSliceEnvironment, AdapterMatchesTargetSliceOfRawEpisode) {
+  // The NetworkEnvironment adapter must reproduce slice 0 of the raw
+  // multi-slice runner bit-for-bit (same profile, same seed).
+  const ae::SliceSpec target = make_slice(18, 12, 0.7, 2);
+  const std::vector<ae::SliceSpec> background{make_slice(15, 10, 0.5)};
+
+  std::vector<ae::SliceSpec> all{target};
+  all.insert(all.end(), background.begin(), background.end());
+  const auto raw = ae::run_multi_slice_episode(ae::simulator_profile(), all, 6000.0, 21);
+
+  const ae::MultiSliceEnvironment adapter(ae::simulator_profile(), background);
+  ae::Workload wl;
+  wl.traffic = target.traffic;
+  wl.distance_m = target.distance_m;
+  wl.duration_ms = 6000.0;
+  wl.seed = 21;
+  const auto adapted = adapter.run(target.config, wl);
+
+  EXPECT_EQ(adapted.latencies_ms, raw.per_slice[0].latencies_ms);
+  EXPECT_EQ(adapted.frames_completed, raw.per_slice[0].frames_completed);
+  EXPECT_EQ(adapter.tenant_count(), 2u);
+}

@@ -2,7 +2,6 @@
 
 #include "atlas/offline_trainer.hpp"
 #include "atlas/online_learner.hpp"
-#include "common/thread_pool.hpp"
 
 namespace ac = atlas::core;
 namespace ae = atlas::env;
@@ -17,9 +16,9 @@ namespace {
 class OnlineSafetyTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    sim_ = new ae::Simulator(ae::oracle_calibration());
-    real_ = new ae::RealNetwork();
-    pool_ = new atlas::common::ThreadPool(2);
+    service_ = new ae::EnvService(ae::EnvServiceOptions{.threads = 2});
+    sim_ = service_->add_simulator(ae::oracle_calibration());
+    real_ = service_->add_real_network();
     ac::OfflineOptions opts;
     opts.iterations = 50;
     opts.init_iterations = 12;
@@ -29,14 +28,12 @@ class OnlineSafetyTest : public ::testing::Test {
     opts.bnn.sizes = {8, 32, 32, 1};
     opts.train_epochs = 5;
     opts.seed = 29;
-    ac::OfflineTrainer trainer(*sim_, opts, pool_);
+    ac::OfflineTrainer trainer(*service_, sim_, opts);
     offline_ = new ac::OfflineResult(trainer.train());
   }
   static void TearDownTestSuite() {
     delete offline_;
-    delete pool_;
-    delete real_;
-    delete sim_;
+    delete service_;
   }
 
   static ac::OnlineOptions online_options() {
@@ -59,21 +56,21 @@ class OnlineSafetyTest : public ::testing::Test {
     return n;
   }
 
-  static ae::Simulator* sim_;
-  static ae::RealNetwork* real_;
-  static atlas::common::ThreadPool* pool_;
+  static ae::EnvService* service_;
+  static ae::BackendId sim_;
+  static ae::BackendId real_;
   static ac::OfflineResult* offline_;
 };
 
-ae::Simulator* OnlineSafetyTest::sim_ = nullptr;
-ae::RealNetwork* OnlineSafetyTest::real_ = nullptr;
-atlas::common::ThreadPool* OnlineSafetyTest::pool_ = nullptr;
+ae::EnvService* OnlineSafetyTest::service_ = nullptr;
+ae::BackendId OnlineSafetyTest::sim_ = 0;
+ae::BackendId OnlineSafetyTest::real_ = 0;
 ac::OfflineResult* OnlineSafetyTest::offline_ = nullptr;
 
 }  // namespace
 
 TEST_F(OnlineSafetyTest, MajorityOfOnlineActionsMeetTheSla) {
-  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, online_options());
+  ac::OnlineLearner learner(&offline_->policy, *service_, sim_, real_, online_options());
   const auto run = learner.learn();
   // Conservative exploration: most online actions satisfy QoE >= E - noise.
   std::size_t hard_violations = 0;
@@ -84,7 +81,7 @@ TEST_F(OnlineSafetyTest, MajorityOfOnlineActionsMeetTheSla) {
 }
 
 TEST_F(OnlineSafetyTest, LateIterationsHoverAtTheRequirement) {
-  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, online_options());
+  ac::OnlineLearner learner(&offline_->policy, *service_, sim_, real_, online_options());
   const auto run = learner.learn();
   double tail_qoe = 0.0;
   const std::size_t tail = 8;
@@ -97,7 +94,7 @@ TEST_F(OnlineSafetyTest, LateIterationsHoverAtTheRequirement) {
 TEST_F(OnlineSafetyTest, BetaNeverExceedsClip) {
   auto opts = online_options();
   opts.clip_b = 1.5;
-  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, opts);
+  ac::OnlineLearner learner(&offline_->policy, *service_, sim_, real_, opts);
   const auto run = learner.learn();
   for (const auto& s : run.history) {
     ASSERT_LE(s.beta, 1.5);
@@ -107,12 +104,12 @@ TEST_F(OnlineSafetyTest, BetaNeverExceedsClip) {
 
 TEST_F(OnlineSafetyTest, ConservativeClipIsSaferThanTheoreticalGpUcb) {
   auto ours_opts = online_options();
-  ac::OnlineLearner ours(&offline_->policy, *sim_, *real_, ours_opts);
+  ac::OnlineLearner ours(&offline_->policy, *service_, sim_, real_, ours_opts);
   const auto ours_run = ours.learn();
 
   auto ucb_opts = online_options();
   ucb_opts.acquisition = atlas::bo::AcquisitionKind::kGpUcb;
-  ac::OnlineLearner ucb(&offline_->policy, *sim_, *real_, ucb_opts);
+  ac::OnlineLearner ucb(&offline_->policy, *service_, sim_, real_, ucb_opts);
   const auto ucb_run = ucb.learn();
 
   // Fixed seeds -> deterministic replay. The theoretically-scheduled GP-UCB
@@ -122,7 +119,7 @@ TEST_F(OnlineSafetyTest, ConservativeClipIsSaferThanTheoreticalGpUcb) {
 }
 
 TEST_F(OnlineSafetyTest, LambdaStaysNonNegativeAndBounded) {
-  ac::OnlineLearner learner(&offline_->policy, *sim_, *real_, online_options());
+  ac::OnlineLearner learner(&offline_->policy, *service_, sim_, real_, online_options());
   const auto run = learner.learn();
   for (const auto& s : run.history) {
     ASSERT_GE(s.lambda, 0.0);

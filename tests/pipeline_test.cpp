@@ -1,7 +1,6 @@
 #include <gtest/gtest.h>
 
 #include "atlas/pipeline.hpp"
-#include "common/thread_pool.hpp"
 
 namespace ac = atlas::core;
 namespace ae = atlas::env;
@@ -35,22 +34,62 @@ ac::PipelineOptions tiny_pipeline() {
 }  // namespace
 
 TEST(Pipeline, FullRunProducesAllTraces) {
-  ae::RealNetwork real;
-  atlas::common::ThreadPool pool(2);
-  ac::AtlasPipeline pipeline(real, tiny_pipeline(), &pool);
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
+  ac::AtlasPipeline pipeline(service, real, tiny_pipeline());
   const auto result = pipeline.run();
   EXPECT_FALSE(result.calibration.history.empty());
   EXPECT_FALSE(result.offline.history.empty());
   EXPECT_EQ(result.online.history.size(), 5u);
   // The calibrated simulator must not be worse than the original.
   EXPECT_LE(result.calibration.best_kl, result.calibration.original_kl);
+  // EnvService accounting is observable from the result: the only metered
+  // interactions are D_r collection (1 episode) plus stage 3's loop.
+  EXPECT_EQ(result.env_stats.online_queries, 1u + result.online.history.size());
+  EXPECT_GT(result.env_stats.offline_queries, 0u);
+}
+
+TEST(Pipeline, RepeatedRunsReportPerRunStats) {
+  // Pipelines share long-lived services; env_stats must cover one run only.
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
+  auto po = tiny_pipeline();
+  po.run_stage1 = false;
+  po.run_stage2 = false;  // keep the re-run cheap: stage 3 only (kGpWhole)
+  ac::AtlasPipeline pipeline(service, real, po);
+  const auto first = pipeline.run();
+  const auto second = pipeline.run();
+  EXPECT_EQ(first.env_stats.online_queries, first.online.history.size());
+  EXPECT_EQ(second.env_stats.online_queries, second.online.history.size());
+}
+
+TEST(Pipeline, ProgressCallbackSeesEveryStage) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
+  auto po = tiny_pipeline();
+  po.run_stage1 = false;  // skipped stages emit a single skipped event
+  ac::AtlasPipeline pipeline(service, real, po);
+  std::vector<ac::PipelineProgress> events;
+  pipeline.run([&](const ac::PipelineProgress& p) { events.push_back(p); });
+  // stage1 skipped (1 event) + stage2 start/finish + stage3 start/finish.
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].stage, ac::PipelineStage::kCalibration);
+  EXPECT_TRUE(events[0].skipped);
+  EXPECT_EQ(events[1].stage, ac::PipelineStage::kOfflineTraining);
+  EXPECT_FALSE(events[1].finished);
+  EXPECT_TRUE(events[2].finished);
+  EXPECT_EQ(events[3].stage, ac::PipelineStage::kOnlineLearning);
+  // Online exposure only accumulates once stage 3 runs.
+  EXPECT_EQ(events[3].env_stats.online_queries, 0u);
+  EXPECT_EQ(events[4].env_stats.online_queries, po.stage3.iterations);
 }
 
 TEST(Pipeline, NoStage1SkipsCalibration) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   auto po = tiny_pipeline();
   po.run_stage1 = false;
-  ac::AtlasPipeline pipeline(real, po);
+  ac::AtlasPipeline pipeline(service, real, po);
   const auto result = pipeline.run();
   EXPECT_TRUE(result.calibration.history.empty());
   EXPECT_FALSE(result.offline.history.empty());
@@ -58,20 +97,22 @@ TEST(Pipeline, NoStage1SkipsCalibration) {
 }
 
 TEST(Pipeline, NoStage2UsesGpWholeOnline) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   auto po = tiny_pipeline();
   po.run_stage2 = false;
-  ac::AtlasPipeline pipeline(real, po);
+  ac::AtlasPipeline pipeline(service, real, po);
   const auto result = pipeline.run();
   EXPECT_TRUE(result.offline.history.empty());
   EXPECT_EQ(result.online.history.size(), 5u);
 }
 
 TEST(Pipeline, NoStage3RepeatsOfflineOptimum) {
-  ae::RealNetwork real;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
   auto po = tiny_pipeline();
   po.run_stage3 = false;
-  ac::AtlasPipeline pipeline(real, po);
+  ac::AtlasPipeline pipeline(service, real, po);
   const auto result = pipeline.run();
   ASSERT_EQ(result.online.history.size(), po.stage3.iterations);
   const auto expected = result.offline.policy.best_config.to_vec();
