@@ -74,24 +74,30 @@ OfflineResult OfflineTrainer::train() {
                                 space_.normalize(config_raw));
   };
 
-  auto measure = [&](const std::vector<Vec>& queries) {
-    std::vector<env::EnvQuery> batch(queries.size());
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-      batch[i].backend = simulator_;
-      batch[i].config = env::SliceConfig::from_vec(queries[i]);
-      batch[i].workload = options_.workload;
-      batch[i].workload.seed = options_.seed * 15485863 + query_counter + i;
-    }
-    const auto qoes = service_.measure_qoe_batch(batch, options_.sla.latency_threshold_ms);
-    query_counter += queries.size();
-    return qoes;
+  // Overlapped querying: each selected configuration is submitted the moment
+  // it is chosen, so episode execution on the service pool overlaps the
+  // remaining acquisition work (Thompson draws, candidate scans) instead of
+  // blocking on a whole-batch run_batch after selection finishes. Seeds
+  // follow the same `base + query_counter` sequence the blocking path used,
+  // so results are bit-identical.
+  std::vector<env::QueryHandle> handles;
+  auto submit_query = [&](const Vec& config_raw) {
+    env::EnvQuery q;
+    q.backend = simulator_;
+    q.config = env::SliceConfig::from_vec(config_raw);
+    q.workload = options_.workload;
+    q.workload.seed = options_.seed * 15485863 + query_counter++;
+    handles.push_back(service_.submit(std::move(q)));
   };
 
   for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
     // ---- Select queries -----------------------------------------------------
     std::vector<Vec> queries;
     if (iter < options_.init_iterations) {
-      for (std::size_t q = 0; q < batch; ++q) queries.push_back(space_.sample(rng));
+      for (std::size_t q = 0; q < batch; ++q) {
+        queries.push_back(space_.sample(rng));
+        submit_query(queries.back());
+      }
     } else if (!use_gp) {
       // Parallel Thompson sampling over the BNN QoE model: minimize the
       // Lagrangian L = F(a) - lambda (Qhat(a) - E) per draw (Alg. 2).
@@ -110,6 +116,7 @@ OfflineResult OfflineTrainer::train() {
           }
         }
         queries.push_back(best_x);
+        submit_query(best_x);  // episode q runs while draw q+1 scans candidates
       }
     } else {
       // GP surrogate over QoE; acquisition evaluated on the Lagrangian whose
@@ -152,10 +159,15 @@ OfflineResult OfflineTrainer::train() {
         }
       }
       queries.push_back(best_x);
+      submit_query(best_x);
     }
 
-    // ---- Query the augmented simulator (parallel) ---------------------------
-    const std::vector<double> qoes = measure(queries);
+    // ---- Harvest the augmented-simulator episodes (submitted above) ---------
+    std::vector<double> qoes(handles.size());
+    for (std::size_t q = 0; q < handles.size(); ++q) {
+      qoes[q] = handles[q].get().qoe(options_.sla.latency_threshold_ms);
+    }
+    handles.clear();
 
     // ---- Record, update dual multiplier, track incumbent --------------------
     double iter_usage = 0.0;

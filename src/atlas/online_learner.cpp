@@ -103,17 +103,27 @@ OnlineResult OnlineLearner::learn() {
 
   for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
     // ---- Apply the configuration to the real network -----------------------
+    // The metered real-network episode and the simulator residual episode are
+    // independent queries on different backends: submit both and overlap them
+    // instead of serializing two blocking measure_qoe calls.
     const env::SliceConfig config = env::SliceConfig::from_vec(next_config);
-    env::Workload wl = options_.workload;
-    wl.seed = options_.seed * 49979687 + iter;
-    const double qoe_real =
-        service_.measure_qoe(real_, config, wl, options_.sla.latency_threshold_ms);
+    env::EnvQuery real_q;
+    real_q.backend = real_;
+    real_q.config = config;
+    real_q.workload = options_.workload;
+    real_q.workload.seed = options_.seed * 49979687 + iter;
 
     // ---- Residual observation (one offline simulator episode) --------------
-    env::Workload sim_wl = options_.workload;
-    sim_wl.seed = ++sim_seed;
-    const double qoe_sim =
-        service_.measure_qoe(simulator_, config, sim_wl, options_.sla.latency_threshold_ms);
+    env::EnvQuery sim_q;
+    sim_q.backend = simulator_;
+    sim_q.config = config;
+    sim_q.workload = options_.workload;
+    sim_q.workload.seed = ++sim_seed;
+
+    auto real_handle = service_.submit(std::move(real_q));
+    auto sim_handle = service_.submit(std::move(sim_q));
+    const double qoe_real = real_handle.get().qoe(options_.sla.latency_threshold_ms);
+    const double qoe_sim = sim_handle.get().qoe(options_.sla.latency_threshold_ms);
 
     OnlineStep step;
     step.config = config;

@@ -1,8 +1,11 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace atlas::common {
+
+thread_local const ThreadPool* ThreadPool::current_pool_ = nullptr;
 
 std::size_t ThreadPool::default_thread_count() noexcept {
   const std::size_t hw = std::thread::hardware_concurrency();
@@ -28,7 +31,10 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::on_worker_thread() const noexcept { return current_pool_ == this; }
+
 void ThreadPool::worker_loop() {
+  current_pool_ = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -45,11 +51,37 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(submit([&fn, i] { fn(i); }));
+  }
+  if (on_worker_thread()) {
+    // Caller-runs fallback: this worker's slot is occupied by the nested
+    // caller, so it drains queued tasks itself. Once the queue is empty,
+    // any still-pending future is being executed by another worker and
+    // waiting on it is deadlock-free.
+    for (auto& f : futures) {
+      while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+        if (!try_run_one()) {
+          f.wait();
+          break;
+        }
+      }
+    }
   }
   for (auto& f : futures) f.get();
 }

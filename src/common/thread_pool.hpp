@@ -17,6 +17,12 @@ namespace atlas::common {
 ///
 /// Tasks are arbitrary `void()` callables; use `submit` to obtain a future for
 /// a typed result. The destructor drains the queue and joins all workers.
+///
+/// Reentrancy: `parallel_for` may be called from inside a pool worker (e.g. a
+/// stage progress callback that issues a follow-up batch). A fixed-size pool
+/// would deadlock — the nested caller occupies a worker slot while its
+/// subtasks sit behind it in the queue — so the caller-runs fallback makes
+/// the nested caller drain queued tasks itself until its own have completed.
 class ThreadPool {
  public:
   /// Worker count used when the caller passes 0: hardware concurrency, or 4
@@ -35,6 +41,9 @@ class ThreadPool {
   /// Number of worker threads.
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const noexcept;
+
   /// Enqueue `fn` and return a future for its result.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
@@ -50,11 +59,16 @@ class ThreadPool {
   }
 
   /// Run `fn(i)` for i in [0, n) across the pool and wait for completion.
-  /// Blocks the caller; exceptions from tasks propagate from here.
+  /// Blocks the caller; exceptions from tasks propagate from here. Safe to
+  /// call from inside a pool worker (caller-runs fallback, see above).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
+  /// Pop and execute one queued task, if any. Used by the caller-runs path.
+  bool try_run_one();
+
+  static thread_local const ThreadPool* current_pool_;
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

@@ -15,7 +15,33 @@ std::shared_ptr<const NetworkEnvironment> borrow(const NetworkEnvironment& envir
                                                    [](const NetworkEnvironment*) {});
 }
 
+constexpr std::size_t kMaxCacheShards = 16;
+/// Below this many entries per stripe, striping costs exact-FIFO semantics
+/// without buying contention relief, so small caches stay single-striped.
+constexpr std::size_t kMinEntriesPerShard = 64;
+
+std::size_t resolve_shard_count(const EnvServiceOptions& options) {
+  if (!options.cache_episodes || options.cache_capacity == 0) return 1;
+  if (options.cache_shards != 0) {
+    return std::min(options.cache_shards, options.cache_capacity);
+  }
+  std::size_t shards = 1;
+  while (shards < kMaxCacheShards &&
+         options.cache_capacity / (shards * 2) >= kMinEntriesPerShard) {
+    shards *= 2;
+  }
+  return shards;
+}
+
 }  // namespace
+
+EpisodeResult QueryHandle::get() {
+  if (!future_.valid()) {
+    throw std::logic_error(
+        "QueryHandle::get(): handle is default-constructed, moved-from, or already consumed");
+  }
+  return future_.get();
+}
 
 std::size_t EnvService::QueryKeyHash::operator()(const QueryKey& key) const noexcept {
   std::size_t h = std::hash<BackendId>{}(key.backend);
@@ -31,7 +57,19 @@ std::size_t EnvService::QueryKeyHash::operator()(const QueryKey& key) const noex
 }
 
 EnvService::EnvService(EnvServiceOptions options)
-    : options_(options), pool_(options.threads) {}
+    : options_(options), pool_(options.threads) {
+  const std::size_t shard_count = resolve_shard_count(options_);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<CacheShard>());
+  }
+  shard_capacity_ = std::max<std::size_t>(1, options_.cache_capacity / shard_count);
+  registry_.store(std::make_shared<const RegistrySnapshot>(), std::memory_order_release);
+}
+
+bool EnvService::caching_enabled() const noexcept {
+  return options_.cache_episodes && options_.cache_capacity > 0;
+}
 
 BackendId EnvService::register_backend(const NetworkEnvironment& environment, std::string name,
                                        BackendKind kind) {
@@ -48,6 +86,12 @@ BackendId EnvService::register_backend(std::shared_ptr<const NetworkEnvironment>
   backend.env = std::move(environment);
   backend.name = std::move(name);
   backend.kind = kind;
+  // Publish a fresh snapshot; in-flight readers keep the old one alive.
+  auto snapshot = std::make_shared<RegistrySnapshot>();
+  snapshot->reserve(backends_.size());
+  for (Backend& b : backends_) snapshot->push_back(&b);
+  registry_.store(std::shared_ptr<const RegistrySnapshot>(std::move(snapshot)),
+                  std::memory_order_release);
   return static_cast<BackendId>(backends_.size() - 1);
 }
 
@@ -69,8 +113,8 @@ BackendId EnvService::add_multi_slice(NetworkProfile profile, std::vector<SliceS
 }
 
 std::size_t EnvService::backend_count() const {
-  std::scoped_lock lock(registry_mutex_);
-  return backends_.size();
+  const auto snapshot = registry_.load(std::memory_order_acquire);
+  return snapshot->size();
 }
 
 const std::string& EnvService::backend_name(BackendId id) const {
@@ -79,16 +123,18 @@ const std::string& EnvService::backend_name(BackendId id) const {
 
 BackendKind EnvService::backend_kind(BackendId id) const { return backend_at(id).kind; }
 
-EnvService::Backend& EnvService::backend_at(BackendId id) {
-  std::scoped_lock lock(registry_mutex_);
-  if (id >= backends_.size()) {
+EnvService::Backend& EnvService::backend_at(BackendId id) const {
+  const auto snapshot = registry_.load(std::memory_order_acquire);
+  if (id >= snapshot->size()) {
     throw std::out_of_range("EnvService: unknown backend id " + std::to_string(id));
   }
-  return backends_[id];  // deque: reference stays valid as the registry grows
+  return *(*snapshot)[id];  // deque storage: pointer stays valid as the registry grows
 }
 
-const EnvService::Backend& EnvService::backend_at(BackendId id) const {
-  return const_cast<EnvService*>(this)->backend_at(id);
+EnvService::CacheShard& EnvService::shard_for(std::size_t hash) const {
+  // The low bits pick the unordered_map bucket; mix in the high bits for the
+  // stripe so one stripe does not own whole bucket ranges.
+  return *shards_[(hash ^ (hash >> 16)) % shards_.size()];
 }
 
 EnvService::QueryKey EnvService::make_key(const EnvQuery& query) {
@@ -121,6 +167,73 @@ EpisodeResult EnvService::execute(const Backend& backend, const EnvQuery& query)
   return backend.env->run(query.config, query.workload);
 }
 
+/// Cacheable path. Exactly one caller per key becomes the leader: it counts
+/// the miss, executes the episode on its own thread (so waiters can never
+/// starve it of a pool slot), publishes the result to the memo table, and
+/// fulfils the shared future. Everyone else — a later thread racing on the
+/// same key, or a duplicate inside the same batch — counts a hit and either
+/// copies the memo entry or waits on the in-flight future.
+EpisodeResult EnvService::run_single_flight(Backend& backend, const EnvQuery& query) {
+  QueryKey key = make_key(query);
+  const std::size_t hash = QueryKeyHash{}(key);
+  CacheShard& shard = shard_for(hash);
+
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  {
+    std::scoped_lock lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      backend.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    const auto in_flight_it = shard.in_flight.find(key);
+    if (in_flight_it != shard.in_flight.end()) {
+      flight = in_flight_it->second;
+    } else {
+      flight = std::make_shared<InFlight>();
+      shard.in_flight.emplace(key, flight);
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    // Coalesced onto the leader's execution: account as a hit — the episode
+    // meter must count unique executions, not unique askers.
+    backend.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    return flight->future.get();
+  }
+
+  backend.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  EpisodeResult result;
+  try {
+    result = execute(backend, query);
+  } catch (...) {
+    {
+      std::scoped_lock lock(shard.mutex);
+      shard.in_flight.erase(key);
+    }
+    // Waiters rethrow; the key stays uncached so a later query retries.
+    flight->promise.set_exception(std::current_exception());
+    throw;
+  }
+  backend.episodes.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::scoped_lock lock(shard.mutex);
+    if (shard.entries.emplace(key, result).second) {
+      shard.order.push_back(key);
+      while (shard.entries.size() > shard_capacity_) {
+        shard.entries.erase(shard.order.front());
+        shard.order.pop_front();
+      }
+    }
+    shard.in_flight.erase(key);
+  }
+  flight->promise.set_value(result);
+  return result;
+}
+
 EpisodeResult EnvService::run(const EnvQuery& query) {
   Backend& backend = backend_at(query.backend);
   if (query.sim_params && dynamic_cast<const Simulator*>(backend.env.get()) == nullptr) {
@@ -135,34 +248,16 @@ EpisodeResult EnvService::run(const EnvQuery& query) {
   backend.queries.fetch_add(1, std::memory_order_relaxed);
 
   // Tracing episodes carry per-frame payloads and are observational; keep
-  // them out of the memo table.
-  const bool cacheable = options_.cache_episodes && backend.kind == BackendKind::kOffline &&
+  // them out of the memo table. With caching disabled (capacity 0) there is
+  // no table to consult at all: no lock, no phantom miss counters.
+  const bool cacheable = caching_enabled() && backend.kind == BackendKind::kOffline &&
                          !query.workload.collect_traces;
-  QueryKey key;
   if (cacheable) {
-    key = make_key(query);
-    std::scoped_lock lock(cache_mutex_);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      backend.cache_hits.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
-    backend.cache_misses.fetch_add(1, std::memory_order_relaxed);
+    return run_single_flight(backend, query);
   }
 
   EpisodeResult result = execute(backend, query);
   backend.episodes.fetch_add(1, std::memory_order_relaxed);
-
-  if (cacheable && options_.cache_capacity > 0) {
-    std::scoped_lock lock(cache_mutex_);
-    if (cache_.emplace(key, result).second) {
-      cache_order_.push_back(std::move(key));
-      while (cache_.size() > options_.cache_capacity) {
-        cache_.erase(cache_order_.front());
-        cache_order_.pop_front();
-      }
-    }
-  }
   return result;
 }
 
@@ -243,24 +338,30 @@ EnvServiceStats EnvService::stats() const {
 }
 
 void EnvService::reset_stats() {
-  std::scoped_lock lock(registry_mutex_);
-  for (Backend& backend : backends_) {
-    backend.queries.store(0, std::memory_order_relaxed);
-    backend.cache_hits.store(0, std::memory_order_relaxed);
-    backend.cache_misses.store(0, std::memory_order_relaxed);
-    backend.episodes.store(0, std::memory_order_relaxed);
+  const auto snapshot = registry_.load(std::memory_order_acquire);
+  for (Backend* backend : *snapshot) {
+    backend->queries.store(0, std::memory_order_relaxed);
+    backend->cache_hits.store(0, std::memory_order_relaxed);
+    backend->cache_misses.store(0, std::memory_order_relaxed);
+    backend->episodes.store(0, std::memory_order_relaxed);
   }
 }
 
 std::size_t EnvService::cache_size() const {
-  std::scoped_lock lock(cache_mutex_);
-  return cache_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    total += shard->entries.size();
+  }
+  return total;
 }
 
 void EnvService::clear_cache() {
-  std::scoped_lock lock(cache_mutex_);
-  cache_.clear();
-  cache_order_.clear();
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    shard->entries.clear();
+    shard->order.clear();
+  }
 }
 
 }  // namespace atlas::env

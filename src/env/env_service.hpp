@@ -53,8 +53,13 @@ class QueryHandle {
   bool valid() const noexcept { return future_.valid(); }
 
   /// Block until the episode completes and return its result (at most once).
-  EpisodeResult get() { return future_.get(); }
-  void wait() const { future_.wait(); }
+  /// Throws std::logic_error when the handle is default-constructed,
+  /// moved-from, or already consumed (never UB).
+  EpisodeResult get();
+  /// Block until the episode completes; no-op on an invalid handle.
+  void wait() const {
+    if (future_.valid()) future_.wait();
+  }
 
  private:
   friend class EnvService;
@@ -72,8 +77,8 @@ struct BackendStats {
   std::string name;
   BackendKind kind = BackendKind::kOffline;
   std::uint64_t queries = 0;       ///< Queries answered (hit or executed).
-  std::uint64_t cache_hits = 0;    ///< Served from the memo table.
-  std::uint64_t cache_misses = 0;  ///< Cacheable lookups that executed.
+  std::uint64_t cache_hits = 0;    ///< Served from the memo table or a coalesced in-flight episode.
+  std::uint64_t cache_misses = 0;  ///< Unique executions of cacheable queries.
   std::uint64_t episodes = 0;      ///< Environment executions.
 };
 
@@ -95,7 +100,12 @@ struct EnvServiceStats {
 struct EnvServiceOptions {
   std::size_t threads = 0;  ///< Worker threads (0 = ThreadPool default).
   bool cache_episodes = true;          ///< Memoize offline-backend episodes.
-  std::size_t cache_capacity = 65536;  ///< Entries kept (FIFO eviction).
+  std::size_t cache_capacity = 65536;  ///< Entries kept (0 disables caching AND single-flight).
+  /// Lock stripes over the memo/in-flight tables. 0 = auto: enough power-of-2
+  /// shards (up to 16) that each stripe still holds >= 64 entries, so small
+  /// caches keep exact global FIFO eviction while large ones stop
+  /// serializing every lookup on one mutex.
+  std::size_t cache_shards = 0;
 };
 
 /// The environment-query service every Atlas component talks to (instead of
@@ -111,9 +121,18 @@ struct EnvServiceOptions {
 ///  * Offline episodes are memoized by (backend, config, workload, seed,
 ///    sim-param override); environments are deterministic per seed, so a
 ///    cache hit is bit-identical to a re-execution.
-///  * Online (metered) backends are NEVER cached: `episodes == queries`
-///    reproduces the paper's per-interaction SLA-exposure bookkeeping.
-///  * The service owns its thread pool; all methods are thread-safe.
+///  * Single-flight: concurrent identical offline queries — racing threads or
+///    duplicates inside one batch — coalesce onto ONE episode execution whose
+///    result is shared. Exactly one of them counts a cache miss (and an
+///    episode); every coalesced waiter counts a cache hit, so the invariants
+///    `cache_misses == episodes` and `cache_hits + cache_misses == queries`
+///    hold for purely-cacheable workloads.
+///  * Online (metered) backends are NEVER cached or coalesced:
+///    `episodes == queries` reproduces the paper's per-interaction
+///    SLA-exposure bookkeeping.
+///  * The service owns its thread pool; all methods are thread-safe. Lookups
+///    are striped across `cache_shard_count()` locks and the backend registry
+///    is a read-mostly snapshot, so queries on different keys do not contend.
 class EnvService {
  public:
   explicit EnvService(EnvServiceOptions options = {});
@@ -154,7 +173,9 @@ class EnvService {
   /// Enqueue one query on the service pool and return a handle to its result.
   QueryHandle submit(EnvQuery query);
 
-  /// Run a batch across the pool; results are positionally ordered.
+  /// Run a batch across the pool; results are positionally ordered. Safe to
+  /// call from inside a pool worker (the caller-runs fallback in ThreadPool
+  /// drains nested work instead of deadlocking the fixed-size pool).
   std::vector<EpisodeResult> run_batch(std::span<const EnvQuery> queries);
 
   /// Convenience: QoE = Pr(latency <= threshold) of one episode / a batch.
@@ -169,9 +190,17 @@ class EnvService {
   EnvServiceStats stats() const;
   void reset_stats();
 
-  /// Entries currently memoized.
+  /// Entries currently memoized (summed across shards).
   std::size_t cache_size() const;
   void clear_cache();
+
+  /// Whether offline episodes are memoized at all (cache_episodes &&
+  /// cache_capacity > 0). When false, no cache lock is taken and no hit/miss
+  /// counter moves — capacity 0 means "caching disabled", not "a cache that
+  /// misses forever".
+  bool caching_enabled() const noexcept;
+  /// Number of lock stripes over the memo/in-flight tables.
+  std::size_t cache_shard_count() const noexcept { return shards_.size(); }
 
   std::size_t threads() const noexcept { return pool_.size(); }
   common::ThreadPool& pool() noexcept { return pool_; }
@@ -186,6 +215,10 @@ class EnvService {
     std::atomic<std::uint64_t> cache_misses{0};
     std::atomic<std::uint64_t> episodes{0};
   };
+  /// Read-mostly registry snapshot: rebuilt on (rare) registration, loaded
+  /// lock-free on every query. Backends live in a deque, so the pointers
+  /// stay valid as the registry grows.
+  using RegistrySnapshot = std::vector<Backend*>;
 
   /// Memoization key: every field that determines an episode's outcome.
   struct QueryKey {
@@ -197,22 +230,44 @@ class EnvService {
     std::size_t operator()(const QueryKey& key) const noexcept;
   };
 
-  Backend& backend_at(BackendId id);
-  const Backend& backend_at(BackendId id) const;
+  /// One coalesced execution: the leader fulfils the promise, waiters share
+  /// the future. Kept in the owning shard's in-flight table until done.
+  struct InFlight {
+    InFlight() : future(promise.get_future().share()) {}
+    std::promise<EpisodeResult> promise;
+    std::shared_future<EpisodeResult> future;
+  };
+
+  /// One lock stripe: memo entries, their FIFO eviction order, and the
+  /// in-flight table, all for keys hashing onto this stripe. Padded so
+  /// stripes do not false-share.
+  struct alignas(64) CacheShard {
+    std::mutex mutex;
+    std::unordered_map<QueryKey, EpisodeResult, QueryKeyHash> entries;
+    std::deque<QueryKey> order;  ///< FIFO eviction order.
+    std::unordered_map<QueryKey, std::shared_ptr<InFlight>, QueryKeyHash> in_flight;
+  };
+
+  Backend& backend_at(BackendId id) const;
+  CacheShard& shard_for(std::size_t hash) const;
   static QueryKey make_key(const EnvQuery& query);
   EpisodeResult execute(const Backend& backend, const EnvQuery& query) const;
+  EpisodeResult run_single_flight(Backend& backend, const EnvQuery& query);
 
   EnvServiceOptions options_;
-  common::ThreadPool pool_;
 
-  mutable std::mutex registry_mutex_;
-  std::deque<Backend> backends_;  ///< deque: stable references across growth.
+  mutable std::mutex registry_mutex_;  ///< Serializes writers only.
+  std::deque<Backend> backends_;       ///< deque: stable references across growth.
+  std::atomic<std::shared_ptr<const RegistrySnapshot>> registry_;
 
-  mutable std::mutex cache_mutex_;
-  std::unordered_map<QueryKey, EpisodeResult, QueryKeyHash> cache_;
-  std::deque<QueryKey> cache_order_;  ///< FIFO eviction order.
+  std::vector<std::unique_ptr<CacheShard>> shards_;
+  std::size_t shard_capacity_ = 0;  ///< Per-stripe share of cache_capacity.
 
   std::atomic<std::uint64_t> next_query_id_{0};
+
+  /// LAST member: destroyed first, so ~ThreadPool drains still-queued query
+  /// tasks while the registry/shards they touch are alive.
+  common::ThreadPool pool_;
 };
 
 }  // namespace atlas::env

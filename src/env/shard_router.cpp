@@ -1,0 +1,171 @@
+#include "env/shard_router.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace atlas::env {
+
+ShardRouter::ShardRouter(std::size_t shards, EnvServiceOptions options) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardRouter: shard count must be >= 1");
+  }
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<EnvService>(options));
+  }
+  routes_.store(std::make_shared<const RouteTable>(), std::memory_order_release);
+}
+
+BackendId ShardRouter::register_backend(std::shared_ptr<const NetworkEnvironment> environment,
+                                        std::string name, BackendKind kind) {
+  std::scoped_lock lock(routes_mutex_);
+  const auto current = routes_.load(std::memory_order_acquire);
+  const auto global = static_cast<BackendId>(current->size());
+  const auto shard = static_cast<std::uint32_t>(global % shards_.size());
+  const BackendId local =
+      shards_[shard]->register_backend(std::move(environment), std::move(name), kind);
+  auto next = std::make_shared<RouteTable>(*current);
+  next->push_back(Route{shard, local});
+  routes_.store(std::shared_ptr<const RouteTable>(std::move(next)), std::memory_order_release);
+  return global;
+}
+
+BackendId ShardRouter::add_simulator(const SimParams& params, std::string name) {
+  return register_backend(std::make_shared<Simulator>(params), std::move(name),
+                          BackendKind::kOffline);
+}
+
+BackendId ShardRouter::add_real_network(std::string name) {
+  return register_backend(std::make_shared<RealNetwork>(), std::move(name),
+                          BackendKind::kOnline);
+}
+
+BackendId ShardRouter::add_multi_slice(NetworkProfile profile, std::vector<SliceSpec> background,
+                                       std::string name, BackendKind kind) {
+  return register_backend(
+      std::make_shared<MultiSliceEnvironment>(std::move(profile), std::move(background)),
+      std::move(name), kind);
+}
+
+ShardRouter::Route ShardRouter::route_at(BackendId id) const {
+  const auto routes = routes_.load(std::memory_order_acquire);
+  if (id >= routes->size()) {
+    throw std::out_of_range("ShardRouter: unknown backend id " + std::to_string(id));
+  }
+  return (*routes)[id];
+}
+
+EnvQuery ShardRouter::to_local(const EnvQuery& query, const Route& route) const {
+  EnvQuery local = query;
+  local.backend = route.local;
+  return local;
+}
+
+std::size_t ShardRouter::backend_count() const {
+  return routes_.load(std::memory_order_acquire)->size();
+}
+
+const std::string& ShardRouter::backend_name(BackendId id) const {
+  const Route route = route_at(id);
+  return shards_[route.shard]->backend_name(route.local);
+}
+
+BackendKind ShardRouter::backend_kind(BackendId id) const {
+  const Route route = route_at(id);
+  return shards_[route.shard]->backend_kind(route.local);
+}
+
+EpisodeResult ShardRouter::run(const EnvQuery& query) {
+  const Route route = route_at(query.backend);
+  return shards_[route.shard]->run(to_local(query, route));
+}
+
+EpisodeResult ShardRouter::run(BackendId backend, const SliceConfig& config,
+                               const Workload& workload) {
+  EnvQuery q;
+  q.backend = backend;
+  q.config = config;
+  q.workload = workload;
+  return run(q);
+}
+
+QueryHandle ShardRouter::submit(EnvQuery query) {
+  const Route route = route_at(query.backend);
+  return shards_[route.shard]->submit(to_local(query, route));
+}
+
+std::vector<EpisodeResult> ShardRouter::run_batch(std::span<const EnvQuery> queries) {
+  std::vector<EpisodeResult> results(queries.size());
+  if (queries.empty()) return results;
+  // Fan out via the owning shards' pools and harvest positionally; shards
+  // execute their slices concurrently with each other. A query whose owning
+  // shard's pool THIS thread is a worker of runs inline (caller-runs):
+  // submitting it would park this worker on a future that sits behind it in
+  // its own queue — the nested-batch deadlock EnvService::run_batch avoids
+  // via ThreadPool's fallback.
+  std::vector<std::pair<std::size_t, QueryHandle>> handles;
+  handles.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Route route = route_at(queries[i].backend);
+    EnvService& service = *shards_[route.shard];
+    if (service.pool().on_worker_thread()) {
+      results[i] = service.run(to_local(queries[i], route));
+    } else {
+      handles.emplace_back(i, service.submit(to_local(queries[i], route)));
+    }
+  }
+  for (auto& [slot, handle] : handles) results[slot] = handle.get();
+  return results;
+}
+
+double ShardRouter::measure_qoe(const EnvQuery& query, double threshold_ms) {
+  return run(query).qoe(threshold_ms);
+}
+
+std::vector<double> ShardRouter::measure_qoe_batch(std::span<const EnvQuery> queries,
+                                                   double threshold_ms) {
+  const auto episodes = run_batch(queries);
+  std::vector<double> qoes(episodes.size(), 0.0);
+  for (std::size_t i = 0; i < episodes.size(); ++i) qoes[i] = episodes[i].qoe(threshold_ms);
+  return qoes;
+}
+
+BackendStats ShardRouter::backend_stats(BackendId id) const {
+  const Route route = route_at(id);
+  return shards_[route.shard]->backend_stats(route.local);
+}
+
+EnvServiceStats ShardRouter::stats() const {
+  EnvServiceStats total;
+  const auto routes = routes_.load(std::memory_order_acquire);
+  total.backends.reserve(routes->size());
+  for (const Route& route : *routes) {
+    BackendStats s = shards_[route.shard]->backend_stats(route.local);
+    if (s.kind == BackendKind::kOffline) {
+      total.offline_queries += s.queries;
+    } else {
+      total.online_queries += s.queries;
+    }
+    total.cache_hits += s.cache_hits;
+    total.cache_misses += s.cache_misses;
+    total.backends.push_back(std::move(s));
+  }
+  return total;
+}
+
+void ShardRouter::reset_stats() {
+  for (const auto& shard : shards_) shard->reset_stats();
+}
+
+std::size_t ShardRouter::cache_size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->cache_size();
+  return total;
+}
+
+void ShardRouter::clear_cache() {
+  for (const auto& shard : shards_) shard->clear_cache();
+}
+
+}  // namespace atlas::env

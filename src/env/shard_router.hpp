@@ -1,0 +1,98 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "env/env_service.hpp"
+
+namespace atlas::env {
+
+/// Fans a `BackendId`-keyed address space across M independent `EnvService`
+/// shards, so one process can drive thousands of per-slice Atlas instances
+/// (one backend per tenant slice) without funnelling every query through a
+/// single service's pool and cache stripes.
+///
+/// Global backend ids are assigned round-robin across shards at registration
+/// time — shard = id % M — so the mapping is computable and tenants spread
+/// evenly. Each shard is a full EnvService (own thread pool, own sharded
+/// memo/in-flight tables, own accounting); the router only translates ids
+/// and aggregates. All guarantees of EnvService (ordered batches,
+/// single-flight, exact accounting, metered online backends) hold per shard
+/// and therefore globally:
+///
+///   ShardRouter router(/*shards=*/8);
+///   for (auto& tenant : tenants) ids.push_back(router.add_simulator(tenant.params));
+///   auto results = router.run_batch(queries);   // fans out across shards
+///   auto stats = router.stats();                // global-id-ordered backends
+class ShardRouter {
+ public:
+  /// `shards` EnvService instances, each built from `options` (so a 16-thread
+  /// option on 8 shards is 128 workers total — size accordingly).
+  explicit ShardRouter(std::size_t shards, EnvServiceOptions options = {});
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Direct access to one shard service (e.g. to inspect its cache).
+  EnvService& shard(std::size_t index) { return *shards_.at(index); }
+  /// The shard service owning a global backend id.
+  EnvService& service_for(BackendId id) { return *shards_[route_at(id).shard]; }
+
+  // ---- backend registry (global ids) ----------------------------------------
+
+  BackendId register_backend(std::shared_ptr<const NetworkEnvironment> environment,
+                             std::string name, BackendKind kind);
+  BackendId add_simulator(const SimParams& params = SimParams::defaults(),
+                          std::string name = "simulator");
+  BackendId add_real_network(std::string name = "real");
+  BackendId add_multi_slice(NetworkProfile profile, std::vector<SliceSpec> background,
+                            std::string name = "multi-slice",
+                            BackendKind kind = BackendKind::kOffline);
+
+  std::size_t backend_count() const;
+  const std::string& backend_name(BackendId id) const;
+  BackendKind backend_kind(BackendId id) const;
+
+  // ---- queries (global backend ids) -----------------------------------------
+
+  EpisodeResult run(const EnvQuery& query);
+  EpisodeResult run(BackendId backend, const SliceConfig& config, const Workload& workload);
+  /// Enqueue on the owning shard's pool; the handle is a plain EnvService one.
+  QueryHandle submit(EnvQuery query);
+  /// Fan the batch out across the owning shards' pools; results are
+  /// positionally ordered like EnvService::run_batch.
+  std::vector<EpisodeResult> run_batch(std::span<const EnvQuery> queries);
+  double measure_qoe(const EnvQuery& query, double threshold_ms);
+  std::vector<double> measure_qoe_batch(std::span<const EnvQuery> queries, double threshold_ms);
+
+  // ---- accounting (aggregated) ----------------------------------------------
+
+  BackendStats backend_stats(BackendId id) const;
+  /// Aggregate across shards; `backends` is ordered by GLOBAL backend id.
+  EnvServiceStats stats() const;
+  void reset_stats();
+  std::size_t cache_size() const;
+  void clear_cache();
+
+ private:
+  struct Route {
+    std::uint32_t shard = 0;
+    BackendId local = 0;
+  };
+  using RouteTable = std::vector<Route>;
+
+  Route route_at(BackendId id) const;
+  /// Rewrite the global backend id to the owning shard's local id.
+  EnvQuery to_local(const EnvQuery& query, const Route& route) const;
+
+  std::vector<std::unique_ptr<EnvService>> shards_;
+  mutable std::mutex routes_mutex_;  ///< Serializes registrations only.
+  std::atomic<std::shared_ptr<const RouteTable>> routes_;
+};
+
+}  // namespace atlas::env

@@ -102,6 +102,50 @@ TEST(ThreadPool, ExceptionsPropagateThroughParallelFor) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, ReportsWorkerThreadMembership) {
+  ac::ThreadPool pool(2);
+  ac::ThreadPool other(1);
+  EXPECT_FALSE(pool.on_worker_thread());  // the test thread is not a worker
+  auto mine = pool.submit([&] { return pool.on_worker_thread(); });
+  auto foreign = pool.submit([&] { return other.on_worker_thread(); });
+  EXPECT_TRUE(mine.get());
+  EXPECT_FALSE(foreign.get());  // membership is per pool, not "any pool"
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // A task that issues its own parallel_for occupies the only worker slot;
+  // without the caller-runs fallback its subtasks would wait behind it in
+  // the queue forever.
+  ac::ThreadPool pool(1);
+  std::atomic<int> count{0};
+  auto outer = pool.submit([&] {
+    pool.parallel_for(8, [&](std::size_t) { ++count; });
+    return count.load();
+  });
+  EXPECT_EQ(outer.get(), 8);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelForCompletes) {
+  // Two levels of nesting (batch inside a batch inside a worker) exercise
+  // recursive caller-runs draining.
+  ac::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, NestedExceptionsStillPropagate) {
+  ac::ThreadPool pool(1);
+  auto outer = pool.submit([&] {
+    pool.parallel_for(3, [](std::size_t i) {
+      if (i == 1) throw std::runtime_error("nested boom");
+    });
+  });
+  EXPECT_THROW(outer.get(), std::runtime_error);
+}
+
 TEST(ThreadPool, ParallelResultsMatchSerial) {
   // The deterministic-seeding contract: parallel evaluation with per-index
   // seeds must produce the same values regardless of scheduling.

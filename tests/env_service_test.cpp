@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <latch>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "atlas/online_learner.hpp"
 #include "env/env_service.hpp"
+#include "env/shard_router.hpp"
 
 namespace ae = atlas::env;
 namespace ac = atlas::core;
@@ -187,6 +190,230 @@ TEST(EnvService, StatsSplitOfflineFromOnline) {
 
   service.reset_stats();
   EXPECT_EQ(service.stats().total_queries(), 0u);
+}
+
+TEST(QueryHandle, InvalidHandleIsSafeNotUB) {
+  ae::QueryHandle handle;  // default-constructed: no shared state
+  EXPECT_FALSE(handle.valid());
+  EXPECT_NO_THROW(handle.wait());                 // no-op, not UB
+  EXPECT_THROW((void)handle.get(), std::logic_error);
+
+  // A consumed handle behaves the same: get() is one-shot.
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 1});
+  const auto sim = service.add_simulator();
+  auto live = service.submit(query(sim, 3));
+  (void)live.get();
+  EXPECT_FALSE(live.valid());
+  EXPECT_NO_THROW(live.wait());
+  EXPECT_THROW((void)live.get(), std::logic_error);
+}
+
+TEST(EnvService, SingleFlightCoalescesRacingThreads) {
+  // N threads hammer ONE cacheable query. Single-flight must collapse them
+  // onto a single episode execution with exact accounting: the leader counts
+  // the miss, every coalesced/late arrival counts a hit.
+  constexpr std::size_t kThreads = 8;
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
+
+  std::latch start(kThreads);
+  std::vector<std::thread> threads;
+  std::vector<ae::EpisodeResult> results(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      results[t] = service.run(query(sim, 42));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto stats = service.backend_stats(sim);
+  EXPECT_EQ(stats.episodes, 1u) << "duplicates must coalesce onto one execution";
+  EXPECT_EQ(stats.queries, kThreads);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, kThreads - 1);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.queries);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.latencies_ms, results[0].latencies_ms);  // shared result
+  }
+}
+
+TEST(EnvService, DuplicateQueriesInOneBatchExecuteOnce) {
+  // Duplicates INSIDE one run_batch used to race past the memo table and all
+  // execute; single-flight dedups them batch-internally too.
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 4});
+  const auto sim = service.add_simulator();
+
+  std::vector<ae::EnvQuery> batch;
+  for (int rep = 0; rep < 8; ++rep) {
+    batch.push_back(query(sim, 1));
+    batch.push_back(query(sim, 2));
+  }
+  const auto results = service.run_batch(batch);
+
+  const auto stats = service.backend_stats(sim);
+  EXPECT_EQ(stats.episodes, 2u);  // two unique keys -> two executions
+  EXPECT_EQ(stats.queries, batch.size());
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.cache_hits, batch.size() - 2);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].latencies_ms, results[i % 2].latencies_ms) << "slot " << i;
+  }
+}
+
+TEST(EnvService, NestedBatchInsideWorkerDoesNotDeadlock) {
+  // A follow-up batch issued from inside a pool worker (e.g. a progress
+  // callback) must not deadlock the fixed-size pool: with one worker the
+  // nested parallel_for relies on the caller-runs fallback.
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 1});
+  const auto sim = service.add_simulator();
+
+  auto outer = service.pool().submit([&] {
+    std::vector<ae::EnvQuery> inner{query(sim, 70), query(sim, 71), query(sim, 72)};
+    return service.run_batch(inner).size();
+  });
+  EXPECT_EQ(outer.get(), 3u);
+  EXPECT_EQ(service.backend_stats(sim).episodes, 3u);
+}
+
+TEST(EnvService, DestructionWithAbandonedHandlesIsSafe) {
+  // Submitted-but-never-harvested queries may still be queued when the
+  // service dies; the pool (last member) must drain them while the registry
+  // and cache shards are still alive.
+  for (int rep = 0; rep < 4; ++rep) {
+    ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+    const auto sim = service.add_simulator();
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      (void)service.submit(query(sim, 900 + i));  // handle dropped immediately
+    }
+    // ~EnvService runs here with tasks likely still in flight.
+  }
+  SUCCEED();
+}
+
+TEST(ShardRouter, NestedBatchInsideShardWorkerDoesNotDeadlock) {
+  // A router batch issued from inside an owning shard's (single) pool worker
+  // must run same-shard queries inline instead of parking the worker on its
+  // own queue.
+  ae::ShardRouter router(2, ae::EnvServiceOptions{.threads = 1});
+  const auto sim_a = router.add_simulator();  // shard 0
+  const auto sim_b = router.add_simulator();  // shard 1
+
+  auto outer = router.shard(0).pool().submit([&] {
+    std::vector<ae::EnvQuery> inner{query(sim_a, 80), query(sim_b, 81), query(sim_a, 82)};
+    return router.run_batch(inner).size();
+  });
+  EXPECT_EQ(outer.get(), 3u);
+  EXPECT_EQ(router.backend_stats(sim_a).episodes, 2u);
+  EXPECT_EQ(router.backend_stats(sim_b).episodes, 1u);
+}
+
+TEST(EnvService, CacheCapacityZeroDisablesCachingEndToEnd) {
+  ae::EnvServiceOptions options;
+  options.threads = 1;
+  options.cache_capacity = 0;
+  ae::EnvService service(options);
+  EXPECT_FALSE(service.caching_enabled());
+  const auto sim = service.add_simulator();
+
+  (void)service.run(query(sim, 5));
+  (void)service.run(query(sim, 5));  // same key: re-executes, no phantom miss
+  const auto stats = service.backend_stats(sim);
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.episodes, 2u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u) << "capacity 0 means disabled, not always-missing";
+  EXPECT_EQ(service.cache_size(), 0u);
+}
+
+TEST(EnvService, CacheShardCountAdaptsToCapacity) {
+  // Tiny caches keep one stripe (exact global FIFO); the default capacity
+  // stripes out; an explicit cache_shards is honored but never exceeds the
+  // capacity.
+  ae::EnvServiceOptions tiny;
+  tiny.threads = 1;
+  tiny.cache_capacity = 2;
+  EXPECT_EQ(ae::EnvService(tiny).cache_shard_count(), 1u);
+
+  ae::EnvServiceOptions dflt;
+  dflt.threads = 1;
+  EXPECT_EQ(ae::EnvService(dflt).cache_shard_count(), 16u);
+
+  ae::EnvServiceOptions manual;
+  manual.threads = 1;
+  manual.cache_shards = 4;
+  EXPECT_EQ(ae::EnvService(manual).cache_shard_count(), 4u);
+
+  ae::EnvServiceOptions clamped;
+  clamped.threads = 1;
+  clamped.cache_capacity = 3;
+  clamped.cache_shards = 64;
+  EXPECT_EQ(ae::EnvService(clamped).cache_shard_count(), 3u);
+}
+
+TEST(ShardRouter, RoutesRoundRobinAndAggregatesStats) {
+  ae::ShardRouter router(2, ae::EnvServiceOptions{.threads = 1});
+  ASSERT_EQ(router.shard_count(), 2u);
+  const auto sim_a = router.add_simulator(ae::SimParams::defaults(), "sim-a");  // shard 0
+  const auto real = router.add_real_network("real-b");                          // shard 1
+  const auto sim_c = router.add_simulator(ae::SimParams::defaults(), "sim-c");  // shard 0
+  EXPECT_EQ(router.backend_count(), 3u);
+  EXPECT_EQ(router.backend_name(sim_a), "sim-a");
+  EXPECT_EQ(router.backend_name(real), "real-b");
+  EXPECT_EQ(router.backend_kind(real), ae::BackendKind::kOnline);
+  EXPECT_EQ(&router.service_for(sim_a), &router.shard(0));
+  EXPECT_EQ(&router.service_for(real), &router.shard(1));
+  EXPECT_EQ(&router.service_for(sim_c), &router.shard(0));
+
+  (void)router.run(query(sim_a, 1));
+  (void)router.run(query(sim_a, 1));  // cache hit on shard 0
+  (void)router.run(query(real, 2));
+  (void)router.run(query(sim_c, 3));
+
+  // Per-backend stats route through; the aggregate is ordered by GLOBAL id
+  // and sums hit/miss/offline/online across shards.
+  EXPECT_EQ(router.backend_stats(sim_a).cache_hits, 1u);
+  const auto stats = router.stats();
+  ASSERT_EQ(stats.backends.size(), 3u);
+  EXPECT_EQ(stats.backends[0].name, "sim-a");
+  EXPECT_EQ(stats.backends[1].name, "real-b");
+  EXPECT_EQ(stats.backends[2].name, "sim-c");
+  EXPECT_EQ(stats.offline_queries, 3u);
+  EXPECT_EQ(stats.online_queries, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(router.cache_size(), 2u);  // sim_a seed 1 + sim_c seed 3
+
+  router.reset_stats();
+  EXPECT_EQ(router.stats().total_queries(), 0u);
+  router.clear_cache();
+  EXPECT_EQ(router.cache_size(), 0u);
+
+  EXPECT_THROW((void)router.run(query(99, 1)), std::out_of_range);
+}
+
+TEST(ShardRouter, BatchFansOutAcrossShardsInOrder) {
+  ae::ShardRouter router(3, ae::EnvServiceOptions{.threads = 1});
+  std::vector<ae::BackendId> sims;
+  for (int i = 0; i < 3; ++i) sims.push_back(router.add_simulator());
+
+  // Ground truth from a directly-owned simulator: all shards run the same
+  // default parameters, so only the per-slot seed differentiates results.
+  ae::Simulator direct;
+  std::vector<ae::EnvQuery> batch;
+  std::vector<ae::EpisodeResult> expected;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    batch.push_back(query(sims[i % 3], 500 + i));
+    expected.push_back(direct.run(ae::SliceConfig{}, short_workload(500 + i)));
+  }
+
+  const auto results = router.run_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].latencies_ms, expected[i].latencies_ms) << "slot " << i;
+  }
+  // Each shard saw exactly its own slice of the batch.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(router.backend_stats(sims[i]).queries, 3u);
 }
 
 TEST(EnvService, OnlineAccountingMatchesOnlineHistoryLength) {
