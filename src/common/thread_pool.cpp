@@ -1,11 +1,12 @@
 #include "common/thread_pool.hpp"
 
-#include <algorithm>
 #include <chrono>
+#include <utility>
 
 namespace atlas::common {
 
 thread_local const ThreadPool* ThreadPool::current_pool_ = nullptr;
+thread_local std::size_t ThreadPool::current_worker_ = 0;
 
 std::size_t ThreadPool::default_thread_count() noexcept {
   const std::size_t hw = std::thread::hardware_concurrency();
@@ -14,15 +15,19 @@ std::size_t ThreadPool::default_thread_count() noexcept {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = default_thread_count();
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
+    std::scoped_lock lock(sleep_mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -33,34 +38,71 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::on_worker_thread() const noexcept { return current_pool_ == this; }
 
-void ThreadPool::worker_loop() {
-  current_pool_ = this;
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop();
-    }
-    task();
+void ThreadPool::enqueue(std::function<void()> task) {
+  // Nested submissions go to the submitting worker's own deque (a thief can
+  // take them from the back); external ones are spread round-robin.
+  const std::size_t target = on_worker_thread()
+                                 ? current_worker_
+                                 : next_queue_.fetch_add(1) % queues_.size();
+  // Count BEFORE publishing: if a worker popped the task between publish and
+  // a late increment, the counter would transiently wrap below zero and wake
+  // every sleeper. Counting early only risks a benign spurious wakeup.
+  task_count_.fetch_add(1);
+  try {
+    std::scoped_lock lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  } catch (...) {
+    task_count_.fetch_sub(1);  // keep the counter honest if push_back throws
+    throw;
   }
+  {
+    // Lock-step with the sleep predicate so a worker checking "no tasks"
+    // cannot miss the increment-then-notify and sleep through it.
+    std::scoped_lock lock(sleep_mutex_);
+  }
+  cv_.notify_one();
 }
 
-bool ThreadPool::try_run_one() {
-  std::function<void()> task;
+bool ThreadPool::try_pop(std::size_t preferred, std::function<void()>& task) {
+  const std::size_t n = queues_.size();
   {
-    std::scoped_lock lock(mutex_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop();
+    WorkerQueue& own = *queues_[preferred % n];
+    std::scoped_lock lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
   }
+  for (std::size_t k = 1; k < n; ++k) {
+    WorkerQueue& victim = *queues_[(preferred + k) % n];
+    std::scoped_lock lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::try_run_one(std::size_t preferred) {
+  std::function<void()> task;
+  if (!try_pop(preferred, task)) return false;
+  task_count_.fetch_sub(1);
   task();
   return true;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  current_pool_ = this;
+  current_worker_ = index;
+  for (;;) {
+    if (try_run_one(index)) continue;
+    std::unique_lock lock(sleep_mutex_);
+    cv_.wait(lock, [this] { return stop_ || task_count_.load() > 0; });
+    if (stop_ && task_count_.load() == 0) return;  // drained: shut down
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
@@ -71,12 +113,12 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   }
   if (on_worker_thread()) {
     // Caller-runs fallback: this worker's slot is occupied by the nested
-    // caller, so it drains queued tasks itself. Once the queue is empty,
-    // any still-pending future is being executed by another worker and
-    // waiting on it is deadlock-free.
+    // caller, so it drains tasks itself — its own deque first, then steals.
+    // Once nothing is poppable, any still-pending future is being executed
+    // by another worker and waiting on it is deadlock-free.
     for (auto& f : futures) {
       while (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
-        if (!try_run_one()) {
+        if (!try_run_one(current_worker_)) {
           f.wait();
           break;
         }

@@ -1,28 +1,41 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
 namespace atlas::common {
 
-/// Fixed-size worker pool used for Atlas's "parallel queries": the paper runs
-/// up to 16 simulator processes concurrently during parallel Thompson sampling;
-/// we reproduce the same semantics with threads and a reentrant simulator.
+/// Work-stealing worker pool used for Atlas's "parallel queries": the paper
+/// runs up to 16 simulator processes concurrently during parallel Thompson
+/// sampling; we reproduce the same semantics with threads and a reentrant
+/// simulator.
 ///
-/// Tasks are arbitrary `void()` callables; use `submit` to obtain a future for
-/// a typed result. The destructor drains the queue and joins all workers.
+/// Each worker owns a deque. Tasks are pushed at the BACK; the owning
+/// worker pops from the FRONT (FIFO, preserving submission order), while
+/// idle workers steal from the BACK of a victim's deque — a thief takes the
+/// task its owner would reach last, so owner and thieves contend on
+/// opposite ends. Work submitted from inside a worker lands on that
+/// worker's own deque, which is what fixes the head-of-line blocking of the
+/// old single-queue design: a deep nested `run_batch` no longer parks its
+/// subtasks behind every other caller's work, and any idle worker can steal
+/// them.
 ///
-/// Reentrancy: `parallel_for` may be called from inside a pool worker (e.g. a
-/// stage progress callback that issues a follow-up batch). A fixed-size pool
-/// would deadlock — the nested caller occupies a worker slot while its
-/// subtasks sit behind it in the queue — so the caller-runs fallback makes
-/// the nested caller drain queued tasks itself until its own have completed.
+/// Tasks are arbitrary `void()` callables; use `submit` to obtain a future
+/// for a typed result. The destructor drains all deques and joins.
+///
+/// Reentrancy: `parallel_for` may be called from inside a pool worker (e.g.
+/// a stage progress callback that issues a follow-up batch). The nested
+/// caller occupies a worker slot, so it drains tasks itself (caller-runs
+/// fallback) — first from its own deque, then by stealing — until its own
+/// tasks have completed.
 class ThreadPool {
  public:
   /// Worker count used when the caller passes 0: hardware concurrency, or 4
@@ -44,17 +57,15 @@ class ThreadPool {
   /// True when the calling thread is one of this pool's workers.
   bool on_worker_thread() const noexcept;
 
-  /// Enqueue `fn` and return a future for its result.
+  /// Enqueue `fn` and return a future for its result. From a worker thread
+  /// the task goes to that worker's own deque (stealable by idle workers);
+  /// external submissions are spread round-robin across the deques.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using Result = std::invoke_result_t<Fn>;
     auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
     std::future<Result> fut = task->get_future();
-    {
-      std::scoped_lock lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task] { (*task)(); });
     return fut;
   }
 
@@ -64,15 +75,29 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
-  /// Pop and execute one queued task, if any. Used by the caller-runs path.
-  bool try_run_one();
+  /// One worker's deque. Guarded by its own mutex: owner and thieves touch
+  /// opposite ends, so contention is a brief lock per pop, not a global
+  /// queue mutex across the whole pool.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void enqueue(std::function<void()> task);
+  void worker_loop(std::size_t index);
+  /// Pop one task — own deque front first, then steal from the back of the
+  /// other deques — and run it. Used by workers and the caller-runs path.
+  bool try_run_one(std::size_t preferred);
+  bool try_pop(std::size_t preferred, std::function<void()>& task);
 
   static thread_local const ThreadPool* current_pool_;
+  static thread_local std::size_t current_worker_;
 
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  std::atomic<std::size_t> next_queue_{0};  ///< Round-robin for external submits.
+  std::atomic<std::size_t> task_count_{0};  ///< Pending tasks across all deques.
+  std::mutex sleep_mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -1,37 +1,69 @@
 #include "des/event_queue.hpp"
 
-#include <stdexcept>
-#include <utility>
+#include <limits>
 
 namespace atlas::des {
 
-void EventQueue::schedule_at(TimeMs at, std::function<void()> fn) {
-  if (at < now_) throw std::invalid_argument("EventQueue: cannot schedule in the past");
-  queue_.push({at, next_seq_++, std::move(fn)});
-}
+bool EventQueue::step_one(TimeMs until) {
+  // Earliest armed stepper by (time, seq). Episodes register at most a few
+  // (TTI + mobility), so a linear scan beats any indexed structure.
+  std::size_t si = steppers_.size();
+  for (std::size_t i = 0; i < steppers_.size(); ++i) {
+    if (si == steppers_.size() || steppers_[i].next_time < steppers_[si].next_time ||
+        (steppers_[i].next_time == steppers_[si].next_time &&
+         steppers_[i].seq < steppers_[si].seq)) {
+      si = i;
+    }
+  }
 
-void EventQueue::schedule_in(TimeMs delay, std::function<void()> fn) {
-  if (delay < 0.0) throw std::invalid_argument("EventQueue: negative delay");
-  schedule_at(now_ + delay, std::move(fn));
+  const bool have_stepper = si < steppers_.size();
+  const bool have_event = !heap_.empty();
+  const bool stepper_first =
+      have_stepper &&
+      (!have_event || steppers_[si].next_time < heap_.front().time ||
+       (steppers_[si].next_time == heap_.front().time && steppers_[si].seq < heap_.front().seq));
+
+  if (stepper_first) {
+    if (steppers_[si].next_time > until) return false;
+    now_ = steppers_[si].next_time;
+    // steppers_ is a deque so this reference (and the executing callable)
+    // stays valid even if the callback registers further steppers. Re-arm at
+    // fire time + period with a fresh sequence number AFTER the callback,
+    // exactly as if it had ended with schedule_in(period, itself).
+    Stepper& s = steppers_[si];
+    s.invoke(s.storage);
+    s.next_time += s.period;
+    s.seq = next_seq_++;
+    return true;
+  }
+
+  if (!have_event || heap_.front().time > until) return false;
+  // Move the entry out before invoking: the callback may schedule new events
+  // (entries are trivially copyable, so this is a raw relocation, not a
+  // callable copy — the pre-rewrite queue re-allocated a std::function here).
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = heap_.back();
+  heap_.pop_back();
+  now_ = e.time;
+  struct DropGuard {
+    Entry* e;
+    ~DropGuard() {
+      if (e->drop != nullptr) e->drop(e->storage);
+    }
+  } guard{&e};
+  e.invoke(e.storage);
+  return true;
 }
 
 void EventQueue::run_until(TimeMs until) {
-  while (!queue_.empty() && queue_.top().time <= until) {
-    // Copy out before pop: the callback may schedule new events.
-    Entry e = queue_.top();
-    queue_.pop();
-    now_ = e.time;
-    e.fn();
+  while (step_one(until)) {
   }
   if (now_ < until) now_ = until;
 }
 
 void EventQueue::run_all() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    now_ = e.time;
-    e.fn();
+  while (!heap_.empty()) {
+    step_one(std::numeric_limits<TimeMs>::infinity());
   }
 }
 

@@ -1,8 +1,14 @@
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <deque>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace atlas::des {
@@ -10,49 +16,198 @@ namespace atlas::des {
 /// Simulation time in milliseconds (the natural unit for an LTE TTI loop).
 using TimeMs = double;
 
-/// Minimal discrete-event engine: a time-ordered queue of callbacks with a
-/// monotonically advancing clock. Events scheduled for the same instant run
-/// in FIFO order (sequence-number tie-break), which keeps episodes fully
-/// deterministic for a given seed.
+/// Discrete-event engine for the episode hot path: a time-ordered queue of
+/// callbacks plus fixed-cadence "steppers", with a monotonically advancing
+/// clock. Events scheduled for the same instant run in FIFO order
+/// (sequence-number tie-break), which keeps episodes fully deterministic for
+/// a given seed.
+///
+/// Two throughput-critical design points (this queue is popped ~120k times
+/// per simulated minute):
+///
+///  * **No heap allocation per event.** Entries live in a reusable
+///    vector-backed binary heap, and callables up to kInlineEventBytes that
+///    are trivially copyable are stored inline in the entry itself. Larger
+///    or non-trivial callables (e.g. a recursive std::function) transparently
+///    fall back to a heap box that is freed after invocation.
+///
+///  * **Fixed-cadence work stays out of the heap.** The per-TTI scheduler
+///    tick and the 100 ms mobility step used to be self-rescheduling heap
+///    events — two heap pushes/pops plus a callable copy per TTI. A stepper
+///    registered via add_stepper() is instead merged with the heap by
+///    (time, seq) at pop time and re-armed in place, so the heap only carries
+///    the irregular app/backhaul events. Steppers draw sequence numbers from
+///    the same counter as one-shot events (arming consumes one, each re-arm
+///    consumes the next *after* the callback ran), making the interleaving
+///    with heap events bit-identical to the self-rescheduling formulation
+///    they replace.
 ///
 /// One EventQueue instance drives one episode; instances are independent, so
 /// parallel Thompson-sampling queries can run episodes concurrently (one per
 /// thread) without sharing state.
 class EventQueue {
  public:
+  /// Callables at most this size that are trivially copyable and trivially
+  /// destructible are stored inline (no allocation). Episode callbacks are
+  /// written as {context pointer, frame id} captures and fit comfortably.
+  static constexpr std::size_t kInlineEventBytes = 48;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue() {
+    for (auto& e : heap_) {
+      if (e.drop != nullptr) e.drop(e.storage);
+    }
+    for (auto& s : steppers_) {
+      if (s.drop != nullptr) s.drop(s.storage);
+    }
+  }
+
   /// Schedule `fn` at absolute time `at` (must be >= now()).
-  void schedule_at(TimeMs at, std::function<void()> fn);
+  template <typename F>
+  void schedule_at(TimeMs at, F&& fn) {
+    if (at < now_) throw std::invalid_argument("EventQueue: cannot schedule in the past");
+    push_entry(at, std::forward<F>(fn));
+  }
+
   /// Schedule `fn` after a relative delay (>= 0).
-  void schedule_in(TimeMs delay, std::function<void()> fn);
+  template <typename F>
+  void schedule_in(TimeMs delay, F&& fn) {
+    if (delay < 0.0) throw std::invalid_argument("EventQueue: negative delay");
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Register a fixed-cadence stepper: fires first at now() + period, then
+  /// every `period` ms, for the lifetime of the queue. Equivalent to (and
+  /// ordered exactly like) an event that ends its callback with
+  /// schedule_in(period, itself), but never touches the heap.
+  template <typename F>
+  void add_stepper(TimeMs period, F fn) {
+    if (period <= 0.0) throw std::invalid_argument("EventQueue: stepper period must be > 0");
+    // Same storage discipline as heap entries: small trivially-copyable
+    // callables live inline and fire through a plain function pointer (the
+    // TTI tick is one `{state pointer}` capture — no std::function dispatch
+    // on the hottest call in the engine); anything else is boxed. Steppers
+    // are permanent: they fire until the queue dies (no removal API).
+    Stepper& s = arm_stepper(period);
+    try {
+      install_callable(s.storage, s.invoke, s.drop, std::move(fn));
+    } catch (...) {
+      steppers_.pop_back();
+      throw;
+    }
+  }
 
   /// Current simulation time.
   TimeMs now() const noexcept { return now_; }
 
-  /// Number of pending events.
-  std::size_t pending() const noexcept { return queue_.size(); }
+  /// Number of pending events, counting each armed stepper as one.
+  std::size_t pending() const noexcept { return heap_.size() + steppers_.size(); }
 
   /// Run events until the queue empties or the clock passes `until`.
   /// Events scheduled exactly at `until` still run; the clock never exceeds
-  /// the next event's timestamp.
+  /// the next event's timestamp. Steppers keep firing at their cadence up to
+  /// (and including) `until` and stay armed afterwards.
   void run_until(TimeMs until);
 
-  /// Run everything (use only when the event graph is known to terminate).
+  /// Run every *heap* event (use only when the event graph is known to
+  /// terminate). Steppers that fall due before a heap event still fire in
+  /// order; once the heap is empty they stop being driven.
   void run_all();
 
  private:
+  /// Trivially copyable by design: the binary heap relocates entries as raw
+  /// bytes (trivially-copyable callables are implicit-lifetime types, so the
+  /// inline payload legally moves with them). `drop` is non-null only for
+  /// the boxed fallback and is called exactly once per event.
   struct Entry {
     TimeMs time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    void (*invoke)(void* storage);
+    void (*drop)(void* storage);
+    alignas(std::max_align_t) unsigned char storage[kInlineEventBytes];
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
+  /// Same inline-or-boxed callable layout as Entry, but long-lived: the
+  /// callable is installed once and invoked every period for the queue's
+  /// lifetime (`drop`, when non-null, runs once at destruction).
+  struct Stepper {
+    TimeMs period = 0.0;
+    TimeMs next_time = 0.0;
+    std::uint64_t seq = 0;
+    void (*invoke)(void* storage) = nullptr;
+    void (*drop)(void* storage) = nullptr;
+    alignas(std::max_align_t) unsigned char storage[kInlineEventBytes];
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Stepper& arm_stepper(TimeMs period) {
+    Stepper& s = steppers_.emplace_back();
+    s.period = period;
+    s.next_time = now_ + period;
+    s.seq = next_seq_++;
+    return s;
+  }
+
+  /// Install `fn` into a 48-byte slot shared by Entry and Stepper: inline
+  /// placement for small trivially-copyable/destructible callables (invoked
+  /// through a plain function pointer, no allocation), heap box otherwise.
+  /// Strongly exception-safe: on throw the slot is untouched — callers
+  /// pop the just-emplaced slot and rethrow.
+  template <typename F>
+  static void install_callable(unsigned char* storage, void (*&invoke)(void*),
+                               void (*&drop)(void*), F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineEventBytes && std::is_trivially_copyable_v<Fn> &&
+                  std::is_trivially_destructible_v<Fn> &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage)) Fn(std::forward<F>(fn));  // trivial: cannot throw
+      invoke = [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); };
+      drop = nullptr;
+    } else {
+      Fn* box = new Fn(std::forward<F>(fn));  // may throw: nothing installed yet
+      std::memcpy(static_cast<void*>(storage), &box, sizeof(box));
+      invoke = [](void* s) {
+        Fn* b;
+        std::memcpy(&b, s, sizeof(b));
+        (*b)();
+      };
+      drop = [](void* s) {
+        Fn* b;
+        std::memcpy(&b, s, sizeof(b));
+        delete b;
+      };
+    }
+  }
+
+  template <typename F>
+  void push_entry(TimeMs at, F&& fn) {
+    Entry& e = heap_.emplace_back();
+    e.time = at;
+    e.seq = next_seq_++;
+    try {
+      install_callable(e.storage, e.invoke, e.drop, std::forward<F>(fn));
+    } catch (...) {
+      heap_.pop_back();  // never leave a half-initialized entry in the heap
+      throw;
+    }
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Run the earliest pending source (stepper or heap event) if it is due at
+  /// or before `until`; returns whether anything ran.
+  bool step_one(TimeMs until);
+
+  std::vector<Entry> heap_;
+  /// Deque, not vector: references stay valid when a stepper callback
+  /// registers another stepper mid-fire (a vector push_back would reallocate
+  /// the buffer holding the currently-executing callable).
+  std::deque<Stepper> steppers_;
   TimeMs now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

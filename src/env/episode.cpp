@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "app/frame_app.hpp"
@@ -25,67 +26,98 @@ atlas::math::Summary EpisodeResult::latency_summary() const {
   return atlas::math::summarize(latencies_ms);
 }
 
-EpisodeResult run_episode(const NetworkProfile& profile, const SliceConfig& raw_config,
-                          const Workload& workload) {
-  const SliceConfig config = raw_config.clamped();
-  Rng rng(workload.seed);
+namespace {
+
+/// Everything one episode owns, gathered behind a single pointer so every
+/// event callback is a {state pointer, frame id} pair — 16 trivially
+/// copyable bytes, stored inline in the event queue (no allocation per
+/// event). The per-TTI and per-100ms work runs as fused steppers, so the
+/// event heap only carries the irregular app/backhaul events.
+///
+/// The call order of every Rng draw is identical to the pre-rewrite nested-
+/// lambda formulation — the golden-episode tests pin this bit-exactly.
+struct EpisodeState {
+  const NetworkProfile& profile;
+  const Workload& workload;
+  const SliceConfig config;
+  Rng rng;
   des::EventQueue events;
-  EpisodeResult result;
 
   // ---- RAN ----------------------------------------------------------------
-  lte::UeRadio slice_ue(profile.ul, profile.dl, workload.distance_m, profile.fading_sigma_db,
-                        profile.fading_rho, profile.cqi_lag_ttis);
+  lte::UeRadio slice_ue;
   std::vector<std::unique_ptr<lte::UeRadio>> background;
-  for (int i = 0; i < workload.extra_users; ++i) {
-    auto ue = std::make_unique<lte::UeRadio>(profile.ul, profile.dl, 2.0,
-                                             profile.fading_sigma_db, profile.fading_rho,
-                                             profile.cqi_lag_ttis);
-    // YouTube-style downlink load: always-full DL buffer.
-    ue->dl_queue().set_full_buffer(true);
-    background.push_back(std::move(ue));
-  }
-
   std::vector<lte::SliceRadioShare> slices;
-  lte::SliceRadioShare ours;
-  ours.prb_cap_ul = static_cast<int>(std::lround(config.bandwidth_ul));
-  ours.prb_cap_dl = static_cast<int>(std::lround(config.bandwidth_dl));
-  ours.mcs_offset_ul = static_cast<int>(std::lround(config.mcs_offset_ul));
-  ours.mcs_offset_dl = static_cast<int>(std::lround(config.mcs_offset_dl));
-  ours.ues = {&slice_ue};
-  slices.push_back(ours);
-  if (!background.empty()) {
-    lte::SliceRadioShare bg;
-    // The background slice holds the remaining PRBs; caps never overlap, so
-    // radio isolation is structural (FlexRAN-style partitioning).
-    bg.prb_cap_ul = lte::kTotalPrbs - ours.prb_cap_ul;
-    bg.prb_cap_dl = lte::kTotalPrbs - ours.prb_cap_dl;
-    for (auto& ue : background) bg.ues.push_back(ue.get());
-    slices.push_back(bg);
+  lte::TtiScratch scratch;
+
+  // ---- TN / CN / EN -------------------------------------------------------
+  net::TransportLink ul_link;
+  net::TransportLink dl_link;
+  net::CoreHop core;
+  net::ComputeQueue edge;
+
+  // ---- Application --------------------------------------------------------
+  app::AppTrafficModel traffic_model;
+  double result_bits;
+  app::FrameApp frame_app;
+
+  std::vector<FrameTrace> traces;    // indexed by frame id (§7.2's tracer)
+  std::vector<double> frame_bits;    // indexed by frame id
+  EpisodeResult result;
+
+  static app::AppTrafficModel make_traffic_model(const NetworkProfile& p) {
+    app::AppTrafficModel m;
+    m.loading_base_ms = p.loading_base_ms;
+    m.loading_jitter_ms = p.loading_jitter_ms;
+    return m;
   }
 
-  // ---- TN / CN / EN --------------------------------------------------------
-  const double meter_rate = config.backhaul_mbps + profile.backhaul_headroom_mbps;
-  net::TransportLink ul_link(meter_rate, profile.backhaul_delay_ms, profile.backhaul_jitter);
-  net::TransportLink dl_link(meter_rate, profile.backhaul_delay_ms, profile.backhaul_jitter);
-  net::CoreHop core(profile.core_processing_ms);
-  net::ComputeQueue edge(profile.compute, config.cpu_ratio);
+  EpisodeState(const NetworkProfile& p, const SliceConfig& raw_config, const Workload& wl)
+      : profile(p),
+        workload(wl),
+        config(raw_config.clamped()),
+        rng(wl.seed),
+        slice_ue(p.ul, p.dl, wl.distance_m, p.fading_sigma_db, p.fading_rho, p.cqi_lag_ttis),
+        ul_link(config.backhaul_mbps + p.backhaul_headroom_mbps, p.backhaul_delay_ms,
+                p.backhaul_jitter),
+        dl_link(config.backhaul_mbps + p.backhaul_headroom_mbps, p.backhaul_delay_ms,
+                p.backhaul_jitter),
+        core(p.core_processing_ms),
+        edge(p.compute, config.cpu_ratio),
+        traffic_model(make_traffic_model(p)),
+        result_bits(traffic_model.result_kbits * 1e3),
+        frame_app(traffic_model, wl.traffic, rng) {
+    for (int i = 0; i < wl.extra_users; ++i) {
+      auto ue = std::make_unique<lte::UeRadio>(p.ul, p.dl, 2.0, p.fading_sigma_db,
+                                               p.fading_rho, p.cqi_lag_ttis);
+      // YouTube-style downlink load: always-full DL buffer.
+      ue->dl_queue().set_full_buffer(true);
+      background.push_back(std::move(ue));
+    }
 
-  // ---- Application ---------------------------------------------------------
-  app::AppTrafficModel traffic_model;
-  traffic_model.loading_base_ms = profile.loading_base_ms;
-  traffic_model.loading_jitter_ms = profile.loading_jitter_ms;
-  const double result_bits = traffic_model.result_kbits * 1e3;
-  app::FrameApp frame_app(traffic_model, workload.traffic, rng);
+    lte::SliceRadioShare ours;
+    ours.prb_cap_ul = static_cast<int>(std::lround(config.bandwidth_ul));
+    ours.prb_cap_dl = static_cast<int>(std::lround(config.bandwidth_dl));
+    ours.mcs_offset_ul = static_cast<int>(std::lround(config.mcs_offset_ul));
+    ours.mcs_offset_dl = static_cast<int>(std::lround(config.mcs_offset_dl));
+    ours.ues = {&slice_ue};
+    slices.push_back(ours);
+    if (!background.empty()) {
+      lte::SliceRadioShare bg;
+      // The background slice holds the remaining PRBs; caps never overlap, so
+      // radio isolation is structural (FlexRAN-style partitioning).
+      bg.prb_cap_ul = lte::kTotalPrbs - ours.prb_cap_ul;
+      bg.prb_cap_dl = lte::kTotalPrbs - ours.prb_cap_dl;
+      for (auto& ue : background) bg.ues.push_back(ue.get());
+      slices.push_back(bg);
+    }
+  }
 
-  // Per-frame tracing (paper §7.2's tracer); indexed by frame id.
-  std::vector<FrameTrace> traces;
-  auto trace_of = [&](std::uint64_t id) -> FrameTrace& {
+  FrameTrace& trace_of(std::uint64_t id) {
     if (traces.size() <= id) traces.resize(id + 1);
     return traces[id];
-  };
+  }
 
-  std::vector<double> frame_bits;  // indexed by frame id
-  frame_app.start(events, [&](std::uint64_t id, double bits) {
+  void on_frame_sent(std::uint64_t id, double bits) {
     if (frame_bits.size() <= id) frame_bits.resize(id + 1, 0.0);
     frame_bits[id] = bits;
     const double access =
@@ -97,79 +129,110 @@ EpisodeResult run_episode(const NetworkProfile& profile, const SliceConfig& raw_
       t.created_ms = frame_app.created_at(id);
       t.sent_ms = events.now();
     }
-  });
+  }
 
   // A frame that finished its uplink transmission traverses switch -> core ->
   // edge -> core -> switch and re-enters the RAN as a downlink result.
-  auto frame_left_ran = [&](std::uint64_t id) {
+  void frame_left_ran(std::uint64_t id) {
     if (workload.collect_traces) trace_of(id).ul_done_ms = events.now();
     const double at_switch = ul_link.send(events.now(), frame_bits[id], rng);
     const double at_edge = core.forward(at_switch);
-    events.schedule_at(at_edge, [&, id] {
-      const net::ServiceSpan span = edge.process_traced(events.now(), rng);
-      if (workload.collect_traces) {
-        FrameTrace& t = trace_of(id);
-        t.edge_in_ms = events.now();
-        t.compute_start_ms = span.start;
-        t.compute_done_ms = span.done;
-      }
-      events.schedule_at(span.done, [&, id] {
-        const double at_switch_dl = core.forward(events.now());
-        const double at_enb = dl_link.send(at_switch_dl, result_bits, rng);
-        events.schedule_at(at_enb, [&, id] {
-          if (workload.collect_traces) trace_of(id).enb_dl_ms = events.now();
-          slice_ue.dl_queue().push(id, result_bits, events.now(), 0.0);
-        });
-      });
-    });
-  };
+    events.schedule_at(at_edge, [s = this, id] { s->edge_arrival(id); });
+  }
 
-  // ---- Mobility ------------------------------------------------------------
-  std::function<void()> walk = [&] {
-    double d = slice_ue.distance() + rng.normal(0.0, 0.25);
-    slice_ue.set_distance(std::clamp(d, 0.5, 12.0));
-    events.schedule_in(100.0, walk);
-  };
-  if (workload.random_walk) events.schedule_in(100.0, walk);
+  void edge_arrival(std::uint64_t id) {
+    const net::ServiceSpan span = edge.process_traced(events.now(), rng);
+    if (workload.collect_traces) {
+      FrameTrace& t = trace_of(id);
+      t.edge_in_ms = events.now();
+      t.compute_start_ms = span.start;
+      t.compute_done_ms = span.done;
+    }
+    events.schedule_at(span.done, [s = this, id] { s->compute_done(id); });
+  }
 
-  // ---- TTI loop ------------------------------------------------------------
-  std::function<void()> tti = [&] {
+  void compute_done(std::uint64_t id) {
+    const double at_switch_dl = core.forward(events.now());
+    const double at_enb = dl_link.send(at_switch_dl, result_bits, rng);
+    events.schedule_at(at_enb, [s = this, id] { s->enb_downlink(id); });
+  }
+
+  void enb_downlink(std::uint64_t id) {
+    if (workload.collect_traces) trace_of(id).enb_dl_ms = events.now();
+    slice_ue.dl_queue().push(id, result_bits, events.now(), 0.0);
+  }
+
+  void result_delivered(std::uint64_t id) {
+    if (workload.collect_traces) trace_of(id).completed_ms = events.now();
+    frame_app.on_result(id);
+  }
+
+  void tti_tick() {
     slice_ue.step_fading(rng);
     for (auto& ue : background) ue->step_fading(rng);
 
-    const auto ul = lte::run_direction_tti(slices, /*uplink=*/true, events.now(), rng);
-    for (const auto& [ue, ids] : ul.completed) {
-      if (ue != &slice_ue) continue;
-      for (std::uint64_t id : ids) frame_left_ran(id);
-    }
-    const auto dl = lte::run_direction_tti(slices, /*uplink=*/false, events.now(), rng);
-    for (const auto& [ue, ids] : dl.completed) {
-      if (ue != &slice_ue) continue;
-      for (std::uint64_t id : ids) {
-        events.schedule_in(profile.ue_proc_ms, [&, id] {
-          if (workload.collect_traces) trace_of(id).completed_ms = events.now();
-          frame_app.on_result(id);
-        });
+    // Idle fast-path: with nothing schedulable, run_direction_tti would be a
+    // pure no-op (no RNG draws, zero counters) — skip the call outright.
+    if (lte::direction_has_active_ue(slices, /*uplink=*/true, events.now())) {
+      lte::run_direction_tti(slices, /*uplink=*/true, events.now(), rng, scratch);
+      result.ul_tb_total += scratch.tb_total;
+      result.ul_tb_err += scratch.tb_err;
+      for (const auto& span : scratch.completed) {
+        if (span.ue != &slice_ue) continue;
+        for (std::uint32_t i = 0; i < span.count; ++i) {
+          frame_left_ran(scratch.ids[span.begin + i]);
+        }
       }
     }
-    result.ul_tb_total += ul.tb_total;
-    result.ul_tb_err += ul.tb_err;
-    result.dl_tb_total += dl.tb_total;
-    result.dl_tb_err += dl.tb_err;
-    events.schedule_in(lte::kTtiMs, tti);
-  };
-  events.schedule_in(lte::kTtiMs, tti);
 
-  events.run_until(workload.duration_ms);
-
-  result.latencies_ms = frame_app.latencies();
-  result.frames_completed = result.latencies_ms.size();
-  if (workload.collect_traces) {
-    for (const auto& t : traces) {
-      if (t.completed_ms > 0.0) result.traces.push_back(t);
+    if (lte::direction_has_active_ue(slices, /*uplink=*/false, events.now())) {
+      lte::run_direction_tti(slices, /*uplink=*/false, events.now(), rng, scratch);
+      result.dl_tb_total += scratch.tb_total;
+      result.dl_tb_err += scratch.tb_err;
+      for (const auto& span : scratch.completed) {
+        if (span.ue != &slice_ue) continue;
+        for (std::uint32_t i = 0; i < span.count; ++i) {
+          const std::uint64_t id = scratch.ids[span.begin + i];
+          events.schedule_in(profile.ue_proc_ms, [s = this, id] { s->result_delivered(id); });
+        }
+      }
     }
   }
-  return result;
+
+  void mobility_step() {
+    const double d = slice_ue.distance() + rng.normal(0.0, 0.25);
+    slice_ue.set_distance(std::clamp(d, 0.5, 12.0));
+  }
+
+  void start() {
+    // Registration order fixes the sequence-number layout and therefore the
+    // same-instant event interleaving: frames first, then the mobility
+    // stepper (when enabled), then the TTI stepper — exactly the order the
+    // pre-rewrite engine armed its self-rescheduling events in.
+    frame_app.start(events, [this](std::uint64_t id, double bits) { on_frame_sent(id, bits); });
+    if (workload.random_walk) {
+      events.add_stepper(100.0, [s = this] { s->mobility_step(); });
+    }
+    events.add_stepper(lte::kTtiMs, [s = this] { s->tti_tick(); });
+  }
+};
+
+}  // namespace
+
+EpisodeResult run_episode(const NetworkProfile& profile, const SliceConfig& raw_config,
+                          const Workload& workload) {
+  EpisodeState s(profile, raw_config, workload);
+  s.start();
+  s.events.run_until(workload.duration_ms);
+
+  s.result.latencies_ms = s.frame_app.latencies();
+  s.result.frames_completed = s.result.latencies_ms.size();
+  if (workload.collect_traces) {
+    for (const auto& t : s.traces) {
+      if (t.completed_ms > 0.0) s.result.traces.push_back(t);
+    }
+  }
+  return std::move(s.result);
 }
 
 NetworkPerformance measure_network_performance(const NetworkProfile& profile,
@@ -185,18 +248,18 @@ NetworkPerformance measure_network_performance(const NetworkProfile& profile,
     (uplink ? ue.ul_queue() : ue.dl_queue()).set_full_buffer(true);
     std::vector<lte::SliceRadioShare> slices(1);
     slices[0].ues = {&ue};
+    lte::TtiScratch scratch;
     double bits = 0.0;
     int tb_total = 0;
     int tb_err = 0;
     const auto ttis = static_cast<std::size_t>(duration_ms / lte::kTtiMs);
     for (std::size_t t = 0; t < ttis; ++t) {
       ue.step_fading(episode_rng);
-      const auto out = lte::run_direction_tti(slices, uplink,
-                                              static_cast<double>(t) * lte::kTtiMs,
-                                              episode_rng);
-      bits += out.delivered_bits;
-      tb_total += out.tb_total;
-      tb_err += out.tb_err;
+      lte::run_direction_tti(slices, uplink, static_cast<double>(t) * lte::kTtiMs,
+                             episode_rng, scratch);
+      bits += scratch.delivered_bits;
+      tb_total += scratch.tb_total;
+      tb_err += scratch.tb_err;
     }
     mbps = bits / (duration_ms * 1e3);  // bits per ms*1e3 == Mbps
     per = tb_total > 0 ? static_cast<double>(tb_err) / static_cast<double>(tb_total) : 0.0;

@@ -100,30 +100,38 @@ MultiSliceResult run_multi_slice_episode(const NetworkProfile& profile,
     });
   };
 
+  // Per-TTI work runs as a fused stepper (never touches the event heap);
+  // the scratch buffers make steady-state TTIs allocation-free.
   Rng radio_rng = master.fork(0x5C1CE);
-  std::function<void()> tti = [&] {
+  lte::TtiScratch scratch;
+  events.add_stepper(lte::kTtiMs, [&] {
     for (auto& rt : slices) rt->ue->step_fading(radio_rng);
-    const auto ul = lte::run_direction_tti(shares, /*uplink=*/true, events.now(), radio_rng);
-    for (const auto& [ue, ids] : ul.completed) {
-      for (auto& rt : slices) {
-        if (rt->ue.get() != ue) continue;
-        for (std::uint64_t id : ids) frame_left_ran(*rt, id);
-      }
-    }
-    const auto dl = lte::run_direction_tti(shares, /*uplink=*/false, events.now(), radio_rng);
-    for (const auto& [ue, ids] : dl.completed) {
-      for (auto& rt : slices) {
-        if (rt->ue.get() != ue) continue;
-        for (std::uint64_t id : ids) {
-          SliceRuntime* rtp = rt.get();
-          events.schedule_in(profile.ue_proc_ms,
-                             [rtp, id] { rtp->frame_app->on_result(id); });
+    if (lte::direction_has_active_ue(shares, /*uplink=*/true, events.now())) {
+      lte::run_direction_tti(shares, /*uplink=*/true, events.now(), radio_rng, scratch);
+      for (const auto& span : scratch.completed) {
+        for (auto& rt : slices) {
+          if (rt->ue.get() != span.ue) continue;
+          for (std::uint32_t i = 0; i < span.count; ++i) {
+            frame_left_ran(*rt, scratch.ids[span.begin + i]);
+          }
         }
       }
     }
-    events.schedule_in(lte::kTtiMs, tti);
-  };
-  events.schedule_in(lte::kTtiMs, tti);
+    if (lte::direction_has_active_ue(shares, /*uplink=*/false, events.now())) {
+      lte::run_direction_tti(shares, /*uplink=*/false, events.now(), radio_rng, scratch);
+      for (const auto& span : scratch.completed) {
+        for (auto& rt : slices) {
+          if (rt->ue.get() != span.ue) continue;
+          for (std::uint32_t i = 0; i < span.count; ++i) {
+            const std::uint64_t id = scratch.ids[span.begin + i];
+            SliceRuntime* rtp = rt.get();
+            events.schedule_in(profile.ue_proc_ms,
+                               [rtp, id] { rtp->frame_app->on_result(id); });
+          }
+        }
+      }
+    }
+  });
   events.run_until(duration_ms);
 
   MultiSliceResult out;

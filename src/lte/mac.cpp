@@ -1,40 +1,58 @@
 #include "lte/mac.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 
 namespace atlas::lte {
+
+namespace {
+
+#ifndef NDEBUG
+/// Recompute the queue total the pre-optimization way. The incremental total
+/// subtracts drained amounts instead of re-summing, so it can differ from
+/// the fresh sum by accumulated rounding — but only in the last ULPs.
+double recomputed_bits(const std::deque<RadioSdu>& sdus) {
+  double acc = 0.0;
+  for (const auto& s : sdus) acc += s.bits_remaining;
+  return acc;
+}
+#endif
+
+}  // namespace
 
 void RadioQueue::push(std::uint64_t id, double bits, double now, double access_delay_ms) {
   if (sdus_.empty() && !full_buffer_) {
     schedulable_at_ = now + access_delay_ms;
   }
   sdus_.push_back({id, bits});
+  queued_bits_ += bits;
+  assert(std::abs(queued_bits_ - recomputed_bits(sdus_)) <=
+         1e-6 * (1.0 + std::abs(queued_bits_)));
 }
 
-bool RadioQueue::has_data(double now) const noexcept {
-  if (full_buffer_) return true;
-  return !sdus_.empty() && now >= schedulable_at_;
-}
-
-double RadioQueue::queued_bits() const noexcept {
-  double acc = 0.0;
-  for (const auto& s : sdus_) acc += s.bits_remaining;
-  return acc;
-}
-
-std::vector<std::uint64_t> RadioQueue::drain(double bits) {
-  std::vector<std::uint64_t> done;
+void RadioQueue::drain_into(double bits, std::vector<std::uint64_t>& done) {
   while (bits > 0.0 && !sdus_.empty()) {
     RadioSdu& head = sdus_.front();
     if (head.bits_remaining > bits) {
       head.bits_remaining -= bits;
+      queued_bits_ -= bits;
       bits = 0.0;
     } else {
       bits -= head.bits_remaining;
+      queued_bits_ -= head.bits_remaining;
       done.push_back(head.id);
       sdus_.pop_front();
     }
   }
+  if (sdus_.empty()) queued_bits_ = 0.0;  // forget residual rounding at empty
+  assert(std::abs(queued_bits_ - recomputed_bits(sdus_)) <=
+         1e-6 * (1.0 + std::abs(queued_bits_)));
+}
+
+std::vector<std::uint64_t> RadioQueue::drain(double bits) {
+  std::vector<std::uint64_t> done;
+  drain_into(bits, done);
   return done;
 }
 
@@ -44,41 +62,64 @@ UeRadio::UeRadio(RadioParams ul, RadioParams dl, double distance_m, double fadin
       dl_params_(dl),
       distance_m_(distance_m),
       fading_(fading_sigma_db, fading_rho),
-      cqi_lag_ttis_(std::max(0, cqi_lag_ttis)) {}
-
-void UeRadio::step_fading(atlas::math::Rng& rng) {
-  fading_.step(rng);
+      cqi_lag_ttis_(std::max(0, cqi_lag_ttis)) {
   if (cqi_lag_ttis_ > 0) {
-    fading_history_.push_back(fading_.value());
-    while (fading_history_.size() > static_cast<std::size_t>(cqi_lag_ttis_) + 1) {
-      fading_history_.pop_front();
-    }
+    fading_history_.resize(static_cast<std::size_t>(cqi_lag_ttis_) + 1);
   }
+  ul_link_cache_.floor_db = noise_interference_floor_db(ul_params_.budget);
+  dl_link_cache_.floor_db = noise_interference_floor_db(dl_params_.budget);
+  refresh_link_cache();
 }
 
-double UeRadio::cqi_fading_db() const noexcept {
-  if (cqi_lag_ttis_ == 0 || fading_history_.empty()) return fading_.value();
-  return fading_history_.front();
+void UeRadio::set_distance(double d) noexcept {
+  distance_m_ = d;
+  refresh_link_cache();
 }
 
-TtiOutcome UeRadio::run_tti(bool uplink, double now, int prbs, int mcs_offset,
-                            atlas::math::Rng& rng) {
-  TtiOutcome out;
+void UeRadio::refresh_link_cache() noexcept {
+  ul_link_cache_.pathloss_db = pathloss_db(distance_m_, ul_params_.budget.baseline_loss_db,
+                                           ul_params_.budget.pathloss_exponent);
+  dl_link_cache_.pathloss_db = pathloss_db(distance_m_, dl_params_.budget.baseline_loss_db,
+                                           dl_params_.budget.pathloss_exponent);
+  ul_memo_.valid = false;  // SINR inputs changed; recompute on next TTI
+  dl_memo_.valid = false;
+}
+
+TtiStats UeRadio::run_tti_into(bool uplink, double now, int prbs, int mcs_offset,
+                               atlas::math::Rng& rng, std::vector<std::uint64_t>& completed) {
+  TtiStats out;
   if (prbs <= 0) return out;
   RadioQueue& queue = uplink ? ul_queue_ : dl_queue_;
   if (!queue.has_data(now)) return out;
   double& blocked_until = uplink ? ul_blocked_until_ : dl_blocked_until_;
   if (now < blocked_until) return out;
   const RadioParams& params = uplink ? ul_params_ : dl_params_;
+  const LinkCache& cache = uplink ? ul_link_cache_ : dl_link_cache_;
+  TtiMemo& memo = uplink ? ul_memo_ : dl_memo_;
 
-  // Link adaptation sees the (possibly stale) reported channel; the actual
-  // block error is drawn from the instantaneous channel.
-  const double reported_sinr = sinr_db(params.budget, distance_m_, cqi_fading_db());
-  out.sinr_db = sinr_db(params.budget, distance_m_, fading_.value());
-  out.mcs = select_mcs(reported_sinr, params.la_margin_db, mcs_offset, params.mcs_cap);
-  const double tb = tbs_bits(out.mcs, prbs, params.tbs_overhead);
+  const double cqi_fading = cqi_fading_db();
+  const double inst_fading = fading_.value();
+  if (!memo.valid || memo.cqi_fading != cqi_fading || memo.fading != inst_fading ||
+      memo.prbs != prbs || memo.offset != mcs_offset) {
+    memo.valid = true;
+    memo.cqi_fading = cqi_fading;
+    memo.fading = inst_fading;
+    memo.prbs = prbs;
+    memo.offset = mcs_offset;
+    // Link adaptation sees the (possibly stale) reported channel; the actual
+    // block error is drawn from the instantaneous channel.
+    const double reported_sinr =
+        sinr_db_cached(params.budget, cache.pathloss_db, cache.floor_db, cqi_fading);
+    memo.sinr_db = sinr_db_cached(params.budget, cache.pathloss_db, cache.floor_db, inst_fading);
+    memo.mcs = select_mcs(reported_sinr, params.la_margin_db, mcs_offset, params.mcs_cap);
+    memo.tb = tbs_bits(memo.mcs, prbs, params.tbs_overhead);
+    memo.p = bler(memo.mcs, memo.sinr_db);
+  }
+  out.sinr_db = memo.sinr_db;
+  out.mcs = memo.mcs;
+  const double tb = memo.tb;
   out.tb_total = 1;
-  if (rng.bernoulli(bler(out.mcs, out.sinr_db))) {
+  if (rng.bernoulli(memo.p)) {
     // HARQ: the transport block is lost; the data stays queued and is
     // retransmitted after the HARQ round trip (no soft combining modeled).
     out.tb_err = 1;
@@ -91,13 +132,20 @@ TtiOutcome UeRadio::run_tti(bool uplink, double now, int prbs, int mcs_offset,
   }
   const double queued = queue.queued_bits();
   out.delivered_bits = std::min(tb, queued);
-  out.completed = queue.drain(tb);
+  queue.drain_into(tb, completed);
   return out;
 }
 
-DirectionTti run_direction_tti(std::vector<SliceRadioShare>& slices, bool uplink, double now,
-                               atlas::math::Rng& rng) {
-  DirectionTti agg;
+TtiOutcome UeRadio::run_tti(bool uplink, double now, int prbs, int mcs_offset,
+                            atlas::math::Rng& rng) {
+  TtiOutcome out;
+  static_cast<TtiStats&>(out) = run_tti_into(uplink, now, prbs, mcs_offset, rng, out.completed);
+  return out;
+}
+
+void run_direction_tti(std::vector<SliceRadioShare>& slices, bool uplink, double now,
+                       atlas::math::Rng& rng, TtiScratch& scratch) {
+  scratch.reset();
   int remaining = kTotalPrbs;
   for (auto& slice : slices) {
     if (remaining <= 0) break;
@@ -106,30 +154,48 @@ DirectionTti run_direction_tti(std::vector<SliceRadioShare>& slices, bool uplink
     int budget = std::min(cap, remaining);
     if (budget <= 0) continue;
 
-    std::vector<UeRadio*> active;
+    scratch.active.clear();
     for (UeRadio* ue : slice.ues) {
       RadioQueue& q = uplink ? ue->ul_queue() : ue->dl_queue();
-      if (q.has_data(now)) active.push_back(ue);
+      if (q.has_data(now)) scratch.active.push_back(ue);
     }
-    if (active.empty()) continue;
+    if (scratch.active.empty()) continue;
 
-    const int per_ue = budget / static_cast<int>(active.size());
-    int extra = budget % static_cast<int>(active.size());
+    const int per_ue = budget / static_cast<int>(scratch.active.size());
+    int extra = budget % static_cast<int>(scratch.active.size());
     int used = 0;
-    for (UeRadio* ue : active) {
+    for (UeRadio* ue : scratch.active) {
       int grant = per_ue + (extra > 0 ? 1 : 0);
       if (extra > 0) --extra;
       if (grant <= 0) continue;
-      TtiOutcome out = ue->run_tti(uplink, now, grant, offset, rng);
-      agg.delivered_bits += out.delivered_bits;
-      agg.tb_total += out.tb_total;
-      agg.tb_err += out.tb_err;
-      if (!out.completed.empty()) {
-        agg.completed.emplace_back(ue, std::move(out.completed));
+      const std::size_t before = scratch.ids.size();
+      const TtiStats out = ue->run_tti_into(uplink, now, grant, offset, rng, scratch.ids);
+      scratch.delivered_bits += out.delivered_bits;
+      scratch.tb_total += out.tb_total;
+      scratch.tb_err += out.tb_err;
+      if (scratch.ids.size() > before) {
+        scratch.completed.push_back({ue, static_cast<std::uint32_t>(before),
+                                     static_cast<std::uint32_t>(scratch.ids.size() - before)});
       }
       used += grant;
     }
     remaining -= used;
+  }
+}
+
+DirectionTti run_direction_tti(std::vector<SliceRadioShare>& slices, bool uplink, double now,
+                               atlas::math::Rng& rng) {
+  TtiScratch scratch;
+  run_direction_tti(slices, uplink, now, rng, scratch);
+  DirectionTti agg;
+  agg.delivered_bits = scratch.delivered_bits;
+  agg.tb_total = scratch.tb_total;
+  agg.tb_err = scratch.tb_err;
+  agg.completed.reserve(scratch.completed.size());
+  for (const auto& span : scratch.completed) {
+    agg.completed.emplace_back(
+        span.ue, std::vector<std::uint64_t>(scratch.ids.begin() + span.begin,
+                                            scratch.ids.begin() + span.begin + span.count));
   }
   return agg;
 }

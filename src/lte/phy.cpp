@@ -1,86 +1,33 @@
 #include "lte/phy.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 namespace atlas::lte {
 
 namespace {
 
-// 3GPP TS 36.213-style efficiency ladder (QPSK -> 16QAM -> 64QAM).
-constexpr double kEfficiency[kMaxMcs + 1] = {
-    0.15, 0.19, 0.23, 0.31, 0.38, 0.49, 0.60, 0.74, 0.88, 1.03,
-    1.18, 1.33, 1.48, 1.70, 1.91, 2.16, 2.41, 2.57, 2.73, 3.03,
-    3.32, 3.61, 3.90, 4.21, 4.52, 4.82, 5.12, 5.33, 5.55};
-
 constexpr double kThermalNoiseDbmHz = -174.0;
 
 }  // namespace
-
-double mcs_efficiency(int mcs) {
-  if (mcs < 0 || mcs > kMaxMcs) throw std::invalid_argument("mcs_efficiency: mcs out of range");
-  return kEfficiency[mcs];
-}
-
-double mcs_sinr_threshold_db(int mcs) {
-  if (mcs < 0 || mcs > kMaxMcs) {
-    throw std::invalid_argument("mcs_sinr_threshold_db: mcs out of range");
-  }
-  // Linearized waterfall positions: MCS 0 decodes around -7 dB, MCS 28 needs
-  // about 22.4 dB — the usual AWGN link-abstraction slope of ~1.05 dB/MCS.
-  return -7.0 + 1.05 * static_cast<double>(mcs);
-}
-
-double tbs_bits(int mcs, int prbs, double overhead) {
-  if (prbs < 0) throw std::invalid_argument("tbs_bits: negative PRBs");
-  if (prbs == 0) return 0.0;
-  return mcs_efficiency(mcs) * kPrbBandwidthHz * (kTtiMs / 1000.0) *
-         static_cast<double>(prbs) * overhead;
-}
-
-double bler(int mcs, double sinr_db, double steepness) {
-  const double margin = sinr_db - mcs_sinr_threshold_db(mcs);
-  return 1.0 / (1.0 + std::exp(steepness * margin));
-}
-
-int select_mcs(double sinr_db, double margin_db, int mcs_offset, int cap) {
-  cap = std::clamp(cap, 0, kMaxMcs);
-  int mcs = 0;
-  for (int m = cap; m >= 0; --m) {
-    if (mcs_sinr_threshold_db(m) + margin_db <= sinr_db) {
-      mcs = m;
-      break;
-    }
-  }
-  return std::max(0, mcs - std::max(0, mcs_offset));
-}
 
 double pathloss_db(double distance_m, double baseline_loss_db, double exponent) {
   const double d = std::max(distance_m, 0.1);
   return baseline_loss_db + 10.0 * exponent * std::log10(d);
 }
 
-double sinr_db(const LinkBudget& budget, double distance_m, double fading_db) {
-  const double rx_dbm =
-      budget.tx_psd_dbm_per_prb -
-      pathloss_db(distance_m, budget.baseline_loss_db, budget.pathloss_exponent) + fading_db;
+double noise_interference_floor_db(const LinkBudget& budget) {
   const double noise_dbm =
       kThermalNoiseDbmHz + 10.0 * std::log10(kPrbBandwidthHz) + budget.noise_figure_db;
   // Noise + interference combined in linear domain.
   const double floor_mw =
       std::pow(10.0, noise_dbm / 10.0) + std::pow(10.0, budget.interference_dbm / 10.0);
-  const double sinr = rx_dbm - 10.0 * std::log10(floor_mw);
-  return std::min(sinr, budget.sinr_cap_db);
+  return 10.0 * std::log10(floor_mw);
 }
 
-FadingProcess::FadingProcess(double sigma_db, double rho)
-    : sigma_db_(sigma_db), rho_(std::clamp(rho, 0.0, 0.9999)) {}
-
-double FadingProcess::step(atlas::math::Rng& rng) {
-  if (!enabled()) return 0.0;
-  value_ = rho_ * value_ + sigma_db_ * std::sqrt(1.0 - rho_ * rho_) * rng.normal();
-  return value_;
+double sinr_db(const LinkBudget& budget, double distance_m, double fading_db) {
+  return sinr_db_cached(
+      budget, pathloss_db(distance_m, budget.baseline_loss_db, budget.pathloss_exponent),
+      noise_interference_floor_db(budget), fading_db);
 }
 
 }  // namespace atlas::lte

@@ -15,8 +15,6 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -31,26 +29,6 @@ Rng Rng::fork(std::uint64_t salt) const {
   return Rng(splitmix64(sm));
 }
 
-std::uint64_t Rng::next_u64() {
-  // xoshiro256** by Blackman & Vigna (public domain reference construction).
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 random mantissa bits -> uniform in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   if (lo > hi) throw std::invalid_argument("uniform_int: empty range");
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
@@ -62,23 +40,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   } while (v >= limit);
   return lo + static_cast<std::int64_t>(v % span);
 }
-
-bool Rng::bernoulli(double p) { return uniform() < p; }
-
-double Rng::normal() {
-  // Polar method: draw pairs in the unit disc; cache nothing (simplicity over
-  // the ~2x speedup — this is never the hot path).
-  for (;;) {
-    const double u = uniform(-1.0, 1.0);
-    const double v = uniform(-1.0, 1.0);
-    const double s = u * u + v * v;
-    if (s > 0.0 && s < 1.0) {
-      return u * std::sqrt(-2.0 * std::log(s) / s);
-    }
-  }
-}
-
-double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
 
 double Rng::truncated_normal(double mean, double stddev, double lo, double hi) {
   if (lo >= hi) throw std::invalid_argument("truncated_normal: empty interval");

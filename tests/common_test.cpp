@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 #include <sstream>
+#include <thread>
 
 #include "common/options.hpp"
 #include "common/table.hpp"
@@ -144,6 +149,53 @@ TEST(ThreadPool, NestedExceptionsStillPropagate) {
     });
   });
   EXPECT_THROW(outer.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, NestedTasksAreStolenByIdleWorkers) {
+  // Work submitted from inside a worker lands on that worker's own deque.
+  // The outer task then blocks both nested tasks on a 2-party rendezvous:
+  // via the caller-runs fallback it executes one of them inline, which can
+  // only ever complete if ANOTHER worker steals the second task from the
+  // submitting worker's deque. A pool without stealing (the old shared
+  // queue drained only through caller-runs here) would hang this test, and
+  // the recorded thread ids must show two distinct workers.
+  ac::ThreadPool pool(2);
+  std::mutex m;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::set<std::thread::id> runners;
+  auto outer = pool.submit([&] {
+    pool.parallel_for(2, [&](std::size_t) {
+      std::unique_lock lock(m);
+      runners.insert(std::this_thread::get_id());
+      ++arrived;
+      cv.notify_all();
+      cv.wait(lock, [&] { return arrived == 2; });
+    });
+  });
+  outer.get();
+  EXPECT_EQ(runners.size(), 2u);
+}
+
+TEST(ThreadPool, StealKeepsDeepNestingParallel) {
+  // Head-of-line regression guard: a deep nested fan-out from one worker
+  // must still spread across the pool instead of serializing behind the
+  // nested caller. With 4 workers and 64 sleepy subtasks, at least one
+  // other worker must have stolen some of them.
+  ac::ThreadPool pool(4);
+  std::mutex m;
+  std::set<std::thread::id> runners;
+  auto outer = pool.submit([&] {
+    pool.parallel_for(64, [&](std::size_t) {
+      {
+        std::scoped_lock lock(m);
+        runners.insert(std::this_thread::get_id());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  });
+  outer.get();
+  EXPECT_GE(runners.size(), 2u);
 }
 
 TEST(ThreadPool, ParallelResultsMatchSerial) {

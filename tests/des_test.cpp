@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "des/event_queue.hpp"
@@ -76,4 +79,177 @@ TEST(EventQueue, RunUntilAdvancesClockWithoutEvents) {
   ad::EventQueue q;
   q.run_until(42.0);
   EXPECT_DOUBLE_EQ(q.now(), 42.0);
+}
+
+TEST(EventQueue, ScheduleFromInsideCallbackAtSameInstantRunsAfter) {
+  // An event scheduled from inside a callback for the *current* instant must
+  // run at that same instant, after the scheduling event (FIFO by seq) —
+  // the frame-send path relies on this when loading time is zero.
+  ad::EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5.0, [&] {
+    order.push_back(1);
+    q.schedule_at(5.0, [&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  q.schedule_at(6.0, [&] { order.push_back(4); });
+  q.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, LargeAndNonTrivialCallablesStillWork) {
+  // Callables beyond the inline budget (or non-trivially-copyable, like a
+  // recursive std::function) take the boxed fallback transparently.
+  ad::EventQueue q;
+  struct Big {
+    double pad[16];  // 128 bytes > kInlineEventBytes
+  };
+  Big big{};
+  big.pad[7] = 7.5;
+  double seen = 0.0;
+  q.schedule_at(1.0, [big, &seen] { seen = big.pad[7]; });
+  std::vector<int> tail;
+  std::function<void()> fn = [&] { tail.push_back(9); };
+  q.schedule_at(2.0, fn);
+  q.run_all();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+  EXPECT_EQ(tail, (std::vector<int>{9}));
+}
+
+TEST(EventQueue, UnrunBoxedEventsAreReleasedOnDestruction) {
+  // A shared_ptr captured by a boxed event scheduled beyond the horizon must
+  // be freed when the queue dies (the drop hook runs exactly once).
+  auto token = std::make_shared<int>(1);
+  {
+    ad::EventQueue q;
+    struct Big {
+      std::shared_ptr<int> keep;
+      double pad[16];
+    };
+    q.schedule_at(100.0, [b = Big{token, {}}] { (void)b; });
+    q.run_until(1.0);
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, StepperFiresAtFixedCadence) {
+  ad::EventQueue q;
+  std::vector<double> fire_times;
+  q.add_stepper(1.0, [&] { fire_times.push_back(q.now()); });
+  q.run_until(5.0);
+  ASSERT_EQ(fire_times.size(), 5u);  // fires at 1..5 inclusive
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(fire_times[static_cast<std::size_t>(i)], i + 1.0);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  q.run_until(7.0);  // stays armed across run_until calls
+  EXPECT_EQ(fire_times.size(), 7u);
+}
+
+TEST(EventQueue, StepperBoundarySemanticsMatchEvents) {
+  // A stepper due exactly at `until` still fires — same inclusive boundary
+  // as one-shot events.
+  ad::EventQueue q;
+  int fires = 0;
+  q.add_stepper(2.0, [&] { ++fires; });
+  q.run_until(4.0);
+  EXPECT_EQ(fires, 2);
+  q.run_until(5.9999);
+  EXPECT_EQ(fires, 2);
+  q.run_until(6.0);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(EventQueue, StepperInterleavesWithEventsLikeSelfRescheduling) {
+  // The stepper contract: ordering against heap events is bit-identical to
+  // an event that re-arms itself with schedule_in at the end of its
+  // callback. Run both formulations against the same one-shot events and
+  // compare the full interleaving.
+  auto drive = [](bool use_stepper) {
+    ad::EventQueue q;
+    std::vector<std::pair<double, int>> log;  // (time, source): 0 = tick, 1..n = events
+    std::function<void()> tick;  // outlives run_until: the queued copy re-arms it by reference
+    // One-shot events placed on and off the tick cadence, including exact
+    // collisions scheduled before and after the tick is armed.
+    q.schedule_at(2.0, [&] { log.emplace_back(q.now(), 1); });
+    if (use_stepper) {
+      q.add_stepper(1.0, [&] {
+        log.emplace_back(q.now(), 0);
+        if (log.size() == 3) q.schedule_at(q.now(), [&] { log.emplace_back(q.now(), 2); });
+      });
+    } else {
+      tick = [&] {
+        log.emplace_back(q.now(), 0);
+        if (log.size() == 3) q.schedule_at(q.now(), [&] { log.emplace_back(q.now(), 2); });
+        q.schedule_in(1.0, tick);
+      };
+      q.schedule_in(1.0, tick);
+    }
+    q.schedule_at(3.0, [&] { log.emplace_back(q.now(), 3); });
+    q.schedule_at(3.5, [&] { log.emplace_back(q.now(), 4); });
+    q.run_until(6.0);
+    return log;
+  };
+  const auto with_stepper = drive(true);
+  const auto with_events = drive(false);
+  EXPECT_EQ(with_stepper, with_events);
+}
+
+TEST(EventQueue, TwoSteppersPreserveRegistrationOrderAtCollisions) {
+  // Steppers colliding at a common multiple (mobility at 100 ms vs TTI at
+  // 1 ms) must run in registration order — the earlier-armed stepper holds
+  // the older sequence number, exactly like the self-rescheduling events it
+  // replaces.
+  ad::EventQueue q;
+  std::vector<int> order;
+  q.add_stepper(2.0, [&] { order.push_back(1); });  // fires at 2, 4
+  q.add_stepper(1.0, [&] { order.push_back(2); });  // fires at 1, 2, 3, 4
+  q.run_until(4.0);
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 2, 2, 1, 2}));
+}
+
+TEST(EventQueue, StepperCanRegisterStepperMidFire) {
+  // Registering a stepper from inside a stepper callback must not invalidate
+  // the currently-executing callable (steppers live in a deque, not a
+  // reallocating vector); the new stepper arms at now + period.
+  ad::EventQueue q;
+  int outer = 0;
+  int inner = 0;
+  bool registered = false;
+  q.add_stepper(1.0, [&] {
+    ++outer;
+    if (!registered) {
+      registered = true;
+      q.add_stepper(1.0, [&] { ++inner; });
+    }
+  });
+  q.run_until(5.0);
+  EXPECT_EQ(outer, 5);  // fires at 1..5
+  EXPECT_EQ(inner, 4);  // registered at 1, fires at 2..5
+}
+
+TEST(EventQueue, PendingCountsEventsAndSteppers) {
+  ad::EventQueue q;
+  EXPECT_EQ(q.pending(), 0u);
+  q.schedule_at(1.0, [] {});
+  q.add_stepper(1.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.run_until(10.0);
+  EXPECT_EQ(q.pending(), 1u);  // the stepper stays armed
+}
+
+TEST(EventQueue, ManySameInstantEventsKeepFifoUnderHeapChurn) {
+  // Stress the vector-heap tie-break: hundreds of same-instant events pushed
+  // between pops must still drain in submission order.
+  ad::EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+    q.schedule_at(2.0, [&order, i] { order.push_back(1000 + i); });
+  }
+  q.run_all();
+  ASSERT_EQ(order.size(), 400u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(order[static_cast<std::size_t>(200 + i)], 1000 + i);
+  }
 }

@@ -61,6 +61,58 @@ TEST(Phy, SelectMcsRespectsMarginOffsetCap) {
   EXPECT_LE(al::select_mcs(10.0, 6.0, 0, 28), al::select_mcs(10.0, 2.0, 0, 28));
 }
 
+TEST(Phy, SelectMcsClosedFormMatchesLinearScan) {
+  // The closed-form link adaptation must be bit-identical to the reference
+  // linear threshold scan — including exactly at threshold boundaries, where
+  // the floating floor is most likely to land one step off.
+  auto reference = [](double sinr, double margin, int offset, int cap) {
+    cap = std::clamp(cap, 0, al::kMaxMcs);
+    int mcs = 0;
+    for (int m = cap; m >= 0; --m) {
+      if (al::mcs_sinr_threshold_db(m) + margin <= sinr) {
+        mcs = m;
+        break;
+      }
+    }
+    return std::max(0, mcs - std::max(0, offset));
+  };
+  for (const double margin : {0.0, 2.0, 3.5, 6.0}) {
+    for (const int offset : {0, 3, 10}) {
+      for (const int cap : {0, 5, 24, 28}) {
+        for (double sinr = -12.0; sinr <= 35.0; sinr += 0.01) {
+          ASSERT_EQ(al::select_mcs(sinr, margin, offset, cap),
+                    reference(sinr, margin, offset, cap))
+              << "sinr=" << sinr << " margin=" << margin << " offset=" << offset
+              << " cap=" << cap;
+        }
+        for (int m = 0; m <= al::kMaxMcs; ++m) {
+          // Exact boundary: threshold(m) + margin.
+          const double sinr = al::mcs_sinr_threshold_db(m) + margin;
+          ASSERT_EQ(al::select_mcs(sinr, margin, offset, cap),
+                    reference(sinr, margin, offset, cap));
+        }
+      }
+    }
+  }
+}
+
+TEST(Phy, CachedSinrMatchesDirectComputation) {
+  // sinr_db_cached with precomputed pathloss/floor terms must reproduce
+  // sinr_db bit-for-bit (the UE caches these per direction and invalidates
+  // only on set_distance).
+  al::LinkBudget b;
+  b.interference_dbm = -110.0;
+  for (double d = 0.3; d < 13.0; d += 0.37) {
+    const double pl = al::pathloss_db(d, b.baseline_loss_db, b.pathloss_exponent);
+    const double floor_db = al::noise_interference_floor_db(b);
+    for (double fading = -8.0; fading <= 8.0; fading += 1.7) {
+      const double direct = al::sinr_db(b, d, fading);
+      const double cached = al::sinr_db_cached(b, pl, floor_db, fading);
+      EXPECT_EQ(direct, cached);  // bitwise, not NEAR
+    }
+  }
+}
+
 TEST(Phy, PathlossLogDistance) {
   EXPECT_NEAR(al::pathloss_db(1.0, 38.57, 3.0), 38.57, 1e-12);
   EXPECT_NEAR(al::pathloss_db(10.0, 38.57, 3.0), 68.57, 1e-12);
@@ -133,6 +185,38 @@ TEST(RadioQueue, FullBufferAlwaysHasData) {
   al::RadioQueue q;
   q.set_full_buffer(true);
   EXPECT_TRUE(q.has_data(0.0));
+}
+
+TEST(RadioQueue, IncrementalTotalTracksPushesAndPartialDrains) {
+  // queued_bits() is now an O(1) running total; it must track any sequence
+  // of pushes and full/partial drains (the debug build additionally asserts
+  // it against the recomputed sum inside push/drain).
+  al::RadioQueue q;
+  EXPECT_DOUBLE_EQ(q.queued_bits(), 0.0);
+  std::vector<std::uint64_t> done;
+  double expected = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double bits = 100.0 + 7.0 * i;
+    q.push(static_cast<std::uint64_t>(i), bits, 0.0, 0.0);
+    expected += bits;
+  }
+  EXPECT_DOUBLE_EQ(q.queued_bits(), expected);
+  q.drain_into(33.5, done);  // partial head drain
+  EXPECT_NEAR(q.queued_bits(), expected - 33.5, 1e-9);
+  q.drain_into(1000.0, done);
+  EXPECT_NEAR(q.queued_bits(), expected - 1033.5, 1e-9);
+  q.drain_into(1e9, done);  // drain everything
+  EXPECT_DOUBLE_EQ(q.queued_bits(), 0.0);
+  EXPECT_EQ(done.size(), 50u);
+}
+
+TEST(RadioQueue, DrainIntoAppendsWithoutClearing) {
+  al::RadioQueue q;
+  q.push(1, 10.0, 0.0, 0.0);
+  q.push(2, 10.0, 0.0, 0.0);
+  std::vector<std::uint64_t> done{99};
+  q.drain_into(100.0, done);
+  EXPECT_EQ(done, (std::vector<std::uint64_t>{99, 1, 2}));
 }
 
 namespace {
@@ -252,6 +336,84 @@ TEST(Scheduler, TotalGrantsNeverExceedCarrier) {
   // Second slice gets only the 10 remaining PRBs.
   const double max_bits = al::tbs_bits(24, 40, 0.55) + al::tbs_bits(24, 10, 0.55);
   EXPECT_LE(out.delivered_bits, max_bits + 1e-9);
+}
+
+TEST(Scheduler, ScratchFormMatchesAllocatingForm) {
+  // The zero-allocation run_direction_tti must produce exactly what the
+  // allocating convenience form reports: same aggregates, same per-UE
+  // completion spans in the same order, same RNG consumption.
+  auto build = [] {
+    std::vector<al::UeRadio> ues;
+    ues.reserve(3);
+    for (int i = 0; i < 3; ++i) ues.emplace_back(ideal_radio(), ideal_radio(), 1.0, 2.0, 0.9);
+    return ues;
+  };
+  auto load = [](std::vector<al::UeRadio>& ues) {
+    ues[0].ul_queue().push(10, 5000.0, 0.0, 0.0);
+    ues[0].ul_queue().push(11, 50.0, 0.0, 0.0);
+    ues[1].ul_queue().push(20, 80.0, 0.0, 0.0);
+    // ues[2] idle.
+  };
+  auto shares = [](std::vector<al::UeRadio>& ues) {
+    std::vector<al::SliceRadioShare> slices(2);
+    slices[0].prb_cap_ul = 30;
+    slices[0].ues = {&ues[0], &ues[2]};
+    slices[1].prb_cap_ul = 20;
+    slices[1].ues = {&ues[1]};
+    return slices;
+  };
+
+  auto a_ues = build();
+  load(a_ues);
+  auto a_slices = shares(a_ues);
+  am::Rng a_rng(77);
+  std::vector<al::DirectionTti> allocating;
+  for (int t = 0; t < 40; ++t) {
+    for (auto& ue : a_ues) ue.step_fading(a_rng);
+    allocating.push_back(al::run_direction_tti(a_slices, true, static_cast<double>(t), a_rng));
+  }
+
+  auto b_ues = build();
+  load(b_ues);
+  auto b_slices = shares(b_ues);
+  am::Rng b_rng(77);
+  al::TtiScratch scratch;
+  for (int t = 0; t < 40; ++t) {
+    for (auto& ue : b_ues) ue.step_fading(b_rng);
+    al::run_direction_tti(b_slices, true, static_cast<double>(t), b_rng, scratch);
+    const auto& ref = allocating[static_cast<std::size_t>(t)];
+    ASSERT_EQ(scratch.delivered_bits, ref.delivered_bits) << "tti " << t;
+    ASSERT_EQ(scratch.tb_total, ref.tb_total);
+    ASSERT_EQ(scratch.tb_err, ref.tb_err);
+    ASSERT_EQ(scratch.completed.size(), ref.completed.size());
+    for (std::size_t s = 0; s < ref.completed.size(); ++s) {
+      // Same UE by position (a_ues and b_ues are parallel arrays).
+      const auto a_idx = ref.completed[s].first - &a_ues[0];
+      const auto b_idx = scratch.completed[s].ue - &b_ues[0];
+      ASSERT_EQ(a_idx, b_idx);
+      const auto& span = scratch.completed[s];
+      ASSERT_EQ(span.count, ref.completed[s].second.size());
+      for (std::uint32_t i = 0; i < span.count; ++i) {
+        ASSERT_EQ(scratch.ids[span.begin + i], ref.completed[s].second[i]);
+      }
+    }
+  }
+}
+
+TEST(UeRadio, SetDistanceRefreshesCachedLinkBudget) {
+  // The cached pathloss must follow mobility: after set_distance the TTI
+  // outcome must match a fresh UE constructed at the new distance.
+  am::Rng rng_a(21), rng_b(21);
+  al::UeRadio moved(ideal_radio(), ideal_radio(), 1.0, 0.0, 0.9);
+  al::UeRadio fresh(ideal_radio(), ideal_radio(), 9.0, 0.0, 0.9);
+  moved.ul_queue().set_full_buffer(true);
+  fresh.ul_queue().set_full_buffer(true);
+  moved.set_distance(9.0);
+  const auto out_moved = moved.run_tti(true, 0.0, 25, 0, rng_a);
+  const auto out_fresh = fresh.run_tti(true, 0.0, 25, 0, rng_b);
+  EXPECT_EQ(out_moved.mcs, out_fresh.mcs);
+  EXPECT_EQ(out_moved.sinr_db, out_fresh.sinr_db);  // bitwise
+  EXPECT_EQ(out_moved.delivered_bits, out_fresh.delivered_bits);
 }
 
 TEST(StaleCqi, RaisesErrorRateUnderFading) {
