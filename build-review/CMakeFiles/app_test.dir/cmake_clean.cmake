@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_test.dir/tests/app_test.cpp.o"
+  "CMakeFiles/app_test.dir/tests/app_test.cpp.o.d"
+  "tests/app_test"
+  "tests/app_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

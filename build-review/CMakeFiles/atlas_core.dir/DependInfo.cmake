@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/frame_app.cpp" "CMakeFiles/atlas_core.dir/src/app/frame_app.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/app/frame_app.cpp.o.d"
+  "/root/repo/src/app/qoe.cpp" "CMakeFiles/atlas_core.dir/src/app/qoe.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/app/qoe.cpp.o.d"
+  "/root/repo/src/atlas/calibrator.cpp" "CMakeFiles/atlas_core.dir/src/atlas/calibrator.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/atlas/calibrator.cpp.o.d"
+  "/root/repo/src/atlas/offline_trainer.cpp" "CMakeFiles/atlas_core.dir/src/atlas/offline_trainer.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/atlas/offline_trainer.cpp.o.d"
+  "/root/repo/src/atlas/online_learner.cpp" "CMakeFiles/atlas_core.dir/src/atlas/online_learner.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/atlas/online_learner.cpp.o.d"
+  "/root/repo/src/atlas/oracle.cpp" "CMakeFiles/atlas_core.dir/src/atlas/oracle.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/atlas/oracle.cpp.o.d"
+  "/root/repo/src/atlas/pipeline.cpp" "CMakeFiles/atlas_core.dir/src/atlas/pipeline.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/atlas/pipeline.cpp.o.d"
+  "/root/repo/src/baselines/dlda.cpp" "CMakeFiles/atlas_core.dir/src/baselines/dlda.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/baselines/dlda.cpp.o.d"
+  "/root/repo/src/baselines/gp_baseline.cpp" "CMakeFiles/atlas_core.dir/src/baselines/gp_baseline.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/baselines/gp_baseline.cpp.o.d"
+  "/root/repo/src/baselines/virtual_edge.cpp" "CMakeFiles/atlas_core.dir/src/baselines/virtual_edge.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/baselines/virtual_edge.cpp.o.d"
+  "/root/repo/src/bo/acquisition.cpp" "CMakeFiles/atlas_core.dir/src/bo/acquisition.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/bo/acquisition.cpp.o.d"
+  "/root/repo/src/bo/gp_bo.cpp" "CMakeFiles/atlas_core.dir/src/bo/gp_bo.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/bo/gp_bo.cpp.o.d"
+  "/root/repo/src/bo/space.cpp" "CMakeFiles/atlas_core.dir/src/bo/space.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/bo/space.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/atlas_core.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/options.cpp" "CMakeFiles/atlas_core.dir/src/common/options.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/common/options.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/atlas_core.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "CMakeFiles/atlas_core.dir/src/common/thread_pool.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/common/thread_pool.cpp.o.d"
+  "/root/repo/src/des/event_queue.cpp" "CMakeFiles/atlas_core.dir/src/des/event_queue.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/des/event_queue.cpp.o.d"
+  "/root/repo/src/env/env_service.cpp" "CMakeFiles/atlas_core.dir/src/env/env_service.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/env/env_service.cpp.o.d"
+  "/root/repo/src/env/environment.cpp" "CMakeFiles/atlas_core.dir/src/env/environment.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/env/environment.cpp.o.d"
+  "/root/repo/src/env/episode.cpp" "CMakeFiles/atlas_core.dir/src/env/episode.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/env/episode.cpp.o.d"
+  "/root/repo/src/env/multi_slice.cpp" "CMakeFiles/atlas_core.dir/src/env/multi_slice.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/env/multi_slice.cpp.o.d"
+  "/root/repo/src/env/profile.cpp" "CMakeFiles/atlas_core.dir/src/env/profile.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/env/profile.cpp.o.d"
+  "/root/repo/src/env/shard_router.cpp" "CMakeFiles/atlas_core.dir/src/env/shard_router.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/env/shard_router.cpp.o.d"
+  "/root/repo/src/env/sim_params.cpp" "CMakeFiles/atlas_core.dir/src/env/sim_params.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/env/sim_params.cpp.o.d"
+  "/root/repo/src/env/slice_config.cpp" "CMakeFiles/atlas_core.dir/src/env/slice_config.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/env/slice_config.cpp.o.d"
+  "/root/repo/src/env/trace.cpp" "CMakeFiles/atlas_core.dir/src/env/trace.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/env/trace.cpp.o.d"
+  "/root/repo/src/gp/gaussian_process.cpp" "CMakeFiles/atlas_core.dir/src/gp/gaussian_process.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/gp/gaussian_process.cpp.o.d"
+  "/root/repo/src/gp/kernel.cpp" "CMakeFiles/atlas_core.dir/src/gp/kernel.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/gp/kernel.cpp.o.d"
+  "/root/repo/src/lte/mac.cpp" "CMakeFiles/atlas_core.dir/src/lte/mac.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/lte/mac.cpp.o.d"
+  "/root/repo/src/lte/phy.cpp" "CMakeFiles/atlas_core.dir/src/lte/phy.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/lte/phy.cpp.o.d"
+  "/root/repo/src/math/halton.cpp" "CMakeFiles/atlas_core.dir/src/math/halton.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/math/halton.cpp.o.d"
+  "/root/repo/src/math/kl.cpp" "CMakeFiles/atlas_core.dir/src/math/kl.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/math/kl.cpp.o.d"
+  "/root/repo/src/math/linalg.cpp" "CMakeFiles/atlas_core.dir/src/math/linalg.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/math/linalg.cpp.o.d"
+  "/root/repo/src/math/matrix.cpp" "CMakeFiles/atlas_core.dir/src/math/matrix.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/math/matrix.cpp.o.d"
+  "/root/repo/src/math/rng.cpp" "CMakeFiles/atlas_core.dir/src/math/rng.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/math/rng.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "CMakeFiles/atlas_core.dir/src/math/stats.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/math/stats.cpp.o.d"
+  "/root/repo/src/net/backhaul.cpp" "CMakeFiles/atlas_core.dir/src/net/backhaul.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/net/backhaul.cpp.o.d"
+  "/root/repo/src/net/edge.cpp" "CMakeFiles/atlas_core.dir/src/net/edge.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/net/edge.cpp.o.d"
+  "/root/repo/src/nn/bnn.cpp" "CMakeFiles/atlas_core.dir/src/nn/bnn.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/nn/bnn.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "CMakeFiles/atlas_core.dir/src/nn/mlp.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/nn/mlp.cpp.o.d"
+  "/root/repo/src/nn/optim.cpp" "CMakeFiles/atlas_core.dir/src/nn/optim.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/nn/optim.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "CMakeFiles/atlas_core.dir/src/nn/serialize.cpp.o" "gcc" "CMakeFiles/atlas_core.dir/src/nn/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

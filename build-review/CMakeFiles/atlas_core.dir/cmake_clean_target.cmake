@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libatlas_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_stage1_test.dir/tests/atlas_stage1_test.cpp.o"
+  "CMakeFiles/atlas_stage1_test.dir/tests/atlas_stage1_test.cpp.o.d"
+  "tests/atlas_stage1_test"
+  "tests/atlas_stage1_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_stage1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

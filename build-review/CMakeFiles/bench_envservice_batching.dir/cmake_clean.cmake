@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_envservice_batching.dir/bench/bench_envservice_batching.cpp.o"
+  "CMakeFiles/bench_envservice_batching.dir/bench/bench_envservice_batching.cpp.o.d"
+  "bench/bench_envservice_batching"
+  "bench/bench_envservice_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_envservice_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

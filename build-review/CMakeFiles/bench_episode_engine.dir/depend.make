@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_episode_engine.
+# This may be replaced when dependencies are built.

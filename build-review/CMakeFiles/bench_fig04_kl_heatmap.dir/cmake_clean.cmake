@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_kl_heatmap.dir/bench/bench_fig04_kl_heatmap.cpp.o"
+  "CMakeFiles/bench_fig04_kl_heatmap.dir/bench/bench_fig04_kl_heatmap.cpp.o.d"
+  "bench/bench_fig04_kl_heatmap"
+  "bench/bench_fig04_kl_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_kl_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

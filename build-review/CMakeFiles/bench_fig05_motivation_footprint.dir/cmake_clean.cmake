@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_motivation_footprint.dir/bench/bench_fig05_motivation_footprint.cpp.o"
+  "CMakeFiles/bench_fig05_motivation_footprint.dir/bench/bench_fig05_motivation_footprint.cpp.o.d"
+  "bench/bench_fig05_motivation_footprint"
+  "bench/bench_fig05_motivation_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_motivation_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

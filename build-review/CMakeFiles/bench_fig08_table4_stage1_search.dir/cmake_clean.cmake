@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_table4_stage1_search.dir/bench/bench_fig08_table4_stage1_search.cpp.o"
+  "CMakeFiles/bench_fig08_table4_stage1_search.dir/bench/bench_fig08_table4_stage1_search.cpp.o.d"
+  "bench/bench_fig08_table4_stage1_search"
+  "bench/bench_fig08_table4_stage1_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_table4_stage1_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

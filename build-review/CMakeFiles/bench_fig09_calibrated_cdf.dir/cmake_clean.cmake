@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_calibrated_cdf.dir/bench/bench_fig09_calibrated_cdf.cpp.o"
+  "CMakeFiles/bench_fig09_calibrated_cdf.dir/bench/bench_fig09_calibrated_cdf.cpp.o.d"
+  "bench/bench_fig09_calibrated_cdf"
+  "bench/bench_fig09_calibrated_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_calibrated_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

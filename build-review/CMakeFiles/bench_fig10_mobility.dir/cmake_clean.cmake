@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_mobility.dir/bench/bench_fig10_mobility.cpp.o"
+  "CMakeFiles/bench_fig10_mobility.dir/bench/bench_fig10_mobility.cpp.o.d"
+  "bench/bench_fig10_mobility"
+  "bench/bench_fig10_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_isolation.dir/bench/bench_fig11_isolation.cpp.o"
+  "CMakeFiles/bench_fig11_isolation.dir/bench/bench_fig11_isolation.cpp.o.d"
+  "bench/bench_fig11_isolation"
+  "bench/bench_fig11_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

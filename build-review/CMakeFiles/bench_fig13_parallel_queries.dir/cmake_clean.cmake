@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_parallel_queries.dir/bench/bench_fig13_parallel_queries.cpp.o"
+  "CMakeFiles/bench_fig13_parallel_queries.dir/bench/bench_fig13_parallel_queries.cpp.o.d"
+  "bench/bench_fig13_parallel_queries"
+  "bench/bench_fig13_parallel_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_parallel_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_discrepancy_traffic.dir/bench/bench_fig14_discrepancy_traffic.cpp.o"
+  "CMakeFiles/bench_fig14_discrepancy_traffic.dir/bench/bench_fig14_discrepancy_traffic.cpp.o.d"
+  "bench/bench_fig14_discrepancy_traffic"
+  "bench/bench_fig14_discrepancy_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_discrepancy_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

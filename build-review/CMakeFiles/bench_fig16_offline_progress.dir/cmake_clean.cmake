@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_offline_progress.dir/bench/bench_fig16_offline_progress.cpp.o"
+  "CMakeFiles/bench_fig16_offline_progress.dir/bench/bench_fig16_offline_progress.cpp.o.d"
+  "bench/bench_fig16_offline_progress"
+  "bench/bench_fig16_offline_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_offline_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_offline_comparison.dir/bench/bench_fig17_offline_comparison.cpp.o"
+  "CMakeFiles/bench_fig17_offline_comparison.dir/bench/bench_fig17_offline_comparison.cpp.o.d"
+  "bench/bench_fig17_offline_comparison"
+  "bench/bench_fig17_offline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_offline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

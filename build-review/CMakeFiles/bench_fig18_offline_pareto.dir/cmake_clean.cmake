@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_offline_pareto.dir/bench/bench_fig18_offline_pareto.cpp.o"
+  "CMakeFiles/bench_fig18_offline_pareto.dir/bench/bench_fig18_offline_pareto.cpp.o.d"
+  "bench/bench_fig18_offline_pareto"
+  "bench/bench_fig18_offline_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_offline_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_threshold_sweep.dir/bench/bench_fig19_threshold_sweep.cpp.o"
+  "CMakeFiles/bench_fig19_threshold_sweep.dir/bench/bench_fig19_threshold_sweep.cpp.o.d"
+  "bench/bench_fig19_threshold_sweep"
+  "bench/bench_fig19_threshold_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_threshold_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_21_table5_online.dir/bench/bench_fig20_21_table5_online.cpp.o"
+  "CMakeFiles/bench_fig20_21_table5_online.dir/bench/bench_fig20_21_table5_online.cpp.o.d"
+  "bench/bench_fig20_21_table5_online"
+  "bench/bench_fig20_21_table5_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_21_table5_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig20_21_table5_online.
+# This may be replaced when dependencies are built.

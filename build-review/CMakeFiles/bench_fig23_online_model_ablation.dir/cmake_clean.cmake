@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_online_model_ablation.dir/bench/bench_fig23_online_model_ablation.cpp.o"
+  "CMakeFiles/bench_fig23_online_model_ablation.dir/bench/bench_fig23_online_model_ablation.cpp.o.d"
+  "bench/bench_fig23_online_model_ablation"
+  "bench/bench_fig23_online_model_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_online_model_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

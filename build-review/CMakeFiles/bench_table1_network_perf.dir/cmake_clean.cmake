@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_network_perf.dir/bench/bench_table1_network_perf.cpp.o"
+  "CMakeFiles/bench_table1_network_perf.dir/bench/bench_table1_network_perf.cpp.o.d"
+  "bench/bench_table1_network_perf"
+  "bench/bench_table1_network_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_network_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

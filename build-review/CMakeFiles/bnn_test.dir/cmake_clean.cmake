@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bnn_test.dir/tests/bnn_test.cpp.o"
+  "CMakeFiles/bnn_test.dir/tests/bnn_test.cpp.o.d"
+  "tests/bnn_test"
+  "tests/bnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bo_minimizer_test.dir/tests/bo_minimizer_test.cpp.o"
+  "CMakeFiles/bo_minimizer_test.dir/tests/bo_minimizer_test.cpp.o.d"
+  "tests/bo_minimizer_test"
+  "tests/bo_minimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bo_minimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continual_test.dir/tests/continual_test.cpp.o"
+  "CMakeFiles/continual_test.dir/tests/continual_test.cpp.o.d"
+  "tests/continual_test"
+  "tests/continual_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

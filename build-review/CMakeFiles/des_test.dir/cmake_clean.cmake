@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_test.dir/tests/des_test.cpp.o"
+  "CMakeFiles/des_test.dir/tests/des_test.cpp.o.d"
+  "tests/des_test"
+  "tests/des_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

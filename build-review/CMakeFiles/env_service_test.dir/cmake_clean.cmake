@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_service_test.dir/tests/env_service_test.cpp.o"
+  "CMakeFiles/env_service_test.dir/tests/env_service_test.cpp.o.d"
+  "tests/env_service_test"
+  "tests/env_service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

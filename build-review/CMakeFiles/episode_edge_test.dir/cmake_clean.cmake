@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/episode_edge_test.dir/tests/episode_edge_test.cpp.o"
+  "CMakeFiles/episode_edge_test.dir/tests/episode_edge_test.cpp.o.d"
+  "tests/episode_edge_test"
+  "tests/episode_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/episode_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_episode_test.dir/tests/golden_episode_test.cpp.o"
+  "CMakeFiles/golden_episode_test.dir/tests/golden_episode_test.cpp.o.d"
+  "tests/golden_episode_test"
+  "tests/golden_episode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_episode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_test.dir/tests/gp_test.cpp.o"
+  "CMakeFiles/gp_test.dir/tests/gp_test.cpp.o.d"
+  "tests/gp_test"
+  "tests/gp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halton_test.dir/tests/halton_test.cpp.o"
+  "CMakeFiles/halton_test.dir/tests/halton_test.cpp.o.d"
+  "tests/halton_test"
+  "tests/halton_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

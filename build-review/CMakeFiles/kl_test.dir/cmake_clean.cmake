@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kl_test.dir/tests/kl_test.cpp.o"
+  "CMakeFiles/kl_test.dir/tests/kl_test.cpp.o.d"
+  "tests/kl_test"
+  "tests/kl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

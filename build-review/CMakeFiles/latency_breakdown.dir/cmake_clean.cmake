@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_breakdown.dir/examples/latency_breakdown.cpp.o"
+  "CMakeFiles/latency_breakdown.dir/examples/latency_breakdown.cpp.o.d"
+  "examples/latency_breakdown"
+  "examples/latency_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_test.dir/tests/math_test.cpp.o"
+  "CMakeFiles/math_test.dir/tests/math_test.cpp.o.d"
+  "tests/math_test"
+  "tests/math_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_slice.dir/examples/multi_slice.cpp.o"
+  "CMakeFiles/multi_slice.dir/examples/multi_slice.cpp.o.d"
+  "examples/multi_slice"
+  "examples/multi_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

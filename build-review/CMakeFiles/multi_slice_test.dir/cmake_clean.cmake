@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_slice_test.dir/tests/multi_slice_test.cpp.o"
+  "CMakeFiles/multi_slice_test.dir/tests/multi_slice_test.cpp.o.d"
+  "tests/multi_slice_test"
+  "tests/multi_slice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_slice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

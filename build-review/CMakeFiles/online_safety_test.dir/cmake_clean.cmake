@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_safety_test.dir/tests/online_safety_test.cpp.o"
+  "CMakeFiles/online_safety_test.dir/tests/online_safety_test.cpp.o.d"
+  "tests/online_safety_test"
+  "tests/online_safety_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

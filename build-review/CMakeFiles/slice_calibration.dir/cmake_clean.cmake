@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slice_calibration.dir/examples/slice_calibration.cpp.o"
+  "CMakeFiles/slice_calibration.dir/examples/slice_calibration.cpp.o.d"
+  "examples/slice_calibration"
+  "examples/slice_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for slice_calibration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slice_configuration.dir/examples/slice_configuration.cpp.o"
+  "CMakeFiles/slice_configuration.dir/examples/slice_configuration.cpp.o.d"
+  "examples/slice_configuration"
+  "examples/slice_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surrogate_property_test.dir/tests/surrogate_property_test.cpp.o"
+  "CMakeFiles/surrogate_property_test.dir/tests/surrogate_property_test.cpp.o.d"
+  "tests/surrogate_property_test"
+  "tests/surrogate_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surrogate_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
