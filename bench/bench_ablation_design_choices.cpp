@@ -4,6 +4,7 @@
 ///  (b) Candidate sampler: i.i.d. uniform vs scrambled Halton at equal count.
 ///  (c) BNN prior: analytic-KL Gaussian vs Blundell's scale mixture (MC).
 
+#include "env/env_service.hpp"
 #include "atlas/calibrator.hpp"
 #include "bench_util.hpp"
 #include "math/kl.hpp"

@@ -6,6 +6,7 @@
 
 #include <chrono>
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 
 int main() {

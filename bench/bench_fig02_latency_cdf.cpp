@@ -1,6 +1,7 @@
 /// Fig. 2 — End-to-end latency CDF under one slice user, simulator vs system.
 /// The paper reports the system's average latency 25.2% above the simulator's.
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 #include "math/stats.hpp"
 

@@ -1,6 +1,7 @@
 /// Fig. 3 — End-to-end latency statistics under user traffic 1-4: the
 /// sim-to-real gap (mean and variance) widens as traffic grows.
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 
 int main() {

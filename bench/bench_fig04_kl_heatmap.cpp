@@ -2,6 +2,7 @@
 /// distributions over (CPU usage, UL bandwidth usage): the discrepancy is
 /// non-trivial and UNEVEN across resource configurations.
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 #include "math/kl.hpp"
 

@@ -2,6 +2,7 @@
 /// GP-BO) in the (resource usage, QoE) plane: most explored configurations
 /// miss the QoE requirement of 0.9 — the motivation for safe exploration.
 
+#include "env/env_service.hpp"
 #include "baselines/dlda.hpp"
 #include "baselines/gp_baseline.hpp"
 #include "bench_util.hpp"

@@ -3,6 +3,7 @@
 /// KL 1.38; GP reaches 0.31 @ distance 0.16; ours 0.26 @ 0.12 (-24.5% avg
 /// weighted discrepancy vs GP).
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 
 int main() {

@@ -2,6 +2,7 @@
 /// method: the calibrated simulators hug the system's CDF; the GP-based one
 /// shows a longer tail.
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 #include "math/stats.hpp"
 

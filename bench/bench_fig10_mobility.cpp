@@ -2,6 +2,7 @@
 /// with the user-eNB distance (the real pathloss exponent has no Table 3
 /// counterpart), worst under random-walk mobility.
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 #include "math/kl.hpp"
 

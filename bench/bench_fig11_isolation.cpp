@@ -2,6 +2,7 @@
 /// isolation keeps the slice's latency flat no matter how many background
 /// users attach and stream.
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 
 int main() {

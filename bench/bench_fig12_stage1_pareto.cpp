@@ -1,6 +1,7 @@
 /// Fig. 12 — Pareto boundary of the augmented simulator: sweeping the weight
 /// alpha trades sim-to-real discrepancy against parameter distance.
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 
 int main() {

@@ -1,6 +1,7 @@
 /// Fig. 13 — Stage-1 searching progress under different numbers of parallel
 /// Thompson-sampling queries: more parallelism converges lower and steadier.
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 
 int main() {

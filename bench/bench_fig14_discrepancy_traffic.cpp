@@ -2,6 +2,7 @@
 /// calibrated ONLY at traffic 1 still reduce discrepancy at traffic 2-4
 /// (shared patterns), but unevenly — residual discrepancy remains.
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 #include "math/kl.hpp"
 

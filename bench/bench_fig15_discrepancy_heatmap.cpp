@@ -2,6 +2,7 @@
 /// the calibrated simulator cuts discrepancy across almost all cells
 /// (paper: 79.3% on average), though not evenly.
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 #include "math/kl.hpp"
 

@@ -1,6 +1,7 @@
 /// Fig. 16 — Stage-2 training progress: average resource usage falls while
 /// average QoE holds above the requirement; both converge.
 
+#include "env/env_service.hpp"
 #include "bench_util.hpp"
 
 int main() {

@@ -2,6 +2,7 @@
 /// GP-EI, GP-PI, GP-UCB and DLDA. Paper: ours 0.905 QoE @ 19.81% usage;
 /// DLDA 0.98 @ 26.87%; GP variants >= 0.92 @ up to 37.62%.
 
+#include "env/env_service.hpp"
 #include "baselines/dlda.hpp"
 #include "bench_util.hpp"
 

@@ -1,6 +1,7 @@
 /// Fig. 18 — Offline Pareto boundary under different availability
 /// requirements E: ours dominates DLDA and GP-EI in (usage, QoE).
 
+#include "env/env_service.hpp"
 #include "baselines/dlda.hpp"
 #include "bench_util.hpp"
 

@@ -2,6 +2,7 @@
 /// ours stays below DLDA everywhere; the gap shrinks as Y loosens (the
 /// 6 UL / 3 DL PRB connectivity floor already satisfies loose SLAs).
 
+#include "env/env_service.hpp"
 #include "baselines/dlda.hpp"
 #include "bench_util.hpp"
 

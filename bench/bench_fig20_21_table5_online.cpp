@@ -4,6 +4,7 @@
 /// Paper Table 5: usage regret 35.83 / 16.06 / 8.79 / 3.17 %; QoE regret
 /// 0.31 / 0.34 / 0.54 / 0.077; ours uses 20x100 offline queries.
 
+#include "env/env_service.hpp"
 #include "baselines/dlda.hpp"
 #include "baselines/gp_baseline.hpp"
 #include "baselines/virtual_edge.hpp"

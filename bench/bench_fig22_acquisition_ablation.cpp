@@ -2,6 +2,7 @@
 /// functions (PI, EI, GP-UCB, ours/cRGP-UCB): the conservative acquisition
 /// explores lower-usage actions while staying near the QoE requirement.
 
+#include "env/env_service.hpp"
 #include "atlas/oracle.hpp"
 #include "bench_util.hpp"
 

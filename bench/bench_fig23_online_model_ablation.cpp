@@ -3,6 +3,7 @@
 /// usage/QoE regret by 107.6%/96.5%; BNN-Cont'd's QoE regret soars; no
 /// offline acceleration raises usage regret by 63.5%.
 
+#include "env/env_service.hpp"
 #include "atlas/oracle.hpp"
 #include "bench_util.hpp"
 

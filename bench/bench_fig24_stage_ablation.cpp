@@ -2,6 +2,7 @@
 /// original simulator), stage 2 (no offline policy), or stage 3 (apply the
 /// offline optimum without online learning).
 
+#include "env/env_service.hpp"
 #include "atlas/oracle.hpp"
 #include "atlas/pipeline.hpp"
 #include "bench_util.hpp"

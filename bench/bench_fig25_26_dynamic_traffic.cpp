@@ -2,6 +2,7 @@
 /// Y = 500 ms: ours achieves the lowest usage and QoE regret almost
 /// everywhere; DLDA trades QoE for usage at traffic 4.
 
+#include "env/env_service.hpp"
 #include "atlas/oracle.hpp"
 #include "baselines/dlda.hpp"
 #include "baselines/gp_baseline.hpp"

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "env/env_service.hpp"
 #include "atlas/offline_trainer.hpp"
 #include "atlas/online_learner.hpp"
 #include "atlas/oracle.hpp"

@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "env/env_service.hpp"
 #include "atlas/pipeline.hpp"
 #include "common/table.hpp"
 

@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "env/env_service.hpp"
 #include "atlas/calibrator.hpp"
 #include "common/table.hpp"
 

@@ -15,7 +15,7 @@ using atlas::math::Matrix;
 using atlas::math::Rng;
 using atlas::math::Vec;
 
-SimCalibrator::SimCalibrator(env::EnvService& service, env::BackendId real,
+SimCalibrator::SimCalibrator(env::EnvClient& service, env::BackendId real,
                              CalibrationOptions options)
     : service_(service),
       real_(real),

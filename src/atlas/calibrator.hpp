@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "bo/space.hpp"
-#include "env/env_service.hpp"
+#include "env/client.hpp"
 #include "math/kl.hpp"
 #include "math/rng.hpp"
 #include "nn/bnn.hpp"
@@ -77,7 +77,7 @@ class SimCalibrator {
   /// online collection D_r. Simulator evaluations run batched through the
   /// service against a private offline backend with per-query Table 3
   /// parameter overrides (and profit from its memoization + accounting).
-  SimCalibrator(env::EnvService& service, env::BackendId real, CalibrationOptions options);
+  SimCalibrator(env::EnvClient& service, env::BackendId real, CalibrationOptions options);
 
   /// Run the search (Alg. 1) and return the calibration.
   CalibrationResult calibrate();
@@ -90,7 +90,7 @@ class SimCalibrator {
   math::Vec collect_real_latencies() const;
   double discrepancy_from(const env::EpisodeResult& episode) const;
 
-  env::EnvService& service_;
+  env::EnvClient& service_;
   env::BackendId real_;
   env::BackendId sim_;  ///< Private offline backend for parameter queries.
   CalibrationOptions options_;

@@ -28,7 +28,7 @@ double OfflinePolicy::predict_qoe(const env::SliceConfig& config) const {
   return std::clamp(qoe_model->predict_at_mean(in), 0.0, 1.0);
 }
 
-OfflineTrainer::OfflineTrainer(env::EnvService& service, env::BackendId simulator,
+OfflineTrainer::OfflineTrainer(env::EnvClient& service, env::BackendId simulator,
                                OfflineOptions options)
     : service_(service),
       simulator_(simulator),

@@ -6,7 +6,7 @@
 #include "app/qoe.hpp"
 #include "bo/acquisition.hpp"
 #include "bo/space.hpp"
-#include "env/env_service.hpp"
+#include "env/client.hpp"
 #include "math/rng.hpp"
 #include "nn/bnn.hpp"
 
@@ -88,12 +88,12 @@ class OfflineTrainer {
  public:
   /// `simulator` names the (augmented) offline backend inside `service`;
   /// parallel QoE queries run batched through the service.
-  OfflineTrainer(env::EnvService& service, env::BackendId simulator, OfflineOptions options);
+  OfflineTrainer(env::EnvClient& service, env::BackendId simulator, OfflineOptions options);
 
   OfflineResult train();
 
  private:
-  env::EnvService& service_;
+  env::EnvClient& service_;
   env::BackendId simulator_;
   OfflineOptions options_;
   bo::BoxSpace space_;

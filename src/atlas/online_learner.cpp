@@ -14,7 +14,7 @@ using atlas::math::Matrix;
 using atlas::math::Rng;
 using atlas::math::Vec;
 
-OnlineLearner::OnlineLearner(const OfflinePolicy* policy, env::EnvService& service,
+OnlineLearner::OnlineLearner(const OfflinePolicy* policy, env::EnvClient& service,
                              env::BackendId simulator, env::BackendId real,
                              OnlineOptions options)
     : policy_(policy),

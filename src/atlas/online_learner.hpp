@@ -65,7 +65,7 @@ class OnlineLearner {
   /// `simulator` names the augmented offline backend used for residual
   /// observations and offline acceleration; `real` names the metered live
   /// network. Every real query is accounted by the service as SLA exposure.
-  OnlineLearner(const OfflinePolicy* policy, env::EnvService& service,
+  OnlineLearner(const OfflinePolicy* policy, env::EnvClient& service,
                 env::BackendId simulator, env::BackendId real, OnlineOptions options);
 
   OnlineResult learn();
@@ -74,7 +74,7 @@ class OnlineLearner {
   double offline_qoe_estimate(const math::Vec& config_norm) const;
 
   const OfflinePolicy* policy_;
-  env::EnvService& service_;
+  env::EnvClient& service_;
   env::BackendId simulator_;
   env::BackendId real_;
   OnlineOptions options_;

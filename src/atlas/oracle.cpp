@@ -13,7 +13,7 @@ using atlas::math::Vec;
 
 namespace {
 
-double validated_qoe(env::EnvService& service, env::BackendId target,
+double validated_qoe(env::EnvClient& service, env::BackendId target,
                      const env::SliceConfig& config, const app::Sla& sla,
                      const env::Workload& workload, std::uint64_t seed,
                      std::size_t episodes) {
@@ -33,7 +33,7 @@ double validated_qoe(env::EnvService& service, env::BackendId target,
 
 }  // namespace
 
-OracleOptimum find_optimal_config(env::EnvService& service, env::BackendId target,
+OracleOptimum find_optimal_config(env::EnvClient& service, env::BackendId target,
                                   const app::Sla& sla, const env::Workload& workload,
                                   std::size_t budget, std::uint64_t seed,
                                   std::size_t validation_episodes) {

@@ -4,7 +4,7 @@
 
 #include "app/qoe.hpp"
 #include "atlas/online_learner.hpp"
-#include "env/env_service.hpp"
+#include "env/client.hpp"
 
 namespace atlas::core {
 
@@ -21,7 +21,7 @@ struct OracleOptimum {
 /// `target` backend of `service`. Random exploration + local refinement
 /// around the best feasible point; QoE of candidates is averaged over
 /// `validation_episodes` seeds (batched through the service).
-OracleOptimum find_optimal_config(env::EnvService& service, env::BackendId target,
+OracleOptimum find_optimal_config(env::EnvClient& service, env::BackendId target,
                                   const app::Sla& sla, const env::Workload& workload,
                                   std::size_t budget, std::uint64_t seed,
                                   std::size_t validation_episodes = 3);

@@ -4,7 +4,7 @@
 
 namespace atlas::core {
 
-AtlasPipeline::AtlasPipeline(env::EnvService& service, env::BackendId real,
+AtlasPipeline::AtlasPipeline(env::EnvClient& service, env::BackendId real,
                              PipelineOptions options)
     : service_(service), real_(real), options_(std::move(options)) {}
 

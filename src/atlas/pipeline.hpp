@@ -57,7 +57,7 @@ using PipelineCallback = std::function<void(const PipelineProgress&)>;
 class AtlasPipeline {
  public:
   /// `real` names the metered backend inside `service`.
-  AtlasPipeline(env::EnvService& service, env::BackendId real, PipelineOptions options);
+  AtlasPipeline(env::EnvClient& service, env::BackendId real, PipelineOptions options);
 
   /// Run the enabled stages and return every trace. `progress` (optional)
   /// receives per-stage start/finish/skip events. Stats (in events and in
@@ -68,7 +68,7 @@ class AtlasPipeline {
   PipelineResult run(const PipelineCallback& progress = {});
 
  private:
-  env::EnvService& service_;
+  env::EnvClient& service_;
   env::BackendId real_;
   PipelineOptions options_;
 };

@@ -14,7 +14,7 @@ using atlas::math::Matrix;
 using atlas::math::Rng;
 using atlas::math::Vec;
 
-Dlda::Dlda(env::EnvService& service, env::BackendId offline_env, DldaOptions options)
+Dlda::Dlda(env::EnvClient& service, env::BackendId offline_env, DldaOptions options)
     : service_(service), offline_env_(offline_env), options_(std::move(options)) {}
 
 double Dlda::train_offline() {

@@ -5,7 +5,7 @@
 
 #include "app/qoe.hpp"
 #include "baselines/online_trace.hpp"
-#include "env/env_service.hpp"
+#include "env/client.hpp"
 #include "math/rng.hpp"
 #include "nn/mlp.hpp"
 
@@ -43,7 +43,7 @@ class Dlda {
   /// `offline_env` names the offline backend of `service` that generates the
   /// grid dataset (the paper grid-searches the simulator); collection runs
   /// as one batched EnvService request.
-  Dlda(env::EnvService& service, env::BackendId offline_env, DldaOptions options);
+  Dlda(env::EnvClient& service, env::BackendId offline_env, DldaOptions options);
 
   /// Collect the grid dataset and train the teacher. Must run before
   /// select()/learn_online(). Returns the final training MSE.
@@ -64,7 +64,7 @@ class Dlda {
  private:
   env::SliceConfig select_with(const nn::Mlp& model, atlas::math::Rng& rng) const;
 
-  env::EnvService& service_;
+  env::EnvClient& service_;
   env::BackendId offline_env_;
   DldaOptions options_;
   std::optional<nn::Mlp> teacher_;

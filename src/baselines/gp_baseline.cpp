@@ -7,7 +7,7 @@ namespace atlas::baselines {
 using atlas::math::Rng;
 using atlas::math::Vec;
 
-GpBaseline::GpBaseline(env::EnvService& service, env::BackendId real, GpBaselineOptions options)
+GpBaseline::GpBaseline(env::EnvClient& service, env::BackendId real, GpBaselineOptions options)
     : service_(service), real_(real), options_(std::move(options)) {}
 
 OnlineTrace GpBaseline::learn() {

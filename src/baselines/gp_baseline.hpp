@@ -3,7 +3,7 @@
 #include "app/qoe.hpp"
 #include "baselines/online_trace.hpp"
 #include "bo/gp_bo.hpp"
-#include "env/env_service.hpp"
+#include "env/client.hpp"
 
 namespace atlas::baselines {
 
@@ -25,13 +25,13 @@ struct GpBaselineOptions {
 class GpBaseline {
  public:
   /// `real` names the metered backend of `service` this baseline explores.
-  GpBaseline(env::EnvService& service, env::BackendId real, GpBaselineOptions options);
+  GpBaseline(env::EnvClient& service, env::BackendId real, GpBaselineOptions options);
 
   /// Run the online loop; returns the per-iteration trace.
   OnlineTrace learn();
 
  private:
-  env::EnvService& service_;
+  env::EnvClient& service_;
   env::BackendId real_;
   GpBaselineOptions options_;
 };

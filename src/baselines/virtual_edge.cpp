@@ -11,7 +11,7 @@ using atlas::math::Matrix;
 using atlas::math::Rng;
 using atlas::math::Vec;
 
-VirtualEdge::VirtualEdge(env::EnvService& service, env::BackendId real,
+VirtualEdge::VirtualEdge(env::EnvClient& service, env::BackendId real,
                          VirtualEdgeOptions options)
     : service_(service), real_(real), options_(std::move(options)) {}
 

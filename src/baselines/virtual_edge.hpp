@@ -2,7 +2,7 @@
 
 #include "app/qoe.hpp"
 #include "baselines/online_trace.hpp"
-#include "env/env_service.hpp"
+#include "env/client.hpp"
 #include "gp/gaussian_process.hpp"
 
 namespace atlas::baselines {
@@ -29,12 +29,12 @@ struct VirtualEdgeOptions {
 class VirtualEdge {
  public:
   /// `real` names the metered backend of `service` the descent runs against.
-  VirtualEdge(env::EnvService& service, env::BackendId real, VirtualEdgeOptions options);
+  VirtualEdge(env::EnvClient& service, env::BackendId real, VirtualEdgeOptions options);
 
   OnlineTrace learn();
 
  private:
-  env::EnvService& service_;
+  env::EnvClient& service_;
   env::BackendId real_;
   VirtualEdgeOptions options_;
 };

@@ -1,0 +1,33 @@
+#include "env/backend.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "env/profile.hpp"
+
+namespace atlas::env {
+
+LocalBackend::LocalBackend(std::shared_ptr<const NetworkEnvironment> environment,
+                           std::string name, BackendKind kind)
+    : env_(std::move(environment)),
+      name_(std::move(name)),
+      kind_(kind),
+      is_simulator_(dynamic_cast<const Simulator*>(env_.get()) != nullptr) {
+  if (env_ == nullptr) {
+    throw std::invalid_argument("LocalBackend: null environment");
+  }
+}
+
+EpisodeResult LocalBackend::execute(const EnvQuery& query) const {
+  if (query.sim_params) {
+    if (!is_simulator_) {
+      throw std::logic_error("LocalBackend: sim_params override on a non-Simulator backend");
+    }
+    // Per-query Table 3 override (Stage 1): run an ephemeral simulator
+    // profile, charged to the owning offline backend's accounting.
+    return run_episode(simulator_profile(*query.sim_params), query.config, query.workload);
+  }
+  return env_->run(query.config, query.workload);
+}
+
+}  // namespace atlas::env

@@ -1,0 +1,83 @@
+#include "env/client.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace atlas::env {
+
+namespace {
+
+/// Non-owning shared_ptr view of a caller-owned environment.
+std::shared_ptr<const NetworkEnvironment> borrow(const NetworkEnvironment& environment) {
+  return std::shared_ptr<const NetworkEnvironment>(&environment,
+                                                   [](const NetworkEnvironment*) {});
+}
+
+}  // namespace
+
+EpisodeResult QueryHandle::get() {
+  if (!future_.valid()) {
+    throw std::logic_error(
+        "QueryHandle::get(): handle is default-constructed, moved-from, or already consumed");
+  }
+  return future_.get();
+}
+
+BackendId EnvClient::register_backend(const NetworkEnvironment& environment, std::string name,
+                                      BackendKind kind) {
+  return register_backend(borrow(environment), std::move(name), kind);
+}
+
+BackendId EnvClient::register_backend(std::shared_ptr<const NetworkEnvironment> environment,
+                                      std::string name, BackendKind kind) {
+  if (environment == nullptr) {
+    throw std::invalid_argument("EnvClient: null environment");
+  }
+  return register_backend(
+      std::make_shared<LocalBackend>(std::move(environment), std::move(name), kind));
+}
+
+BackendId EnvClient::add_simulator(const SimParams& params, std::string name) {
+  return register_backend(std::make_shared<Simulator>(params), std::move(name),
+                          BackendKind::kOffline);
+}
+
+BackendId EnvClient::add_real_network(std::string name) {
+  return register_backend(std::make_shared<RealNetwork>(), std::move(name),
+                          BackendKind::kOnline);
+}
+
+BackendId EnvClient::add_multi_slice(NetworkProfile profile, std::vector<SliceSpec> background,
+                                     std::string name, BackendKind kind) {
+  return register_backend(
+      std::make_shared<MultiSliceEnvironment>(std::move(profile), std::move(background)),
+      std::move(name), kind);
+}
+
+EpisodeResult EnvClient::run(BackendId backend, const SliceConfig& config,
+                             const Workload& workload) {
+  EnvQuery q;
+  q.backend = backend;
+  q.config = config;
+  q.workload = workload;
+  return run(q);
+}
+
+double EnvClient::measure_qoe(const EnvQuery& query, double threshold_ms) {
+  return run(query).qoe(threshold_ms);
+}
+
+double EnvClient::measure_qoe(BackendId backend, const SliceConfig& config,
+                              const Workload& workload, double threshold_ms) {
+  return run(backend, config, workload).qoe(threshold_ms);
+}
+
+std::vector<double> EnvClient::measure_qoe_batch(std::span<const EnvQuery> queries,
+                                                 double threshold_ms) {
+  const auto episodes = run_batch(queries);
+  std::vector<double> qoes(episodes.size(), 0.0);
+  for (std::size_t i = 0; i < episodes.size(); ++i) qoes[i] = episodes[i].qoe(threshold_ms);
+  return qoes;
+}
+
+}  // namespace atlas::env

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "env/backend.hpp"
+#include "env/multi_slice.hpp"
+
+namespace atlas::env {
+
+class EnvService;
+class ShardRouter;
+
+/// Future-like handle returned by EnvClient::submit.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  /// Monotonic id of the submission (0 for a default-constructed handle).
+  std::uint64_t id() const noexcept { return id_; }
+  bool valid() const noexcept { return future_.valid(); }
+
+  /// Block until the episode completes and return its result (at most once).
+  /// Throws std::logic_error when the handle is default-constructed,
+  /// moved-from, or already consumed (never UB).
+  EpisodeResult get();
+  /// Block until the episode completes; no-op on an invalid handle.
+  void wait() const {
+    if (future_.valid()) future_.wait();
+  }
+
+ private:
+  friend class EnvService;
+  QueryHandle(std::uint64_t id, std::future<EpisodeResult> future)
+      : id_(id), future_(std::move(future)) {}
+
+  std::uint64_t id_ = 0;
+  std::future<EpisodeResult> future_;
+};
+
+/// Service-wide accounting snapshot.
+struct EnvServiceStats {
+  std::vector<BackendStats> backends;
+  std::uint64_t offline_queries = 0;  ///< Cheap (simulator) queries.
+  std::uint64_t online_queries = 0;   ///< Metered real-network interactions.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  std::uint64_t total_queries() const noexcept { return offline_queries + online_queries; }
+  double hit_rate() const noexcept {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(lookups);
+  }
+};
+
+/// The query surface every Atlas stage talks to: a registry of `EnvBackend`s
+/// addressed by `BackendId` plus cache-aware batch execution and accounting.
+/// `EnvService` implements it with one pool and one memo table; `ShardRouter`
+/// fans the same address space across many services (and, via
+/// `rpc::RemoteBackend`, across hosts). Stages take an `EnvClient&`, so the
+/// same pipeline runs against one process or a whole farm unchanged.
+class EnvClient {
+ public:
+  virtual ~EnvClient() = default;
+
+  // ---- backend registry ----------------------------------------------------
+
+  /// Register an execution target (local, remote, testbed — anything
+  /// implementing `EnvBackend`). Name, kind, and cost come from the backend.
+  virtual BackendId register_backend(std::shared_ptr<const EnvBackend> backend) = 0;
+
+  /// Register a caller-owned environment. The reference must outlive the
+  /// client (use the shared_ptr overload for client-owned backends).
+  BackendId register_backend(const NetworkEnvironment& environment, std::string name,
+                             BackendKind kind);
+  BackendId register_backend(std::shared_ptr<const NetworkEnvironment> environment,
+                             std::string name, BackendKind kind);
+
+  /// Client-owned simulator with the given Table 3 parameters (offline).
+  BackendId add_simulator(const SimParams& params = SimParams::defaults(),
+                          std::string name = "simulator");
+  /// Client-owned testbed surrogate (online, metered).
+  BackendId add_real_network(std::string name = "real");
+  /// Client-owned multi-slice deployment: queries drive the target slice,
+  /// `background` tenants are fixed (offline unless `kind` says otherwise).
+  BackendId add_multi_slice(NetworkProfile profile, std::vector<SliceSpec> background,
+                            std::string name = "multi-slice",
+                            BackendKind kind = BackendKind::kOffline);
+
+  virtual std::size_t backend_count() const = 0;
+  virtual const std::string& backend_name(BackendId id) const = 0;
+  virtual BackendKind backend_kind(BackendId id) const = 0;
+
+  // ---- queries -------------------------------------------------------------
+
+  /// Run one query synchronously on the calling thread (cache-aware).
+  virtual EpisodeResult run(const EnvQuery& query) = 0;
+  EpisodeResult run(BackendId backend, const SliceConfig& config, const Workload& workload);
+
+  /// Enqueue one query on the owning pool and return a handle to its result.
+  virtual QueryHandle submit(EnvQuery query) = 0;
+
+  /// Run a batch across the owning pool(s); results are positionally ordered.
+  virtual std::vector<EpisodeResult> run_batch(std::span<const EnvQuery> queries) = 0;
+
+  /// Convenience: QoE = Pr(latency <= threshold) of one episode / a batch.
+  double measure_qoe(const EnvQuery& query, double threshold_ms);
+  double measure_qoe(BackendId backend, const SliceConfig& config, const Workload& workload,
+                     double threshold_ms);
+  std::vector<double> measure_qoe_batch(std::span<const EnvQuery> queries, double threshold_ms);
+
+  // ---- accounting ----------------------------------------------------------
+
+  virtual BackendStats backend_stats(BackendId id) const = 0;
+  virtual EnvServiceStats stats() const = 0;
+  virtual void reset_stats() = 0;
+
+  /// Entries currently memoized (summed across shards / stripes).
+  virtual std::size_t cache_size() const = 0;
+  virtual void clear_cache() = 0;
+};
+
+}  // namespace atlas::env

@@ -1,24 +1,22 @@
 #include "env/env_service.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <stdexcept>
-
-#include "env/profile.hpp"
 
 namespace atlas::env {
 
 namespace {
 
-/// Non-owning shared_ptr view of a caller-owned environment.
-std::shared_ptr<const NetworkEnvironment> borrow(const NetworkEnvironment& environment) {
-  return std::shared_ptr<const NetworkEnvironment>(&environment,
-                                                   [](const NetworkEnvironment*) {});
-}
-
 constexpr std::size_t kMaxCacheShards = 16;
-/// Below this many entries per stripe, striping costs exact-FIFO semantics
+/// Below this many entries per stripe, striping costs exact-LRU semantics
 /// without buying contention relief, so small caches stay single-striped.
 constexpr std::size_t kMinEntriesPerShard = 64;
+
+/// Eviction candidates examined from the cold end of the LRU list. Among
+/// them the cheapest-to-recompute entry goes first (sampled cost-aware LRU);
+/// with uniform costs this degenerates to exact LRU.
+constexpr std::size_t kEvictionScan = 8;
 
 std::size_t resolve_shard_count(const EnvServiceOptions& options) {
   if (!options.cache_episodes || options.cache_capacity == 0) return 1;
@@ -33,15 +31,21 @@ std::size_t resolve_shard_count(const EnvServiceOptions& options) {
   return shards;
 }
 
-}  // namespace
-
-EpisodeResult QueryHandle::get() {
-  if (!future_.valid()) {
-    throw std::logic_error(
-        "QueryHandle::get(): handle is default-constructed, moved-from, or already consumed");
+/// Counts a query as outstanding for the lifetime of its execution.
+class OutstandingGuard {
+ public:
+  explicit OutstandingGuard(std::atomic<std::int64_t>& counter) : counter_(&counter) {
+    counter_->fetch_add(1, std::memory_order_relaxed);
   }
-  return future_.get();
-}
+  OutstandingGuard(const OutstandingGuard&) = delete;
+  OutstandingGuard& operator=(const OutstandingGuard&) = delete;
+  ~OutstandingGuard() { counter_->fetch_sub(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t>* counter_;
+};
+
+}  // namespace
 
 std::size_t EnvService::QueryKeyHash::operator()(const QueryKey& key) const noexcept {
   std::size_t h = std::hash<BackendId>{}(key.backend);
@@ -71,21 +75,18 @@ bool EnvService::caching_enabled() const noexcept {
   return options_.cache_episodes && options_.cache_capacity > 0;
 }
 
-BackendId EnvService::register_backend(const NetworkEnvironment& environment, std::string name,
-                                       BackendKind kind) {
-  return register_backend(borrow(environment), std::move(name), kind);
+std::size_t EnvService::outstanding_queries() const noexcept {
+  return static_cast<std::size_t>(
+      std::max<std::int64_t>(0, outstanding_.load(std::memory_order_relaxed)));
 }
 
-BackendId EnvService::register_backend(std::shared_ptr<const NetworkEnvironment> environment,
-                                      std::string name, BackendKind kind) {
-  if (environment == nullptr) {
-    throw std::invalid_argument("EnvService: null environment");
+BackendId EnvService::register_backend(std::shared_ptr<const EnvBackend> backend) {
+  if (backend == nullptr) {
+    throw std::invalid_argument("EnvService: null backend");
   }
   std::scoped_lock lock(registry_mutex_);
-  Backend& backend = backends_.emplace_back();
-  backend.env = std::move(environment);
-  backend.name = std::move(name);
-  backend.kind = kind;
+  Backend& entry = backends_.emplace_back();
+  entry.impl = std::move(backend);
   // Publish a fresh snapshot; in-flight readers keep the old one alive.
   auto snapshot = std::make_shared<RegistrySnapshot>();
   snapshot->reserve(backends_.size());
@@ -95,33 +96,16 @@ BackendId EnvService::register_backend(std::shared_ptr<const NetworkEnvironment>
   return static_cast<BackendId>(backends_.size() - 1);
 }
 
-BackendId EnvService::add_simulator(const SimParams& params, std::string name) {
-  return register_backend(std::make_shared<Simulator>(params), std::move(name),
-                          BackendKind::kOffline);
-}
-
-BackendId EnvService::add_real_network(std::string name) {
-  return register_backend(std::make_shared<RealNetwork>(), std::move(name),
-                          BackendKind::kOnline);
-}
-
-BackendId EnvService::add_multi_slice(NetworkProfile profile, std::vector<SliceSpec> background,
-                                      std::string name, BackendKind kind) {
-  return register_backend(
-      std::make_shared<MultiSliceEnvironment>(std::move(profile), std::move(background)),
-      std::move(name), kind);
-}
-
 std::size_t EnvService::backend_count() const {
   const auto snapshot = registry_.load(std::memory_order_acquire);
   return snapshot->size();
 }
 
 const std::string& EnvService::backend_name(BackendId id) const {
-  return backend_at(id).name;
+  return backend_at(id).impl->name();
 }
 
-BackendKind EnvService::backend_kind(BackendId id) const { return backend_at(id).kind; }
+BackendKind EnvService::backend_kind(BackendId id) const { return backend_at(id).impl->kind(); }
 
 EnvService::Backend& EnvService::backend_at(BackendId id) const {
   const auto snapshot = registry_.load(std::memory_order_acquire);
@@ -158,13 +142,32 @@ EnvService::QueryKey EnvService::make_key(const EnvQuery& query) {
   return key;
 }
 
-EpisodeResult EnvService::execute(const Backend& backend, const EnvQuery& query) const {
-  if (query.sim_params) {
-    // Per-query Table 3 override (Stage 1): run an ephemeral simulator
-    // profile, charged to the owning offline backend's accounting.
-    return run_episode(simulator_profile(*query.sim_params), query.config, query.workload);
+void EnvService::evict_locked(CacheShard& shard) {
+  while (shard.entries.size() > shard_capacity_ && !shard.lru.empty()) {
+    // Sampled cost-aware LRU: among the kEvictionScan least-recently-used
+    // entries, evict the cheapest to recompute (tie: the most stale). A
+    // remote episode (cost_hint ~1000x) thus outlives any simulator entry
+    // in the scan window.
+    auto victim = std::prev(shard.lru.end());
+    double victim_cost = shard.entries.at(*victim).cost;
+    auto it = victim;
+    for (std::size_t scanned = 1; scanned < kEvictionScan && it != shard.lru.begin();
+         ++scanned) {
+      --it;
+      // Never consider the MRU entry: on a small stripe the scan window
+      // reaches the front, and the front is the entry this very call just
+      // inserted — evicting it would give cheap backends a permanent 0%
+      // hit rate whenever expensive entries fill the stripe.
+      if (it == shard.lru.begin()) break;
+      const double cost = shard.entries.at(*it).cost;
+      if (cost < victim_cost) {
+        victim = it;
+        victim_cost = cost;
+      }
+    }
+    shard.entries.erase(*victim);
+    shard.lru.erase(victim);
   }
-  return backend.env->run(query.config, query.workload);
 }
 
 /// Cacheable path. Exactly one caller per key becomes the leader: it counts
@@ -185,7 +188,9 @@ EpisodeResult EnvService::run_single_flight(Backend& backend, const EnvQuery& qu
     const auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       backend.cache_hits.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
+      // Touch: move to the front of the stripe's LRU order.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      return it->second.result;
     }
     const auto in_flight_it = shard.in_flight.find(key);
     if (in_flight_it != shard.in_flight.end()) {
@@ -207,7 +212,7 @@ EpisodeResult EnvService::run_single_flight(Backend& backend, const EnvQuery& qu
   backend.cache_misses.fetch_add(1, std::memory_order_relaxed);
   EpisodeResult result;
   try {
-    result = execute(backend, query);
+    result = backend.impl->execute(query);
   } catch (...) {
     {
       std::scoped_lock lock(shard.mutex);
@@ -221,12 +226,13 @@ EpisodeResult EnvService::run_single_flight(Backend& backend, const EnvQuery& qu
 
   {
     std::scoped_lock lock(shard.mutex);
-    if (shard.entries.emplace(key, result).second) {
-      shard.order.push_back(key);
-      while (shard.entries.size() > shard_capacity_) {
-        shard.entries.erase(shard.order.front());
-        shard.order.pop_front();
-      }
+    const auto [it, inserted] = shard.entries.try_emplace(key);
+    if (inserted) {
+      shard.lru.push_front(it->first);
+      it->second.result = result;
+      it->second.cost = backend.impl->cost_hint();
+      it->second.lru_it = shard.lru.begin();
+      evict_locked(shard);
     }
     shard.in_flight.erase(key);
   }
@@ -234,31 +240,35 @@ EpisodeResult EnvService::run_single_flight(Backend& backend, const EnvQuery& qu
   return result;
 }
 
-EpisodeResult EnvService::run(const EnvQuery& query) {
+EpisodeResult EnvService::run_impl(const EnvQuery& query) {
   Backend& backend = backend_at(query.backend);
-  if (query.sim_params && dynamic_cast<const Simulator*>(backend.env.get()) == nullptr) {
+  if (query.sim_params && !backend.impl->accepts_sim_params()) {
     // An override replaces the episode's profile wholesale; allowing it on a
     // metered backend would fake real interactions, and on a non-Simulator
     // offline backend (e.g. multi-slice) it would silently drop the
     // backend's own semantics.
-    throw std::invalid_argument("EnvService: sim_params overrides are only valid on Simulator "
-                                "backends ('" +
-                                backend.name + "' is not one)");
+    throw std::invalid_argument("EnvService: sim_params overrides are not accepted by backend '" +
+                                backend.impl->name() + "'");
   }
   backend.queries.fetch_add(1, std::memory_order_relaxed);
 
   // Tracing episodes carry per-frame payloads and are observational; keep
   // them out of the memo table. With caching disabled (capacity 0) there is
   // no table to consult at all: no lock, no phantom miss counters.
-  const bool cacheable = caching_enabled() && backend.kind == BackendKind::kOffline &&
+  const bool cacheable = caching_enabled() && backend.impl->kind() == BackendKind::kOffline &&
                          !query.workload.collect_traces;
   if (cacheable) {
     return run_single_flight(backend, query);
   }
 
-  EpisodeResult result = execute(backend, query);
+  EpisodeResult result = backend.impl->execute(query);
   backend.episodes.fetch_add(1, std::memory_order_relaxed);
   return result;
+}
+
+EpisodeResult EnvService::run(const EnvQuery& query) {
+  OutstandingGuard guard(outstanding_);
+  return run_impl(query);
 }
 
 QueryHandle EnvService::submit(EnvQuery query) {
@@ -266,7 +276,24 @@ QueryHandle EnvService::submit(EnvQuery query) {
   // fast instead of inside a worker.
   (void)backend_at(query.backend);
   const std::uint64_t id = next_query_id_.fetch_add(1, std::memory_order_relaxed) + 1;
-  auto future = pool_.submit([this, q = std::move(query)] { return run(q); });
+  // Count the query as outstanding from submission (queued work is load the
+  // router's placement must see), not just from execution start.
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  std::future<EpisodeResult> future;
+  try {
+    future = pool_.submit([this, q = std::move(query)] {
+      struct Release {
+        std::atomic<std::int64_t>* counter;
+        ~Release() { counter->fetch_sub(1, std::memory_order_relaxed); }
+      } release{&outstanding_};
+      return run_impl(q);
+    });
+  } catch (...) {
+    // The task never enqueued, so its Release will never run; a leaked
+    // increment would make placement shun this shard forever.
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
+    throw;
+  }
   return QueryHandle(id, std::move(future));
 }
 
@@ -281,41 +308,17 @@ std::vector<EpisodeResult> EnvService::run_batch(std::span<const EnvQuery> queri
   return results;
 }
 
-EpisodeResult EnvService::run(BackendId backend, const SliceConfig& config,
-                              const Workload& workload) {
-  EnvQuery q;
-  q.backend = backend;
-  q.config = config;
-  q.workload = workload;
-  return run(q);
-}
-
-double EnvService::measure_qoe(const EnvQuery& query, double threshold_ms) {
-  return run(query).qoe(threshold_ms);
-}
-
-double EnvService::measure_qoe(BackendId backend, const SliceConfig& config,
-                               const Workload& workload, double threshold_ms) {
-  return run(backend, config, workload).qoe(threshold_ms);
-}
-
-std::vector<double> EnvService::measure_qoe_batch(std::span<const EnvQuery> queries,
-                                                  double threshold_ms) {
-  const auto episodes = run_batch(queries);
-  std::vector<double> qoes(episodes.size(), 0.0);
-  for (std::size_t i = 0; i < episodes.size(); ++i) qoes[i] = episodes[i].qoe(threshold_ms);
-  return qoes;
-}
-
 BackendStats EnvService::backend_stats(BackendId id) const {
   const Backend& backend = backend_at(id);
   BackendStats stats;
-  stats.name = backend.name;
-  stats.kind = backend.kind;
+  stats.name = backend.impl->name();
+  stats.kind = backend.impl->kind();
   stats.queries = backend.queries.load(std::memory_order_relaxed);
   stats.cache_hits = backend.cache_hits.load(std::memory_order_relaxed);
   stats.cache_misses = backend.cache_misses.load(std::memory_order_relaxed);
   stats.episodes = backend.episodes.load(std::memory_order_relaxed);
+  stats.cost_hint = backend.impl->cost_hint();
+  backend.impl->fill_stats(stats);  // rpc retries/failures for remote backends
   return stats;
 }
 
@@ -344,6 +347,7 @@ void EnvService::reset_stats() {
     backend->cache_hits.store(0, std::memory_order_relaxed);
     backend->cache_misses.store(0, std::memory_order_relaxed);
     backend->episodes.store(0, std::memory_order_relaxed);
+    backend->impl->reset_stats();  // backend-owned counters (rpc retries/failures)
   }
 }
 
@@ -360,7 +364,7 @@ void EnvService::clear_cache() {
   for (const auto& shard : shards_) {
     std::scoped_lock lock(shard->mutex);
     shard->entries.clear();
-    shard->order.clear();
+    shard->lru.clear();
   }
 }
 

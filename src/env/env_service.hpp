@@ -4,98 +4,18 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.hpp"
-#include "env/environment.hpp"
-#include "env/multi_slice.hpp"
-#include "env/sim_params.hpp"
+#include "env/client.hpp"
 
 namespace atlas::env {
-
-/// How queries against a backend are metered. Every Atlas stage is built on
-/// the same loop — query an environment, observe, update a model — but the
-/// COST of a query differs wildly: simulator episodes are free and cacheable,
-/// while every real-network episode is served to live slice users (SLA
-/// exposure, the paper's sample-efficiency currency).
-enum class BackendKind {
-  kOffline,  ///< Cheap, parallel, memoizable (simulator / multi-slice sim).
-  kOnline,   ///< Metered: each query is a real interaction; never cached.
-};
-
-/// Opaque handle to a registered backend. Index into the service registry.
-using BackendId = std::uint32_t;
-
-/// One environment query: which backend, which configuration interval.
-/// `sim_params` optionally overrides the Table 3 simulation parameters for
-/// this query only (Stage 1 evaluates a different parameter vector per
-/// query); it is valid only on offline backends.
-struct EnvQuery {
-  BackendId backend = 0;
-  SliceConfig config;
-  Workload workload;
-  std::optional<SimParams> sim_params;
-};
-
-/// Future-like handle returned by EnvService::submit.
-class QueryHandle {
- public:
-  QueryHandle() = default;
-
-  /// Monotonic id of the submission (0 for a default-constructed handle).
-  std::uint64_t id() const noexcept { return id_; }
-  bool valid() const noexcept { return future_.valid(); }
-
-  /// Block until the episode completes and return its result (at most once).
-  /// Throws std::logic_error when the handle is default-constructed,
-  /// moved-from, or already consumed (never UB).
-  EpisodeResult get();
-  /// Block until the episode completes; no-op on an invalid handle.
-  void wait() const {
-    if (future_.valid()) future_.wait();
-  }
-
- private:
-  friend class EnvService;
-  QueryHandle(std::uint64_t id, std::future<EpisodeResult> future)
-      : id_(id), future_(std::move(future)) {}
-
-  std::uint64_t id_ = 0;
-  std::future<EpisodeResult> future_;
-};
-
-/// Per-backend accounting. `queries` counts everything routed through the
-/// service; `episodes` counts actual environment executions (for online
-/// backends the two are equal — that equality IS the SLA-exposure meter).
-struct BackendStats {
-  std::string name;
-  BackendKind kind = BackendKind::kOffline;
-  std::uint64_t queries = 0;       ///< Queries answered (hit or executed).
-  std::uint64_t cache_hits = 0;    ///< Served from the memo table or a coalesced in-flight episode.
-  std::uint64_t cache_misses = 0;  ///< Unique executions of cacheable queries.
-  std::uint64_t episodes = 0;      ///< Environment executions.
-};
-
-/// Service-wide accounting snapshot.
-struct EnvServiceStats {
-  std::vector<BackendStats> backends;
-  std::uint64_t offline_queries = 0;  ///< Cheap (simulator) queries.
-  std::uint64_t online_queries = 0;   ///< Metered real-network interactions.
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-
-  std::uint64_t total_queries() const noexcept { return offline_queries + online_queries; }
-  double hit_rate() const noexcept {
-    const std::uint64_t lookups = cache_hits + cache_misses;
-    return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(lookups);
-  }
-};
 
 struct EnvServiceOptions {
   std::size_t threads = 0;  ///< Worker threads (0 = ThreadPool default).
@@ -103,7 +23,7 @@ struct EnvServiceOptions {
   std::size_t cache_capacity = 65536;  ///< Entries kept (0 disables caching AND single-flight).
   /// Lock stripes over the memo/in-flight tables. 0 = auto: enough power-of-2
   /// shards (up to 16) that each stripe still holds >= 64 entries, so small
-  /// caches keep exact global FIFO eviction while large ones stop
+  /// caches keep exact per-stripe LRU eviction while large ones stop
   /// serializing every lookup on one mutex.
   std::size_t cache_shards = 0;
 };
@@ -116,11 +36,19 @@ struct EnvServiceOptions {
 ///   const auto sim = service.add_simulator(params);
 ///   auto results = service.run_batch(queries);   // parallel, in order
 ///
+/// The registry holds polymorphic `EnvBackend`s: in-process environments
+/// (via `LocalBackend`), remote episode-RPC workers (`rpc::RemoteBackend`),
+/// or any custom implementation — the service's memoization, single-flight,
+/// and accounting are identical across them.
+///
 /// Guarantees:
 ///  * `run_batch` returns results positionally matching its input span.
 ///  * Offline episodes are memoized by (backend, config, workload, seed,
-///    sim-param override); environments are deterministic per seed, so a
-///    cache hit is bit-identical to a re-execution.
+///    sim-param override); backends are deterministic per seed, so a cache
+///    hit is bit-identical to a re-execution.
+///  * Eviction is per-stripe LRU, weighted by the backend's recomputation
+///    cost hint: among the least-recently-used entries, cheap (simulator)
+///    episodes are evicted before expensive (remote / testbed) ones.
 ///  * Single-flight: concurrent identical offline queries — racing threads or
 ///    duplicates inside one batch — coalesce onto ONE episode execution whose
 ///    result is shared. Exactly one of them counts a cache miss (and an
@@ -133,7 +61,7 @@ struct EnvServiceOptions {
 ///  * The service owns its thread pool; all methods are thread-safe. Lookups
 ///    are striped across `cache_shard_count()` locks and the backend registry
 ///    is a read-mostly snapshot, so queries on different keys do not contend.
-class EnvService {
+class EnvService final : public EnvClient {
  public:
   explicit EnvService(EnvServiceOptions options = {});
 
@@ -142,57 +70,33 @@ class EnvService {
 
   // ---- backend registry ----------------------------------------------------
 
-  /// Register a caller-owned environment. The reference must outlive the
-  /// service (use the shared_ptr overload for service-owned backends).
-  BackendId register_backend(const NetworkEnvironment& environment, std::string name,
-                             BackendKind kind);
-  BackendId register_backend(std::shared_ptr<const NetworkEnvironment> environment,
-                             std::string name, BackendKind kind);
+  using EnvClient::register_backend;
+  BackendId register_backend(std::shared_ptr<const EnvBackend> backend) override;
 
-  /// Service-owned simulator with the given Table 3 parameters (offline).
-  BackendId add_simulator(const SimParams& params = SimParams::defaults(),
-                          std::string name = "simulator");
-  /// Service-owned testbed surrogate (online, metered).
-  BackendId add_real_network(std::string name = "real");
-  /// Service-owned multi-slice deployment: queries drive the target slice,
-  /// `background` tenants are fixed (offline unless `kind` says otherwise).
-  BackendId add_multi_slice(NetworkProfile profile, std::vector<SliceSpec> background,
-                            std::string name = "multi-slice",
-                            BackendKind kind = BackendKind::kOffline);
-
-  std::size_t backend_count() const;
-  const std::string& backend_name(BackendId id) const;
-  BackendKind backend_kind(BackendId id) const;
+  std::size_t backend_count() const override;
+  const std::string& backend_name(BackendId id) const override;
+  BackendKind backend_kind(BackendId id) const override;
 
   // ---- queries ---------------------------------------------------------------
 
-  /// Run one query synchronously on the calling thread (cache-aware).
-  EpisodeResult run(const EnvQuery& query);
-  EpisodeResult run(BackendId backend, const SliceConfig& config, const Workload& workload);
+  using EnvClient::run;
+  EpisodeResult run(const EnvQuery& query) override;
 
-  /// Enqueue one query on the service pool and return a handle to its result.
-  QueryHandle submit(EnvQuery query);
+  QueryHandle submit(EnvQuery query) override;
 
   /// Run a batch across the pool; results are positionally ordered. Safe to
   /// call from inside a pool worker (the caller-runs fallback in ThreadPool
   /// drains nested work instead of deadlocking the fixed-size pool).
-  std::vector<EpisodeResult> run_batch(std::span<const EnvQuery> queries);
-
-  /// Convenience: QoE = Pr(latency <= threshold) of one episode / a batch.
-  double measure_qoe(const EnvQuery& query, double threshold_ms);
-  double measure_qoe(BackendId backend, const SliceConfig& config, const Workload& workload,
-                     double threshold_ms);
-  std::vector<double> measure_qoe_batch(std::span<const EnvQuery> queries, double threshold_ms);
+  std::vector<EpisodeResult> run_batch(std::span<const EnvQuery> queries) override;
 
   // ---- accounting ------------------------------------------------------------
 
-  BackendStats backend_stats(BackendId id) const;
-  EnvServiceStats stats() const;
-  void reset_stats();
+  BackendStats backend_stats(BackendId id) const override;
+  EnvServiceStats stats() const override;
+  void reset_stats() override;
 
-  /// Entries currently memoized (summed across shards).
-  std::size_t cache_size() const;
-  void clear_cache();
+  std::size_t cache_size() const override;
+  void clear_cache() override;
 
   /// Whether offline episodes are memoized at all (cache_episodes &&
   /// cache_capacity > 0). When false, no cache lock is taken and no hit/miss
@@ -202,14 +106,16 @@ class EnvService {
   /// Number of lock stripes over the memo/in-flight tables.
   std::size_t cache_shard_count() const noexcept { return shards_.size(); }
 
+  /// Queries currently executing or queued via submit(). ShardRouter uses
+  /// this for least-loaded backend placement.
+  std::size_t outstanding_queries() const noexcept;
+
   std::size_t threads() const noexcept { return pool_.size(); }
   common::ThreadPool& pool() noexcept { return pool_; }
 
  private:
   struct Backend {
-    std::shared_ptr<const NetworkEnvironment> env;
-    std::string name;
-    BackendKind kind = BackendKind::kOffline;
+    std::shared_ptr<const EnvBackend> impl;
     std::atomic<std::uint64_t> queries{0};
     std::atomic<std::uint64_t> cache_hits{0};
     std::atomic<std::uint64_t> cache_misses{0};
@@ -238,21 +144,31 @@ class EnvService {
     std::shared_future<EpisodeResult> future;
   };
 
-  /// One lock stripe: memo entries, their FIFO eviction order, and the
-  /// in-flight table, all for keys hashing onto this stripe. Padded so
-  /// stripes do not false-share.
+  /// One memoized episode plus its position in the stripe's LRU list and the
+  /// backend-provided recomputation cost that weights its eviction.
+  struct MemoEntry {
+    EpisodeResult result;
+    double cost = 1.0;
+    std::list<QueryKey>::iterator lru_it;
+  };
+
+  /// One lock stripe: memo entries, their LRU order (front = most recent),
+  /// and the in-flight table, all for keys hashing onto this stripe. Padded
+  /// so stripes do not false-share.
   struct alignas(64) CacheShard {
     std::mutex mutex;
-    std::unordered_map<QueryKey, EpisodeResult, QueryKeyHash> entries;
-    std::deque<QueryKey> order;  ///< FIFO eviction order.
+    std::unordered_map<QueryKey, MemoEntry, QueryKeyHash> entries;
+    std::list<QueryKey> lru;  ///< Eviction order; hits splice to the front.
     std::unordered_map<QueryKey, std::shared_ptr<InFlight>, QueryKeyHash> in_flight;
   };
 
   Backend& backend_at(BackendId id) const;
   CacheShard& shard_for(std::size_t hash) const;
   static QueryKey make_key(const EnvQuery& query);
-  EpisodeResult execute(const Backend& backend, const EnvQuery& query) const;
+  /// Evict until `shard.entries.size() <= shard_capacity_` (mutex held).
+  void evict_locked(CacheShard& shard);
   EpisodeResult run_single_flight(Backend& backend, const EnvQuery& query);
+  EpisodeResult run_impl(const EnvQuery& query);
 
   EnvServiceOptions options_;
 
@@ -264,6 +180,7 @@ class EnvService {
   std::size_t shard_capacity_ = 0;  ///< Per-stripe share of cache_capacity.
 
   std::atomic<std::uint64_t> next_query_id_{0};
+  std::atomic<std::int64_t> outstanding_{0};
 
   /// LAST member: destroyed first, so ~ThreadPool drains still-queued query
   /// tasks while the registry/shards they touch are alive.

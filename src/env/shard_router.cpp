@@ -17,35 +17,36 @@ ShardRouter::ShardRouter(std::size_t shards, EnvServiceOptions options) {
   routes_.store(std::make_shared<const RouteTable>(), std::memory_order_release);
 }
 
-BackendId ShardRouter::register_backend(std::shared_ptr<const NetworkEnvironment> environment,
-                                        std::string name, BackendKind kind) {
+std::size_t ShardRouter::pick_shard_locked() const {
+  // Least-loaded placement: a tenant registered during a traffic skew should
+  // not land on the shard already drowning in queries. Ties fall back to the
+  // fewest registered backends, then the lowest index, so an idle router
+  // still places deterministically (round-robin-like spread).
+  std::size_t best = 0;
+  std::size_t best_load = shards_[0]->outstanding_queries();
+  std::size_t best_backends = shards_[0]->backend_count();
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    const std::size_t load = shards_[i]->outstanding_queries();
+    const std::size_t backends = shards_[i]->backend_count();
+    if (load < best_load || (load == best_load && backends < best_backends)) {
+      best = i;
+      best_load = load;
+      best_backends = backends;
+    }
+  }
+  return best;
+}
+
+BackendId ShardRouter::register_backend(std::shared_ptr<const EnvBackend> backend) {
   std::scoped_lock lock(routes_mutex_);
   const auto current = routes_.load(std::memory_order_acquire);
   const auto global = static_cast<BackendId>(current->size());
-  const auto shard = static_cast<std::uint32_t>(global % shards_.size());
-  const BackendId local =
-      shards_[shard]->register_backend(std::move(environment), std::move(name), kind);
+  const auto shard = static_cast<std::uint32_t>(pick_shard_locked());
+  const BackendId local = shards_[shard]->register_backend(std::move(backend));
   auto next = std::make_shared<RouteTable>(*current);
   next->push_back(Route{shard, local});
   routes_.store(std::shared_ptr<const RouteTable>(std::move(next)), std::memory_order_release);
   return global;
-}
-
-BackendId ShardRouter::add_simulator(const SimParams& params, std::string name) {
-  return register_backend(std::make_shared<Simulator>(params), std::move(name),
-                          BackendKind::kOffline);
-}
-
-BackendId ShardRouter::add_real_network(std::string name) {
-  return register_backend(std::make_shared<RealNetwork>(), std::move(name),
-                          BackendKind::kOnline);
-}
-
-BackendId ShardRouter::add_multi_slice(NetworkProfile profile, std::vector<SliceSpec> background,
-                                       std::string name, BackendKind kind) {
-  return register_backend(
-      std::make_shared<MultiSliceEnvironment>(std::move(profile), std::move(background)),
-      std::move(name), kind);
 }
 
 ShardRouter::Route ShardRouter::route_at(BackendId id) const {
@@ -81,15 +82,6 @@ EpisodeResult ShardRouter::run(const EnvQuery& query) {
   return shards_[route.shard]->run(to_local(query, route));
 }
 
-EpisodeResult ShardRouter::run(BackendId backend, const SliceConfig& config,
-                               const Workload& workload) {
-  EnvQuery q;
-  q.backend = backend;
-  q.config = config;
-  q.workload = workload;
-  return run(q);
-}
-
 QueryHandle ShardRouter::submit(EnvQuery query) {
   const Route route = route_at(query.backend);
   return shards_[route.shard]->submit(to_local(query, route));
@@ -117,18 +109,6 @@ std::vector<EpisodeResult> ShardRouter::run_batch(std::span<const EnvQuery> quer
   }
   for (auto& [slot, handle] : handles) results[slot] = handle.get();
   return results;
-}
-
-double ShardRouter::measure_qoe(const EnvQuery& query, double threshold_ms) {
-  return run(query).qoe(threshold_ms);
-}
-
-std::vector<double> ShardRouter::measure_qoe_batch(std::span<const EnvQuery> queries,
-                                                   double threshold_ms) {
-  const auto episodes = run_batch(queries);
-  std::vector<double> qoes(episodes.size(), 0.0);
-  for (std::size_t i = 0; i < episodes.size(); ++i) qoes[i] = episodes[i].qoe(threshold_ms);
-  return qoes;
 }
 
 BackendStats ShardRouter::backend_stats(BackendId id) const {

@@ -14,11 +14,15 @@ namespace atlas::env {
 /// Fans a `BackendId`-keyed address space across M independent `EnvService`
 /// shards, so one process can drive thousands of per-slice Atlas instances
 /// (one backend per tenant slice) without funnelling every query through a
-/// single service's pool and cache stripes.
+/// single service's pool and cache stripes. Because the registry is
+/// polymorphic (`EnvBackend`), a shard's backends may be in-process
+/// environments or `rpc::RemoteBackend`s — one router transparently mixes
+/// local pools and remote episode-RPC workers on other hosts.
 ///
-/// Global backend ids are assigned round-robin across shards at registration
-/// time — shard = id % M — so the mapping is computable and tenants spread
-/// evenly. Each shard is a full EnvService (own thread pool, own sharded
+/// Placement is least-loaded: a new backend goes to the shard with the
+/// fewest outstanding queries at registration time (ties: fewest registered
+/// backends, then lowest index — so an idle router places round-robin).
+/// Each shard is a full EnvService (own thread pool, own sharded
 /// memo/in-flight tables, own accounting); the router only translates ids
 /// and aggregates. All guarantees of EnvService (ordered batches,
 /// single-flight, exact accounting, metered online backends) hold per shard
@@ -28,7 +32,7 @@ namespace atlas::env {
 ///   for (auto& tenant : tenants) ids.push_back(router.add_simulator(tenant.params));
 ///   auto results = router.run_batch(queries);   // fans out across shards
 ///   auto stats = router.stats();                // global-id-ordered backends
-class ShardRouter {
+class ShardRouter final : public EnvClient {
  public:
   /// `shards` EnvService instances, each built from `options` (so a 16-thread
   /// option on 8 shards is 128 workers total — size accordingly).
@@ -45,39 +49,31 @@ class ShardRouter {
 
   // ---- backend registry (global ids) ----------------------------------------
 
-  BackendId register_backend(std::shared_ptr<const NetworkEnvironment> environment,
-                             std::string name, BackendKind kind);
-  BackendId add_simulator(const SimParams& params = SimParams::defaults(),
-                          std::string name = "simulator");
-  BackendId add_real_network(std::string name = "real");
-  BackendId add_multi_slice(NetworkProfile profile, std::vector<SliceSpec> background,
-                            std::string name = "multi-slice",
-                            BackendKind kind = BackendKind::kOffline);
+  using EnvClient::register_backend;
+  BackendId register_backend(std::shared_ptr<const EnvBackend> backend) override;
 
-  std::size_t backend_count() const;
-  const std::string& backend_name(BackendId id) const;
-  BackendKind backend_kind(BackendId id) const;
+  std::size_t backend_count() const override;
+  const std::string& backend_name(BackendId id) const override;
+  BackendKind backend_kind(BackendId id) const override;
 
   // ---- queries (global backend ids) -----------------------------------------
 
-  EpisodeResult run(const EnvQuery& query);
-  EpisodeResult run(BackendId backend, const SliceConfig& config, const Workload& workload);
+  using EnvClient::run;
+  EpisodeResult run(const EnvQuery& query) override;
   /// Enqueue on the owning shard's pool; the handle is a plain EnvService one.
-  QueryHandle submit(EnvQuery query);
+  QueryHandle submit(EnvQuery query) override;
   /// Fan the batch out across the owning shards' pools; results are
   /// positionally ordered like EnvService::run_batch.
-  std::vector<EpisodeResult> run_batch(std::span<const EnvQuery> queries);
-  double measure_qoe(const EnvQuery& query, double threshold_ms);
-  std::vector<double> measure_qoe_batch(std::span<const EnvQuery> queries, double threshold_ms);
+  std::vector<EpisodeResult> run_batch(std::span<const EnvQuery> queries) override;
 
   // ---- accounting (aggregated) ----------------------------------------------
 
-  BackendStats backend_stats(BackendId id) const;
+  BackendStats backend_stats(BackendId id) const override;
   /// Aggregate across shards; `backends` is ordered by GLOBAL backend id.
-  EnvServiceStats stats() const;
-  void reset_stats();
-  std::size_t cache_size() const;
-  void clear_cache();
+  EnvServiceStats stats() const override;
+  void reset_stats() override;
+  std::size_t cache_size() const override;
+  void clear_cache() override;
 
  private:
   struct Route {
@@ -89,6 +85,8 @@ class ShardRouter {
   Route route_at(BackendId id) const;
   /// Rewrite the global backend id to the owning shard's local id.
   EnvQuery to_local(const EnvQuery& query, const Route& route) const;
+  /// Least-loaded shard by outstanding queries (routes_mutex_ held).
+  std::size_t pick_shard_locked() const;
 
   std::vector<std::unique_ptr<EnvService>> shards_;
   mutable std::mutex routes_mutex_;  ///< Serializes registrations only.

@@ -1,0 +1,298 @@
+#include "rpc/codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace atlas::rpc {
+
+// ---- WireWriter -------------------------------------------------------------
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void WireWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void WireWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+// ---- WireReader -------------------------------------------------------------
+
+void WireReader::need(std::size_t n) const {
+  if (pos_ + n > bytes_.size()) {
+    throw CodecError("rpc codec: truncated frame (needed " + std::to_string(n) + " bytes, " +
+                     std::to_string(bytes_.size() - pos_) + " left)");
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+std::uint16_t WireReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(bytes_[pos_]) |
+                    static_cast<std::uint16_t>(bytes_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::f64() { return std::bit_cast<double>(u64()); }
+
+bool WireReader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1) throw CodecError("rpc codec: bad boolean byte");
+  return v == 1;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+void WireReader::expect_done() const {
+  if (pos_ != bytes_.size()) {
+    throw CodecError("rpc codec: " + std::to_string(bytes_.size() - pos_) +
+                     " trailing bytes after message body");
+  }
+}
+
+// ---- message bodies ---------------------------------------------------------
+
+namespace {
+
+void put_header(WireWriter& w, MsgType type, std::uint64_t request_id) {
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u64(request_id);
+}
+
+void put_slice_config(WireWriter& w, const env::SliceConfig& c) {
+  w.f64(c.bandwidth_ul);
+  w.f64(c.bandwidth_dl);
+  w.f64(c.mcs_offset_ul);
+  w.f64(c.mcs_offset_dl);
+  w.f64(c.backhaul_mbps);
+  w.f64(c.cpu_ratio);
+}
+
+env::SliceConfig get_slice_config(WireReader& r) {
+  env::SliceConfig c;
+  c.bandwidth_ul = r.f64();
+  c.bandwidth_dl = r.f64();
+  c.mcs_offset_ul = r.f64();
+  c.mcs_offset_dl = r.f64();
+  c.backhaul_mbps = r.f64();
+  c.cpu_ratio = r.f64();
+  return c;
+}
+
+void put_workload(WireWriter& w, const env::Workload& wl) {
+  w.i32(wl.traffic);
+  w.f64(wl.duration_ms);
+  w.f64(wl.distance_m);
+  w.boolean(wl.random_walk);
+  w.i32(wl.extra_users);
+  w.boolean(wl.collect_traces);
+  w.u64(wl.seed);
+}
+
+env::Workload get_workload(WireReader& r) {
+  env::Workload wl;
+  wl.traffic = r.i32();
+  wl.duration_ms = r.f64();
+  wl.distance_m = r.f64();
+  wl.random_walk = r.boolean();
+  wl.extra_users = r.i32();
+  wl.collect_traces = r.boolean();
+  wl.seed = r.u64();
+  return wl;
+}
+
+void put_sim_params(WireWriter& w, const env::SimParams& p) {
+  w.f64(p.baseline_loss_db);
+  w.f64(p.enb_noise_figure_db);
+  w.f64(p.ue_noise_figure_db);
+  w.f64(p.backhaul_bw_mbps);
+  w.f64(p.backhaul_delay_ms);
+  w.f64(p.compute_time_ms);
+  w.f64(p.loading_time_ms);
+}
+
+env::SimParams get_sim_params(WireReader& r) {
+  env::SimParams p;
+  p.baseline_loss_db = r.f64();
+  p.enb_noise_figure_db = r.f64();
+  p.ue_noise_figure_db = r.f64();
+  p.backhaul_bw_mbps = r.f64();
+  p.backhaul_delay_ms = r.f64();
+  p.compute_time_ms = r.f64();
+  p.loading_time_ms = r.f64();
+  return p;
+}
+
+void put_trace(WireWriter& w, const env::FrameTrace& t) {
+  w.u64(t.id);
+  w.f64(t.created_ms);
+  w.f64(t.sent_ms);
+  w.f64(t.ul_done_ms);
+  w.f64(t.edge_in_ms);
+  w.f64(t.compute_start_ms);
+  w.f64(t.compute_done_ms);
+  w.f64(t.enb_dl_ms);
+  w.f64(t.completed_ms);
+}
+
+env::FrameTrace get_trace(WireReader& r) {
+  env::FrameTrace t;
+  t.id = r.u64();
+  t.created_ms = r.f64();
+  t.sent_ms = r.f64();
+  t.ul_done_ms = r.f64();
+  t.edge_in_ms = r.f64();
+  t.compute_start_ms = r.f64();
+  t.compute_done_ms = r.f64();
+  t.enb_dl_ms = r.f64();
+  t.completed_ms = r.f64();
+  return t;
+}
+
+/// Element-count sanity bound: a count whose decoded size would exceed the
+/// frame cap is corruption, not data (prevents giant allocations from a
+/// flipped length byte).
+std::size_t checked_count(std::uint64_t n, std::size_t element_bytes, const char* what) {
+  if (n > kMaxFrameBytes / element_bytes) {
+    throw CodecError(std::string("rpc codec: implausible ") + what + " count " +
+                     std::to_string(n));
+  }
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_query(std::uint64_t request_id, const env::EnvQuery& query) {
+  WireWriter w;
+  put_header(w, MsgType::kQuery, request_id);
+  w.u32(query.backend);
+  put_slice_config(w, query.config);
+  put_workload(w, query.workload);
+  w.boolean(query.sim_params.has_value());
+  if (query.sim_params) put_sim_params(w, *query.sim_params);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_result(std::uint64_t request_id,
+                                        const env::EpisodeResult& result) {
+  WireWriter w;
+  put_header(w, MsgType::kResult, request_id);
+  w.u64(result.latencies_ms.size());
+  for (double v : result.latencies_ms) w.f64(v);
+  w.u64(result.frames_completed);
+  w.i32(result.ul_tb_total);
+  w.i32(result.ul_tb_err);
+  w.i32(result.dl_tb_total);
+  w.i32(result.dl_tb_err);
+  w.u64(result.traces.size());
+  for (const auto& t : result.traces) put_trace(w, t);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_error(std::uint64_t request_id, const std::string& message) {
+  WireWriter w;
+  put_header(w, MsgType::kError, request_id);
+  w.str(message);
+  return w.take();
+}
+
+FrameHeader decode_header(WireReader& reader) {
+  const std::uint32_t magic = reader.u32();
+  if (magic != kWireMagic) {
+    throw CodecError("rpc codec: bad frame magic");
+  }
+  const std::uint16_t version = reader.u16();
+  if (version != kWireVersion) {
+    throw CodecError("rpc codec: wire version mismatch (got " + std::to_string(version) +
+                     ", speak " + std::to_string(kWireVersion) + ")");
+  }
+  const std::uint16_t type = reader.u16();
+  if (type < static_cast<std::uint16_t>(MsgType::kQuery) ||
+      type > static_cast<std::uint16_t>(MsgType::kError)) {
+    throw CodecError("rpc codec: unknown message type " + std::to_string(type));
+  }
+  FrameHeader header;
+  header.type = static_cast<MsgType>(type);
+  header.request_id = reader.u64();
+  return header;
+}
+
+env::EnvQuery decode_query_body(WireReader& reader) {
+  env::EnvQuery query;
+  query.backend = reader.u32();
+  query.config = get_slice_config(reader);
+  query.workload = get_workload(reader);
+  if (reader.boolean()) query.sim_params = get_sim_params(reader);
+  reader.expect_done();
+  return query;
+}
+
+env::EpisodeResult decode_result_body(WireReader& reader) {
+  env::EpisodeResult result;
+  const std::size_t latencies = checked_count(reader.u64(), sizeof(double), "latency");
+  result.latencies_ms.reserve(latencies);
+  for (std::size_t i = 0; i < latencies; ++i) result.latencies_ms.push_back(reader.f64());
+  result.frames_completed = static_cast<std::size_t>(reader.u64());
+  result.ul_tb_total = reader.i32();
+  result.ul_tb_err = reader.i32();
+  result.dl_tb_total = reader.i32();
+  result.dl_tb_err = reader.i32();
+  const std::size_t traces = checked_count(reader.u64(), sizeof(env::FrameTrace), "trace");
+  result.traces.reserve(traces);
+  for (std::size_t i = 0; i < traces; ++i) result.traces.push_back(get_trace(reader));
+  reader.expect_done();
+  return result;
+}
+
+std::string decode_error_body(WireReader& reader) {
+  std::string message = reader.str();
+  reader.expect_done();
+  return message;
+}
+
+}  // namespace atlas::rpc

@@ -1,0 +1,216 @@
+#include "rpc/remote_backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "rpc/codec.hpp"
+
+namespace atlas::rpc {
+
+/// One connection shared by every concurrent execute(): senders tag requests
+/// with a fresh id and park on a promise; the reader thread routes each
+/// response frame to its promise. When the stream dies, every parked sender
+/// is failed over to the retry loop.
+class RemoteBackend::MuxConnection {
+ public:
+  explicit MuxConnection(std::unique_ptr<Transport> transport)
+      : transport_(std::move(transport)) {
+    reader_ = std::thread([this] { read_loop(); });
+  }
+
+  ~MuxConnection() {
+    transport_->close();
+    if (reader_.joinable()) reader_.join();
+  }
+
+  bool dead() const noexcept { return dead_.load(std::memory_order_acquire); }
+
+  /// Register the pending slot, then put the frame on the wire.
+  std::future<std::vector<std::uint8_t>> send_request(std::uint64_t request_id,
+                                                      const std::vector<std::uint8_t>& frame) {
+    std::future<std::vector<std::uint8_t>> future;
+    {
+      std::scoped_lock lock(mutex_);
+      if (dead_.load(std::memory_order_acquire)) {
+        throw TransportError("rpc client: connection is down");
+      }
+      auto [it, inserted] = pending_.try_emplace(request_id);
+      future = it->second.get_future();
+    }
+    try {
+      transport_->send(frame);
+    } catch (...) {
+      forget(request_id);
+      throw;
+    }
+    return future;
+  }
+
+  /// Abandon a timed-out request; a late response frame is dropped.
+  void forget(std::uint64_t request_id) {
+    std::scoped_lock lock(mutex_);
+    pending_.erase(request_id);
+  }
+
+ private:
+  void read_loop() {
+    std::vector<std::uint8_t> frame;
+    for (;;) {
+      bool got = false;
+      try {
+        got = transport_->recv(frame);
+      } catch (const TransportError&) {
+        got = false;
+      }
+      if (!got) break;
+      std::uint64_t request_id = 0;
+      try {
+        WireReader reader(frame);
+        request_id = decode_header(reader).request_id;
+      } catch (const CodecError&) {
+        break;  // garbage on the stream: poison the connection
+      }
+      std::promise<std::vector<std::uint8_t>> promise;
+      bool found = false;
+      {
+        std::scoped_lock lock(mutex_);
+        auto it = pending_.find(request_id);
+        if (it != pending_.end()) {
+          promise = std::move(it->second);
+          pending_.erase(it);
+          found = true;
+        }
+      }
+      if (found) promise.set_value(std::move(frame));
+      // else: response to an abandoned (timed-out) request — dropped.
+      frame.clear();
+    }
+    // EOF or fault: fail everyone still parked so they can retry/reconnect.
+    dead_.store(true, std::memory_order_release);
+    std::unordered_map<std::uint64_t, std::promise<std::vector<std::uint8_t>>> orphans;
+    {
+      std::scoped_lock lock(mutex_);
+      orphans.swap(pending_);
+    }
+    for (auto& [id, promise] : orphans) {
+      promise.set_exception(
+          std::make_exception_ptr(TransportError("rpc client: connection lost")));
+    }
+  }
+
+  std::unique_ptr<Transport> transport_;
+  std::thread reader_;
+  std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::promise<std::vector<std::uint8_t>>> pending_;
+  std::atomic<bool> dead_{false};
+};
+
+RemoteBackend::RemoteBackend(RemoteBackendOptions options) : options_(std::move(options)) {
+  if (!options_.transport_factory) {
+    options_.transport_factory = [host = options_.host, port = options_.port] {
+      return TcpTransport::connect(host, port);
+    };
+  }
+}
+
+RemoteBackend::~RemoteBackend() = default;
+
+std::shared_ptr<RemoteBackend::MuxConnection> RemoteBackend::connection() const {
+  std::scoped_lock lock(conn_mutex_);
+  if (conn_ == nullptr || conn_->dead()) {
+    conn_ = std::make_shared<MuxConnection>(options_.transport_factory());
+  }
+  return conn_;
+}
+
+void RemoteBackend::drop_connection(const std::shared_ptr<MuxConnection>& dead) const {
+  std::scoped_lock lock(conn_mutex_);
+  if (conn_ == dead) conn_ = nullptr;
+}
+
+void RemoteBackend::fill_stats(env::BackendStats& stats) const {
+  stats.rpc_retries = rpc_retries();
+  stats.rpc_failures = rpc_failures();
+}
+
+env::EpisodeResult RemoteBackend::execute(const env::EnvQuery& query) const {
+  // The worker has its own backend address space.
+  env::EnvQuery remote_query = query;
+  remote_query.backend = options_.remote_backend;
+
+  const auto timeout =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::duration<double, std::milli>(options_.timeout_ms));
+  const int attempts = 1 + std::max(0, options_.max_retries);
+  std::string last_fault = "no attempt made";
+
+  // At-most-once for metered backends: once a query is on the wire the
+  // worker may be executing (or have executed) a REAL interaction — retrying
+  // it would duplicate live SLA exposure while the client meters one
+  // episode. Offline episodes retry freely: deterministic per seed, and at
+  // worst (caching disabled worker, collect_traces query) a retry recomputes
+  // the identical result.
+  const bool metered = options_.kind == env::BackendKind::kOnline;
+  const auto metered_abort = [&](const std::string& fault) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    throw RpcError("remote backend '" + options_.name + "': " + fault +
+                   " after the query was sent; not retrying a metered episode (it may "
+                   "have executed on the worker)");
+  };
+
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) retries_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<MuxConnection> conn;
+    bool sent = false;
+    try {
+      conn = connection();
+      const std::uint64_t request_id =
+          next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+      auto future = conn->send_request(request_id, encode_query(request_id, remote_query));
+      sent = true;
+      if (future.wait_for(timeout) != std::future_status::ready) {
+        conn->forget(request_id);
+        last_fault = "timed out after " + std::to_string(options_.timeout_ms) + " ms";
+        if (metered) metered_abort(last_fault);
+        continue;
+      }
+      std::vector<std::uint8_t> frame = future.get();  // throws TransportError if conn died
+      WireReader reader(frame);
+      const FrameHeader header = decode_header(reader);
+      if (header.type == MsgType::kError) {
+        // Deterministic worker-side rejection (bad backend id, invalid
+        // sim_params): retrying cannot help.
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        throw RpcError("remote backend '" + options_.name +
+                       "': worker error: " + decode_error_body(reader));
+      }
+      if (header.type != MsgType::kResult) {
+        throw CodecError("rpc client: unexpected response type");
+      }
+      return decode_result_body(reader);
+    } catch (const TransportError& e) {
+      if (conn != nullptr) drop_connection(conn);
+      last_fault = e.what();
+      // Connect/send failures never reached the worker: always retryable.
+      if (sent && metered) metered_abort(last_fault);
+      continue;
+    } catch (const CodecError& e) {
+      // A malformed response is a poisoned stream: drop and retry fresh.
+      if (conn != nullptr) drop_connection(conn);
+      last_fault = e.what();
+      if (sent && metered) metered_abort(last_fault);
+      continue;
+    }
+  }
+
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  throw RpcError("remote backend '" + options_.name + "' (" + options_.host + ":" +
+                 std::to_string(options_.port) + "): " + std::to_string(attempts) +
+                 " attempts failed; last: " + last_fault);
+}
+
+}  // namespace atlas::rpc

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "env/backend.hpp"
+#include "rpc/transport.hpp"
+
+namespace atlas::rpc {
+
+struct RemoteBackendOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Name under which the backend reports in BackendStats.
+  std::string name = "remote";
+  /// How the OWNING service meters queries to this backend. A remote
+  /// simulator farm is kOffline (cacheable client-side); a remote testbed
+  /// is kOnline (every query is a metered real interaction).
+  env::BackendKind kind = env::BackendKind::kOffline;
+  /// Backend id inside the WORKER's EnvService that queries are rewritten
+  /// to (a worker registers its backends 0..N-1 at startup).
+  env::BackendId remote_backend = 0;
+  /// Per-query deadline. A request that misses it is abandoned (a late
+  /// response is dropped by the multiplexer) and retried.
+  double timeout_ms = 30000.0;
+  /// Additional attempts after the first, for timeouts and transport faults.
+  /// Worker-reported errors (bad query) are NOT retried — they are
+  /// deterministic. Offline episodes retry safely: results are
+  /// deterministic per seed, and a cacheable retry coalesces onto its
+  /// still-running twin via the worker's single-flight (a worker running
+  /// with caching disabled, or a collect_traces query, may compute the
+  /// episode twice — identical result, wasted cycles, never wrong). A
+  /// kOnline backend is at-most-once: after the query is on the wire, any
+  /// fault fails with RpcError instead of re-running a metered live
+  /// interaction the worker may already have executed. Connect/send
+  /// failures (query never reached the worker) retry for both kinds.
+  int max_retries = 2;
+  /// Relative recomputation cost fed to cost-aware cache eviction. Remote
+  /// episodes pay serialization + network + a farm's queue; keep them
+  /// memoized long after same-priced-as-free simulator entries are gone.
+  double cost_hint = 1000.0;
+  /// Whether per-query SimParams overrides are forwarded (the worker-side
+  /// backend still validates); Stage 1 against a remote simulator needs it.
+  bool accepts_sim_params = true;
+  /// Test seam: build the connection from something other than TCP (e.g. a
+  /// loopback endpoint served by an in-process EpisodeRpcServer). Called on
+  /// (re)connect; must return a fresh transport or throw TransportError.
+  std::function<std::unique_ptr<Transport>()> transport_factory;
+};
+
+/// An episode-RPC worker behind the `EnvBackend` contract: `execute`
+/// serializes the query (bit-identical wire codec), sends it over a
+/// multiplexed connection, and blocks for the tagged response. Many service
+/// pool threads call `execute` concurrently; all share one connection whose
+/// reader thread demultiplexes responses by request id.
+///
+/// Failures surface two ways: counters (`rpc_retries` / `rpc_failures`,
+/// visible in `BackendStats` via `fill_stats`) and, once retries are
+/// exhausted, an `RpcError` thrown to the caller.
+class RemoteBackend final : public env::EnvBackend {
+ public:
+  explicit RemoteBackend(RemoteBackendOptions options);
+  ~RemoteBackend() override;
+
+  env::EpisodeResult execute(const env::EnvQuery& query) const override;
+  env::BackendKind kind() const noexcept override { return options_.kind; }
+  const std::string& name() const noexcept override { return options_.name; }
+  double cost_hint() const noexcept override { return options_.cost_hint; }
+  bool accepts_sim_params() const noexcept override { return options_.accepts_sim_params; }
+  void fill_stats(env::BackendStats& stats) const override;
+  void reset_stats() const noexcept override {
+    retries_.store(0, std::memory_order_relaxed);
+    failures_.store(0, std::memory_order_relaxed);
+  }
+
+  std::uint64_t rpc_retries() const noexcept {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rpc_failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class MuxConnection;
+
+  /// Current connection, (re)built lazily under conn_mutex_. A dead
+  /// connection (reader saw EOF/fault) is dropped and rebuilt on the next
+  /// attempt.
+  std::shared_ptr<MuxConnection> connection() const;
+  void drop_connection(const std::shared_ptr<MuxConnection>& dead) const;
+
+  RemoteBackendOptions options_;
+  mutable std::mutex conn_mutex_;
+  mutable std::shared_ptr<MuxConnection> conn_;
+  mutable std::atomic<std::uint64_t> next_request_id_{0};
+  mutable std::atomic<std::uint64_t> retries_{0};
+  mutable std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace atlas::rpc

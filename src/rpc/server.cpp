@@ -1,0 +1,160 @@
+#include "rpc/server.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <utility>
+
+#include "rpc/codec.hpp"
+
+namespace atlas::rpc {
+
+EpisodeRpcServer::EpisodeRpcServer(env::EnvService& service, RpcServerOptions options)
+    : service_(service), listener_(options.port) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+EpisodeRpcServer::~EpisodeRpcServer() { stop(); }
+
+void EpisodeRpcServer::accept_loop() {
+  for (;;) {
+    auto transport = listener_.accept();
+    if (transport == nullptr) return;  // listener closed: shutting down
+    std::scoped_lock lock(connections_mutex_);
+    if (stopped_) return;  // raced with stop(): drop the late connection
+    // Reap connections whose serve loop already finished — a long-running
+    // worker sees arbitrarily many reconnects (clients retry on faults), and
+    // each dead thread would otherwise hold its stack until stop().
+    std::erase_if(connections_, [](const std::unique_ptr<Connection>& c) {
+      if (!c->finished.load(std::memory_order_acquire)) return false;
+      if (c->thread.joinable()) c->thread.join();
+      return true;
+    });
+    auto connection = std::make_unique<Connection>();
+    Connection* conn = connection.get();
+    conn->transport = std::move(transport);
+    conn->thread = std::thread([this, conn] {
+      serve(*conn->transport);
+      conn->finished.store(true, std::memory_order_release);
+    });
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void EpisodeRpcServer::serve(Transport& transport) {
+  // Responses from concurrently-executing episodes interleave on this
+  // connection; each write is one frame, serialized by the write mutex and
+  // matched up client-side by request id.
+  std::mutex write_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t outstanding = 0;  // guarded by done_mutex
+
+  const auto write_frame = [&](const std::vector<std::uint8_t>& frame) {
+    try {
+      std::scoped_lock lock(write_mutex);
+      transport.send(frame);
+    } catch (const TransportError&) {
+      // Peer vanished mid-response; the read loop will notice EOF.
+    }
+  };
+
+  std::vector<std::uint8_t> frame;
+  for (;;) {
+    bool got = false;
+    try {
+      got = transport.recv(frame);
+    } catch (const TransportError&) {
+      break;  // poisoned stream: drop the connection
+    }
+    if (!got) break;  // clean EOF
+
+    std::uint64_t request_id = 0;
+    env::EnvQuery query;
+    try {
+      WireReader reader(frame);
+      const FrameHeader header = decode_header(reader);
+      request_id = header.request_id;
+      if (header.type != MsgType::kQuery) {
+        throw CodecError("episode-rpc server: expected a query frame");
+      }
+      query = decode_query_body(reader);
+    } catch (const std::exception& e) {
+      write_frame(encode_error(request_id, e.what()));
+      continue;
+    }
+
+    {
+      std::scoped_lock lock(done_mutex);
+      ++outstanding;
+    }
+    // Dispatch onto the service pool so one connection can pipeline as many
+    // concurrent episodes as the worker has cores; the future is tracked via
+    // the outstanding counter instead (the response IS the result channel).
+    try {
+      service_.pool().submit(
+        [this, &write_frame, &done_mutex, &done_cv, &outstanding, request_id,
+         q = std::move(query)] {
+          std::vector<std::uint8_t> response;
+          try {
+            response = encode_result(request_id, service_.run(q));
+            if (response.size() > kMaxFrameBytes) {
+              // The client must learn WHY there is no result — a silently
+              // dropped oversized frame reads as a timeout and gets retried.
+              response = encode_error(
+                  request_id, "episode result too large for one frame (" +
+                                  std::to_string(response.size()) + " bytes > " +
+                                  std::to_string(kMaxFrameBytes) + "); shorten the episode");
+            }
+          } catch (const std::exception& e) {
+            response = encode_error(request_id, e.what());
+          }
+          write_frame(response);
+          {
+            // Notify UNDER the lock: serve() destroys done_cv the moment the
+            // final wait sees outstanding == 0, so the notify must complete
+            // before that waiter can reacquire the mutex and return.
+            std::scoped_lock lock(done_mutex);
+            --outstanding;
+            done_cv.notify_all();
+          }
+        });
+    } catch (...) {
+      // Enqueue failed (bad_alloc): the task's decrement will never run; a
+      // leaked increment would hang the final wait (and stop()'s join).
+      {
+        std::scoped_lock lock(done_mutex);
+        --outstanding;
+      }
+      write_frame(encode_error(request_id, "worker failed to enqueue the episode"));
+    }
+  }
+
+  // The read loop is done, but dispatched episodes still reference this
+  // frame's locals; wait them out before returning.
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return outstanding == 0; });
+}
+
+void EpisodeRpcServer::stop() {
+  {
+    std::scoped_lock lock(connections_mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  listener_.close();
+  if (acceptor_.joinable()) acceptor_.join();
+  // After the acceptor is joined no new connections can appear; close every
+  // transport (wakes its serve loop) and join the connection threads.
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::scoped_lock lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) conn->transport->close();
+  for (auto& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+}  // namespace atlas::rpc

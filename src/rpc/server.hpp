@@ -1,0 +1,64 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "env/env_service.hpp"
+#include "rpc/transport.hpp"
+
+namespace atlas::rpc {
+
+struct RpcServerOptions {
+  std::uint16_t port = 0;  ///< TCP port on 127.0.0.1; 0 = ephemeral (see port()).
+};
+
+/// Hosts an `EnvService` behind the episode-RPC: each query frame is
+/// dispatched onto the service's pool (so one connection pipelines many
+/// concurrent episodes) and answered with a result or error frame tagged by
+/// the request id — responses may be reordered; the client's multiplexer
+/// matches them back up. This is the worker side of `RemoteBackend` and the
+/// core of the `atlas_episode_worker` binary.
+class EpisodeRpcServer {
+ public:
+  /// Binds 127.0.0.1:port and starts accepting. `service` must outlive the
+  /// server.
+  EpisodeRpcServer(env::EnvService& service, RpcServerOptions options = {});
+  ~EpisodeRpcServer();
+
+  EpisodeRpcServer(const EpisodeRpcServer&) = delete;
+  EpisodeRpcServer& operator=(const EpisodeRpcServer&) = delete;
+
+  /// Actual bound port (resolves an ephemeral request).
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Stop accepting, close every connection, join all threads. Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+  /// Serve one already-connected transport until the peer closes (blocking).
+  /// The accept loop uses this per connection; tests call it directly with a
+  /// loopback endpoint to exercise the full RPC path without sockets.
+  void serve(Transport& transport);
+
+ private:
+  struct Connection {
+    std::unique_ptr<Transport> transport;
+    std::thread thread;
+    std::atomic<bool> finished{false};  ///< serve() returned; safe to reap.
+  };
+
+  void accept_loop();
+
+  env::EnvService& service_;
+  TcpListener listener_;
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  bool stopped_ = false;  ///< Guarded by connections_mutex_.
+  std::thread acceptor_;
+};
+
+}  // namespace atlas::rpc

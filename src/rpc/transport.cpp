@@ -1,0 +1,257 @@
+#include "rpc/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+#include "rpc/codec.hpp"  // kMaxFrameBytes
+
+namespace atlas::rpc {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+/// send(2) the whole buffer, riding out EINTR/partial writes. MSG_NOSIGNAL:
+/// a vanished peer must surface as EPIPE (TransportError), not SIGPIPE.
+void write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t wrote = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("rpc transport: write failed");
+    }
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+}
+
+/// read(2) exactly n bytes. Returns false on EOF at offset 0 (clean close);
+/// throws on EOF mid-buffer (truncated frame) or on errors.
+bool read_exact(int fd, std::uint8_t* data, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, data + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("rpc transport: read failed");
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw TransportError("rpc transport: connection closed mid-frame (truncated)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void encode_len(std::uint8_t out[4], std::uint32_t n) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(n >> (8 * i));
+}
+
+std::uint32_t decode_len(const std::uint8_t in[4]) {
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) n |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return n;
+}
+
+}  // namespace
+
+// ---- TcpTransport -----------------------------------------------------------
+
+TcpTransport::TcpTransport(int fd) : fd_(fd) {
+  // Frames are small request/response units; Nagle would add 40 ms stalls.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpTransport::~TcpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<TcpTransport> TcpTransport::connect(const std::string& host,
+                                                    std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &res) != 0 || res == nullptr) {
+    throw TransportError("rpc transport: cannot resolve " + host);
+  }
+  int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    throw_errno("rpc transport: socket failed");
+  }
+  if (::connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    ::freeaddrinfo(res);
+    errno = saved;
+    throw_errno("rpc transport: connect to " + host + ":" + service + " failed");
+  }
+  ::freeaddrinfo(res);
+  return std::make_unique<TcpTransport>(fd);
+}
+
+void TcpTransport::send(std::span<const std::uint8_t> frame) {
+  if (frame.size() > kMaxFrameBytes) {
+    throw TransportError("rpc transport: frame exceeds kMaxFrameBytes");
+  }
+  std::uint8_t prefix[4];
+  encode_len(prefix, static_cast<std::uint32_t>(frame.size()));
+  std::scoped_lock lock(send_mutex_);
+  write_all(fd_, prefix, sizeof(prefix));
+  write_all(fd_, frame.data(), frame.size());
+}
+
+bool TcpTransport::recv(std::vector<std::uint8_t>& frame) {
+  std::uint8_t prefix[4];
+  if (!read_exact(fd_, prefix, sizeof(prefix))) return false;
+  const std::uint32_t n = decode_len(prefix);
+  if (n > kMaxFrameBytes) {
+    throw TransportError("rpc transport: implausible frame length " + std::to_string(n) +
+                         " (corrupted stream?)");
+  }
+  frame.resize(n);
+  if (!read_exact(fd_, frame.data(), n)) {
+    throw TransportError("rpc transport: connection closed mid-frame (truncated)");
+  }
+  return true;
+}
+
+void TcpTransport::close() {
+  // shutdown (not close) so a concurrent blocked recv wakes with EOF instead
+  // of racing a reused fd; the destructor releases the descriptor.
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+// ---- TcpListener ------------------------------------------------------------
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("rpc listener: socket failed");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("rpc listener: bind to 127.0.0.1:" + std::to_string(port) + " failed");
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("rpc listener: listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("rpc listener: getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<TcpTransport> TcpListener::accept() {
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return std::make_unique<TcpTransport>(client);
+    // Only a dead listener ends the accept loop (EBADF/EINVAL/ENOTSOCK after
+    // close()). Everything else — aborted handshakes, fd exhaustion, the
+    // pending-network errors accept(2) documents as retryable (ENETDOWN,
+    // EHOSTUNREACH, ...) — is transient for a long-running worker: back off
+    // briefly (except for the instant peer-gave-up cases) and keep serving.
+    if (errno == EBADF || errno == EINVAL || errno == ENOTSOCK) return nullptr;
+    if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) continue;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void TcpListener::close() { ::shutdown(fd_, SHUT_RDWR); }
+
+// ---- loopback ---------------------------------------------------------------
+
+namespace {
+
+/// Two directional frame queues; endpoint `side` receives from queues[side]
+/// and sends into queues[1 - side].
+struct LoopbackState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::vector<std::uint8_t>> queues[2];
+  bool closed[2] = {false, false};  ///< closed[i]: endpoint i called close().
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport(std::shared_ptr<LoopbackState> state, int side)
+      : state_(std::move(state)), side_(side) {}
+  ~LoopbackTransport() override { close(); }
+
+  void send(std::span<const std::uint8_t> frame) override {
+    std::scoped_lock lock(state_->mutex);
+    if (state_->closed[side_] || state_->closed[1 - side_]) {
+      throw TransportError("rpc loopback: channel closed");
+    }
+    state_->queues[1 - side_].emplace_back(frame.begin(), frame.end());
+    state_->cv.notify_all();
+  }
+
+  bool recv(std::vector<std::uint8_t>& frame) override {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] {
+      return !state_->queues[side_].empty() || state_->closed[side_] ||
+             state_->closed[1 - side_];
+    });
+    // Drain queued frames before reporting EOF, like a real socket.
+    if (!state_->queues[side_].empty()) {
+      frame = std::move(state_->queues[side_].front());
+      state_->queues[side_].pop_front();
+      return true;
+    }
+    return false;
+  }
+
+  void close() override {
+    std::scoped_lock lock(state_->mutex);
+    state_->closed[side_] = true;
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<LoopbackState> state_;
+  int side_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_loopback_pair() {
+  auto state = std::make_shared<LoopbackState>();
+  return {std::make_unique<LoopbackTransport>(state, 0),
+          std::make_unique<LoopbackTransport>(state, 1)};
+}
+
+}  // namespace atlas::rpc

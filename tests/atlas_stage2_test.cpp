@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "env/env_service.hpp"
 #include "atlas/offline_trainer.hpp"
 
 namespace ac = atlas::core;

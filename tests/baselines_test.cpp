@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "env/env_service.hpp"
 #include "baselines/dlda.hpp"
 #include "baselines/gp_baseline.hpp"
 #include "baselines/virtual_edge.hpp"

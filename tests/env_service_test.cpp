@@ -30,6 +30,50 @@ ae::EnvQuery query(ae::BackendId backend, std::uint64_t seed,
   return q;
 }
 
+/// A simulator behind the polymorphic EnvBackend interface with a custom
+/// cost hint — stands in for a remote farm in eviction tests.
+class CostlyBackend final : public ae::EnvBackend {
+ public:
+  explicit CostlyBackend(double cost, std::string name = "costly")
+      : name_(std::move(name)), cost_(cost) {}
+
+  ae::EpisodeResult execute(const ae::EnvQuery& q) const override {
+    return sim_.run(q.config, q.workload);
+  }
+  ae::BackendKind kind() const noexcept override { return ae::BackendKind::kOffline; }
+  const std::string& name() const noexcept override { return name_; }
+  double cost_hint() const noexcept override { return cost_; }
+
+ private:
+  ae::Simulator sim_;
+  std::string name_;
+  double cost_;
+};
+
+/// Parks every execute() until released — makes a shard look loaded so the
+/// router's least-loaded placement has something to avoid.
+class BlockingBackend final : public ae::EnvBackend {
+ public:
+  ae::EpisodeResult execute(const ae::EnvQuery&) const override {
+    started_.fetch_add(1, std::memory_order_relaxed);
+    release_.wait(false);  // std::atomic<bool>::wait
+    return {};
+  }
+  ae::BackendKind kind() const noexcept override { return ae::BackendKind::kOnline; }
+  const std::string& name() const noexcept override { return name_; }
+
+  int started() const noexcept { return started_.load(std::memory_order_relaxed); }
+  void release() {
+    release_.store(true, std::memory_order_release);
+    release_.notify_all();
+  }
+
+ private:
+  std::string name_ = "blocking";
+  mutable std::atomic<int> started_{0};
+  mutable std::atomic<bool> release_{false};
+};
+
 }  // namespace
 
 TEST(EnvService, BatchReturnsResultsInSubmissionOrder) {
@@ -150,7 +194,7 @@ TEST(EnvService, UnknownBackendThrows) {
   EXPECT_THROW((void)service.submit(query(99, 1)), std::out_of_range);
 }
 
-TEST(EnvService, FifoEvictionBoundsTheCache) {
+TEST(EnvService, LruEvictionBoundsTheCache) {
   ae::EnvServiceOptions options;
   options.threads = 1;
   options.cache_capacity = 2;
@@ -159,9 +203,29 @@ TEST(EnvService, FifoEvictionBoundsTheCache) {
 
   (void)service.run(query(sim, 1));  // A
   (void)service.run(query(sim, 2));  // B
-  (void)service.run(query(sim, 3));  // C evicts A
+  (void)service.run(query(sim, 3));  // C evicts A (least recently used)
   EXPECT_EQ(service.cache_size(), 2u);
   (void)service.run(query(sim, 1));  // A must re-execute
+  EXPECT_EQ(service.backend_stats(sim).episodes, 4u);
+}
+
+TEST(EnvService, LruEvictionKeepsRecentlyTouchedEntries) {
+  // A hit refreshes recency: unlike the old FIFO, a hot entry survives
+  // churn that would have aged it out by insertion order.
+  ae::EnvServiceOptions options;
+  options.threads = 1;
+  options.cache_capacity = 2;
+  ae::EnvService service(options);
+  const auto sim = service.add_simulator();
+
+  (void)service.run(query(sim, 1));  // A
+  (void)service.run(query(sim, 2));  // B
+  (void)service.run(query(sim, 1));  // touch A: B is now the LRU entry
+  (void)service.run(query(sim, 3));  // C evicts B, not A
+  (void)service.run(query(sim, 1));  // A still cached
+  const auto stats = service.backend_stats(sim);
+  EXPECT_EQ(stats.episodes, 3u) << "A must never re-execute";
+  (void)service.run(query(sim, 2));  // B was evicted: re-executes
   EXPECT_EQ(service.backend_stats(sim).episodes, 4u);
 }
 
@@ -351,7 +415,115 @@ TEST(EnvService, CacheShardCountAdaptsToCapacity) {
   EXPECT_EQ(ae::EnvService(clamped).cache_shard_count(), 3u);
 }
 
-TEST(ShardRouter, RoutesRoundRobinAndAggregatesStats) {
+TEST(EnvService, CostAwareEvictionPrefersCheapVictims) {
+  // Capacity 2, one stripe. An expensive (remote-priced) entry inserted
+  // FIRST — i.e. the least recently used — must survive eviction while the
+  // cheap simulator entry goes, because recomputing it costs 1000x.
+  ae::EnvServiceOptions options;
+  options.threads = 1;
+  options.cache_capacity = 2;
+  ae::EnvService service(options);
+  const auto costly = service.register_backend(std::make_shared<CostlyBackend>(1000.0));
+  const auto sim = service.add_simulator();
+
+  (void)service.run(query(costly, 1));  // expensive entry (oldest)
+  (void)service.run(query(sim, 2));     // cheap entry
+  (void)service.run(query(sim, 3));     // overflow: evicts the CHEAP entry
+  EXPECT_EQ(service.cache_size(), 2u);
+
+  (void)service.run(query(costly, 1));  // still memoized: no new episode
+  EXPECT_EQ(service.backend_stats(costly).episodes, 1u)
+      << "the expensive entry must outlive cheap ones in the eviction scan";
+  (void)service.run(query(sim, 2));  // was evicted: re-executes
+  EXPECT_EQ(service.backend_stats(sim).episodes, 3u);
+}
+
+TEST(EnvService, JustInsertedEntryIsNotItsOwnEvictionVictim) {
+  // A stripe full of expensive entries must not turn cheap backends into
+  // cache-never citizens: the eviction scan excludes the entry the current
+  // insert just added, so the cheap episode displaces the coldest expensive
+  // one instead of evicting itself.
+  ae::EnvServiceOptions options;
+  options.threads = 1;
+  options.cache_capacity = 2;
+  ae::EnvService service(options);
+  const auto costly = service.register_backend(std::make_shared<CostlyBackend>(1000.0));
+  const auto sim = service.add_simulator();
+
+  (void)service.run(query(costly, 1));  // expensive, coldest
+  (void)service.run(query(costly, 2));  // expensive
+  (void)service.run(query(sim, 3));     // cheap insert: evicts costly seed 1, NOT itself
+  (void)service.run(query(sim, 3));     // must be a hit
+  const auto stats = service.backend_stats(sim);
+  EXPECT_EQ(stats.cache_hits, 1u) << "the just-inserted cheap entry must survive";
+  EXPECT_EQ(stats.episodes, 1u);
+  (void)service.run(query(costly, 2));  // newer expensive entry survived
+  EXPECT_EQ(service.backend_stats(costly).episodes, 2u);
+}
+
+TEST(EnvService, CustomBackendRegistersWithOwnNameKindAndCost) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 1});
+  const auto id =
+      service.register_backend(std::make_shared<CostlyBackend>(250.0, "ns3-farm"));
+  EXPECT_EQ(service.backend_name(id), "ns3-farm");
+  EXPECT_EQ(service.backend_kind(id), ae::BackendKind::kOffline);
+
+  (void)service.run(query(id, 5));
+  const auto stats = service.backend_stats(id);
+  EXPECT_EQ(stats.name, "ns3-farm");
+  EXPECT_DOUBLE_EQ(stats.cost_hint, 250.0);
+  EXPECT_EQ(stats.episodes, 1u);
+  EXPECT_EQ(stats.rpc_failures, 0u);  // fill_stats default: no rpc surface
+
+  EXPECT_THROW((void)service.register_backend(std::shared_ptr<const ae::EnvBackend>{}),
+               std::invalid_argument);
+}
+
+TEST(EnvService, SubmitCountsOutstandingQueries) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 1});
+  auto blocking = std::make_shared<BlockingBackend>();
+  const auto id = service.register_backend(blocking);
+  EXPECT_EQ(service.outstanding_queries(), 0u);
+
+  std::vector<ae::QueryHandle> handles;
+  for (std::uint64_t i = 0; i < 3; ++i) handles.push_back(service.submit(query(id, i)));
+  while (blocking->started() < 1) std::this_thread::yield();
+  EXPECT_EQ(service.outstanding_queries(), 3u);  // 1 executing + 2 queued
+
+  blocking->release();
+  for (auto& h : handles) (void)h.get();
+  EXPECT_EQ(service.outstanding_queries(), 0u);
+}
+
+TEST(ShardRouter, PlacementAvoidsLoadedShards) {
+  // Registration-time least-loaded placement: while shard 0 is drowning in
+  // outstanding queries, newly registered backends must land on shard 1
+  // (the old blind round-robin would have alternated).
+  ae::ShardRouter router(2, ae::EnvServiceOptions{.threads = 1});
+  auto blocking = std::make_shared<BlockingBackend>();
+  const auto busy = router.register_backend(blocking);  // idle tie-break: shard 0
+  EXPECT_EQ(&router.service_for(busy), &router.shard(0));
+
+  std::vector<ae::QueryHandle> handles;
+  for (std::uint64_t i = 0; i < 3; ++i) handles.push_back(router.submit(query(busy, i)));
+  while (blocking->started() < 1) std::this_thread::yield();
+
+  const auto sim_a = router.add_simulator(ae::SimParams::defaults(), "sim-a");
+  const auto sim_b = router.add_simulator(ae::SimParams::defaults(), "sim-b");
+  EXPECT_EQ(&router.service_for(sim_a), &router.shard(1));
+  EXPECT_EQ(&router.service_for(sim_b), &router.shard(1))
+      << "shard 0 still has outstanding queries; placement must keep avoiding it";
+
+  blocking->release();
+  for (auto& h : handles) (void)h.get();
+
+  // With the load drained, ties fall back to backend counts: shard 0 (1
+  // backend) beats shard 1 (2 backends).
+  const auto sim_c = router.add_simulator(ae::SimParams::defaults(), "sim-c");
+  EXPECT_EQ(&router.service_for(sim_c), &router.shard(0));
+}
+
+TEST(ShardRouter, IdlePlacementSpreadsLikeRoundRobinAndAggregatesStats) {
   ae::ShardRouter router(2, ae::EnvServiceOptions{.threads = 1});
   ASSERT_EQ(router.shard_count(), 2u);
   const auto sim_a = router.add_simulator(ae::SimParams::defaults(), "sim-a");  // shard 0

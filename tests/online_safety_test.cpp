@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "env/env_service.hpp"
 #include "atlas/offline_trainer.hpp"
 #include "atlas/online_learner.hpp"
 

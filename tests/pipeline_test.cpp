@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "env/env_service.hpp"
 #include "atlas/pipeline.hpp"
 
 namespace ac = atlas::core;

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "rpc/codec.hpp"
+
+namespace ar = atlas::rpc;
+namespace ae = atlas::env;
+
+namespace {
+
+// Bit-level equality (0.0 vs -0.0 differ; values from different code paths
+// must match EXACTLY for memoization to treat remote and local episodes as
+// interchangeable).
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// NaN-free doubles spanning the interesting range: extremes, denormals,
+/// negative zero, and ordinary values.
+double random_double(std::mt19937_64& rng) {
+  switch (rng() % 8) {
+    case 0: return 0.0;
+    case 1: return -0.0;
+    case 2: return std::numeric_limits<double>::max();
+    case 3: return std::numeric_limits<double>::lowest();
+    case 4: return std::numeric_limits<double>::denorm_min();
+    case 5: return std::numeric_limits<double>::infinity();
+    default: {
+      std::uniform_real_distribution<double> dist(-1e6, 1e6);
+      return dist(rng);
+    }
+  }
+}
+
+ae::EnvQuery random_query(std::mt19937_64& rng) {
+  ae::EnvQuery q;
+  q.backend = static_cast<ae::BackendId>(rng() % 1024);
+  q.config.bandwidth_ul = random_double(rng);
+  q.config.bandwidth_dl = random_double(rng);
+  q.config.mcs_offset_ul = random_double(rng);
+  q.config.mcs_offset_dl = random_double(rng);
+  q.config.backhaul_mbps = random_double(rng);
+  q.config.cpu_ratio = random_double(rng);
+  q.workload.traffic = static_cast<int>(rng() % 4) + 1;
+  q.workload.duration_ms = random_double(rng);
+  q.workload.distance_m = random_double(rng);
+  q.workload.random_walk = (rng() % 2) == 0;
+  q.workload.extra_users = static_cast<int>(rng() % 7) - 1;
+  q.workload.collect_traces = (rng() % 2) == 0;
+  q.workload.seed = rng();  // full 64-bit range, incl. > 2^53
+  if (rng() % 2 == 0) {
+    ae::SimParams p;
+    p.baseline_loss_db = random_double(rng);
+    p.enb_noise_figure_db = random_double(rng);
+    p.ue_noise_figure_db = random_double(rng);
+    p.backhaul_bw_mbps = random_double(rng);
+    p.backhaul_delay_ms = random_double(rng);
+    p.compute_time_ms = random_double(rng);
+    p.loading_time_ms = random_double(rng);
+    q.sim_params = p;
+  }
+  return q;
+}
+
+ae::EpisodeResult random_result(std::mt19937_64& rng) {
+  ae::EpisodeResult r;
+  const std::size_t latencies = rng() % 64;  // often empty
+  for (std::size_t i = 0; i < latencies; ++i) r.latencies_ms.push_back(random_double(rng));
+  r.frames_completed = static_cast<std::size_t>(rng() % 100000);
+  r.ul_tb_total = static_cast<int>(rng() % 1000000);
+  r.ul_tb_err = static_cast<int>(rng() % 10000);
+  r.dl_tb_total = static_cast<int>(rng() % 1000000);
+  r.dl_tb_err = static_cast<int>(rng() % 10000);
+  const std::size_t traces = rng() % 2 == 0 ? 0 : rng() % 16;  // empty half the time
+  for (std::size_t i = 0; i < traces; ++i) {
+    ae::FrameTrace t;
+    t.id = rng();
+    t.created_ms = random_double(rng);
+    t.sent_ms = random_double(rng);
+    t.ul_done_ms = random_double(rng);
+    t.edge_in_ms = random_double(rng);
+    t.compute_start_ms = random_double(rng);
+    t.compute_done_ms = random_double(rng);
+    t.enb_dl_ms = random_double(rng);
+    t.completed_ms = random_double(rng);
+    r.traces.push_back(t);
+  }
+  return r;
+}
+
+ae::EnvQuery roundtrip_query(const ae::EnvQuery& q, std::uint64_t id) {
+  const auto frame = ar::encode_query(id, q);
+  ar::WireReader reader(frame);
+  const auto header = ar::decode_header(reader);
+  EXPECT_EQ(header.type, ar::MsgType::kQuery);
+  EXPECT_EQ(header.request_id, id);
+  return ar::decode_query_body(reader);
+}
+
+ae::EpisodeResult roundtrip_result(const ae::EpisodeResult& r, std::uint64_t id) {
+  const auto frame = ar::encode_result(id, r);
+  ar::WireReader reader(frame);
+  const auto header = ar::decode_header(reader);
+  EXPECT_EQ(header.type, ar::MsgType::kResult);
+  EXPECT_EQ(header.request_id, id);
+  return ar::decode_result_body(reader);
+}
+
+}  // namespace
+
+TEST(RpcCodec, QueryRoundTripsBitIdentically) {
+  std::mt19937_64 rng(0xA71A5u);
+  for (int rep = 0; rep < 500; ++rep) {
+    const ae::EnvQuery q = random_query(rng);
+    const ae::EnvQuery back = roundtrip_query(q, rng());
+
+    EXPECT_EQ(back.backend, q.backend);
+    const auto cv = q.config.to_vec();
+    const auto bv = back.config.to_vec();
+    ASSERT_EQ(cv.size(), bv.size());
+    for (std::size_t i = 0; i < cv.size(); ++i) {
+      EXPECT_TRUE(same_bits(cv[i], bv[i])) << "config dim " << i;
+    }
+    EXPECT_EQ(back.workload.traffic, q.workload.traffic);
+    EXPECT_TRUE(same_bits(back.workload.duration_ms, q.workload.duration_ms));
+    EXPECT_TRUE(same_bits(back.workload.distance_m, q.workload.distance_m));
+    EXPECT_EQ(back.workload.random_walk, q.workload.random_walk);
+    EXPECT_EQ(back.workload.extra_users, q.workload.extra_users);
+    EXPECT_EQ(back.workload.collect_traces, q.workload.collect_traces);
+    EXPECT_EQ(back.workload.seed, q.workload.seed);
+    ASSERT_EQ(back.sim_params.has_value(), q.sim_params.has_value());
+    if (q.sim_params) {
+      const auto pv = q.sim_params->to_vec();
+      const auto qv = back.sim_params->to_vec();
+      ASSERT_EQ(pv.size(), qv.size());
+      for (std::size_t i = 0; i < pv.size(); ++i) {
+        EXPECT_TRUE(same_bits(pv[i], qv[i])) << "sim param " << i;
+      }
+    }
+  }
+}
+
+TEST(RpcCodec, ResultRoundTripsBitIdentically) {
+  std::mt19937_64 rng(0xEC0DECu);
+  for (int rep = 0; rep < 500; ++rep) {
+    const ae::EpisodeResult r = random_result(rng);
+    const ae::EpisodeResult back = roundtrip_result(r, rng());
+
+    ASSERT_EQ(back.latencies_ms.size(), r.latencies_ms.size());
+    for (std::size_t i = 0; i < r.latencies_ms.size(); ++i) {
+      EXPECT_TRUE(same_bits(back.latencies_ms[i], r.latencies_ms[i])) << "latency " << i;
+    }
+    EXPECT_EQ(back.frames_completed, r.frames_completed);
+    EXPECT_EQ(back.ul_tb_total, r.ul_tb_total);
+    EXPECT_EQ(back.ul_tb_err, r.ul_tb_err);
+    EXPECT_EQ(back.dl_tb_total, r.dl_tb_total);
+    EXPECT_EQ(back.dl_tb_err, r.dl_tb_err);
+    ASSERT_EQ(back.traces.size(), r.traces.size());
+    for (std::size_t i = 0; i < r.traces.size(); ++i) {
+      EXPECT_EQ(back.traces[i].id, r.traces[i].id);
+      EXPECT_TRUE(same_bits(back.traces[i].created_ms, r.traces[i].created_ms));
+      EXPECT_TRUE(same_bits(back.traces[i].completed_ms, r.traces[i].completed_ms));
+      EXPECT_TRUE(same_bits(back.traces[i].compute_start_ms, r.traces[i].compute_start_ms));
+    }
+  }
+}
+
+TEST(RpcCodec, ErrorRoundTrips) {
+  const auto frame = ar::encode_error(77, "no such backend");
+  ar::WireReader reader(frame);
+  const auto header = ar::decode_header(reader);
+  EXPECT_EQ(header.type, ar::MsgType::kError);
+  EXPECT_EQ(header.request_id, 77u);
+  EXPECT_EQ(ar::decode_error_body(reader), "no such backend");
+}
+
+TEST(RpcCodec, TruncatedFramesAreRejected) {
+  std::mt19937_64 rng(3);
+  const auto frame = ar::encode_query(1, random_query(rng));
+  // Every proper prefix must throw, never read past the end or misdecode.
+  for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+    std::vector<std::uint8_t> cut(frame.begin(), frame.begin() + keep);
+    ar::WireReader reader(cut);
+    EXPECT_THROW(
+        {
+          const auto header = ar::decode_header(reader);
+          if (header.type == ar::MsgType::kQuery) (void)ar::decode_query_body(reader);
+        },
+        ar::CodecError)
+        << "prefix of " << keep << " bytes";
+  }
+}
+
+TEST(RpcCodec, CorruptedHeadersAreRejected) {
+  std::mt19937_64 rng(4);
+  const auto good = ar::encode_result(9, random_result(rng));
+
+  {  // flipped magic
+    auto bad = good;
+    bad[0] ^= 0xFF;
+    ar::WireReader reader(bad);
+    EXPECT_THROW((void)ar::decode_header(reader), ar::CodecError);
+  }
+  {  // future wire version
+    auto bad = good;
+    bad[4] = 0x7F;
+    ar::WireReader reader(bad);
+    EXPECT_THROW((void)ar::decode_header(reader), ar::CodecError);
+  }
+  {  // unknown message type
+    auto bad = good;
+    bad[6] = 0x63;
+    ar::WireReader reader(bad);
+    EXPECT_THROW((void)ar::decode_header(reader), ar::CodecError);
+  }
+}
+
+TEST(RpcCodec, TrailingGarbageIsRejected) {
+  std::mt19937_64 rng(5);
+  auto frame = ar::encode_query(2, random_query(rng));
+  frame.push_back(0xAB);
+  ar::WireReader reader(frame);
+  (void)ar::decode_header(reader);
+  EXPECT_THROW((void)ar::decode_query_body(reader), ar::CodecError);
+}
+
+TEST(RpcCodec, ImplausibleElementCountsAreRejectedNotAllocated) {
+  // A corrupted latency count must throw before the decoder tries to
+  // reserve terabytes.
+  ar::WireWriter w;
+  w.u32(ar::kWireMagic);
+  w.u16(ar::kWireVersion);
+  w.u16(static_cast<std::uint16_t>(ar::MsgType::kResult));
+  w.u64(1);                        // request id
+  w.u64(0xFFFFFFFFFFFFFFFFull);    // latency count
+  const auto frame = w.take();
+  ar::WireReader reader(frame);
+  (void)ar::decode_header(reader);
+  EXPECT_THROW((void)ar::decode_result_body(reader), ar::CodecError);
+}

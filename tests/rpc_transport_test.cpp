@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <latch>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "env/env_service.hpp"
+#include "env/shard_router.hpp"
+#include "rpc/codec.hpp"
+#include "rpc/remote_backend.hpp"
+#include "rpc/server.hpp"
+#include "rpc/transport.hpp"
+
+namespace ae = atlas::env;
+namespace ar = atlas::rpc;
+
+namespace {
+
+ae::EnvQuery query(ae::BackendId backend, std::uint64_t seed) {
+  ae::EnvQuery q;
+  q.backend = backend;
+  q.workload.duration_ms = 3000.0;
+  q.workload.seed = seed;
+  return q;
+}
+
+/// A worker (EnvService + EpisodeRpcServer) whose RemoteBackends connect via
+/// in-process loopback channels: the full RPC path — codec, framing,
+/// multiplexing, server dispatch — without sockets.
+struct LoopbackWorker {
+  explicit LoopbackWorker(std::size_t threads = 2)
+      : service(ae::EnvServiceOptions{.threads = threads}), server(service) {
+    sim = service.add_simulator();
+  }
+
+  ~LoopbackWorker() {
+    disconnect_all();
+    for (auto& t : serve_threads) t.join();
+    server.stop();
+  }
+
+  /// transport_factory for RemoteBackendOptions: each (re)connect builds a
+  /// fresh loopback pair whose far end is served by a dedicated thread.
+  std::function<std::unique_ptr<ar::Transport>()> factory() {
+    return [this] {
+      auto [client_end, server_end] = ar::make_loopback_pair();
+      std::shared_ptr<ar::Transport> remote{std::move(server_end)};
+      {
+        std::scoped_lock lock(mutex);
+        server_ends.push_back(remote);
+        serve_threads.emplace_back([this, remote] { server.serve(*remote); });
+      }
+      return std::move(client_end);
+    };
+  }
+
+  /// Close every server-side endpoint (simulates the worker dying).
+  void disconnect_all() {
+    std::scoped_lock lock(mutex);
+    for (auto& t : server_ends) t->close();
+  }
+
+  ae::EnvService service;
+  ar::EpisodeRpcServer server;
+  ae::BackendId sim = 0;
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ar::Transport>> server_ends;
+  std::vector<std::thread> serve_threads;
+};
+
+}  // namespace
+
+TEST(RpcLoopback, RemoteEpisodeMatchesLocalBitIdentically) {
+  LoopbackWorker worker;
+
+  ae::EnvService client(ae::EnvServiceOptions{.threads = 2});
+  ar::RemoteBackendOptions options;
+  options.name = "loopback-sim";
+  options.transport_factory = worker.factory();
+  const auto remote = client.register_backend(std::make_shared<ar::RemoteBackend>(options));
+
+  ae::Simulator direct;
+  const auto got = client.run(query(remote, 42));
+  const auto want = direct.run(ae::SliceConfig{}, query(remote, 42).workload);
+  EXPECT_EQ(got.latencies_ms, want.latencies_ms);
+  EXPECT_EQ(got.frames_completed, want.frames_completed);
+  EXPECT_EQ(got.ul_tb_total, want.ul_tb_total);
+  EXPECT_EQ(got.dl_tb_total, want.dl_tb_total);
+
+  const auto stats = client.backend_stats(remote);
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.episodes, 1u);
+  EXPECT_EQ(stats.rpc_retries, 0u);
+  EXPECT_EQ(stats.rpc_failures, 0u);
+  EXPECT_DOUBLE_EQ(stats.cost_hint, options.cost_hint);
+}
+
+TEST(RpcLoopback, SingleFlightCoalescesConcurrentRemoteQueries) {
+  // The memoization/single-flight invariants must hold with an RPC in the
+  // middle: N racing threads on one key -> ONE remote episode, exact
+  // hit/miss accounting on the client, one execution on the worker.
+  constexpr std::size_t kThreads = 8;
+  LoopbackWorker worker;
+
+  ae::EnvService client(ae::EnvServiceOptions{.threads = 2});
+  ar::RemoteBackendOptions options;
+  options.transport_factory = worker.factory();
+  const auto remote = client.register_backend(std::make_shared<ar::RemoteBackend>(options));
+
+  std::latch start(kThreads);
+  std::vector<std::thread> threads;
+  std::vector<ae::EpisodeResult> results(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      results[t] = client.run(query(remote, 7));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto stats = client.backend_stats(remote);
+  EXPECT_EQ(stats.queries, kThreads);
+  EXPECT_EQ(stats.episodes, 1u) << "racing remote queries must coalesce onto one RPC";
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, kThreads - 1);
+  for (const auto& r : results) EXPECT_EQ(r.latencies_ms, results[0].latencies_ms);
+
+  // The worker executed exactly one episode too.
+  EXPECT_EQ(worker.service.backend_stats(worker.sim).episodes, 1u);
+}
+
+TEST(RpcLoopback, WorkerErrorsSurfaceAsRpcErrorWithoutRetry) {
+  LoopbackWorker worker;
+
+  ae::EnvService client(ae::EnvServiceOptions{.threads = 1});
+  ar::RemoteBackendOptions options;
+  options.remote_backend = 99;  // not registered on the worker
+  options.transport_factory = worker.factory();
+  auto backend = std::make_shared<ar::RemoteBackend>(options);
+  const auto remote = client.register_backend(backend);
+
+  EXPECT_THROW((void)client.run(query(remote, 1)), ar::RpcError);
+  EXPECT_EQ(backend->rpc_retries(), 0u) << "semantic errors are deterministic: no retry";
+  EXPECT_EQ(backend->rpc_failures(), 1u);
+  EXPECT_EQ(client.backend_stats(remote).rpc_failures, 1u) << "failures surface in stats";
+
+  client.reset_stats();
+  EXPECT_EQ(client.backend_stats(remote).rpc_failures, 0u)
+      << "reset_stats must clear backend-owned counters too";
+}
+
+TEST(RpcLoopback, TimeoutsRetryThenFailWithAccounting) {
+  // A black-hole transport: requests go nowhere, so every attempt times out.
+  auto black_hole = [] {
+    auto [client_end, server_end] = ar::make_loopback_pair();
+    // Keep the far end alive but never serve it (leak into a shared_ptr the
+    // lambda owns) — the channel stays open, the request just never answers.
+    static std::vector<std::shared_ptr<ar::Transport>> graveyard;
+    graveyard.emplace_back(std::move(server_end));
+    return std::move(client_end);
+  };
+
+  ar::RemoteBackendOptions options;
+  options.timeout_ms = 50.0;
+  options.max_retries = 2;
+  options.transport_factory = black_hole;
+  ar::RemoteBackend backend(options);
+
+  EXPECT_THROW((void)backend.execute(query(0, 1)), ar::RpcError);
+  EXPECT_EQ(backend.rpc_retries(), 2u);  // attempts 2 and 3
+  EXPECT_EQ(backend.rpc_failures(), 1u);
+
+  // A METERED backend must be at-most-once: the sent query may already be
+  // running a real interaction on the worker, so a timeout fails immediately
+  // instead of re-running it.
+  options.kind = ae::BackendKind::kOnline;
+  ar::RemoteBackend metered(options);
+  EXPECT_THROW((void)metered.execute(query(0, 2)), ar::RpcError);
+  EXPECT_EQ(metered.rpc_retries(), 0u) << "no retry once a metered query is on the wire";
+  EXPECT_EQ(metered.rpc_failures(), 1u);
+}
+
+TEST(RpcLoopback, ReconnectsAfterConnectionLoss) {
+  LoopbackWorker worker;
+
+  ar::RemoteBackendOptions options;
+  options.max_retries = 1;
+  options.transport_factory = worker.factory();
+  ar::RemoteBackend backend(options);
+
+  // Warm the connection, then kill the server side of every channel.
+  (void)backend.execute(query(0, 11));
+  worker.disconnect_all();
+  for (auto& t : worker.serve_threads) t.join();
+  worker.serve_threads.clear();
+
+  // Depending on who notices first, either the dead connection is replaced
+  // up front (no retry) or the first attempt faults and the retry opens a
+  // fresh channel — both must converge to a served episode, not a failure.
+  const auto result = backend.execute(query(0, 12));
+  ae::Simulator direct;
+  EXPECT_EQ(result.latencies_ms, direct.run(ae::SliceConfig{}, query(0, 12).workload).latencies_ms);
+  EXPECT_EQ(backend.rpc_failures(), 0u);
+}
+
+TEST(RpcTcp, FramesCrossRealSockets) {
+  ae::EnvService worker_service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = worker_service.add_simulator();
+  (void)sim;
+  ar::EpisodeRpcServer server(worker_service, ar::RpcServerOptions{.port = 0});
+  ASSERT_GT(server.port(), 0);
+
+  ar::RemoteBackendOptions options;
+  options.host = "127.0.0.1";
+  options.port = server.port();
+  ar::RemoteBackend backend(options);
+
+  ae::Simulator direct;
+  const auto result = backend.execute(query(0, 99));
+  EXPECT_EQ(result.latencies_ms, direct.run(ae::SliceConfig{}, query(0, 99).workload).latencies_ms);
+  server.stop();
+}
+
+TEST(RpcTcp, ImplausibleLengthPrefixPoisonsTheStream) {
+  // Hand-feed a garbage length prefix to a raw client socket: the transport
+  // must reject it as corruption instead of allocating 4 GB.
+  ar::TcpListener listener(0);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(listener.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  auto accepted = listener.accept();
+  ASSERT_NE(accepted, nullptr);
+
+  const std::uint8_t bogus[4] = {0xFF, 0xFF, 0xFF, 0xFF};  // 4 GB "frame"
+  ASSERT_EQ(::send(fd, bogus, sizeof(bogus), 0), 4);
+
+  std::vector<std::uint8_t> frame;
+  EXPECT_THROW((void)accepted->recv(frame), ar::TransportError);
+
+  // A frame cut off mid-payload must also throw (not return a short frame).
+  const std::uint8_t truncated[6] = {0x10, 0x00, 0x00, 0x00, 0xAA, 0xBB};  // claims 16 bytes
+  ASSERT_EQ(::send(fd, truncated, sizeof(truncated), 0), 6);
+  ::close(fd);
+  EXPECT_THROW((void)accepted->recv(frame), ar::TransportError);
+}
+
+TEST(RpcShardRouter, MixesLocalAndRemoteShards) {
+  // The tentpole end-state: one router, one BackendId space, a local
+  // simulator next to a remote one — results bit-identical per seed.
+  LoopbackWorker worker;
+
+  ae::ShardRouter router(2, ae::EnvServiceOptions{.threads = 1});
+  const auto local = router.add_simulator(ae::SimParams::defaults(), "local-sim");
+  ar::RemoteBackendOptions options;
+  options.name = "remote-sim";
+  options.transport_factory = worker.factory();
+  const auto remote = router.register_backend(std::make_shared<ar::RemoteBackend>(options));
+
+  std::vector<ae::EnvQuery> batch;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    batch.push_back(query(i % 2 == 0 ? local : remote, 300 + i / 2));
+  }
+  const auto results = router.run_batch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  // Pairs (2i, 2i+1) share a seed across the local/remote split.
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    EXPECT_EQ(results[i].latencies_ms, results[i + 1].latencies_ms) << "pair " << i / 2;
+  }
+
+  const auto stats = router.stats();
+  ASSERT_EQ(stats.backends.size(), 2u);
+  EXPECT_EQ(stats.backends[0].name, "local-sim");
+  EXPECT_EQ(stats.backends[1].name, "remote-sim");
+  EXPECT_EQ(stats.backends[0].queries, 4u);
+  EXPECT_EQ(stats.backends[1].queries, 4u);
+  EXPECT_EQ(stats.backends[1].rpc_failures, 0u);
+}
