@@ -33,11 +33,14 @@ Vec SimCalibrator::collect_real_latencies() const {
   // The online collection D_r: slice performance logged from the deployed
   // configuration (full resources), exactly the paper's minimal-effort
   // logging assumption (§4.1, footnote 3). Metered by the service as online
-  // interactions.
+  // interactions — an online seed domain, so the plan sequences it fresh
+  // regardless of the CRN policy.
+  const env::SeedStream seeds = env::SeedPlan(options_.seed, options_.seed_plan)
+                                    .stream(env::SeedDomain::kStage1RealCollectOnline, 1);
   Vec all;
   for (std::size_t e = 0; e < std::max<std::size_t>(1, options_.real_episodes); ++e) {
     env::Workload wl = options_.workload;
-    wl.seed = options_.seed * 7919 + e;
+    wl.seed = seeds.seed(e, 0);
     const auto result = service_.run(real_, env::SliceConfig{}, wl);
     all.insert(all.end(), result.latencies_ms.begin(), result.latencies_ms.end());
   }
@@ -60,6 +63,7 @@ double SimCalibrator::discrepancy_of(const env::SimParams& params, std::uint64_t
 
 CalibrationResult SimCalibrator::calibrate() {
   Rng rng(options_.seed);
+  const env::SeedPlan plan(options_.seed, options_.seed_plan);
   const env::SimParams original = env::SimParams::defaults();
   const Vec x_hat = original.to_vec();
   // Continual recalibration searches around the previous optimum; the
@@ -81,7 +85,8 @@ CalibrationResult SimCalibrator::calibrate() {
   };
 
   CalibrationResult result;
-  result.original_kl = discrepancy_of(original, options_.seed * 13 + 1);
+  result.original_kl =
+      discrepancy_of(original, plan.episode_seed(env::SeedDomain::kStage1Reference, 0, 0, 1));
 
   // Training set in normalized coordinates; targets are raw KL values.
   std::vector<Vec> xs_norm;
@@ -101,20 +106,23 @@ CalibrationResult SimCalibrator::calibrate() {
   const std::size_t batch = use_gp ? 1 : std::max<std::size_t>(1, options_.parallel);
 
   double best_weighted = std::numeric_limits<double>::infinity();
-  std::uint64_t query_counter = 0;
 
-  auto evaluate_batch = [&](const std::vector<Vec>& queries) {
-    std::vector<env::EnvQuery> batch(queries.size());
+  // Under `fresh` the stream reproduces the historical
+  // `seed * 104729 + query_counter` sequence (every iteration consumed
+  // exactly `batch` seeds); under CRN the block repeats per iteration.
+  const env::SeedStream seeds = plan.stream(env::SeedDomain::kStage1Query, batch);
+
+  auto evaluate_batch = [&](const std::vector<Vec>& queries, std::size_t iter) {
+    std::vector<env::EnvQuery> batch_q(queries.size());
     for (std::size_t i = 0; i < queries.size(); ++i) {
-      batch[i].backend = sim_;
-      batch[i].workload = options_.workload;
-      batch[i].workload.seed = options_.seed * 104729 + (query_counter + i);
-      batch[i].sim_params = env::SimParams::from_vec(queries[i]);
+      batch_q[i].backend = sim_;
+      batch_q[i].workload = options_.workload;
+      seeds.apply(batch_q[i], iter, i);
+      batch_q[i].sim_params = env::SimParams::from_vec(queries[i]);
     }
-    const auto episodes = service_.run_batch(batch);
+    const auto episodes = service_.run_batch(batch_q);
     std::vector<double> kls(queries.size(), 0.0);
     for (std::size_t i = 0; i < episodes.size(); ++i) kls[i] = discrepancy_from(episodes[i]);
-    query_counter += queries.size();
     return kls;
   };
 
@@ -151,7 +159,7 @@ CalibrationResult SimCalibrator::calibrate() {
     }
 
     // ---- Query the simulator (offline, parallel) ---------------------------
-    const std::vector<double> kls = evaluate_batch(queries);
+    const std::vector<double> kls = evaluate_batch(queries, iter);
 
     // ---- Record + bookkeeping ----------------------------------------------
     double iter_weighted = 0.0;

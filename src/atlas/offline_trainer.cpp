@@ -67,7 +67,15 @@ OfflineResult OfflineTrainer::train() {
 
   double lambda = 0.0;
   double best_score = std::numeric_limits<double>::infinity();
-  std::uint64_t query_counter = 0;
+
+  // Seed planning (env/seed_plan.hpp): under `fresh` the stream reproduces
+  // the historical `seed * 15485863 + query_counter` sequence bit-identically
+  // (iteration * batch + slot); under CRN policies the same seed block
+  // returns every iteration, pairing QoE comparisons across iterations and
+  // letting revisited configurations hit the service memo table.
+  const env::SeedStream seeds =
+      env::SeedPlan(options_.seed, options_.seed_plan)
+          .stream(env::SeedDomain::kStage2Query, batch);
 
   auto surrogate_input = [&](const Vec& config_raw) {
     return OfflinePolicy::input(options_.workload.traffic, options_.sla.latency_threshold_ms,
@@ -77,16 +85,14 @@ OfflineResult OfflineTrainer::train() {
   // Overlapped querying: each selected configuration is submitted the moment
   // it is chosen, so episode execution on the service pool overlaps the
   // remaining acquisition work (Thompson draws, candidate scans) instead of
-  // blocking on a whole-batch run_batch after selection finishes. Seeds
-  // follow the same `base + query_counter` sequence the blocking path used,
-  // so results are bit-identical.
+  // blocking on a whole-batch run_batch after selection finishes.
   std::vector<env::QueryHandle> handles;
-  auto submit_query = [&](const Vec& config_raw) {
+  auto submit_query = [&](const Vec& config_raw, std::size_t iter, std::size_t slot) {
     env::EnvQuery q;
     q.backend = simulator_;
     q.config = env::SliceConfig::from_vec(config_raw);
     q.workload = options_.workload;
-    q.workload.seed = options_.seed * 15485863 + query_counter++;
+    seeds.apply(q, iter, slot);
     handles.push_back(service_.submit(std::move(q)));
   };
 
@@ -96,7 +102,7 @@ OfflineResult OfflineTrainer::train() {
     if (iter < options_.init_iterations) {
       for (std::size_t q = 0; q < batch; ++q) {
         queries.push_back(space_.sample(rng));
-        submit_query(queries.back());
+        submit_query(queries.back(), iter, q);
       }
     } else if (!use_gp) {
       // Parallel Thompson sampling over the BNN QoE model: minimize the
@@ -116,7 +122,7 @@ OfflineResult OfflineTrainer::train() {
           }
         }
         queries.push_back(best_x);
-        submit_query(best_x);  // episode q runs while draw q+1 scans candidates
+        submit_query(best_x, iter, q);  // episode q runs while draw q+1 scans candidates
       }
     } else {
       // GP surrogate over QoE; acquisition evaluated on the Lagrangian whose
@@ -159,7 +165,7 @@ OfflineResult OfflineTrainer::train() {
         }
       }
       queries.push_back(best_x);
-      submit_query(best_x);
+      submit_query(best_x, iter, 0);
     }
 
     // ---- Harvest the augmented-simulator episodes (submitted above) ---------

@@ -99,7 +99,15 @@ OnlineResult OnlineLearner::learn() {
   // The very first online action is the offline optimum when available (§8.3).
   Vec next_config = policy_ != nullptr ? policy_->best_config.to_vec() : space_.sample(rng);
 
-  std::uint64_t sim_seed = options_.seed * 32452843;
+  // Seed planning: the metered real stream is always fresh; the simulator
+  // stream (one residual episode + N inner-update episodes per iteration)
+  // follows the plan's policy. Under `fresh` it reproduces the historical
+  // pre-incremented `seed * 32452843 + n` counter bit-identically.
+  const env::SeedPlan plan(options_.seed, options_.seed_plan);
+  const bool accelerated = options_.offline_acceleration && options_.inner_updates > 0;
+  const std::size_t sim_reps = 1 + (accelerated ? options_.inner_updates : 0);
+  const env::SeedStream real_seeds = plan.stream(env::SeedDomain::kStage3RealOnline, 1);
+  const env::SeedStream sim_seeds = plan.stream(env::SeedDomain::kStage3Sim, sim_reps);
 
   for (std::size_t iter = 0; iter < options_.iterations; ++iter) {
     // ---- Apply the configuration to the real network -----------------------
@@ -111,14 +119,14 @@ OnlineResult OnlineLearner::learn() {
     real_q.backend = real_;
     real_q.config = config;
     real_q.workload = options_.workload;
-    real_q.workload.seed = options_.seed * 49979687 + iter;
+    real_seeds.apply(real_q, iter, 0);
 
     // ---- Residual observation (one offline simulator episode) --------------
     env::EnvQuery sim_q;
     sim_q.backend = simulator_;
     sim_q.config = config;
     sim_q.workload = options_.workload;
-    sim_q.workload.seed = ++sim_seed;
+    sim_seeds.apply(sim_q, iter, 0);
 
     auto real_handle = service_.submit(std::move(real_q));
     auto sim_handle = service_.submit(std::move(sim_q));
@@ -176,7 +184,7 @@ OnlineResult OnlineLearner::learn() {
     }
 
     // ---- Multiplier updates --------------------------------------------------
-    if (options_.offline_acceleration && options_.inner_updates > 0) {
+    if (accelerated) {
       // Offline acceleration (Eq. 15): N inner dual updates, each driven by an
       // actual augmented-simulator query at the currently-greedy action.
       for (std::size_t n = 0; n < options_.inner_updates; ++n) {
@@ -193,11 +201,12 @@ OnlineResult OnlineLearner::learn() {
             greedy = a;
           }
         }
-        env::Workload inner_wl = options_.workload;
-        inner_wl.seed = ++sim_seed;
-        const double qs =
-            service_.measure_qoe(simulator_, env::SliceConfig::from_vec(greedy), inner_wl,
-                                 options_.sla.latency_threshold_ms);
+        env::EnvQuery inner_q;
+        inner_q.backend = simulator_;
+        inner_q.config = env::SliceConfig::from_vec(greedy);
+        inner_q.workload = options_.workload;
+        sim_seeds.apply(inner_q, iter, 1 + n);  // slot 0 was the residual episode
+        const double qs = service_.measure_qoe(inner_q, options_.sla.latency_threshold_ms);
         const auto g = residual_posterior(space_.normalize(greedy));
         const double q_est = std::clamp(qs + g.mean, 0.0, 1.0);
         lambda = std::max(0.0, lambda - options_.epsilon * (q_est - options_.sla.availability));

@@ -6,7 +6,13 @@ namespace atlas::core {
 
 AtlasPipeline::AtlasPipeline(env::EnvClient& service, env::BackendId real,
                              PipelineOptions options)
-    : service_(service), real_(real), options_(std::move(options)) {}
+    : service_(service), real_(real), options_(std::move(options)) {
+  if (options_.seed_plan) {
+    options_.stage1.seed_plan = *options_.seed_plan;
+    options_.stage2.seed_plan = *options_.seed_plan;
+    options_.stage3.seed_plan = *options_.seed_plan;
+  }
+}
 
 namespace {
 
@@ -19,12 +25,16 @@ env::EnvServiceStats stats_since(const env::EnvServiceStats& start,
     now.backends[i].queries -= start.backends[i].queries;
     now.backends[i].cache_hits -= start.backends[i].cache_hits;
     now.backends[i].cache_misses -= start.backends[i].cache_misses;
+    now.backends[i].crn_hits -= start.backends[i].crn_hits;
     now.backends[i].episodes -= start.backends[i].episodes;
+    now.backends[i].rpc_retries -= start.backends[i].rpc_retries;
+    now.backends[i].rpc_failures -= start.backends[i].rpc_failures;
   }
   now.offline_queries -= start.offline_queries;
   now.online_queries -= start.online_queries;
   now.cache_hits -= start.cache_hits;
   now.cache_misses -= start.cache_misses;
+  now.crn_hits -= start.crn_hits;
   return now;
 }
 
@@ -87,9 +97,11 @@ PipelineResult AtlasPipeline::run(const PipelineCallback& progress) {
     // These observations are still metered real interactions, so the skipped
     // event is emitted AFTER the loop — its env_stats include the exposure.
     if (policy != nullptr) {
+      const env::SeedStream seeds = env::SeedPlan(stage3.seed, stage3.seed_plan)
+                                        .stream(env::SeedDomain::kStage3RealOnline, 1);
       for (std::size_t i = 0; i < stage3.iterations; ++i) {
         env::Workload wl = stage3.workload;
-        wl.seed = stage3.seed * 49979687 + i;
+        wl.seed = seeds.seed(i, 0);
         OnlineStep step;
         step.config = policy->best_config;
         step.usage = policy->best_config.resource_usage();

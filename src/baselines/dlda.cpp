@@ -31,6 +31,8 @@ double Dlda::train_offline() {
   }
 
   dataset_x_.assign(total, Vec(dims, 0.0));
+  const env::SeedStream seeds = env::SeedPlan(options_.seed, options_.seed_plan)
+                                    .stream(env::SeedDomain::kBaselineDldaGrid, total);
   std::vector<env::EnvQuery> batch(total);
   for (std::size_t idx = 0; idx < total; ++idx) {
     Vec u(dims);
@@ -43,7 +45,7 @@ double Dlda::train_offline() {
     batch[idx].backend = offline_env_;
     batch[idx].config = env::SliceConfig::from_vec(space.denormalize(u));
     batch[idx].workload = options_.workload;
-    batch[idx].workload.seed = options_.seed * 83492791 + idx;
+    seeds.apply(batch[idx], 0, idx);  // the grid is one offline "iteration"
   }
   dataset_y_ = service_.measure_qoe_batch(batch, options_.sla.latency_threshold_ms);
   common::log_info("dlda: grid dataset of ", total, " configurations collected");
@@ -103,6 +105,8 @@ env::SliceConfig Dlda::select_offline(Rng& rng) const {
 OnlineTrace Dlda::learn_online(env::BackendId real) {
   if (!teacher_) throw std::logic_error("Dlda: train_offline() first");
   Rng rng(options_.seed * 31 + 7);
+  const env::SeedStream seeds = env::SeedPlan(options_.seed, options_.seed_plan)
+                                    .stream(env::SeedDomain::kBaselineDldaOnline, 1);
   OnlineTrace trace;
   nn::Mlp student = *teacher_;  // transfer: student starts as the teacher
   nn::Adam opt(options_.student_lr);
@@ -113,7 +117,7 @@ OnlineTrace Dlda::learn_online(env::BackendId real) {
   for (std::size_t iter = 0; iter < options_.online_iterations; ++iter) {
     const env::SliceConfig config = select_with(student, rng);
     env::Workload wl = options_.workload;
-    wl.seed = options_.seed * 15487469 + iter;
+    wl.seed = seeds.seed(iter, 0);
     const double qoe =
         service_.measure_qoe(real, config, wl, options_.sla.latency_threshold_ms);
     trace.configs.push_back(config);

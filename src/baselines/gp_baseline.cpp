@@ -12,6 +12,8 @@ GpBaseline::GpBaseline(env::EnvClient& service, env::BackendId real, GpBaselineO
 
 OnlineTrace GpBaseline::learn() {
   Rng rng(options_.seed);
+  const env::SeedStream seeds = env::SeedPlan(options_.seed, options_.seed_plan)
+                                    .stream(env::SeedDomain::kBaselineGpOnline, 1);
   OnlineTrace trace;
   bo::GpBoOptions bo_opts;
   bo_opts.acquisition = options_.acquisition;
@@ -23,7 +25,7 @@ OnlineTrace GpBaseline::learn() {
     const Vec a = minimizer.ask(rng);
     const env::SliceConfig config = env::SliceConfig::from_vec(a);
     env::Workload wl = options_.workload;
-    wl.seed = options_.seed * 7177162611ULL + iter;
+    wl.seed = seeds.seed(iter, 0);
     const double qoe =
         service_.measure_qoe(real_, config, wl, options_.sla.latency_threshold_ms);
     const double usage = config.resource_usage();

@@ -17,6 +17,8 @@ VirtualEdge::VirtualEdge(env::EnvClient& service, env::BackendId real,
 
 OnlineTrace VirtualEdge::learn() {
   Rng rng(options_.seed);
+  const env::SeedStream seeds = env::SeedPlan(options_.seed, options_.seed_plan)
+                                    .stream(env::SeedDomain::kBaselineVirtualEdgeOnline, 1);
   OnlineTrace trace;
   const auto space = env::SliceConfig::space();
   gp::GaussianProcess surrogate;
@@ -46,7 +48,7 @@ OnlineTrace VirtualEdge::learn() {
 
     const env::SliceConfig config = env::SliceConfig::from_vec(space.denormalize(probe));
     env::Workload wl = options_.workload;
-    wl.seed = options_.seed * 86028121 + iter;
+    wl.seed = seeds.seed(iter, 0);
     const double qoe =
         service_.measure_qoe(real_, config, wl, options_.sla.latency_threshold_ms);
 

@@ -25,6 +25,10 @@ BenchOptions bench_options() {
   const char* csv = std::getenv("ATLAS_BENCH_CSV");
   opts.csv = (csv != nullptr && *csv != '\0');
   opts.seed = static_cast<unsigned long long>(env_double("ATLAS_SEED", 7.0));
+  const char* policy = std::getenv("ATLAS_SEED_POLICY");
+  if (policy != nullptr && *policy != '\0') opts.seed_policy = policy;
+  opts.crn_replicates = env_size("ATLAS_CRN_REPLICATES", 1);
+  opts.crn_rotation = env_size("ATLAS_CRN_ROTATION", 25);
   return opts;
 }
 

@@ -13,10 +13,18 @@ namespace atlas::common {
 ///    2-core box; the paper's full budgets correspond to roughly scale 8.
 ///  - ATLAS_BENCH_CSV    (if set, non-empty): benches additionally emit CSV.
 ///  - ATLAS_SEED         (uint64, default 7): master seed for experiments.
+///  - ATLAS_SEED_POLICY  ("fresh" | "crn" | "crn_rotating", default fresh):
+///    episode-seed sequencing across BO iterations (env/seed_plan.hpp).
+///  - ATLAS_CRN_REPLICATES (size_t, default 1): CRN seed-block size.
+///  - ATLAS_CRN_ROTATION   (size_t, default 25): iterations per block under
+///    crn_rotating.
 struct BenchOptions {
   double scale = 1.0;
   bool csv = false;
   unsigned long long seed = 7;
+  std::string seed_policy = "fresh";  ///< Parsed by env::parse_seed_policy.
+  std::size_t crn_replicates = 1;
+  std::size_t crn_rotation = 25;
 
   /// Scaled iteration count: max(min_value, round(base * scale)).
   std::size_t iters(std::size_t base, std::size_t min_value = 1) const;

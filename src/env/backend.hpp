@@ -34,6 +34,11 @@ struct EnvQuery {
   SliceConfig config;
   Workload workload;
   std::optional<SimParams> sim_params;
+  /// The seed came from a common-random-numbers plan (see env/seed_plan.hpp):
+  /// a cache hit on this query is deliberate cross-iteration episode reuse,
+  /// reported separately as `crn_hits`. Not part of the memoization key — it
+  /// annotates the query, it does not change the episode.
+  bool crn = false;
 };
 
 /// Per-backend accounting. `queries` counts everything routed through the
@@ -45,6 +50,8 @@ struct BackendStats {
   std::uint64_t queries = 0;       ///< Queries answered (hit or executed).
   std::uint64_t cache_hits = 0;    ///< Served from the memo table or a coalesced in-flight episode.
   std::uint64_t cache_misses = 0;  ///< Unique executions of cacheable queries.
+  std::uint64_t crn_hits = 0;      ///< Subset of cache_hits on CRN-planned queries:
+                                   ///< episodes saved by cross-iteration seed reuse.
   std::uint64_t episodes = 0;      ///< Environment executions.
   double cost_hint = 1.0;          ///< Relative episode recomputation cost.
   std::uint64_t rpc_retries = 0;   ///< Transport-level retries (remote backends only).

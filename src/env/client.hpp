@@ -49,6 +49,9 @@ struct EnvServiceStats {
   std::uint64_t online_queries = 0;   ///< Metered real-network interactions.
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Subset of cache_hits served to CRN-planned queries: cross-iteration
+  /// episode reuse from deliberate seed sharing (env/seed_plan.hpp).
+  std::uint64_t crn_hits = 0;
 
   std::uint64_t total_queries() const noexcept { return offline_queries + online_queries; }
   double hit_rate() const noexcept {

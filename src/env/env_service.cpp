@@ -188,6 +188,7 @@ EpisodeResult EnvService::run_single_flight(Backend& backend, const EnvQuery& qu
     const auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
       backend.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      if (query.crn) backend.crn_hits.fetch_add(1, std::memory_order_relaxed);
       // Touch: move to the front of the stripe's LRU order.
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
       return it->second.result;
@@ -206,6 +207,7 @@ EpisodeResult EnvService::run_single_flight(Backend& backend, const EnvQuery& qu
     // Coalesced onto the leader's execution: account as a hit — the episode
     // meter must count unique executions, not unique askers.
     backend.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    if (query.crn) backend.crn_hits.fetch_add(1, std::memory_order_relaxed);
     return flight->future.get();
   }
 
@@ -316,6 +318,7 @@ BackendStats EnvService::backend_stats(BackendId id) const {
   stats.queries = backend.queries.load(std::memory_order_relaxed);
   stats.cache_hits = backend.cache_hits.load(std::memory_order_relaxed);
   stats.cache_misses = backend.cache_misses.load(std::memory_order_relaxed);
+  stats.crn_hits = backend.crn_hits.load(std::memory_order_relaxed);
   stats.episodes = backend.episodes.load(std::memory_order_relaxed);
   stats.cost_hint = backend.impl->cost_hint();
   backend.impl->fill_stats(stats);  // rpc retries/failures for remote backends
@@ -335,6 +338,7 @@ EnvServiceStats EnvService::stats() const {
     }
     total.cache_hits += s.cache_hits;
     total.cache_misses += s.cache_misses;
+    total.crn_hits += s.crn_hits;
     total.backends.push_back(std::move(s));
   }
   return total;
@@ -346,6 +350,7 @@ void EnvService::reset_stats() {
     backend->queries.store(0, std::memory_order_relaxed);
     backend->cache_hits.store(0, std::memory_order_relaxed);
     backend->cache_misses.store(0, std::memory_order_relaxed);
+    backend->crn_hits.store(0, std::memory_order_relaxed);
     backend->episodes.store(0, std::memory_order_relaxed);
     backend->impl->reset_stats();  // backend-owned counters (rpc retries/failures)
   }

@@ -129,6 +129,7 @@ EnvServiceStats ShardRouter::stats() const {
     }
     total.cache_hits += s.cache_hits;
     total.cache_misses += s.cache_misses;
+    total.crn_hits += s.crn_hits;
     total.backends.push_back(std::move(s));
   }
   return total;

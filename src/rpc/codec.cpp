@@ -215,6 +215,7 @@ std::vector<std::uint8_t> encode_query(std::uint64_t request_id, const env::EnvQ
   put_workload(w, query.workload);
   w.boolean(query.sim_params.has_value());
   if (query.sim_params) put_sim_params(w, *query.sim_params);
+  w.boolean(query.crn);
   return w.take();
 }
 
@@ -268,6 +269,7 @@ env::EnvQuery decode_query_body(WireReader& reader) {
   query.config = get_slice_config(reader);
   query.workload = get_workload(reader);
   if (reader.boolean()) query.sim_params = get_sim_params(reader);
+  query.crn = reader.boolean();
   reader.expect_done();
   return query;
 }

@@ -27,7 +27,9 @@ namespace atlas::rpc {
 /// reject frames whose magic or version does not match exactly (a worker
 /// and client from different builds fail loudly instead of misreading).
 inline constexpr std::uint32_t kWireMagic = 0x41544c53u;  // "ATLS"
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2: EnvQuery carries the `crn` tag (common-random-numbers plan marker), so
+/// worker-side caches attribute cross-iteration reuse from remote clients.
+inline constexpr std::uint16_t kWireVersion = 2;
 
 /// Upper bound on one frame payload; a length prefix beyond this is treated
 /// as a corrupted stream, not an allocation request.

@@ -1,0 +1,176 @@
+// The statistical harness behind the CRN seed plan: paired-vs-independent
+// QoE comparisons at EQUAL episode budget, asserting the paired estimator's
+// sample variance is lower by a real margin. Everything is seeded through
+// the SeedPlan itself, so the test is fully deterministic — the asserted
+// margins were measured at roughly half the observed variance-reduction
+// ratio, not at flaky knife-edges.
+//
+// Where the pairing pays off in THIS engine: one RNG stream drives a whole
+// episode in draw order, so two configurations stay synchronized under a
+// common seed only while they consume draws identically. Comparisons along
+// the transport/compute dimensions (cpu_ratio, backhaul) leave the RAN draw
+// sequence aligned and inherit strong correlation (the textbook CRN win
+// demonstrated here); comparisons that change the RAN allocation desync the
+// stream and degenerate to independent sampling — which is why the plan
+// also keeps the *revisit* case (same configuration across iterations),
+// where the pairing is exact, the noise vanishes entirely, and the memo
+// table serves the episode for free.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "env/env_service.hpp"
+#include "env/seed_plan.hpp"
+#include "math/stats.hpp"
+
+namespace ae = atlas::env;
+
+namespace {
+
+constexpr double kThresholdMs = 300.0;
+constexpr std::size_t kReplicates = 32;
+
+ae::SliceConfig config(double bw, double cpu, double backhaul) {
+  ae::SliceConfig c;
+  c.bandwidth_ul = bw;
+  c.bandwidth_dl = bw;
+  c.cpu_ratio = cpu;
+  c.backhaul_mbps = backhaul;
+  return c;
+}
+
+ae::Workload workload(std::uint64_t seed) {
+  ae::Workload wl;
+  wl.traffic = 2;
+  wl.duration_ms = 3000.0;
+  wl.seed = seed;
+  return wl;
+}
+
+/// Estimate Delta = QoE(a) - QoE(b) from `kReplicates` paired draws, seeding
+/// config `a` as BO iteration 0 and config `b` as iteration 1 of the plan.
+/// Under a CRN plan both iterations draw the identical seed block (paired
+/// comparisons); under a fresh plan every episode gets its own seed
+/// (independent comparisons). Either way the budget is exactly
+/// 2 * kReplicates episodes — the plan changes the pairing, never the cost.
+struct DiffEstimate {
+  std::vector<double> diffs;
+  std::uint64_t episodes = 0;
+  std::uint64_t crn_hits = 0;
+
+  double variance() const { return atlas::math::variance(diffs); }
+  double mean() const { return atlas::math::mean(diffs); }
+};
+
+DiffEstimate estimate_difference(const ae::SliceConfig& a, const ae::SliceConfig& b,
+                                 const ae::SeedPlanOptions& plan_options) {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
+  const ae::SeedStream seeds =
+      ae::SeedPlan(101, plan_options).stream(ae::SeedDomain::kStage2Query, kReplicates);
+
+  auto run = [&](const ae::SliceConfig& c, std::uint64_t iteration, std::uint64_t replicate) {
+    ae::EnvQuery q;
+    q.backend = sim;
+    q.config = c;
+    q.workload = workload(0);
+    seeds.apply(q, iteration, replicate);
+    return service.run(q).qoe(kThresholdMs);
+  };
+
+  DiffEstimate est;
+  for (std::uint64_t r = 0; r < kReplicates; ++r) {
+    est.diffs.push_back(run(a, 0, r) - run(b, 1, r));
+  }
+  const auto stats = service.backend_stats(sim);
+  est.episodes = stats.episodes;
+  est.crn_hits = stats.crn_hits;
+  return est;
+}
+
+ae::SeedPlanOptions crn_plan() {
+  ae::SeedPlanOptions o;
+  o.policy = ae::SeedPolicy::kCrn;
+  o.replicates = kReplicates;
+  return o;
+}
+
+}  // namespace
+
+TEST(CrnVariance, PairedComparisonHasLowerVarianceAtEqualBudget) {
+  // Two comparisons a BO iteration actually makes: trimming the edge-compute
+  // share, and trimming the backhaul allocation, both at a fixed RAN share.
+  const struct {
+    const char* name;
+    ae::SliceConfig a, b;
+    double min_ratio;  ///< Asserted variance ratio; ~half the measured win.
+  } cases[] = {
+      // Measured ratios on the capture toolchain: 3.4x and 6.2x.
+      {"cpu 0.5 vs 0.6", config(25, 0.5, 60), config(25, 0.6, 60), 1.6},
+      {"backhaul 40 vs 50", config(25, 0.6, 40), config(25, 0.6, 50), 2.0},
+  };
+
+  for (const auto& c : cases) {
+    const DiffEstimate indep = estimate_difference(c.a, c.b, ae::SeedPlanOptions{});
+    const DiffEstimate paired = estimate_difference(c.a, c.b, crn_plan());
+
+    // Equal episode budget: the plan never changes what a comparison costs.
+    EXPECT_EQ(indep.episodes, 2 * kReplicates) << c.name;
+    EXPECT_EQ(paired.episodes, 2 * kReplicates) << c.name;
+
+    // Both estimators target the same quantity...
+    EXPECT_NEAR(indep.mean(), paired.mean(), 0.1) << c.name;
+
+    // ...but the paired one is strictly tighter, with margin.
+    const double var_indep = indep.variance();
+    const double var_paired = paired.variance();
+    ASSERT_GT(var_paired, 0.0) << c.name;
+    EXPECT_LT(var_paired, var_indep) << c.name;
+    // The ratio margin is anchored to the capture toolchain's episode draws;
+    // like the golden suites, a different libm/FP regime keeps the ordering
+    // (asserted above) but not the exact ratio — CI's lenient mode skips the
+    // margin the same way it skips pinned hashes.
+    if (std::getenv("ATLAS_GOLDEN_TOOLCHAIN_LENIENT") == nullptr) {
+      EXPECT_GE(var_indep / var_paired, c.min_ratio)
+          << c.name << ": var_indep=" << var_indep << " var_paired=" << var_paired;
+    }
+  }
+}
+
+TEST(CrnVariance, RevisitedConfigurationIsNoiseFreeAndCostsNoEpisodes) {
+  // The BO-revisit case (re-evaluating an incumbent in a later iteration):
+  // under CRN the pairing is exact, so the iteration-over-iteration QoE
+  // difference has zero variance — and the memo table serves the repeat for
+  // free. Independent seeding pays full price for pure noise.
+  const ae::SliceConfig incumbent = config(20, 0.6, 60);
+
+  const DiffEstimate indep = estimate_difference(incumbent, incumbent, ae::SeedPlanOptions{});
+  const DiffEstimate paired = estimate_difference(incumbent, incumbent, crn_plan());
+
+  // Fresh: 2R distinct seeds -> 2R episodes, nonzero comparison noise.
+  EXPECT_EQ(indep.episodes, 2 * kReplicates);
+  EXPECT_EQ(indep.crn_hits, 0u);
+  EXPECT_GT(indep.variance(), 0.0);
+
+  // CRN: iteration 1 replays iteration 0's (config, seed) keys exactly.
+  EXPECT_EQ(paired.episodes, kReplicates) << "the revisit must be served from the memo table";
+  EXPECT_EQ(paired.crn_hits, kReplicates);
+  EXPECT_EQ(paired.variance(), 0.0);
+  for (double d : paired.diffs) EXPECT_EQ(d, 0.0);
+}
+
+TEST(CrnVariance, HarnessIsDeterministic) {
+  // Fixed seeds end to end: the measured variances themselves must be
+  // bit-stable across runs, or the margins above would be theater.
+  const ae::SliceConfig a = config(25, 0.5, 60);
+  const ae::SliceConfig b = config(25, 0.6, 60);
+  const DiffEstimate once = estimate_difference(a, b, crn_plan());
+  const DiffEstimate twice = estimate_difference(a, b, crn_plan());
+  ASSERT_EQ(once.diffs.size(), twice.diffs.size());
+  for (std::size_t i = 0; i < once.diffs.size(); ++i) {
+    EXPECT_EQ(once.diffs[i], twice.diffs[i]);
+  }
+}

@@ -1,0 +1,260 @@
+// Golden-stage determinism tests: pin the exact bit-level RESULTS of the
+// three Atlas stages and the baselines under the default (`fresh`) seed
+// policy. The seed-planning subsystem (src/env/seed_plan.hpp) rewired every
+// stage's episode seeding through a SeedPlan; these hashes were captured
+// from the pre-SeedPlan ad-hoc counters, so they prove the `fresh` policy is
+// bit-identical to the historical behavior — common random numbers are
+// strictly opt-in.
+//
+// To (re)capture after an *intentional* behavior change, run with
+// ATLAS_GOLDEN_PRINT=1 and paste the emitted table over the expected hashes.
+//
+// Like golden_episode_test, the pinned hashes are toolchain-anchored;
+// ATLAS_GOLDEN_TOOLCHAIN_LENIENT=1 swaps the pinned-hash assertion for a
+// cross-run determinism assertion (the same stage run twice from a fresh
+// service must hash identically).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "atlas/calibrator.hpp"
+#include "atlas/offline_trainer.hpp"
+#include "atlas/online_learner.hpp"
+#include "baselines/dlda.hpp"
+#include "baselines/gp_baseline.hpp"
+#include "baselines/virtual_edge.hpp"
+#include "env/env_service.hpp"
+
+namespace ae = atlas::env;
+namespace ac = atlas::core;
+namespace ab = atlas::baselines;
+
+namespace {
+
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ULL;
+  void add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  void add_double(double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    add_u64(bits);
+  }
+  void add_vec(const atlas::math::Vec& v) {
+    add_u64(v.size());
+    for (double x : v) add_double(x);
+  }
+};
+
+ae::Workload short_workload() {
+  ae::Workload wl;
+  wl.duration_ms = 2500.0;
+  wl.seed = 1;
+  return wl;
+}
+
+ac::CalibrationOptions stage1_options() {
+  ac::CalibrationOptions o;
+  o.iterations = 5;
+  o.init_iterations = 2;
+  o.parallel = 3;
+  o.candidates = 120;
+  o.real_episodes = 1;
+  o.workload = short_workload();
+  o.bnn.sizes = {7, 12, 12, 1};
+  o.train_epochs = 2;
+  return o;
+}
+
+ac::OfflineOptions stage2_options() {
+  ac::OfflineOptions o;
+  o.iterations = 6;
+  o.init_iterations = 3;
+  o.parallel = 3;
+  o.candidates = 120;
+  o.workload = short_workload();
+  o.bnn.sizes = {8, 12, 12, 1};
+  o.train_epochs = 2;
+  return o;
+}
+
+ac::OnlineOptions stage3_options() {
+  ac::OnlineOptions o;
+  o.iterations = 4;
+  o.inner_updates = 2;
+  o.candidates = 120;
+  o.workload = short_workload();
+  return o;
+}
+
+std::uint64_t hash_stage1() {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
+  ac::SimCalibrator calibrator(service, real, stage1_options());
+  const auto result = calibrator.calibrate();
+
+  Fnv f;
+  f.add_double(result.original_kl);
+  f.add_double(result.best_kl);
+  f.add_double(result.best_distance);
+  f.add_double(result.best_weighted);
+  f.add_vec(result.best_params.to_vec());
+  f.add_u64(result.history.size());
+  for (const auto& step : result.history) {
+    f.add_vec(step.params.to_vec());
+    f.add_double(step.kl);
+    f.add_double(step.distance);
+    f.add_double(step.weighted);
+  }
+  f.add_vec(result.avg_weighted_per_iter);
+  return f.h;
+}
+
+std::uint64_t hash_stage2() {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
+  ac::OfflineTrainer trainer(service, sim, stage2_options());
+  const auto result = trainer.train();
+
+  Fnv f;
+  f.add_vec(result.policy.best_config.to_vec());
+  f.add_double(result.policy.best_usage);
+  f.add_double(result.policy.best_qoe);
+  f.add_double(result.policy.final_lambda);
+  f.add_u64(result.history.size());
+  for (const auto& step : result.history) {
+    f.add_vec(step.config.to_vec());
+    f.add_double(step.usage);
+    f.add_double(step.qoe);
+    f.add_double(step.lambda);
+  }
+  f.add_vec(result.trace.avg_usage);
+  f.add_vec(result.trace.avg_qoe);
+  f.add_vec(result.trace.lambda);
+  return f.h;
+}
+
+std::uint64_t hash_stage3() {
+  // A micro stage-2 run supplies the offline policy (kGpResidual needs one),
+  // then the online learner runs with offline acceleration so the real, the
+  // residual-sim, and the inner-update seed streams are all exercised.
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
+  const auto real = service.add_real_network();
+  ac::OfflineOptions offline = stage2_options();
+  offline.iterations = 4;
+  ac::OfflineTrainer trainer(service, sim, offline);
+  const auto offline_result = trainer.train();
+
+  ac::OnlineLearner learner(&offline_result.policy, service, sim, real, stage3_options());
+  const auto result = learner.learn();
+
+  Fnv f;
+  f.add_double(result.final_lambda);
+  f.add_u64(result.history.size());
+  for (const auto& step : result.history) {
+    f.add_vec(step.config.to_vec());
+    f.add_double(step.usage);
+    f.add_double(step.qoe_real);
+    f.add_double(step.qoe_sim);
+    f.add_double(step.lambda);
+    f.add_double(step.beta);
+  }
+  return f.h;
+}
+
+std::uint64_t hash_trace(const ab::OnlineTrace& trace) {
+  Fnv f;
+  f.add_u64(trace.configs.size());
+  for (const auto& c : trace.configs) f.add_vec(c.to_vec());
+  f.add_vec(trace.usage);
+  f.add_vec(trace.qoe);
+  return f.h;
+}
+
+std::uint64_t hash_gp_baseline() {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
+  ab::GpBaselineOptions o;
+  o.iterations = 5;
+  o.init_samples = 3;
+  o.candidates = 150;
+  o.workload = short_workload();
+  ab::GpBaseline baseline(service, real, o);
+  return hash_trace(baseline.learn());
+}
+
+std::uint64_t hash_virtual_edge() {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto real = service.add_real_network();
+  ab::VirtualEdgeOptions o;
+  o.iterations = 5;
+  o.workload = short_workload();
+  ab::VirtualEdge baseline(service, real, o);
+  return hash_trace(baseline.learn());
+}
+
+std::uint64_t hash_dlda() {
+  ae::EnvService service(ae::EnvServiceOptions{.threads = 2});
+  const auto sim = service.add_simulator();
+  const auto real = service.add_real_network();
+  ab::DldaOptions o;
+  o.grid_per_dim = 2;
+  o.hidden = {16, 16};
+  o.teacher_epochs = 30;
+  o.select_samples = 300;
+  o.online_iterations = 3;
+  o.workload = short_workload();
+  ab::Dlda dlda(service, sim, o);
+  (void)dlda.train_offline();
+  Fnv f;
+  f.add_u64(hash_trace(dlda.learn_online(real)));
+  atlas::math::Rng rng(3);
+  f.add_vec(dlda.select_offline(rng).to_vec());
+  return f.h;
+}
+
+struct StageCase {
+  const char* name;
+  std::uint64_t (*run)();
+  std::uint64_t expected;
+};
+
+// Captured from the pre-SeedPlan stages (commit de8df1f) on this container;
+// regenerate with ATLAS_GOLDEN_PRINT=1.
+const StageCase kGolden[] = {
+    {"stage1_calibration", &hash_stage1, 0xc60b74d074a0bc4cULL},
+    {"stage2_offline", &hash_stage2, 0x1488495bbbca603fULL},
+    {"stage3_online", &hash_stage3, 0x58f683cdc46d9a7cULL},
+    {"baseline_gp", &hash_gp_baseline, 0xb18f17099f7d3329ULL},
+    {"baseline_virtual_edge", &hash_virtual_edge, 0x6c8b0c645db9a0e0ULL},
+    {"baseline_dlda", &hash_dlda, 0xa9dcd426e33fd7a8ULL},
+};
+
+bool print_mode() { return std::getenv("ATLAS_GOLDEN_PRINT") != nullptr; }
+bool lenient_mode() { return std::getenv("ATLAS_GOLDEN_TOOLCHAIN_LENIENT") != nullptr; }
+
+}  // namespace
+
+TEST(GoldenStage, FreshPolicyBitIdenticalToPreSeedPlanStages) {
+  for (const auto& c : kGolden) {
+    const std::uint64_t h = c.run();
+    if (print_mode()) {
+      std::printf("stage %-24s 0x%016llx\n", c.name, static_cast<unsigned long long>(h));
+      continue;
+    }
+    if (lenient_mode()) {
+      EXPECT_EQ(h, c.run()) << c.name << " (cross-run determinism)";
+      continue;
+    }
+    EXPECT_EQ(h, c.expected) << c.name;
+  }
+}

@@ -53,6 +53,7 @@ ae::EnvQuery random_query(std::mt19937_64& rng) {
   q.workload.random_walk = (rng() % 2) == 0;
   q.workload.extra_users = static_cast<int>(rng() % 7) - 1;
   q.workload.collect_traces = (rng() % 2) == 0;
+  q.crn = (rng() % 2) == 0;
   q.workload.seed = rng();  // full 64-bit range, incl. > 2^53
   if (rng() % 2 == 0) {
     ae::SimParams p;
@@ -134,6 +135,7 @@ TEST(RpcCodec, QueryRoundTripsBitIdentically) {
     EXPECT_EQ(back.workload.extra_users, q.workload.extra_users);
     EXPECT_EQ(back.workload.collect_traces, q.workload.collect_traces);
     EXPECT_EQ(back.workload.seed, q.workload.seed);
+    EXPECT_EQ(back.crn, q.crn);
     ASSERT_EQ(back.sim_params.has_value(), q.sim_params.has_value());
     if (q.sim_params) {
       const auto pv = q.sim_params->to_vec();

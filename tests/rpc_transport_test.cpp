@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "env/env_service.hpp"
+#include "env/seed_plan.hpp"
 #include "env/shard_router.hpp"
 #include "rpc/codec.hpp"
 #include "rpc/remote_backend.hpp"
@@ -133,6 +134,76 @@ TEST(RpcLoopback, SingleFlightCoalescesConcurrentRemoteQueries) {
 
   // The worker executed exactly one episode too.
   EXPECT_EQ(worker.service.backend_stats(worker.sim).episodes, 1u);
+}
+
+TEST(RpcLoopback, CrnCoalescedQueriesExecuteOneRemoteEpisode) {
+  // CRN-planned duplicates racing against a RemoteBackend must behave like
+  // local ones: single-flight collapses them onto EXACTLY one remote episode,
+  // and every coalesced/memoized duplicate is attributed as a crn hit. The
+  // rpc_* counters ride the same BackendStats snapshot, so both families
+  // survive the wire round-trip together.
+  constexpr std::size_t kThreads = 6;
+  LoopbackWorker worker;
+
+  ae::EnvService client(ae::EnvServiceOptions{.threads = 2});
+  ar::RemoteBackendOptions options;
+  options.transport_factory = worker.factory();
+  const auto remote = client.register_backend(std::make_shared<ar::RemoteBackend>(options));
+
+  // One CRN plan, replicates=1: every iteration re-draws the same seed.
+  ae::SeedPlanOptions plan_options;
+  plan_options.policy = ae::SeedPolicy::kCrn;
+  plan_options.replicates = 1;
+  const ae::SeedStream seeds =
+      ae::SeedPlan(21, plan_options).stream(ae::SeedDomain::kStage2Query, 1);
+
+  auto crn_query = [&](std::uint64_t iteration) {
+    ae::EnvQuery q = query(remote, 0);
+    seeds.apply(q, iteration, 0);
+    EXPECT_TRUE(q.crn);
+    return q;
+  };
+
+  std::latch start(kThreads);
+  std::vector<std::thread> threads;
+  std::vector<ae::EpisodeResult> results(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      results[t] = client.run(crn_query(/*iteration=*/t));  // same seed every iter
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& r : results) EXPECT_EQ(r.latencies_ms, results[0].latencies_ms);
+
+  const auto stats = client.backend_stats(remote);
+  EXPECT_EQ(stats.queries, kThreads);
+  EXPECT_EQ(stats.episodes, 1u) << "CRN duplicates must coalesce onto one RPC";
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, kThreads - 1);
+  EXPECT_EQ(stats.crn_hits, kThreads - 1)
+      << "every coalesced CRN duplicate counts as cross-iteration reuse";
+  EXPECT_EQ(stats.rpc_retries, 0u);
+  EXPECT_EQ(stats.rpc_failures, 0u);
+  EXPECT_EQ(worker.service.backend_stats(worker.sim).episodes, 1u);
+
+  // The crn TAG itself must cross the wire: a second client sending the same
+  // CRN query makes the WORKER-side cache serve it, and the worker attributes
+  // the hit as CRN reuse — provable only if the flag survived encoding.
+  ar::RemoteBackendOptions second;
+  second.transport_factory = worker.factory();
+  ar::RemoteBackend direct(second);
+  const auto replay = direct.execute(crn_query(/*iteration=*/99));
+  EXPECT_EQ(replay.latencies_ms, results[0].latencies_ms);
+  const auto worker_stats = worker.service.backend_stats(worker.sim);
+  EXPECT_EQ(worker_stats.episodes, 1u);
+  EXPECT_EQ(worker_stats.crn_hits, 1u) << "the crn tag must survive the codec round-trip";
+
+  // reset_stats clears the crn accounting alongside the rpc counters.
+  client.reset_stats();
+  const auto cleared = client.backend_stats(remote);
+  EXPECT_EQ(cleared.crn_hits, 0u);
+  EXPECT_EQ(cleared.rpc_retries, 0u);
 }
 
 TEST(RpcLoopback, WorkerErrorsSurfaceAsRpcErrorWithoutRetry) {
