@@ -257,8 +257,8 @@ int main() {
               << " queries each, " << explore_per_iter << " explorers):\n";
     bench::emit(t2, opts);
 
-    const char* out_env = std::getenv("ATLAS_BENCH_CRN_OUT");
-    const std::string out_path = out_env && *out_env ? out_env : "BENCH_crn_reuse.json";
+    const std::string out_path =
+        bench::bench_output_path("BENCH_crn_reuse.json", "ATLAS_BENCH_CRN_OUT");
     std::ofstream out(out_path);
     out << "{\n  \"bench\": \"crn_reuse\",\n  \"unit\": \"episodes\",\n"
         << "  \"iterations\": " << iterations << ",\n  \"batch\": " << batch << ",\n"

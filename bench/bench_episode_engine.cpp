@@ -108,8 +108,8 @@ int main() {
   }
   bench::emit(table, opts);
 
-  const char* out_env = std::getenv("ATLAS_BENCH_OUT");
-  const std::string out_path = out_env && *out_env ? out_env : "BENCH_episode_engine.json";
+  const std::string out_path =
+      bench::bench_output_path("BENCH_episode_engine.json", "ATLAS_BENCH_OUT");
   std::ofstream out(out_path);
   out << "{\n  \"bench\": \"episode_engine\",\n  \"unit\": \"episodes_per_second\",\n"
       << "  \"scenarios\": [\n";

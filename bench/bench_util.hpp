@@ -5,6 +5,7 @@
 /// alongside where applicable. Budgets scale with ATLAS_BENCH_SCALE
 /// (default 1 = CI-fast; >= 4 approaches the paper's budgets).
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -22,6 +23,23 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
   std::cout << "==============================================================\n"
             << title << "\n(" << paper_ref << ")\n"
             << "==============================================================\n";
+}
+
+/// Where a bench writes its BENCH_*.json artifact. Resolution order:
+///   1. `override_env` (e.g. ATLAS_BENCH_OUT), if set and non-empty — the
+///      per-bench escape hatch CI uses to relocate one artifact;
+///   2. ATLAS_BENCH_OUT_DIR/<default_name>, if the directory knob is set —
+///      relocates EVERY bench artifact at once;
+///   3. `default_name` in the working directory.
+inline std::string bench_output_path(const std::string& default_name,
+                                     const char* override_env = nullptr) {
+  if (override_env != nullptr) {
+    const char* value = std::getenv(override_env);
+    if (value != nullptr && *value != '\0') return value;
+  }
+  const char* dir = std::getenv("ATLAS_BENCH_OUT_DIR");
+  if (dir != nullptr && *dir != '\0') return std::string(dir) + "/" + default_name;
+  return default_name;
 }
 
 inline void emit(const atlas::common::Table& table, const atlas::common::BenchOptions& opts) {

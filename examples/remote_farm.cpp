@@ -70,25 +70,14 @@ int main() {
   std::cout << "local/remote result pairs bit-identical: " << identical << "/"
             << results.size() / 2 << "\n\n";
 
-  common::Table table({"backend", "kind", "cost", "queries", "hits", "episodes", "rpc retries",
-                       "rpc failures"});
-  const auto stats = router.stats();
-  for (const auto& b : stats.backends) {
-    table.add_row({b.name, b.kind == env::BackendKind::kOnline ? "online" : "offline",
-                   common::fmt(b.cost_hint), std::to_string(b.queries),
-                   std::to_string(b.cache_hits), std::to_string(b.episodes),
-                   std::to_string(b.rpc_retries), std::to_string(b.rpc_failures)});
-  }
+  // One coherent serving report — counters, RPC retries/failures, and the
+  // remote round-trip quantiles — instead of a hand-rolled column subset.
   std::cout << "router accounting (remote episodes cost ~1000x to recompute,\n"
                "so cost-aware eviction keeps them memoized longest):\n";
-  table.print(std::cout);
+  router.stats().summary().print(std::cout);
 
   std::cout << "\nworker-side accounting (its own EnvService meters the same episodes):\n";
-  common::Table wtable({"backend", "queries", "episodes"});
-  for (const auto& b : worker_service.stats().backends) {
-    wtable.add_row({b.name, std::to_string(b.queries), std::to_string(b.episodes)});
-  }
-  wtable.print(std::cout);
+  worker_service.stats().summary().print(std::cout);
 
   server.stop();
   return 0;

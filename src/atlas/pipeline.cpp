@@ -29,12 +29,18 @@ env::EnvServiceStats stats_since(const env::EnvServiceStats& start,
     now.backends[i].episodes -= start.backends[i].episodes;
     now.backends[i].rpc_retries -= start.backends[i].rpc_retries;
     now.backends[i].rpc_failures -= start.backends[i].rpc_failures;
+    now.backends[i].rpc_rtt_ns.subtract(start.backends[i].rpc_rtt_ns);
   }
   now.offline_queries -= start.offline_queries;
   now.online_queries -= start.online_queries;
   now.cache_hits -= start.cache_hits;
   now.cache_misses -= start.cache_misses;
   now.crn_hits -= start.crn_hits;
+  // Histogram buckets are monotonic counters too: the difference is this
+  // phase's latency/queue-depth distribution.
+  now.query_latency_ns.subtract(start.query_latency_ns);
+  now.queue_depth.subtract(start.queue_depth);
+  now.rpc_service_ns.subtract(start.rpc_service_ns);
   return now;
 }
 

@@ -9,6 +9,7 @@
 #include "env/episode.hpp"
 #include "env/sim_params.hpp"
 #include "env/slice_config.hpp"
+#include "telemetry/histogram.hpp"
 
 namespace atlas::env {
 
@@ -56,6 +57,9 @@ struct BackendStats {
   double cost_hint = 1.0;          ///< Relative episode recomputation cost.
   std::uint64_t rpc_retries = 0;   ///< Transport-level retries (remote backends only).
   std::uint64_t rpc_failures = 0;  ///< Queries that exhausted retries or hard-failed remotely.
+  /// Round-trip latency of successful episode RPCs in nanoseconds (remote
+  /// backends only; empty for local ones). Filled by fill_stats.
+  telemetry::HistogramData rpc_rtt_ns;
 };
 
 /// The polymorphic execution target behind a `BackendId`: an in-process

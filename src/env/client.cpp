@@ -80,4 +80,46 @@ std::vector<double> EnvClient::measure_qoe_batch(std::span<const EnvQuery> queri
   return qoes;
 }
 
+namespace {
+
+std::string quantile_ms(const telemetry::HistogramData& histogram, double q) {
+  if (histogram.empty()) return "-";
+  return common::fmt(static_cast<double>(histogram.quantile(q)) / 1e6, 2);
+}
+
+}  // namespace
+
+common::Table EnvServiceStats::summary() const {
+  common::Table table({"backend", "kind", "cost", "queries", "hits", "crn", "episodes",
+                       "rpc retries", "rpc failures", "rpc p50 ms", "rpc p99 ms"});
+  for (const BackendStats& b : backends) {
+    table.add_row({b.name, b.kind == BackendKind::kOnline ? "online" : "offline",
+                   common::fmt(b.cost_hint, 0), std::to_string(b.queries),
+                   std::to_string(b.cache_hits), std::to_string(b.crn_hits),
+                   std::to_string(b.episodes), std::to_string(b.rpc_retries),
+                   std::to_string(b.rpc_failures), quantile_ms(b.rpc_rtt_ns, 0.50),
+                   quantile_ms(b.rpc_rtt_ns, 0.99)});
+  }
+  std::uint64_t episodes = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t failures = 0;
+  telemetry::HistogramData rtt;
+  for (const BackendStats& b : backends) {
+    episodes += b.episodes;
+    retries += b.rpc_retries;
+    failures += b.rpc_failures;
+    rtt.merge(b.rpc_rtt_ns);
+  }
+  table.add_row({"TOTAL", "", "", std::to_string(total_queries()), std::to_string(cache_hits),
+                 std::to_string(crn_hits), std::to_string(episodes), std::to_string(retries),
+                 std::to_string(failures), quantile_ms(rtt, 0.50), quantile_ms(rtt, 0.99)});
+  // Service-level serving latency: what a caller of run()/submit() saw,
+  // including cache hits (that's the point — the service IS the product).
+  table.add_row({"query latency", "p50 " + quantile_ms(query_latency_ns, 0.50) + " ms",
+                 "p99 " + quantile_ms(query_latency_ns, 0.99) + " ms",
+                 "p999 " + quantile_ms(query_latency_ns, 0.999) + " ms",
+                 "max " + quantile_ms(query_latency_ns, 1.0) + " ms", "", "", "", "", "", ""});
+  return table;
+}
+
 }  // namespace atlas::env

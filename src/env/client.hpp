@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/table.hpp"
 #include "env/backend.hpp"
 #include "env/multi_slice.hpp"
 
@@ -52,12 +53,32 @@ struct EnvServiceStats {
   /// Subset of cache_hits served to CRN-planned queries: cross-iteration
   /// episode reuse from deliberate seed sharing (env/seed_plan.hpp).
   std::uint64_t crn_hits = 0;
+  /// Serving telemetry (src/telemetry/), merged across shards by ShardRouter:
+  /// per-query service latency (cache hits and episode executions alike) and
+  /// the queue depth observed at each submission/run, both always-on.
+  telemetry::HistogramData query_latency_ns;
+  telemetry::HistogramData queue_depth;
+  /// Worker-side RPC service time (decode -> response encoded). Only filled
+  /// on snapshots exported by an EpisodeRpcServer (wire v3 stats-snapshot);
+  /// empty for purely in-process clients.
+  telemetry::HistogramData rpc_service_ns;
 
   std::uint64_t total_queries() const noexcept { return offline_queries + online_queries; }
   double hit_rate() const noexcept {
     const std::uint64_t lookups = cache_hits + cache_misses;
     return lookups == 0 ? 0.0 : static_cast<double>(cache_hits) / static_cast<double>(lookups);
   }
+  double crn_hit_rate() const noexcept {
+    const std::uint64_t q = total_queries();
+    return q == 0 ? 0.0 : static_cast<double>(crn_hits) / static_cast<double>(q);
+  }
+
+  /// One coherent serving report: a per-backend table (kind, cost, queries,
+  /// hits, CRN hits, episodes, rpc retries/failures, and RPC latency
+  /// quantiles where measured) plus a totals row with the service-level
+  /// query-latency quantiles. Every serving surface (examples, loadgen,
+  /// benches) prints THIS instead of a hand-rolled subset.
+  common::Table summary() const;
 };
 
 /// The query surface every Atlas stage talks to: a registry of `EnvBackend`s

@@ -1,6 +1,7 @@
 #include "env/env_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <stdexcept>
 
@@ -69,6 +70,9 @@ EnvService::EnvService(EnvServiceOptions options)
   }
   shard_capacity_ = std::max<std::size_t>(1, options_.cache_capacity / shard_count);
   registry_.store(std::make_shared<const RegistrySnapshot>(), std::memory_order_release);
+  // Hot paths hold the metric pointers; the registry is only consulted here.
+  query_latency_ = &metrics_.histogram("env.query_latency_ns");
+  queue_depth_ = &metrics_.histogram("env.queue_depth");
 }
 
 bool EnvService::caching_enabled() const noexcept {
@@ -268,9 +272,19 @@ EpisodeResult EnvService::run_impl(const EnvQuery& query) {
   return result;
 }
 
+EpisodeResult EnvService::run_timed(const EnvQuery& query) {
+  const auto start = std::chrono::steady_clock::now();
+  EpisodeResult result = run_impl(query);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  query_latency_->record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  return result;
+}
+
 EpisodeResult EnvService::run(const EnvQuery& query) {
   OutstandingGuard guard(outstanding_);
-  return run_impl(query);
+  queue_depth_->record(outstanding_queries());
+  return run_timed(query);
 }
 
 QueryHandle EnvService::submit(EnvQuery query) {
@@ -281,6 +295,7 @@ QueryHandle EnvService::submit(EnvQuery query) {
   // Count the query as outstanding from submission (queued work is load the
   // router's placement must see), not just from execution start.
   outstanding_.fetch_add(1, std::memory_order_relaxed);
+  queue_depth_->record(outstanding_queries());
   std::future<EpisodeResult> future;
   try {
     future = pool_.submit([this, q = std::move(query)] {
@@ -288,7 +303,7 @@ QueryHandle EnvService::submit(EnvQuery query) {
         std::atomic<std::int64_t>* counter;
         ~Release() { counter->fetch_sub(1, std::memory_order_relaxed); }
       } release{&outstanding_};
-      return run_impl(q);
+      return run_timed(q);
     });
   } catch (...) {
     // The task never enqueued, so its Release will never run; a leaked
@@ -341,6 +356,8 @@ EnvServiceStats EnvService::stats() const {
     total.crn_hits += s.crn_hits;
     total.backends.push_back(std::move(s));
   }
+  total.query_latency_ns = query_latency_->snapshot();
+  total.queue_depth = queue_depth_->snapshot();
   return total;
 }
 
@@ -354,6 +371,7 @@ void EnvService::reset_stats() {
     backend->episodes.store(0, std::memory_order_relaxed);
     backend->impl->reset_stats();  // backend-owned counters (rpc retries/failures)
   }
+  metrics_.reset();
 }
 
 std::size_t EnvService::cache_size() const {

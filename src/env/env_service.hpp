@@ -14,6 +14,7 @@
 
 #include "common/thread_pool.hpp"
 #include "env/client.hpp"
+#include "telemetry/registry.hpp"
 
 namespace atlas::env {
 
@@ -113,6 +114,14 @@ class EnvService final : public EnvClient {
   std::size_t threads() const noexcept { return pool_.size(); }
   common::ThreadPool& pool() noexcept { return pool_; }
 
+  /// Always-on serving telemetry (src/telemetry/): `env.query_latency_ns`
+  /// (per-query service time, hits and executions alike) and
+  /// `env.queue_depth` (outstanding queries sampled at every arrival).
+  /// Components may register additional metrics here; snapshots also ride in
+  /// stats().query_latency_ns / .queue_depth.
+  telemetry::MetricRegistry& metrics() noexcept { return metrics_; }
+  const telemetry::MetricRegistry& metrics() const noexcept { return metrics_; }
+
  private:
   struct Backend {
     std::shared_ptr<const EnvBackend> impl;
@@ -170,6 +179,8 @@ class EnvService final : public EnvClient {
   void evict_locked(CacheShard& shard);
   EpisodeResult run_single_flight(Backend& backend, const EnvQuery& query);
   EpisodeResult run_impl(const EnvQuery& query);
+  /// run_impl + telemetry: records service latency and samples queue depth.
+  EpisodeResult run_timed(const EnvQuery& query);
 
   EnvServiceOptions options_;
 
@@ -182,6 +193,10 @@ class EnvService final : public EnvClient {
 
   std::atomic<std::uint64_t> next_query_id_{0};
   std::atomic<std::int64_t> outstanding_{0};
+
+  telemetry::MetricRegistry metrics_;
+  telemetry::Histogram* query_latency_ = nullptr;  ///< Owned by metrics_.
+  telemetry::Histogram* queue_depth_ = nullptr;    ///< Owned by metrics_.
 
   /// LAST member: destroyed first, so ~ThreadPool drains still-queued query
   /// tasks while the registry/shards they touch are alive.

@@ -132,6 +132,14 @@ EnvServiceStats ShardRouter::stats() const {
     total.crn_hits += s.crn_hits;
     total.backends.push_back(std::move(s));
   }
+  // Serving telemetry merges exactly (log-scale buckets sum), so the router
+  // reports farm-wide latency/queue-depth quantiles, not per-shard ones.
+  for (const auto& shard : shards_) {
+    const EnvServiceStats shard_stats = shard->stats();
+    total.query_latency_ns.merge(shard_stats.query_latency_ns);
+    total.queue_depth.merge(shard_stats.queue_depth);
+    total.rpc_service_ns.merge(shard_stats.rpc_service_ns);
+  }
   return total;
 }
 

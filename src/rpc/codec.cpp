@@ -205,6 +205,68 @@ std::size_t checked_count(std::uint64_t n, std::size_t element_bytes, const char
   return static_cast<std::size_t>(n);
 }
 
+/// Sparse histogram: u32 occupied-bucket count | (u32 index, u64 count)* |
+/// u64 sum. Merges bit-exactly (bucket counts are integers).
+void put_histogram(WireWriter& w, const telemetry::HistogramData& h) {
+  const auto& counts = h.counts();
+  std::uint32_t occupied = 0;
+  for (std::uint64_t c : counts) occupied += c != 0 ? 1 : 0;
+  w.u32(occupied);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    w.u32(static_cast<std::uint32_t>(i));
+    w.u64(counts[i]);
+  }
+  w.u64(h.sum());
+}
+
+telemetry::HistogramData get_histogram(WireReader& r) {
+  const std::size_t occupied = checked_count(r.u32(), 12, "histogram bucket");
+  if (occupied == 0) {
+    if (r.u64() != 0) throw CodecError("rpc codec: empty histogram with nonzero sum");
+    return {};
+  }
+  std::vector<std::uint64_t> counts(telemetry::kBucketCount, 0);
+  for (std::size_t i = 0; i < occupied; ++i) {
+    const std::uint32_t index = r.u32();
+    if (index >= telemetry::kBucketCount) {
+      throw CodecError("rpc codec: histogram bucket index out of range");
+    }
+    counts[index] = r.u64();
+  }
+  return telemetry::HistogramData::from_counts(std::move(counts), r.u64());
+}
+
+void put_backend_stats(WireWriter& w, const env::BackendStats& b) {
+  w.str(b.name);
+  w.u8(b.kind == env::BackendKind::kOnline ? 1 : 0);
+  w.u64(b.queries);
+  w.u64(b.cache_hits);
+  w.u64(b.cache_misses);
+  w.u64(b.crn_hits);
+  w.u64(b.episodes);
+  w.f64(b.cost_hint);
+  w.u64(b.rpc_retries);
+  w.u64(b.rpc_failures);
+  put_histogram(w, b.rpc_rtt_ns);
+}
+
+env::BackendStats get_backend_stats(WireReader& r) {
+  env::BackendStats b;
+  b.name = r.str();
+  b.kind = r.u8() == 1 ? env::BackendKind::kOnline : env::BackendKind::kOffline;
+  b.queries = r.u64();
+  b.cache_hits = r.u64();
+  b.cache_misses = r.u64();
+  b.crn_hits = r.u64();
+  b.episodes = r.u64();
+  b.cost_hint = r.f64();
+  b.rpc_retries = r.u64();
+  b.rpc_failures = r.u64();
+  b.rpc_rtt_ns = get_histogram(r);
+  return b;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_query(std::uint64_t request_id, const env::EnvQuery& query) {
@@ -242,6 +304,29 @@ std::vector<std::uint8_t> encode_error(std::uint64_t request_id, const std::stri
   return w.take();
 }
 
+std::vector<std::uint8_t> encode_stats_request(std::uint64_t request_id) {
+  WireWriter w;
+  put_header(w, MsgType::kStatsRequest, request_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_stats_snapshot(std::uint64_t request_id,
+                                                const env::EnvServiceStats& stats) {
+  WireWriter w;
+  put_header(w, MsgType::kStatsSnapshot, request_id);
+  w.u32(static_cast<std::uint32_t>(stats.backends.size()));
+  for (const auto& backend : stats.backends) put_backend_stats(w, backend);
+  w.u64(stats.offline_queries);
+  w.u64(stats.online_queries);
+  w.u64(stats.cache_hits);
+  w.u64(stats.cache_misses);
+  w.u64(stats.crn_hits);
+  put_histogram(w, stats.query_latency_ns);
+  put_histogram(w, stats.queue_depth);
+  put_histogram(w, stats.rpc_service_ns);
+  return w.take();
+}
+
 FrameHeader decode_header(WireReader& reader) {
   const std::uint32_t magic = reader.u32();
   if (magic != kWireMagic) {
@@ -254,7 +339,7 @@ FrameHeader decode_header(WireReader& reader) {
   }
   const std::uint16_t type = reader.u16();
   if (type < static_cast<std::uint16_t>(MsgType::kQuery) ||
-      type > static_cast<std::uint16_t>(MsgType::kError)) {
+      type > static_cast<std::uint16_t>(MsgType::kStatsSnapshot)) {
     throw CodecError("rpc codec: unknown message type " + std::to_string(type));
   }
   FrameHeader header;
@@ -295,6 +380,23 @@ std::string decode_error_body(WireReader& reader) {
   std::string message = reader.str();
   reader.expect_done();
   return message;
+}
+
+env::EnvServiceStats decode_stats_snapshot_body(WireReader& reader) {
+  env::EnvServiceStats stats;
+  const std::size_t backends = checked_count(reader.u32(), 64, "backend stats");
+  stats.backends.reserve(backends);
+  for (std::size_t i = 0; i < backends; ++i) stats.backends.push_back(get_backend_stats(reader));
+  stats.offline_queries = reader.u64();
+  stats.online_queries = reader.u64();
+  stats.cache_hits = reader.u64();
+  stats.cache_misses = reader.u64();
+  stats.crn_hits = reader.u64();
+  stats.query_latency_ns = get_histogram(reader);
+  stats.queue_depth = get_histogram(reader);
+  stats.rpc_service_ns = get_histogram(reader);
+  reader.expect_done();
+  return stats;
 }
 
 }  // namespace atlas::rpc

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "env/backend.hpp"
+#include "env/client.hpp"
 
 namespace atlas::rpc {
 
@@ -29,16 +30,22 @@ namespace atlas::rpc {
 inline constexpr std::uint32_t kWireMagic = 0x41544c53u;  // "ATLS"
 /// v2: EnvQuery carries the `crn` tag (common-random-numbers plan marker), so
 /// worker-side caches attribute cross-iteration reuse from remote clients.
-inline constexpr std::uint16_t kWireVersion = 2;
+/// v3: stats-snapshot messages (kStatsRequest/kStatsSnapshot) export a
+/// worker's full EnvServiceStats — per-backend counters plus the serving
+/// telemetry histograms (query latency, queue depth, RPC service time) — so
+/// a router aggregates farm-wide telemetry without scraping worker stdout.
+inline constexpr std::uint16_t kWireVersion = 3;
 
 /// Upper bound on one frame payload; a length prefix beyond this is treated
 /// as a corrupted stream, not an allocation request.
 inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
 
 enum class MsgType : std::uint16_t {
-  kQuery = 1,   ///< client -> worker: run one EnvQuery
-  kResult = 2,  ///< worker -> client: the EpisodeResult
-  kError = 3,   ///< worker -> client: execution/decode failed (message string)
+  kQuery = 1,          ///< client -> worker: run one EnvQuery
+  kResult = 2,         ///< worker -> client: the EpisodeResult
+  kError = 3,          ///< worker -> client: execution/decode failed (message string)
+  kStatsRequest = 4,   ///< client -> worker: export your stats snapshot (empty body)
+  kStatsSnapshot = 5,  ///< worker -> client: EnvServiceStats incl. telemetry histograms
 };
 
 /// Malformed frame: bad magic/version/type, truncated body, trailing bytes.
@@ -107,6 +114,11 @@ std::vector<std::uint8_t> encode_query(std::uint64_t request_id, const env::EnvQ
 std::vector<std::uint8_t> encode_result(std::uint64_t request_id,
                                         const env::EpisodeResult& result);
 std::vector<std::uint8_t> encode_error(std::uint64_t request_id, const std::string& message);
+std::vector<std::uint8_t> encode_stats_request(std::uint64_t request_id);
+/// Histograms ride as sparse (bucket index, count) pairs — an idle worker's
+/// snapshot is a few hundred bytes, not kBucketCount * 8.
+std::vector<std::uint8_t> encode_stats_snapshot(std::uint64_t request_id,
+                                                const env::EnvServiceStats& stats);
 
 /// Validates magic + version and returns {type, request_id}; the reader is
 /// left positioned at the body. Throws CodecError on any mismatch.
@@ -116,5 +128,6 @@ FrameHeader decode_header(WireReader& reader);
 env::EnvQuery decode_query_body(WireReader& reader);
 env::EpisodeResult decode_result_body(WireReader& reader);
 std::string decode_error_body(WireReader& reader);
+env::EnvServiceStats decode_stats_snapshot_body(WireReader& reader);
 
 }  // namespace atlas::rpc

@@ -135,6 +135,42 @@ void RemoteBackend::drop_connection(const std::shared_ptr<MuxConnection>& dead) 
 void RemoteBackend::fill_stats(env::BackendStats& stats) const {
   stats.rpc_retries = rpc_retries();
   stats.rpc_failures = rpc_failures();
+  stats.rpc_rtt_ns = rtt_.snapshot();
+}
+
+env::EnvServiceStats RemoteBackend::fetch_worker_stats() const {
+  const auto timeout =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::duration<double, std::milli>(options_.timeout_ms));
+  std::shared_ptr<MuxConnection> conn;
+  try {
+    conn = connection();
+    const std::uint64_t request_id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    auto future = conn->send_request(request_id, encode_stats_request(request_id));
+    if (future.wait_for(timeout) != std::future_status::ready) {
+      conn->forget(request_id);
+      throw RpcError("remote backend '" + options_.name + "': stats request timed out after " +
+                     std::to_string(options_.timeout_ms) + " ms");
+    }
+    std::vector<std::uint8_t> frame = future.get();
+    WireReader reader(frame);
+    const FrameHeader header = decode_header(reader);
+    if (header.type == MsgType::kError) {
+      throw RpcError("remote backend '" + options_.name +
+                     "': worker error: " + decode_error_body(reader));
+    }
+    if (header.type != MsgType::kStatsSnapshot) {
+      throw CodecError("rpc client: unexpected stats response type");
+    }
+    return decode_stats_snapshot_body(reader);
+  } catch (const TransportError& e) {
+    if (conn != nullptr) drop_connection(conn);
+    throw RpcError("remote backend '" + options_.name + "': stats request failed: " + e.what());
+  } catch (const CodecError& e) {
+    if (conn != nullptr) drop_connection(conn);
+    throw RpcError("remote backend '" + options_.name + "': stats request failed: " + e.what());
+  }
 }
 
 env::EpisodeResult RemoteBackend::execute(const env::EnvQuery& query) const {
@@ -170,6 +206,7 @@ env::EpisodeResult RemoteBackend::execute(const env::EnvQuery& query) const {
       conn = connection();
       const std::uint64_t request_id =
           next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+      const auto rtt_start = std::chrono::steady_clock::now();
       auto future = conn->send_request(request_id, encode_query(request_id, remote_query));
       sent = true;
       if (future.wait_for(timeout) != std::future_status::ready) {
@@ -191,7 +228,11 @@ env::EpisodeResult RemoteBackend::execute(const env::EnvQuery& query) const {
       if (header.type != MsgType::kResult) {
         throw CodecError("rpc client: unexpected response type");
       }
-      return decode_result_body(reader);
+      env::EpisodeResult result = decode_result_body(reader);
+      const auto rtt = std::chrono::steady_clock::now() - rtt_start;
+      rtt_.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(rtt).count()));
+      return result;
     } catch (const TransportError& e) {
       if (conn != nullptr) drop_connection(conn);
       last_fault = e.what();

@@ -8,7 +8,9 @@
 #include <string>
 
 #include "env/backend.hpp"
+#include "env/client.hpp"
 #include "rpc/transport.hpp"
+#include "telemetry/histogram.hpp"
 
 namespace atlas::rpc {
 
@@ -75,6 +77,7 @@ class RemoteBackend final : public env::EnvBackend {
   void reset_stats() const noexcept override {
     retries_.store(0, std::memory_order_relaxed);
     failures_.store(0, std::memory_order_relaxed);
+    rtt_.reset();
   }
 
   std::uint64_t rpc_retries() const noexcept {
@@ -83,6 +86,16 @@ class RemoteBackend final : public env::EnvBackend {
   std::uint64_t rpc_failures() const noexcept {
     return failures_.load(std::memory_order_relaxed);
   }
+
+  /// Round-trip latency (send -> decoded result) of every successful episode
+  /// RPC; also exported through `fill_stats` as `BackendStats::rpc_rtt_ns`.
+  telemetry::HistogramData rpc_rtt() const { return rtt_.snapshot(); }
+
+  /// Scrape the WORKER's own serving stats (per-backend counters + service
+  /// telemetry) over the live connection — the farm-wide view a router
+  /// cannot compute from client-side counters alone. Throws RpcError on
+  /// timeout or a worker that predates wire v3.
+  env::EnvServiceStats fetch_worker_stats() const;
 
  private:
   class MuxConnection;
@@ -99,6 +112,7 @@ class RemoteBackend final : public env::EnvBackend {
   mutable std::atomic<std::uint64_t> next_request_id_{0};
   mutable std::atomic<std::uint64_t> retries_{0};
   mutable std::atomic<std::uint64_t> failures_{0};
+  mutable telemetry::Histogram rtt_;
 };
 
 }  // namespace atlas::rpc

@@ -1,6 +1,7 @@
 #include "rpc/server.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <utility>
@@ -10,7 +11,7 @@
 namespace atlas::rpc {
 
 EpisodeRpcServer::EpisodeRpcServer(env::EnvService& service, RpcServerOptions options)
-    : service_(service), listener_(options.port) {
+    : service_(service), options_(options), listener_(options.port) {
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -75,6 +76,15 @@ void EpisodeRpcServer::serve(Transport& transport) {
       WireReader reader(frame);
       const FrameHeader header = decode_header(reader);
       request_id = header.request_id;
+      if (header.type == MsgType::kStatsRequest) {
+        // Answered inline on the read thread: a stats scrape must not queue
+        // behind episodes (it is how operators see WHY the queue is long).
+        reader.expect_done();
+        env::EnvServiceStats stats = service_.stats();
+        stats.rpc_service_ns = service_time_.snapshot();
+        write_frame(encode_stats_snapshot(request_id, stats));
+        continue;
+      }
       if (header.type != MsgType::kQuery) {
         throw CodecError("episode-rpc server: expected a query frame");
       }
@@ -88,6 +98,10 @@ void EpisodeRpcServer::serve(Transport& transport) {
       std::scoped_lock lock(done_mutex);
       ++outstanding;
     }
+    {
+      std::scoped_lock lock(drain_mutex_);
+      ++in_flight_;
+    }
     // Dispatch onto the service pool so one connection can pipeline as many
     // concurrent episodes as the worker has cores; the future is tracked via
     // the outstanding counter instead (the response IS the result channel).
@@ -95,6 +109,7 @@ void EpisodeRpcServer::serve(Transport& transport) {
       service_.pool().submit(
         [this, &write_frame, &done_mutex, &done_cv, &outstanding, request_id,
          q = std::move(query)] {
+          const auto start = std::chrono::steady_clock::now();
           std::vector<std::uint8_t> response;
           try {
             response = encode_result(request_id, service_.run(q));
@@ -109,6 +124,9 @@ void EpisodeRpcServer::serve(Transport& transport) {
           } catch (const std::exception& e) {
             response = encode_error(request_id, e.what());
           }
+          const auto elapsed = std::chrono::steady_clock::now() - start;
+          service_time_.record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
           write_frame(response);
           {
             // Notify UNDER the lock: serve() destroys done_cv the moment the
@@ -118,6 +136,11 @@ void EpisodeRpcServer::serve(Transport& transport) {
             --outstanding;
             done_cv.notify_all();
           }
+          {
+            std::scoped_lock lock(drain_mutex_);
+            --in_flight_;
+            drain_cv_.notify_all();
+          }
         });
     } catch (...) {
       // Enqueue failed (bad_alloc): the task's decrement will never run; a
@@ -125,6 +148,11 @@ void EpisodeRpcServer::serve(Transport& transport) {
       {
         std::scoped_lock lock(done_mutex);
         --outstanding;
+      }
+      {
+        std::scoped_lock lock(drain_mutex_);
+        --in_flight_;
+        drain_cv_.notify_all();
       }
       write_frame(encode_error(request_id, "worker failed to enqueue the episode"));
     }
@@ -144,6 +172,15 @@ void EpisodeRpcServer::stop() {
   }
   listener_.close();
   if (acceptor_.joinable()) acceptor_.join();
+  // Graceful drain: episodes already dispatched get to finish and FLUSH their
+  // responses before we yank the connections — a worker asked to shut down
+  // mid-batch should not turn accepted work into client-side timeouts. The
+  // wait is bounded: a wedged episode must not make stop() hang forever.
+  {
+    std::unique_lock lock(drain_mutex_);
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(options_.drain_timeout_ms),
+                       [&] { return in_flight_ == 0; });
+  }
   // After the acceptor is joined no new connections can appear; close every
   // transport (wakes its serve loop) and join the connection threads.
   std::vector<std::unique_ptr<Connection>> connections;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -9,11 +10,16 @@
 
 #include "env/env_service.hpp"
 #include "rpc/transport.hpp"
+#include "telemetry/histogram.hpp"
 
 namespace atlas::rpc {
 
 struct RpcServerOptions {
   std::uint16_t port = 0;  ///< TCP port on 127.0.0.1; 0 = ephemeral (see port()).
+  /// How long stop() waits for dispatched episodes to finish (and their
+  /// responses to flush) before closing connections anyway. 0 = no grace:
+  /// legacy hard-close behavior.
+  std::uint32_t drain_timeout_ms = 5000;
 };
 
 /// Hosts an `EnvService` behind the episode-RPC: each query frame is
@@ -35,14 +41,19 @@ class EpisodeRpcServer {
   /// Actual bound port (resolves an ephemeral request).
   std::uint16_t port() const noexcept { return listener_.port(); }
 
-  /// Stop accepting, close every connection, join all threads. Idempotent;
-  /// also run by the destructor.
+  /// Stop accepting, drain in-flight episodes (bounded by
+  /// `drain_timeout_ms`), then close every connection and join all threads.
+  /// Idempotent; also run by the destructor.
   void stop();
 
   /// Serve one already-connected transport until the peer closes (blocking).
   /// The accept loop uses this per connection; tests call it directly with a
   /// loopback endpoint to exercise the full RPC path without sockets.
   void serve(Transport& transport);
+
+  /// Server-side service time (decode done -> response encoded) of every
+  /// episode answered so far; exported to clients via kStatsRequest.
+  telemetry::HistogramData service_time() const { return service_time_.snapshot(); }
 
  private:
   struct Connection {
@@ -54,11 +65,19 @@ class EpisodeRpcServer {
   void accept_loop();
 
   env::EnvService& service_;
+  RpcServerOptions options_;
   TcpListener listener_;
   std::mutex connections_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;
   bool stopped_ = false;  ///< Guarded by connections_mutex_.
   std::thread acceptor_;
+
+  telemetry::Histogram service_time_;
+  /// Episodes dispatched onto the pool whose responses have not been written
+  /// yet, across ALL connections — what stop() waits on before hard-closing.
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+  std::int64_t in_flight_ = 0;  ///< Guarded by drain_mutex_.
 };
 
 }  // namespace atlas::rpc

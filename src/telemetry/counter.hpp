@@ -1,0 +1,56 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace atlas::telemetry {
+
+/// Lock-free event counter striped across per-thread lanes. Each recording
+/// thread is assigned one cache-line-padded lane on first use (round-robin;
+/// beyond kLanes threads, lanes are shared but stay uncontended in the
+/// common few-writers case), so the hot path is one relaxed fetch_add on a
+/// line no other thread is hammering. Reads (`value`) sum the lanes — merge
+/// happens only at snapshot time, never on the record path.
+class Counter {
+ public:
+  static constexpr std::size_t kLanes = 16;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    lanes_[lane_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Lane& lane : lanes_) total += lane.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Lane& lane : lanes_) lane.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Lane {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  static std::size_t lane_index() noexcept {
+    // One process-wide round-robin assignment: every thread keeps the same
+    // lane for every Counter, so a service's worker threads spread across
+    // lanes without any per-counter registration.
+    static std::atomic<std::size_t> next_lane{0};
+    thread_local const std::size_t lane =
+        next_lane.fetch_add(1, std::memory_order_relaxed) % kLanes;
+    return lane;
+  }
+
+  std::array<Lane, kLanes> lanes_{};
+};
+
+}  // namespace atlas::telemetry

@@ -1,0 +1,126 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace atlas::telemetry {
+
+std::size_t bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  if (value > kMaxTrackable) value = kMaxTrackable;
+  const int msb = 63 - std::countl_zero(value);  // >= kSubBucketBits
+  const int shift = msb - kSubBucketBits;
+  const std::size_t octave = static_cast<std::size_t>(shift);  // 0-based group
+  const std::size_t sub = static_cast<std::size_t>((value >> shift) - kSubBuckets);
+  return kSubBuckets + octave * kSubBuckets + sub;
+}
+
+std::uint64_t bucket_upper_bound(std::size_t index) noexcept {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  if (index >= kBucketCount) index = kBucketCount - 1;
+  const std::size_t rel = index - kSubBuckets;
+  const int shift = static_cast<int>(rel / kSubBuckets);
+  const std::uint64_t sub = rel % kSubBuckets;
+  return ((kSubBuckets + sub + 1) << shift) - 1;
+}
+
+void HistogramData::ensure_allocated() {
+  if (counts_.empty()) counts_.assign(kBucketCount, 0);
+}
+
+void HistogramData::record(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  ensure_allocated();
+  counts_[bucket_index(value)] += count;
+  total_ += count;
+  sum_ += value * count;
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  if (other.total_ == 0) return;
+  ensure_allocated();
+  const std::size_t n = std::min(counts_.size(), other.counts_.size());
+  for (std::size_t i = 0; i < n; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+void HistogramData::subtract(const HistogramData& other) {
+  if (other.total_ == 0) return;
+  ensure_allocated();
+  const std::size_t n = std::min(counts_.size(), other.counts_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    counts_[i] -= std::min(counts_[i], other.counts_[i]);
+  }
+  total_ -= std::min(total_, other.total_);
+  sum_ -= std::min(sum_, other.sum_);
+}
+
+std::uint64_t HistogramData::quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the order statistic: ceil(q * n), clamped to [1, n] — the same
+  // rule a sorted-vector reference uses, so the only divergence is bucket
+  // resolution.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total_)) + 0.0));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) return bucket_upper_bound(i);
+  }
+  return bucket_upper_bound(kBucketCount - 1);
+}
+
+std::uint64_t HistogramData::min() const noexcept {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) {
+      // Lower bound of bucket i: one past the previous bucket's upper bound.
+      return i == 0 ? 0 : bucket_upper_bound(i - 1) + 1;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t HistogramData::max() const noexcept {
+  for (std::size_t i = counts_.size(); i-- > 0;) {
+    if (counts_[i] != 0) return bucket_upper_bound(i);
+  }
+  return 0;
+}
+
+HistogramData HistogramData::from_counts(std::vector<std::uint64_t> counts,
+                                         std::uint64_t sum) {
+  HistogramData data;
+  if (counts.empty()) return data;
+  counts.resize(kBucketCount, 0);
+  data.counts_ = std::move(counts);
+  data.sum_ = sum;
+  data.total_ = 0;
+  for (std::uint64_t c : data.counts_) data.total_ += c;
+  if (data.total_ == 0) {
+    data.counts_.clear();
+    data.sum_ = 0;
+  }
+  return data;
+}
+
+HistogramData Histogram::snapshot() const {
+  std::vector<std::uint64_t> counts(kBucketCount, 0);
+  bool any = false;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    any = any || counts[i] != 0;
+  }
+  if (!any) return HistogramData{};
+  return HistogramData::from_counts(std::move(counts), sum_.load(std::memory_order_relaxed));
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace atlas::telemetry

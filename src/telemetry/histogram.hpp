@@ -1,0 +1,108 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace atlas::telemetry {
+
+/// Fixed-bucket log-scale histogram for always-on serving telemetry
+/// (HdrHistogram-style layout). Values are non-negative integers — the
+/// serving stack records nanoseconds, but the layout is unit-agnostic
+/// (queue depths use it too).
+///
+/// Bucket layout: values below 2^kSubBucketBits land in one exact linear
+/// bucket each; above that, every octave [2^k, 2^{k+1}) splits into
+/// 2^kSubBucketBits equal sub-buckets, so the relative quantile error is
+/// bounded by 2^-kSubBucketBits (~3.1%) at any magnitude. Values beyond
+/// kMaxTrackable saturate into the last bucket. The whole table is
+/// statically sized: recording is one index computation plus one relaxed
+/// atomic increment — no allocation, no locks, mergeable across
+/// threads/shards/hosts by summing counts.
+inline constexpr int kSubBucketBits = 5;
+inline constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;  // 32
+/// Octave groups above the linear region. 36 octaves over nanoseconds track
+/// latencies up to 2^41 ns (~37 minutes) before saturating.
+inline constexpr int kOctaves = 36;
+inline constexpr std::size_t kBucketCount =
+    static_cast<std::size_t>(kSubBuckets) * (1 + kOctaves);
+inline constexpr std::uint64_t kMaxTrackable = (kSubBuckets << kOctaves) - 1;
+
+/// Bucket owning `value`; total over [0, kBucketCount).
+std::size_t bucket_index(std::uint64_t value) noexcept;
+/// Largest value mapping to bucket `index` (its quantile representative):
+/// for any recorded v, v <= upper_bound(bucket_index(v)) <= v * (1 + 2^-5).
+std::uint64_t bucket_upper_bound(std::size_t index) noexcept;
+
+/// Plain (non-atomic) histogram state: the snapshot/merge/report currency.
+/// Value-semantic so it can ride inside stats structs, cross the episode-RPC
+/// wire, and be differenced for per-phase interval accounting. Storage is
+/// allocated lazily on first record/merge, so an unused histogram inside a
+/// stats snapshot costs one empty vector.
+class HistogramData {
+ public:
+  void record(std::uint64_t value, std::uint64_t count = 1);
+
+  /// Add another histogram's samples into this one (shard/host aggregation).
+  void merge(const HistogramData& other);
+  /// Remove an earlier snapshot's samples (interval deltas: counts are
+  /// monotonic, so now - start is this phase's distribution).
+  void subtract(const HistogramData& other);
+
+  std::uint64_t count() const noexcept { return total_; }
+  bool empty() const noexcept { return total_ == 0; }
+  /// Mean of the recorded values (0 when empty).
+  double mean() const noexcept {
+    return total_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(total_);
+  }
+  std::uint64_t sum() const noexcept { return sum_; }
+
+  /// Quantile q in [0, 1]: the upper bound of the bucket where the cumulative
+  /// count first reaches ceil(q * count) — never below the true sample
+  /// quantile and at most one sub-bucket width (2^-5 relative) above it.
+  /// Returns 0 when empty.
+  std::uint64_t quantile(double q) const noexcept;
+
+  /// Lower bound of the first / upper bound of the last occupied bucket.
+  std::uint64_t min() const noexcept;
+  std::uint64_t max() const noexcept;
+
+  const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+  /// Rebuild from wire/merge primitives; `counts` may be shorter than
+  /// kBucketCount (missing tail buckets are zero).
+  static HistogramData from_counts(std::vector<std::uint64_t> counts, std::uint64_t sum);
+
+ private:
+  void ensure_allocated();
+
+  std::vector<std::uint64_t> counts_;  ///< Empty or kBucketCount entries.
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// Concurrent recording front-end: a fixed array of relaxed atomics. Safe for
+/// any number of writer threads; `snapshot()` is approximate under concurrent
+/// writes (each bucket individually exact) which is the usual monitoring
+/// contract. ~9 KB per instance, preallocated — the record path touches two
+/// cache lines and never allocates.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  HistogramData snapshot() const;
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace atlas::telemetry

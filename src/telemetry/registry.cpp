@@ -1,0 +1,91 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+
+namespace atlas::telemetry {
+
+namespace {
+
+template <typename Metric>
+Metric& find_or_create(std::vector<std::pair<std::string, std::unique_ptr<Metric>>>& metrics,
+                       const std::string& name) {
+  for (auto& [metric_name, metric] : metrics) {
+    if (metric_name == name) return *metric;
+  }
+  metrics.emplace_back(name, std::make_unique<Metric>());
+  return *metrics.back().second;
+}
+
+}  // namespace
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  return find_or_create(counters_, name);
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  return find_or_create(histograms_, name);
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::scoped_lock lock(mutex_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+      snap.counters.emplace_back(name, counter->value());
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      snap.histograms.emplace_back(name, histogram->snapshot());
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricRegistry::reset() {
+  std::scoped_lock lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) {
+    auto it = std::find_if(counters.begin(), counters.end(),
+                           [&](const auto& c) { return c.first == name; });
+    if (it == counters.end()) {
+      counters.emplace_back(name, value);
+    } else {
+      it->second += value;
+    }
+  }
+  for (const auto& [name, data] : other.histograms) {
+    auto it = std::find_if(histograms.begin(), histograms.end(),
+                           [&](const auto& h) { return h.first == name; });
+    if (it == histograms.end()) {
+      histograms.emplace_back(name, data);
+    } else {
+      it->second.merge(data);
+    }
+  }
+}
+
+const HistogramData* MetricsSnapshot::histogram(const std::string& name) const noexcept {
+  for (const auto& [metric_name, data] : histograms) {
+    if (metric_name == name) return &data;
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const noexcept {
+  for (const auto& [metric_name, value] : counters) {
+    if (metric_name == name) return value;
+  }
+  return 0;
+}
+
+}  // namespace atlas::telemetry

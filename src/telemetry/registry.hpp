@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/counter.hpp"
+#include "telemetry/histogram.hpp"
+
+namespace atlas::telemetry {
+
+/// One component's metrics at a point in time, sorted by name. The currency
+/// of the report writer (telemetry/report.hpp) and of cross-shard/host
+/// aggregation.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  /// Sum same-named metrics from `other` into this snapshot (metrics only in
+  /// `other` are appended); used to roll per-shard/per-worker snapshots into
+  /// one serving report.
+  void merge(const MetricsSnapshot& other);
+
+  /// Pointer to a named histogram, nullptr when absent.
+  const HistogramData* histogram(const std::string& name) const noexcept;
+  /// Value of a named counter, 0 when absent.
+  std::uint64_t counter(const std::string& name) const noexcept;
+};
+
+/// Named-metric registry: a component creates its counters/histograms once
+/// (by name, under a mutex) and keeps the returned references for the hot
+/// path — recording never touches the registry again. References stay valid
+/// for the registry's lifetime. `snapshot()` reads every metric with relaxed
+/// loads; it is safe against concurrent recorders.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Create-or-get; the reference is stable until the registry dies.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  /// Zero every metric (the metrics themselves stay registered).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+}  // namespace atlas::telemetry

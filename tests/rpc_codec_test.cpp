@@ -232,6 +232,85 @@ TEST(RpcCodec, TrailingGarbageIsRejected) {
   EXPECT_THROW((void)ar::decode_query_body(reader), ar::CodecError);
 }
 
+TEST(RpcCodec, StatsSnapshotRoundTrips) {
+  // Wire v3: a worker's EnvServiceStats — counters, per-backend rows, and the
+  // sparse-encoded serving histograms — must survive the trip exactly.
+  ae::EnvServiceStats stats;
+  stats.offline_queries = 120;
+  stats.online_queries = 7;
+  stats.cache_hits = 60;
+  stats.cache_misses = 67;
+  stats.crn_hits = 41;
+  for (int i = 0; i < 3; ++i) {
+    ae::BackendStats b;
+    b.name = "backend-" + std::to_string(i);
+    b.kind = i == 2 ? ae::BackendKind::kOnline : ae::BackendKind::kOffline;
+    b.queries = 40 + static_cast<std::uint64_t>(i);
+    b.cache_hits = 20;
+    b.cache_misses = 20;
+    b.crn_hits = 13;
+    b.episodes = 27;
+    b.cost_hint = i == 0 ? 1.0 : 1000.0;
+    b.rpc_retries = static_cast<std::uint64_t>(i);
+    b.rpc_failures = 0;
+    if (i == 1) {
+      for (int s = 0; s < 50; ++s) b.rpc_rtt_ns.record(100000 + s * 7919);
+    }
+    stats.backends.push_back(std::move(b));
+  }
+  for (int s = 0; s < 200; ++s) stats.query_latency_ns.record(1000 + s * 997);
+  for (int s = 0; s < 40; ++s) stats.queue_depth.record(static_cast<std::uint64_t>(s % 5));
+  for (int s = 0; s < 30; ++s) stats.rpc_service_ns.record(500000 + s);
+
+  const auto frame = ar::encode_stats_snapshot(42, stats);
+  ar::WireReader reader(frame);
+  const auto header = ar::decode_header(reader);
+  EXPECT_EQ(header.type, ar::MsgType::kStatsSnapshot);
+  EXPECT_EQ(header.request_id, 42u);
+  const ae::EnvServiceStats back = ar::decode_stats_snapshot_body(reader);
+
+  EXPECT_EQ(back.offline_queries, stats.offline_queries);
+  EXPECT_EQ(back.online_queries, stats.online_queries);
+  EXPECT_EQ(back.cache_hits, stats.cache_hits);
+  EXPECT_EQ(back.cache_misses, stats.cache_misses);
+  EXPECT_EQ(back.crn_hits, stats.crn_hits);
+  ASSERT_EQ(back.backends.size(), stats.backends.size());
+  for (std::size_t i = 0; i < stats.backends.size(); ++i) {
+    EXPECT_EQ(back.backends[i].name, stats.backends[i].name);
+    EXPECT_EQ(back.backends[i].kind, stats.backends[i].kind);
+    EXPECT_EQ(back.backends[i].queries, stats.backends[i].queries);
+    EXPECT_EQ(back.backends[i].crn_hits, stats.backends[i].crn_hits);
+    EXPECT_EQ(back.backends[i].episodes, stats.backends[i].episodes);
+    EXPECT_TRUE(same_bits(back.backends[i].cost_hint, stats.backends[i].cost_hint));
+    EXPECT_EQ(back.backends[i].rpc_retries, stats.backends[i].rpc_retries);
+    EXPECT_EQ(back.backends[i].rpc_rtt_ns.counts(), stats.backends[i].rpc_rtt_ns.counts());
+    EXPECT_EQ(back.backends[i].rpc_rtt_ns.sum(), stats.backends[i].rpc_rtt_ns.sum());
+  }
+  EXPECT_EQ(back.query_latency_ns.counts(), stats.query_latency_ns.counts());
+  EXPECT_EQ(back.query_latency_ns.sum(), stats.query_latency_ns.sum());
+  EXPECT_EQ(back.queue_depth.counts(), stats.queue_depth.counts());
+  EXPECT_EQ(back.rpc_service_ns.counts(), stats.rpc_service_ns.counts());
+}
+
+TEST(RpcCodec, EmptyStatsSnapshotRoundTrips) {
+  const auto frame = ar::encode_stats_snapshot(1, ae::EnvServiceStats{});
+  ar::WireReader reader(frame);
+  EXPECT_EQ(ar::decode_header(reader).type, ar::MsgType::kStatsSnapshot);
+  const ae::EnvServiceStats back = ar::decode_stats_snapshot_body(reader);
+  EXPECT_TRUE(back.backends.empty());
+  EXPECT_TRUE(back.query_latency_ns.empty());
+  EXPECT_EQ(back.total_queries(), 0u);
+}
+
+TEST(RpcCodec, StatsRequestIsHeaderOnly) {
+  const auto frame = ar::encode_stats_request(9);
+  ar::WireReader reader(frame);
+  const auto header = ar::decode_header(reader);
+  EXPECT_EQ(header.type, ar::MsgType::kStatsRequest);
+  EXPECT_EQ(header.request_id, 9u);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
 TEST(RpcCodec, ImplausibleElementCountsAreRejectedNotAllocated) {
   // A corrupted latency count must throw before the decoder tries to
   // reserve terabytes.

@@ -102,6 +102,40 @@ TEST(RpcLoopback, RemoteEpisodeMatchesLocalBitIdentically) {
   EXPECT_DOUBLE_EQ(stats.cost_hint, options.cost_hint);
 }
 
+TEST(RpcLoopback, RttHistogramAndWorkerStatsScrape) {
+  LoopbackWorker worker;
+
+  ae::EnvService client(ae::EnvServiceOptions{.threads = 2});
+  ar::RemoteBackendOptions options;
+  options.transport_factory = worker.factory();
+  auto backend = std::make_shared<ar::RemoteBackend>(options);
+  const auto remote = client.register_backend(backend);
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    (void)client.run(query(remote, seed));
+  }
+
+  // Client side: every successful RPC landed in the round-trip histogram,
+  // and the histogram rides along in BackendStats.
+  const ae::BackendStats stats = client.backend_stats(remote);
+  EXPECT_EQ(stats.rpc_rtt_ns.count(), 4u);
+  EXPECT_GT(stats.rpc_rtt_ns.quantile(0.5), 0u);
+
+  // Worker side: the wire-v3 stats scrape reports the worker's OWN metering —
+  // per-backend counters plus the server's service-time histogram.
+  const ae::EnvServiceStats scraped = backend->fetch_worker_stats();
+  ASSERT_EQ(scraped.backends.size(), 1u);
+  EXPECT_EQ(scraped.backends[0].queries, 4u);
+  EXPECT_EQ(scraped.backends[0].episodes, 4u);
+  EXPECT_EQ(scraped.rpc_service_ns.count(), 4u);
+  EXPECT_EQ(scraped.query_latency_ns.count(), 4u);
+  EXPECT_EQ(scraped.total_queries(), 4u);
+
+  // reset_stats clears the backend-owned histogram with the counters.
+  client.reset_stats();
+  EXPECT_EQ(client.backend_stats(remote).rpc_rtt_ns.count(), 0u);
+}
+
 TEST(RpcLoopback, SingleFlightCoalescesConcurrentRemoteQueries) {
   // The memoization/single-flight invariants must hold with an RPC in the
   // middle: N racing threads on one key -> ONE remote episode, exact

@@ -5,7 +5,7 @@
 // Usage:
 //   atlas_episode_worker [--port N] [--port-file PATH] [--threads N]
 //                        [--cache-capacity N] [--simulators N]
-//                        [--real-networks N] [--quiet]
+//                        [--real-networks N] [--drain-timeout-ms N] [--quiet]
 //
 //   --port N            TCP port on 127.0.0.1 (default 0 = ephemeral; the
 //                       chosen port is printed and written to --port-file).
@@ -18,13 +18,21 @@
 //                       carry per-query SimParams overrides, so one default
 //                       simulator serves a whole calibration sweep.
 //   --real-networks N   Register N testbed surrogates after the simulators.
+//   --drain-timeout-ms N  On SIGINT/SIGTERM, wait up to N ms for in-flight
+//                       episodes to finish and flush before closing
+//                       connections (default 5000; 0 = hard close).
 //   --quiet             Suppress the startup banner (the port line is
 //                       always printed: parents parse it).
+//
+// Exit status: 0 clean shutdown, 1 startup failure (bind/port-file, with a
+// diagnostic on stderr), 2 usage error.
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <string>
 
 #include "env/env_service.hpp"
@@ -40,13 +48,14 @@ struct WorkerOptions {
   std::size_t cache_capacity = 65536;
   int simulators = 1;
   int real_networks = 0;
+  std::uint32_t drain_timeout_ms = 5000;
   bool quiet = false;
 };
 
 void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
                "usage: %s [--port N] [--port-file PATH] [--threads N] [--cache-capacity N] "
-               "[--simulators N] [--real-networks N] [--quiet]\n",
+               "[--simulators N] [--real-networks N] [--drain-timeout-ms N] [--quiet]\n",
                argv0);
 }
 
@@ -87,6 +96,8 @@ WorkerOptions parse_args(int argc, char** argv) {
       options.simulators = static_cast<int>(parse_long(argv[0], flag, next()));
     } else if (flag == "--real-networks") {
       options.real_networks = static_cast<int>(parse_long(argv[0], flag, next()));
+    } else if (flag == "--drain-timeout-ms") {
+      options.drain_timeout_ms = static_cast<std::uint32_t>(parse_long(argv[0], flag, next()));
     } else if (flag == "--quiet") {
       options.quiet = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -102,27 +113,26 @@ WorkerOptions parse_args(int argc, char** argv) {
   return options;
 }
 
+/// Startup failure that should exit(1) with a diagnostic, not a silent abort.
+struct StartupError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 void write_port_file(const std::string& path, std::uint16_t port) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "atlas_episode_worker: cannot write %s\n", tmp.c_str());
-    std::exit(1);
+    throw StartupError("cannot write port file " + tmp + ": " + std::strerror(errno));
   }
   std::fprintf(f, "%u\n", static_cast<unsigned>(port));
   std::fclose(f);
   // Atomic publish: a polling parent never reads a half-written file.
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::fprintf(stderr, "atlas_episode_worker: cannot rename %s\n", tmp.c_str());
-    std::exit(1);
+    throw StartupError("cannot rename " + tmp + " to " + path + ": " + std::strerror(errno));
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const WorkerOptions options = parse_args(argc, argv);
-
+int run_worker(const WorkerOptions& options) {
   // Block the shutdown signals BEFORE any thread spawns, so every thread
   // inherits the mask and sigwait below is the only consumer.
   sigset_t sigs;
@@ -144,6 +154,7 @@ int main(int argc, char** argv) {
 
   atlas::rpc::RpcServerOptions server_options;
   server_options.port = options.port;
+  server_options.drain_timeout_ms = options.drain_timeout_ms;
   atlas::rpc::EpisodeRpcServer server(service, server_options);
 
   if (!options.quiet) {
@@ -162,8 +173,27 @@ int main(int argc, char** argv) {
   int sig = 0;
   sigwait(&sigs, &sig);
   if (!options.quiet) {
-    std::printf("atlas_episode_worker: %s received, shutting down\n", strsignal(sig));
+    std::printf("atlas_episode_worker: %s received, draining in-flight episodes\n",
+                strsignal(sig));
+    std::fflush(stdout);
   }
+  // stop() drains dispatched episodes (bounded by --drain-timeout-ms) before
+  // closing connections, so accepted work becomes responses, not timeouts.
   server.stop();
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const WorkerOptions options = parse_args(argc, argv);
+  try {
+    return run_worker(options);
+  } catch (const std::exception& e) {
+    // A worker that cannot start (port already bound, unwritable port file)
+    // must say so and exit non-zero — a spawning parent polls the port file
+    // and would otherwise wait forever on a silently-dead child.
+    std::fprintf(stderr, "atlas_episode_worker: fatal: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,0 +1,425 @@
+// atlas_loadgen: open-loop (Poisson-arrival) load generator for the serving
+// stack. Drives an EnvClient — an in-process ShardRouter, a remote episode
+// worker, or both — at a sweep of offered QPS points with a realistic query
+// mix (CRN revisits, metered online queries, trace-heavy episodes, fresh
+// exploration), measures coordinated-omission-free latency quantiles, finds
+// the saturation rate, and writes BENCH_serving.json.
+//
+// Usage:
+//   atlas_loadgen [--topology inproc|remote|both] [--host H] [--port N]
+//                 [--qps Q1,Q2,...] [--sweep-start Q] [--sweep-factor F]
+//                 [--sweep-max-steps N] [--duration S] [--workers N]
+//                 [--threads N] [--shards N] [--cache-capacity N]
+//                 [--mix-revisit F] [--mix-online F] [--mix-trace F]
+//                 [--episode-ms MS] [--incumbents N] [--seed N]
+//                 [--out PATH] [--smoke] [--quiet]
+//
+//   --topology        Which serving stacks to drive (default inproc; remote
+//                     and both need --port of a running atlas_episode_worker).
+//   --qps             Explicit offered-rate points; otherwise a geometric
+//                     sweep from --sweep-start (default 50) by --sweep-factor
+//                     (default 2) up to --sweep-max-steps (default 6) points,
+//                     stopping one point after saturation.
+//   --duration        Seconds of offered load per point (default 2).
+//   --workers         Generator client threads per point (default 32).
+//   --threads         Service pool threads (0 = hardware default).
+//   --shards          In-process ShardRouter shards (default 2).
+//   --mix-*           Query-mix fractions (defaults: 0.45 revisit,
+//                     0.05 online, 0.10 trace; the rest fresh).
+//   --episode-ms      Simulated episode duration per query (default 40).
+//   --smoke           CI preset: tiny duration/episodes, two fixed points.
+//   --out             Output path (default BENCH_serving.json; also
+//                     ATLAS_BENCH_SERVING_OUT / ATLAS_BENCH_OUT_DIR).
+//
+// Exit status: 0 on success, 1 when a topology cannot be driven (e.g. the
+// worker is unreachable), 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "env/env_service.hpp"
+#include "env/loadgen.hpp"
+#include "env/shard_router.hpp"
+#include "rpc/remote_backend.hpp"
+#include "telemetry/report.hpp"
+
+namespace {
+
+struct LoadgenOptions {
+  std::string topology = "inproc";
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::vector<double> qps;  ///< Explicit points; empty = geometric sweep.
+  double sweep_start = 50.0;
+  double sweep_factor = 2.0;
+  std::size_t sweep_max_steps = 6;
+  double duration_s = 2.0;
+  std::size_t workers = 32;
+  std::size_t threads = 0;
+  std::size_t shards = 2;
+  std::size_t cache_capacity = 65536;
+  atlas::env::LoadMix mix;
+  double episode_ms = 40.0;
+  std::size_t incumbents = 16;
+  std::uint64_t seed = 7;
+  std::string out;
+  bool smoke = false;
+  bool quiet = false;
+};
+
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s [--topology inproc|remote|both] [--host H] [--port N]\n"
+               "          [--qps Q1,Q2,...] [--sweep-start Q] [--sweep-factor F]\n"
+               "          [--sweep-max-steps N] [--duration S] [--workers N] [--threads N]\n"
+               "          [--shards N] [--cache-capacity N] [--mix-revisit F]\n"
+               "          [--mix-online F] [--mix-trace F] [--episode-ms MS]\n"
+               "          [--incumbents N] [--seed N] [--out PATH] [--smoke] [--quiet]\n",
+               argv0);
+}
+
+[[noreturn]] void usage_error(const char* argv0, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", argv0, message.c_str());
+  print_usage(stderr, argv0);
+  std::exit(2);
+}
+
+double parse_double(const char* argv0, const std::string& flag, const char* value) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || parsed < 0.0) {
+    usage_error(argv0, flag + " expects a non-negative number, got '" + value + "'");
+  }
+  return parsed;
+}
+
+std::vector<double> parse_qps_list(const char* argv0, const char* value) {
+  std::vector<double> points;
+  std::string token;
+  for (const char* p = value;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) {
+        points.push_back(parse_double(argv0, "--qps", token.c_str()));
+        token.clear();
+      }
+      if (*p == '\0') break;
+    } else {
+      token.push_back(*p);
+    }
+  }
+  if (points.empty()) usage_error(argv0, "--qps expects at least one rate");
+  return points;
+}
+
+LoadgenOptions parse_args(int argc, char** argv) {
+  LoadgenOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error(argv[0], flag + " expects a value");
+      return argv[++i];
+    };
+    if (flag == "--topology") {
+      options.topology = next();
+      if (options.topology != "inproc" && options.topology != "remote" &&
+          options.topology != "both") {
+        usage_error(argv[0], "--topology must be inproc, remote, or both");
+      }
+    } else if (flag == "--host") {
+      options.host = next();
+    } else if (flag == "--port") {
+      options.port = static_cast<std::uint16_t>(parse_double(argv[0], flag, next()));
+    } else if (flag == "--qps") {
+      options.qps = parse_qps_list(argv[0], next());
+    } else if (flag == "--sweep-start") {
+      options.sweep_start = parse_double(argv[0], flag, next());
+    } else if (flag == "--sweep-factor") {
+      options.sweep_factor = parse_double(argv[0], flag, next());
+    } else if (flag == "--sweep-max-steps") {
+      options.sweep_max_steps = static_cast<std::size_t>(parse_double(argv[0], flag, next()));
+    } else if (flag == "--duration") {
+      options.duration_s = parse_double(argv[0], flag, next());
+    } else if (flag == "--workers") {
+      options.workers = static_cast<std::size_t>(parse_double(argv[0], flag, next()));
+    } else if (flag == "--threads") {
+      options.threads = static_cast<std::size_t>(parse_double(argv[0], flag, next()));
+    } else if (flag == "--shards") {
+      options.shards = static_cast<std::size_t>(parse_double(argv[0], flag, next()));
+    } else if (flag == "--cache-capacity") {
+      options.cache_capacity = static_cast<std::size_t>(parse_double(argv[0], flag, next()));
+    } else if (flag == "--mix-revisit") {
+      options.mix.revisit = parse_double(argv[0], flag, next());
+    } else if (flag == "--mix-online") {
+      options.mix.online = parse_double(argv[0], flag, next());
+    } else if (flag == "--mix-trace") {
+      options.mix.trace = parse_double(argv[0], flag, next());
+    } else if (flag == "--episode-ms") {
+      options.episode_ms = parse_double(argv[0], flag, next());
+    } else if (flag == "--incumbents") {
+      options.incumbents = static_cast<std::size_t>(parse_double(argv[0], flag, next()));
+    } else if (flag == "--seed") {
+      options.seed = static_cast<std::uint64_t>(parse_double(argv[0], flag, next()));
+    } else if (flag == "--out") {
+      options.out = next();
+    } else if (flag == "--smoke") {
+      options.smoke = true;
+    } else if (flag == "--quiet") {
+      options.quiet = true;
+    } else if (flag == "--help" || flag == "-h") {
+      print_usage(stdout, argv[0]);
+      std::exit(0);
+    } else {
+      usage_error(argv[0], "unknown flag '" + flag + "'");
+    }
+  }
+  if (options.smoke) {
+    // CI preset: two fixed points, short horizon, cheap episodes — the whole
+    // run (both topologies) finishes in a few seconds while still exercising
+    // sweep, mix, saturation detection, and the JSON schema.
+    if (options.qps.empty()) options.qps = {50.0, 200.0};
+    options.duration_s = 0.4;
+    options.episode_ms = 5.0;
+    options.workers = std::min<std::size_t>(options.workers, 16);
+  }
+  if ((options.topology == "remote" || options.topology == "both") && options.port == 0) {
+    usage_error(argv[0], "--topology " + options.topology +
+                             " needs --port of a running atlas_episode_worker");
+  }
+  if (options.shards == 0) usage_error(argv[0], "--shards must be >= 1");
+  return options;
+}
+
+struct PointRow {
+  atlas::env::LoadPlan plan;
+  atlas::env::LoadPointResult result;
+};
+
+struct TopologyReport {
+  std::string name;
+  std::vector<PointRow> points;
+  double saturation_qps = 0.0;  ///< Highest achieved rate observed.
+  bool saturated = false;       ///< A point fell short of its offered rate.
+  atlas::env::EnvServiceStats final_stats;
+  bool has_worker_stats = false;
+  atlas::env::EnvServiceStats worker_stats;
+};
+
+/// Offered rates to drive: explicit --qps, or a geometric sweep that stops
+/// one point after saturation (the caller breaks out).
+std::vector<double> sweep_points(const LoadgenOptions& options) {
+  if (!options.qps.empty()) return options.qps;
+  std::vector<double> points;
+  double q = options.sweep_start;
+  for (std::size_t i = 0; i < options.sweep_max_steps; ++i) {
+    points.push_back(q);
+    q *= options.sweep_factor;
+  }
+  return points;
+}
+
+double episodes_per_sec(const PointRow& row) {
+  std::uint64_t episodes = 0;
+  for (const auto& backend : row.result.stats.backends) episodes += backend.episodes;
+  return row.result.wall_s <= 0.0 ? 0.0
+                                  : static_cast<double>(episodes) / row.result.wall_s;
+}
+
+TopologyReport drive(const LoadgenOptions& options, const std::string& name,
+                     atlas::env::EnvClient& client, atlas::env::BackendId offline,
+                     atlas::env::BackendId online, bool has_online,
+                     atlas::rpc::RemoteBackend* remote) {
+  TopologyReport report;
+  report.name = name;
+
+  atlas::env::LoadPlanOptions plan_options;
+  plan_options.mix = options.mix;
+  plan_options.duration_s = options.duration_s;
+  plan_options.episode_ms = options.episode_ms;
+  plan_options.incumbents = options.incumbents;
+  plan_options.offline_backend = offline;
+  plan_options.online_backend = online;
+  plan_options.has_online = has_online;
+
+  atlas::env::LoadRunOptions run_options;
+  run_options.workers = options.workers;
+
+  const std::vector<double> points = sweep_points(options);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    plan_options.qps = points[i];
+    // Distinct seed per point: a point must not replay the previous point's
+    // fresh seeds (which would be warm in the cache and flatter the latency).
+    plan_options.seed = options.seed + i * 101;
+    PointRow row;
+    row.plan = atlas::env::build_load_plan(plan_options);
+    row.result = atlas::env::run_load_point(client, row.plan, run_options);
+
+    // Compare against the rate the Poisson draw actually REALIZED, not the
+    // nominal one: a horizon short enough to draw 15% under its mean must not
+    // read as the service falling behind.
+    const double realized_qps =
+        static_cast<double>(row.result.scheduled) / row.plan.horizon_s;
+    const bool point_saturated =
+        row.result.failed > 0 || row.result.achieved_qps < 0.9 * realized_qps;
+    report.saturation_qps = std::max(report.saturation_qps, row.result.achieved_qps);
+    if (!options.quiet) {
+      std::printf("[%s] offered %8.1f qps -> achieved %8.1f qps  p50 %7.2f ms  "
+                  "p99 %7.2f ms  p999 %7.2f ms  (%zu queries, %zu failed)%s\n",
+                  name.c_str(), row.result.offered_qps, row.result.achieved_qps,
+                  row.result.latency_ns.quantile(0.50) / 1e6,
+                  row.result.latency_ns.quantile(0.99) / 1e6,
+                  row.result.latency_ns.quantile(0.999) / 1e6, row.result.completed,
+                  row.result.failed, point_saturated ? "  [saturated]" : "");
+      std::fflush(stdout);
+    }
+    report.points.push_back(std::move(row));
+    if (point_saturated && options.qps.empty()) {
+      report.saturated = true;
+      break;  // auto sweep: one saturated point is the answer; stop pushing
+    }
+    report.saturated = report.saturated || point_saturated;
+  }
+
+  report.final_stats = client.stats();
+  if (remote != nullptr) {
+    try {
+      report.worker_stats = remote->fetch_worker_stats();
+      report.has_worker_stats = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "atlas_loadgen: worker stats scrape failed: %s\n", e.what());
+    }
+  }
+  if (!options.quiet) {
+    report.final_stats.summary().print(std::cout);
+    std::cout << std::endl;
+  }
+  return report;
+}
+
+TopologyReport drive_inproc(const LoadgenOptions& options) {
+  atlas::env::EnvServiceOptions service_options;
+  service_options.threads = options.threads;
+  service_options.cache_capacity = options.cache_capacity;
+  atlas::env::ShardRouter router(options.shards, service_options);
+  const atlas::env::BackendId sim = router.add_simulator();
+  const atlas::env::BackendId real = router.add_real_network();
+  return drive(options, "inproc", router, sim, real, /*has_online=*/true, nullptr);
+}
+
+TopologyReport drive_remote(const LoadgenOptions& options) {
+  // The client mirrors a router node in front of a worker farm: a local
+  // EnvService (own memo cache — revisits hit HERE, misses ride the RPC) with
+  // the worker's simulator as its offline backend and a local testbed
+  // surrogate as the metered one.
+  atlas::env::EnvServiceOptions service_options;
+  service_options.threads = options.threads;
+  service_options.cache_capacity = options.cache_capacity;
+  atlas::env::EnvService service(service_options);
+
+  atlas::rpc::RemoteBackendOptions remote_options;
+  remote_options.host = options.host;
+  remote_options.port = options.port;
+  remote_options.name = "worker-sim";
+  remote_options.remote_backend = 0;
+  auto remote = std::make_shared<atlas::rpc::RemoteBackend>(remote_options);
+  const atlas::env::BackendId sim = service.register_backend(remote);
+  const atlas::env::BackendId real = service.add_real_network();
+  return drive(options, "remote-loopback", service, sim, real, /*has_online=*/true,
+               remote.get());
+}
+
+void write_point_json(atlas::telemetry::JsonWriter& json, const PointRow& row) {
+  json.begin_object();
+  json.field("offered_qps", row.result.offered_qps);
+  json.field("achieved_qps", row.result.achieved_qps);
+  json.field("scheduled", static_cast<std::uint64_t>(row.result.scheduled));
+  json.field("completed", static_cast<std::uint64_t>(row.result.completed));
+  json.field("failed", static_cast<std::uint64_t>(row.result.failed));
+  json.field("wall_s", row.result.wall_s);
+  json.field("episodes_per_sec", episodes_per_sec(row));
+  json.field("cache_hit_rate", row.result.stats.hit_rate());
+  json.field("crn_hit_rate", row.result.stats.crn_hit_rate());
+  json.key("mix");
+  json.begin_object();
+  json.field("revisit", static_cast<std::uint64_t>(row.plan.revisits));
+  json.field("online", static_cast<std::uint64_t>(row.plan.online));
+  json.field("trace", static_cast<std::uint64_t>(row.plan.traces));
+  json.field("fresh", static_cast<std::uint64_t>(row.plan.fresh));
+  json.end_object();
+  json.key("latency_ms");
+  atlas::telemetry::write_histogram_json(json, row.result.latency_ns, 1e6);
+  json.end_object();
+}
+
+void write_topology_json(atlas::telemetry::JsonWriter& json, const TopologyReport& report) {
+  json.begin_object();
+  json.field("topology", report.name);
+  json.field("saturated", report.saturated);
+  json.field("saturation_qps", report.saturation_qps);
+  json.key("points");
+  json.begin_array();
+  for (const PointRow& row : report.points) write_point_json(json, row);
+  json.end_array();
+  json.key("query_latency_ms");
+  atlas::telemetry::write_histogram_json(json, report.final_stats.query_latency_ns, 1e6);
+  if (report.has_worker_stats) {
+    json.key("worker");
+    json.begin_object();
+    json.field("queries", report.worker_stats.total_queries());
+    json.field("cache_hit_rate", report.worker_stats.hit_rate());
+    json.key("rpc_service_ms");
+    atlas::telemetry::write_histogram_json(json, report.worker_stats.rpc_service_ns, 1e6);
+    json.end_object();
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const LoadgenOptions options = parse_args(argc, argv);
+
+  std::vector<TopologyReport> reports;
+  try {
+    if (options.topology == "inproc" || options.topology == "both") {
+      reports.push_back(drive_inproc(options));
+    }
+    if (options.topology == "remote" || options.topology == "both") {
+      reports.push_back(drive_remote(options));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "atlas_loadgen: fatal: %s\n", e.what());
+    return 1;
+  }
+
+  const std::string out_path = options.out.empty()
+                                   ? bench::bench_output_path("BENCH_serving.json",
+                                                              "ATLAS_BENCH_SERVING_OUT")
+                                   : options.out;
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "atlas_loadgen: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  atlas::telemetry::JsonWriter json(out);
+  json.begin_object();
+  json.field("bench", "serving");
+  json.field("seed", options.seed);
+  json.field("duration_s", options.duration_s);
+  json.field("episode_ms", options.episode_ms);
+  json.field("workers", static_cast<std::uint64_t>(options.workers));
+  json.key("topologies");
+  json.begin_array();
+  for (const TopologyReport& report : reports) write_topology_json(json, report);
+  json.end_array();
+  json.end_object();
+  out << "\n";
+  if (!options.quiet) std::printf("atlas_loadgen: wrote %s\n", out_path.c_str());
+  return 0;
+}
