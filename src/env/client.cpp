@@ -119,6 +119,16 @@ common::Table EnvServiceStats::summary() const {
                  "p99 " + quantile_ms(query_latency_ns, 0.99) + " ms",
                  "p999 " + quantile_ms(query_latency_ns, 0.999) + " ms",
                  "max " + quantile_ms(query_latency_ns, 1.0) + " ms", "", "", "", "", "", ""});
+  if (farm.active) {
+    table.add_row({"farm", "serving " + std::to_string(farm.workers_serving),
+                   "suspect " + std::to_string(farm.workers_suspect),
+                   "joined " + std::to_string(farm.workers_joined),
+                   "lost " + std::to_string(farm.workers_lost),
+                   "drained " + std::to_string(farm.workers_drained),
+                   "redispatched " + std::to_string(farm.episodes_redispatched),
+                   "memo migrated " + std::to_string(farm.memo_entries_migrated),
+                   "backends migrated " + std::to_string(farm.backends_migrated), "", ""});
+  }
   return table;
 }
 

@@ -43,6 +43,23 @@ class QueryHandle {
   std::future<EpisodeResult> future_;
 };
 
+/// Farm-membership counters, filled when a FarmController is attached to the
+/// reporting ShardRouter (env/farm_controller.hpp). Client-side bookkeeping —
+/// not part of the wire stats snapshot.
+struct FarmView {
+  bool active = false;  ///< a FarmController is (or was) attached
+  std::uint64_t workers = 0;          ///< workers ever admitted
+  std::uint64_t workers_serving = 0;  ///< gauge: currently healthy
+  std::uint64_t workers_suspect = 0;  ///< gauge: missed heartbeats, not yet dead
+  std::uint64_t workers_joined = 0;
+  std::uint64_t workers_lost = 0;     ///< declared dead (missed-heartbeat limit)
+  std::uint64_t workers_drained = 0;  ///< gracefully removed, memo migrated
+  std::uint64_t heartbeats_missed = 0;
+  std::uint64_t episodes_redispatched = 0;  ///< re-run on a replica after a worker fault
+  std::uint64_t memo_entries_migrated = 0;  ///< worker-to-worker memo transfers
+  std::uint64_t backends_migrated = 0;      ///< backends whose memo found a new shard
+};
+
 /// Service-wide accounting snapshot.
 struct EnvServiceStats {
   std::vector<BackendStats> backends;
@@ -62,6 +79,9 @@ struct EnvServiceStats {
   /// on snapshots exported by an EpisodeRpcServer (wire v3 stats-snapshot);
   /// empty for purely in-process clients.
   telemetry::HistogramData rpc_service_ns;
+  /// Farm-membership counters; `farm.active` only when a FarmController is
+  /// attached to the reporting router.
+  FarmView farm;
 
   std::uint64_t total_queries() const noexcept { return offline_queries + online_queries; }
   double hit_rate() const noexcept {

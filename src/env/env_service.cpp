@@ -374,6 +374,57 @@ void EnvService::reset_stats() {
   metrics_.reset();
 }
 
+std::vector<MemoEntrySnapshot> EnvService::export_memo(BackendId id) const {
+  (void)backend_at(id);  // validate before walking the stripes
+  std::vector<MemoEntrySnapshot> memo;
+  for (const auto& shard : shards_) {
+    std::scoped_lock lock(shard->mutex);
+    for (const auto& [key, entry] : shard->entries) {
+      if (key.backend != id) continue;
+      MemoEntrySnapshot snapshot;
+      snapshot.key.reserve(key.values.size() + 1);
+      snapshot.key.push_back(static_cast<double>(key.backend));
+      snapshot.key.insert(snapshot.key.end(), key.values.begin(), key.values.end());
+      snapshot.result = entry.result;
+      snapshot.cost = entry.cost;
+      memo.push_back(std::move(snapshot));
+    }
+  }
+  return memo;
+}
+
+std::size_t EnvService::import_memo(BackendId id, std::span<const MemoEntrySnapshot> memo) {
+  (void)backend_at(id);
+  if (!caching_enabled()) return 0;
+  std::size_t imported = 0;
+  for (const auto& snapshot : memo) {
+    if (snapshot.key.empty()) continue;  // key[0] is the (rewritten) backend id
+    QueryKey key;
+    key.backend = id;
+    key.values.assign(snapshot.key.begin() + 1, snapshot.key.end());
+    const std::size_t hash = QueryKeyHash{}(key);
+    CacheShard& shard = shard_for(hash);
+    std::scoped_lock lock(shard.mutex);
+    const auto [it, inserted] = shard.entries.try_emplace(std::move(key));
+    if (!inserted) continue;  // local entry wins: it is already bit-identical
+    shard.lru.push_front(it->first);
+    it->second.result = snapshot.result;
+    it->second.cost = snapshot.cost;
+    it->second.lru_it = shard.lru.begin();
+    evict_locked(shard);
+    ++imported;
+  }
+  return imported;
+}
+
+double EnvService::backend_cost_hint(BackendId id) const {
+  return backend_at(id).impl->cost_hint();
+}
+
+bool EnvService::backend_accepts_sim_params(BackendId id) const {
+  return backend_at(id).impl->accepts_sim_params();
+}
+
 std::size_t EnvService::cache_size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {

@@ -14,6 +14,7 @@
 
 #include "common/thread_pool.hpp"
 #include "env/client.hpp"
+#include "env/farm_types.hpp"
 #include "telemetry/registry.hpp"
 
 namespace atlas::env {
@@ -98,6 +99,25 @@ class EnvService final : public EnvClient {
 
   std::size_t cache_size() const override;
   void clear_cache() override;
+
+  // ---- memo migration (farm control plane) -----------------------------------
+
+  /// Snapshot every memoized episode belonging to `id`, as flattened
+  /// key-values + bit-exact results (entry.key[0] is the backend id — the
+  /// importer rewrites it). Does not disturb LRU order. Empty when caching is
+  /// off or the backend has no entries.
+  std::vector<MemoEntrySnapshot> export_memo(BackendId id) const;
+
+  /// Install migrated memo entries under backend `id`, as if this service had
+  /// executed them: inserted at the warm end of each stripe's LRU with the
+  /// snapshot's recompute cost, normal capacity eviction applies. Entries
+  /// already present are left untouched. Returns how many were inserted.
+  std::size_t import_memo(BackendId id, std::span<const MemoEntrySnapshot> memo);
+
+  /// Registry metadata pass-throughs, used to build a WorkerAnnounce.
+  double backend_cost_hint(BackendId id) const;
+  bool backend_accepts_sim_params(BackendId id) const;
+  std::size_t cache_capacity() const noexcept { return options_.cache_capacity; }
 
   /// Whether offline episodes are memoized at all (cache_episodes &&
   /// cache_capacity > 0). When false, no cache lock is taken and no hit/miss

@@ -1,0 +1,469 @@
+#include "env/farm_controller.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace atlas::env {
+
+std::uint64_t params_digest(const SimParams& params) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const double value : params.to_vec()) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (i * 8)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+const char* to_string(WorkerState state) noexcept {
+  switch (state) {
+    case WorkerState::kJoining: return "joining";
+    case WorkerState::kServing: return "serving";
+    case WorkerState::kSuspect: return "suspect";
+    case WorkerState::kDead: return "dead";
+    case WorkerState::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+// ---- FarmState --------------------------------------------------------------
+
+FarmView FarmState::view() const {
+  FarmView view;
+  view.active = true;
+  view.workers = workers_total.load(std::memory_order_relaxed);
+  view.workers_serving = workers_serving.load(std::memory_order_relaxed);
+  view.workers_suspect = workers_suspect.load(std::memory_order_relaxed);
+  view.workers_joined = workers_joined.load(std::memory_order_relaxed);
+  view.workers_lost = workers_lost.load(std::memory_order_relaxed);
+  view.workers_drained = workers_drained.load(std::memory_order_relaxed);
+  view.heartbeats_missed = heartbeats_missed.load(std::memory_order_relaxed);
+  view.episodes_redispatched = episodes_redispatched.load(std::memory_order_relaxed);
+  view.memo_entries_migrated = memo_entries_migrated.load(std::memory_order_relaxed);
+  view.backends_migrated = backends_migrated.load(std::memory_order_relaxed);
+  return view;
+}
+
+void FarmState::report_fault(std::uint32_t worker) {
+  std::scoped_lock lock(controller_mutex_);
+  if (controller_ != nullptr) controller_->report_fault(worker);
+  // After the controller is gone the fault is moot — replicas are frozen.
+}
+
+// ---- FailoverBackend --------------------------------------------------------
+
+FailoverBackend::FailoverBackend(WorkerBackendInfo descriptor, std::shared_ptr<FarmState> farm)
+    : descriptor_(std::move(descriptor)), farm_(std::move(farm)) {
+  replicas_.store(std::make_shared<const ReplicaList>(), std::memory_order_release);
+}
+
+void FailoverBackend::add_replica(std::shared_ptr<const EnvBackend> backend,
+                                  std::uint32_t worker,
+                                  std::shared_ptr<const std::atomic<int>> health) {
+  std::scoped_lock lock(mutex_);
+  auto next = std::make_shared<ReplicaList>(*snapshot());
+  next->push_back(Replica{std::move(backend), worker, std::move(health)});
+  replicas_.store(std::shared_ptr<const ReplicaList>(std::move(next)),
+                  std::memory_order_release);
+}
+
+void FailoverBackend::remove_worker(std::uint32_t worker) {
+  std::scoped_lock lock(mutex_);
+  auto next = std::make_shared<ReplicaList>(*snapshot());
+  std::erase_if(*next, [worker](const Replica& r) { return r.worker == worker; });
+  replicas_.store(std::shared_ptr<const ReplicaList>(std::move(next)),
+                  std::memory_order_release);
+}
+
+std::size_t FailoverBackend::replica_count() const { return snapshot()->size(); }
+
+std::vector<std::uint32_t> FailoverBackend::replica_workers() const {
+  const auto replicas = snapshot();
+  std::vector<std::uint32_t> workers;
+  workers.reserve(replicas->size());
+  for (const Replica& r : *replicas) workers.push_back(r.worker);
+  return workers;
+}
+
+EpisodeResult FailoverBackend::execute(const EnvQuery& query) const {
+  const auto replicas = snapshot();
+  if (replicas->empty()) {
+    throw std::runtime_error("FailoverBackend '" + descriptor_.name + "': no replicas attached");
+  }
+
+  // Candidate order: serving replicas first (round-robin rotated so load
+  // spreads), then joining/suspect/draining as fallback; dead replicas are
+  // skipped outright — unless that leaves nothing, in which case everyone
+  // gets one last chance (a stale health cell beats failing the episode).
+  std::vector<std::size_t> candidates;
+  candidates.reserve(replicas->size());
+  const std::size_t offset = rr_.fetch_add(1, std::memory_order_relaxed) % replicas->size();
+  for (std::size_t i = 0; i < replicas->size(); ++i) {
+    const std::size_t index = (offset + i) % replicas->size();
+    const auto state = static_cast<WorkerState>(
+        (*replicas)[index].health->load(std::memory_order_relaxed));
+    if (state == WorkerState::kServing) candidates.push_back(index);
+  }
+  for (std::size_t i = 0; i < replicas->size(); ++i) {
+    const std::size_t index = (offset + i) % replicas->size();
+    const auto state = static_cast<WorkerState>(
+        (*replicas)[index].health->load(std::memory_order_relaxed));
+    if (state != WorkerState::kServing && state != WorkerState::kDead) {
+      candidates.push_back(index);
+    }
+  }
+  if (candidates.empty()) {
+    for (std::size_t i = 0; i < replicas->size(); ++i) candidates.push_back(i);
+  }
+
+  std::exception_ptr last;
+  bool faulted = false;
+  for (const std::size_t index : candidates) {
+    const Replica& replica = (*replicas)[index];
+    try {
+      EpisodeResult result = replica.backend->execute(query);
+      if (faulted) {
+        // The episode died with one worker and completed on another —
+        // deterministic per seed, so the result is the one the lost worker
+        // would have produced. Count it exactly once per episode.
+        farm_->episodes_redispatched.fetch_add(1, std::memory_order_relaxed);
+      }
+      return result;
+    } catch (...) {
+      last = std::current_exception();
+      faulted = true;
+      // Data-plane detection: don't wait for the heartbeat sweep to shun
+      // this worker for the rest of the batch.
+      farm_->report_fault(replica.worker);
+    }
+  }
+  std::rethrow_exception(last);
+}
+
+void FailoverBackend::fill_stats(BackendStats& stats) const {
+  const auto replicas = snapshot();
+  for (const Replica& replica : *replicas) {
+    BackendStats replica_stats;
+    replica.backend->fill_stats(replica_stats);
+    stats.rpc_retries += replica_stats.rpc_retries;
+    stats.rpc_failures += replica_stats.rpc_failures;
+    stats.rpc_rtt_ns.merge(replica_stats.rpc_rtt_ns);
+  }
+}
+
+void FailoverBackend::reset_stats() const {
+  const auto replicas = snapshot();
+  for (const Replica& replica : *replicas) replica.backend->reset_stats();
+}
+
+// ---- FarmController ---------------------------------------------------------
+
+FarmController::FarmController(ShardRouter& router, FarmControllerOptions options)
+    : router_(router), options_(options), state_(std::make_shared<FarmState>()) {
+  {
+    std::scoped_lock lock(state_->controller_mutex_);
+    state_->controller_ = this;
+  }
+  router_.attach_farm(state_);
+}
+
+FarmController::~FarmController() {
+  stop();
+  // Replicas and the router outlive us; detach so late fault reports from
+  // in-flight episodes hit a null controller instead of a dangling one.
+  std::scoped_lock lock(state_->controller_mutex_);
+  state_->controller_ = nullptr;
+}
+
+void FarmController::publish_metrics() const {
+  if (options_.metrics == nullptr) return;
+  // Mirror the counters into telemetry (reset+add: these are low-rate
+  // control-plane events, not hot-path increments).
+  const auto mirror = [&](const char* name, std::uint64_t value) {
+    auto& counter = options_.metrics->counter(name);
+    counter.reset();
+    counter.add(value);
+  };
+  const FarmView view = state_->view();
+  mirror("farm.workers_serving", view.workers_serving);
+  mirror("farm.workers_suspect", view.workers_suspect);
+  mirror("farm.workers_joined", view.workers_joined);
+  mirror("farm.workers_lost", view.workers_lost);
+  mirror("farm.workers_drained", view.workers_drained);
+  mirror("farm.heartbeats_missed", view.heartbeats_missed);
+  mirror("farm.episodes_redispatched", view.episodes_redispatched);
+  mirror("farm.memo_entries_migrated", view.memo_entries_migrated);
+  mirror("farm.backends_migrated", view.backends_migrated);
+}
+
+void FarmController::set_state_locked(Worker& worker, WorkerState next) {
+  const WorkerState prev = worker.state;
+  if (prev == next) return;
+  if (prev == WorkerState::kServing) {
+    state_->workers_serving.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (prev == WorkerState::kSuspect) {
+    state_->workers_suspect.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (next == WorkerState::kServing) {
+    state_->workers_serving.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (next == WorkerState::kSuspect) {
+    state_->workers_suspect.fetch_add(1, std::memory_order_relaxed);
+  }
+  worker.state = next;
+  worker.health->store(static_cast<int>(next), std::memory_order_relaxed);
+}
+
+std::uint32_t FarmController::add_worker(std::shared_ptr<WorkerControl> control) {
+  if (control == nullptr) {
+    throw std::invalid_argument("FarmController: null worker control");
+  }
+  // The admission round-trip happens before any bookkeeping: a worker that
+  // cannot answer hello() is not admitted (and this throw is the caller's
+  // signal).
+  WorkerAnnounce announce = control->hello();
+
+  std::scoped_lock lock(mutex_);
+  const auto index = static_cast<std::uint32_t>(workers_.size());
+  Worker worker;
+  worker.control = control;
+  worker.health = std::make_shared<std::atomic<int>>(static_cast<int>(WorkerState::kJoining));
+  worker.announce = announce;
+
+  for (std::size_t i = 0; i < announce.backends.size(); ++i) {
+    const WorkerBackendInfo& info = announce.backends[i];
+    const auto remote_local = static_cast<BackendId>(i);
+    const std::uint64_t key = info.equivalence_key();
+    BackendId global;
+    std::shared_ptr<FailoverBackend> failover;
+    const auto existing = backends_by_key_.find(key);
+    if (existing != backends_by_key_.end()) {
+      global = existing->second;
+      failover = failover_backends_.at(global);
+    } else {
+      // First worker advertising this kind: a fresh FailoverBackend enters
+      // the router's LIVE BackendId space — late joiners extend the farm
+      // without disturbing existing ids.
+      failover = std::make_shared<FailoverBackend>(info, state_);
+      global = router_.register_backend(failover);
+      backends_by_key_.emplace(key, global);
+      failover_backends_.emplace(global, failover);
+    }
+    failover->add_replica(control->make_backend(info, remote_local), index, worker.health);
+    worker.hosted.emplace_back(global, remote_local);
+  }
+
+  workers_.push_back(std::move(worker));
+  state_->workers_total.fetch_add(1, std::memory_order_relaxed);
+  state_->workers_joined.fetch_add(1, std::memory_order_relaxed);
+  set_state_locked(workers_.back(), WorkerState::kServing);
+  publish_metrics();
+  return index;
+}
+
+void FarmController::drain_worker(std::uint32_t index) {
+  std::shared_ptr<WorkerControl> control;
+  std::vector<std::pair<BackendId, BackendId>> hosted;
+  {
+    std::scoped_lock lock(mutex_);
+    if (index >= workers_.size()) {
+      throw std::out_of_range("FarmController: unknown worker " + std::to_string(index));
+    }
+    Worker& worker = workers_[index];
+    if (worker.state == WorkerState::kDead || worker.state == WorkerState::kDraining) return;
+    set_state_locked(worker, WorkerState::kDraining);
+    control = worker.control;
+    hosted = worker.hosted;
+  }
+
+  // Memo migration runs OUTSIDE the controller lock: it is a sequence of
+  // network round-trips, and the data plane (fault reports, heartbeats)
+  // must not stall behind it.
+  for (const auto& [global, remote_local] : hosted) {
+    std::vector<MemoEntrySnapshot> memo;
+    try {
+      memo = control->export_memo(remote_local);
+    } catch (const std::exception&) {
+      continue;  // worker already sick: its entries will be recomputed
+    }
+    if (memo.empty()) continue;
+
+    // Target: another worker serving a replica of the SAME global backend —
+    // its memo keys are interchangeable by construction (equivalence key).
+    std::shared_ptr<WorkerControl> target_control;
+    BackendId target_local = 0;
+    {
+      std::scoped_lock lock(mutex_);
+      const auto it = failover_backends_.find(global);
+      if (it == failover_backends_.end()) continue;
+      for (const std::uint32_t candidate : it->second->replica_workers()) {
+        if (candidate == index || candidate >= workers_.size()) continue;
+        const Worker& other = workers_[candidate];
+        if (other.state != WorkerState::kServing) continue;
+        for (const auto& [other_global, other_local] : other.hosted) {
+          if (other_global == global) {
+            target_control = other.control;
+            target_local = other_local;
+            break;
+          }
+        }
+        if (target_control != nullptr) break;
+      }
+    }
+    if (target_control == nullptr) continue;  // no equivalent home: recompute on demand
+
+    try {
+      BackendInstallRequest request;
+      request.target_backend = static_cast<std::int32_t>(target_local);
+      request.memo = std::move(memo);
+      const InstallResult result = target_control->install_backend(request);
+      state_->memo_entries_migrated.fetch_add(result.imported, std::memory_order_relaxed);
+      state_->backends_migrated.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception&) {
+      // Migration is best-effort; the entries die with the drain.
+    }
+  }
+
+  {
+    std::scoped_lock lock(mutex_);
+    Worker& worker = workers_[index];
+    for (const auto& [global, remote_local] : worker.hosted) {
+      const auto it = failover_backends_.find(global);
+      if (it != failover_backends_.end()) it->second->remove_worker(index);
+    }
+    set_state_locked(worker, WorkerState::kDead);
+    state_->workers_drained.fetch_add(1, std::memory_order_relaxed);
+    publish_metrics();
+  }
+}
+
+void FarmController::mark_dead_locked(std::uint32_t index) {
+  Worker& worker = workers_[index];
+  for (const auto& [global, remote_local] : worker.hosted) {
+    const auto it = failover_backends_.find(global);
+    if (it != failover_backends_.end()) it->second->remove_worker(index);
+  }
+  set_state_locked(worker, WorkerState::kDead);
+  state_->workers_lost.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FarmController::report_fault(std::uint32_t index) {
+  std::scoped_lock lock(mutex_);
+  if (index >= workers_.size()) return;
+  Worker& worker = workers_[index];
+  if (worker.state != WorkerState::kServing) return;
+  // Demote on data-plane evidence; the next heartbeat sweep either clears
+  // the suspicion (transient blip) or escalates to dead.
+  set_state_locked(worker, WorkerState::kSuspect);
+  publish_metrics();
+}
+
+void FarmController::poll_once() {
+  struct Probe {
+    std::uint32_t index;
+    std::shared_ptr<WorkerControl> control;
+  };
+  std::vector<Probe> probes;
+  {
+    std::scoped_lock lock(mutex_);
+    for (std::uint32_t i = 0; i < workers_.size(); ++i) {
+      const Worker& worker = workers_[i];
+      if (worker.state == WorkerState::kServing || worker.state == WorkerState::kSuspect) {
+        probes.push_back(Probe{i, worker.control});
+      }
+    }
+  }
+
+  for (const Probe& probe : probes) {
+    bool alive = false;
+    try {
+      (void)probe.control->heartbeat();
+      alive = true;
+    } catch (const std::exception&) {
+      alive = false;
+    }
+
+    std::scoped_lock lock(mutex_);
+    Worker& worker = workers_[probe.index];
+    if (worker.state != WorkerState::kServing && worker.state != WorkerState::kSuspect) {
+      continue;  // drained/died while we were probing
+    }
+    if (alive) {
+      worker.missed = 0;
+      if (worker.state == WorkerState::kSuspect) {
+        set_state_locked(worker, WorkerState::kServing);
+      }
+      continue;
+    }
+    ++worker.missed;
+    state_->heartbeats_missed.fetch_add(1, std::memory_order_relaxed);
+    if (worker.missed >= options_.dead_after_misses) {
+      mark_dead_locked(probe.index);
+    } else if (worker.missed >= options_.suspect_after_misses) {
+      set_state_locked(worker, WorkerState::kSuspect);
+    }
+  }
+  std::scoped_lock lock(mutex_);
+  publish_metrics();
+}
+
+void FarmController::start() {
+  std::scoped_lock lock(mutex_);
+  if (monitor_.joinable()) return;  // already running
+  monitor_stop_ = false;
+  monitor_ = std::thread([this] {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      if (monitor_cv_.wait_for(lock, std::chrono::milliseconds(options_.heartbeat_interval_ms),
+                               [this] { return monitor_stop_; })) {
+        return;
+      }
+      lock.unlock();
+      poll_once();
+      lock.lock();
+    }
+  });
+}
+
+void FarmController::stop() {
+  {
+    std::scoped_lock lock(mutex_);
+    monitor_stop_ = true;
+    monitor_cv_.notify_all();
+  }
+  if (monitor_.joinable()) monitor_.join();
+}
+
+WorkerState FarmController::worker_state(std::uint32_t index) const {
+  std::scoped_lock lock(mutex_);
+  if (index >= workers_.size()) {
+    throw std::out_of_range("FarmController: unknown worker " + std::to_string(index));
+  }
+  return workers_[index].state;
+}
+
+std::size_t FarmController::worker_count() const {
+  std::scoped_lock lock(mutex_);
+  return workers_.size();
+}
+
+std::vector<BackendId> FarmController::worker_backends(std::uint32_t index) const {
+  std::scoped_lock lock(mutex_);
+  if (index >= workers_.size()) {
+    throw std::out_of_range("FarmController: unknown worker " + std::to_string(index));
+  }
+  std::vector<BackendId> ids;
+  ids.reserve(workers_[index].hosted.size());
+  for (const auto& [global, remote_local] : workers_[index].hosted) ids.push_back(global);
+  return ids;
+}
+
+}  // namespace atlas::env

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "env/backend.hpp"
+#include "env/episode.hpp"
+
+namespace atlas::env {
+
+/// Control-plane value types shared by the wire codec (rpc/codec.hpp), the
+/// worker-side RPC server, and the router-side FarmController. They describe
+/// farm *membership* — what a worker hosts and how healthy it is — as plain
+/// data, so the registry protocol stays transport-agnostic.
+
+/// One backend a worker advertises (or is asked to install). `params_digest`
+/// is a caller-chosen fingerprint of the simulator parameterization; two
+/// backends are interchangeable for placement/failover only when kind,
+/// accepts_sim_params, and digest all match.
+struct WorkerBackendInfo {
+  std::string name;
+  BackendKind kind = BackendKind::kOffline;
+  double cost_hint = 1.0;
+  bool accepts_sim_params = false;
+  std::uint64_t params_digest = 0;
+
+  /// Placement-equivalence key: workers advertising the same key can absorb
+  /// each other's traffic (and memo entries) without changing results.
+  std::uint64_t equivalence_key() const noexcept {
+    std::uint64_t h = params_digest * 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<std::uint64_t>(kind == BackendKind::kOnline ? 2 : 1) << 62;
+    h ^= static_cast<std::uint64_t>(accepts_sim_params ? 1 : 0) << 61;
+    return h;
+  }
+};
+
+/// FNV-1a over the parameter vector's raw f64 bits: the canonical
+/// `params_digest` for simulator backends. Workers configured with the same
+/// SimParams digest identically, so a FarmController groups their backends
+/// into one failover-equivalent pool regardless of which process computed it.
+std::uint64_t params_digest(const SimParams& params);
+
+/// What a worker says about itself when it joins (kHello reply).
+struct WorkerAnnounce {
+  std::string build;             ///< free-form build identifier
+  std::uint16_t wire_version = 0;
+  std::uint32_t threads = 0;
+  std::uint64_t cache_capacity = 0;
+  std::vector<WorkerBackendInfo> backends;  ///< indexed by worker-local BackendId
+};
+
+/// Heartbeat payload (kHeartbeatAck): cheap liveness plus load gauges the
+/// controller uses for rebalance decisions.
+struct WorkerHealth {
+  std::uint64_t outstanding = 0;    ///< episodes currently queued or running
+  std::uint64_t cache_entries = 0;  ///< memo entries resident across stripes
+  std::uint64_t episodes = 0;       ///< episodes executed since start
+};
+
+/// One memo-table entry in transit between shards. The key is the flattened
+/// QueryKey double vector (key[0] is the worker-local backend id — rewritten
+/// on install); the result is the bit-exact EpisodeResult. Costs ride along
+/// so the receiving cache ranks the entry correctly for eviction.
+struct MemoEntrySnapshot {
+  std::vector<double> key;
+  EpisodeResult result;
+  double cost = 1.0;
+};
+
+/// Push-a-backend request (kInstallBackend): either install into an existing
+/// worker-local backend (`target_backend >= 0`, memo-merge only) or register
+/// a fresh backend built from `descriptor` (+ optional simulator params).
+struct BackendInstallRequest {
+  std::int32_t target_backend = -1;
+  WorkerBackendInfo descriptor;
+  std::optional<SimParams> sim_params;
+  std::vector<MemoEntrySnapshot> memo;
+};
+
+/// kInstallAck: where the backend landed and how many entries were accepted
+/// (capacity-bounded — the receiver may evict rather than grow unboundedly).
+struct InstallResult {
+  std::uint32_t backend = 0;
+  std::uint64_t imported = 0;
+};
+
+}  // namespace atlas::env

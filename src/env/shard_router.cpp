@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "env/farm_controller.hpp"
+
 namespace atlas::env {
 
 ShardRouter::ShardRouter(std::size_t shards, EnvServiceOptions options) {
@@ -140,7 +142,14 @@ EnvServiceStats ShardRouter::stats() const {
     total.queue_depth.merge(shard_stats.queue_depth);
     total.rpc_service_ns.merge(shard_stats.rpc_service_ns);
   }
+  if (const auto farm = farm_.load(std::memory_order_acquire)) {
+    total.farm = farm->view();
+  }
   return total;
+}
+
+void ShardRouter::attach_farm(std::shared_ptr<const FarmState> farm) {
+  farm_.store(std::move(farm), std::memory_order_release);
 }
 
 void ShardRouter::reset_stats() {

@@ -11,6 +11,8 @@
 
 namespace atlas::env {
 
+class FarmState;  // env/farm_controller.hpp
+
 /// Fans a `BackendId`-keyed address space across M independent `EnvService`
 /// shards, so one process can drive thousands of per-slice Atlas instances
 /// (one backend per tenant slice) without funnelling every query through a
@@ -70,10 +72,17 @@ class ShardRouter final : public EnvClient {
 
   BackendStats backend_stats(BackendId id) const override;
   /// Aggregate across shards; `backends` is ordered by GLOBAL backend id.
+  /// When a FarmController is attached, `stats().farm` carries its counters.
   EnvServiceStats stats() const override;
   void reset_stats() override;
   std::size_t cache_size() const override;
   void clear_cache() override;
+
+  /// Attach a farm's shared counter block (done by the FarmController ctor);
+  /// subsequent stats() snapshots report it as `EnvServiceStats::farm`. The
+  /// state outlives the controller, so a post-shutdown stats() still shows
+  /// the farm's history.
+  void attach_farm(std::shared_ptr<const FarmState> farm);
 
  private:
   struct Route {
@@ -91,6 +100,7 @@ class ShardRouter final : public EnvClient {
   std::vector<std::unique_ptr<EnvService>> shards_;
   mutable std::mutex routes_mutex_;  ///< Serializes registrations only.
   std::atomic<std::shared_ptr<const RouteTable>> routes_;
+  std::atomic<std::shared_ptr<const FarmState>> farm_;
 };
 
 }  // namespace atlas::env

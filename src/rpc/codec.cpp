@@ -97,9 +97,10 @@ void WireReader::expect_done() const {
 
 namespace {
 
-void put_header(WireWriter& w, MsgType type, std::uint64_t request_id) {
+void put_header(WireWriter& w, MsgType type, std::uint64_t request_id,
+                std::uint16_t version = kWireVersion) {
   w.u32(kWireMagic);
-  w.u16(kWireVersion);
+  w.u16(version);
   w.u16(static_cast<std::uint16_t>(type));
   w.u64(request_id);
 }
@@ -237,6 +238,85 @@ telemetry::HistogramData get_histogram(WireReader& r) {
   return telemetry::HistogramData::from_counts(std::move(counts), r.u64());
 }
 
+/// EpisodeResult body, shared by kResult frames and memo-entry snapshots —
+/// one layout so a migrated memo entry round-trips exactly like a served one.
+void put_result_body(WireWriter& w, const env::EpisodeResult& result) {
+  w.u64(result.latencies_ms.size());
+  for (double v : result.latencies_ms) w.f64(v);
+  w.u64(result.frames_completed);
+  w.i32(result.ul_tb_total);
+  w.i32(result.ul_tb_err);
+  w.i32(result.dl_tb_total);
+  w.i32(result.dl_tb_err);
+  w.u64(result.traces.size());
+  for (const auto& t : result.traces) put_trace(w, t);
+}
+
+env::EpisodeResult get_result_body(WireReader& r) {
+  env::EpisodeResult result;
+  const std::size_t latencies = checked_count(r.u64(), sizeof(double), "latency");
+  result.latencies_ms.reserve(latencies);
+  for (std::size_t i = 0; i < latencies; ++i) result.latencies_ms.push_back(r.f64());
+  result.frames_completed = static_cast<std::size_t>(r.u64());
+  result.ul_tb_total = r.i32();
+  result.ul_tb_err = r.i32();
+  result.dl_tb_total = r.i32();
+  result.dl_tb_err = r.i32();
+  const std::size_t traces = checked_count(r.u64(), sizeof(env::FrameTrace), "trace");
+  result.traces.reserve(traces);
+  for (std::size_t i = 0; i < traces; ++i) result.traces.push_back(get_trace(r));
+  return result;
+}
+
+void put_backend_info(WireWriter& w, const env::WorkerBackendInfo& info) {
+  w.str(info.name);
+  w.u8(info.kind == env::BackendKind::kOnline ? 1 : 0);
+  w.f64(info.cost_hint);
+  w.boolean(info.accepts_sim_params);
+  w.u64(info.params_digest);
+}
+
+env::WorkerBackendInfo get_backend_info(WireReader& r) {
+  env::WorkerBackendInfo info;
+  info.name = r.str();
+  info.kind = r.u8() == 1 ? env::BackendKind::kOnline : env::BackendKind::kOffline;
+  info.cost_hint = r.f64();
+  info.accepts_sim_params = r.boolean();
+  info.params_digest = r.u64();
+  return info;
+}
+
+void put_memo_entry(WireWriter& w, const env::MemoEntrySnapshot& entry) {
+  w.u64(entry.key.size());
+  for (double v : entry.key) w.f64(v);
+  w.f64(entry.cost);
+  put_result_body(w, entry.result);
+}
+
+env::MemoEntrySnapshot get_memo_entry(WireReader& r) {
+  env::MemoEntrySnapshot entry;
+  const std::size_t key_len = checked_count(r.u64(), sizeof(double), "memo key");
+  entry.key.reserve(key_len);
+  for (std::size_t i = 0; i < key_len; ++i) entry.key.push_back(r.f64());
+  entry.cost = r.f64();
+  entry.result = get_result_body(r);
+  return entry;
+}
+
+void put_memo_list(WireWriter& w, const std::vector<env::MemoEntrySnapshot>& memo) {
+  w.u64(memo.size());
+  for (const auto& entry : memo) put_memo_entry(w, entry);
+}
+
+std::vector<env::MemoEntrySnapshot> get_memo_list(WireReader& r) {
+  // Element floor: key length + cost + result scalar block.
+  const std::size_t n = checked_count(r.u64(), 64, "memo entry");
+  std::vector<env::MemoEntrySnapshot> memo;
+  memo.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) memo.push_back(get_memo_entry(r));
+  return memo;
+}
+
 void put_backend_stats(WireWriter& w, const env::BackendStats& b) {
   w.str(b.name);
   w.u8(b.kind == env::BackendKind::kOnline ? 1 : 0);
@@ -269,9 +349,10 @@ env::BackendStats get_backend_stats(WireReader& r) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_query(std::uint64_t request_id, const env::EnvQuery& query) {
+std::vector<std::uint8_t> encode_query(std::uint64_t request_id, const env::EnvQuery& query,
+                                       std::uint16_t version) {
   WireWriter w;
-  put_header(w, MsgType::kQuery, request_id);
+  put_header(w, MsgType::kQuery, request_id, version);
   w.u32(query.backend);
   put_slice_config(w, query.config);
   put_workload(w, query.workload);
@@ -282,38 +363,33 @@ std::vector<std::uint8_t> encode_query(std::uint64_t request_id, const env::EnvQ
 }
 
 std::vector<std::uint8_t> encode_result(std::uint64_t request_id,
-                                        const env::EpisodeResult& result) {
+                                        const env::EpisodeResult& result,
+                                        std::uint16_t version) {
   WireWriter w;
-  put_header(w, MsgType::kResult, request_id);
-  w.u64(result.latencies_ms.size());
-  for (double v : result.latencies_ms) w.f64(v);
-  w.u64(result.frames_completed);
-  w.i32(result.ul_tb_total);
-  w.i32(result.ul_tb_err);
-  w.i32(result.dl_tb_total);
-  w.i32(result.dl_tb_err);
-  w.u64(result.traces.size());
-  for (const auto& t : result.traces) put_trace(w, t);
+  put_header(w, MsgType::kResult, request_id, version);
+  put_result_body(w, result);
   return w.take();
 }
 
-std::vector<std::uint8_t> encode_error(std::uint64_t request_id, const std::string& message) {
+std::vector<std::uint8_t> encode_error(std::uint64_t request_id, const std::string& message,
+                                       std::uint16_t version) {
   WireWriter w;
-  put_header(w, MsgType::kError, request_id);
+  put_header(w, MsgType::kError, request_id, version);
   w.str(message);
   return w.take();
 }
 
-std::vector<std::uint8_t> encode_stats_request(std::uint64_t request_id) {
+std::vector<std::uint8_t> encode_stats_request(std::uint64_t request_id, std::uint16_t version) {
   WireWriter w;
-  put_header(w, MsgType::kStatsRequest, request_id);
+  put_header(w, MsgType::kStatsRequest, request_id, version);
   return w.take();
 }
 
 std::vector<std::uint8_t> encode_stats_snapshot(std::uint64_t request_id,
-                                                const env::EnvServiceStats& stats) {
+                                                const env::EnvServiceStats& stats,
+                                                std::uint16_t version) {
   WireWriter w;
-  put_header(w, MsgType::kStatsSnapshot, request_id);
+  put_header(w, MsgType::kStatsSnapshot, request_id, version);
   w.u32(static_cast<std::uint32_t>(stats.backends.size()));
   for (const auto& backend : stats.backends) put_backend_stats(w, backend);
   w.u64(stats.offline_queries);
@@ -333,18 +409,24 @@ FrameHeader decode_header(WireReader& reader) {
     throw CodecError("rpc codec: bad frame magic");
   }
   const std::uint16_t version = reader.u16();
-  if (version != kWireVersion) {
+  if (version < kMinWireVersion || version > kWireVersion) {
     throw CodecError("rpc codec: wire version mismatch (got " + std::to_string(version) +
-                     ", speak " + std::to_string(kWireVersion) + ")");
+                     ", speak " + std::to_string(kMinWireVersion) + ".." +
+                     std::to_string(kWireVersion) + ")");
   }
   const std::uint16_t type = reader.u16();
   if (type < static_cast<std::uint16_t>(MsgType::kQuery) ||
-      type > static_cast<std::uint16_t>(MsgType::kStatsSnapshot)) {
+      type > static_cast<std::uint16_t>(MsgType::kCancel)) {
     throw CodecError("rpc codec: unknown message type " + std::to_string(type));
+  }
+  if (type >= kFirstV4MsgType && version < 4) {
+    throw CodecError("rpc codec: v4 message type " + std::to_string(type) +
+                     " on a v" + std::to_string(version) + " frame");
   }
   FrameHeader header;
   header.type = static_cast<MsgType>(type);
   header.request_id = reader.u64();
+  header.version = version;
   return header;
 }
 
@@ -360,18 +442,7 @@ env::EnvQuery decode_query_body(WireReader& reader) {
 }
 
 env::EpisodeResult decode_result_body(WireReader& reader) {
-  env::EpisodeResult result;
-  const std::size_t latencies = checked_count(reader.u64(), sizeof(double), "latency");
-  result.latencies_ms.reserve(latencies);
-  for (std::size_t i = 0; i < latencies; ++i) result.latencies_ms.push_back(reader.f64());
-  result.frames_completed = static_cast<std::size_t>(reader.u64());
-  result.ul_tb_total = reader.i32();
-  result.ul_tb_err = reader.i32();
-  result.dl_tb_total = reader.i32();
-  result.dl_tb_err = reader.i32();
-  const std::size_t traces = checked_count(reader.u64(), sizeof(env::FrameTrace), "trace");
-  result.traces.reserve(traces);
-  for (std::size_t i = 0; i < traces; ++i) result.traces.push_back(get_trace(reader));
+  env::EpisodeResult result = get_result_body(reader);
   reader.expect_done();
   return result;
 }
@@ -380,6 +451,135 @@ std::string decode_error_body(WireReader& reader) {
   std::string message = reader.str();
   reader.expect_done();
   return message;
+}
+
+std::vector<std::uint8_t> encode_hello(std::uint64_t request_id) {
+  WireWriter w;
+  put_header(w, MsgType::kHello, request_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_announce(std::uint64_t request_id,
+                                          const env::WorkerAnnounce& announce) {
+  WireWriter w;
+  put_header(w, MsgType::kAnnounce, request_id);
+  w.str(announce.build);
+  w.u16(announce.wire_version);
+  w.u32(announce.threads);
+  w.u64(announce.cache_capacity);
+  w.u32(static_cast<std::uint32_t>(announce.backends.size()));
+  for (const auto& backend : announce.backends) put_backend_info(w, backend);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_heartbeat(std::uint64_t request_id) {
+  WireWriter w;
+  put_header(w, MsgType::kHeartbeat, request_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_heartbeat_ack(std::uint64_t request_id,
+                                               const env::WorkerHealth& health) {
+  WireWriter w;
+  put_header(w, MsgType::kHeartbeatAck, request_id);
+  w.u64(health.outstanding);
+  w.u64(health.cache_entries);
+  w.u64(health.episodes);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_memo_export(std::uint64_t request_id, env::BackendId backend) {
+  WireWriter w;
+  put_header(w, MsgType::kMemoExport, request_id);
+  w.u32(backend);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_memo_snapshot(std::uint64_t request_id,
+                                               const std::vector<env::MemoEntrySnapshot>& memo) {
+  WireWriter w;
+  put_header(w, MsgType::kMemoSnapshot, request_id);
+  put_memo_list(w, memo);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_install_backend(std::uint64_t request_id,
+                                                 const env::BackendInstallRequest& request) {
+  WireWriter w;
+  put_header(w, MsgType::kInstallBackend, request_id);
+  w.i32(request.target_backend);
+  put_backend_info(w, request.descriptor);
+  w.boolean(request.sim_params.has_value());
+  if (request.sim_params) put_sim_params(w, *request.sim_params);
+  put_memo_list(w, request.memo);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_install_ack(std::uint64_t request_id,
+                                             const env::InstallResult& result) {
+  WireWriter w;
+  put_header(w, MsgType::kInstallAck, request_id);
+  w.u32(result.backend);
+  w.u64(result.imported);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_cancel(std::uint64_t request_id) {
+  WireWriter w;
+  put_header(w, MsgType::kCancel, request_id);
+  return w.take();
+}
+
+env::WorkerAnnounce decode_announce_body(WireReader& reader) {
+  env::WorkerAnnounce announce;
+  announce.build = reader.str();
+  announce.wire_version = reader.u16();
+  announce.threads = reader.u32();
+  announce.cache_capacity = reader.u64();
+  const std::size_t backends = checked_count(reader.u32(), 32, "announced backend");
+  announce.backends.reserve(backends);
+  for (std::size_t i = 0; i < backends; ++i) announce.backends.push_back(get_backend_info(reader));
+  reader.expect_done();
+  return announce;
+}
+
+env::WorkerHealth decode_heartbeat_ack_body(WireReader& reader) {
+  env::WorkerHealth health;
+  health.outstanding = reader.u64();
+  health.cache_entries = reader.u64();
+  health.episodes = reader.u64();
+  reader.expect_done();
+  return health;
+}
+
+env::BackendId decode_memo_export_body(WireReader& reader) {
+  const env::BackendId backend = reader.u32();
+  reader.expect_done();
+  return backend;
+}
+
+std::vector<env::MemoEntrySnapshot> decode_memo_snapshot_body(WireReader& reader) {
+  std::vector<env::MemoEntrySnapshot> memo = get_memo_list(reader);
+  reader.expect_done();
+  return memo;
+}
+
+env::BackendInstallRequest decode_install_backend_body(WireReader& reader) {
+  env::BackendInstallRequest request;
+  request.target_backend = reader.i32();
+  request.descriptor = get_backend_info(reader);
+  if (reader.boolean()) request.sim_params = get_sim_params(reader);
+  request.memo = get_memo_list(reader);
+  reader.expect_done();
+  return request;
+}
+
+env::InstallResult decode_install_ack_body(WireReader& reader) {
+  env::InstallResult result;
+  result.backend = reader.u32();
+  result.imported = reader.u64();
+  reader.expect_done();
+  return result;
 }
 
 env::EnvServiceStats decode_stats_snapshot_body(WireReader& reader) {

@@ -8,6 +8,7 @@
 
 #include "env/backend.hpp"
 #include "env/client.hpp"
+#include "env/farm_types.hpp"
 
 namespace atlas::rpc {
 
@@ -25,8 +26,12 @@ namespace atlas::rpc {
 /// only sees complete payloads.
 ///
 /// Versioning: `kWireVersion` is bumped on any layout change; decoders
-/// reject frames whose magic or version does not match exactly (a worker
-/// and client from different builds fail loudly instead of misreading).
+/// accept the contiguous range [kMinWireVersion, kWireVersion] and reject
+/// everything else (a worker and client from incompatible builds fail loudly
+/// instead of misreading). All v3 message bodies are byte-identical in v4 —
+/// a v3 peer keeps working against a v4 server, it just cannot speak the
+/// farm-control messages — so replies echo the REQUESTER's version and
+/// v4-only message types are rejected when stamped with a v3 header.
 inline constexpr std::uint32_t kWireMagic = 0x41544c53u;  // "ATLS"
 /// v2: EnvQuery carries the `crn` tag (common-random-numbers plan marker), so
 /// worker-side caches attribute cross-iteration reuse from remote clients.
@@ -34,7 +39,14 @@ inline constexpr std::uint32_t kWireMagic = 0x41544c53u;  // "ATLS"
 /// worker's full EnvServiceStats — per-backend counters plus the serving
 /// telemetry histograms (query latency, queue depth, RPC service time) — so
 /// a router aggregates farm-wide telemetry without scraping worker stdout.
-inline constexpr std::uint16_t kWireVersion = 3;
+/// v4: farm control plane — worker register/announce (kHello/kAnnounce),
+/// heartbeat (kHeartbeat/kHeartbeatAck), memo-table migration
+/// (kMemoExport/kMemoSnapshot), runtime backend install
+/// (kInstallBackend/kInstallAck), and best-effort episode cancel (kCancel).
+inline constexpr std::uint16_t kWireVersion = 4;
+/// Oldest version this build still decodes. v3 bodies are a strict subset of
+/// v4, so the compatibility window is free to keep.
+inline constexpr std::uint16_t kMinWireVersion = 3;
 
 /// Upper bound on one frame payload; a length prefix beyond this is treated
 /// as a corrupted stream, not an allocation request.
@@ -46,7 +58,21 @@ enum class MsgType : std::uint16_t {
   kError = 3,          ///< worker -> client: execution/decode failed (message string)
   kStatsRequest = 4,   ///< client -> worker: export your stats snapshot (empty body)
   kStatsSnapshot = 5,  ///< worker -> client: EnvServiceStats incl. telemetry histograms
+  // --- v4: farm control plane -----------------------------------------------
+  kHello = 6,           ///< controller -> worker: who are you? (empty body)
+  kAnnounce = 7,        ///< worker -> controller: WorkerAnnounce (capacity + backends)
+  kHeartbeat = 8,       ///< controller -> worker: are you alive? (empty body)
+  kHeartbeatAck = 9,    ///< worker -> controller: WorkerHealth gauges
+  kMemoExport = 10,     ///< controller -> worker: export memo entries for one backend (u32 id)
+  kMemoSnapshot = 11,   ///< worker -> controller: MemoEntrySnapshot list
+  kInstallBackend = 12, ///< controller -> worker: BackendInstallRequest (backend + memo push)
+  kInstallAck = 13,     ///< worker -> controller: InstallResult
+  kCancel = 14,         ///< client -> worker: drop the named request if still queued (no reply)
 };
+
+/// First message type that only exists at wire v4; a v3-stamped frame
+/// carrying one of these is a protocol violation, not a decodable message.
+inline constexpr std::uint16_t kFirstV4MsgType = 6;
 
 /// Malformed frame: bad magic/version/type, truncated body, trailing bytes.
 struct CodecError : std::runtime_error {
@@ -106,22 +132,54 @@ class WireReader {
 struct FrameHeader {
   MsgType type = MsgType::kQuery;
   std::uint64_t request_id = 0;
+  /// Version the SENDER stamped on the frame — servers echo it back so a v3
+  /// client round-trips entirely at v3 against a v4 worker.
+  std::uint16_t version = kWireVersion;
 };
 
+/// Every encoder takes the wire version to stamp on the frame (defaulting to
+/// this build's); servers pass the requester's version so replies decode on
+/// old peers. Bodies shared with v3 are encoded identically at either
+/// version.
+///
 /// `query.backend` carries the WORKER-side backend id (the client rewrites
 /// its own id before encoding).
-std::vector<std::uint8_t> encode_query(std::uint64_t request_id, const env::EnvQuery& query);
+std::vector<std::uint8_t> encode_query(std::uint64_t request_id, const env::EnvQuery& query,
+                                       std::uint16_t version = kWireVersion);
 std::vector<std::uint8_t> encode_result(std::uint64_t request_id,
-                                        const env::EpisodeResult& result);
-std::vector<std::uint8_t> encode_error(std::uint64_t request_id, const std::string& message);
-std::vector<std::uint8_t> encode_stats_request(std::uint64_t request_id);
+                                        const env::EpisodeResult& result,
+                                        std::uint16_t version = kWireVersion);
+std::vector<std::uint8_t> encode_error(std::uint64_t request_id, const std::string& message,
+                                       std::uint16_t version = kWireVersion);
+std::vector<std::uint8_t> encode_stats_request(std::uint64_t request_id,
+                                               std::uint16_t version = kWireVersion);
 /// Histograms ride as sparse (bucket index, count) pairs — an idle worker's
 /// snapshot is a few hundred bytes, not kBucketCount * 8.
 std::vector<std::uint8_t> encode_stats_snapshot(std::uint64_t request_id,
-                                                const env::EnvServiceStats& stats);
+                                                const env::EnvServiceStats& stats,
+                                                std::uint16_t version = kWireVersion);
 
-/// Validates magic + version and returns {type, request_id}; the reader is
-/// left positioned at the body. Throws CodecError on any mismatch.
+// ---- v4 farm-control messages (always stamped v4) ---------------------------
+
+std::vector<std::uint8_t> encode_hello(std::uint64_t request_id);
+std::vector<std::uint8_t> encode_announce(std::uint64_t request_id,
+                                          const env::WorkerAnnounce& announce);
+std::vector<std::uint8_t> encode_heartbeat(std::uint64_t request_id);
+std::vector<std::uint8_t> encode_heartbeat_ack(std::uint64_t request_id,
+                                               const env::WorkerHealth& health);
+std::vector<std::uint8_t> encode_memo_export(std::uint64_t request_id, env::BackendId backend);
+std::vector<std::uint8_t> encode_memo_snapshot(std::uint64_t request_id,
+                                               const std::vector<env::MemoEntrySnapshot>& memo);
+std::vector<std::uint8_t> encode_install_backend(std::uint64_t request_id,
+                                                 const env::BackendInstallRequest& request);
+std::vector<std::uint8_t> encode_install_ack(std::uint64_t request_id,
+                                             const env::InstallResult& result);
+std::vector<std::uint8_t> encode_cancel(std::uint64_t request_id);
+
+/// Validates magic + version (any version in [kMinWireVersion, kWireVersion];
+/// v4-only message types additionally require a v4 stamp) and returns
+/// {type, request_id, version}; the reader is left positioned at the body.
+/// Throws CodecError on any mismatch.
 FrameHeader decode_header(WireReader& reader);
 
 /// Body decoders; each consumes the reader fully (CodecError otherwise).
@@ -129,5 +187,11 @@ env::EnvQuery decode_query_body(WireReader& reader);
 env::EpisodeResult decode_result_body(WireReader& reader);
 std::string decode_error_body(WireReader& reader);
 env::EnvServiceStats decode_stats_snapshot_body(WireReader& reader);
+env::WorkerAnnounce decode_announce_body(WireReader& reader);
+env::WorkerHealth decode_heartbeat_ack_body(WireReader& reader);
+env::BackendId decode_memo_export_body(WireReader& reader);
+std::vector<env::MemoEntrySnapshot> decode_memo_snapshot_body(WireReader& reader);
+env::BackendInstallRequest decode_install_backend_body(WireReader& reader);
+env::InstallResult decode_install_ack_body(WireReader& reader);
 
 }  // namespace atlas::rpc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <future>
 #include <thread>
 #include <unordered_map>
@@ -55,6 +56,9 @@ class RemoteBackend::MuxConnection {
     std::scoped_lock lock(mutex_);
     pending_.erase(request_id);
   }
+
+  /// Fire-and-forget frame (kCancel): no pending slot, no response expected.
+  void send_oneway(const std::vector<std::uint8_t>& frame) { transport_->send(frame); }
 
  private:
   void read_loop() {
@@ -119,12 +123,53 @@ RemoteBackend::RemoteBackend(RemoteBackendOptions options) : options_(std::move(
 
 RemoteBackend::~RemoteBackend() = default;
 
-std::shared_ptr<RemoteBackend::MuxConnection> RemoteBackend::connection() const {
-  std::scoped_lock lock(conn_mutex_);
-  if (conn_ == nullptr || conn_->dead()) {
-    conn_ = std::make_shared<MuxConnection>(options_.transport_factory());
+std::chrono::nanoseconds RemoteBackend::backoff_delay(std::uint64_t failures) const {
+  // Exponential: base * 2^(failures-1), capped.
+  double delay_ms = options_.backoff_base_ms;
+  for (std::uint64_t i = 1; i < failures && delay_ms < options_.backoff_cap_ms; ++i) {
+    delay_ms *= 2.0;
   }
-  return conn_;
+  delay_ms = std::min(delay_ms, options_.backoff_cap_ms);
+  // Deterministic jitter in [0.5, 1.0): splitmix over (name, attempt), so
+  // shards watching the same dead worker desynchronize without a global RNG
+  // (and tests stay reproducible).
+  std::uint64_t x = std::hash<std::string>{}(options_.name) ^ (failures * 0x9e3779b97f4a7c15ULL);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  const double jitter = 0.5 + 0.5 * (static_cast<double>(x >> 11) * 0x1.0p-53);
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::milli>(delay_ms * jitter));
+}
+
+std::shared_ptr<RemoteBackend::MuxConnection> RemoteBackend::connection() const {
+  std::unique_lock lock(conn_mutex_);
+  for (;;) {
+    if (conn_ != nullptr && !conn_->dead()) return conn_;
+    if (connect_failures_ > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now < next_connect_attempt_) {
+        // Hold off this thread WITHOUT holding the connection lock; whoever
+        // wakes first (re)connects, everyone else finds the fresh conn_.
+        const auto wait = next_connect_attempt_ - now;
+        lock.unlock();
+        std::this_thread::sleep_for(wait);
+        lock.lock();
+        continue;
+      }
+    }
+    try {
+      conn_ = std::make_shared<MuxConnection>(options_.transport_factory());
+    } catch (...) {
+      ++connect_failures_;
+      connect_failure_streak_.store(connect_failures_, std::memory_order_relaxed);
+      next_connect_attempt_ = std::chrono::steady_clock::now() + backoff_delay(connect_failures_);
+      throw;
+    }
+    connect_failures_ = 0;
+    connect_failure_streak_.store(0, std::memory_order_relaxed);
+    return conn_;
+  }
 }
 
 void RemoteBackend::drop_connection(const std::shared_ptr<MuxConnection>& dead) const {
@@ -138,20 +183,50 @@ void RemoteBackend::fill_stats(env::BackendStats& stats) const {
   stats.rpc_rtt_ns = rtt_.snapshot();
 }
 
-env::EnvServiceStats RemoteBackend::fetch_worker_stats() const {
-  const auto timeout =
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          std::chrono::duration<double, std::milli>(options_.timeout_ms));
+void RemoteBackend::note_success() const {
+  consecutive_timeouts_.store(0, std::memory_order_relaxed);
+  last_success_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+}
+
+RemoteLiveness RemoteBackend::liveness() const {
+  RemoteLiveness view;
+  {
+    std::scoped_lock lock(conn_mutex_);
+    view.connected = conn_ != nullptr && !conn_->dead();
+  }
+  view.consecutive_timeouts = consecutive_timeouts_.load(std::memory_order_relaxed);
+  view.consecutive_connect_failures = connect_failure_streak_.load(std::memory_order_relaxed);
+  view.rpc_failures = failures_.load(std::memory_order_relaxed);
+  const std::int64_t last = last_success_ns_.load(std::memory_order_relaxed);
+  if (last >= 0) {
+    const auto now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+    view.since_last_success_ms = static_cast<double>(now - last) / 1e6;
+  }
+  return view;
+}
+
+std::vector<std::uint8_t> RemoteBackend::control_roundtrip(
+    const std::function<std::vector<std::uint8_t>(std::uint64_t)>& encode, MsgType expect,
+    const char* what) const {
+  const auto timeout = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::duration<double, std::milli>(options_.control_timeout_ms));
   std::shared_ptr<MuxConnection> conn;
   try {
     conn = connection();
     const std::uint64_t request_id =
         next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
-    auto future = conn->send_request(request_id, encode_stats_request(request_id));
+    auto future = conn->send_request(request_id, encode(request_id));
     if (future.wait_for(timeout) != std::future_status::ready) {
       conn->forget(request_id);
-      throw RpcError("remote backend '" + options_.name + "': stats request timed out after " +
-                     std::to_string(options_.timeout_ms) + " ms");
+      consecutive_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      throw RpcError("remote backend '" + options_.name + "': " + what +
+                     " timed out after " + std::to_string(options_.control_timeout_ms) + " ms");
     }
     std::vector<std::uint8_t> frame = future.get();
     WireReader reader(frame);
@@ -160,17 +235,63 @@ env::EnvServiceStats RemoteBackend::fetch_worker_stats() const {
       throw RpcError("remote backend '" + options_.name +
                      "': worker error: " + decode_error_body(reader));
     }
-    if (header.type != MsgType::kStatsSnapshot) {
-      throw CodecError("rpc client: unexpected stats response type");
+    if (header.type != expect) {
+      throw CodecError(std::string("rpc client: unexpected ") + what + " response type");
     }
-    return decode_stats_snapshot_body(reader);
+    note_success();
+    return frame;
   } catch (const TransportError& e) {
     if (conn != nullptr) drop_connection(conn);
-    throw RpcError("remote backend '" + options_.name + "': stats request failed: " + e.what());
+    throw RpcError("remote backend '" + options_.name + "': " + what + " failed: " + e.what());
   } catch (const CodecError& e) {
     if (conn != nullptr) drop_connection(conn);
-    throw RpcError("remote backend '" + options_.name + "': stats request failed: " + e.what());
+    throw RpcError("remote backend '" + options_.name + "': " + what + " failed: " + e.what());
   }
+}
+
+env::EnvServiceStats RemoteBackend::fetch_worker_stats() const {
+  const auto frame = control_roundtrip(
+      [](std::uint64_t id) { return encode_stats_request(id); }, MsgType::kStatsSnapshot,
+      "stats request");
+  WireReader reader(frame);
+  (void)decode_header(reader);
+  return decode_stats_snapshot_body(reader);
+}
+
+env::WorkerAnnounce RemoteBackend::hello() const {
+  const auto frame = control_roundtrip([](std::uint64_t id) { return encode_hello(id); },
+                                       MsgType::kAnnounce, "hello");
+  WireReader reader(frame);
+  (void)decode_header(reader);
+  return decode_announce_body(reader);
+}
+
+env::WorkerHealth RemoteBackend::heartbeat() const {
+  const auto frame = control_roundtrip([](std::uint64_t id) { return encode_heartbeat(id); },
+                                       MsgType::kHeartbeatAck, "heartbeat");
+  WireReader reader(frame);
+  (void)decode_header(reader);
+  return decode_heartbeat_ack_body(reader);
+}
+
+std::vector<env::MemoEntrySnapshot> RemoteBackend::export_memo(
+    env::BackendId remote_backend) const {
+  const auto frame = control_roundtrip(
+      [remote_backend](std::uint64_t id) { return encode_memo_export(id, remote_backend); },
+      MsgType::kMemoSnapshot, "memo export");
+  WireReader reader(frame);
+  (void)decode_header(reader);
+  return decode_memo_snapshot_body(reader);
+}
+
+env::InstallResult RemoteBackend::install_backend(
+    const env::BackendInstallRequest& request) const {
+  const auto frame = control_roundtrip(
+      [&request](std::uint64_t id) { return encode_install_backend(id, request); },
+      MsgType::kInstallAck, "backend install");
+  WireReader reader(frame);
+  (void)decode_header(reader);
+  return decode_install_ack_body(reader);
 }
 
 env::EpisodeResult RemoteBackend::execute(const env::EnvQuery& query) const {
@@ -211,6 +332,15 @@ env::EpisodeResult RemoteBackend::execute(const env::EnvQuery& query) const {
       sent = true;
       if (future.wait_for(timeout) != std::future_status::ready) {
         conn->forget(request_id);
+        consecutive_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        // Best-effort cancel: if the episode is still queued worker-side,
+        // skip it (and its now-pointless response) instead of computing for
+        // a client that stopped listening.
+        try {
+          conn->send_oneway(encode_cancel(request_id));
+        } catch (const TransportError&) {
+          // The read loop will notice the dead stream.
+        }
         last_fault = "timed out after " + std::to_string(options_.timeout_ms) + " ms";
         if (metered) metered_abort(last_fault);
         continue;
@@ -232,6 +362,7 @@ env::EpisodeResult RemoteBackend::execute(const env::EnvQuery& query) const {
       const auto rtt = std::chrono::steady_clock::now() - rtt_start;
       rtt_.record(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(rtt).count()));
+      note_success();
       return result;
     } catch (const TransportError& e) {
       if (conn != nullptr) drop_connection(conn);

@@ -7,12 +7,18 @@
 #include <mutex>
 #include <string>
 
+#include <chrono>
+#include <vector>
+
 #include "env/backend.hpp"
 #include "env/client.hpp"
+#include "env/farm_types.hpp"
 #include "rpc/transport.hpp"
 #include "telemetry/histogram.hpp"
 
 namespace atlas::rpc {
+
+enum class MsgType : std::uint16_t;  // rpc/codec.hpp
 
 struct RemoteBackendOptions {
   std::string host = "127.0.0.1";
@@ -27,8 +33,20 @@ struct RemoteBackendOptions {
   /// to (a worker registers its backends 0..N-1 at startup).
   env::BackendId remote_backend = 0;
   /// Per-query deadline. A request that misses it is abandoned (a late
-  /// response is dropped by the multiplexer) and retried.
+  /// response is dropped by the multiplexer, and a best-effort kCancel tells
+  /// the worker to skip the episode if still queued) and retried.
   double timeout_ms = 30000.0;
+  /// Deadline for control-plane round-trips (hello / heartbeat / stats /
+  /// memo export / install). Much shorter than an episode: these answer on
+  /// the worker's read thread, so a slow answer means a sick worker.
+  double control_timeout_ms = 5000.0;
+  /// Reconnect backoff: FAILED connect attempts (the transport factory
+  /// throwing) are spaced out exponentially with deterministic jitter, so a
+  /// dead worker is not hammered in lockstep from every shard. A successful
+  /// connect resets the schedule; dropping a live connection (worker
+  /// restarted) still reconnects immediately on the next attempt.
+  double backoff_base_ms = 10.0;
+  double backoff_cap_ms = 2000.0;
   /// Additional attempts after the first, for timeouts and transport faults.
   /// Worker-reported errors (bad query) are NOT retried — they are
   /// deterministic. Offline episodes retry safely: results are
@@ -52,6 +70,19 @@ struct RemoteBackendOptions {
   /// loopback endpoint served by an in-process EpisodeRpcServer). Called on
   /// (re)connect; must return a fresh transport or throw TransportError.
   std::function<std::unique_ptr<Transport>()> transport_factory;
+};
+
+/// Client-side health view of one remote worker, surfaced instead of burying
+/// failures in retry counters; the FarmController reads this (plus heartbeat
+/// round-trips) to decide suspect/dead transitions.
+struct RemoteLiveness {
+  bool connected = false;                  ///< a live multiplexed connection exists
+  std::uint64_t consecutive_timeouts = 0;  ///< deadline misses since the last success
+  std::uint64_t consecutive_connect_failures = 0;
+  std::uint64_t rpc_failures = 0;
+  /// Milliseconds since the last successful round-trip (episode, stats, or
+  /// heartbeat); negative when nothing has succeeded yet.
+  double since_last_success_ms = -1.0;
 };
 
 /// An episode-RPC worker behind the `EnvBackend` contract: `execute`
@@ -97,21 +128,50 @@ class RemoteBackend final : public env::EnvBackend {
   /// timeout or a worker that predates wire v3.
   env::EnvServiceStats fetch_worker_stats() const;
 
+  // ---- farm control plane (wire v4; all throw RpcError on failure) ----------
+
+  /// Ask the worker who it is: build, wire version, capacity, backends.
+  env::WorkerAnnounce hello() const;
+  /// One liveness round-trip; a success also refreshes `liveness()`.
+  env::WorkerHealth heartbeat() const;
+  /// Pull the worker's memo entries for one WORKER-side backend id.
+  std::vector<env::MemoEntrySnapshot> export_memo(env::BackendId remote_backend) const;
+  /// Push a backend (and/or memo snapshot) into the worker's registry.
+  env::InstallResult install_backend(const env::BackendInstallRequest& request) const;
+
+  /// Current health view; cheap (atomics only), callable from any thread.
+  RemoteLiveness liveness() const;
+
  private:
   class MuxConnection;
 
   /// Current connection, (re)built lazily under conn_mutex_. A dead
   /// connection (reader saw EOF/fault) is dropped and rebuilt on the next
-  /// attempt.
+  /// attempt; repeated CONNECT failures back off exponentially with jitter.
   std::shared_ptr<MuxConnection> connection() const;
   void drop_connection(const std::shared_ptr<MuxConnection>& dead) const;
+  std::chrono::nanoseconds backoff_delay(std::uint64_t failures) const;
+  /// One control-plane request/response: sends `frame` (built for a fresh
+  /// request id), waits `control_timeout_ms`, validates the response type,
+  /// and returns the raw response frame positioned for body decoding.
+  std::vector<std::uint8_t> control_roundtrip(
+      const std::function<std::vector<std::uint8_t>(std::uint64_t)>& encode, MsgType expect,
+      const char* what) const;
+  void note_success() const;
 
   RemoteBackendOptions options_;
   mutable std::mutex conn_mutex_;
   mutable std::shared_ptr<MuxConnection> conn_;
+  /// Backoff schedule, guarded by conn_mutex_.
+  mutable std::uint64_t connect_failures_ = 0;
+  mutable std::chrono::steady_clock::time_point next_connect_attempt_{};
   mutable std::atomic<std::uint64_t> next_request_id_{0};
   mutable std::atomic<std::uint64_t> retries_{0};
   mutable std::atomic<std::uint64_t> failures_{0};
+  mutable std::atomic<std::uint64_t> consecutive_timeouts_{0};
+  mutable std::atomic<std::uint64_t> connect_failure_streak_{0};
+  /// steady_clock nanos of the last successful round-trip; -1 = never.
+  mutable std::atomic<std::int64_t> last_success_ns_{-1};
   mutable telemetry::Histogram rtt_;
 };
 

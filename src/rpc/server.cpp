@@ -4,11 +4,21 @@
 #include <chrono>
 #include <condition_variable>
 #include <exception>
+#include <unordered_set>
 #include <utility>
 
 #include "rpc/codec.hpp"
 
 namespace atlas::rpc {
+
+namespace {
+
+/// Cancel bookkeeping cap per connection: ids of requests whose client gave
+/// up. A bounded set — a client that cancels thousands of still-unanswered
+/// requests on one connection is reconnecting anyway.
+constexpr std::size_t kMaxCancelledIds = 4096;
+
+}  // namespace
 
 EpisodeRpcServer::EpisodeRpcServer(env::EnvService& service, RpcServerOptions options)
     : service_(service), options_(options), listener_(options.port) {
@@ -60,6 +70,16 @@ void EpisodeRpcServer::serve(Transport& transport) {
     }
   };
 
+  // Best-effort cancellation state for THIS connection: request ids whose
+  // client gave up. Checked when a query task starts and again before its
+  // response is written; a cancelled id gets no reply at all.
+  std::mutex cancel_mutex;
+  std::unordered_set<std::uint64_t> cancelled;
+  const auto is_cancelled = [&](std::uint64_t id) {
+    std::scoped_lock lock(cancel_mutex);
+    return cancelled.count(id) != 0;
+  };
+
   std::vector<std::uint8_t> frame;
   for (;;) {
     bool got = false;
@@ -71,26 +91,79 @@ void EpisodeRpcServer::serve(Transport& transport) {
     if (!got) break;  // clean EOF
 
     std::uint64_t request_id = 0;
+    std::uint16_t version = kWireVersion;
     env::EnvQuery query;
     try {
       WireReader reader(frame);
       const FrameHeader header = decode_header(reader);
       request_id = header.request_id;
-      if (header.type == MsgType::kStatsRequest) {
-        // Answered inline on the read thread: a stats scrape must not queue
-        // behind episodes (it is how operators see WHY the queue is long).
-        reader.expect_done();
-        env::EnvServiceStats stats = service_.stats();
-        stats.rpc_service_ns = service_time_.snapshot();
-        write_frame(encode_stats_snapshot(request_id, stats));
-        continue;
+      // Replies are stamped with the REQUESTER's version, so a v3 peer keeps
+      // decoding everything it asked for against this v4 server.
+      version = header.version;
+      switch (header.type) {
+        case MsgType::kStatsRequest: {
+          // Answered inline on the read thread: a stats scrape must not queue
+          // behind episodes (it is how operators see WHY the queue is long).
+          reader.expect_done();
+          env::EnvServiceStats stats = service_.stats();
+          stats.rpc_service_ns = service_time_.snapshot();
+          write_frame(encode_stats_snapshot(request_id, stats, version));
+          continue;
+        }
+        case MsgType::kHello: {
+          reader.expect_done();
+          write_frame(encode_announce(request_id, announce()));
+          continue;
+        }
+        case MsgType::kHeartbeat: {
+          reader.expect_done();
+          env::WorkerHealth health;
+          health.outstanding = service_.outstanding_queries();
+          health.cache_entries = service_.cache_size();
+          for (const auto& backend : service_.stats().backends) {
+            health.episodes += backend.episodes;
+          }
+          write_frame(encode_heartbeat_ack(request_id, health));
+          continue;
+        }
+        case MsgType::kMemoExport: {
+          const env::BackendId backend = decode_memo_export_body(reader);
+          auto memo = service_.export_memo(backend);
+          auto snapshot = encode_memo_snapshot(request_id, memo);
+          // Migration is an optimization: a snapshot too big for one frame
+          // ships its warmest-hashing half rather than failing the drain
+          // (dropped entries are just recomputed on the new shard).
+          while (snapshot.size() > kMaxFrameBytes && !memo.empty()) {
+            memo.resize(memo.size() / 2);
+            snapshot = encode_memo_snapshot(request_id, memo);
+          }
+          write_frame(snapshot);
+          continue;
+        }
+        case MsgType::kInstallBackend: {
+          const env::BackendInstallRequest request = decode_install_backend_body(reader);
+          write_frame(encode_install_ack(request_id, handle_install(request)));
+          continue;
+        }
+        case MsgType::kCancel: {
+          reader.expect_done();
+          {
+            std::scoped_lock lock(cancel_mutex);
+            if (cancelled.size() >= kMaxCancelledIds) cancelled.clear();
+            cancelled.insert(request_id);
+          }
+          cancelled_total_.fetch_add(1, std::memory_order_relaxed);
+          continue;  // fire-and-forget: cancel frames are never answered
+        }
+        case MsgType::kQuery:
+          query = decode_query_body(reader);
+          break;
+        default:
+          throw CodecError("episode-rpc server: unexpected message type " +
+                           std::to_string(static_cast<std::uint16_t>(header.type)));
       }
-      if (header.type != MsgType::kQuery) {
-        throw CodecError("episode-rpc server: expected a query frame");
-      }
-      query = decode_query_body(reader);
     } catch (const std::exception& e) {
-      write_frame(encode_error(request_id, e.what()));
+      write_frame(encode_error(request_id, e.what(), version));
       continue;
     }
 
@@ -107,27 +180,32 @@ void EpisodeRpcServer::serve(Transport& transport) {
     // the outstanding counter instead (the response IS the result channel).
     try {
       service_.pool().submit(
-        [this, &write_frame, &done_mutex, &done_cv, &outstanding, request_id,
-         q = std::move(query)] {
-          const auto start = std::chrono::steady_clock::now();
-          std::vector<std::uint8_t> response;
-          try {
-            response = encode_result(request_id, service_.run(q));
-            if (response.size() > kMaxFrameBytes) {
-              // The client must learn WHY there is no result — a silently
-              // dropped oversized frame reads as a timeout and gets retried.
-              response = encode_error(
-                  request_id, "episode result too large for one frame (" +
-                                  std::to_string(response.size()) + " bytes > " +
-                                  std::to_string(kMaxFrameBytes) + "); shorten the episode");
+        [this, &write_frame, &is_cancelled, &done_mutex, &done_cv, &outstanding, request_id,
+         version, q = std::move(query)] {
+          if (!is_cancelled(request_id)) {
+            const auto start = std::chrono::steady_clock::now();
+            std::vector<std::uint8_t> response;
+            try {
+              response = encode_result(request_id, service_.run(q), version);
+              if (response.size() > kMaxFrameBytes) {
+                // The client must learn WHY there is no result — a silently
+                // dropped oversized frame reads as a timeout and gets retried.
+                response = encode_error(
+                    request_id, "episode result too large for one frame (" +
+                                    std::to_string(response.size()) + " bytes > " +
+                                    std::to_string(kMaxFrameBytes) + "); shorten the episode",
+                    version);
+              }
+            } catch (const std::exception& e) {
+              response = encode_error(request_id, e.what(), version);
             }
-          } catch (const std::exception& e) {
-            response = encode_error(request_id, e.what());
+            const auto elapsed = std::chrono::steady_clock::now() - start;
+            service_time_.record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+            // A cancel that landed while the episode ran means the client
+            // stopped listening for this id: suppress the response too.
+            if (!is_cancelled(request_id)) write_frame(response);
           }
-          const auto elapsed = std::chrono::steady_clock::now() - start;
-          service_time_.record(static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
-          write_frame(response);
           {
             // Notify UNDER the lock: serve() destroys done_cv the moment the
             // final wait sees outstanding == 0, so the notify must complete
@@ -154,7 +232,7 @@ void EpisodeRpcServer::serve(Transport& transport) {
         --in_flight_;
         drain_cv_.notify_all();
       }
-      write_frame(encode_error(request_id, "worker failed to enqueue the episode"));
+      write_frame(encode_error(request_id, "worker failed to enqueue the episode", version));
     }
   }
 
@@ -162,6 +240,65 @@ void EpisodeRpcServer::serve(Transport& transport) {
   // frame's locals; wait them out before returning.
   std::unique_lock lock(done_mutex);
   done_cv.wait(lock, [&] { return outstanding == 0; });
+}
+
+env::WorkerAnnounce EpisodeRpcServer::announce() const {
+  env::WorkerAnnounce announce;
+  announce.build = options_.build;
+  announce.wire_version = kWireVersion;
+  announce.threads = static_cast<std::uint32_t>(service_.threads());
+  announce.cache_capacity = service_.cache_capacity();
+  const std::size_t n = service_.backend_count();
+  announce.backends.reserve(n);
+  for (std::size_t id = 0; id < n; ++id) {
+    const auto backend_id = static_cast<env::BackendId>(id);
+    env::WorkerBackendInfo info;
+    info.name = service_.backend_name(backend_id);
+    info.kind = service_.backend_kind(backend_id);
+    info.cost_hint = service_.backend_cost_hint(backend_id);
+    info.accepts_sim_params = service_.backend_accepts_sim_params(backend_id);
+    info.params_digest = backend_digest(backend_id);
+    announce.backends.push_back(std::move(info));
+  }
+  return announce;
+}
+
+void EpisodeRpcServer::set_backend_digest(env::BackendId id, std::uint64_t digest) {
+  std::scoped_lock lock(digests_mutex_);
+  if (digests_.size() <= id) digests_.resize(id + 1, 0);
+  digests_[id] = digest;
+}
+
+std::uint64_t EpisodeRpcServer::backend_digest(env::BackendId id) const {
+  std::scoped_lock lock(digests_mutex_);
+  return id < digests_.size() ? digests_[id] : 0;
+}
+
+env::InstallResult EpisodeRpcServer::handle_install(const env::BackendInstallRequest& request) {
+  env::InstallResult result;
+  if (request.target_backend >= 0) {
+    // Memo-merge into a backend this worker already hosts.
+    result.backend = static_cast<env::BackendId>(request.target_backend);
+    result.imported = service_.import_memo(result.backend, request.memo);
+    return result;
+  }
+  // Fresh registration from the descriptor. Only backend shapes a worker can
+  // construct from data are installable: parameterized simulators and the
+  // real-network surrogate. Anything else must be wired at worker startup.
+  const auto& d = request.descriptor;
+  if (d.kind == env::BackendKind::kOffline && d.accepts_sim_params) {
+    result.backend = service_.add_simulator(
+        request.sim_params.value_or(env::SimParams::defaults()), d.name);
+  } else if (d.kind == env::BackendKind::kOnline && !d.accepts_sim_params) {
+    result.backend = service_.add_real_network(d.name);
+  } else {
+    throw RpcError("episode-rpc server: backend '" + d.name +
+                   "' is not installable from a descriptor");
+  }
+  set_backend_digest(result.backend, d.params_digest);
+  installs_total_.fetch_add(1, std::memory_order_relaxed);
+  result.imported = service_.import_memo(result.backend, request.memo);
+  return result;
 }
 
 void EpisodeRpcServer::stop() {

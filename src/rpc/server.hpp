@@ -20,6 +20,8 @@ struct RpcServerOptions {
   /// responses to flush) before closing connections anyway. 0 = no grace:
   /// legacy hard-close behavior.
   std::uint32_t drain_timeout_ms = 5000;
+  /// Free-form build identifier advertised in the kHello announce.
+  std::string build = "atlas-episode-worker";
 };
 
 /// Hosts an `EnvService` behind the episode-RPC: each query frame is
@@ -55,6 +57,28 @@ class EpisodeRpcServer {
   /// episode answered so far; exported to clients via kStatsRequest.
   telemetry::HistogramData service_time() const { return service_time_.snapshot(); }
 
+  // ---- farm control plane (wire v4) ----------------------------------------
+
+  /// What this worker tells a controller on kHello: build, wire version,
+  /// pool size, cache capacity, and every registered backend with its
+  /// placement digest (see set_backend_digest).
+  env::WorkerAnnounce announce() const;
+
+  /// Record the parameterization fingerprint for a backend (the worker binary
+  /// digests its SimParams at startup; runtime installs carry their own).
+  /// Backends without a digest announce 0 — equivalent only to other
+  /// digest-0 backends of the same kind.
+  void set_backend_digest(env::BackendId id, std::uint64_t digest);
+
+  /// Queries dropped (pre-execution or pre-response) by kCancel frames.
+  std::uint64_t cancelled_total() const noexcept {
+    return cancelled_total_.load(std::memory_order_relaxed);
+  }
+  /// Backends pushed into the registry at runtime via kInstallBackend.
+  std::uint64_t installs_total() const noexcept {
+    return installs_total_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Connection {
     std::unique_ptr<Transport> transport;
@@ -63,6 +87,8 @@ class EpisodeRpcServer {
   };
 
   void accept_loop();
+  std::uint64_t backend_digest(env::BackendId id) const;
+  env::InstallResult handle_install(const env::BackendInstallRequest& request);
 
   env::EnvService& service_;
   RpcServerOptions options_;
@@ -73,6 +99,10 @@ class EpisodeRpcServer {
   std::thread acceptor_;
 
   telemetry::Histogram service_time_;
+  mutable std::mutex digests_mutex_;
+  std::vector<std::uint64_t> digests_;  ///< Indexed by BackendId; 0 = unset.
+  std::atomic<std::uint64_t> cancelled_total_{0};
+  std::atomic<std::uint64_t> installs_total_{0};
   /// Episodes dispatched onto the pool whose responses have not been written
   /// yet, across ALL connections — what stop() waits on before hard-closing.
   std::mutex drain_mutex_;

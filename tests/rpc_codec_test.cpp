@@ -325,3 +325,208 @@ TEST(RpcCodec, ImplausibleElementCountsAreRejectedNotAllocated) {
   (void)ar::decode_header(reader);
   EXPECT_THROW((void)ar::decode_result_body(reader), ar::CodecError);
 }
+
+// ---- wire v4: cross-version compatibility -----------------------------------
+
+TEST(RpcCodec, V3StampedFramesStillDecodeOnAV4Build) {
+  // A v3 peer's frames must decode unchanged: the v3 bodies are a strict
+  // subset of v4, and decode_header surfaces the sender's version so a
+  // server can echo it on the reply.
+  std::mt19937_64 rng(0x33u);
+  const ae::EnvQuery q = random_query(rng);
+  const auto frame = ar::encode_query(17, q, /*version=*/3);
+  ar::WireReader reader(frame);
+  const auto header = ar::decode_header(reader);
+  EXPECT_EQ(header.version, 3u);
+  EXPECT_EQ(header.type, ar::MsgType::kQuery);
+  const ae::EnvQuery back = ar::decode_query_body(reader);
+  EXPECT_EQ(back.workload.seed, q.workload.seed);
+
+  const ae::EpisodeResult r = random_result(rng);
+  const auto reply = ar::encode_result(17, r, /*version=*/3);  // server echoes v3
+  ar::WireReader reply_reader(reply);
+  EXPECT_EQ(ar::decode_header(reply_reader).version, 3u);
+  const ae::EpisodeResult back_r = ar::decode_result_body(reply_reader);
+  ASSERT_EQ(back_r.latencies_ms.size(), r.latencies_ms.size());
+  for (std::size_t i = 0; i < r.latencies_ms.size(); ++i) {
+    EXPECT_TRUE(same_bits(back_r.latencies_ms[i], r.latencies_ms[i]));
+  }
+}
+
+TEST(RpcCodec, V4OnlyMessageTypesAreRejectedOnV3Frames) {
+  // A farm-control frame stamped v3 is a protocol violation: the message
+  // type does not exist at that version.
+  for (const auto& frame : {ar::encode_hello(1), ar::encode_heartbeat(2), ar::encode_cancel(3),
+                            ar::encode_memo_export(4, 0)}) {
+    auto bad = frame;
+    bad[4] = 3;  // version u16 lives after the u32 magic
+    bad[5] = 0;
+    ar::WireReader reader(bad);
+    EXPECT_THROW((void)ar::decode_header(reader), ar::CodecError);
+  }
+  // The same frames decode fine with their native v4 stamp.
+  const auto good = ar::encode_hello(1);
+  ar::WireReader reader(good);
+  const auto header = ar::decode_header(reader);
+  EXPECT_EQ(header.type, ar::MsgType::kHello);
+  EXPECT_EQ(header.version, ar::kWireVersion);
+}
+
+TEST(RpcCodec, VersionsBelowTheCompatibilityWindowAreRejected) {
+  std::mt19937_64 rng(0x22u);
+  auto frame = ar::encode_query(5, random_query(rng));
+  frame[4] = static_cast<std::uint8_t>(ar::kMinWireVersion - 1);
+  frame[5] = 0;
+  ar::WireReader reader(frame);
+  EXPECT_THROW((void)ar::decode_header(reader), ar::CodecError);
+}
+
+TEST(RpcCodec, AnnounceRoundTrips) {
+  ae::WorkerAnnounce announce;
+  announce.build = "atlas-episode-worker";
+  announce.wire_version = ar::kWireVersion;
+  announce.threads = 8;
+  announce.cache_capacity = 65536;
+  ae::WorkerBackendInfo sim;
+  sim.name = "sim-0";
+  sim.kind = ae::BackendKind::kOffline;
+  sim.cost_hint = 1000.0;
+  sim.accepts_sim_params = true;
+  sim.params_digest = 0xDEADBEEFCAFEF00Dull;
+  ae::WorkerBackendInfo real;
+  real.name = "real-0";
+  real.kind = ae::BackendKind::kOnline;
+  announce.backends = {sim, real};
+
+  const auto frame = ar::encode_announce(42, announce);
+  ar::WireReader reader(frame);
+  const auto header = ar::decode_header(reader);
+  EXPECT_EQ(header.type, ar::MsgType::kAnnounce);
+  EXPECT_EQ(header.request_id, 42u);
+  const ae::WorkerAnnounce back = ar::decode_announce_body(reader);
+  EXPECT_EQ(back.build, announce.build);
+  EXPECT_EQ(back.wire_version, announce.wire_version);
+  EXPECT_EQ(back.threads, announce.threads);
+  EXPECT_EQ(back.cache_capacity, announce.cache_capacity);
+  ASSERT_EQ(back.backends.size(), 2u);
+  EXPECT_EQ(back.backends[0].name, "sim-0");
+  EXPECT_EQ(back.backends[0].kind, ae::BackendKind::kOffline);
+  EXPECT_TRUE(same_bits(back.backends[0].cost_hint, 1000.0));
+  EXPECT_TRUE(back.backends[0].accepts_sim_params);
+  EXPECT_EQ(back.backends[0].params_digest, sim.params_digest);
+  EXPECT_EQ(back.backends[0].equivalence_key(), sim.equivalence_key());
+  EXPECT_EQ(back.backends[1].kind, ae::BackendKind::kOnline);
+}
+
+TEST(RpcCodec, HeartbeatAckRoundTrips) {
+  ae::WorkerHealth health;
+  health.outstanding = 3;
+  health.cache_entries = 1234;
+  health.episodes = 98765;
+  const auto frame = ar::encode_heartbeat_ack(7, health);
+  ar::WireReader reader(frame);
+  EXPECT_EQ(ar::decode_header(reader).type, ar::MsgType::kHeartbeatAck);
+  const ae::WorkerHealth back = ar::decode_heartbeat_ack_body(reader);
+  EXPECT_EQ(back.outstanding, 3u);
+  EXPECT_EQ(back.cache_entries, 1234u);
+  EXPECT_EQ(back.episodes, 98765u);
+}
+
+TEST(RpcCodec, MemoSnapshotRoundTripsBitIdentically) {
+  // Migrated memo entries must survive the trip EXACTLY — a migrated entry
+  // that differs by one bit would break result determinism on revisit.
+  std::mt19937_64 rng(0x4444u);
+  std::vector<ae::MemoEntrySnapshot> memo;
+  for (int i = 0; i < 16; ++i) {
+    ae::MemoEntrySnapshot entry;
+    const std::size_t keys = 1 + rng() % 12;
+    for (std::size_t k = 0; k < keys; ++k) entry.key.push_back(random_double(rng));
+    entry.result = random_result(rng);
+    entry.cost = random_double(rng);
+    memo.push_back(std::move(entry));
+  }
+
+  const auto frame = ar::encode_memo_snapshot(9, memo);
+  ar::WireReader reader(frame);
+  EXPECT_EQ(ar::decode_header(reader).type, ar::MsgType::kMemoSnapshot);
+  const auto back = ar::decode_memo_snapshot_body(reader);
+  ASSERT_EQ(back.size(), memo.size());
+  for (std::size_t i = 0; i < memo.size(); ++i) {
+    ASSERT_EQ(back[i].key.size(), memo[i].key.size());
+    for (std::size_t k = 0; k < memo[i].key.size(); ++k) {
+      EXPECT_TRUE(same_bits(back[i].key[k], memo[i].key[k])) << "entry " << i << " key " << k;
+    }
+    EXPECT_TRUE(same_bits(back[i].cost, memo[i].cost));
+    ASSERT_EQ(back[i].result.latencies_ms.size(), memo[i].result.latencies_ms.size());
+    for (std::size_t k = 0; k < memo[i].result.latencies_ms.size(); ++k) {
+      EXPECT_TRUE(same_bits(back[i].result.latencies_ms[k], memo[i].result.latencies_ms[k]));
+    }
+    EXPECT_EQ(back[i].result.frames_completed, memo[i].result.frames_completed);
+    EXPECT_EQ(back[i].result.traces.size(), memo[i].result.traces.size());
+  }
+}
+
+TEST(RpcCodec, InstallBackendRoundTrips) {
+  std::mt19937_64 rng(0x5555u);
+  ae::BackendInstallRequest request;
+  request.target_backend = -1;  // fresh install, not a memo-merge
+  request.descriptor.name = "sim-migrated";
+  request.descriptor.kind = ae::BackendKind::kOffline;
+  request.descriptor.accepts_sim_params = true;
+  request.descriptor.params_digest = 77;
+  ae::SimParams params;
+  params.backhaul_delay_ms = random_double(rng);
+  params.compute_time_ms = random_double(rng);
+  request.sim_params = params;
+  ae::MemoEntrySnapshot entry;
+  entry.key = {0.0, random_double(rng)};
+  entry.result = random_result(rng);
+  request.memo.push_back(std::move(entry));
+
+  const auto frame = ar::encode_install_backend(11, request);
+  ar::WireReader reader(frame);
+  EXPECT_EQ(ar::decode_header(reader).type, ar::MsgType::kInstallBackend);
+  const ae::BackendInstallRequest back = ar::decode_install_backend_body(reader);
+  EXPECT_EQ(back.target_backend, -1);
+  EXPECT_EQ(back.descriptor.name, "sim-migrated");
+  EXPECT_EQ(back.descriptor.params_digest, 77u);
+  ASSERT_TRUE(back.sim_params.has_value());
+  EXPECT_TRUE(same_bits(back.sim_params->backhaul_delay_ms, params.backhaul_delay_ms));
+  EXPECT_TRUE(same_bits(back.sim_params->compute_time_ms, params.compute_time_ms));
+  ASSERT_EQ(back.memo.size(), 1u);
+  EXPECT_TRUE(same_bits(back.memo[0].key[1], request.memo[0].key[1]));
+
+  // Memo-merge form: target >= 0, no params.
+  ae::BackendInstallRequest merge;
+  merge.target_backend = 2;
+  const auto merge_frame = ar::encode_install_backend(12, merge);
+  ar::WireReader merge_reader(merge_frame);
+  (void)ar::decode_header(merge_reader);
+  const auto merge_back = ar::decode_install_backend_body(merge_reader);
+  EXPECT_EQ(merge_back.target_backend, 2);
+  EXPECT_FALSE(merge_back.sim_params.has_value());
+  EXPECT_TRUE(merge_back.memo.empty());
+}
+
+TEST(RpcCodec, InstallAckAndMemoExportRoundTrip) {
+  const auto ack = ar::encode_install_ack(3, ae::InstallResult{.backend = 5, .imported = 999});
+  ar::WireReader ack_reader(ack);
+  EXPECT_EQ(ar::decode_header(ack_reader).type, ar::MsgType::kInstallAck);
+  const ae::InstallResult back = ar::decode_install_ack_body(ack_reader);
+  EXPECT_EQ(back.backend, 5u);
+  EXPECT_EQ(back.imported, 999u);
+
+  const auto exp = ar::encode_memo_export(4, 9);
+  ar::WireReader exp_reader(exp);
+  EXPECT_EQ(ar::decode_header(exp_reader).type, ar::MsgType::kMemoExport);
+  EXPECT_EQ(ar::decode_memo_export_body(exp_reader), 9u);
+}
+
+TEST(RpcCodec, CancelIsHeaderOnly) {
+  const auto frame = ar::encode_cancel(0xABCDEF);
+  ar::WireReader reader(frame);
+  const auto header = ar::decode_header(reader);
+  EXPECT_EQ(header.type, ar::MsgType::kCancel);
+  EXPECT_EQ(header.request_id, 0xABCDEFu);
+  EXPECT_EQ(reader.remaining(), 0u);
+}

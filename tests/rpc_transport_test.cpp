@@ -391,3 +391,139 @@ TEST(RpcShardRouter, MixesLocalAndRemoteShards) {
   EXPECT_EQ(stats.backends[1].queries, 4u);
   EXPECT_EQ(stats.backends[1].rpc_failures, 0u);
 }
+
+// ---- wire v4: farm control plane over the full RPC path ---------------------
+
+TEST(RpcLoopback, ControlPlaneHelloHeartbeatAndMemoExport) {
+  LoopbackWorker worker;
+  worker.server.set_backend_digest(0, 0xFEEDu);
+
+  ar::RemoteBackendOptions options;
+  options.transport_factory = worker.factory();
+  ar::RemoteBackend backend(options);
+
+  // hello(): capacity + the registered simulator with its digest.
+  const ae::WorkerAnnounce announce = backend.hello();
+  EXPECT_EQ(announce.wire_version, ar::kWireVersion);
+  ASSERT_EQ(announce.backends.size(), 1u);
+  EXPECT_EQ(announce.backends[0].name, "simulator");
+  EXPECT_EQ(announce.backends[0].kind, ae::BackendKind::kOffline);
+  EXPECT_TRUE(announce.backends[0].accepts_sim_params);
+  EXPECT_EQ(announce.backends[0].params_digest, 0xFEEDu);
+
+  // heartbeat(): gauges move with executed episodes.
+  EXPECT_EQ(backend.heartbeat().episodes, 0u);
+  (void)backend.execute(query(0, 21));
+  const ae::WorkerHealth health = backend.heartbeat();
+  EXPECT_EQ(health.episodes, 1u);
+  EXPECT_EQ(health.cache_entries, 1u);
+
+  // export_memo(): the memoized episode comes back with its key prefixed by
+  // the worker-local backend id.
+  const auto memo = backend.export_memo(0);
+  ASSERT_EQ(memo.size(), 1u);
+  ASSERT_FALSE(memo[0].key.empty());
+  EXPECT_EQ(memo[0].key[0], 0.0);
+  ae::Simulator direct;
+  EXPECT_EQ(memo[0].result.latencies_ms,
+            direct.run(ae::SliceConfig{}, query(0, 21).workload).latencies_ms);
+
+  // Liveness reflects the successful round-trips.
+  const ar::RemoteLiveness live = backend.liveness();
+  EXPECT_TRUE(live.connected);
+  EXPECT_EQ(live.consecutive_timeouts, 0u);
+  EXPECT_GE(live.since_last_success_ms, 0.0);
+}
+
+TEST(RpcLoopback, MemoMigrationSkipsRecomputationOnTheTargetWorker) {
+  // The acceptance property behind drain: entries exported from worker A and
+  // installed into worker B serve B's future queries as CACHE HITS — the
+  // episode is never recomputed.
+  LoopbackWorker a;
+  LoopbackWorker b;
+
+  ar::RemoteBackendOptions options_a;
+  options_a.transport_factory = a.factory();
+  ar::RemoteBackend backend_a(options_a);
+  ar::RemoteBackendOptions options_b;
+  options_b.transport_factory = b.factory();
+  ar::RemoteBackend backend_b(options_b);
+
+  (void)backend_a.execute(query(0, 33));
+  (void)backend_a.execute(query(0, 34));
+  const auto memo = backend_a.export_memo(0);
+  ASSERT_EQ(memo.size(), 2u);
+
+  ae::BackendInstallRequest request;
+  request.target_backend = 0;  // memo-merge into b's existing simulator
+  request.memo = memo;
+  const ae::InstallResult installed = backend_b.install_backend(request);
+  EXPECT_EQ(installed.backend, 0u);
+  EXPECT_EQ(installed.imported, 2u);
+
+  const auto result = backend_b.execute(query(0, 33));
+  ae::Simulator direct;
+  EXPECT_EQ(result.latencies_ms, direct.run(ae::SliceConfig{}, query(0, 33).workload).latencies_ms);
+  const auto stats = b.service.backend_stats(0);
+  EXPECT_EQ(stats.cache_hits, 1u) << "the migrated entry must serve the revisit";
+  EXPECT_EQ(stats.episodes, 0u) << "no recomputation on the target worker";
+}
+
+TEST(RpcLoopback, RuntimeInstallRegistersAFreshBackend) {
+  LoopbackWorker worker;
+
+  ar::RemoteBackendOptions options;
+  options.transport_factory = worker.factory();
+  ar::RemoteBackend control(options);
+
+  ae::BackendInstallRequest request;
+  request.target_backend = -1;
+  request.descriptor.name = "sim-pushed";
+  request.descriptor.kind = ae::BackendKind::kOffline;
+  request.descriptor.accepts_sim_params = true;
+  request.descriptor.params_digest = 0xD1Du;
+  request.sim_params = ae::SimParams::defaults();
+  const ae::InstallResult installed = control.install_backend(request);
+  EXPECT_EQ(installed.backend, 1u) << "first runtime install lands after the boot simulator";
+  EXPECT_EQ(worker.server.installs_total(), 1u);
+
+  // The pushed backend answers episodes under its new worker-local id, and
+  // the next announce advertises it with the digest the install carried.
+  ar::RemoteBackendOptions pushed_options;
+  pushed_options.transport_factory = worker.factory();
+  pushed_options.remote_backend = installed.backend;
+  ar::RemoteBackend pushed(pushed_options);
+  ae::Simulator direct;
+  const auto result = pushed.execute(query(installed.backend, 55));
+  EXPECT_EQ(result.latencies_ms, direct.run(ae::SliceConfig{}, query(0, 55).workload).latencies_ms);
+  const ae::WorkerAnnounce announce = control.hello();
+  ASSERT_EQ(announce.backends.size(), 2u);
+  EXPECT_EQ(announce.backends[1].name, "sim-pushed");
+  EXPECT_EQ(announce.backends[1].params_digest, 0xD1Du);
+}
+
+TEST(RpcLoopback, CancelledRequestIsDroppedWithoutAResponse) {
+  // Drive the server with a raw loopback endpoint: a kCancel for a request
+  // id followed by the kQuery with that id must produce NO response (the
+  // episode is skipped), while other ids keep flowing.
+  LoopbackWorker worker;
+  auto [client_end, server_end] = ar::make_loopback_pair();
+  std::shared_ptr<ar::Transport> remote{std::move(server_end)};
+  std::thread serve([&worker, remote] { worker.server.serve(*remote); });
+
+  client_end->send(ar::encode_cancel(7));
+  client_end->send(ar::encode_query(7, query(0, 70)));
+  client_end->send(ar::encode_query(8, query(0, 80)));
+
+  std::vector<std::uint8_t> frame;
+  ASSERT_TRUE(client_end->recv(frame));
+  ar::WireReader reader(frame);
+  const auto header = ar::decode_header(reader);
+  EXPECT_EQ(header.request_id, 8u) << "request 7 was cancelled before execution";
+  EXPECT_EQ(header.type, ar::MsgType::kResult);
+
+  client_end->close();
+  serve.join();
+  EXPECT_EQ(worker.server.cancelled_total(), 1u);
+  EXPECT_EQ(worker.service.backend_stats(0).episodes, 1u) << "only request 8 executed";
+}

@@ -118,6 +118,7 @@ struct StartupError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+
 void write_port_file(const std::string& path, std::uint16_t port) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
@@ -156,6 +157,12 @@ int run_worker(const WorkerOptions& options) {
   server_options.port = options.port;
   server_options.drain_timeout_ms = options.drain_timeout_ms;
   atlas::rpc::EpisodeRpcServer server(service, server_options);
+  // Announce the placement fingerprint (wire v4): same flags -> same digest
+  // -> a FarmController groups this worker's simulators with its peers'.
+  for (int i = 0; i < options.simulators; ++i) {
+    server.set_backend_digest(static_cast<atlas::env::BackendId>(i),
+                              atlas::env::params_digest(atlas::env::SimParams::defaults()));
+  }
 
   if (!options.quiet) {
     std::printf("atlas_episode_worker: %d simulator(s), %d real-network backend(s), "

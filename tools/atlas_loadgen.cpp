@@ -7,21 +7,29 @@
 //
 // Usage:
 //   atlas_loadgen [--topology inproc|remote|both] [--host H] [--port N]
-//                 [--qps Q1,Q2,...] [--sweep-start Q] [--sweep-factor F]
-//                 [--sweep-max-steps N] [--duration S] [--workers N]
-//                 [--threads N] [--shards N] [--cache-capacity N]
-//                 [--mix-revisit F] [--mix-online F] [--mix-trace F]
-//                 [--episode-ms MS] [--incumbents N] [--seed N]
-//                 [--out PATH] [--smoke] [--quiet]
+//                 [--workers N] [--qps Q1,Q2,...] [--sweep-start Q]
+//                 [--sweep-factor F] [--sweep-max-steps N] [--duration S]
+//                 [--clients N] [--threads N] [--shards N]
+//                 [--cache-capacity N] [--mix-revisit F] [--mix-online F]
+//                 [--mix-trace F] [--episode-ms MS] [--incumbents N]
+//                 [--seed N] [--out PATH] [--smoke] [--quiet]
 //
 //   --topology        Which serving stacks to drive (default inproc; remote
-//                     and both need --port of a running atlas_episode_worker).
+//                     and both need --port of a running atlas_episode_worker
+//                     OR --workers >= 2 to self-host a farm).
+//   --workers         Remote episode workers to drive (default 1 = the single
+//                     direct RemoteBackend path). With N >= 2 the remote
+//                     topology becomes a FarmController-managed farm: an
+//                     external --port worker counts as worker 0 and the rest
+//                     are self-hosted in-process episode-RPC servers on
+//                     ephemeral loopback ports; per-worker throughput is
+//                     reported in the JSON `workers` array.
 //   --qps             Explicit offered-rate points; otherwise a geometric
 //                     sweep from --sweep-start (default 50) by --sweep-factor
 //                     (default 2) up to --sweep-max-steps (default 6) points,
 //                     stopping one point after saturation.
 //   --duration        Seconds of offered load per point (default 2).
-//   --workers         Generator client threads per point (default 32).
+//   --clients         Generator client threads per point (default 32).
 //   --threads         Service pool threads (0 = hardware default).
 //   --shards          In-process ShardRouter shards (default 2).
 //   --mix-*           Query-mix fractions (defaults: 0.45 revisit,
@@ -40,14 +48,18 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "env/env_service.hpp"
+#include "env/farm_controller.hpp"
 #include "env/loadgen.hpp"
 #include "env/shard_router.hpp"
 #include "rpc/remote_backend.hpp"
+#include "rpc/server.hpp"
+#include "rpc/worker_control.hpp"
 #include "telemetry/report.hpp"
 
 namespace {
@@ -61,7 +73,8 @@ struct LoadgenOptions {
   double sweep_factor = 2.0;
   std::size_t sweep_max_steps = 6;
   double duration_s = 2.0;
-  std::size_t workers = 32;
+  std::size_t clients = 32;
+  std::size_t workers = 1;
   std::size_t threads = 0;
   std::size_t shards = 2;
   std::size_t cache_capacity = 65536;
@@ -77,11 +90,12 @@ struct LoadgenOptions {
 void print_usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
                "usage: %s [--topology inproc|remote|both] [--host H] [--port N]\n"
-               "          [--qps Q1,Q2,...] [--sweep-start Q] [--sweep-factor F]\n"
-               "          [--sweep-max-steps N] [--duration S] [--workers N] [--threads N]\n"
-               "          [--shards N] [--cache-capacity N] [--mix-revisit F]\n"
-               "          [--mix-online F] [--mix-trace F] [--episode-ms MS]\n"
-               "          [--incumbents N] [--seed N] [--out PATH] [--smoke] [--quiet]\n",
+               "          [--workers N] [--qps Q1,Q2,...] [--sweep-start Q]\n"
+               "          [--sweep-factor F] [--sweep-max-steps N] [--duration S]\n"
+               "          [--clients N] [--threads N] [--shards N] [--cache-capacity N]\n"
+               "          [--mix-revisit F] [--mix-online F] [--mix-trace F]\n"
+               "          [--episode-ms MS] [--incumbents N] [--seed N] [--out PATH]\n"
+               "          [--smoke] [--quiet]\n",
                argv0);
 }
 
@@ -146,6 +160,8 @@ LoadgenOptions parse_args(int argc, char** argv) {
       options.sweep_max_steps = static_cast<std::size_t>(parse_double(argv[0], flag, next()));
     } else if (flag == "--duration") {
       options.duration_s = parse_double(argv[0], flag, next());
+    } else if (flag == "--clients") {
+      options.clients = static_cast<std::size_t>(parse_double(argv[0], flag, next()));
     } else if (flag == "--workers") {
       options.workers = static_cast<std::size_t>(parse_double(argv[0], flag, next()));
     } else if (flag == "--threads") {
@@ -186,11 +202,14 @@ LoadgenOptions parse_args(int argc, char** argv) {
     if (options.qps.empty()) options.qps = {50.0, 200.0};
     options.duration_s = 0.4;
     options.episode_ms = 5.0;
-    options.workers = std::min<std::size_t>(options.workers, 16);
+    options.clients = std::min<std::size_t>(options.clients, 16);
   }
-  if ((options.topology == "remote" || options.topology == "both") && options.port == 0) {
+  if (options.workers == 0) usage_error(argv[0], "--workers must be >= 1");
+  if ((options.topology == "remote" || options.topology == "both") && options.port == 0 &&
+      options.workers < 2) {
     usage_error(argv[0], "--topology " + options.topology +
-                             " needs --port of a running atlas_episode_worker");
+                             " needs --port of a running atlas_episode_worker"
+                             " (or --workers >= 2 to self-host a farm)");
   }
   if (options.shards == 0) usage_error(argv[0], "--shards must be >= 1");
   return options;
@@ -201,6 +220,13 @@ struct PointRow {
   atlas::env::LoadPointResult result;
 };
 
+struct WorkerRow {
+  std::string address;
+  atlas::env::WorkerHealth health;
+  bool has_stats = false;
+  atlas::env::EnvServiceStats stats;
+};
+
 struct TopologyReport {
   std::string name;
   std::vector<PointRow> points;
@@ -209,6 +235,7 @@ struct TopologyReport {
   atlas::env::EnvServiceStats final_stats;
   bool has_worker_stats = false;
   atlas::env::EnvServiceStats worker_stats;
+  std::vector<WorkerRow> workers;  ///< Farm topology: one row per worker.
 };
 
 /// Offered rates to drive: explicit --qps, or a geometric sweep that stops
@@ -248,7 +275,7 @@ TopologyReport drive(const LoadgenOptions& options, const std::string& name,
   plan_options.has_online = has_online;
 
   atlas::env::LoadRunOptions run_options;
-  run_options.workers = options.workers;
+  run_options.workers = options.clients;
 
   const std::vector<double> points = sweep_points(options);
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -334,6 +361,88 @@ TopologyReport drive_remote(const LoadgenOptions& options) {
                remote.get());
 }
 
+TopologyReport drive_farm(const LoadgenOptions& options) {
+  // Multi-worker serving path: --workers episode-RPC workers behind one
+  // FarmController-managed ShardRouter. An external --port worker counts as
+  // worker 0; the rest are self-hosted in this process on ephemeral loopback
+  // ports (real TCP, real codec — only the host boundary is missing). All
+  // workers announce the same default simulator, so they collapse into ONE
+  // FailoverBackend and the controller round-robins episodes across them.
+  struct InprocWorker {
+    std::unique_ptr<atlas::env::EnvService> service;
+    std::unique_ptr<atlas::rpc::EpisodeRpcServer> server;
+  };
+  std::vector<InprocWorker> hosted;
+  std::vector<std::shared_ptr<atlas::rpc::RemoteWorkerControl>> controls;
+
+  if (options.port != 0) {
+    atlas::rpc::RemoteWorkerOptions control;
+    control.host = options.host;
+    control.port = options.port;
+    controls.push_back(std::make_shared<atlas::rpc::RemoteWorkerControl>(control));
+  }
+  while (controls.size() < options.workers) {
+    InprocWorker worker;
+    atlas::env::EnvServiceOptions service_options;
+    service_options.threads = options.threads;
+    service_options.cache_capacity = options.cache_capacity;
+    worker.service = std::make_unique<atlas::env::EnvService>(service_options);
+    worker.service->add_simulator(atlas::env::SimParams::defaults(), "sim-0");
+    worker.server = std::make_unique<atlas::rpc::EpisodeRpcServer>(*worker.service);
+    // Same digest as atlas_episode_worker's default simulator, so an external
+    // --port worker and the self-hosted ones share one FailoverBackend.
+    worker.server->set_backend_digest(0, atlas::env::params_digest(
+                                             atlas::env::SimParams::defaults()));
+    atlas::rpc::RemoteWorkerOptions control;
+    control.port = worker.server->port();
+    controls.push_back(std::make_shared<atlas::rpc::RemoteWorkerControl>(control));
+    hosted.push_back(std::move(worker));
+  }
+
+  atlas::env::EnvServiceOptions router_options;
+  router_options.threads = options.threads;
+  router_options.cache_capacity = options.cache_capacity;
+  atlas::env::ShardRouter router(options.shards, router_options);
+
+  atlas::env::FarmController controller(router);
+  for (const auto& control : controls) controller.add_worker(control);
+  // The shared simulator's global id: first offline backend worker 0 hosts.
+  atlas::env::BackendId sim = 0;
+  bool found = false;
+  for (const atlas::env::BackendId id : controller.worker_backends(0)) {
+    if (router.backend_kind(id) == atlas::env::BackendKind::kOffline) {
+      sim = id;
+      found = true;
+      break;
+    }
+  }
+  if (!found) throw std::runtime_error("farm worker 0 announced no offline backend");
+  const atlas::env::BackendId real = router.add_real_network();
+
+  controller.start();  // heartbeat sweeps run for the whole drive
+  TopologyReport report = drive(options, "farm", router, sim, real,
+                                /*has_online=*/true, nullptr);
+  controller.stop();
+
+  // Per-worker view: a final heartbeat (load gauges + episode count) plus the
+  // worker's own stats snapshot, so the JSON shows how evenly the farm
+  // saturated — not just the aggregate.
+  for (const auto& control : controls) {
+    WorkerRow row;
+    row.address = control->address();
+    try {
+      row.health = control->heartbeat();
+      row.stats = control->worker_stats();
+      row.has_stats = true;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "atlas_loadgen: worker %s scrape failed: %s\n",
+                   row.address.c_str(), e.what());
+    }
+    report.workers.push_back(std::move(row));
+  }
+  return report;
+}
+
 void write_point_json(atlas::telemetry::JsonWriter& json, const PointRow& row) {
   json.begin_object();
   json.field("offered_qps", row.result.offered_qps);
@@ -368,6 +477,46 @@ void write_topology_json(atlas::telemetry::JsonWriter& json, const TopologyRepor
   json.end_array();
   json.key("query_latency_ms");
   atlas::telemetry::write_histogram_json(json, report.final_stats.query_latency_ns, 1e6);
+  if (report.final_stats.farm.active) {
+    const atlas::env::FarmView& farm = report.final_stats.farm;
+    json.key("farm");
+    json.begin_object();
+    json.field("workers", farm.workers);
+    json.field("workers_serving", farm.workers_serving);
+    json.field("workers_suspect", farm.workers_suspect);
+    json.field("workers_joined", farm.workers_joined);
+    json.field("workers_lost", farm.workers_lost);
+    json.field("workers_drained", farm.workers_drained);
+    json.field("heartbeats_missed", farm.heartbeats_missed);
+    json.field("episodes_redispatched", farm.episodes_redispatched);
+    json.field("memo_entries_migrated", farm.memo_entries_migrated);
+    json.field("backends_migrated", farm.backends_migrated);
+    json.end_object();
+  }
+  if (!report.workers.empty()) {
+    // Per-worker saturation: how evenly episode execution spread.
+    double wall_s = 0.0;
+    for (const PointRow& row : report.points) wall_s += row.result.wall_s;
+    json.key("workers");
+    json.begin_array();
+    for (const WorkerRow& row : report.workers) {
+      json.begin_object();
+      json.field("address", row.address);
+      json.field("episodes", row.health.episodes);
+      json.field("episodes_per_sec",
+                 wall_s <= 0.0 ? 0.0 : static_cast<double>(row.health.episodes) / wall_s);
+      json.field("outstanding", row.health.outstanding);
+      json.field("cache_entries", row.health.cache_entries);
+      if (row.has_stats) {
+        json.field("queries", row.stats.total_queries());
+        json.field("cache_hit_rate", row.stats.hit_rate());
+        json.key("rpc_service_ms");
+        atlas::telemetry::write_histogram_json(json, row.stats.rpc_service_ns, 1e6);
+      }
+      json.end_object();
+    }
+    json.end_array();
+  }
   if (report.has_worker_stats) {
     json.key("worker");
     json.begin_object();
@@ -391,7 +540,7 @@ int main(int argc, char** argv) {
       reports.push_back(drive_inproc(options));
     }
     if (options.topology == "remote" || options.topology == "both") {
-      reports.push_back(drive_remote(options));
+      reports.push_back(options.workers >= 2 ? drive_farm(options) : drive_remote(options));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "atlas_loadgen: fatal: %s\n", e.what());
@@ -413,6 +562,7 @@ int main(int argc, char** argv) {
   json.field("seed", options.seed);
   json.field("duration_s", options.duration_s);
   json.field("episode_ms", options.episode_ms);
+  json.field("clients", static_cast<std::uint64_t>(options.clients));
   json.field("workers", static_cast<std::uint64_t>(options.workers));
   json.key("topologies");
   json.begin_array();
