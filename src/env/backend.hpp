@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "env/environment.hpp"
@@ -26,6 +28,29 @@ enum class BackendKind {
 /// Opaque handle to a registered backend. Index into a service registry.
 using BackendId = std::uint32_t;
 
+/// Admission-control priority of one query. When a service's queue depth
+/// crosses the soft shed watermark, kSpeculative work goes first (optimistic
+/// prefetch episodes are just warm cache entries — dropping one costs
+/// nothing); past the hard watermark every offline query sheds. Metered
+/// (online) queries are NEVER shed: they are the paper's SLA-exposure
+/// currency and each one was deliberately spent.
+enum class QueryPriority : std::uint8_t {
+  kSpeculative = 0,  ///< Optimistic/prefetch work: first to shed.
+  kNormal = 1,       ///< Regular stage/baseline queries.
+};
+
+/// Cooperative cancellation token for hedged execution: the owner flips it,
+/// a cancellable backend observes it mid-wait and abandons the attempt by
+/// throwing EpisodeCancelled.
+using CancelToken = std::atomic<bool>;
+
+/// Thrown by a cancellable execute when its CancelToken fired. Distinct from
+/// a real failure: a hedging loser's cancellation is NOT a worker fault and
+/// must not trip circuit breakers or the farm health machine.
+struct EpisodeCancelled : std::runtime_error {
+  EpisodeCancelled() : std::runtime_error("episode cancelled (hedge loser)") {}
+};
+
 /// One environment query: which backend, which configuration interval.
 /// `sim_params` optionally overrides the Table 3 simulation parameters for
 /// this query only (Stage 1 evaluates a different parameter vector per
@@ -40,6 +65,18 @@ struct EnvQuery {
   /// reported separately as `crn_hits`. Not part of the memoization key — it
   /// annotates the query, it does not change the episode.
   bool crn = false;
+  /// Relative deadline budget in milliseconds, measured from the moment the
+  /// query enters a service (0 = no deadline). If it elapses before the
+  /// episode starts executing, the service returns a typed
+  /// RejectReason::kDeadlineExceeded result instead of stale work; remote
+  /// backends additionally cap their RPC wait at the remaining budget and
+  /// propagate it over the wire (v5 field) so the worker can drop
+  /// already-dead queries from ITS queue too. Like `crn`, not part of the
+  /// memoization key — it shapes serving, not the episode.
+  double deadline_ms = 0.0;
+  /// Shed ordering under overload; see QueryPriority. Not part of the
+  /// memoization key.
+  QueryPriority priority = QueryPriority::kNormal;
 };
 
 /// Per-backend accounting. `queries` counts everything routed through the
@@ -54,12 +91,21 @@ struct BackendStats {
   std::uint64_t crn_hits = 0;      ///< Subset of cache_hits on CRN-planned queries:
                                    ///< episodes saved by cross-iteration seed reuse.
   std::uint64_t episodes = 0;      ///< Environment executions.
+  /// Queries answered with a typed rejection instead of an episode. For
+  /// cacheable workloads the exact-accounting invariant extends to
+  /// `cache_hits + cache_misses + shedded + deadline_rejected == queries`.
+  std::uint64_t shedded = 0;            ///< Load-shed at admission (watermark).
+  std::uint64_t deadline_rejected = 0;  ///< Deadline elapsed before execution.
   double cost_hint = 1.0;          ///< Relative episode recomputation cost.
   std::uint64_t rpc_retries = 0;   ///< Transport-level retries (remote backends only).
   std::uint64_t rpc_failures = 0;  ///< Queries that exhausted retries or hard-failed remotely.
+  std::uint64_t rpc_reconnects = 0;  ///< Successful connection re-establishments (remote only).
   /// Round-trip latency of successful episode RPCs in nanoseconds (remote
   /// backends only; empty for local ones). Filled by fill_stats.
   telemetry::HistogramData rpc_rtt_ns;
+
+  /// Total typed rejections (shed + deadline).
+  std::uint64_t rejected() const noexcept { return shedded + deadline_rejected; }
 };
 
 /// The polymorphic execution target behind a `BackendId`: an in-process
@@ -79,6 +125,17 @@ class EnvBackend {
   /// `backend` field is the CALLER's id for this backend and is ignored here
   /// (remote backends rewrite it to the worker-side id before forwarding).
   virtual EpisodeResult execute(const EnvQuery& query) const = 0;
+
+  /// Cancellable variant used by hedged dispatch: implementations that can
+  /// abandon an in-flight attempt (remote backends waiting on an RPC reply)
+  /// poll `cancel` and throw EpisodeCancelled when it fires. The default
+  /// ignores the token — a local episode is milliseconds of CPU, cheaper to
+  /// finish than to interrupt, and its result is bit-identical either way.
+  virtual EpisodeResult execute_cancellable(const EnvQuery& query,
+                                            const CancelToken& cancel) const {
+    (void)cancel;
+    return execute(query);
+  }
 
   virtual BackendKind kind() const noexcept = 0;
   virtual const std::string& name() const noexcept = 0;

@@ -90,35 +90,39 @@ std::string quantile_ms(const telemetry::HistogramData& histogram, double q) {
 }  // namespace
 
 common::Table EnvServiceStats::summary() const {
-  common::Table table({"backend", "kind", "cost", "queries", "hits", "crn", "episodes",
+  common::Table table({"backend", "kind", "cost", "queries", "hits", "crn", "episodes", "shed",
                        "rpc retries", "rpc failures", "rpc p50 ms", "rpc p99 ms"});
   for (const BackendStats& b : backends) {
     table.add_row({b.name, b.kind == BackendKind::kOnline ? "online" : "offline",
                    common::fmt(b.cost_hint, 0), std::to_string(b.queries),
                    std::to_string(b.cache_hits), std::to_string(b.crn_hits),
-                   std::to_string(b.episodes), std::to_string(b.rpc_retries),
-                   std::to_string(b.rpc_failures), quantile_ms(b.rpc_rtt_ns, 0.50),
-                   quantile_ms(b.rpc_rtt_ns, 0.99)});
+                   std::to_string(b.episodes), std::to_string(b.rejected()),
+                   std::to_string(b.rpc_retries), std::to_string(b.rpc_failures),
+                   quantile_ms(b.rpc_rtt_ns, 0.50), quantile_ms(b.rpc_rtt_ns, 0.99)});
   }
   std::uint64_t episodes = 0;
+  std::uint64_t rejected = 0;
   std::uint64_t retries = 0;
   std::uint64_t failures = 0;
   telemetry::HistogramData rtt;
   for (const BackendStats& b : backends) {
     episodes += b.episodes;
+    rejected += b.rejected();
     retries += b.rpc_retries;
     failures += b.rpc_failures;
     rtt.merge(b.rpc_rtt_ns);
   }
   table.add_row({"TOTAL", "", "", std::to_string(total_queries()), std::to_string(cache_hits),
-                 std::to_string(crn_hits), std::to_string(episodes), std::to_string(retries),
-                 std::to_string(failures), quantile_ms(rtt, 0.50), quantile_ms(rtt, 0.99)});
+                 std::to_string(crn_hits), std::to_string(episodes), std::to_string(rejected),
+                 std::to_string(retries), std::to_string(failures), quantile_ms(rtt, 0.50),
+                 quantile_ms(rtt, 0.99)});
   // Service-level serving latency: what a caller of run()/submit() saw,
   // including cache hits (that's the point — the service IS the product).
   table.add_row({"query latency", "p50 " + quantile_ms(query_latency_ns, 0.50) + " ms",
                  "p99 " + quantile_ms(query_latency_ns, 0.99) + " ms",
                  "p999 " + quantile_ms(query_latency_ns, 0.999) + " ms",
-                 "max " + quantile_ms(query_latency_ns, 1.0) + " ms", "", "", "", "", "", ""});
+                 "max " + quantile_ms(query_latency_ns, 1.0) + " ms", "", "", "", "", "", "",
+                 ""});
   if (farm.active) {
     table.add_row({"farm", "serving " + std::to_string(farm.workers_serving),
                    "suspect " + std::to_string(farm.workers_suspect),
@@ -127,7 +131,18 @@ common::Table EnvServiceStats::summary() const {
                    "drained " + std::to_string(farm.workers_drained),
                    "redispatched " + std::to_string(farm.episodes_redispatched),
                    "memo migrated " + std::to_string(farm.memo_entries_migrated),
-                   "backends migrated " + std::to_string(farm.backends_migrated), "", ""});
+                   "backends migrated " + std::to_string(farm.backends_migrated), "", "", ""});
+  }
+  // Degradation visibility: only rendered once any overload/fault machinery
+  // has fired, so quiet deployments keep the familiar table.
+  if (farm.hedges > 0 || farm.breaker_trips > 0 || farm.reconnects > 0 ||
+      shed_total > 0 || deadline_rejected > 0) {
+    table.add_row({"overload", "hedges " + std::to_string(farm.hedges),
+                   "hedge wins " + std::to_string(farm.hedge_wins),
+                   "breaker trips " + std::to_string(farm.breaker_trips),
+                   "reconnects " + std::to_string(farm.reconnects),
+                   "shed " + std::to_string(shed_total),
+                   "deadline " + std::to_string(deadline_rejected), "", "", "", "", ""});
   }
   return table;
 }

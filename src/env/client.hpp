@@ -58,6 +58,15 @@ struct FarmView {
   std::uint64_t episodes_redispatched = 0;  ///< re-run on a replica after a worker fault
   std::uint64_t memo_entries_migrated = 0;  ///< worker-to-worker memo transfers
   std::uint64_t backends_migrated = 0;      ///< backends whose memo found a new shard
+  // Overload / partial-failure counters (PR 8). hedges/hedge_wins/
+  // breaker_trips come from the FarmController; reconnects and shed_total are
+  // filled by ShardRouter::stats() from the backend rows so they cover
+  // non-farm remote backends too.
+  std::uint64_t hedges = 0;         ///< hedged second attempts launched
+  std::uint64_t hedge_wins = 0;     ///< hedges whose SECOND attempt returned first
+  std::uint64_t breaker_trips = 0;  ///< per-replica circuit breakers opened
+  std::uint64_t reconnects = 0;     ///< remote connections re-established
+  std::uint64_t shed_total = 0;     ///< queries shed at admission watermarks
 };
 
 /// Service-wide accounting snapshot.
@@ -70,6 +79,11 @@ struct EnvServiceStats {
   /// Subset of cache_hits served to CRN-planned queries: cross-iteration
   /// episode reuse from deliberate seed sharing (env/seed_plan.hpp).
   std::uint64_t crn_hits = 0;
+  /// Typed rejections under overload protection: queries answered with a
+  /// RejectReason instead of an episode (counted in *_queries too, so
+  /// hits + misses + rejections == queries stays exact for cacheable loads).
+  std::uint64_t shed_total = 0;         ///< admission-watermark sheds
+  std::uint64_t deadline_rejected = 0;  ///< deadlines that elapsed pre-execution
   /// Serving telemetry (src/telemetry/), merged across shards by ShardRouter:
   /// per-query service latency (cache hits and episode executions alike) and
   /// the queue depth observed at each submission/run, both always-on.

@@ -69,10 +69,16 @@ EnvService::EnvService(EnvServiceOptions options)
     shards_.push_back(std::make_unique<CacheShard>());
   }
   shard_capacity_ = std::max<std::size_t>(1, options_.cache_capacity / shard_count);
+  if (options_.shed_watermark > 0) {
+    hard_watermark_ = options_.shed_hard_watermark > 0 ? options_.shed_hard_watermark
+                                                       : options_.shed_watermark * 2;
+  }
   registry_.store(std::make_shared<const RegistrySnapshot>(), std::memory_order_release);
   // Hot paths hold the metric pointers; the registry is only consulted here.
   query_latency_ = &metrics_.histogram("env.query_latency_ns");
   queue_depth_ = &metrics_.histogram("env.queue_depth");
+  shed_total_ = &metrics_.counter("env.shed_total");
+  deadline_rejected_ = &metrics_.counter("env.deadline_rejected");
 }
 
 bool EnvService::caching_enabled() const noexcept {
@@ -228,6 +234,17 @@ EpisodeResult EnvService::run_single_flight(Backend& backend, const EnvQuery& qu
     flight->promise.set_exception(std::current_exception());
     throw;
   }
+  // A backend may itself answer with a typed rejection (a remote worker shed
+  // the query or its deadline died in the worker's queue): no episode ran,
+  // and memoizing it would replay the rejection to every future asker.
+  if (result.is_rejected()) {
+    {
+      std::scoped_lock lock(shard.mutex);
+      shard.in_flight.erase(key);
+    }
+    flight->promise.set_value(result);
+    return result;
+  }
   backend.episodes.fetch_add(1, std::memory_order_relaxed);
 
   {
@@ -246,7 +263,38 @@ EpisodeResult EnvService::run_single_flight(Backend& backend, const EnvQuery& qu
   return result;
 }
 
-EpisodeResult EnvService::run_impl(const EnvQuery& query) {
+RejectReason EnvService::admission_check(Backend& backend, const EnvQuery& query,
+                                         std::chrono::steady_clock::time_point arrival) {
+  // A deadline that elapsed while the query sat in the submit queue takes
+  // precedence: the caller stopped wanting this result, shed or not.
+  if (query.deadline_ms > 0.0) {
+    const double waited_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - arrival)
+            .count();
+    if (waited_ms >= query.deadline_ms) {
+      backend.deadline_rejected.fetch_add(1, std::memory_order_relaxed);
+      deadline_rejected_->increment();
+      return RejectReason::kDeadlineExceeded;
+    }
+  }
+  // Watermark shedding applies to offline work only: metered queries were
+  // deliberately spent and must reach the network.
+  if (options_.shed_watermark > 0 && backend.impl->kind() == BackendKind::kOffline) {
+    const std::size_t depth = outstanding_queries();
+    const bool shed = depth >= hard_watermark_ ||
+                      (depth >= options_.shed_watermark &&
+                       query.priority == QueryPriority::kSpeculative);
+    if (shed) {
+      backend.shedded.fetch_add(1, std::memory_order_relaxed);
+      shed_total_->increment();
+      return RejectReason::kShedded;
+    }
+  }
+  return RejectReason::kNone;
+}
+
+EpisodeResult EnvService::run_impl(const EnvQuery& query,
+                                   std::chrono::steady_clock::time_point arrival) {
   Backend& backend = backend_at(query.backend);
   if (query.sim_params && !backend.impl->accepts_sim_params()) {
     // An override replaces the episode's profile wholesale; allowing it on a
@@ -258,6 +306,17 @@ EpisodeResult EnvService::run_impl(const EnvQuery& query) {
   }
   backend.queries.fetch_add(1, std::memory_order_relaxed);
 
+  // Overload protection: shed or deadline-expire BEFORE paying any execution
+  // or cache cost. Rejections are typed results, never cached, and keep the
+  // accounting exact: hits + misses + rejected() == queries for cacheable
+  // workloads, episodes + rejected() == queries for uncached ones.
+  if (const RejectReason reason = admission_check(backend, query, arrival);
+      reason != RejectReason::kNone) {
+    EpisodeResult rejected;
+    rejected.rejected = reason;
+    return rejected;
+  }
+
   // Tracing episodes carry per-frame payloads and are observational; keep
   // them out of the memo table. With caching disabled (capacity 0) there is
   // no table to consult at all: no lock, no phantom miss counters.
@@ -268,13 +327,14 @@ EpisodeResult EnvService::run_impl(const EnvQuery& query) {
   }
 
   EpisodeResult result = backend.impl->execute(query);
-  backend.episodes.fetch_add(1, std::memory_order_relaxed);
+  if (!result.is_rejected()) backend.episodes.fetch_add(1, std::memory_order_relaxed);
   return result;
 }
 
-EpisodeResult EnvService::run_timed(const EnvQuery& query) {
+EpisodeResult EnvService::run_timed(const EnvQuery& query,
+                                    std::chrono::steady_clock::time_point arrival) {
   const auto start = std::chrono::steady_clock::now();
-  EpisodeResult result = run_impl(query);
+  EpisodeResult result = run_impl(query, arrival);
   const auto elapsed = std::chrono::steady_clock::now() - start;
   query_latency_->record(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
@@ -284,7 +344,7 @@ EpisodeResult EnvService::run_timed(const EnvQuery& query) {
 EpisodeResult EnvService::run(const EnvQuery& query) {
   OutstandingGuard guard(outstanding_);
   queue_depth_->record(outstanding_queries());
-  return run_timed(query);
+  return run_timed(query, std::chrono::steady_clock::now());
 }
 
 QueryHandle EnvService::submit(EnvQuery query) {
@@ -298,12 +358,16 @@ QueryHandle EnvService::submit(EnvQuery query) {
   queue_depth_->record(outstanding_queries());
   std::future<EpisodeResult> future;
   try {
-    future = pool_.submit([this, q = std::move(query)] {
+    // Deadlines are measured from SUBMISSION: time spent queued behind other
+    // work counts against the budget, which is exactly the staleness a
+    // deadline protects against.
+    const auto arrival = std::chrono::steady_clock::now();
+    future = pool_.submit([this, arrival, q = std::move(query)] {
       struct Release {
         std::atomic<std::int64_t>* counter;
         ~Release() { counter->fetch_sub(1, std::memory_order_relaxed); }
       } release{&outstanding_};
-      return run_timed(q);
+      return run_timed(q, arrival);
     });
   } catch (...) {
     // The task never enqueued, so its Release will never run; a leaked
@@ -335,6 +399,8 @@ BackendStats EnvService::backend_stats(BackendId id) const {
   stats.cache_misses = backend.cache_misses.load(std::memory_order_relaxed);
   stats.crn_hits = backend.crn_hits.load(std::memory_order_relaxed);
   stats.episodes = backend.episodes.load(std::memory_order_relaxed);
+  stats.shedded = backend.shedded.load(std::memory_order_relaxed);
+  stats.deadline_rejected = backend.deadline_rejected.load(std::memory_order_relaxed);
   stats.cost_hint = backend.impl->cost_hint();
   backend.impl->fill_stats(stats);  // rpc retries/failures for remote backends
   return stats;
@@ -354,10 +420,18 @@ EnvServiceStats EnvService::stats() const {
     total.cache_hits += s.cache_hits;
     total.cache_misses += s.cache_misses;
     total.crn_hits += s.crn_hits;
+    total.shed_total += s.shedded;
+    total.deadline_rejected += s.deadline_rejected;
     total.backends.push_back(std::move(s));
   }
   total.query_latency_ns = query_latency_->snapshot();
   total.queue_depth = queue_depth_->snapshot();
+  // Same backend-row aggregation ShardRouter::stats() does, so a standalone
+  // service reports reconnect/shed activity in the overload summary row too.
+  for (const BackendStats& s : total.backends) {
+    total.farm.reconnects += s.rpc_reconnects;
+    total.farm.shed_total += s.rejected();
+  }
   return total;
 }
 
@@ -369,6 +443,8 @@ void EnvService::reset_stats() {
     backend->cache_misses.store(0, std::memory_order_relaxed);
     backend->crn_hits.store(0, std::memory_order_relaxed);
     backend->episodes.store(0, std::memory_order_relaxed);
+    backend->shedded.store(0, std::memory_order_relaxed);
+    backend->deadline_rejected.store(0, std::memory_order_relaxed);
     backend->impl->reset_stats();  // backend-owned counters (rpc retries/failures)
   }
   metrics_.reset();

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -28,6 +29,14 @@ struct EnvServiceOptions {
   /// caches keep exact per-stripe LRU eviction while large ones stop
   /// serializing every lookup on one mutex.
   std::size_t cache_shards = 0;
+  /// Admission-control watermarks over outstanding_queries() (0 = shedding
+  /// disabled — the default, so existing callers see no behavior change).
+  /// At or above `shed_watermark`, kSpeculative offline queries are shed
+  /// with a typed RejectReason::kShedded result; at or above
+  /// `shed_hard_watermark` (0 = 2x the soft watermark), ALL offline queries
+  /// shed. Metered (online) queries are never shed.
+  std::size_t shed_watermark = 0;
+  std::size_t shed_hard_watermark = 0;
 };
 
 /// The environment-query service every Atlas component talks to (instead of
@@ -150,6 +159,8 @@ class EnvService final : public EnvClient {
     std::atomic<std::uint64_t> cache_misses{0};
     std::atomic<std::uint64_t> crn_hits{0};
     std::atomic<std::uint64_t> episodes{0};
+    std::atomic<std::uint64_t> shedded{0};
+    std::atomic<std::uint64_t> deadline_rejected{0};
   };
   /// Read-mostly registry snapshot: rebuilt on (rare) registration, loaded
   /// lock-free on every query. Backends live in a deque, so the pointers
@@ -198,11 +209,21 @@ class EnvService final : public EnvClient {
   /// Evict until `shard.entries.size() <= shard_capacity_` (mutex held).
   void evict_locked(CacheShard& shard);
   EpisodeResult run_single_flight(Backend& backend, const EnvQuery& query);
-  EpisodeResult run_impl(const EnvQuery& query);
+  /// `arrival` is when the query entered the service (submission time for
+  /// submit(), call time for run()): deadlines measure queueing delay from
+  /// there, and admission sheds before any execution cost is paid.
+  EpisodeResult run_impl(const EnvQuery& query,
+                         std::chrono::steady_clock::time_point arrival);
   /// run_impl + telemetry: records service latency and samples queue depth.
-  EpisodeResult run_timed(const EnvQuery& query);
+  EpisodeResult run_timed(const EnvQuery& query,
+                          std::chrono::steady_clock::time_point arrival);
+  /// RejectReason::kNone when the query may proceed; otherwise the typed
+  /// rejection to return (counters already bumped).
+  RejectReason admission_check(Backend& backend, const EnvQuery& query,
+                               std::chrono::steady_clock::time_point arrival);
 
   EnvServiceOptions options_;
+  std::size_t hard_watermark_ = 0;  ///< Resolved shed_hard_watermark (0 = off).
 
   mutable std::mutex registry_mutex_;  ///< Serializes writers only.
   std::deque<Backend> backends_;       ///< deque: stable references across growth.
@@ -217,6 +238,8 @@ class EnvService final : public EnvClient {
   telemetry::MetricRegistry metrics_;
   telemetry::Histogram* query_latency_ = nullptr;  ///< Owned by metrics_.
   telemetry::Histogram* queue_depth_ = nullptr;    ///< Owned by metrics_.
+  telemetry::Counter* shed_total_ = nullptr;       ///< env.shed_total (owned by metrics_).
+  telemetry::Counter* deadline_rejected_ = nullptr;  ///< env.deadline_rejected.
 
   /// LAST member: destroyed first, so ~ThreadPool drains still-queued query
   /// tasks while the registry/shards they touch are alive.

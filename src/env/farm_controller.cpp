@@ -48,6 +48,9 @@ FarmView FarmState::view() const {
   view.episodes_redispatched = episodes_redispatched.load(std::memory_order_relaxed);
   view.memo_entries_migrated = memo_entries_migrated.load(std::memory_order_relaxed);
   view.backends_migrated = backends_migrated.load(std::memory_order_relaxed);
+  view.hedges = hedges.load(std::memory_order_relaxed);
+  view.hedge_wins = hedge_wins.load(std::memory_order_relaxed);
+  view.breaker_trips = breaker_trips.load(std::memory_order_relaxed);
   return view;
 }
 
@@ -59,9 +62,14 @@ void FarmState::report_fault(std::uint32_t worker) {
 
 // ---- FailoverBackend --------------------------------------------------------
 
-FailoverBackend::FailoverBackend(WorkerBackendInfo descriptor, std::shared_ptr<FarmState> farm)
-    : descriptor_(std::move(descriptor)), farm_(std::move(farm)) {
+FailoverBackend::FailoverBackend(WorkerBackendInfo descriptor, std::shared_ptr<FarmState> farm,
+                                 HedgePolicy hedge, BreakerPolicy breaker)
+    : descriptor_(std::move(descriptor)),
+      farm_(std::move(farm)),
+      hedge_(hedge),
+      breaker_policy_(breaker) {
   replicas_.store(std::make_shared<const ReplicaList>(), std::memory_order_release);
+  hedge_delay_cache_ms_.store(hedge_.fallback_delay_ms, std::memory_order_relaxed);
 }
 
 void FailoverBackend::add_replica(std::shared_ptr<const EnvBackend> backend,
@@ -69,7 +77,8 @@ void FailoverBackend::add_replica(std::shared_ptr<const EnvBackend> backend,
                                   std::shared_ptr<const std::atomic<int>> health) {
   std::scoped_lock lock(mutex_);
   auto next = std::make_shared<ReplicaList>(*snapshot());
-  next->push_back(Replica{std::move(backend), worker, std::move(health)});
+  next->push_back(
+      Replica{std::move(backend), worker, std::move(health), std::make_shared<Breaker>()});
   replicas_.store(std::shared_ptr<const ReplicaList>(std::move(next)),
                   std::memory_order_release);
 }
@@ -92,43 +101,245 @@ std::vector<std::uint32_t> FailoverBackend::replica_workers() const {
   return workers;
 }
 
+bool FailoverBackend::breaker_allows(const Replica& replica) const {
+  if (!breaker_policy_.enabled) return true;
+  Breaker& b = *replica.breaker;
+  const int state = b.state.load(std::memory_order_acquire);
+  if (state == 0) return true;  // closed
+  const auto now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  const auto cooldown_ns = static_cast<std::int64_t>(breaker_policy_.cooldown_ms * 1e6);
+  if (now_ns - b.opened_at_ns.load(std::memory_order_relaxed) < cooldown_ns) return false;
+  if (state == 1) {
+    // Open, cooldown elapsed: exactly ONE caller wins the CAS to half-open
+    // and probes; everyone else keeps skipping. Restart the window so the
+    // next probe slot arms one cooldown from now.
+    int expected = 1;
+    if (!b.state.compare_exchange_strong(expected, 2, std::memory_order_acq_rel)) return false;
+    b.opened_at_ns.store(now_ns, std::memory_order_relaxed);
+    return true;
+  }
+  // Half-open past its window: the claimed probe never ran (its candidate
+  // lost the race to an earlier success) — re-arm rather than wedge.
+  b.opened_at_ns.store(now_ns, std::memory_order_relaxed);
+  return true;
+}
+
+void FailoverBackend::breaker_success(const Replica& replica) const {
+  if (!breaker_policy_.enabled) return;
+  replica.breaker->consecutive_failures.store(0, std::memory_order_relaxed);
+  replica.breaker->state.store(0, std::memory_order_release);
+}
+
+void FailoverBackend::breaker_failure(const Replica& replica) const {
+  if (!breaker_policy_.enabled) return;
+  Breaker& b = *replica.breaker;
+  const std::uint32_t failures =
+      b.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  const int state = b.state.load(std::memory_order_acquire);
+  const bool reopen = state == 2;  // failed half-open probe: straight back open
+  if (!reopen && (state != 0 || failures < breaker_policy_.failure_threshold)) return;
+  b.opened_at_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now().time_since_epoch())
+                           .count(),
+                       std::memory_order_relaxed);
+  b.state.store(1, std::memory_order_release);
+  farm_->breaker_trips.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::size_t> FailoverBackend::candidate_order(const ReplicaList& replicas) const {
+  // Candidate order: serving replicas with a closed (or probe-ready) breaker
+  // first, round-robin rotated so load spreads; then joining/suspect/draining
+  // as fallback; dead and breaker-open replicas are skipped outright — unless
+  // that leaves nothing, in which case everyone gets one last chance (a stale
+  // health cell beats failing the episode).
+  std::vector<std::size_t> candidates;
+  candidates.reserve(replicas.size());
+  const std::size_t offset = rr_.fetch_add(1, std::memory_order_relaxed) % replicas.size();
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    const std::size_t index = (offset + i) % replicas.size();
+    const auto state =
+        static_cast<WorkerState>(replicas[index].health->load(std::memory_order_relaxed));
+    if (state == WorkerState::kServing && breaker_allows(replicas[index])) {
+      candidates.push_back(index);
+    }
+  }
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    const std::size_t index = (offset + i) % replicas.size();
+    const auto state =
+        static_cast<WorkerState>(replicas[index].health->load(std::memory_order_relaxed));
+    if (state == WorkerState::kDead) continue;
+    if (state == WorkerState::kServing && breaker_allows(replicas[index])) continue;  // tier 1
+    if (state == WorkerState::kServing) continue;  // breaker-open serving: last resort only
+    candidates.push_back(index);
+  }
+  if (candidates.empty()) {
+    for (std::size_t i = 0; i < replicas.size(); ++i) candidates.push_back(i);
+  }
+  return candidates;
+}
+
+double FailoverBackend::hedge_delay_ms() const {
+  if (!hedge_.enabled) return 0.0;
+  // Refresh the learned delay every kHedgeRefresh calls: quantile scans over
+  // merged histograms are too expensive for every episode, and the RTT
+  // distribution moves slowly.
+  constexpr std::uint64_t kHedgeRefresh = 64;
+  const std::uint64_t call = hedge_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (call % kHedgeRefresh == 0) {
+    telemetry::HistogramData rtt;
+    const auto replicas = snapshot();
+    for (const Replica& replica : *replicas) {
+      BackendStats stats;
+      replica.backend->fill_stats(stats);
+      rtt.merge(stats.rpc_rtt_ns);
+    }
+    double delay_ms = hedge_.fallback_delay_ms;
+    if (rtt.count() >= hedge_.min_samples) {
+      delay_ms = std::clamp(static_cast<double>(rtt.quantile(hedge_.quantile)) / 1e6,
+                            hedge_.min_delay_ms, hedge_.max_delay_ms);
+    }
+    hedge_delay_cache_ms_.store(delay_ms, std::memory_order_relaxed);
+  }
+  return hedge_delay_cache_ms_.load(std::memory_order_relaxed);
+}
+
+int FailoverBackend::breaker_state(std::uint32_t worker) const {
+  const auto replicas = snapshot();
+  for (const Replica& replica : *replicas) {
+    if (replica.worker == worker) return replica.breaker->state.load(std::memory_order_acquire);
+  }
+  return -1;
+}
+
+bool FailoverBackend::execute_hedged(const EnvQuery& query, const ReplicaList& replicas,
+                                     const std::vector<std::size_t>& candidates,
+                                     double hedge_ms, EpisodeResult& result,
+                                     std::exception_ptr& last, bool& faulted) const {
+  // Shared scoreboard for up to two racing attempts. Heap-allocated and
+  // joined below, so no attempt outlives it.
+  struct Race {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int finished = 0;
+    bool have_result = false;
+    std::size_t winner = 0;
+    EpisodeResult result;
+    std::exception_ptr error[2];
+    CancelToken cancel[2]{{false}, {false}};
+  };
+  const auto race = std::make_shared<Race>();
+
+  const auto run_attempt = [&query, race](const Replica& replica, std::size_t slot) {
+    try {
+      EpisodeResult r = replica.backend->execute_cancellable(query, race->cancel[slot]);
+      std::scoped_lock lock(race->mutex);
+      if (!race->have_result) {
+        race->have_result = true;
+        race->winner = slot;
+        race->result = std::move(r);
+      }
+      ++race->finished;
+      race->cv.notify_all();
+    } catch (...) {
+      std::scoped_lock lock(race->mutex);
+      race->error[slot] = std::current_exception();
+      ++race->finished;
+      race->cv.notify_all();
+    }
+  };
+
+  const Replica& primary = replicas[candidates[0]];
+  const Replica& secondary = replicas[candidates[1]];
+  std::thread first(run_attempt, std::cref(primary), 0);
+  bool hedged = false;
+  {
+    std::unique_lock lock(race->mutex);
+    if (!race->cv.wait_for(lock,
+                           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double, std::milli>(hedge_ms)),
+                           [&] { return race->finished >= 1; })) {
+      hedged = true;
+    }
+  }
+  std::thread second;
+  if (hedged) {
+    farm_->hedges.fetch_add(1, std::memory_order_relaxed);
+    second = std::thread(run_attempt, std::cref(secondary), 1);
+  }
+  {
+    std::unique_lock lock(race->mutex);
+    const int expected = hedged ? 2 : 1;
+    race->cv.wait(lock, [&] { return race->have_result || race->finished >= expected; });
+  }
+  // First response won (or everything failed): cancel whoever is still
+  // running, then JOIN both attempts — the loser unparks within a poll slice,
+  // and joining keeps this race free of detached-thread lifetime hazards.
+  race->cancel[0].store(true, std::memory_order_release);
+  race->cancel[1].store(true, std::memory_order_release);
+  first.join();
+  if (second.joinable()) second.join();
+
+  const auto settle_loser = [&](const Replica& replica, std::size_t slot) {
+    if (race->error[slot] == nullptr) {
+      if (!(race->have_result && race->winner == slot)) {
+        // Finished fine but lost the race; still a healthy replica.
+        breaker_success(replica);
+      }
+      return;
+    }
+    try {
+      std::rethrow_exception(race->error[slot]);
+    } catch (const EpisodeCancelled&) {
+      // The hedge loser we cancelled — not a fault, no breaker movement.
+    } catch (...) {
+      last = race->error[slot];
+      faulted = true;
+      breaker_failure(replica);
+      farm_->report_fault(replica.worker);
+    }
+  };
+  settle_loser(primary, 0);
+  if (hedged) settle_loser(secondary, 1);
+
+  if (!race->have_result) return false;
+  const Replica& won = race->winner == 0 ? primary : secondary;
+  breaker_success(won);
+  if (race->winner == 1) farm_->hedge_wins.fetch_add(1, std::memory_order_relaxed);
+  if (faulted) {
+    // The primary FAILED (not merely lagged) and the hedge completed the
+    // episode: that is a redispatch, same as the sequential path.
+    farm_->episodes_redispatched.fetch_add(1, std::memory_order_relaxed);
+  }
+  result = std::move(race->result);
+  return true;
+}
+
 EpisodeResult FailoverBackend::execute(const EnvQuery& query) const {
   const auto replicas = snapshot();
   if (replicas->empty()) {
     throw std::runtime_error("FailoverBackend '" + descriptor_.name + "': no replicas attached");
   }
-
-  // Candidate order: serving replicas first (round-robin rotated so load
-  // spreads), then joining/suspect/draining as fallback; dead replicas are
-  // skipped outright — unless that leaves nothing, in which case everyone
-  // gets one last chance (a stale health cell beats failing the episode).
-  std::vector<std::size_t> candidates;
-  candidates.reserve(replicas->size());
-  const std::size_t offset = rr_.fetch_add(1, std::memory_order_relaxed) % replicas->size();
-  for (std::size_t i = 0; i < replicas->size(); ++i) {
-    const std::size_t index = (offset + i) % replicas->size();
-    const auto state = static_cast<WorkerState>(
-        (*replicas)[index].health->load(std::memory_order_relaxed));
-    if (state == WorkerState::kServing) candidates.push_back(index);
-  }
-  for (std::size_t i = 0; i < replicas->size(); ++i) {
-    const std::size_t index = (offset + i) % replicas->size();
-    const auto state = static_cast<WorkerState>(
-        (*replicas)[index].health->load(std::memory_order_relaxed));
-    if (state != WorkerState::kServing && state != WorkerState::kDead) {
-      candidates.push_back(index);
-    }
-  }
-  if (candidates.empty()) {
-    for (std::size_t i = 0; i < replicas->size(); ++i) candidates.push_back(i);
-  }
+  const std::vector<std::size_t> candidates = candidate_order(*replicas);
 
   std::exception_ptr last;
   bool faulted = false;
-  for (const std::size_t index : candidates) {
-    const Replica& replica = (*replicas)[index];
+  std::size_t start = 0;
+  const double hedge_ms = candidates.size() >= 2 ? hedge_delay_ms() : 0.0;
+  if (hedge_ms > 0.0) {
+    EpisodeResult result;
+    if (execute_hedged(query, *replicas, candidates, hedge_ms, result, last, faulted)) {
+      return result;
+    }
+    start = 2;  // both racing attempts failed; fall through to the rest
+  }
+
+  for (std::size_t c = start; c < candidates.size(); ++c) {
+    const Replica& replica = (*replicas)[candidates[c]];
     try {
       EpisodeResult result = replica.backend->execute(query);
+      breaker_success(replica);
       if (faulted) {
         // The episode died with one worker and completed on another —
         // deterministic per seed, so the result is the one the lost worker
@@ -139,6 +350,7 @@ EpisodeResult FailoverBackend::execute(const EnvQuery& query) const {
     } catch (...) {
       last = std::current_exception();
       faulted = true;
+      breaker_failure(replica);
       // Data-plane detection: don't wait for the heartbeat sweep to shun
       // this worker for the rest of the batch.
       farm_->report_fault(replica.worker);
@@ -154,6 +366,7 @@ void FailoverBackend::fill_stats(BackendStats& stats) const {
     replica.backend->fill_stats(replica_stats);
     stats.rpc_retries += replica_stats.rpc_retries;
     stats.rpc_failures += replica_stats.rpc_failures;
+    stats.rpc_reconnects += replica_stats.rpc_reconnects;
     stats.rpc_rtt_ns.merge(replica_stats.rpc_rtt_ns);
   }
 }
@@ -201,6 +414,26 @@ void FarmController::publish_metrics() const {
   mirror("farm.episodes_redispatched", view.episodes_redispatched);
   mirror("farm.memo_entries_migrated", view.memo_entries_migrated);
   mirror("farm.backends_migrated", view.backends_migrated);
+  mirror("farm.hedges", view.hedges);
+  mirror("farm.hedge_wins", view.hedge_wins);
+  mirror("farm.breaker_trips", view.breaker_trips);
+  // Reconnect/shed totals live on the backend rows / services, not in
+  // FarmState; sum them across this controller's failover backends so the
+  // registry carries the whole overload story in one place.
+  std::uint64_t reconnects = 0;
+  std::uint64_t shed = 0;
+  for (const auto& [global, failover] : failover_backends_) {
+    BackendStats stats;
+    failover->fill_stats(stats);
+    reconnects += stats.rpc_reconnects;
+    (void)global;
+  }
+  for (std::size_t i = 0; i < router_.shard_count(); ++i) {
+    const EnvServiceStats shard = router_.shard(i).stats();
+    shed += shard.shed_total + shard.deadline_rejected;
+  }
+  mirror("farm.reconnects", reconnects);
+  mirror("farm.shed_total", shed);
 }
 
 void FarmController::set_state_locked(Worker& worker, WorkerState next) {
@@ -252,7 +485,8 @@ std::uint32_t FarmController::add_worker(std::shared_ptr<WorkerControl> control)
       // First worker advertising this kind: a fresh FailoverBackend enters
       // the router's LIVE BackendId space — late joiners extend the farm
       // without disturbing existing ids.
-      failover = std::make_shared<FailoverBackend>(info, state_);
+      failover = std::make_shared<FailoverBackend>(info, state_, options_.hedge,
+                                                   options_.breaker);
       global = router_.register_backend(failover);
       backends_by_key_.emplace(key, global);
       failover_backends_.emplace(global, failover);

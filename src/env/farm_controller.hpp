@@ -62,6 +62,38 @@ class WorkerControl {
 
 class FarmController;
 
+/// When to hedge an episode onto a second replica. Disabled by default — the
+/// farm behaves exactly as before unless a deployment opts in.
+struct HedgePolicy {
+  bool enabled = false;
+  /// The hedge delay is learned from the replicas' observed rpc_rtt_ns
+  /// distribution: once `min_samples` RTTs exist, an attempt that outlives
+  /// this quantile of past episodes is probably stuck, and a second attempt
+  /// is launched on the next candidate replica (first response wins; the
+  /// loser is cancelled via the wire-v4 kCancel).
+  double quantile = 0.95;
+  std::uint64_t min_samples = 32;
+  /// Clamp on the learned delay.
+  double min_delay_ms = 1.0;
+  double max_delay_ms = 1000.0;
+  /// Delay used BEFORE min_samples RTTs exist. 0 = don't hedge until the
+  /// distribution is learned; tests and loadgen set it explicitly.
+  double fallback_delay_ms = 0.0;
+};
+
+/// Per-replica circuit breaker: closed -> open (after `failure_threshold`
+/// consecutive faults) -> half-open (one probe after `cooldown_ms`) ->
+/// closed on success / open again on failure. An open replica is skipped by
+/// candidate selection like a dead one (kept only as last resort), so a
+/// brown-out worker stops eating a timeout per episode long before the
+/// heartbeat machine declares it dead. Breakers only act on faults, so the
+/// fault-free path is bit-identical with them enabled.
+struct BreakerPolicy {
+  bool enabled = true;
+  std::uint32_t failure_threshold = 3;
+  double cooldown_ms = 250.0;
+};
+
 /// Shared farm counters. Owned jointly by the controller, every
 /// FailoverBackend, and the router's stats path, so the counts survive the
 /// controller's destruction (a final stats() after shutdown still reports
@@ -79,6 +111,9 @@ class FarmState {
   std::atomic<std::uint64_t> episodes_redispatched{0};
   std::atomic<std::uint64_t> memo_entries_migrated{0};
   std::atomic<std::uint64_t> backends_migrated{0};
+  std::atomic<std::uint64_t> hedges{0};
+  std::atomic<std::uint64_t> hedge_wins{0};
+  std::atomic<std::uint64_t> breaker_trips{0};
 
   FarmView view() const;
 
@@ -104,7 +139,8 @@ class FarmState {
 /// result is identical) and `episodes_redispatched` counts it.
 class FailoverBackend final : public EnvBackend {
  public:
-  FailoverBackend(WorkerBackendInfo descriptor, std::shared_ptr<FarmState> farm);
+  FailoverBackend(WorkerBackendInfo descriptor, std::shared_ptr<FarmState> farm,
+                  HedgePolicy hedge = {}, BreakerPolicy breaker = {});
 
   EpisodeResult execute(const EnvQuery& query) const override;
   BackendKind kind() const noexcept override { return descriptor_.kind; }
@@ -126,11 +162,26 @@ class FailoverBackend final : public EnvBackend {
   std::size_t replica_count() const;
   std::vector<std::uint32_t> replica_workers() const;
 
+  /// Current hedge delay in ms (<= 0 when hedging is off or not yet armed);
+  /// exposed for tests.
+  double hedge_delay_ms() const;
+  /// Circuit-breaker state of the replica on `worker`: 0 closed, 1 open,
+  /// 2 half-open; -1 when no replica for that worker exists.
+  int breaker_state(std::uint32_t worker) const;
+
  private:
+  /// Per-replica breaker cell; shared_ptr so replica-list snapshots keep one
+  /// stable cell per replica across copy-on-write membership updates.
+  struct Breaker {
+    std::atomic<std::uint32_t> consecutive_failures{0};
+    std::atomic<int> state{0};  ///< 0 closed, 1 open, 2 half-open
+    std::atomic<std::int64_t> opened_at_ns{0};
+  };
   struct Replica {
     std::shared_ptr<const EnvBackend> backend;
     std::uint32_t worker = 0;
     std::shared_ptr<const std::atomic<int>> health;
+    std::shared_ptr<Breaker> breaker;
   };
   using ReplicaList = std::vector<Replica>;
 
@@ -138,11 +189,32 @@ class FailoverBackend final : public EnvBackend {
     return replicas_.load(std::memory_order_acquire);
   }
 
+  /// Candidate replica indexes in dispatch order: serving (breaker closed)
+  /// first, round-robin rotated; then non-dead fallbacks; then, only if that
+  /// leaves nothing, everyone (a stale cell beats failing the episode).
+  std::vector<std::size_t> candidate_order(const ReplicaList& replicas) const;
+  bool breaker_allows(const Replica& replica) const;
+  void breaker_success(const Replica& replica) const;
+  void breaker_failure(const Replica& replica) const;
+  /// Run candidates[0] and, if it outlives the hedge delay, candidates[1]
+  /// concurrently; first response wins and the loser is cancelled. Returns
+  /// false if every hedged attempt failed (caller falls back to the
+  /// remaining candidates); `faulted` reports whether any attempt faulted.
+  bool execute_hedged(const EnvQuery& query, const ReplicaList& replicas,
+                      const std::vector<std::size_t>& candidates, double hedge_ms,
+                      EpisodeResult& result, std::exception_ptr& last, bool& faulted) const;
+
   WorkerBackendInfo descriptor_;
   std::shared_ptr<FarmState> farm_;
+  HedgePolicy hedge_;
+  BreakerPolicy breaker_policy_;
   mutable std::mutex mutex_;  ///< Serializes membership writers.
   std::atomic<std::shared_ptr<const ReplicaList>> replicas_;
   mutable std::atomic<std::uint64_t> rr_{0};
+  /// Learned hedge delay, refreshed from the replicas' RTT histograms every
+  /// kHedgeRefresh executes (<= 0 = not armed).
+  mutable std::atomic<std::uint64_t> hedge_calls_{0};
+  mutable std::atomic<double> hedge_delay_cache_ms_{0.0};
 };
 
 struct FarmControllerOptions {
@@ -151,6 +223,10 @@ struct FarmControllerOptions {
   /// Missed heartbeats before a serving worker turns suspect / dead.
   std::uint32_t suspect_after_misses = 1;
   std::uint32_t dead_after_misses = 3;
+  /// Tail-latency hedging and per-replica circuit breaking for every
+  /// FailoverBackend this controller creates.
+  HedgePolicy hedge;
+  BreakerPolicy breaker;
   /// Mirror farm counters into this registry as `farm.*` telemetry counters
   /// (e.g. a shard's metrics(), so JSON reports include the farm view).
   telemetry::MetricRegistry* metrics = nullptr;

@@ -36,8 +36,11 @@ env::EnvServiceStats stats_delta(const EnvServiceStats& before, EnvServiceStats 
     now.backends[i].cache_misses -= before.backends[i].cache_misses;
     now.backends[i].crn_hits -= before.backends[i].crn_hits;
     now.backends[i].episodes -= before.backends[i].episodes;
+    now.backends[i].shedded -= before.backends[i].shedded;
+    now.backends[i].deadline_rejected -= before.backends[i].deadline_rejected;
     now.backends[i].rpc_retries -= before.backends[i].rpc_retries;
     now.backends[i].rpc_failures -= before.backends[i].rpc_failures;
+    now.backends[i].rpc_reconnects -= before.backends[i].rpc_reconnects;
     now.backends[i].rpc_rtt_ns.subtract(before.backends[i].rpc_rtt_ns);
   }
   now.offline_queries -= before.offline_queries;
@@ -45,6 +48,8 @@ env::EnvServiceStats stats_delta(const EnvServiceStats& before, EnvServiceStats 
   now.cache_hits -= before.cache_hits;
   now.cache_misses -= before.cache_misses;
   now.crn_hits -= before.crn_hits;
+  now.shed_total -= before.shed_total;
+  now.deadline_rejected -= before.deadline_rejected;
   now.query_latency_ns.subtract(before.query_latency_ns);
   now.queue_depth.subtract(before.queue_depth);
   now.rpc_service_ns.subtract(before.rpc_service_ns);
@@ -147,7 +152,9 @@ LoadPointResult run_load_point(EnvClient& client, const LoadPlan& plan,
   telemetry::Histogram latency;
   std::atomic<std::size_t> completed{0};
   std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> rejected{0};
   std::atomic<std::uint64_t> last_completion_ns{0};
+  std::atomic<bool> aborted{false};
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -156,6 +163,11 @@ LoadPointResult run_load_point(EnvClient& client, const LoadPlan& plan,
 
   using clock = std::chrono::steady_clock;
   const auto start = clock::now();
+  const bool guarded = options.wall_limit_s > 0.0;
+  const auto wall_deadline =
+      guarded ? start + std::chrono::duration_cast<clock::duration>(
+                            std::chrono::duration<double>(options.wall_limit_s))
+              : clock::time_point::max();
   const auto since_start_ns = [&] {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start).count());
@@ -177,7 +189,14 @@ LoadPointResult run_load_point(EnvClient& client, const LoadPlan& plan,
           ready.pop_front();
         }
         try {
-          client.run(event->query);
+          const EpisodeResult r = client.run(event->query);
+          if (r.is_rejected()) {
+            // The overload layer answered without an episode: not goodput,
+            // not a failure, and not a latency sample (a rejection is fast
+            // by design — recording it would flatter the tail).
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
           const std::uint64_t done_ns = since_start_ns();
           const auto scheduled_ns = static_cast<std::uint64_t>(event->arrival_s * 1e9);
           // Open-loop latency: charged from the SCHEDULED arrival, so time
@@ -198,26 +217,74 @@ LoadPointResult run_load_point(EnvClient& client, const LoadPlan& plan,
     });
   }
 
+  // Wall-guard watchdog: if the whole point has not resolved by the
+  // deadline, declare the abort, dump still-queued events as failed, and run
+  // on_abort so stuck in-flight queries come back. It does NOT kill worker
+  // threads — it can only make their blocking calls return.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool run_done = false;  // guarded by done_mutex
+  std::thread watchdog;
+  if (guarded) {
+    watchdog = std::thread([&] {
+      {
+        std::unique_lock lock(done_mutex);
+        if (done_cv.wait_until(lock, wall_deadline, [&] { return run_done; })) return;
+      }
+      aborted.store(true, std::memory_order_release);
+      {
+        std::scoped_lock lock(mutex);
+        failed.fetch_add(ready.size(), std::memory_order_relaxed);
+        ready.clear();
+        dispatch_done = true;
+      }
+      cv.notify_all();
+      if (options.on_abort) options.on_abort();
+    });
+  }
+
   // Open-loop dispatch on this thread: each event fires at its scheduled
-  // offset whether or not earlier ones completed.
+  // offset whether or not earlier ones completed. Past the wall deadline
+  // nothing new is offered — the rest of the plan is failed wholesale.
+  std::size_t undispatched = 0;
   for (const LoadEvent& event : plan.events) {
-    std::this_thread::sleep_until(
-        start + std::chrono::nanoseconds(static_cast<std::uint64_t>(event.arrival_s * 1e9)));
+    const auto fire_at =
+        start + std::chrono::nanoseconds(static_cast<std::uint64_t>(event.arrival_s * 1e9));
+    if (fire_at >= wall_deadline || aborted.load(std::memory_order_acquire)) {
+      ++undispatched;
+      continue;
+    }
+    std::this_thread::sleep_until(fire_at);
     {
       std::scoped_lock lock(mutex);
+      if (dispatch_done) {  // watchdog fired while we slept
+        ++undispatched;
+        continue;
+      }
       ready.push_back(&event);
     }
     cv.notify_one();
   }
+  failed.fetch_add(undispatched, std::memory_order_relaxed);
   {
     std::scoped_lock lock(mutex);
     dispatch_done = true;
   }
   cv.notify_all();
   for (auto& thread : pool) thread.join();
+  if (watchdog.joinable()) {
+    {
+      std::scoped_lock lock(done_mutex);
+      run_done = true;
+    }
+    done_cv.notify_all();
+    watchdog.join();
+  }
 
+  result.aborted = aborted.load(std::memory_order_acquire);
   result.completed = completed.load(std::memory_order_relaxed);
   result.failed = failed.load(std::memory_order_relaxed);
+  result.rejected = rejected.load(std::memory_order_relaxed);
   result.latency_ns = latency.snapshot();
   const std::uint64_t wall_ns = std::max<std::uint64_t>(1, last_completion_ns.load());
   result.wall_s = static_cast<double>(wall_ns) / 1e9;

@@ -132,6 +132,8 @@ EnvServiceStats ShardRouter::stats() const {
     total.cache_hits += s.cache_hits;
     total.cache_misses += s.cache_misses;
     total.crn_hits += s.crn_hits;
+    total.shed_total += s.shedded;
+    total.deadline_rejected += s.deadline_rejected;
     total.backends.push_back(std::move(s));
   }
   // Serving telemetry merges exactly (log-scale buckets sum), so the router
@@ -144,6 +146,13 @@ EnvServiceStats ShardRouter::stats() const {
   }
   if (const auto farm = farm_.load(std::memory_order_acquire)) {
     total.farm = farm->view();
+  }
+  // Reconnect/shed visibility rides on the backend rows (rpc::RemoteBackend
+  // fill_stats / service admission counters), so it covers remote backends
+  // registered directly on a shard, not just farm-managed replicas.
+  for (const BackendStats& s : total.backends) {
+    total.farm.reconnects += s.rpc_reconnects;
+    total.farm.shed_total += s.rejected();
   }
   return total;
 }

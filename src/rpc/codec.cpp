@@ -317,7 +317,7 @@ std::vector<env::MemoEntrySnapshot> get_memo_list(WireReader& r) {
   return memo;
 }
 
-void put_backend_stats(WireWriter& w, const env::BackendStats& b) {
+void put_backend_stats(WireWriter& w, const env::BackendStats& b, std::uint16_t version) {
   w.str(b.name);
   w.u8(b.kind == env::BackendKind::kOnline ? 1 : 0);
   w.u64(b.queries);
@@ -329,9 +329,14 @@ void put_backend_stats(WireWriter& w, const env::BackendStats& b) {
   w.u64(b.rpc_retries);
   w.u64(b.rpc_failures);
   put_histogram(w, b.rpc_rtt_ns);
+  if (version >= 5) {
+    w.u64(b.shedded);
+    w.u64(b.deadline_rejected);
+    w.u64(b.rpc_reconnects);
+  }
 }
 
-env::BackendStats get_backend_stats(WireReader& r) {
+env::BackendStats get_backend_stats(WireReader& r, std::uint16_t version) {
   env::BackendStats b;
   b.name = r.str();
   b.kind = r.u8() == 1 ? env::BackendKind::kOnline : env::BackendKind::kOffline;
@@ -344,7 +349,20 @@ env::BackendStats get_backend_stats(WireReader& r) {
   b.rpc_retries = r.u64();
   b.rpc_failures = r.u64();
   b.rpc_rtt_ns = get_histogram(r);
+  if (version >= 5) {
+    b.shedded = r.u64();
+    b.deadline_rejected = r.u64();
+    b.rpc_reconnects = r.u64();
+  }
   return b;
+}
+
+env::RejectReason get_reject_reason(WireReader& r) {
+  const std::uint8_t raw = r.u8();
+  if (raw > static_cast<std::uint8_t>(env::RejectReason::kDeadlineExceeded)) {
+    throw CodecError("rpc codec: bad reject reason " + std::to_string(raw));
+  }
+  return static_cast<env::RejectReason>(raw);
 }
 
 }  // namespace
@@ -359,6 +377,10 @@ std::vector<std::uint8_t> encode_query(std::uint64_t request_id, const env::EnvQ
   w.boolean(query.sim_params.has_value());
   if (query.sim_params) put_sim_params(w, *query.sim_params);
   w.boolean(query.crn);
+  if (version >= 5) {
+    w.f64(query.deadline_ms);
+    w.u8(static_cast<std::uint8_t>(query.priority));
+  }
   return w.take();
 }
 
@@ -368,6 +390,9 @@ std::vector<std::uint8_t> encode_result(std::uint64_t request_id,
   WireWriter w;
   put_header(w, MsgType::kResult, request_id, version);
   put_result_body(w, result);
+  // Rejection rides only on served results, never in memo snapshots — a
+  // rejected query produced no episode, so nothing of it is ever memoized.
+  if (version >= 5) w.u8(static_cast<std::uint8_t>(result.rejected));
   return w.take();
 }
 
@@ -391,7 +416,7 @@ std::vector<std::uint8_t> encode_stats_snapshot(std::uint64_t request_id,
   WireWriter w;
   put_header(w, MsgType::kStatsSnapshot, request_id, version);
   w.u32(static_cast<std::uint32_t>(stats.backends.size()));
-  for (const auto& backend : stats.backends) put_backend_stats(w, backend);
+  for (const auto& backend : stats.backends) put_backend_stats(w, backend, version);
   w.u64(stats.offline_queries);
   w.u64(stats.online_queries);
   w.u64(stats.cache_hits);
@@ -400,6 +425,10 @@ std::vector<std::uint8_t> encode_stats_snapshot(std::uint64_t request_id,
   put_histogram(w, stats.query_latency_ns);
   put_histogram(w, stats.queue_depth);
   put_histogram(w, stats.rpc_service_ns);
+  if (version >= 5) {
+    w.u64(stats.shed_total);
+    w.u64(stats.deadline_rejected);
+  }
   return w.take();
 }
 
@@ -430,19 +459,28 @@ FrameHeader decode_header(WireReader& reader) {
   return header;
 }
 
-env::EnvQuery decode_query_body(WireReader& reader) {
+env::EnvQuery decode_query_body(WireReader& reader, std::uint16_t version) {
   env::EnvQuery query;
   query.backend = reader.u32();
   query.config = get_slice_config(reader);
   query.workload = get_workload(reader);
   if (reader.boolean()) query.sim_params = get_sim_params(reader);
   query.crn = reader.boolean();
+  if (version >= 5) {
+    query.deadline_ms = reader.f64();
+    const std::uint8_t priority = reader.u8();
+    if (priority > static_cast<std::uint8_t>(env::QueryPriority::kNormal)) {
+      throw CodecError("rpc codec: bad query priority " + std::to_string(priority));
+    }
+    query.priority = static_cast<env::QueryPriority>(priority);
+  }
   reader.expect_done();
   return query;
 }
 
-env::EpisodeResult decode_result_body(WireReader& reader) {
+env::EpisodeResult decode_result_body(WireReader& reader, std::uint16_t version) {
   env::EpisodeResult result = get_result_body(reader);
+  if (version >= 5) result.rejected = get_reject_reason(reader);
   reader.expect_done();
   return result;
 }
@@ -582,11 +620,13 @@ env::InstallResult decode_install_ack_body(WireReader& reader) {
   return result;
 }
 
-env::EnvServiceStats decode_stats_snapshot_body(WireReader& reader) {
+env::EnvServiceStats decode_stats_snapshot_body(WireReader& reader, std::uint16_t version) {
   env::EnvServiceStats stats;
   const std::size_t backends = checked_count(reader.u32(), 64, "backend stats");
   stats.backends.reserve(backends);
-  for (std::size_t i = 0; i < backends; ++i) stats.backends.push_back(get_backend_stats(reader));
+  for (std::size_t i = 0; i < backends; ++i) {
+    stats.backends.push_back(get_backend_stats(reader, version));
+  }
   stats.offline_queries = reader.u64();
   stats.online_queries = reader.u64();
   stats.cache_hits = reader.u64();
@@ -595,6 +635,10 @@ env::EnvServiceStats decode_stats_snapshot_body(WireReader& reader) {
   stats.query_latency_ns = get_histogram(reader);
   stats.queue_depth = get_histogram(reader);
   stats.rpc_service_ns = get_histogram(reader);
+  if (version >= 5) {
+    stats.shed_total = reader.u64();
+    stats.deadline_rejected = reader.u64();
+  }
   reader.expect_done();
   return stats;
 }

@@ -43,9 +43,15 @@ inline constexpr std::uint32_t kWireMagic = 0x41544c53u;  // "ATLS"
 /// heartbeat (kHeartbeat/kHeartbeatAck), memo-table migration
 /// (kMemoExport/kMemoSnapshot), runtime backend install
 /// (kInstallBackend/kInstallAck), and best-effort episode cancel (kCancel).
-inline constexpr std::uint16_t kWireVersion = 4;
-/// Oldest version this build still decodes. v3 bodies are a strict subset of
-/// v4, so the compatibility window is free to keep.
+/// v5: overload protection — kQuery carries the deadline budget (f64 ms) and
+/// shed priority (u8), kResult carries the typed RejectReason (u8), and the
+/// stats snapshot appends per-backend shed/deadline/reconnect counters plus
+/// the service-level shed totals. No new message types: a v<=4 peer encodes
+/// and decodes the shorter bodies as before (deadline/priority/rejection
+/// default to "none" on decode), so the compatibility window only grows.
+inline constexpr std::uint16_t kWireVersion = 5;
+/// Oldest version this build still decodes. v3/v4 bodies are strict prefixes
+/// of v5, so the compatibility window is free to keep.
 inline constexpr std::uint16_t kMinWireVersion = 3;
 
 /// Upper bound on one frame payload; a length prefix beyond this is treated
@@ -183,10 +189,14 @@ std::vector<std::uint8_t> encode_cancel(std::uint64_t request_id);
 FrameHeader decode_header(WireReader& reader);
 
 /// Body decoders; each consumes the reader fully (CodecError otherwise).
-env::EnvQuery decode_query_body(WireReader& reader);
-env::EpisodeResult decode_result_body(WireReader& reader);
+/// Bodies that grew at v5 take the FRAME's version (from decode_header) so a
+/// v3/v4 peer's shorter body decodes with the new fields defaulted.
+env::EnvQuery decode_query_body(WireReader& reader, std::uint16_t version = kWireVersion);
+env::EpisodeResult decode_result_body(WireReader& reader,
+                                      std::uint16_t version = kWireVersion);
 std::string decode_error_body(WireReader& reader);
-env::EnvServiceStats decode_stats_snapshot_body(WireReader& reader);
+env::EnvServiceStats decode_stats_snapshot_body(WireReader& reader,
+                                                std::uint16_t version = kWireVersion);
 env::WorkerAnnounce decode_announce_body(WireReader& reader);
 env::WorkerHealth decode_heartbeat_ack_body(WireReader& reader);
 env::BackendId decode_memo_export_body(WireReader& reader);

@@ -168,6 +168,11 @@ std::shared_ptr<RemoteBackend::MuxConnection> RemoteBackend::connection() const 
     }
     connect_failures_ = 0;
     connect_failure_streak_.store(0, std::memory_order_relaxed);
+    if (ever_connected_) {
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ever_connected_ = true;
+    }
     return conn_;
   }
 }
@@ -180,6 +185,7 @@ void RemoteBackend::drop_connection(const std::shared_ptr<MuxConnection>& dead) 
 void RemoteBackend::fill_stats(env::BackendStats& stats) const {
   stats.rpc_retries = rpc_retries();
   stats.rpc_failures = rpc_failures();
+  stats.rpc_reconnects = rpc_reconnects();
   stats.rpc_rtt_ns = rtt_.snapshot();
 }
 
@@ -254,8 +260,8 @@ env::EnvServiceStats RemoteBackend::fetch_worker_stats() const {
       [](std::uint64_t id) { return encode_stats_request(id); }, MsgType::kStatsSnapshot,
       "stats request");
   WireReader reader(frame);
-  (void)decode_header(reader);
-  return decode_stats_snapshot_body(reader);
+  const FrameHeader header = decode_header(reader);
+  return decode_stats_snapshot_body(reader, header.version);
 }
 
 env::WorkerAnnounce RemoteBackend::hello() const {
@@ -295,13 +301,37 @@ env::InstallResult RemoteBackend::install_backend(
 }
 
 env::EpisodeResult RemoteBackend::execute(const env::EnvQuery& query) const {
+  return execute_impl(query, nullptr);
+}
+
+env::EpisodeResult RemoteBackend::execute_cancellable(const env::EnvQuery& query,
+                                                      const env::CancelToken& cancel) const {
+  return execute_impl(query, &cancel);
+}
+
+env::EpisodeResult RemoteBackend::execute_impl(const env::EnvQuery& query,
+                                               const env::CancelToken* cancel) const {
   // The worker has its own backend address space.
   env::EnvQuery remote_query = query;
   remote_query.backend = options_.remote_backend;
 
-  const auto timeout =
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          std::chrono::duration<double, std::milli>(options_.timeout_ms));
+  const auto started = std::chrono::steady_clock::now();
+  // Remaining deadline budget in ms (negative = no deadline). Measured from
+  // execute entry, so retries and backoff spend the SAME budget the caller's
+  // service started charging at admission.
+  const auto remaining_budget_ms = [&]() -> double {
+    if (query.deadline_ms <= 0.0) return -1.0;
+    const double elapsed = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - started)
+                               .count();
+    return query.deadline_ms - elapsed;
+  };
+  const auto deadline_rejection = [] {
+    env::EpisodeResult rejected;
+    rejected.rejected = env::RejectReason::kDeadlineExceeded;
+    return rejected;
+  };
+
   const int attempts = 1 + std::max(0, options_.max_retries);
   std::string last_fault = "no attempt made";
 
@@ -321,6 +351,17 @@ env::EpisodeResult RemoteBackend::execute(const env::EnvQuery& query) const {
 
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) retries_.fetch_add(1, std::memory_order_relaxed);
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      throw env::EpisodeCancelled();
+    }
+    // Per-attempt wait: the configured timeout, capped by whatever deadline
+    // budget is left. An exhausted budget is a typed rejection, not a fault.
+    double budget_ms = remaining_budget_ms();
+    if (query.deadline_ms > 0.0 && budget_ms <= 0.0) return deadline_rejection();
+    double wait_ms = options_.timeout_ms;
+    const bool deadline_capped = budget_ms >= 0.0 && budget_ms < wait_ms;
+    if (deadline_capped) wait_ms = budget_ms;
+    remote_query.deadline_ms = budget_ms >= 0.0 ? budget_ms : 0.0;
     std::shared_ptr<MuxConnection> conn;
     bool sent = false;
     try {
@@ -330,9 +371,34 @@ env::EpisodeResult RemoteBackend::execute(const env::EnvQuery& query) const {
       const auto rtt_start = std::chrono::steady_clock::now();
       auto future = conn->send_request(request_id, encode_query(request_id, remote_query));
       sent = true;
-      if (future.wait_for(timeout) != std::future_status::ready) {
+      // Park on the future, but in short slices when a cancel token is
+      // watching: a hedging loser must free its connection slot promptly, not
+      // after a full episode timeout.
+      const auto wait_deadline =
+          rtt_start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(wait_ms));
+      constexpr std::chrono::steady_clock::duration kCancelPollSlice =
+          std::chrono::milliseconds(2);
+      std::future_status status = std::future_status::timeout;
+      for (;;) {
+        if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+          conn->forget(request_id);
+          try {
+            conn->send_oneway(encode_cancel(request_id));
+          } catch (const TransportError&) {
+            // The read loop will notice the dead stream.
+          }
+          throw env::EpisodeCancelled();
+        }
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= wait_deadline) break;
+        auto slice = wait_deadline - now;
+        if (cancel != nullptr && slice > kCancelPollSlice) slice = kCancelPollSlice;
+        status = future.wait_for(slice);
+        if (status == std::future_status::ready) break;
+      }
+      if (status != std::future_status::ready) {
         conn->forget(request_id);
-        consecutive_timeouts_.fetch_add(1, std::memory_order_relaxed);
         // Best-effort cancel: if the episode is still queued worker-side,
         // skip it (and its now-pointless response) instead of computing for
         // a client that stopped listening.
@@ -341,6 +407,13 @@ env::EpisodeResult RemoteBackend::execute(const env::EnvQuery& query) const {
         } catch (const TransportError&) {
           // The read loop will notice the dead stream.
         }
+        if (deadline_capped && remaining_budget_ms() <= 0.0) {
+          // The DEADLINE elapsed, not the RPC timeout: the worker was never
+          // given its full window, so this is the caller's budget running
+          // out — a typed rejection, not a worker health signal.
+          return deadline_rejection();
+        }
+        consecutive_timeouts_.fetch_add(1, std::memory_order_relaxed);
         last_fault = "timed out after " + std::to_string(options_.timeout_ms) + " ms";
         if (metered) metered_abort(last_fault);
         continue;
@@ -358,7 +431,7 @@ env::EpisodeResult RemoteBackend::execute(const env::EnvQuery& query) const {
       if (header.type != MsgType::kResult) {
         throw CodecError("rpc client: unexpected response type");
       }
-      env::EpisodeResult result = decode_result_body(reader);
+      env::EpisodeResult result = decode_result_body(reader, header.version);
       const auto rtt = std::chrono::steady_clock::now() - rtt_start;
       rtt_.record(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(rtt).count()));

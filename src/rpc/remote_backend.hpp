@@ -100,6 +100,12 @@ class RemoteBackend final : public env::EnvBackend {
   ~RemoteBackend() override;
 
   env::EpisodeResult execute(const env::EnvQuery& query) const override;
+  /// Hedge-aware execute: polls `cancel` while parked on the RPC future and,
+  /// when it fires, abandons the request (forget + best-effort kCancel to the
+  /// worker) and throws env::EpisodeCancelled — the losing half of a hedged
+  /// dispatch stops consuming a connection slot within milliseconds.
+  env::EpisodeResult execute_cancellable(const env::EnvQuery& query,
+                                         const env::CancelToken& cancel) const override;
   env::BackendKind kind() const noexcept override { return options_.kind; }
   const std::string& name() const noexcept override { return options_.name; }
   double cost_hint() const noexcept override { return options_.cost_hint; }
@@ -108,6 +114,7 @@ class RemoteBackend final : public env::EnvBackend {
   void reset_stats() const noexcept override {
     retries_.store(0, std::memory_order_relaxed);
     failures_.store(0, std::memory_order_relaxed);
+    reconnects_.store(0, std::memory_order_relaxed);
     rtt_.reset();
   }
 
@@ -116,6 +123,12 @@ class RemoteBackend final : public env::EnvBackend {
   }
   std::uint64_t rpc_failures() const noexcept {
     return failures_.load(std::memory_order_relaxed);
+  }
+  /// Successful connection re-establishments (connects after the first one),
+  /// whatever dropped the previous stream: worker restart, transport fault,
+  /// or a poisoned frame. Surfaced as BackendStats::rpc_reconnects.
+  std::uint64_t rpc_reconnects() const noexcept {
+    return reconnects_.load(std::memory_order_relaxed);
   }
 
   /// Round-trip latency (send -> decoded result) of every successful episode
@@ -158,6 +171,9 @@ class RemoteBackend final : public env::EnvBackend {
       const std::function<std::vector<std::uint8_t>(std::uint64_t)>& encode, MsgType expect,
       const char* what) const;
   void note_success() const;
+  /// Shared body of execute / execute_cancellable (`cancel` may be null).
+  env::EpisodeResult execute_impl(const env::EnvQuery& query,
+                                  const env::CancelToken* cancel) const;
 
   RemoteBackendOptions options_;
   mutable std::mutex conn_mutex_;
@@ -165,9 +181,11 @@ class RemoteBackend final : public env::EnvBackend {
   /// Backoff schedule, guarded by conn_mutex_.
   mutable std::uint64_t connect_failures_ = 0;
   mutable std::chrono::steady_clock::time_point next_connect_attempt_{};
+  mutable bool ever_connected_ = false;  ///< guarded by conn_mutex_
   mutable std::atomic<std::uint64_t> next_request_id_{0};
   mutable std::atomic<std::uint64_t> retries_{0};
   mutable std::atomic<std::uint64_t> failures_{0};
+  mutable std::atomic<std::uint64_t> reconnects_{0};
   mutable std::atomic<std::uint64_t> consecutive_timeouts_{0};
   mutable std::atomic<std::uint64_t> connect_failure_streak_{0};
   /// steady_clock nanos of the last successful round-trip; -1 = never.

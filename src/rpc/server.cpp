@@ -156,7 +156,7 @@ void EpisodeRpcServer::serve(Transport& transport) {
           continue;  // fire-and-forget: cancel frames are never answered
         }
         case MsgType::kQuery:
-          query = decode_query_body(reader);
+          query = decode_query_body(reader, header.version);
           break;
         default:
           throw CodecError("episode-rpc server: unexpected message type " +
@@ -178,15 +178,46 @@ void EpisodeRpcServer::serve(Transport& transport) {
     // Dispatch onto the service pool so one connection can pipeline as many
     // concurrent episodes as the worker has cores; the future is tracked via
     // the outstanding counter instead (the response IS the result channel).
+    const auto dispatched = std::chrono::steady_clock::now();
     try {
       service_.pool().submit(
         [this, &write_frame, &is_cancelled, &done_mutex, &done_cv, &outstanding, request_id,
-         version, q = std::move(query)] {
+         version, dispatched, q = std::move(query)]() mutable {
           if (!is_cancelled(request_id)) {
             const auto start = std::chrono::steady_clock::now();
             std::vector<std::uint8_t> response;
             try {
-              response = encode_result(request_id, service_.run(q), version);
+              // The deadline budget started ticking when the frame was
+              // decoded; spend the pool-queue wait against it so an
+              // already-dead query is dropped HERE instead of burning a
+              // worker thread on an answer nobody is waiting for.
+              bool expired = false;
+              if (q.deadline_ms > 0.0) {
+                const double waited_ms =
+                    std::chrono::duration<double, std::milli>(start - dispatched).count();
+                const double remaining = q.deadline_ms - waited_ms;
+                if (remaining <= 0.0) {
+                  expired = true;
+                } else {
+                  q.deadline_ms = remaining;
+                }
+              }
+              env::EpisodeResult result;
+              if (expired) {
+                result.rejected = env::RejectReason::kDeadlineExceeded;
+              } else {
+                result = service_.run(q);
+              }
+              if (result.is_rejected() && version < 5) {
+                // Pre-v5 peers have no rejection field; fail loudly instead
+                // of handing them an empty "successful" episode.
+                response = encode_error(request_id,
+                                        std::string("query rejected by worker: ") +
+                                            env::to_string(result.rejected),
+                                        version);
+              } else {
+                response = encode_result(request_id, result, version);
+              }
               if (response.size() > kMaxFrameBytes) {
                 // The client must learn WHY there is no result — a silently
                 // dropped oversized frame reads as a timeout and gets retried.

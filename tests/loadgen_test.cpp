@@ -4,12 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "env/env_service.hpp"
+#include "env/fault_injection.hpp"
 #include "env/loadgen.hpp"
 #include "rpc/codec.hpp"
 
@@ -160,4 +163,79 @@ TEST(LoadPoint, RunsAPlanAgainstAServiceAndMetersReuse) {
   // The service's own telemetry saw every query too.
   EXPECT_EQ(result.stats.query_latency_ns.count(),
             static_cast<std::uint64_t>(result.completed));
+}
+
+TEST(LoadPoint, TypedRejectionsAreCountedApartFromGoodputAndFailures) {
+  // shed_hard_watermark = 1: depth counts the probing query itself, so EVERY
+  // offline query sheds — deterministically — while online (metered) queries
+  // are untouchable. Splits the result three ways with no timing dependence.
+  env::EnvServiceOptions service_options;
+  service_options.threads = 2;
+  service_options.shed_watermark = 1;
+  service_options.shed_hard_watermark = 1;
+  env::EnvService service(service_options);
+  const env::BackendId sim = service.add_simulator();
+  const env::BackendId real = service.add_real_network();
+
+  env::LoadPlanOptions plan_options = small_options();
+  plan_options.qps = 400.0;
+  plan_options.duration_s = 0.5;
+  plan_options.offline_backend = sim;
+  plan_options.online_backend = real;
+  const env::LoadPlan plan = env::build_load_plan(plan_options);
+  ASSERT_GT(plan.online, 0u);
+
+  env::LoadRunOptions run_options;
+  run_options.workers = 8;
+  const env::LoadPointResult result = env::run_load_point(service, plan, run_options);
+
+  EXPECT_FALSE(result.aborted);
+  EXPECT_EQ(result.completed + result.failed + result.rejected, result.scheduled);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(result.completed, plan.online);                        // goodput = metered only
+  EXPECT_EQ(result.rejected, result.scheduled - plan.online);      // everything offline shed
+  // Rejections are fast by design: recording them would flatter the tail.
+  EXPECT_EQ(result.latency_ns.count(), result.completed);
+  EXPECT_EQ(result.stats.shed_total, static_cast<std::uint64_t>(result.rejected));
+}
+
+TEST(LoadPoint, WallGuardAbortsAHungPointAndAccountsEveryEvent) {
+  // Every query hangs "forever" (duration 0). Without the wall guard this
+  // point would park its workers for an hour; with it, the watchdog fires at
+  // 0.3 s, on_abort releases the hangs (they fail fast), still-queued and
+  // undispatched events are failed wholesale, and the run returns promptly.
+  const auto injector = std::make_shared<env::FaultInjector>(env::FaultPlan::parse("hang=1", 3));
+  env::EnvServiceOptions service_options;
+  service_options.threads = 2;
+  env::EnvService service(service_options);
+  const env::BackendId faulty = service.register_backend(
+      std::make_shared<env::FaultInjectingBackend>(
+          std::make_shared<env::LocalBackend>(std::make_shared<env::Simulator>(), "sim-0",
+                                              env::BackendKind::kOffline),
+          injector));
+
+  env::LoadPlanOptions plan_options = small_options();
+  plan_options.qps = 100.0;
+  plan_options.duration_s = 2.0;
+  plan_options.offline_backend = faulty;
+  plan_options.online_backend = faulty;
+  const env::LoadPlan plan = env::build_load_plan(plan_options);
+
+  env::LoadRunOptions run_options;
+  run_options.workers = 4;
+  run_options.wall_limit_s = 0.3;
+  run_options.on_abort = [&] { injector->release_hangs(); };
+
+  const auto start = std::chrono::steady_clock::now();
+  const env::LoadPointResult result = env::run_load_point(service, plan, run_options);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  EXPECT_TRUE(result.aborted);
+  EXPECT_EQ(result.completed, 0u);  // every dispatched query hung, then failed
+  EXPECT_EQ(result.completed + result.failed + result.rejected, result.scheduled);
+  EXPECT_GT(result.failed, 0u);
+  // The guard bounded the point: well under the 2 s plan horizon (generous
+  // slack for join latency on a loaded CI box).
+  EXPECT_LT(elapsed_s, 1.5);
 }

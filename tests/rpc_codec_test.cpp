@@ -330,8 +330,9 @@ TEST(RpcCodec, ImplausibleElementCountsAreRejectedNotAllocated) {
 
 TEST(RpcCodec, V3StampedFramesStillDecodeOnAV4Build) {
   // A v3 peer's frames must decode unchanged: the v3 bodies are a strict
-  // subset of v4, and decode_header surfaces the sender's version so a
-  // server can echo it on the reply.
+  // subset of v4 (and of v5), and decode_header surfaces the sender's
+  // version so a server can echo it on the reply AND hand it to the body
+  // decoder (the v5 fields exist only at v5).
   std::mt19937_64 rng(0x33u);
   const ae::EnvQuery q = random_query(rng);
   const auto frame = ar::encode_query(17, q, /*version=*/3);
@@ -339,18 +340,23 @@ TEST(RpcCodec, V3StampedFramesStillDecodeOnAV4Build) {
   const auto header = ar::decode_header(reader);
   EXPECT_EQ(header.version, 3u);
   EXPECT_EQ(header.type, ar::MsgType::kQuery);
-  const ae::EnvQuery back = ar::decode_query_body(reader);
+  const ae::EnvQuery back = ar::decode_query_body(reader, header.version);
   EXPECT_EQ(back.workload.seed, q.workload.seed);
+  // A v3 body carries no overload fields; they come back as the defaults.
+  EXPECT_EQ(back.deadline_ms, 0.0);
+  EXPECT_EQ(back.priority, ae::QueryPriority::kNormal);
 
   const ae::EpisodeResult r = random_result(rng);
   const auto reply = ar::encode_result(17, r, /*version=*/3);  // server echoes v3
   ar::WireReader reply_reader(reply);
-  EXPECT_EQ(ar::decode_header(reply_reader).version, 3u);
-  const ae::EpisodeResult back_r = ar::decode_result_body(reply_reader);
+  const auto reply_header = ar::decode_header(reply_reader);
+  EXPECT_EQ(reply_header.version, 3u);
+  const ae::EpisodeResult back_r = ar::decode_result_body(reply_reader, reply_header.version);
   ASSERT_EQ(back_r.latencies_ms.size(), r.latencies_ms.size());
   for (std::size_t i = 0; i < r.latencies_ms.size(); ++i) {
     EXPECT_TRUE(same_bits(back_r.latencies_ms[i], r.latencies_ms[i]));
   }
+  EXPECT_FALSE(back_r.is_rejected());
 }
 
 TEST(RpcCodec, V4OnlyMessageTypesAreRejectedOnV3Frames) {
@@ -520,6 +526,99 @@ TEST(RpcCodec, InstallAckAndMemoExportRoundTrip) {
   ar::WireReader exp_reader(exp);
   EXPECT_EQ(ar::decode_header(exp_reader).type, ar::MsgType::kMemoExport);
   EXPECT_EQ(ar::decode_memo_export_body(exp_reader), 9u);
+}
+
+// ---- wire v5: overload-protection fields ------------------------------------
+
+TEST(RpcCodec, V5QueryCarriesDeadlineAndPriority) {
+  std::mt19937_64 rng(0x5005u);
+  for (int rep = 0; rep < 100; ++rep) {
+    ae::EnvQuery q = random_query(rng);
+    q.deadline_ms = rng() % 2 == 0 ? 0.0 : random_double(rng);
+    q.priority = rng() % 2 == 0 ? ae::QueryPriority::kSpeculative : ae::QueryPriority::kNormal;
+    const ae::EnvQuery back = roundtrip_query(q, rng());
+    EXPECT_TRUE(same_bits(back.deadline_ms, q.deadline_ms));
+    EXPECT_EQ(back.priority, q.priority);
+  }
+}
+
+TEST(RpcCodec, V5ResultCarriesRejectReason) {
+  std::mt19937_64 rng(0x5105u);
+  for (const auto reason : {ae::RejectReason::kNone, ae::RejectReason::kShedded,
+                            ae::RejectReason::kDeadlineExceeded}) {
+    ae::EpisodeResult r;  // a rejection carries no measurements
+    r.rejected = reason;
+    const ae::EpisodeResult back = roundtrip_result(r, rng());
+    EXPECT_EQ(back.rejected, reason);
+  }
+  // An out-of-range reject reason byte is a protocol violation, not UB.
+  ae::EpisodeResult r;
+  auto frame = ar::encode_result(3, r);
+  frame.back() = 0x7F;  // the reject-reason u8 is the final body byte at v5
+  ar::WireReader reader(frame);
+  (void)ar::decode_header(reader);
+  EXPECT_THROW((void)ar::decode_result_body(reader), ar::CodecError);
+}
+
+TEST(RpcCodec, V4StampedFramesDecodeWithDefaultOverloadFields) {
+  // A v4 peer (previous release) sends shorter bodies; a v5 build must
+  // decode them with the overload fields defaulted, and must emit
+  // v4-truncated bodies when echoing that peer's version.
+  std::mt19937_64 rng(0x4455u);
+  ae::EnvQuery q = random_query(rng);
+  q.deadline_ms = 1234.5;                       // must NOT survive a v4 trip
+  q.priority = ae::QueryPriority::kSpeculative;  // ditto
+  const auto frame = ar::encode_query(21, q, /*version=*/4);
+  ar::WireReader reader(frame);
+  const auto header = ar::decode_header(reader);
+  EXPECT_EQ(header.version, 4u);
+  const ae::EnvQuery back = ar::decode_query_body(reader, header.version);
+  EXPECT_EQ(back.workload.seed, q.workload.seed);
+  EXPECT_EQ(back.deadline_ms, 0.0);
+  EXPECT_EQ(back.priority, ae::QueryPriority::kNormal);
+
+  const ae::EpisodeResult r = random_result(rng);
+  const auto reply = ar::encode_result(21, r, /*version=*/4);
+  ar::WireReader reply_reader(reply);
+  const auto reply_header = ar::decode_header(reply_reader);
+  const ae::EpisodeResult back_r = ar::decode_result_body(reply_reader, reply_header.version);
+  EXPECT_EQ(back_r.frames_completed, r.frames_completed);
+  EXPECT_FALSE(back_r.is_rejected());
+}
+
+TEST(RpcCodec, V5StatsSnapshotCarriesOverloadCounters) {
+  ae::EnvServiceStats stats;
+  stats.offline_queries = 10;
+  stats.shed_total = 4;
+  stats.deadline_rejected = 2;
+  ae::BackendStats b;
+  b.name = "sim-0";
+  b.queries = 10;
+  b.shedded = 3;
+  b.deadline_rejected = 1;
+  b.rpc_reconnects = 7;
+  stats.backends.push_back(std::move(b));
+
+  const auto frame = ar::encode_stats_snapshot(8, stats);
+  ar::WireReader reader(frame);
+  const auto header = ar::decode_header(reader);
+  const ae::EnvServiceStats back = ar::decode_stats_snapshot_body(reader, header.version);
+  EXPECT_EQ(back.shed_total, 4u);
+  EXPECT_EQ(back.deadline_rejected, 2u);
+  ASSERT_EQ(back.backends.size(), 1u);
+  EXPECT_EQ(back.backends[0].shedded, 3u);
+  EXPECT_EQ(back.backends[0].deadline_rejected, 1u);
+  EXPECT_EQ(back.backends[0].rpc_reconnects, 7u);
+  EXPECT_EQ(back.backends[0].rejected(), 4u);
+
+  // The same snapshot at v4 drops the counters (shorter body, no garbage).
+  const auto v4_frame = ar::encode_stats_snapshot(8, stats, /*version=*/4);
+  ar::WireReader v4_reader(v4_frame);
+  const auto v4_header = ar::decode_header(v4_reader);
+  const ae::EnvServiceStats v4_back = ar::decode_stats_snapshot_body(v4_reader, v4_header.version);
+  EXPECT_EQ(v4_back.shed_total, 0u);
+  EXPECT_EQ(v4_back.backends[0].shedded, 0u);
+  EXPECT_EQ(v4_back.backends[0].queries, 10u);
 }
 
 TEST(RpcCodec, CancelIsHeaderOnly) {

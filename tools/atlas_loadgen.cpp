@@ -39,6 +39,30 @@
 //   --out             Output path (default BENCH_serving.json; also
 //                     ATLAS_BENCH_SERVING_OUT / ATLAS_BENCH_OUT_DIR).
 //
+// Degradation mode (--fault-plan): instead of the QPS sweep, self-host a
+// farm of --workers episode workers, wrap --faulty-fraction of them in a
+// FaultInjectingBackend driven by the (seeded, deterministic) FaultPlan, and
+// run the SAME load plan twice — fault-free and faulted — writing
+// BENCH_degradation.json with goodput, shed rate, hedge-win rate, breaker
+// trips, and latency quantiles for both, plus the goodput ratio. Hedging and
+// circuit breakers are enabled for both runs so the comparison measures the
+// overload machinery, not its absence.
+//
+//   --fault-plan       FaultPlan spec, e.g. 'delay=0.35:40ms,error=0.08,
+//                      hang=0.02:800ms' (grammar: kind=prob[:dur][@after]).
+//   --faulty-fraction  Fraction of workers wrapped in the injector
+//                      (default 0.25, rounded up to at least one worker).
+//   --rpc-timeout-ms   Per-episode RPC deadline in this mode (default 250).
+//   --hedge-ms         Hedge fallback delay before RTTs are learned
+//                      (default 25).
+//   --shed-watermark   Router-side queue-depth shed watermark (default 512;
+//                      0 disables shedding).
+//   --deadline-ms      Stamp this deadline budget on every query (default 0
+//                      = none).
+//   --wall-limit       Hard wall-clock guard per load point in seconds
+//                      (default: 10x the horizon + 20; a hung worker aborts
+//                      the point instead of stalling the sweep).
+//
 // Exit status: 0 on success, 1 when a topology cannot be driven (e.g. the
 // worker is unreachable), 2 on usage errors.
 
@@ -54,7 +78,9 @@
 
 #include "bench_util.hpp"
 #include "env/env_service.hpp"
+#include "env/environment.hpp"
 #include "env/farm_controller.hpp"
+#include "env/fault_injection.hpp"
 #include "env/loadgen.hpp"
 #include "env/shard_router.hpp"
 #include "rpc/remote_backend.hpp"
@@ -85,6 +111,14 @@ struct LoadgenOptions {
   std::string out;
   bool smoke = false;
   bool quiet = false;
+  // Degradation mode (--fault-plan).
+  std::string fault_plan;
+  double faulty_fraction = 0.25;
+  double rpc_timeout_ms = 250.0;
+  double hedge_ms = 25.0;
+  std::size_t shed_watermark = 512;
+  double deadline_ms = 0.0;
+  double wall_limit_s = 0.0;  ///< 0 = derive from the horizon.
 };
 
 void print_usage(std::FILE* out, const char* argv0) {
@@ -95,7 +129,10 @@ void print_usage(std::FILE* out, const char* argv0) {
                "          [--clients N] [--threads N] [--shards N] [--cache-capacity N]\n"
                "          [--mix-revisit F] [--mix-online F] [--mix-trace F]\n"
                "          [--episode-ms MS] [--incumbents N] [--seed N] [--out PATH]\n"
-               "          [--smoke] [--quiet]\n",
+               "          [--smoke] [--quiet]\n"
+               "          [--fault-plan SPEC] [--faulty-fraction F] [--rpc-timeout-ms MS]\n"
+               "          [--hedge-ms MS] [--shed-watermark N] [--deadline-ms MS]\n"
+               "          [--wall-limit S]\n",
                argv0);
 }
 
@@ -184,6 +221,21 @@ LoadgenOptions parse_args(int argc, char** argv) {
       options.seed = static_cast<std::uint64_t>(parse_double(argv[0], flag, next()));
     } else if (flag == "--out") {
       options.out = next();
+    } else if (flag == "--fault-plan") {
+      options.fault_plan = next();
+    } else if (flag == "--faulty-fraction") {
+      options.faulty_fraction = parse_double(argv[0], flag, next());
+      if (options.faulty_fraction > 1.0) usage_error(argv[0], "--faulty-fraction must be <= 1");
+    } else if (flag == "--rpc-timeout-ms") {
+      options.rpc_timeout_ms = parse_double(argv[0], flag, next());
+    } else if (flag == "--hedge-ms") {
+      options.hedge_ms = parse_double(argv[0], flag, next());
+    } else if (flag == "--shed-watermark") {
+      options.shed_watermark = static_cast<std::size_t>(parse_double(argv[0], flag, next()));
+    } else if (flag == "--deadline-ms") {
+      options.deadline_ms = parse_double(argv[0], flag, next());
+    } else if (flag == "--wall-limit") {
+      options.wall_limit_s = parse_double(argv[0], flag, next());
     } else if (flag == "--smoke") {
       options.smoke = true;
     } else if (flag == "--quiet") {
@@ -205,6 +257,9 @@ LoadgenOptions parse_args(int argc, char** argv) {
     options.clients = std::min<std::size_t>(options.clients, 16);
   }
   if (options.workers == 0) usage_error(argv[0], "--workers must be >= 1");
+  if (!options.fault_plan.empty() && options.workers < 2) {
+    options.workers = 4;  // degradation mode needs a farm to fail over within
+  }
   if ((options.topology == "remote" || options.topology == "both") && options.port == 0 &&
       options.workers < 2) {
     usage_error(argv[0], "--topology " + options.topology +
@@ -529,10 +584,260 @@ void write_topology_json(atlas::telemetry::JsonWriter& json, const TopologyRepor
   json.end_object();
 }
 
+// ---- degradation mode (--fault-plan) ----------------------------------------
+
+struct DegradationSide {
+  atlas::env::LoadPlan plan;
+  atlas::env::LoadPointResult result;
+  atlas::env::EnvServiceStats final_stats;  ///< Absolute router stats at the end.
+  atlas::env::FaultCounters faults;         ///< Zero on the clean side.
+  std::size_t faulty_workers = 0;
+
+  double goodput_qps() const {
+    return result.wall_s <= 0.0 ? 0.0
+                                : static_cast<double>(result.completed) / result.wall_s;
+  }
+};
+
+/// Build a self-hosted farm (the last `faulty` workers wrapped in the
+/// injector when `plan` is set), replay one load point against it, and tear
+/// it down. Identical construction on both sides — only the injector differs
+/// — so the clean side IS the faulted side's control.
+DegradationSide run_degradation_side(const LoadgenOptions& options,
+                                     const atlas::env::FaultPlan* plan) {
+  namespace env = atlas::env;
+  namespace rpc = atlas::rpc;
+
+  std::shared_ptr<env::FaultInjector> injector;
+  DegradationSide side;
+  if (plan != nullptr) {
+    injector = std::make_shared<env::FaultInjector>(*plan);
+    side.faulty_workers = std::max<std::size_t>(
+        1, static_cast<std::size_t>(options.faulty_fraction *
+                                        static_cast<double>(options.workers) +
+                                    0.5));
+  }
+
+  struct InprocWorker {
+    std::unique_ptr<env::EnvService> service;
+    std::unique_ptr<rpc::EpisodeRpcServer> server;
+  };
+  std::vector<InprocWorker> hosted;
+  std::vector<std::shared_ptr<rpc::RemoteWorkerControl>> controls;
+  for (std::size_t w = 0; w < options.workers; ++w) {
+    InprocWorker worker;
+    env::EnvServiceOptions service_options;
+    service_options.threads = options.threads;
+    service_options.cache_capacity = options.cache_capacity;
+    worker.service = std::make_unique<env::EnvService>(service_options);
+    const bool faulty = injector && w >= options.workers - side.faulty_workers;
+    if (faulty) {
+      // Same simulator as add_simulator would build, decorated with the
+      // injector. The decorator forwards name/kind/cost/accepts, so the
+      // announce — and the farm's equivalence key — is indistinguishable
+      // from a healthy worker's.
+      auto inner = std::make_shared<env::LocalBackend>(
+          std::make_shared<env::Simulator>(env::SimParams::defaults()), "sim-0",
+          env::BackendKind::kOffline);
+      worker.service->register_backend(
+          std::make_shared<env::FaultInjectingBackend>(std::move(inner), injector));
+    } else {
+      worker.service->add_simulator(env::SimParams::defaults(), "sim-0");
+    }
+    worker.server = std::make_unique<rpc::EpisodeRpcServer>(*worker.service);
+    worker.server->set_backend_digest(0, env::params_digest(env::SimParams::defaults()));
+    rpc::RemoteWorkerOptions control;
+    control.port = worker.server->port();
+    control.timeout_ms = options.rpc_timeout_ms;
+    controls.push_back(std::make_shared<rpc::RemoteWorkerControl>(control));
+    hosted.push_back(std::move(worker));
+  }
+
+  env::EnvServiceOptions router_options;
+  router_options.threads = options.threads;
+  router_options.cache_capacity = options.cache_capacity;
+  router_options.shed_watermark = options.shed_watermark;
+  env::ShardRouter router(options.shards, router_options);
+
+  env::FarmControllerOptions farm_options;
+  farm_options.hedge.enabled = true;
+  farm_options.hedge.fallback_delay_ms = options.hedge_ms;
+  env::FarmController controller(router, farm_options);
+  for (const auto& control : controls) controller.add_worker(control);
+
+  env::BackendId sim = 0;
+  bool found = false;
+  for (const env::BackendId id : controller.worker_backends(0)) {
+    if (router.backend_kind(id) == env::BackendKind::kOffline) {
+      sim = id;
+      found = true;
+      break;
+    }
+  }
+  if (!found) throw std::runtime_error("degradation farm announced no offline backend");
+
+  env::LoadPlanOptions plan_options;
+  plan_options.qps = options.qps.empty() ? 150.0 : options.qps.front();
+  plan_options.mix = options.mix;
+  plan_options.mix.online = 0.0;  // one shared offline backend; faults hit it
+  plan_options.duration_s = options.duration_s;
+  plan_options.episode_ms = options.episode_ms;
+  plan_options.incumbents = options.incumbents;
+  plan_options.offline_backend = sim;
+  plan_options.seed = options.seed;  // SAME plan both sides — paired comparison
+  side.plan = env::build_load_plan(plan_options);
+  if (options.deadline_ms > 0.0) {
+    for (env::LoadEvent& event : side.plan.events) {
+      event.query.deadline_ms = options.deadline_ms;
+    }
+  }
+
+  env::LoadRunOptions run_options;
+  run_options.workers = options.clients;
+  run_options.wall_limit_s = options.wall_limit_s > 0.0
+                                 ? options.wall_limit_s
+                                 : options.duration_s * 10.0 + 20.0;
+  if (injector) {
+    run_options.on_abort = [injector] { injector->release_hangs(); };
+  }
+
+  controller.start();
+  side.result = env::run_load_point(router, side.plan, run_options);
+  // Unpark any still-sleeping injected hangs BEFORE teardown: the worker
+  // services join their pools in their destructors.
+  if (injector) {
+    injector->release_hangs();
+    side.faults = injector->counters();
+  }
+  controller.stop();
+  side.final_stats = router.stats();
+  return side;
+}
+
+void write_degradation_side_json(atlas::telemetry::JsonWriter& json,
+                                 const DegradationSide& side) {
+  const atlas::env::LoadPointResult& r = side.result;
+  json.begin_object();
+  json.field("goodput_qps", side.goodput_qps());
+  json.field("scheduled", static_cast<std::uint64_t>(r.scheduled));
+  json.field("completed", static_cast<std::uint64_t>(r.completed));
+  json.field("failed", static_cast<std::uint64_t>(r.failed));
+  json.field("rejected", static_cast<std::uint64_t>(r.rejected));
+  json.field("aborted", r.aborted);
+  json.field("wall_s", r.wall_s);
+  json.field("shed_rate", r.scheduled == 0 ? 0.0
+                                           : static_cast<double>(r.rejected) /
+                                                 static_cast<double>(r.scheduled));
+  json.field("p50_ms", r.latency_ns.quantile(0.50) / 1e6);
+  json.field("p99_ms", r.latency_ns.quantile(0.99) / 1e6);
+  json.field("p999_ms", r.latency_ns.quantile(0.999) / 1e6);
+  json.field("shed_total", side.final_stats.shed_total);
+  json.field("deadline_rejected", side.final_stats.deadline_rejected);
+  const atlas::env::FarmView& farm = side.final_stats.farm;
+  json.field("hedges", farm.hedges);
+  json.field("hedge_wins", farm.hedge_wins);
+  json.field("hedge_win_rate", farm.hedges == 0 ? 0.0
+                                                : static_cast<double>(farm.hedge_wins) /
+                                                      static_cast<double>(farm.hedges));
+  json.field("breaker_trips", farm.breaker_trips);
+  json.field("reconnects", farm.reconnects);
+  json.field("episodes_redispatched", farm.episodes_redispatched);
+  if (side.faults.total() > 0 || side.faulty_workers > 0) {
+    json.key("faults_injected");
+    json.begin_object();
+    json.field("drops", side.faults.drops);
+    json.field("delays", side.faults.delays);
+    json.field("errors", side.faults.errors);
+    json.field("hangs", side.faults.hangs);
+    json.field("corruptions", side.faults.corruptions);
+    json.end_object();
+  }
+  json.key("latency_ms");
+  atlas::telemetry::write_histogram_json(json, r.latency_ns, 1e6);
+  json.end_object();
+}
+
+int run_degradation(const LoadgenOptions& options) {
+  const atlas::env::FaultPlan plan =
+      atlas::env::FaultPlan::parse(options.fault_plan, options.seed);
+  if (plan.empty()) {
+    std::fprintf(stderr, "atlas_loadgen: --fault-plan parsed to no rules\n");
+    return 2;
+  }
+
+  DegradationSide clean;
+  DegradationSide faulted;
+  try {
+    clean = run_degradation_side(options, nullptr);
+    if (!options.quiet) {
+      std::printf("[degradation/clean]   goodput %8.1f qps  p99 %7.2f ms  "
+                  "(%zu ok, %zu failed, %zu shed)\n",
+                  clean.goodput_qps(), clean.result.latency_ns.quantile(0.99) / 1e6,
+                  clean.result.completed, clean.result.failed, clean.result.rejected);
+      std::fflush(stdout);
+    }
+    faulted = run_degradation_side(options, &plan);
+    if (!options.quiet) {
+      const atlas::env::FarmView& farm = faulted.final_stats.farm;
+      std::printf("[degradation/faulted] goodput %8.1f qps  p99 %7.2f ms  "
+                  "(%zu ok, %zu failed, %zu shed; %llu hedges, %llu wins, "
+                  "%llu breaker trips)\n",
+                  faulted.goodput_qps(), faulted.result.latency_ns.quantile(0.99) / 1e6,
+                  faulted.result.completed, faulted.result.failed, faulted.result.rejected,
+                  static_cast<unsigned long long>(farm.hedges),
+                  static_cast<unsigned long long>(farm.hedge_wins),
+                  static_cast<unsigned long long>(farm.breaker_trips));
+      std::fflush(stdout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "atlas_loadgen: fatal: %s\n", e.what());
+    return 1;
+  }
+
+  const double ratio = clean.goodput_qps() <= 0.0
+                           ? 0.0
+                           : faulted.goodput_qps() / clean.goodput_qps();
+  const std::string out_path =
+      options.out.empty()
+          ? bench::bench_output_path("BENCH_degradation.json", "ATLAS_BENCH_DEGRADATION_OUT")
+          : options.out;
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "atlas_loadgen: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  atlas::telemetry::JsonWriter json(out);
+  json.begin_object();
+  json.field("bench", "degradation");
+  json.field("seed", options.seed);
+  json.field("fault_plan", plan.to_string());
+  json.field("workers", static_cast<std::uint64_t>(options.workers));
+  json.field("faulty_workers", static_cast<std::uint64_t>(faulted.faulty_workers));
+  json.field("offered_qps", clean.result.offered_qps);
+  json.field("duration_s", options.duration_s);
+  json.field("rpc_timeout_ms", options.rpc_timeout_ms);
+  json.field("hedge_ms", options.hedge_ms);
+  json.field("shed_watermark", static_cast<std::uint64_t>(options.shed_watermark));
+  json.field("deadline_ms", options.deadline_ms);
+  json.key("clean");
+  write_degradation_side_json(json, clean);
+  json.key("faulted");
+  write_degradation_side_json(json, faulted);
+  json.field("goodput_ratio", ratio);
+  json.end_object();
+  out << "\n";
+  if (!options.quiet) {
+    std::printf("atlas_loadgen: goodput ratio %.3f (faulted/clean); wrote %s\n", ratio,
+                out_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const LoadgenOptions options = parse_args(argc, argv);
+  if (!options.fault_plan.empty()) return run_degradation(options);
 
   std::vector<TopologyReport> reports;
   try {
