@@ -3,19 +3,24 @@
 // per-figure bench all reduce to thousands of run_episode calls).
 //
 // Workloads cover the axes that stress different parts of the engine:
-//   - short vs long episodes      (event-queue + fixed-cadence stepper cost)
-//   - traces off vs on            (per-frame bookkeeping)
-//   - 0 / 4 / 16 background UEs   (MAC scheduler + PHY link-budget math)
-//   - real profile with mobility  (fading + random-walk stepper)
+//   - short vs long episodes        (event-queue + fixed-cadence stepper cost)
+//   - traces off vs on              (per-frame bookkeeping)
+//   - 0/4/16/64/256 background UEs  (SoA batch sweep vs per-UE scheduler)
+//   - real profile with mobility    (fading + random-walk stepper)
 //
 // Writes BENCH_episode_engine.json (override with ATLAS_BENCH_OUT) so CI can
-// track the perf trajectory PR over PR.
+// track the perf trajectory PR over PR. Each scenario carries a
+// `baseline_ratio` against the pre-SoA-tier numbers committed with PR 6
+// (null for scenarios that postdate that baseline), and the artifact records
+// the machine context (cores, compiler, build flavor) so cross-host numbers
+// are never compared as if they were same-host.
 
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -32,6 +37,9 @@ struct Scenario {
   int extra_users = 0;
   bool random_walk = false;
   int traffic = 2;
+  /// episodes/sec committed BEFORE the vectorized background tier (PR 6,
+  /// same scale=2 protocol). 0 = no pre-tier baseline exists.
+  double baseline_eps = 0.0;
 };
 
 struct Measurement {
@@ -40,6 +48,8 @@ struct Measurement {
   double seconds = 0.0;
   double eps = 0.0;
   std::size_t frames = 0;
+  double baseline_eps = 0.0;
+  double baseline_ratio = 0.0;  ///< eps / baseline_eps (0 = no baseline).
 };
 
 Measurement run_scenario(const Scenario& sc, double scale) {
@@ -68,6 +78,7 @@ Measurement run_scenario(const Scenario& sc, double scale) {
   Measurement m;
   m.name = sc.name;
   m.frames = warm.frames_completed;
+  m.baseline_eps = sc.baseline_eps;
   const auto start = std::chrono::steady_clock::now();
   double elapsed = 0.0;
   while (elapsed < min_seconds || m.episodes < min_episodes) {
@@ -79,7 +90,35 @@ Measurement run_scenario(const Scenario& sc, double scale) {
   }
   m.seconds = elapsed;
   m.eps = static_cast<double>(m.episodes) / elapsed;
+  if (m.baseline_eps > 0.0) m.baseline_ratio = m.eps / m.baseline_eps;
   return m;
+}
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." + std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_type() {
+#if defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+bool simd_enabled() {
+#if defined(ATLAS_UE_BATCH_SIMD) && defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
 }
 
 }  // namespace
@@ -90,20 +129,24 @@ int main() {
                 "engine hot path: DES + MAC/PHY + transport + edge");
 
   const std::vector<Scenario> scenarios = {
-      {"sim_short_10s", false, 10.0, false, 0, false, 2},
-      {"sim_long_60s", false, 60.0, false, 0, false, 2},
-      {"sim_long_60s_traces", false, 60.0, true, 0, false, 2},
-      {"sim_long_60s_bg4", false, 60.0, false, 4, false, 2},
-      {"sim_long_60s_bg16", false, 60.0, false, 16, false, 2},
-      {"real_long_60s_mobility", true, 60.0, false, 0, true, 2},
+      {"sim_short_10s", false, 10.0, false, 0, false, 2, 382.687},
+      {"sim_long_60s", false, 60.0, false, 0, false, 2, 64.7723},
+      {"sim_long_60s_traces", false, 60.0, true, 0, false, 2, 65.3231},
+      {"sim_long_60s_bg4", false, 60.0, false, 4, false, 2, 21.2947},
+      {"sim_long_60s_bg16", false, 60.0, false, 16, false, 2, 9.83251},
+      {"sim_long_60s_bg64", false, 60.0, false, 64, false, 2, 0.0},
+      {"sim_long_60s_bg256", false, 60.0, false, 256, false, 2, 0.0},
+      {"real_long_60s_mobility", true, 60.0, false, 0, true, 2, 37.8155},
   };
 
   std::vector<Measurement> results;
-  atlas::common::Table table({"scenario", "episodes", "wall s", "episodes/s", "frames/ep"});
+  atlas::common::Table table(
+      {"scenario", "episodes", "wall s", "episodes/s", "frames/ep", "vs baseline"});
   for (const auto& sc : scenarios) {
     const Measurement m = run_scenario(sc, opts.scale);
     table.add_row({m.name, std::to_string(m.episodes), atlas::common::fmt(m.seconds),
-                   atlas::common::fmt(m.eps, 1), std::to_string(m.frames)});
+                   atlas::common::fmt(m.eps, 1), std::to_string(m.frames),
+                   m.baseline_ratio > 0.0 ? atlas::common::fmt(m.baseline_ratio, 2) + "x" : "-"});
     results.push_back(m);
   }
   bench::emit(table, opts);
@@ -112,13 +155,23 @@ int main() {
       bench::bench_output_path("BENCH_episode_engine.json", "ATLAS_BENCH_OUT");
   std::ofstream out(out_path);
   out << "{\n  \"bench\": \"episode_engine\",\n  \"unit\": \"episodes_per_second\",\n"
+      << "  \"machine\": {\"cores\": " << std::thread::hardware_concurrency()
+      << ", \"compiler\": \"" << compiler_string() << "\", \"build_type\": \"" << build_type()
+      << "\", \"ue_batch_simd\": " << (simd_enabled() ? "true" : "false")
+      << ", \"bench_scale\": " << opts.scale << "},\n"
+      << "  \"baseline\": \"pre-SoA background tier (PR 6 artifact, same protocol)\",\n"
       << "  \"scenarios\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& m = results[i];
     out << "    {\"name\": \"" << m.name << "\", \"episodes\": " << m.episodes
         << ", \"wall_seconds\": " << m.seconds << ", \"episodes_per_second\": " << m.eps
-        << ", \"frames_per_episode\": " << m.frames << "}" << (i + 1 < results.size() ? "," : "")
-        << "\n";
+        << ", \"frames_per_episode\": " << m.frames << ", \"baseline_eps\": ";
+    if (m.baseline_eps > 0.0) {
+      out << m.baseline_eps << ", \"baseline_ratio\": " << m.baseline_ratio;
+    } else {
+      out << "null, \"baseline_ratio\": null";
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";

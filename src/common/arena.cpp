@@ -1,0 +1,101 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace atlas::common {
+
+namespace {
+
+constexpr std::size_t kMaxAlign = alignof(std::max_align_t);
+
+std::size_t align_up(std::size_t value, std::size_t align) noexcept {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_capacity) {
+  if (initial_capacity > 0) grow(initial_capacity);
+}
+
+Arena::~Arena() {
+  Slab* s = slabs_;
+  while (s != nullptr) {
+    Slab* next = s->next;
+    ::operator delete(s);
+    s = next;
+  }
+}
+
+unsigned char* Arena::payload(Slab* s) noexcept {
+  return reinterpret_cast<unsigned char*>(s) + align_up(sizeof(Slab), kMaxAlign);
+}
+
+Arena::Slab* Arena::grow(std::size_t min_bytes) {
+  // Double the resident capacity (or satisfy the request, whichever is
+  // larger) so N allocations cost O(log N) slabs; reset() collapses the
+  // chain back to the single largest slab.
+  const std::size_t want =
+      std::max({min_bytes, capacity_ * 2, kDefaultSlabBytes});
+  const std::size_t total = align_up(sizeof(Slab), kMaxAlign) + want;
+  void* raw = ::operator new(total);  // throws std::bad_alloc on failure
+  Slab* slab = new (raw) Slab;
+  slab->size = want;
+  slab->next = slabs_;
+  slabs_ = slab;
+  offset_ = 0;
+  capacity_ += want;
+  return slab;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;  // distinct non-null pointers, like operator new
+  align = std::min(std::max<std::size_t>(align, 1), kMaxAlign);
+  std::size_t at = slabs_ != nullptr ? align_up(offset_, align) : 0;
+  if (slabs_ == nullptr || at + bytes > slabs_->size) {
+    grow(bytes);
+    at = 0;  // fresh slab payloads are max_align_t-aligned
+  }
+  void* out = payload(slabs_) + at;
+  offset_ = at + bytes;
+  in_use_ += bytes;
+  high_water_ = std::max(high_water_, in_use_);
+  return out;
+}
+
+void Arena::reset() noexcept {
+  // Keep only the largest slab: a warm arena is exactly one slab sized for
+  // the biggest episode this worker has seen, and reset() is two stores.
+  if (slabs_ != nullptr && slabs_->next != nullptr) {
+    Slab* keep = slabs_;
+    for (Slab* s = slabs_; s != nullptr; s = s->next) {
+      if (s->size > keep->size) keep = s;
+    }
+    Slab* s = slabs_;
+    while (s != nullptr) {
+      Slab* next = s->next;
+      if (s != keep) ::operator delete(s);
+      s = next;
+    }
+    keep->next = nullptr;
+    slabs_ = keep;
+    capacity_ = keep->size;
+  }
+  offset_ = 0;
+  in_use_ = 0;
+}
+
+Arena& Arena::thread_slot() {
+  thread_local Arena arena;
+  return arena;
+}
+
+ArenaScope::ArenaScope(Arena& arena) noexcept
+    : arena_(arena), outermost_(arena.bytes_in_use() == 0) {}
+
+ArenaScope::~ArenaScope() {
+  if (outermost_) arena_.reset();
+}
+
+}  // namespace atlas::common

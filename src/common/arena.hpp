@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+
+namespace atlas::common {
+
+/// Episode-scope bump allocator (ROOT-Sim-style per-worker slab arena).
+///
+/// The episode engine builds and tears down one working set per episode —
+/// dominated by the background-UE tier, whose footprint is proportional to
+/// the UE count. Paying the global allocator for that on every one of the
+/// thousands of episodes a BO iteration fans out is pure overhead: the next
+/// episode on the same worker thread needs the same storage again. An Arena
+/// hands out memory by bumping an offset into a slab and recycles the whole
+/// slab with an O(1) reset between episodes, so steady-state episode setup
+/// performs no global allocation at all.
+///
+/// Lifetime rules (deliberately strict, see README "arena lifetime rules"):
+///   * allocate() returns raw storage — no constructors, no destructors.
+///     Only trivially-destructible payloads may live in an arena.
+///   * Every pointer is invalidated by reset() / rewind() / destruction.
+///     Arena-backed objects must not outlive the episode that made them.
+///   * Arenas are single-threaded by design. Cross-worker reuse goes
+///     through one thread_slot() arena per worker thread (below), never by
+///     sharing one arena across threads.
+///
+/// Growth: when a request does not fit, a new slab of max(2x current,
+/// request) is chained on. reset() keeps only the LARGEST slab, so a warm
+/// arena converges to exactly one slab sized for the biggest episode this
+/// worker has seen — later episodes bump within it and never allocate.
+class Arena {
+ public:
+  /// `initial_capacity` = 0 defers the first slab to the first allocate().
+  explicit Arena(std::size_t initial_capacity = 0);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw storage for `bytes` bytes aligned to `align` (a power of two no
+  /// larger than alignof(std::max_align_t)). Never returns nullptr; throws
+  /// std::bad_alloc only if the underlying slab allocation fails.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  /// Typed convenience: uninitialized storage for `n` objects of T.
+  /// T must be trivially destructible (nothing ever runs destructors).
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage never runs destructors");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Forget every allocation (O(1) in the common one-slab case). Keeps the
+  /// largest slab for reuse, releases the rest back to the system.
+  void reset() noexcept;
+
+  /// Bytes handed out since the last reset().
+  std::size_t bytes_in_use() const noexcept { return in_use_; }
+  /// Largest bytes_in_use() ever observed (sizing telemetry).
+  std::size_t high_water() const noexcept { return high_water_; }
+  /// Total slab bytes currently held (reserved, not necessarily in use).
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// The calling worker thread's arena slot. EnvService::run_batch fans
+  /// episodes out over stable ThreadPool workers, so one thread_local arena
+  /// per worker is reused across every episode that worker ever runs — this
+  /// is the "per-worker slab" amortization. The slot is never shared.
+  static Arena& thread_slot();
+
+ private:
+  struct Slab {
+    Slab* next = nullptr;
+    std::size_t size = 0;
+    // Payload follows the header, aligned to max_align_t.
+  };
+
+  static constexpr std::size_t kDefaultSlabBytes = 64 * 1024;
+
+  Slab* grow(std::size_t min_bytes);
+  static unsigned char* payload(Slab* s) noexcept;
+
+  Slab* slabs_ = nullptr;      ///< Chain, most recent first; bump target.
+  std::size_t offset_ = 0;     ///< Bump offset into slabs_'s payload.
+  std::size_t in_use_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+/// RAII episode scope: the OUTERMOST scope on an arena resets it on exit,
+/// recycling the slab for the worker's next episode; nested scopes (an
+/// episode driving a sub-simulation on the same worker) are no-ops whose
+/// allocations simply live until the outermost scope closes. This keeps
+/// reset() away from still-live nested allocations without tracking marks.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) noexcept;
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  Arena& arena() const noexcept { return arena_; }
+
+ private:
+  Arena& arena_;
+  bool outermost_;
+};
+
+}  // namespace atlas::common

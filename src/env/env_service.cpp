@@ -5,6 +5,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "common/arena.hpp"
+
 namespace atlas::env {
 
 namespace {
@@ -77,6 +79,7 @@ EnvService::EnvService(EnvServiceOptions options)
   // Hot paths hold the metric pointers; the registry is only consulted here.
   query_latency_ = &metrics_.histogram("env.query_latency_ns");
   queue_depth_ = &metrics_.histogram("env.queue_depth");
+  arena_high_water_ = &metrics_.histogram("env.arena_high_water_bytes");
   shed_total_ = &metrics_.counter("env.shed_total");
   deadline_rejected_ = &metrics_.counter("env.deadline_rejected");
 }
@@ -338,6 +341,10 @@ EpisodeResult EnvService::run_timed(const EnvQuery& query,
   const auto elapsed = std::chrono::steady_clock::now() - start;
   query_latency_->record(static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  // This worker thread's episode-arena high-water mark: the distribution
+  // over workers shows whether the per-worker slabs have warmed up to the
+  // biggest episode each one serves (run_batch reuses them across queries).
+  arena_high_water_->record(common::Arena::thread_slot().high_water());
   return result;
 }
 

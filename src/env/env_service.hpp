@@ -238,6 +238,8 @@ class EnvService final : public EnvClient {
   telemetry::MetricRegistry metrics_;
   telemetry::Histogram* query_latency_ = nullptr;  ///< Owned by metrics_.
   telemetry::Histogram* queue_depth_ = nullptr;    ///< Owned by metrics_.
+  /// env.arena_high_water_bytes: per-worker episode-arena footprint.
+  telemetry::Histogram* arena_high_water_ = nullptr;
   telemetry::Counter* shed_total_ = nullptr;       ///< env.shed_total (owned by metrics_).
   telemetry::Counter* deadline_rejected_ = nullptr;  ///< env.deadline_rejected.
 

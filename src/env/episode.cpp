@@ -8,8 +8,10 @@
 
 #include "app/frame_app.hpp"
 #include "app/qoe.hpp"
+#include "common/arena.hpp"
 #include "des/event_queue.hpp"
 #include "lte/mac.hpp"
+#include "lte/ue_batch.hpp"
 #include "math/rng.hpp"
 #include "net/backhaul.hpp"
 #include "net/edge.hpp"
@@ -44,8 +46,15 @@ struct EpisodeState {
   des::EventQueue events;
 
   // ---- RAN ----------------------------------------------------------------
+  // Two tiers: the foreground slice UE runs the exact per-UE DES path, the
+  // background full-buffer population is swept as a structure-of-arrays
+  // batch (one fused call per TTI instead of N per-UE calls). The batch's
+  // storage lives in the per-worker episode arena, so constructing even a
+  // 256-UE population is a handful of bump allocations.
   lte::UeRadio slice_ue;
-  std::vector<std::unique_ptr<lte::UeRadio>> background;
+  lte::UeBatch background;
+  int fg_prb_cap_dl = 0;  ///< Foreground slice's DL PRB cap.
+  int bg_prb_cap_dl = 0;  ///< PRBs left to the background slice.
   std::vector<lte::SliceRadioShare> slices;
   lte::TtiScratch scratch;
 
@@ -71,12 +80,17 @@ struct EpisodeState {
     return m;
   }
 
-  EpisodeState(const NetworkProfile& p, const SliceConfig& raw_config, const Workload& wl)
+  EpisodeState(common::Arena& arena, const NetworkProfile& p, const SliceConfig& raw_config,
+               const Workload& wl)
       : profile(p),
         workload(wl),
         config(raw_config.clamped()),
         rng(wl.seed),
         slice_ue(p.ul, p.dl, wl.distance_m, p.fading_sigma_db, p.fading_rho, p.cqi_lag_ttis),
+        // YouTube-style downlink load at a fixed 2 m: always-full DL buffer,
+        // swept as one SoA batch per TTI.
+        background(arena, wl.extra_users > 0 ? static_cast<std::size_t>(wl.extra_users) : 0,
+                   p.dl, 2.0, p.fading_sigma_db, p.fading_rho, p.cqi_lag_ttis),
         ul_link(config.backhaul_mbps + p.backhaul_headroom_mbps, p.backhaul_delay_ms,
                 p.backhaul_jitter),
         dl_link(config.backhaul_mbps + p.backhaul_headroom_mbps, p.backhaul_delay_ms,
@@ -86,30 +100,17 @@ struct EpisodeState {
         traffic_model(make_traffic_model(p)),
         result_bits(traffic_model.result_kbits * 1e3),
         frame_app(traffic_model, wl.traffic, rng) {
-    for (int i = 0; i < wl.extra_users; ++i) {
-      auto ue = std::make_unique<lte::UeRadio>(p.ul, p.dl, 2.0, p.fading_sigma_db,
-                                               p.fading_rho, p.cqi_lag_ttis);
-      // YouTube-style downlink load: always-full DL buffer.
-      ue->dl_queue().set_full_buffer(true);
-      background.push_back(std::move(ue));
-    }
-
     lte::SliceRadioShare ours;
     ours.prb_cap_ul = static_cast<int>(std::lround(config.bandwidth_ul));
     ours.prb_cap_dl = static_cast<int>(std::lround(config.bandwidth_dl));
     ours.mcs_offset_ul = static_cast<int>(std::lround(config.mcs_offset_ul));
     ours.mcs_offset_dl = static_cast<int>(std::lround(config.mcs_offset_dl));
     ours.ues = {&slice_ue};
+    fg_prb_cap_dl = ours.prb_cap_dl;
+    // The background slice holds the remaining PRBs; caps never overlap, so
+    // radio isolation is structural (FlexRAN-style partitioning).
+    bg_prb_cap_dl = lte::kTotalPrbs - ours.prb_cap_dl;
     slices.push_back(ours);
-    if (!background.empty()) {
-      lte::SliceRadioShare bg;
-      // The background slice holds the remaining PRBs; caps never overlap, so
-      // radio isolation is structural (FlexRAN-style partitioning).
-      bg.prb_cap_ul = lte::kTotalPrbs - ours.prb_cap_ul;
-      bg.prb_cap_dl = lte::kTotalPrbs - ours.prb_cap_dl;
-      for (auto& ue : background) bg.ues.push_back(ue.get());
-      slices.push_back(bg);
-    }
   }
 
   FrameTrace& trace_of(std::uint64_t id) {
@@ -168,11 +169,16 @@ struct EpisodeState {
   }
 
   void tti_tick() {
+    // Fading order is part of the determinism contract: foreground UE first,
+    // then the background batch (which draws per-UE innovations in ascending
+    // index order) — exactly the scalar engine's step sequence.
     slice_ue.step_fading(rng);
-    for (auto& ue : background) ue->step_fading(rng);
+    background.step_fading(rng);
 
     // Idle fast-path: with nothing schedulable, run_direction_tti would be a
     // pure no-op (no RNG draws, zero counters) — skip the call outright.
+    // Background UEs never carry uplink data, so the uplink leg only looks
+    // at the foreground slice.
     if (lte::direction_has_active_ue(slices, /*uplink=*/true, events.now())) {
       lte::run_direction_tti(slices, /*uplink=*/true, events.now(), rng, scratch);
       result.ul_tb_total += scratch.tb_total;
@@ -185,7 +191,11 @@ struct EpisodeState {
       }
     }
 
-    if (lte::direction_has_active_ue(slices, /*uplink=*/false, events.now())) {
+    // Downlink: the exact foreground pass first, then one batched sweep over
+    // the background tier — the same slice order (and therefore the same RNG
+    // draw order) as the scalar scheduler's [foreground, background] walk.
+    const bool fg_dl_active = lte::direction_has_active_ue(slices, /*uplink=*/false, events.now());
+    if (fg_dl_active) {
       lte::run_direction_tti(slices, /*uplink=*/false, events.now(), rng, scratch);
       result.dl_tb_total += scratch.tb_total;
       result.dl_tb_err += scratch.tb_err;
@@ -196,6 +206,18 @@ struct EpisodeState {
           events.schedule_in(profile.ue_proc_ms, [s = this, id] { s->result_delivered(id); });
         }
       }
+    }
+    if (!background.empty()) {
+      // An active foreground slice consumes exactly its cap (it has one UE,
+      // which is granted the whole slice budget), so the batch's budget is
+      // the scalar scheduler's remaining-PRB arithmetic in closed form.
+      const int used_fg =
+          fg_dl_active ? std::min(fg_prb_cap_dl, lte::kTotalPrbs) : 0;
+      const int budget = std::min(bg_prb_cap_dl, lte::kTotalPrbs - used_fg);
+      lte::BatchTtiStats bg_stats;
+      background.run_dl_tti(events.now(), budget, /*mcs_offset=*/0, rng, bg_stats);
+      result.dl_tb_total += bg_stats.tb_total;
+      result.dl_tb_err += bg_stats.tb_err;
     }
   }
 
@@ -221,7 +243,13 @@ struct EpisodeState {
 
 EpisodeResult run_episode(const NetworkProfile& profile, const SliceConfig& raw_config,
                           const Workload& workload) {
-  EpisodeState s(profile, raw_config, workload);
+  // Per-worker episode arena: EnvService::run_batch fans episodes out over
+  // stable pool threads, so each worker's thread_slot() slab is warm after
+  // its first episode and per-episode setup performs no global allocation.
+  // The scope resets the arena (O(1)) when the episode's state dies.
+  common::Arena& arena = common::Arena::thread_slot();
+  const common::ArenaScope arena_scope(arena);
+  EpisodeState s(arena, profile, raw_config, workload);
   s.start();
   s.events.run_until(workload.duration_ms);
 

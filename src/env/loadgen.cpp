@@ -107,6 +107,7 @@ LoadPlan build_load_plan(const LoadPlanOptions& options) {
     event.query.backend = options.offline_backend;
     event.query.workload.duration_ms = options.episode_ms;
     event.query.workload.traffic = 1;
+    event.query.workload.extra_users = options.extra_users;
 
     const double roll = mix_rng.uniform();
     if (roll < options.mix.revisit) {

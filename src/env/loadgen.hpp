@@ -51,6 +51,11 @@ struct LoadPlanOptions {
   LoadMix mix;
   std::uint64_t seed = 7;     ///< Sole entropy source — plans are reproducible.
   double episode_ms = 40.0;   ///< Workload duration per query (sim time).
+  /// Background-slice UEs per episode (the vectorized SoA tier). 0 keeps the
+  /// historical foreground-only plans; >0 makes every scheduled episode carry
+  /// that population, turning the serving sweep into a background-tier
+  /// stress (bg16/bg64-shaped work behind the RPC/service layers).
+  int extra_users = 0;
   std::size_t incumbents = 16;  ///< Pool size revisits draw from.
   BackendId offline_backend = 0;
   BackendId online_backend = 0;  ///< Used only when has_online.

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/arena.hpp"
+#include "lte/mac.hpp"
+#include "lte/phy.hpp"
+#include "math/rng.hpp"
+
+namespace atlas::lte {
+
+/// Aggregate outcome of one batched TTI sweep (the SoA analogue of summing
+/// TtiStats over every background UE).
+struct BatchTtiStats {
+  double delivered_bits = 0.0;
+  int tb_total = 0;  ///< Transport blocks attempted this TTI.
+  int tb_err = 0;    ///< Transport blocks errored (HARQ retransmission).
+};
+
+/// Structure-of-arrays batch of background full-buffer downlink UEs.
+///
+/// The episode engine splits UEs into two tiers: the foreground slice UE
+/// keeps the exact per-UE DES path (UeRadio), while background UEs — always
+/// the "YouTube-style" full-buffer downlink population, whose only coupling
+/// to the foreground is PRB contention and the shared RNG stream — live
+/// here as contiguous per-field arrays (fading state, pathloss terms,
+/// cached TB size / BLER, HARQ gates). One run_dl_tti call sweeps the whole
+/// population with flat auto-vectorizable loops instead of N virtual-ish
+/// per-UE calls, and one step_fading call advances every AR(1) process.
+///
+/// Determinism contract (golden-hash pinned): the batch consumes the shared
+/// episode Rng in EXACTLY the scalar engine's order —
+///   * step_fading draws one normal innovation per UE, ascending UE index,
+///     and only when fading is enabled (sigma > 0);
+///   * run_dl_tti draws one Bernoulli uniform per GRANTED, non-HARQ-blocked
+///     UE, ascending UE index (UEs past the PRB budget or inside a HARQ
+///     round trip draw nothing, exactly like the scalar scheduler).
+/// Because MCS selection / TB sizing / BLER are pure functions of (fading,
+/// grant, offset), the batch may cache them under a coarser batch-level
+/// validity rule than UeRadio's per-UE memo without changing any result.
+///
+/// Storage comes from a common::Arena (per-worker episode arena): every
+/// array is one bump allocation, nothing touches the global allocator, and
+/// the whole batch is reclaimed by the episode's ArenaScope. UeBatch is
+/// trivially destructible by construction — it owns no memory.
+class UeBatch {
+ public:
+  /// An empty batch (no arena needed; all sweeps are no-ops).
+  UeBatch() = default;
+
+  /// `count` UEs at `distance_m` under the downlink parameters `dl`.
+  /// Fading/CQI semantics match UeRadio: sigma_db <= 0 disables fading,
+  /// `cqi_lag_ttis` > 0 makes link adaptation read the fading value from
+  /// that many TTIs ago while BLER rolls on the current one.
+  UeBatch(common::Arena& arena, std::size_t count, const RadioParams& dl,
+          double distance_m, double fading_sigma_db, double fading_rho,
+          int cqi_lag_ttis);
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Advance every UE's fading process one TTI. Draw order: UE 0, 1, ... —
+  /// the same order the scalar engine stepped its background vector in.
+  /// Inline no-op on the static channel (simulator profile: no fading, no
+  /// CQI history): called every TTI, so the disabled case costs a branch.
+  void step_fading(atlas::math::Rng& rng) {
+    if (count_ == 0 || (!fading_enabled_ && cqi_lag_ == 0)) return;
+    step_fading_impl(rng);
+  }
+
+  /// One downlink TTI for the whole batch on `budget_prbs` PRBs split
+  /// evenly (first budget % count UEs get the +1 remainder, matching the
+  /// scalar scheduler; with budget < count only the first `budget` UEs are
+  /// granted at all). Overwrites `out`.
+  void run_dl_tti(double now, int budget_prbs, int mcs_offset,
+                  atlas::math::Rng& rng, BatchTtiStats& out);
+
+  // ---- per-UE inspection (tests / diagnostics; not on the hot path) ------
+  double fading_db(std::size_t i) const noexcept { return fading_value_[i]; }
+  double distance(std::size_t i) const noexcept { return distance_m_[i]; }
+  /// Move one UE (invalidates the cached link terms, like UeRadio).
+  void set_distance(std::size_t i, double d) noexcept;
+  double blocked_until(std::size_t i) const noexcept { return blocked_until_[i]; }
+
+ private:
+  void step_fading_impl(atlas::math::Rng& rng);
+  double cqi_fading(std::size_t i) const noexcept;
+  void refresh_link(int per_ue, int extra, int granted, int mcs_offset);
+
+  std::size_t count_ = 0;
+  RadioParams params_;        ///< Downlink parameters, shared by the batch.
+  double floor_db_ = 0.0;     ///< Noise+interference floor (budget-fixed).
+  double fading_rho_ = 0.0;
+  double innovation_scale_ = 0.0;  ///< sigma * sqrt(1 - rho^2), hoisted.
+  bool fading_enabled_ = false;
+  int cqi_lag_ = 0;
+
+  // ---- SoA state (arena-backed, length count_ unless noted) --------------
+  double* distance_m_ = nullptr;
+  double* pathloss_db_ = nullptr;
+  double* fading_value_ = nullptr;
+  double* innovation_ = nullptr;     ///< Scratch: this TTI's normal draws.
+  double* cqi_hist_ = nullptr;       ///< (cqi_lag_+1) rows x count_ ring.
+  double* blocked_until_ = nullptr;  ///< Per-UE HARQ round-trip gate.
+  double* tb_bits_ = nullptr;        ///< Cached TB size per UE.
+  double* bler_p_ = nullptr;         ///< Cached block-error probability.
+  /// Cached integer Bernoulli threshold: ceil(bler_p * 2^53). With k the 53
+  /// high bits of one raw RNG draw, `k < threshold` is EXACTLY `uniform() <
+  /// p` (uniform() is k * 2^-53 and the power-of-two scalings are lossless),
+  /// replacing the int->double convert + FP compare per UE per TTI with an
+  /// integer compare.
+  std::uint64_t* bler_threshold_ = nullptr;
+  std::uint64_t* draw53_ = nullptr;  ///< Scratch: this TTI's 53-bit draws.
+
+  std::size_t hist_head_ = 0;  ///< Oldest row once the ring is full.
+  std::size_t hist_count_ = 0;
+  double max_blocked_until_ = 0.0;  ///< Fast-path gate: no UE blocked before.
+
+  // Batch-level cache validity for tb_bits_/bler_p_: inputs are the grant
+  // layout, the slice offset, and (when enabled) the per-TTI fading values.
+  bool link_valid_ = false;
+  int memo_per_ue_ = -1;
+  int memo_extra_ = -1;
+  int memo_offset_ = 0;
+};
+
+}  // namespace atlas::lte

@@ -99,6 +99,15 @@ const GoldenCase kGolden[] = {
     {"real_default_t2", true, 50, 50, 0, 0, 100, 1.0, 2, 5000, false, false, 0, 17, 0x832d8e93a5564aa8ULL},
     {"real_traces_walk_bg4", true, 40, 40, 1, 0, 60, 0.8, 2, 5000, true, true, 4, 19, 0x49d77f616811ff68ULL},
     {"real_tight_t4", true, 10, 8, 3, 2, 15, 0.25, 4, 5000, false, false, 0, 23, 0x44f4ea8490524e49ULL},
+    // Background-tier guard cases, captured from the scalar per-UE engine
+    // immediately BEFORE the vectorized SoA background tier landed: the
+    // batched sweep must reproduce the per-UE DES bit-for-bit at every UE
+    // count. sim_bg16 pins the full-grant fast path, sim_bg64 pins the
+    // partial-grant path (20 background PRBs across 64 UEs: only the first
+    // 20 draw), real_bg16 pins fading + stale CQI + HARQ blocking.
+    {"sim_bg16_t2", false, 30, 30, 0, 0, 100, 1.0, 2, 5000, false, false, 16, 29, 0xdca8c07238cd8555ULL},
+    {"sim_bg64_t2", false, 30, 30, 0, 0, 100, 1.0, 2, 5000, false, false, 64, 37, 0x01e699f761d4dfbbULL},
+    {"real_bg16_t2", true, 30, 30, 0, 0, 100, 1.0, 2, 5000, false, false, 16, 31, 0xbc9efe162451db01ULL},
 };
 
 ae::EpisodeResult run_case(const GoldenCase& c) {

@@ -114,6 +114,16 @@ TEST(LoadPlan, OnlineShareFallsBackToFreshWithoutAnOnlineBackend) {
   }
 }
 
+TEST(LoadPlan, ExtraUsersRideOnEveryScheduledEpisode) {
+  env::LoadPlanOptions options = small_options();
+  options.extra_users = 16;
+  const env::LoadPlan plan = env::build_load_plan(options);
+  ASSERT_FALSE(plan.events.empty());
+  for (const env::LoadEvent& event : plan.events) {
+    EXPECT_EQ(event.query.workload.extra_users, 16);  // revisits included
+  }
+}
+
 TEST(LoadPlan, RejectsBadOptions) {
   env::LoadPlanOptions options = small_options();
   options.qps = 0.0;

@@ -1,0 +1,247 @@
+// UeBatch equivalence suite: the vectorized background-UE tier must be a
+// drop-in replacement for N scalar UeRadio objects behind one shared RNG.
+// Every comparison here is BITWISE — the golden-episode hashes depend on the
+// batch reproducing the scalar engine's draws and arithmetic exactly, so
+// "close" is a failure.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "env/episode.hpp"
+#include "env/profile.hpp"
+#include "lte/mac.hpp"
+#include "lte/ue_batch.hpp"
+
+namespace {
+
+using atlas::common::Arena;
+using atlas::common::ArenaScope;
+using atlas::math::Rng;
+namespace lte = atlas::lte;
+
+/// The scalar reference: N full-buffer downlink UeRadio objects in one
+/// background slice, swept by the per-UE scheduler — exactly what the
+/// episode engine did before the SoA tier.
+struct ScalarBackground {
+  std::vector<std::unique_ptr<lte::UeRadio>> ues;
+  std::vector<lte::SliceRadioShare> slices;
+  lte::TtiScratch scratch;
+
+  ScalarBackground(std::size_t n, const lte::RadioParams& ul, const lte::RadioParams& dl,
+                   double distance_m, double sigma, double rho, int cqi_lag, int budget_prbs) {
+    lte::SliceRadioShare share;
+    share.prb_cap_dl = budget_prbs;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto ue = std::make_unique<lte::UeRadio>(ul, dl, distance_m, sigma, rho, cqi_lag);
+      ue->dl_queue().set_full_buffer(true);
+      share.ues.push_back(ue.get());
+      ues.push_back(std::move(ue));
+    }
+    slices.push_back(share);
+  }
+
+  void step_fading(Rng& rng) {
+    for (auto& ue : ues) ue->step_fading(rng);
+  }
+
+  lte::BatchTtiStats run_dl_tti(double now, Rng& rng) {
+    lte::run_direction_tti(slices, /*uplink=*/false, now, rng, scratch);
+    return {scratch.delivered_bits, scratch.tb_total, scratch.tb_err};
+  }
+};
+
+struct ChannelSpec {
+  double sigma = 0.0;
+  double rho = 0.9;
+  int cqi_lag = 0;
+  int harq_rtt = 1;
+};
+
+/// Drive batch and scalar populations TTI by TTI off two identically-seeded
+/// RNGs and demand bitwise-equal outcomes at every step.
+void expect_equivalent(std::size_t n, int budget_prbs, const ChannelSpec& ch,
+                       int mcs_offset, int ttis, std::uint64_t seed) {
+  const atlas::env::NetworkProfile profile = atlas::env::simulator_profile();
+  lte::RadioParams dl = profile.dl;
+  dl.harq_rtt_ttis = ch.harq_rtt;
+  lte::RadioParams ul = profile.ul;
+
+  Arena arena;
+  const ArenaScope scope(arena);
+  lte::UeBatch batch(arena, n, dl, 2.0, ch.sigma, ch.rho, ch.cqi_lag);
+  ScalarBackground scalar(n, ul, dl, 2.0, ch.sigma, ch.rho, ch.cqi_lag, budget_prbs);
+
+  Rng batch_rng(seed);
+  Rng scalar_rng(seed);
+  // The scheduler grants at most kTotalPrbs; mirror the cap the scalar
+  // scheduler applies so both sides see the same budget.
+  const int budget = std::min(budget_prbs, lte::kTotalPrbs);
+  lte::BatchTtiStats got;
+  for (int t = 0; t < ttis; ++t) {
+    const double now = static_cast<double>(t) * lte::kTtiMs;
+    batch.step_fading(batch_rng);
+    scalar.step_fading(scalar_rng);
+    // mcs_offset rides on the batch call; give the scalar slice the same.
+    scalar.slices[0].mcs_offset_dl = mcs_offset;
+    batch.run_dl_tti(now, budget, mcs_offset, batch_rng, got);
+    const lte::BatchTtiStats want = scalar.run_dl_tti(now, scalar_rng);
+    ASSERT_EQ(got.tb_total, want.tb_total) << "tti " << t;
+    ASSERT_EQ(got.tb_err, want.tb_err) << "tti " << t;
+    // Bitwise: the batch accumulates delivered bits in the scalar's
+    // left-to-right order, so even the rounding must agree.
+    ASSERT_EQ(got.delivered_bits, want.delivered_bits) << "tti " << t;
+  }
+  // After the walk the two RNGs must be in the same state: the batch drew
+  // exactly the scalar engine's sequence, no more, no fewer.
+  ASSERT_EQ(batch_rng.next_u64(), scalar_rng.next_u64());
+}
+
+TEST(UeBatch, StaticChannelFullGrantMatchesScalar) {
+  // 16 UEs on 50 PRBs: everyone granted (per_ue=3, extra=2), fading off —
+  // the simulator profile's steady-state fast path.
+  expect_equivalent(16, 50, {}, 0, 2000, 11);
+}
+
+TEST(UeBatch, StaticChannelPartialGrantMatchesScalar) {
+  // 64 UEs on 20 PRBs: only the first 20 get a grant (per_ue=0), the rest
+  // must not draw — the bg64/bg256 scheduling shape.
+  expect_equivalent(64, 20, {}, 0, 2000, 13);
+}
+
+TEST(UeBatch, FadingCqiLagHarqMatchesScalar) {
+  // The real-network channel: AR(1) fading, 2-TTI-stale CQI, 3-TTI HARQ
+  // round trip — exercises the per-TTI refresh and the blocked slow path.
+  expect_equivalent(64, 30, {2.5, 0.9, 2, 3}, 0, 1500, 17);
+}
+
+TEST(UeBatch, McsOffsetAndSmallBudgetMatchScalar) {
+  expect_equivalent(8, 5, {2.5, 0.9, 1, 2}, 3, 1000, 19);
+}
+
+TEST(UeBatch, SingleUeMatchesScalar) { expect_equivalent(1, 50, {2.5, 0.9, 2, 3}, 0, 1000, 23); }
+
+TEST(UeBatch, FadingStateMatchesScalarBitwise) {
+  // Fading trajectories themselves (not just scheduler outcomes) must be
+  // bit-identical per UE per TTI. Reference: N standalone FadingProcess
+  // objects stepped in ascending-UE order, the scalar engine's exact walk.
+  const atlas::env::NetworkProfile profile = atlas::env::simulator_profile();
+  Arena arena;
+  const ArenaScope scope(arena);
+  const std::size_t n = 32;
+  lte::UeBatch batch(arena, n, profile.dl, 2.0, 2.5, 0.9, 2);
+  std::vector<lte::FadingProcess> reference(n, lte::FadingProcess(2.5, 0.9));
+  Rng a(99), b(99);
+  for (int t = 0; t < 500; ++t) {
+    batch.step_fading(a);
+    for (auto& f : reference) f.step(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batch.fading_db(i), reference[i].value()) << "tti " << t << " ue " << i;
+    }
+  }
+  ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(UeBatch, EmptyBatchDrawsNothing) {
+  Arena arena;
+  const ArenaScope scope(arena);
+  lte::UeBatch batch;  // default-constructed: no UEs, no arena
+  Rng rng(7), untouched(7);
+  batch.step_fading(rng);
+  lte::BatchTtiStats out;
+  batch.run_dl_tti(0.0, 50, 0, rng, out);
+  EXPECT_EQ(out.tb_total, 0);
+  EXPECT_EQ(out.tb_err, 0);
+  EXPECT_EQ(out.delivered_bits, 0.0);
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());  // no hidden draws
+}
+
+TEST(UeBatch, ZeroBudgetDrawsNothing) {
+  const atlas::env::NetworkProfile profile = atlas::env::simulator_profile();
+  Arena arena;
+  const ArenaScope scope(arena);
+  lte::UeBatch batch(arena, 8, profile.dl, 2.0, 0.0, 0.9, 0);
+  Rng rng(7), untouched(7);
+  lte::BatchTtiStats out;
+  batch.run_dl_tti(0.0, 0, 0, rng, out);
+  EXPECT_EQ(out.tb_total, 0);
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+}
+
+TEST(UeBatch, ArenaResetReuseIsBitIdentical) {
+  // Episode-after-episode on one worker arena: build, sweep, reset, build
+  // again — the second pass reuses the recycled slab and must reproduce the
+  // first bit-for-bit (and without growing the arena).
+  const atlas::env::NetworkProfile profile = atlas::env::simulator_profile();
+  Arena arena;
+  auto sweep = [&] {
+    const ArenaScope scope(arena);
+    lte::UeBatch batch(arena, 64, profile.dl, 2.0, 2.5, 0.9, 2);
+    Rng rng(41);
+    lte::BatchTtiStats out;
+    double delivered = 0.0;
+    int tb = 0, err = 0;
+    for (int t = 0; t < 400; ++t) {
+      batch.step_fading(rng);
+      batch.run_dl_tti(static_cast<double>(t) * lte::kTtiMs, 30, 0, rng, out);
+      delivered += out.delivered_bits;
+      tb += out.tb_total;
+      err += out.tb_err;
+    }
+    return std::tuple{delivered, tb, err, rng.next_u64()};
+  };
+  const auto first = sweep();
+  const std::size_t warm_capacity = arena.capacity();
+  EXPECT_EQ(arena.bytes_in_use(), 0u) << "scope exit must reset the arena";
+  const auto second = sweep();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(arena.capacity(), warm_capacity) << "warm arena must not grow";
+}
+
+TEST(UeBatch, ArenaGrowsAndResetsToLargestSlab) {
+  Arena arena;
+  void* a = arena.allocate(100, 8);
+  ASSERT_NE(a, nullptr);
+  EXPECT_GE(arena.capacity(), 100u);
+  // Force growth past the first slab.
+  (void)arena.allocate(3 * 1024 * 1024, 8);
+  const std::size_t grown = arena.capacity();
+  EXPECT_GE(grown, 3 * 1024 * 1024 + 100u);
+  EXPECT_GE(arena.high_water(), 3 * 1024 * 1024 + 100u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_LT(arena.capacity(), grown);  // only the largest slab survives
+  EXPECT_GE(arena.capacity(), 3 * 1024 * 1024u);
+  // And the surviving slab serves the same demand without growing again.
+  (void)arena.allocate(3 * 1024 * 1024, 8);
+  EXPECT_GE(arena.capacity(), 3 * 1024 * 1024u);
+}
+
+TEST(UeBatch, EpisodeWithBackgroundTierIsDeterministic) {
+  // End to end through run_episode: repeated executions (fresh thread-local
+  // arena state vs warm) must agree exactly — the property the golden-hash
+  // suite pins against the pre-rewrite capture.
+  atlas::env::SliceConfig config;
+  config.bandwidth_ul = 30;
+  config.bandwidth_dl = 30;
+  atlas::env::Workload wl;
+  wl.traffic = 2;
+  wl.duration_ms = 3000.0;
+  wl.extra_users = 16;
+  wl.seed = 77;
+  const auto profile = atlas::env::simulator_profile();
+  const auto first = atlas::env::run_episode(profile, config, wl);
+  const auto second = atlas::env::run_episode(profile, config, wl);
+  ASSERT_EQ(first.latencies_ms.size(), second.latencies_ms.size());
+  for (std::size_t i = 0; i < first.latencies_ms.size(); ++i) {
+    ASSERT_EQ(first.latencies_ms[i], second.latencies_ms[i]);
+  }
+  EXPECT_EQ(first.dl_tb_total, second.dl_tb_total);
+  EXPECT_EQ(first.dl_tb_err, second.dl_tb_err);
+  EXPECT_GT(first.dl_tb_total, 0);
+}
+
+}  // namespace

@@ -35,6 +35,9 @@
 //   --mix-*           Query-mix fractions (defaults: 0.45 revisit,
 //                     0.05 online, 0.10 trace; the rest fresh).
 //   --episode-ms      Simulated episode duration per query (default 40).
+//   --extra-users     Background-slice UEs per episode (default 0): stresses
+//                     the vectorized SoA background tier behind the serving
+//                     layers instead of foreground-only episodes.
 //   --smoke           CI preset: tiny duration/episodes, two fixed points.
 //   --out             Output path (default BENCH_serving.json; also
 //                     ATLAS_BENCH_SERVING_OUT / ATLAS_BENCH_OUT_DIR).
@@ -106,6 +109,7 @@ struct LoadgenOptions {
   std::size_t cache_capacity = 65536;
   atlas::env::LoadMix mix;
   double episode_ms = 40.0;
+  int extra_users = 0;
   std::size_t incumbents = 16;
   std::uint64_t seed = 7;
   std::string out;
@@ -128,7 +132,8 @@ void print_usage(std::FILE* out, const char* argv0) {
                "          [--sweep-factor F] [--sweep-max-steps N] [--duration S]\n"
                "          [--clients N] [--threads N] [--shards N] [--cache-capacity N]\n"
                "          [--mix-revisit F] [--mix-online F] [--mix-trace F]\n"
-               "          [--episode-ms MS] [--incumbents N] [--seed N] [--out PATH]\n"
+               "          [--episode-ms MS] [--extra-users N] [--incumbents N] [--seed N]\n"
+               "          [--out PATH]\n"
                "          [--smoke] [--quiet]\n"
                "          [--fault-plan SPEC] [--faulty-fraction F] [--rpc-timeout-ms MS]\n"
                "          [--hedge-ms MS] [--shed-watermark N] [--deadline-ms MS]\n"
@@ -215,6 +220,8 @@ LoadgenOptions parse_args(int argc, char** argv) {
       options.mix.trace = parse_double(argv[0], flag, next());
     } else if (flag == "--episode-ms") {
       options.episode_ms = parse_double(argv[0], flag, next());
+    } else if (flag == "--extra-users") {
+      options.extra_users = static_cast<int>(parse_double(argv[0], flag, next()));
     } else if (flag == "--incumbents") {
       options.incumbents = static_cast<std::size_t>(parse_double(argv[0], flag, next()));
     } else if (flag == "--seed") {
@@ -324,6 +331,7 @@ TopologyReport drive(const LoadgenOptions& options, const std::string& name,
   plan_options.mix = options.mix;
   plan_options.duration_s = options.duration_s;
   plan_options.episode_ms = options.episode_ms;
+  plan_options.extra_users = options.extra_users;
   plan_options.incumbents = options.incumbents;
   plan_options.offline_backend = offline;
   plan_options.online_backend = online;
@@ -682,6 +690,7 @@ DegradationSide run_degradation_side(const LoadgenOptions& options,
   plan_options.mix.online = 0.0;  // one shared offline backend; faults hit it
   plan_options.duration_s = options.duration_s;
   plan_options.episode_ms = options.episode_ms;
+  plan_options.extra_users = options.extra_users;
   plan_options.incumbents = options.incumbents;
   plan_options.offline_backend = sim;
   plan_options.seed = options.seed;  // SAME plan both sides — paired comparison
@@ -867,6 +876,7 @@ int main(int argc, char** argv) {
   json.field("seed", options.seed);
   json.field("duration_s", options.duration_s);
   json.field("episode_ms", options.episode_ms);
+  json.field("extra_users", static_cast<std::int64_t>(options.extra_users));
   json.field("clients", static_cast<std::uint64_t>(options.clients));
   json.field("workers", static_cast<std::uint64_t>(options.workers));
   json.key("topologies");
