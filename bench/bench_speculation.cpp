@@ -1,0 +1,284 @@
+// bench_speculation: does optimistic episode prefetching buy wall-clock?
+//
+// Runs the SAME stage-2 offline BO training with speculation off and on
+// (speculate_top_k > 0), on a fresh EnvService each time, in two scenarios:
+//
+//   local         — the simulator executes in-process, so episodes COMPETE
+//                   with the acquisition scan for this host's cores. On a
+//                   wide host the prefetched episode hides behind the scan
+//                   tail; on a 1-core host there is no idle capacity and
+//                   this row honestly reports the overhead bound instead.
+//   farm_emulated — the simulator sits behind a deterministic fixed service
+//                   delay (the fault-injection subsystem's delay rule),
+//                   emulating the deployment speculation exists for: episodes
+//                   dispatched to farm workers whose latency is WAIT, not
+//                   local CPU. The scan proceeds while the speculated episode
+//                   "travels", so the commit finds it finished or in flight.
+//
+// Each scenario reports wall-clock per BO iteration for both modes plus the
+// prefetch accuracy that paid for it: launched / hits / cancelled / wasted,
+// hit rate (hits per launch), and commit coverage (fraction of committed BO
+// queries whose episode was already speculated mid-scan). All four runs are
+// FNV-hashed and compared: speculation must be bit-invisible in the trained
+// policy or the comparison is void (`bit_identical`, asserted by CI).
+//
+// Writes BENCH_speculation.json (override with ATLAS_BENCH_OUT). --smoke is
+// the CI preset: a small deterministic run whose farm-emulated hit rate the
+// perf-smoke job gates at >= 0.5.
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "env/fault_injection.hpp"
+
+namespace {
+
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ULL;
+  void add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  }
+  void add_double(double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    add_u64(bits);
+  }
+  void add_vec(const atlas::math::Vec& v) {
+    add_u64(v.size());
+    for (double x : v) add_double(x);
+  }
+};
+
+std::uint64_t hash_offline(const atlas::core::OfflineResult& result) {
+  Fnv f;
+  f.add_vec(result.policy.best_config.to_vec());
+  f.add_double(result.policy.best_usage);
+  f.add_double(result.policy.best_qoe);
+  f.add_double(result.policy.final_lambda);
+  f.add_u64(result.history.size());
+  for (const auto& step : result.history) {
+    f.add_vec(step.config.to_vec());
+    f.add_double(step.usage);
+    f.add_double(step.qoe);
+    f.add_double(step.lambda);
+  }
+  return f.h;
+}
+
+struct ModeResult {
+  std::size_t top_k = 0;
+  double wall_s = 0.0;
+  double wall_per_iter_ms = 0.0;
+  std::uint64_t episodes = 0;
+  atlas::env::SpeculationView speculation;
+  std::uint64_t result_hash = 0;
+  /// BO-phase commits (scan winners actually submitted): the coverage
+  /// denominator. Init iterations never speculate — no scan to rank.
+  std::uint64_t commits = 0;
+
+  double commit_coverage() const {
+    return commits == 0 ? 0.0
+                        : static_cast<double>(speculation.hits) / static_cast<double>(commits);
+  }
+};
+
+ModeResult run_mode(const atlas::core::OfflineOptions& base, std::size_t top_k,
+                    std::size_t threads, double farm_delay_ms) {
+  atlas::env::EnvService service(atlas::env::EnvServiceOptions{.threads = threads});
+  atlas::env::BackendId sim;
+  std::shared_ptr<atlas::env::FaultInjector> injector;
+  if (farm_delay_ms > 0.0) {
+    // Deterministic fixed delay on every episode: a farm worker's dispatch +
+    // queue + remote execution as the client experiences it, with the local
+    // CPU left free for the scan. Same machinery the degradation bench uses.
+    const auto plan = atlas::env::FaultPlan::parse(
+        "delay=1.0:" + std::to_string(farm_delay_ms) + "ms", /*seed=*/1);
+    injector = std::make_shared<atlas::env::FaultInjector>(plan);
+    auto inner = std::make_shared<atlas::env::LocalBackend>(
+        std::make_shared<atlas::env::Simulator>(atlas::env::SimParams::defaults()),
+        "farm-emulated-sim", atlas::env::BackendKind::kOffline);
+    sim = service.register_backend(
+        std::make_shared<atlas::env::FaultInjectingBackend>(std::move(inner), injector));
+  } else {
+    sim = service.add_simulator();
+  }
+  atlas::core::OfflineOptions options = base;
+  options.speculate_top_k = top_k;
+  atlas::core::OfflineTrainer trainer(service, sim, options);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = trainer.train();
+  ModeResult m;
+  m.top_k = top_k;
+  m.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  m.wall_per_iter_ms = m.wall_s * 1e3 / static_cast<double>(options.iterations);
+  m.result_hash = hash_offline(result);
+  m.commits = static_cast<std::uint64_t>(options.iterations - options.init_iterations) *
+              options.parallel;
+  const auto stats = service.stats();
+  m.speculation = stats.speculation;
+  for (const auto& b : stats.backends) m.episodes += b.episodes;
+  return m;
+}
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." + std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_type() {
+#if defined(NDEBUG)
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+void add_mode_row(atlas::common::Table& table, const std::string& scenario, const char* mode,
+                  const ModeResult& m) {
+  if (m.top_k == 0) {
+    table.add_row({scenario, mode, atlas::common::fmt(m.wall_s),
+                   atlas::common::fmt(m.wall_per_iter_ms, 1), std::to_string(m.episodes), "-",
+                   "-", "-", "-", "-", "-"});
+    return;
+  }
+  table.add_row({scenario, mode, atlas::common::fmt(m.wall_s),
+                 atlas::common::fmt(m.wall_per_iter_ms, 1), std::to_string(m.episodes),
+                 std::to_string(m.speculation.launched), std::to_string(m.speculation.hits),
+                 std::to_string(m.speculation.cancelled), std::to_string(m.speculation.wasted),
+                 atlas::common::fmt(m.speculation.hit_rate(), 2),
+                 atlas::common::fmt(m.commit_coverage(), 2)});
+}
+
+void emit_mode_json(std::ofstream& out, const char* name, const ModeResult& m, bool last) {
+  out << "    \"" << name << "\": {\"wall_s\": " << m.wall_s
+      << ", \"wall_per_iteration_ms\": " << m.wall_per_iter_ms
+      << ", \"episodes\": " << m.episodes;
+  if (m.top_k > 0) {
+    out << ", \"launched\": " << m.speculation.launched << ", \"hits\": " << m.speculation.hits
+        << ", \"cancelled\": " << m.speculation.cancelled
+        << ", \"wasted\": " << m.speculation.wasted
+        << ", \"hit_rate\": " << m.speculation.hit_rate()
+        << ", \"commit_coverage\": " << m.commit_coverage();
+  }
+  out << "}" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const auto opts = atlas::common::bench_options();
+  bench::banner("Speculative episode prefetching (stage-2 wall clock, on vs off)",
+                "optimistic BO: top-K acquisition candidates run while the scan finishes");
+
+  // A single BO slot per iteration makes the episode fully serial with the
+  // acquisition scan when speculation is off, so the on-mode's overlap — the
+  // committed episode already in flight since a mid-scan checkpoint — shows
+  // up directly as wall clock per iteration.
+  atlas::core::OfflineOptions base;
+  base.parallel = 1;
+  base.seed = opts.seed + 1;
+  base.seed_plan = bench::seed_plan_options(opts);
+  base.bnn.sizes = {8, 24, 24, 1};
+  base.train_epochs = 2;
+  // k = 1: speculate only the scan leader at each checkpoint. Each commit can
+  // hit at most one launch, so hit rate ~ coverage / k — depth beyond 1 buys
+  // earlier prefetch starts at the price of accuracy, and the accuracy gate
+  // is about the ranking being RIGHT, not wide.
+  const std::size_t top_k = 1;
+  // The overlap saving is bounded by the scan tail after the speculation
+  // checkpoint, so the scenario only discriminates when the acquisition scan
+  // and the (emulated) episode take comparable time: candidates is sized so
+  // the scan runs a few ms, matching farm_delay_ms.
+  double farm_delay_ms = 1.2;
+  if (smoke) {
+    base.iterations = 14;
+    base.init_iterations = 3;
+    base.candidates = 3000;
+    base.workload = bench::workload(opts, 10.0);
+  } else {
+    base.iterations = opts.iters(40, 14);
+    base.init_iterations = opts.iters(8, 3);
+    base.candidates = opts.iters(5000, 3000);
+    base.workload = bench::workload(opts, 20.0);
+    farm_delay_ms = 1.8;
+  }
+  const std::size_t threads = 4;
+
+  const ModeResult local_off = run_mode(base, 0, threads, 0.0);
+  const ModeResult local_on = run_mode(base, top_k, threads, 0.0);
+  const ModeResult farm_off = run_mode(base, 0, threads, farm_delay_ms);
+  const ModeResult farm_on = run_mode(base, top_k, threads, farm_delay_ms);
+  // The delay decorates serving, not the episode: all four runs must agree.
+  const bool bit_identical = local_off.result_hash == local_on.result_hash &&
+                             local_off.result_hash == farm_off.result_hash &&
+                             local_off.result_hash == farm_on.result_hash;
+  const auto speedup = [](const ModeResult& off, const ModeResult& on) {
+    return on.wall_s <= 0.0 ? 0.0 : off.wall_s / on.wall_s;
+  };
+
+  atlas::common::Table table({"scenario", "mode", "wall s", "ms/iter", "episodes", "launched",
+                              "hits", "cancelled", "wasted", "hit rate", "coverage"});
+  add_mode_row(table, "local", "off", local_off);
+  add_mode_row(table, "local", "on", local_on);
+  const std::string farm_name = "farm (" + atlas::common::fmt(farm_delay_ms, 0) + "ms episode)";
+  add_mode_row(table, farm_name, "off", farm_off);
+  add_mode_row(table, farm_name, "on", farm_on);
+  bench::emit(table, opts);
+  std::cout << "local speedup " << atlas::common::fmt(speedup(local_off, local_on), 2)
+            << "x, farm-emulated speedup " << atlas::common::fmt(speedup(farm_off, farm_on), 2)
+            << "x, results " << (bit_identical ? "bit-identical" : "DIVERGED") << "\n";
+
+  const std::string out_path =
+      bench::bench_output_path("BENCH_speculation.json", "ATLAS_BENCH_OUT");
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"speculation\",\n  \"mode\": \"" << (smoke ? "smoke" : "full")
+      << "\",\n"
+      << "  \"machine\": {\"cores\": " << std::thread::hardware_concurrency()
+      << ", \"compiler\": \"" << compiler_string() << "\", \"build_type\": \"" << build_type()
+      << "\", \"bench_scale\": " << opts.scale << "},\n"
+      << "  \"config\": {\"iterations\": " << base.iterations
+      << ", \"init_iterations\": " << base.init_iterations << ", \"parallel\": " << base.parallel
+      << ", \"candidates\": " << base.candidates
+      << ", \"episode_s\": " << base.workload.duration_ms / 1e3
+      << ", \"service_threads\": " << threads << ", \"top_k\": " << top_k
+      << ", \"farm_delay_ms\": " << farm_delay_ms << "},\n"
+      << "  \"local\": {\n";
+  emit_mode_json(out, "off", local_off, /*last=*/false);
+  emit_mode_json(out, "on", local_on, /*last=*/false);
+  out << "    \"speedup\": " << speedup(local_off, local_on) << "\n  },\n"
+      << "  \"farm_emulated\": {\n";
+  emit_mode_json(out, "off", farm_off, /*last=*/false);
+  emit_mode_json(out, "on", farm_on, /*last=*/false);
+  out << "    \"speedup\": " << speedup(farm_off, farm_on) << "\n  },\n"
+      << "  \"bit_identical\": " << (bit_identical ? "true" : "false") << "\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  if (!bit_identical) {
+    std::cerr << "bench_speculation: speculation changed the trained policy\n";
+    return 1;
+  }
+  return 0;
+}

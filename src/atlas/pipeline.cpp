@@ -12,6 +12,10 @@ AtlasPipeline::AtlasPipeline(env::EnvClient& service, env::BackendId real,
     options_.stage2.seed_plan = *options_.seed_plan;
     options_.stage3.seed_plan = *options_.seed_plan;
   }
+  if (options_.speculate_top_k) {
+    options_.stage2.speculate_top_k = *options_.speculate_top_k;
+    options_.stage3.speculate_top_k = *options_.speculate_top_k;
+  }
 }
 
 namespace {
@@ -27,6 +31,9 @@ env::EnvServiceStats stats_since(const env::EnvServiceStats& start,
     now.backends[i].cache_misses -= start.backends[i].cache_misses;
     now.backends[i].crn_hits -= start.backends[i].crn_hits;
     now.backends[i].episodes -= start.backends[i].episodes;
+    now.backends[i].shedded -= start.backends[i].shedded;
+    now.backends[i].deadline_rejected -= start.backends[i].deadline_rejected;
+    now.backends[i].cancelled -= start.backends[i].cancelled;
     now.backends[i].rpc_retries -= start.backends[i].rpc_retries;
     now.backends[i].rpc_failures -= start.backends[i].rpc_failures;
     now.backends[i].rpc_rtt_ns.subtract(start.backends[i].rpc_rtt_ns);
@@ -36,6 +43,13 @@ env::EnvServiceStats stats_since(const env::EnvServiceStats& start,
   now.cache_hits -= start.cache_hits;
   now.cache_misses -= start.cache_misses;
   now.crn_hits -= start.crn_hits;
+  now.shed_total -= start.shed_total;
+  now.deadline_rejected -= start.deadline_rejected;
+  now.cancelled_total -= start.cancelled_total;
+  now.speculation.launched -= start.speculation.launched;
+  now.speculation.hits -= start.speculation.hits;
+  now.speculation.cancelled -= start.speculation.cancelled;
+  now.speculation.wasted -= start.speculation.wasted;
   // Histogram buckets are monotonic counters too: the difference is this
   // phase's latency/queue-depth distribution.
   now.query_latency_ns.subtract(start.query_latency_ns);

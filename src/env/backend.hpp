@@ -93,9 +93,12 @@ struct BackendStats {
   std::uint64_t episodes = 0;      ///< Environment executions.
   /// Queries answered with a typed rejection instead of an episode. For
   /// cacheable workloads the exact-accounting invariant extends to
-  /// `cache_hits + cache_misses + shedded + deadline_rejected == queries`.
+  /// `cache_hits + cache_misses + shedded + deadline_rejected + cancelled
+  /// == queries`.
   std::uint64_t shedded = 0;            ///< Load-shed at admission (watermark).
   std::uint64_t deadline_rejected = 0;  ///< Deadline elapsed before execution.
+  std::uint64_t cancelled = 0;          ///< Caller cancelled before/while executing
+                                        ///< (speculative prefetch abandoned).
   double cost_hint = 1.0;          ///< Relative episode recomputation cost.
   std::uint64_t rpc_retries = 0;   ///< Transport-level retries (remote backends only).
   std::uint64_t rpc_failures = 0;  ///< Queries that exhausted retries or hard-failed remotely.
@@ -104,8 +107,8 @@ struct BackendStats {
   /// backends only; empty for local ones). Filled by fill_stats.
   telemetry::HistogramData rpc_rtt_ns;
 
-  /// Total typed rejections (shed + deadline).
-  std::uint64_t rejected() const noexcept { return shedded + deadline_rejected; }
+  /// Total typed rejections (shed + deadline + cancelled).
+  std::uint64_t rejected() const noexcept { return shedded + deadline_rejected + cancelled; }
 };
 
 /// The polymorphic execution target behind a `BackendId`: an in-process

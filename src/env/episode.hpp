@@ -29,12 +29,16 @@ enum class RejectReason : std::uint8_t {
   kNone = 0,              ///< Not rejected: a real episode result.
   kShedded = 1,           ///< Load-shed at admission (queue depth over watermark).
   kDeadlineExceeded = 2,  ///< The query's deadline elapsed before execution.
+  kCancelled = 3,         ///< The caller's cancel token fired (speculative
+                          ///< prefetch abandoned). Client-local: a worker never
+                          ///< produces this over the wire.
 };
 
 constexpr const char* to_string(RejectReason reason) noexcept {
   switch (reason) {
     case RejectReason::kShedded: return "shedded";
     case RejectReason::kDeadlineExceeded: return "deadline-exceeded";
+    case RejectReason::kCancelled: return "cancelled";
     case RejectReason::kNone: break;
   }
   return "none";

@@ -182,12 +182,23 @@ std::vector<std::size_t> FailoverBackend::candidate_order(const ReplicaList& rep
 
 double FailoverBackend::hedge_delay_ms() const {
   if (!hedge_.enabled) return 0.0;
-  // Refresh the learned delay every kHedgeRefresh calls: quantile scans over
-  // merged histograms are too expensive for every episode, and the RTT
-  // distribution moves slowly.
+  // Staleness is bounded by two clocks. Elapsed time is primary: a cached
+  // delay older than refresh_interval_ms is recomputed even on a farm that
+  // just woke from idle, so the first queries back never hedge on a quantile
+  // learned under a dead RTT regime. The call counter is secondary — under
+  // steady load it spaces the (comparatively expensive) merged-histogram
+  // quantile scans to one per kHedgeRefresh episodes.
   constexpr std::uint64_t kHedgeRefresh = 64;
   const std::uint64_t call = hedge_calls_.fetch_add(1, std::memory_order_relaxed);
-  if (call % kHedgeRefresh == 0) {
+  const std::int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now().time_since_epoch())
+                                  .count();
+  const std::int64_t interval_ns =
+      static_cast<std::int64_t>(hedge_.refresh_interval_ms * 1e6);
+  const bool stale =
+      now_ns - hedge_refreshed_ns_.load(std::memory_order_relaxed) >= interval_ns;
+  if (stale || call % kHedgeRefresh == 0) {
+    hedge_refreshed_ns_.store(now_ns, std::memory_order_relaxed);
     telemetry::HistogramData rtt;
     const auto replicas = snapshot();
     for (const Replica& replica : *replicas) {
@@ -430,7 +441,10 @@ void FarmController::publish_metrics() const {
   }
   for (std::size_t i = 0; i < router_.shard_count(); ++i) {
     const EnvServiceStats shard = router_.shard(i).stats();
-    shed += shard.shed_total + shard.deadline_rejected;
+    // Watermark sheds only: deadline rejections are already published as
+    // env.deadline_rejected, and folding them in here counted one rejection
+    // under two telemetry names.
+    shed += shard.shed_total;
   }
   mirror("farm.reconnects", reconnects);
   mirror("farm.shed_total", shed);

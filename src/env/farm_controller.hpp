@@ -79,6 +79,11 @@ struct HedgePolicy {
   /// Delay used BEFORE min_samples RTTs exist. 0 = don't hedge until the
   /// distribution is learned; tests and loadgen set it explicitly.
   double fallback_delay_ms = 0.0;
+  /// Wall-clock staleness bound on the cached quantile: a delay older than
+  /// this is recomputed on the next call even if the call-count cadence has
+  /// not rolled over, so a farm that idles across an RTT regime change (e.g.
+  /// failover to a slower replica) never hedges on pre-idle numbers.
+  double refresh_interval_ms = 1000.0;
 };
 
 /// Per-replica circuit breaker: closed -> open (after `failure_threshold`
@@ -212,9 +217,13 @@ class FailoverBackend final : public EnvBackend {
   std::atomic<std::shared_ptr<const ReplicaList>> replicas_;
   mutable std::atomic<std::uint64_t> rr_{0};
   /// Learned hedge delay, refreshed from the replicas' RTT histograms every
-  /// kHedgeRefresh executes (<= 0 = not armed).
+  /// kHedgeRefresh executes AND whenever the cached value is older than
+  /// hedge_.refresh_interval_ms (<= 0 = not armed).
   mutable std::atomic<std::uint64_t> hedge_calls_{0};
   mutable std::atomic<double> hedge_delay_cache_ms_{0.0};
+  /// steady_clock time of the last quantile recompute, in ns since the
+  /// clock's epoch (0 = never — the call-count trigger covers the first call).
+  mutable std::atomic<std::int64_t> hedge_refreshed_ns_{0};
 };
 
 struct FarmControllerOptions {

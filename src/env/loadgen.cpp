@@ -38,6 +38,7 @@ env::EnvServiceStats stats_delta(const EnvServiceStats& before, EnvServiceStats 
     now.backends[i].episodes -= before.backends[i].episodes;
     now.backends[i].shedded -= before.backends[i].shedded;
     now.backends[i].deadline_rejected -= before.backends[i].deadline_rejected;
+    now.backends[i].cancelled -= before.backends[i].cancelled;
     now.backends[i].rpc_retries -= before.backends[i].rpc_retries;
     now.backends[i].rpc_failures -= before.backends[i].rpc_failures;
     now.backends[i].rpc_reconnects -= before.backends[i].rpc_reconnects;
@@ -50,6 +51,12 @@ env::EnvServiceStats stats_delta(const EnvServiceStats& before, EnvServiceStats 
   now.crn_hits -= before.crn_hits;
   now.shed_total -= before.shed_total;
   now.deadline_rejected -= before.deadline_rejected;
+  now.cancelled_total -= before.cancelled_total;
+  // Speculation counters are cumulative per planner; report the delta too.
+  now.speculation.launched -= before.speculation.launched;
+  now.speculation.hits -= before.speculation.hits;
+  now.speculation.cancelled -= before.speculation.cancelled;
+  now.speculation.wasted -= before.speculation.wasted;
   now.query_latency_ns.subtract(before.query_latency_ns);
   now.queue_depth.subtract(before.queue_depth);
   now.rpc_service_ns.subtract(before.rpc_service_ns);

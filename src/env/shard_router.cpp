@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "env/farm_controller.hpp"
+#include "env/speculation.hpp"
 
 namespace atlas::env {
 
@@ -89,6 +90,18 @@ QueryHandle ShardRouter::submit(EnvQuery query) {
   return shards_[route.shard]->submit(to_local(query, route));
 }
 
+QueryHandle ShardRouter::submit_cancellable(EnvQuery query,
+                                            std::shared_ptr<const CancelToken> cancel) {
+  const Route route = route_at(query.backend);
+  return shards_[route.shard]->submit_cancellable(to_local(query, route), std::move(cancel));
+}
+
+std::size_t ShardRouter::outstanding_queries() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->outstanding_queries();
+  return total;
+}
+
 std::vector<EpisodeResult> ShardRouter::run_batch(std::span<const EnvQuery> queries) {
   std::vector<EpisodeResult> results(queries.size());
   if (queries.empty()) return results;
@@ -134,6 +147,7 @@ EnvServiceStats ShardRouter::stats() const {
     total.crn_hits += s.crn_hits;
     total.shed_total += s.shedded;
     total.deadline_rejected += s.deadline_rejected;
+    total.cancelled_total += s.cancelled;
     total.backends.push_back(std::move(s));
   }
   // Serving telemetry merges exactly (log-scale buckets sum), so the router
@@ -147,18 +161,27 @@ EnvServiceStats ShardRouter::stats() const {
   if (const auto farm = farm_.load(std::memory_order_acquire)) {
     total.farm = farm->view();
   }
+  if (const auto speculation = speculation_.load(std::memory_order_acquire)) {
+    total.speculation = speculation->view();
+  }
   // Reconnect/shed visibility rides on the backend rows (rpc::RemoteBackend
   // fill_stats / service admission counters), so it covers remote backends
   // registered directly on a shard, not just farm-managed replicas.
+  // Watermark sheds ONLY: deadline rejections already have their own total,
+  // and folding s.rejected() in here counted each of them in two rows.
   for (const BackendStats& s : total.backends) {
     total.farm.reconnects += s.rpc_reconnects;
-    total.farm.shed_total += s.rejected();
+    total.farm.shed_total += s.shedded;
   }
   return total;
 }
 
 void ShardRouter::attach_farm(std::shared_ptr<const FarmState> farm) {
   farm_.store(std::move(farm), std::memory_order_release);
+}
+
+void ShardRouter::attach_speculation(std::shared_ptr<const SpeculationState> speculation) {
+  speculation_.store(std::move(speculation), std::memory_order_release);
 }
 
 void ShardRouter::reset_stats() {

@@ -359,13 +359,26 @@ env::EpisodeResult RemoteBackend::execute_impl(const env::EnvQuery& query,
     double budget_ms = remaining_budget_ms();
     if (query.deadline_ms > 0.0 && budget_ms <= 0.0) return deadline_rejection();
     double wait_ms = options_.timeout_ms;
-    const bool deadline_capped = budget_ms >= 0.0 && budget_ms < wait_ms;
+    bool deadline_capped = budget_ms >= 0.0 && budget_ms < wait_ms;
     if (deadline_capped) wait_ms = budget_ms;
-    remote_query.deadline_ms = budget_ms >= 0.0 ? budget_ms : 0.0;
     std::shared_ptr<MuxConnection> conn;
     bool sent = false;
     try {
       conn = connection();
+      // Re-measure the budget AFTER connection(): reconnect backoff can sleep
+      // for seconds, and on the wire deadline_ms = 0 means "no deadline" — so
+      // a budget that expired (or reached exactly 0) while we were connecting
+      // must be rejected here, never encoded as the unlimited sentinel or as
+      // a stale pre-backoff value the worker would trust.
+      if (query.deadline_ms > 0.0) {
+        budget_ms = remaining_budget_ms();
+        if (budget_ms <= 0.0) return deadline_rejection();
+        if (budget_ms < wait_ms) {
+          wait_ms = budget_ms;
+          deadline_capped = true;
+        }
+      }
+      remote_query.deadline_ms = budget_ms >= 0.0 ? budget_ms : 0.0;
       const std::uint64_t request_id =
           next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
       const auto rtt_start = std::chrono::steady_clock::now();

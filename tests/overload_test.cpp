@@ -184,7 +184,17 @@ TEST(OverloadShedding, SpeculativeShedsAtSoftWatermarkNormalAtHard) {
   EXPECT_EQ(sim_stats.cache_hits + sim_stats.cache_misses + sim_stats.rejected(),
             sim_stats.queries);
   EXPECT_EQ(sim_stats.episodes, 1u);  // only the admitted query ran
-  EXPECT_EQ(service.stats().shed_total, 2u);
+
+  // The same invariant at SUMMARY level: totals must balance exactly, and
+  // the farm fold must count each watermark shed once (it used to fold
+  // rejected() = shed + deadline on top of the dedicated totals, so one
+  // rejection showed up under two telemetry names).
+  const auto totals = service.stats();
+  EXPECT_EQ(totals.shed_total, 2u);
+  EXPECT_EQ(totals.cache_hits + totals.cache_misses + totals.shed_total +
+                totals.deadline_rejected + totals.cancelled_total,
+            totals.total_queries());
+  EXPECT_EQ(totals.farm.shed_total, totals.shed_total);
 
   // Rejected queries release their outstanding slot: the gauge returns to 0,
   // so placement does not see phantom load.
@@ -307,6 +317,44 @@ TEST(OverloadDeadlines, ZeroDeadlineMeansNoDeadline) {
   EXPECT_EQ(service.backend_stats(sim).deadline_rejected, 0u);
 }
 
+TEST(OverloadDeadlines, ShedAndDeadlineRejectionsStayInTheirOwnTotals) {
+  // Regression: the farm fold in stats() used to add rejected() (= shedded +
+  // deadline_rejected) into farm.shed_total, which ALREADY sums the shedded
+  // counters — every deadline rejection was double-reported as a shed, and
+  // sheds were counted twice across the two telemetry names. Each rejection
+  // must appear exactly once, under its own name.
+  ae::EnvServiceOptions options;
+  options.threads = 1;
+  options.shed_watermark = 2;
+  ae::EnvService service(options);
+  const auto gated_backend = std::make_shared<GatedBackend>();
+  const auto gate = service.register_backend(gated_backend);
+  const auto sim = service.add_simulator();
+
+  auto blocker = service.submit(query(gate, 1));
+  while (gated_backend->started() < 1) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // Depth 2 >= soft(2): one speculative shed.
+  EXPECT_EQ(service.run(query(sim, 10, ae::QueryPriority::kSpeculative)).rejected,
+            ae::RejectReason::kShedded);
+  // One deadline rejection: queued behind the gate with a 1 ms budget.
+  auto doomed_query = query(sim, 11);
+  doomed_query.deadline_ms = 1.0;
+  auto doomed = service.submit(doomed_query);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  gated_backend->release();
+  (void)blocker.get();
+  EXPECT_EQ(doomed.get().rejected, ae::RejectReason::kDeadlineExceeded);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.shed_total, 1u);
+  EXPECT_EQ(stats.deadline_rejected, 1u);
+  EXPECT_EQ(stats.farm.shed_total, 1u) << "a deadline rejection is not a shed";
+  std::uint64_t rejected_sum = 0;
+  for (const auto& b : stats.backends) rejected_sum += b.rejected();
+  EXPECT_EQ(rejected_sum, stats.shed_total + stats.deadline_rejected + stats.cancelled_total);
+}
+
 // ---- hedged dispatch -------------------------------------------------------
 
 TEST(OverloadHedging, SlowPrimaryIsHedgedAndTheLoserCancelled) {
@@ -333,6 +381,66 @@ TEST(OverloadHedging, SlowPrimaryIsHedgedAndTheLoserCancelled) {
   EXPECT_EQ(farm->breaker_trips.load(), 0u);
   EXPECT_EQ(backend.breaker_state(0), 0);  // closed
   EXPECT_EQ(backend.breaker_state(1), 0);
+}
+
+namespace {
+
+/// Replica fake with a caller-scripted RTT distribution: hedge_delay_ms()
+/// learns its quantile from fill_stats, so the test controls exactly what
+/// the hedge policy believes the farm's RTT regime is.
+class ScriptedRttBackend final : public ae::EnvBackend {
+ public:
+  ae::EpisodeResult execute(const ae::EnvQuery&) const override { return {}; }
+  ae::BackendKind kind() const noexcept override { return ae::BackendKind::kOffline; }
+  const std::string& name() const noexcept override { return name_; }
+  void fill_stats(ae::BackendStats& stats) const override { stats.rpc_rtt_ns.merge(rtt_); }
+
+  void record_rtt_ms(double ms, std::uint64_t samples) {
+    rtt_.record(static_cast<std::uint64_t>(ms * 1e6), samples);
+  }
+
+ private:
+  std::string name_ = "scripted-rtt";
+  atlas::telemetry::HistogramData rtt_;
+};
+
+}  // namespace
+
+TEST(OverloadHedging, IdleFarmRefreshesAStaleHedgeDelayByWallClock) {
+  // Regression: the hedge delay cache refreshed only every 64th CALL, so a
+  // farm that idled across an RTT regime change kept hedging (or not) on the
+  // pre-idle quantile for up to 63 post-idle episodes — exactly when the
+  // regime is most likely to have shifted. Wall-clock staleness is now the
+  // primary trigger: the first call after an idle period must recompute.
+  const auto farm = std::make_shared<ae::FarmState>();
+  ae::HedgePolicy hedge;
+  hedge.enabled = true;
+  hedge.fallback_delay_ms = 5.0;
+  hedge.min_samples = 4;
+  hedge.refresh_interval_ms = 20.0;  // "idle" is cheap to reach in a test
+  ae::FailoverBackend backend(sim_descriptor(), farm, hedge, ae::BreakerPolicy{});
+  const auto replica = std::make_shared<ScriptedRttBackend>();
+  backend.add_replica(replica, 0, serving_health());
+
+  // Call 0 (call-count trigger): no RTT samples yet -> the fallback delay.
+  EXPECT_DOUBLE_EQ(backend.hedge_delay_ms(), 5.0);
+
+  // The farm observes genuinely slow episodes, then goes idle.
+  replica->record_rtt_ms(80.0, 8);
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+
+  // First post-idle call: 1 % 64 != 0, so the old call-count-only cadence
+  // would have served the stale 5 ms fallback. The wall-clock trigger must
+  // recompute from the recorded distribution instead.
+  const double refreshed = backend.hedge_delay_ms();
+  EXPECT_GT(refreshed, 50.0) << "first post-idle hedge delay must reflect the slow RTTs";
+  EXPECT_LE(refreshed, hedge.max_delay_ms);
+
+  // Within the staleness window the cache serves without rescanning: the
+  // regime shifts again but the interval has not elapsed and the call count
+  // has not rolled over, so the cached value holds (cheap steady-state path).
+  replica->record_rtt_ms(1.0, 1024);
+  EXPECT_DOUBLE_EQ(backend.hedge_delay_ms(), refreshed);
 }
 
 TEST(OverloadHedging, FastPrimaryNeverHedges) {

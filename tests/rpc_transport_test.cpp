@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <latch>
 #include <memory>
 #include <thread>
@@ -289,6 +290,47 @@ TEST(RpcLoopback, TimeoutsRetryThenFailWithAccounting) {
   EXPECT_THROW((void)metered.execute(query(0, 2)), ar::RpcError);
   EXPECT_EQ(metered.rpc_retries(), 0u) << "no retry once a metered query is on the wire";
   EXPECT_EQ(metered.rpc_failures(), 1u);
+}
+
+TEST(RpcLoopback, DeadlineExpiringDuringReconnectBackoffIsATypedRejection) {
+  // Regression: the wire encodes deadline_ms = 0 as "no deadline", and the
+  // remaining budget used to be computed BEFORE connection() — which sleeps
+  // through reconnect backoff. A deadline that expired during that sleep was
+  // then encoded as a stale positive budget (or, at exactly zero, as the
+  // unlimited sentinel) and the worker served a full episode for a caller
+  // whose budget was already gone. The budget must be re-measured after
+  // connection() returns and an exhausted one rejected as a typed
+  // kDeadlineExceeded — never silently served.
+  LoopbackWorker worker;
+
+  // First connect attempt fails (arming the backoff), later ones serve.
+  std::atomic<int> connect_calls{0};
+  auto live = worker.factory();
+  ar::RemoteBackendOptions options;
+  options.max_retries = 2;
+  options.backoff_base_ms = 200.0;  // jitter >= 0.5 => the retry sleeps >= 100 ms
+  options.transport_factory = [&]() -> std::unique_ptr<ar::Transport> {
+    if (connect_calls.fetch_add(1) == 0) {
+      throw ar::TransportError("injected: first connect refused");
+    }
+    return live();
+  };
+  ar::RemoteBackend backend(options);
+
+  ae::EnvQuery q = query(0, 123);
+  q.deadline_ms = 60.0;  // alive at the retry's start, dead after the backoff
+  const auto result = backend.execute(q);
+  ASSERT_TRUE(result.is_rejected());
+  EXPECT_EQ(result.rejected, ae::RejectReason::kDeadlineExceeded);
+  EXPECT_TRUE(result.latencies_ms.empty()) << "no episode may be served past the deadline";
+  EXPECT_EQ(backend.rpc_failures(), 0u) << "an exhausted budget is typed, not a fault";
+  EXPECT_GE(connect_calls.load(), 2) << "the retry must actually have reconnected";
+
+  // Control: the same backend still serves once a fresh budget is granted —
+  // the rejection above came from the expired deadline, not a broken path.
+  ae::EnvQuery fresh = query(0, 124);
+  fresh.deadline_ms = 60000.0;
+  EXPECT_FALSE(backend.execute(fresh).is_rejected());
 }
 
 TEST(RpcLoopback, ReconnectsAfterConnectionLoss) {
